@@ -1,0 +1,78 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/table_printer.h"
+
+namespace gred::bench {
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+BenchContext::BenchContext() {
+  dataset::BenchmarkOptions options;
+  options.train_size = EnvSize("GRED_BENCH_TRAIN_SIZE", options.train_size);
+  options.test_size = EnvSize("GRED_BENCH_TEST_SIZE", options.test_size);
+  options.seed = EnvSize("GRED_BENCH_SEED", options.seed);
+  std::fprintf(stderr,
+               "[bench] building suite: %zu databases, %zu train, %zu test\n",
+               options.num_databases, options.train_size, options.test_size);
+  suite_ = dataset::BuildBenchmarkSuite(options);
+  corpus_.train = &suite_.train;
+  corpus_.databases = &suite_.databases;
+  std::fprintf(stderr, "[bench] training baselines...\n");
+  seq2vis_ = std::make_unique<models::Seq2Vis>(corpus_);
+  transformer_ = std::make_unique<models::TransformerModel>(corpus_);
+  rgvisnet_ = std::make_unique<models::RGVisNet>(corpus_);
+  gred_ = std::make_unique<core::Gred>(corpus_, &llm_);
+  std::fprintf(stderr, "[bench] ready\n");
+}
+
+std::vector<const models::TextToVisModel*> BenchContext::Baselines() const {
+  return {seq2vis_.get(), transformer_.get(), rgvisnet_.get()};
+}
+
+std::unique_ptr<core::Gred> BenchContext::MakeGred(
+    core::GredConfig config) const {
+  return std::make_unique<core::Gred>(corpus_, &llm_, std::move(config));
+}
+
+void PrintResultsTable(const std::string& title,
+                       const std::vector<eval::EvalResult>& results) {
+  std::printf("\n%s\n", title.c_str());
+  TablePrinter table({"Model", "Vis Acc.", "Data Acc.", "Axis Acc.", "Acc."});
+  for (const eval::EvalResult& r : results) {
+    table.AddRow({r.model_name, FormatPercent(r.counts.VisAcc()),
+                  FormatPercent(r.counts.DataAcc()),
+                  FormatPercent(r.counts.AxisAcc()),
+                  FormatPercent(r.counts.OverallAcc())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::fflush(stdout);
+}
+
+std::vector<eval::EvalResult> RunModels(
+    const std::vector<const models::TextToVisModel*>& models,
+    const std::vector<dataset::Example>& test,
+    const std::vector<dataset::GeneratedDatabase>& databases,
+    const std::string& test_set_name) {
+  std::vector<eval::EvalResult> results;
+  for (const models::TextToVisModel* model : models) {
+    std::fprintf(stderr, "[bench] evaluating %s on %s (%zu examples)...\n",
+                 model->name().c_str(), test_set_name.c_str(), test.size());
+    results.push_back(
+        eval::Evaluate(*model, test, databases, test_set_name));
+  }
+  return results;
+}
+
+}  // namespace gred::bench

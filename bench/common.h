@@ -1,0 +1,64 @@
+#ifndef GREDVIS_BENCH_COMMON_H_
+#define GREDVIS_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/benchmark.h"
+#include "eval/metrics.h"
+#include "gred/gred.h"
+#include "llm/sim_llm.h"
+#include "models/model.h"
+#include "models/rgvisnet.h"
+#include "models/seq2vis.h"
+#include "models/transformer.h"
+
+namespace gred::bench {
+
+/// Shared experiment context: the benchmark suite, the simulated LLM and
+/// all four systems, built once per binary.
+///
+/// Environment overrides (for quick local runs):
+///   GRED_BENCH_TRAIN_SIZE, GRED_BENCH_TEST_SIZE, GRED_BENCH_SEED.
+class BenchContext {
+ public:
+  BenchContext();
+
+  const dataset::BenchmarkSuite& suite() const { return suite_; }
+  const llm::SimulatedChatModel& llm() const { return llm_; }
+  const models::TrainingCorpus& corpus() const { return corpus_; }
+
+  /// The three baselines, in paper order.
+  std::vector<const models::TextToVisModel*> Baselines() const;
+
+  const core::Gred& gred() const { return *gred_; }
+
+  /// Builds a GRED variant for the ablation table.
+  std::unique_ptr<core::Gred> MakeGred(core::GredConfig config) const;
+
+ private:
+  dataset::BenchmarkSuite suite_;
+  llm::SimulatedChatModel llm_;
+  models::TrainingCorpus corpus_;
+  std::unique_ptr<models::Seq2Vis> seq2vis_;
+  std::unique_ptr<models::TransformerModel> transformer_;
+  std::unique_ptr<models::RGVisNet> rgvisnet_;
+  std::unique_ptr<core::Gred> gred_;
+};
+
+/// Prints one paper-style results table (Vis/Data/Axis/Overall columns).
+void PrintResultsTable(const std::string& title,
+                       const std::vector<eval::EvalResult>& results);
+
+/// Runs every given model over a test set. `databases` must be the corpus
+/// the test set's DVQs are written against.
+std::vector<eval::EvalResult> RunModels(
+    const std::vector<const models::TextToVisModel*>& models,
+    const std::vector<dataset::Example>& test,
+    const std::vector<dataset::GeneratedDatabase>& databases,
+    const std::string& test_set_name);
+
+}  // namespace gred::bench
+
+#endif  // GREDVIS_BENCH_COMMON_H_

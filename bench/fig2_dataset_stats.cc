@@ -1,0 +1,49 @@
+// Reproduces Figure 2: statistics of the nvBench-Rob development split —
+// chart-type distribution, hardness distribution, and database /table/
+// column counts with averages.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+int main() {
+  gred::bench::BenchContext context;
+  const gred::dataset::BenchmarkSuite& suite = context.suite();
+  gred::dataset::DatasetStats stats =
+      gred::dataset::ComputeStats(suite.test_clean, suite.databases);
+
+  std::printf("\nFigure 2: Statistics of the nvBench-Rob Dataset\n");
+  gred::TablePrinter vis({"VIS Types", "No. of (NL, Vis)"});
+  const char* kChartOrder[] = {"BAR",         "PIE",
+                               "LINE",        "SCATTER",
+                               "STACKED BAR", "GROUPING LINE",
+                               "GROUPING SCATTER"};
+  for (const char* chart : kChartOrder) {
+    auto it = stats.by_chart.find(chart);
+    std::size_t count = it == stats.by_chart.end() ? 0 : it->second;
+    vis.AddRow({chart, std::to_string(count)});
+  }
+  vis.AddRow({"All Types", std::to_string(stats.total)});
+  std::printf("%s\n", vis.ToString().c_str());
+
+  gred::TablePrinter hardness({"Hardness", "No. of (NL, Vis)"});
+  for (const char* level : {"Easy", "Medium", "Hard", "Extra Hard"}) {
+    auto it = stats.by_hardness.find(level);
+    std::size_t count = it == stats.by_hardness.end() ? 0 : it->second;
+    hardness.AddRow({level, std::to_string(count)});
+  }
+  hardness.AddRow({"Total", std::to_string(stats.total)});
+  std::printf("%s\n", hardness.ToString().c_str());
+
+  gred::TablePrinter corpus({"Database", "Table", "Column",
+                             "Avg tables/DB", "Avg columns/table"});
+  corpus.AddRow({std::to_string(stats.num_databases),
+                 std::to_string(stats.num_tables),
+                 std::to_string(stats.num_columns),
+                 gred::strings::Format("%.2f", stats.avg_tables_per_db),
+                 gred::strings::Format("%.2f", stats.avg_columns_per_table)});
+  std::printf("%s", corpus.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Figure 3: accuracy of every model on the original nvBench
+// test set versus the dual-variant nvBench-Rob test set, showing the
+// robustness cliff of the baselines.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table_printer.h"
+
+int main() {
+  gred::bench::BenchContext context;
+  std::vector<const gred::models::TextToVisModel*> models =
+      context.Baselines();
+  models.push_back(&context.gred());
+
+  std::vector<gred::eval::EvalResult> clean = gred::bench::RunModels(
+      models, context.suite().test_clean, context.suite().databases,
+      "nvBench");
+  std::vector<gred::eval::EvalResult> rob = gred::bench::RunModels(
+      models, context.suite().test_both, context.suite().databases_rob,
+      "nvBench-Rob_(nlq,schema)");
+
+  std::printf("\nFigure 3: overall accuracy, nvBench vs nvBench-Rob\n");
+  gred::TablePrinter table(
+      {"Model", "nvBench", "nvBench-Rob_(nlq,schema)", "Drop"});
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    double a = clean[i].counts.OverallAcc();
+    double b = rob[i].counts.OverallAcc();
+    table.AddRow({clean[i].model_name, gred::FormatPercent(a),
+                  gred::FormatPercent(b), gred::FormatPercent(a - b)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // ASCII rendition of the grouped bar figure.
+  std::printf("\n");
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    double a = clean[i].counts.OverallAcc();
+    double b = rob[i].counts.OverallAcc();
+    std::printf("%-12s nvBench     |%s %5.2f%%\n",
+                clean[i].model_name.c_str(),
+                std::string(static_cast<std::size_t>(a * 50), '#').c_str(),
+                a * 100);
+    std::printf("%-12s nvBench-Rob |%s %5.2f%%\n", "",
+                std::string(static_cast<std::size_t>(b * 50), '=').c_str(),
+                b * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table 1: results on nvBench-Rob_nlq (NLQ variants only).
+//
+// Four models (Seq2Vis, Transformer, RGVisNet, GRED) are evaluated on the
+// paraphrased-NLQ test set against the clean databases; the paper reports
+// Vis/Data/Axis/Overall accuracy for each.
+
+#include "bench/common.h"
+
+int main() {
+  gred::bench::BenchContext context;
+  std::vector<const gred::models::TextToVisModel*> models =
+      context.Baselines();
+  models.push_back(&context.gred());
+  std::vector<gred::eval::EvalResult> results = gred::bench::RunModels(
+      models, context.suite().test_nlq, context.suite().databases,
+      "nvBench-Rob_nlq");
+  gred::bench::PrintResultsTable(
+      "Table 1: Results in nvBench-Rob_nlq", results);
+  return 0;
+}

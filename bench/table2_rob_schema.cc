@@ -1,0 +1,18 @@
+// Reproduces Table 2: results on nvBench-Rob_schema (schema variants
+// only). The NLQ stays in the clean register, but the databases the
+// models see — and the target DVQs — use the renamed schemas.
+
+#include "bench/common.h"
+
+int main() {
+  gred::bench::BenchContext context;
+  std::vector<const gred::models::TextToVisModel*> models =
+      context.Baselines();
+  models.push_back(&context.gred());
+  std::vector<gred::eval::EvalResult> results = gred::bench::RunModels(
+      models, context.suite().test_schema, context.suite().databases_rob,
+      "nvBench-Rob_schema");
+  gred::bench::PrintResultsTable(
+      "Table 2: Results in nvBench-Rob_schema", results);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Reproduces Table 3: results on nvBench-Rob_(nlq,schema) — the dual
+// variant test set combining paraphrased NLQs with renamed schemas.
+
+#include "bench/common.h"
+
+int main() {
+  gred::bench::BenchContext context;
+  std::vector<const gred::models::TextToVisModel*> models =
+      context.Baselines();
+  models.push_back(&context.gred());
+  std::vector<gred::eval::EvalResult> results = gred::bench::RunModels(
+      models, context.suite().test_both, context.suite().databases_rob,
+      "nvBench-Rob_(nlq,schema)");
+  gred::bench::PrintResultsTable(
+      "Table 3: Results in nvBench-Rob_(nlq,schema)", results);
+  return 0;
+}

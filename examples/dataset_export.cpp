@@ -1,0 +1,120 @@
+// Exports the generated nvBench-Rob benchmark to JSON files so it can be
+// consumed by other tooling (or eyeballed):
+//
+//   $ ./build/examples/dataset_export out_dir
+//
+// Produces:
+//   out_dir/databases.json       clean schemas (+ rename maps)
+//   out_dir/train.json           training pairs
+//   out_dir/test_clean.json      the four test sets
+//   out_dir/test_nlq.json
+//   out_dir/test_schema.json
+//   out_dir/test_both.json
+//   out_dir/sample_specs.json    Vega-Lite specs for the first few targets
+//   out_dir/data/<db>.json       full databases (schema + rows), reloadable
+//                                via dataset::DatabaseFromJson
+//   out_dir/sample_<i>.svg       rendered charts for the first few targets
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "dataset/benchmark.h"
+#include "dataset/io.h"
+#include "util/strings.h"
+#include "util/json.h"
+#include "viz/chart.h"
+#include "viz/svg.h"
+
+namespace {
+
+using namespace gred;
+
+void WriteFile(const std::string& path, const json::Value& value) {
+  Status status = dataset::WriteJsonFile(path, value);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "nvbench_rob_export";
+  std::string mkdir = "mkdir -p " + dir;
+  if (std::system(mkdir.c_str()) != 0) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+
+  dataset::BenchmarkOptions options;
+  options.train_size = 1500;
+  options.test_size = 300;
+  if (const char* scaled = std::getenv("GRED_BENCH_TRAIN_SIZE")) {
+    options.train_size = static_cast<std::size_t>(std::atoll(scaled));
+  }
+  if (const char* scaled = std::getenv("GRED_BENCH_TEST_SIZE")) {
+    options.test_size = static_cast<std::size_t>(std::atoll(scaled));
+  }
+  std::fprintf(stderr, "building suite...\n");
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+
+  json::Value dbs = json::Value::Array();
+  for (const dataset::GeneratedDatabase& db : suite.databases) {
+    json::Value entry = json::Value::Object();
+    entry.Set("name", json::Value::Str(db.data.name()));
+    entry.Set("domain", json::Value::Str(db.domain));
+    entry.Set("schema",
+              json::Value::Str(db.data.db_schema().RenderSchemaPrompt()));
+    const dataset::GeneratedDatabase* rob = suite.FindRobDb(db.data.name());
+    entry.Set("schema_rob",
+              json::Value::Str(rob->data.db_schema().RenderSchemaPrompt()));
+    json::Value renames = json::Value::Object();
+    const dataset::SchemaRename& map = suite.renames.at(db.data.name());
+    for (const auto& [key, renamed] : map.columns) {
+      renames.Set(key.first + "." + key.second, json::Value::Str(renamed));
+    }
+    entry.Set("column_renames", std::move(renames));
+    dbs.Append(std::move(entry));
+  }
+  WriteFile(dir + "/databases.json", dbs);
+  WriteFile(dir + "/train.json", dataset::ExamplesToJson(suite.train));
+  WriteFile(dir + "/test_clean.json",
+            dataset::ExamplesToJson(suite.test_clean));
+  WriteFile(dir + "/test_nlq.json", dataset::ExamplesToJson(suite.test_nlq));
+  WriteFile(dir + "/test_schema.json",
+            dataset::ExamplesToJson(suite.test_schema));
+  WriteFile(dir + "/test_both.json", dataset::ExamplesToJson(suite.test_both));
+
+  // Full databases (schema + rows), one file each, reloadable through
+  // dataset::DatabaseFromJson.
+  std::string data_dir = dir + "/data";
+  if (std::system(("mkdir -p " + data_dir).c_str()) == 0) {
+    for (std::size_t i = 0; i < 8 && i < suite.databases.size(); ++i) {
+      const dataset::GeneratedDatabase& db = suite.databases[i];
+      WriteFile(data_dir + "/" + db.data.name() + ".json",
+                dataset::DatabaseToJson(db));
+    }
+  }
+
+  json::Value specs = json::Value::Array();
+  for (std::size_t i = 0; i < 8 && i < suite.test_clean.size(); ++i) {
+    const dataset::Example& ex = suite.test_clean[i];
+    const dataset::GeneratedDatabase* db = suite.FindCleanDb(ex.db_name);
+    Result<viz::Chart> chart = viz::BuildChart(ex.dvq, db->data);
+    if (!chart.ok()) continue;
+    json::Value entry = json::Value::Object();
+    entry.Set("id", json::Value::Str(ex.id));
+    entry.Set("spec", viz::ToVegaLite(chart.value()));
+    specs.Append(std::move(entry));
+    std::string svg_path = dir + strings::Format("/sample_%zu.svg", i);
+    std::ofstream svg(svg_path);
+    svg << viz::RenderSvg(chart.value());
+    std::printf("wrote %s\n", svg_path.c_str());
+  }
+  WriteFile(dir + "/sample_specs.json", specs);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Interactive text-to-vis shell: pick a database, type questions, get
+// DVQs and charts back. Reads from stdin, so it also works scripted:
+//
+//   $ printf 'use hr_1\nShow a bar chart of the number of employees for
+//     each city.\n' | ./build/examples/interactive_text2vis
+//
+// Commands:
+//   use <database>   switch database (default: first)
+//   schema           print the active database's schema
+//   tables           list databases
+//   quit             exit
+//   anything else    treated as a natural-language question
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dataset/benchmark.h"
+#include "gred/gred.h"
+#include "llm/sim_llm.h"
+#include "util/strings.h"
+#include "dvq/sql.h"
+#include "viz/chart.h"
+
+int main() {
+  using namespace gred;
+
+  dataset::BenchmarkOptions options;
+  options.train_size = 1200;
+  options.test_size = 50;
+  if (const char* scaled = std::getenv("GRED_BENCH_TRAIN_SIZE")) {
+    options.train_size = static_cast<std::size_t>(std::atoll(scaled));
+  }
+  std::fprintf(stderr, "loading benchmark + GRED (a few seconds)...\n");
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  llm::SimulatedChatModel llm;
+  models::TrainingCorpus corpus;
+  corpus.train = &suite.train;
+  corpus.databases = &suite.databases;
+  core::Gred gred(corpus, &llm);
+
+  const dataset::GeneratedDatabase* active = &suite.databases.front();
+  std::printf("connected to '%s' (%zu databases available; try 'tables')\n",
+              active->data.name().c_str(), suite.databases.size());
+
+  std::string line;
+  while (std::printf("text2vis> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string input = strings::Trim(line);
+    if (input.empty()) continue;
+    if (input == "quit" || input == "exit") break;
+    if (input == "tables") {
+      for (const dataset::GeneratedDatabase& db : suite.databases) {
+        std::printf("  %s (%zu tables)\n", db.data.name().c_str(),
+                    db.data.tables().size());
+      }
+      continue;
+    }
+    if (input == "schema") {
+      std::printf("%s", active->data.db_schema().RenderSchemaPrompt().c_str());
+      continue;
+    }
+    if (strings::StartsWith(input, "use ")) {
+      std::string name = strings::Trim(input.substr(4));
+      const dataset::GeneratedDatabase* found = suite.FindCleanDb(name);
+      if (found == nullptr) {
+        std::printf("unknown database '%s'\n", name.c_str());
+      } else {
+        active = found;
+        std::printf("switched to '%s'\n", name.c_str());
+      }
+      continue;
+    }
+
+    Result<dvq::DVQ> dvq = gred.Translate(input, active->data);
+    if (!dvq.ok()) {
+      std::printf("could not translate: %s\n",
+                  dvq.status().ToString().c_str());
+      continue;
+    }
+    std::printf("DVQ: %s\n", dvq.value().ToString().c_str());
+    std::printf("SQL: %s\n", dvq::ToSql(dvq.value()).c_str());
+    Result<viz::Chart> chart = viz::BuildChart(dvq.value(), active->data);
+    if (!chart.ok()) {
+      std::printf("no chart produced: %s\n",
+                  chart.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", viz::RenderAscii(chart.value()).c_str());
+  }
+  return 0;
+}

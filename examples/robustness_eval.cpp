@@ -1,0 +1,105 @@
+// Robustness evaluation driver: score any model on any test set, with
+// per-hardness and per-chart breakdowns.
+//
+//   $ ./build/examples/robustness_eval [model] [test_set]
+//     model:    seq2vis | transformer | rgvisnet | gred   (default gred)
+//     test_set: clean | nlq | schema | both               (default both)
+//
+// Scale via GRED_BENCH_TRAIN_SIZE / GRED_BENCH_TEST_SIZE env vars.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "dataset/benchmark.h"
+#include "eval/metrics.h"
+#include "gred/gred.h"
+#include "llm/sim_llm.h"
+#include "models/rgvisnet.h"
+#include "models/seq2vis.h"
+#include "models/transformer.h"
+#include "util/table_printer.h"
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::atoll(value) > 0
+             ? static_cast<std::size_t>(std::atoll(value))
+             : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gred;
+  std::string model_name = argc > 1 ? argv[1] : "gred";
+  std::string set_name = argc > 2 ? argv[2] : "both";
+
+  dataset::BenchmarkOptions options;
+  options.train_size = EnvSize("GRED_BENCH_TRAIN_SIZE", 2000);
+  options.test_size = EnvSize("GRED_BENCH_TEST_SIZE", 300);
+  std::fprintf(stderr, "building suite (%zu train / %zu test)...\n",
+               options.train_size, options.test_size);
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  models::TrainingCorpus corpus;
+  corpus.train = &suite.train;
+  corpus.databases = &suite.databases;
+
+  llm::SimulatedChatModel llm;
+  std::unique_ptr<models::TextToVisModel> model;
+  if (model_name == "seq2vis") {
+    model = std::make_unique<models::Seq2Vis>(corpus);
+  } else if (model_name == "transformer") {
+    model = std::make_unique<models::TransformerModel>(corpus);
+  } else if (model_name == "rgvisnet") {
+    model = std::make_unique<models::RGVisNet>(corpus);
+  } else {
+    model = std::make_unique<core::Gred>(corpus, &llm);
+  }
+
+  const std::vector<dataset::Example>* test = &suite.test_both;
+  const std::vector<dataset::GeneratedDatabase>* dbs = &suite.databases_rob;
+  if (set_name == "clean") {
+    test = &suite.test_clean;
+    dbs = &suite.databases;
+  } else if (set_name == "nlq") {
+    test = &suite.test_nlq;
+    dbs = &suite.databases;
+  } else if (set_name == "schema") {
+    test = &suite.test_schema;
+  }
+
+  std::fprintf(stderr, "evaluating %s on %s (%zu examples)...\n",
+               model->name().c_str(), set_name.c_str(), test->size());
+  eval::EvalResult result = eval::Evaluate(*model, *test, *dbs, set_name);
+
+  std::printf("\n%s on %s\n", result.model_name.c_str(), set_name.c_str());
+  TablePrinter totals({"Vis Acc.", "Data Acc.", "Axis Acc.", "Acc.",
+                       "Exec Acc.", "Errors"});
+  totals.AddRow({FormatPercent(result.counts.VisAcc()),
+                 FormatPercent(result.counts.DataAcc()),
+                 FormatPercent(result.counts.AxisAcc()),
+                 FormatPercent(result.counts.OverallAcc()),
+                 FormatPercent(result.counts.ExecutionAcc()),
+                 std::to_string(result.counts.errors)});
+  std::printf("%s\n", totals.ToString().c_str());
+
+  TablePrinter hardness({"Hardness", "N", "Acc."});
+  for (const char* level : {"Easy", "Medium", "Hard", "Extra Hard"}) {
+    auto it = result.by_hardness.find(level);
+    if (it == result.by_hardness.end()) continue;
+    hardness.AddRow({level, std::to_string(it->second.total),
+                     FormatPercent(it->second.OverallAcc())});
+  }
+  std::printf("%s\n", hardness.ToString().c_str());
+
+  TablePrinter charts({"Chart", "N", "Acc."});
+  for (const auto& [chart, counts] : result.by_chart) {
+    charts.AddRow({chart, std::to_string(counts.total),
+                   FormatPercent(counts.OverallAcc())});
+  }
+  std::printf("%s", charts.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+#ifndef GREDVIS_DATASET_BENCHMARK_H_
+#define GREDVIS_DATASET_BENCHMARK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/db_generator.h"
+#include "dataset/example.h"
+#include "dataset/perturb.h"
+
+namespace gred::dataset {
+
+/// Options for assembling the full benchmark suite.
+struct BenchmarkOptions {
+  std::uint64_t seed = 20240501;
+  std::size_t num_databases = 104;   // Figure 2
+  std::size_t train_size = 6000;     // nvBench 80% register (scaled)
+  std::size_t test_size = 1182;      // development split of Figure 2
+  /// Split regime. The paper evaluates the no-cross-domain split (test
+  /// databases also appear in training — nvBench's development split);
+  /// setting this holds out every fifth database entirely, so test
+  /// questions target schemas never seen in training.
+  bool cross_domain = false;
+};
+
+/// The complete nvBench / nvBench-Rob reproduction suite.
+///
+/// `databases` is the clean corpus; `databases_rob` is the schema-
+/// perturbed corpus (same database names, renamed tables/columns,
+/// identical rows). Four test sets share the same underlying plans:
+///   test_clean            nvBench           (clean NLQ, clean schema)
+///   test_nlq              nvBench-Rob_nlq   (paraphrased NLQ, clean schema)
+///   test_schema           nvBench-Rob_schema(clean NLQ, renamed schema)
+///   test_both             nvBench-Rob_(nlq,schema)
+/// Target DVQs of the schema variants are rewritten onto the renamed
+/// schema via the recorded rename maps.
+struct BenchmarkSuite {
+  std::vector<GeneratedDatabase> databases;
+  std::vector<GeneratedDatabase> databases_rob;
+  std::map<std::string, SchemaRename> renames;  // by database name
+
+  std::vector<Example> train;
+  std::vector<Example> test_clean;
+  std::vector<Example> test_nlq;
+  std::vector<Example> test_schema;
+  std::vector<Example> test_both;
+
+  const GeneratedDatabase* FindCleanDb(const std::string& name) const;
+  const GeneratedDatabase* FindRobDb(const std::string& name) const;
+};
+
+/// Builds the whole suite deterministically from `options.seed`.
+BenchmarkSuite BuildBenchmarkSuite(const BenchmarkOptions& options);
+
+/// Aggregate statistics of an example set (Figure 2's panels).
+struct DatasetStats {
+  std::map<std::string, std::size_t> by_chart;     // chart name -> count
+  std::map<std::string, std::size_t> by_hardness;  // hardness -> count
+  std::size_t total = 0;
+  std::size_t num_databases = 0;
+  std::size_t num_tables = 0;
+  std::size_t num_columns = 0;
+  double avg_tables_per_db = 0.0;
+  double avg_columns_per_table = 0.0;
+};
+
+DatasetStats ComputeStats(const std::vector<Example>& examples,
+                          const std::vector<GeneratedDatabase>& databases);
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_BENCHMARK_H_

@@ -1,0 +1,193 @@
+#include "dataset/db_generator.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace gred::dataset {
+
+namespace {
+
+using storage::Value;
+
+std::string Pluralize(const std::string& word) {
+  if (strings::EndsWith(word, "s") || strings::EndsWith(word, "x") ||
+      strings::EndsWith(word, "ch") || strings::EndsWith(word, "sh")) {
+    return word + "es";
+  }
+  if (strings::EndsWith(word, "y") && word.size() > 1) {
+    char before = word[word.size() - 2];
+    if (before != 'a' && before != 'e' && before != 'o' && before != 'u') {
+      return word.substr(0, word.size() - 1) + "ies";
+    }
+  }
+  return word + "s";
+}
+
+Value MakeDate(Rng* rng, int year_lo, int year_hi) {
+  int year = static_cast<int>(rng->NextInt(year_lo, year_hi));
+  int month = static_cast<int>(rng->NextInt(1, 12));
+  int day = static_cast<int>(rng->NextInt(1, 28));
+  return Value::Text(strings::Format("%04d-%02d-%02d", year, month, day));
+}
+
+Value MakeValue(const ColumnSpec& spec, const EntityBank& bank, Rng* rng,
+                std::int64_t row_id,
+                const std::map<std::string, std::int64_t>& parent_counts) {
+  switch (spec.role) {
+    case ColumnRole::kId: {
+      if (!spec.fk_entity.empty()) {
+        auto it = parent_counts.find(spec.fk_entity);
+        if (it != parent_counts.end() && it->second > 0) {
+          return Value::Int(rng->NextInt(1, it->second));
+        }
+        // Parent absent from this database: dangling numeric id.
+        return Value::Int(rng->NextInt(1, 50));
+      }
+      return Value::Int(row_id);
+    }
+    case ColumnRole::kName:
+    case ColumnRole::kCategory: {
+      const std::vector<std::string>& pool = bank.Pool(spec.pool);
+      if (pool.empty()) return Value::Text("item");
+      return Value::Text(rng->Pick(pool));
+    }
+    case ColumnRole::kNumeric: {
+      if (spec.integral) {
+        return Value::Int(rng->NextInt(static_cast<std::int64_t>(spec.min_value),
+                                       static_cast<std::int64_t>(spec.max_value)));
+      }
+      double span = spec.max_value - spec.min_value;
+      double v = spec.min_value + rng->NextDouble() * span;
+      return Value::Real(std::round(v * 100.0) / 100.0);
+    }
+    case ColumnRole::kDate:
+      return MakeDate(rng, static_cast<int>(spec.min_value),
+                      static_cast<int>(spec.max_value));
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+const GeneratedTable* GeneratedDatabase::FindTable(
+    const std::string& name) const {
+  for (const GeneratedTable& t : tables) {
+    if (strings::EqualsIgnoreCase(t.name, name)) return &t;
+  }
+  return nullptr;
+}
+
+std::string PluralTableName(const std::vector<std::string>& words) {
+  std::vector<std::string> out = words;
+  if (!out.empty()) out.back() = Pluralize(out.back());
+  return strings::Join(out, "_");
+}
+
+std::string CanonicalColumnName(const std::vector<std::string>& words) {
+  return strings::Join(words, "_");
+}
+
+std::vector<GeneratedDatabase> GenerateDatabases(
+    const EntityBank& bank, const DbGeneratorOptions& options) {
+  std::vector<GeneratedDatabase> out;
+  Rng master(options.seed);
+  const std::vector<DomainSpec>& domains = bank.domains();
+  for (std::size_t i = 0; i < options.num_databases; ++i) {
+    Rng rng = master.Fork();
+    const DomainSpec& domain = domains[i % domains.size()];
+    std::size_t variant = i / domains.size();
+
+    // Entity selection: the full domain group plus unrelated padding
+    // entities up to a per-database table budget.
+    std::vector<std::string> entity_ids = domain.entities;
+    std::set<std::string> used(entity_ids.begin(), entity_ids.end());
+    std::size_t budget = options.min_tables +
+                         rng.NextIndex(options.max_tables - options.min_tables + 1);
+    if (budget < entity_ids.size()) budget = entity_ids.size();
+    std::vector<std::string> padding;
+    for (const EntitySpec& e : bank.entities()) {
+      if (used.count(e.id) == 0) padding.push_back(e.id);
+    }
+    rng.Shuffle(&padding);
+    for (const std::string& id : padding) {
+      if (entity_ids.size() >= budget) break;
+      entity_ids.push_back(id);
+      used.insert(id);
+    }
+
+    // Build the schema.
+    GeneratedDatabase gdb;
+    schema::Database db_schema(
+        strings::Format("%s_%zu", domain.id.c_str(), variant + 1));
+    std::map<std::string, std::string> entity_to_table;
+    for (const std::string& entity_id : entity_ids) {
+      const EntitySpec* entity = bank.FindEntity(entity_id);
+      if (entity == nullptr) continue;
+      GeneratedTable gt;
+      gt.entity_id = entity_id;
+      gt.name = PluralTableName(entity->table_words);
+      schema::TableDef table(gt.name, {});
+      for (const ColumnSpec& spec : entity->columns) {
+        schema::Column col;
+        col.name = CanonicalColumnName(spec.words);
+        col.type = spec.type;
+        col.primary_key =
+            spec.role == ColumnRole::kId && spec.fk_entity.empty();
+        table.AddColumn(col);
+        gt.columns.push_back(GeneratedColumn{col.name, spec});
+      }
+      db_schema.AddTable(std::move(table));
+      entity_to_table[entity_id] = gt.name;
+      gdb.tables.push_back(std::move(gt));
+    }
+    // Foreign keys for parents present in this database.
+    for (const std::string& entity_id : entity_ids) {
+      const EntitySpec* entity = bank.FindEntity(entity_id);
+      if (entity == nullptr) continue;
+      for (const ColumnSpec& spec : entity->columns) {
+        if (spec.fk_entity.empty()) continue;
+        auto parent_it = entity_to_table.find(spec.fk_entity);
+        if (parent_it == entity_to_table.end()) continue;
+        const EntitySpec* parent = bank.FindEntity(spec.fk_entity);
+        schema::ForeignKey fk;
+        fk.from_table = entity_to_table[entity_id];
+        fk.from_column = CanonicalColumnName(spec.words);
+        fk.to_table = parent_it->second;
+        fk.to_column = CanonicalColumnName(parent->columns[0].words);
+        db_schema.AddForeignKey(std::move(fk));
+      }
+    }
+
+    // Populate rows. Parents first (domain lists parents before children,
+    // and padding entities have no satisfied FK links anyway).
+    gdb.data = storage::DatabaseData(db_schema);
+    gdb.domain = domain.id;
+    std::map<std::string, std::int64_t> entity_rows;
+    for (const std::string& entity_id : entity_ids) {
+      const EntitySpec* entity = bank.FindEntity(entity_id);
+      if (entity == nullptr) continue;
+      std::int64_t rows = static_cast<std::int64_t>(
+          entity->min_rows +
+          rng.NextIndex(entity->max_rows - entity->min_rows + 1));
+      entity_rows[entity_id] = rows;
+      storage::DataTable* table =
+          gdb.data.FindTable(entity_to_table[entity_id]);
+      for (std::int64_t r = 1; r <= rows; ++r) {
+        std::vector<Value> row;
+        row.reserve(entity->columns.size());
+        for (const ColumnSpec& spec : entity->columns) {
+          row.push_back(MakeValue(spec, bank, &rng, r, entity_rows));
+        }
+        Status s = table->AppendRow(std::move(row));
+        (void)s;  // arity is correct by construction
+      }
+    }
+    out.push_back(std::move(gdb));
+  }
+  return out;
+}
+
+}  // namespace gred::dataset

@@ -1,0 +1,63 @@
+#ifndef GREDVIS_DATASET_DB_GENERATOR_H_
+#define GREDVIS_DATASET_DB_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/entity_bank.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace gred::dataset {
+
+/// Generation-time metadata for one column (semantic role + concept
+/// words). Ground truth for the query generator; never exposed to models.
+struct GeneratedColumn {
+  std::string name;
+  ColumnSpec spec;
+};
+
+/// Generation-time metadata for one table.
+struct GeneratedTable {
+  std::string name;
+  std::string entity_id;
+  std::vector<GeneratedColumn> columns;
+};
+
+/// A populated database plus its generation metadata.
+struct GeneratedDatabase {
+  storage::DatabaseData data;
+  std::string domain;
+  std::vector<GeneratedTable> tables;
+
+  GeneratedDatabase() : data(schema::Database()) {}
+
+  const GeneratedTable* FindTable(const std::string& name) const;
+};
+
+/// Configuration for the database generator.
+struct DbGeneratorOptions {
+  std::size_t num_databases = 104;   // matches Figure 2
+  std::size_t min_tables = 3;
+  std::size_t max_tables = 8;
+  std::uint64_t seed = 20240501;
+};
+
+/// Generates the benchmark's database corpus: each database starts from a
+/// domain's entity group (preserving foreign keys) and is padded with
+/// unrelated entities up to the target table count, then populated with
+/// deterministic synthetic rows (foreign keys reference real parent ids).
+std::vector<GeneratedDatabase> GenerateDatabases(
+    const EntityBank& bank, const DbGeneratorOptions& options);
+
+/// Builds the plural table name for an entity ("employee" -> "employees",
+/// "match" -> "matches").
+std::string PluralTableName(const std::vector<std::string>& words);
+
+/// Joins concept words into the canonical snake_case column name.
+std::string CanonicalColumnName(const std::vector<std::string>& words);
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_DB_GENERATOR_H_

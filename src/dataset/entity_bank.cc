@@ -1,0 +1,438 @@
+#include "dataset/entity_bank.h"
+
+namespace gred::dataset {
+
+namespace {
+
+using schema::ColumnType;
+
+ColumnSpec Id(const std::string& entity_word) {
+  ColumnSpec c;
+  c.words = {entity_word, "id"};
+  c.type = ColumnType::kInt;
+  c.role = ColumnRole::kId;
+  return c;
+}
+
+ColumnSpec Fk(const std::string& parent_word, const std::string& parent_id) {
+  ColumnSpec c;
+  c.words = {parent_word, "id"};
+  c.type = ColumnType::kInt;
+  c.role = ColumnRole::kId;
+  c.fk_entity = parent_id;
+  return c;
+}
+
+ColumnSpec NameCol(std::vector<std::string> words, const std::string& pool) {
+  ColumnSpec c;
+  c.words = std::move(words);
+  c.type = ColumnType::kText;
+  c.role = ColumnRole::kName;
+  c.pool = pool;
+  return c;
+}
+
+ColumnSpec Cat(std::vector<std::string> words, const std::string& pool) {
+  ColumnSpec c;
+  c.words = std::move(words);
+  c.type = ColumnType::kText;
+  c.role = ColumnRole::kCategory;
+  c.pool = pool;
+  return c;
+}
+
+ColumnSpec Num(std::vector<std::string> words, double lo, double hi,
+               bool integral = true) {
+  ColumnSpec c;
+  c.words = std::move(words);
+  c.type = integral ? ColumnType::kInt : ColumnType::kReal;
+  c.role = ColumnRole::kNumeric;
+  c.min_value = lo;
+  c.max_value = hi;
+  c.integral = integral;
+  return c;
+}
+
+ColumnSpec DateCol(std::vector<std::string> words, double year_lo,
+                   double year_hi) {
+  ColumnSpec c;
+  c.words = std::move(words);
+  c.type = ColumnType::kDate;
+  c.role = ColumnRole::kDate;
+  c.min_value = year_lo;
+  c.max_value = year_hi;
+  return c;
+}
+
+EntitySpec Entity(std::string id, std::vector<std::string> table_words,
+                  std::vector<ColumnSpec> columns) {
+  EntitySpec e;
+  e.id = std::move(id);
+  e.table_words = std::move(table_words);
+  e.columns = std::move(columns);
+  return e;
+}
+
+EntityBank* BuildDefaultBank() {
+  auto* bank = new EntityBank();
+
+  bank->AddPool("first_names",
+                {"Alice", "Bruno", "Carla", "Daniel", "Elena", "Felix",
+                 "Grace", "Hugo", "Irene", "Jonas", "Karen", "Liam", "Mona",
+                 "Nadia", "Oscar", "Paula", "Quinn", "Ramon", "Sofia", "Theo",
+                 "Uma", "Victor", "Wanda", "Xavier", "Yara", "Zane"});
+  bank->AddPool("last_names",
+                {"Adams", "Baker", "Chen", "Diaz", "Evans", "Fischer",
+                 "Garcia", "Huang", "Ivanov", "Jones", "Kim", "Lopez",
+                 "Meyer", "Nakamura", "Olsen", "Patel", "Quirke", "Rossi",
+                 "Silva", "Tanaka", "Ueda", "Vargas", "Weber", "Xu", "Young",
+                 "Zhang"});
+  bank->AddPool("cities",
+                {"Springfield", "Riverton", "Lakeside", "Fairview",
+                 "Greenville", "Mapleton", "Brookfield", "Ashland",
+                 "Clayton", "Dover", "Easton", "Franklin", "Georgetown",
+                 "Hamilton", "Irvine", "Jackson"});
+  bank->AddPool("countries",
+                {"Aurelia", "Borland", "Cestova", "Dalmora", "Elvania",
+                 "Fandor", "Grenor", "Halvia", "Istra", "Jolvia"});
+  bank->AddPool("majors",
+                {"Biology", "Chemistry", "Economics", "History",
+                 "Mathematics", "Physics", "Psychology", "Sociology",
+                 "Philosophy", "Engineering"});
+  bank->AddPool("pet_types", {"dog", "cat", "bird", "rabbit", "hamster",
+                              "turtle", "lizard", "ferret"});
+  bank->AddPool("product_categories",
+                {"electronics", "furniture", "clothing", "toys", "grocery",
+                 "sports", "garden", "books"});
+  bank->AddPool("statuses", {"pending", "shipped", "delivered", "cancelled",
+                             "returned"});
+  bank->AddPool("job_titles",
+                {"Engineer", "Analyst", "Clerk", "Director", "Technician",
+                 "Designer", "Accountant", "Consultant", "Coordinator",
+                 "Specialist"});
+  bank->AddPool("dept_names",
+                {"Finance", "Marketing", "Operations", "Research", "Sales",
+                 "Support", "Logistics", "Legal", "Procurement",
+                 "Quality"});
+  bank->AddPool("specialties",
+                {"Cardiology", "Neurology", "Oncology", "Pediatrics",
+                 "Radiology", "Dermatology", "Orthopedics", "Psychiatry"});
+  bank->AddPool("diagnoses",
+                {"influenza", "fracture", "migraine", "asthma", "allergy",
+                 "anemia", "bronchitis", "arthritis"});
+  bank->AddPool("instruments",
+                {"violin", "cello", "flute", "oboe", "trumpet", "piano",
+                 "harp", "clarinet"});
+  bank->AddPool("genres", {"drama", "comedy", "action", "thriller",
+                           "documentary", "romance", "horror", "fantasy"});
+  bank->AddPool("semesters", {"Spring", "Summer", "Fall", "Winter"});
+  bank->AddPool("airlines_names",
+                {"SkyBridge", "AeroNova", "BlueHorizon", "CloudLink",
+                 "StarJet", "PolarAir", "SunRoute", "WestWind"});
+  bank->AddPool("team_names",
+                {"Falcons", "Tigers", "Sharks", "Wolves", "Eagles",
+                 "Panthers", "Bulls", "Hawks", "Lions", "Bears"});
+  bank->AddPool("venue_names",
+                {"Grand Hall", "Riverside Arena", "Summit Center",
+                 "Harbor Stage", "Union Theater", "Crystal Pavilion"});
+  bank->AddPool("course_titles",
+                {"Algebra", "Databases", "Genetics", "Rhetoric", "Optics",
+                 "Statistics", "Algorithms", "Thermodynamics", "Drawing",
+                 "Macroeconomics"});
+  bank->AddPool("book_titles",
+                {"Silent Rivers", "The Glass Orchard", "Northern Lights",
+                 "Paper Cities", "The Last Cartographer", "Ember and Ash",
+                 "Hollow Mountain", "Salt and Stone"});
+  bank->AddPool("film_titles",
+                {"Crimson Tide Rising", "The Quiet Harbor", "Midnight Express",
+                 "Garden of Echoes", "Steel Horizon", "The Velvet Mask",
+                 "Winter's Crown", "Falling Skyward"});
+  bank->AddPool("song_titles",
+                {"Golden Hour", "Neon Rain", "Quiet Storm", "Paper Planes",
+                 "Silver Lining", "Echo Park", "Morning Glass",
+                 "Violet Sky"});
+  bank->AddPool("brands", {"Nordica", "Veltron", "Apexia", "Lumina",
+                           "Cascade", "Orbita"});
+  bank->AddPool("colors", {"red", "blue", "green", "black", "white",
+                           "silver", "yellow"});
+  bank->AddPool("languages", {"English", "Spanish", "Mandarin", "French",
+                              "German", "Arabic", "Hindi"});
+  bank->AddPool("building_names",
+                {"Aspen Tower", "Cedar Court", "Birch House", "Elm Plaza",
+                 "Willow Block", "Oak Residence"});
+  bank->AddPool("restaurant_names",
+                {"Golden Fork", "Sea Breeze", "Casa Verde", "The Old Mill",
+                 "Lotus Garden", "Ember Grill", "Blue Door", "Maple Table"});
+  bank->AddPool("dish_names",
+                {"Seared Salmon", "Truffle Pasta", "Garden Risotto",
+                 "Spiced Lentils", "Citrus Duck", "Stone Soup",
+                 "Harvest Bowl", "Smoked Brisket"});
+  bank->AddPool("cuisines",
+                {"italian", "japanese", "mexican", "indian", "french",
+                 "thai", "greek", "korean"});
+  bank->AddPool("subjects",
+                {"Algebra", "Literature", "Chemistry", "Geography",
+                 "Music", "Physics", "History", "Biology"});
+  bank->AddPool("plant_names",
+                {"North Ridge Plant", "Delta Works", "Harbor Station",
+                 "Sunfield Array", "Westgate Facility", "Quarry Point"});
+  bank->AddPool("station_names",
+                {"North Gate", "Central Cross", "Harbor Point", "East Ridge",
+                 "South Meadow", "West Fork"});
+
+  // --- HR domain ---------------------------------------------------------
+  bank->AddEntity(Entity(
+      "department", {"department"},
+      {Id("department"), NameCol({"department", "name"}, "dept_names"),
+       Num({"budget"}, 50000, 900000), Cat({"location"}, "cities"),
+       Num({"manager", "id"}, 1, 40)}));
+  bank->AddEntity(Entity(
+      "job", {"job"},
+      {Id("job"), Cat({"job", "title"}, "job_titles"),
+       Num({"minimum", "salary"}, 20000, 60000),
+       Num({"maximum", "salary"}, 60000, 180000)}));
+  bank->AddEntity(Entity(
+      "employee", {"employee"},
+      {Id("employee"), NameCol({"first", "name"}, "first_names"),
+       NameCol({"last", "name"}, "last_names"),
+       Num({"salary"}, 25000, 150000), DateCol({"hire", "date"}, 1998, 2022),
+       Num({"age"}, 21, 64), Cat({"city"}, "cities"),
+       Fk("department", "department"), Fk("job", "job")}));
+
+  // --- College domain ----------------------------------------------------
+  bank->AddEntity(Entity(
+      "student", {"student"},
+      {Id("student"), NameCol({"first", "name"}, "first_names"),
+       NameCol({"last", "name"}, "last_names"), Num({"age"}, 17, 30),
+       Cat({"major"}, "majors"), Num({"grade"}, 1, 4, false),
+       Cat({"city"}, "cities"), Fk("advisor", "advisor")}));
+  bank->AddEntity(Entity(
+      "advisor", {"advisor"},
+      {Id("advisor"), NameCol({"advisor", "name"}, "last_names"),
+       Num({"experience", "year"}, 1, 35), Cat({"department", "name"},
+                                               "dept_names")}));
+  bank->AddEntity(Entity(
+      "course", {"course"},
+      {Id("course"), NameCol({"course", "title"}, "course_titles"),
+       Num({"credit"}, 1, 6), Cat({"semester"}, "semesters"),
+       Num({"enrollment", "count"}, 5, 200)}));
+  bank->AddEntity(Entity(
+      "pet", {"pet"},
+      {Id("pet"), Cat({"pet", "type"}, "pet_types"), Num({"pet", "age"}, 1, 15),
+       Num({"weight"}, 1, 60, false), Fk("student", "student")}));
+
+  // --- Commerce domain ---------------------------------------------------
+  bank->AddEntity(Entity(
+      "customer", {"customer"},
+      {Id("customer"), NameCol({"customer", "name"}, "last_names"),
+       Cat({"city"}, "cities"), DateCol({"join", "date"}, 2010, 2023),
+       Num({"credit", "amount"}, 500, 20000)}));
+  bank->AddEntity(Entity(
+      "product", {"product"},
+      {Id("product"), NameCol({"product", "name"}, "brands"),
+       Cat({"category"}, "product_categories"),
+       Num({"price"}, 5, 2500, false), Num({"stock", "count"}, 0, 500),
+       Num({"weight"}, 1, 40, false)}));
+  bank->AddEntity(Entity(
+      "order", {"order"},
+      {Id("order"), Fk("customer", "customer"), Fk("product", "product"),
+       DateCol({"order", "date"}, 2018, 2024),
+       Num({"total", "amount"}, 10, 5000, false),
+       Cat({"status"}, "statuses")}));
+
+  // --- Aviation domain ---------------------------------------------------
+  bank->AddEntity(Entity(
+      "airline", {"airline"},
+      {Id("airline"), NameCol({"airline", "name"}, "airlines_names"),
+       Cat({"country"}, "countries"), Num({"fleet", "count"}, 5, 320)}));
+  bank->AddEntity(Entity(
+      "flight", {"flight"},
+      {Id("flight"), Cat({"origin"}, "cities"),
+       Cat({"destination"}, "cities"),
+       DateCol({"departure", "date"}, 2019, 2024),
+       Num({"price"}, 60, 2200, false), Num({"duration"}, 40, 900),
+       Fk("airline", "airline")}));
+
+  // --- Cinema domain -----------------------------------------------------
+  bank->AddEntity(Entity(
+      "cinema", {"cinema"},
+      {Id("cinema"), NameCol({"cinema", "name"}, "venue_names"),
+       Num({"capacity"}, 80, 900), Num({"open", "year"}, 1950, 2020),
+       Cat({"location"}, "cities")}));
+  bank->AddEntity(Entity(
+      "film", {"film"},
+      {Id("film"), NameCol({"film", "title"}, "film_titles"),
+       Num({"release", "year"}, 1970, 2024), Cat({"genre"}, "genres"),
+       Num({"rating"}, 1, 10, false), Num({"duration"}, 70, 210),
+       Fk("cinema", "cinema")}));
+
+  // --- Sports domain -----------------------------------------------------
+  bank->AddEntity(Entity(
+      "team", {"team"},
+      {Id("team"), NameCol({"team", "name"}, "team_names"),
+       Cat({"city"}, "cities"), Num({"found", "year"}, 1900, 2010),
+       Num({"win", "count"}, 0, 90), Num({"loss", "count"}, 0, 90)}));
+  bank->AddEntity(Entity(
+      "match", {"match"},
+      {Id("match"), DateCol({"match", "date"}, 2015, 2024),
+       Num({"home", "score"}, 0, 9), Num({"away", "score"}, 0, 9),
+       Num({"attendance"}, 500, 80000), Fk("team", "team")}));
+
+  // --- Hospital domain ---------------------------------------------------
+  bank->AddEntity(Entity(
+      "doctor", {"doctor"},
+      {Id("doctor"), NameCol({"doctor", "name"}, "last_names"),
+       Cat({"specialty"}, "specialties"),
+       Num({"experience", "year"}, 1, 40), Num({"salary"}, 60000, 300000)}));
+  bank->AddEntity(Entity(
+      "patient", {"patient"},
+      {Id("patient"), NameCol({"patient", "name"}, "last_names"),
+       Num({"age"}, 1, 95), DateCol({"admission", "date"}, 2016, 2024),
+       Cat({"diagnosis"}, "diagnoses"), Fk("doctor", "doctor")}));
+
+  // --- Real-estate domain ------------------------------------------------
+  bank->AddEntity(Entity(
+      "building", {"building"},
+      {Id("building"), NameCol({"building", "name"}, "building_names"),
+       Num({"floor", "count"}, 2, 60), Num({"built", "year"}, 1930, 2022),
+       Cat({"city"}, "cities")}));
+  bank->AddEntity(Entity(
+      "apartment", {"apartment"},
+      {Id("apartment"), Fk("building", "building"),
+       Num({"bedroom", "count"}, 0, 6), Num({"bathroom", "count"}, 1, 4),
+       Num({"area"}, 25, 280, false), Num({"rent"}, 400, 6000)}));
+
+  // --- Library domain ----------------------------------------------------
+  bank->AddEntity(Entity(
+      "author", {"author"},
+      {Id("author"), NameCol({"author", "name"}, "last_names"),
+       Cat({"country"}, "countries"), Num({"birth", "year"}, 1900, 1995)}));
+  bank->AddEntity(Entity(
+      "book", {"book"},
+      {Id("book"), NameCol({"book", "title"}, "book_titles"),
+       Fk("author", "author"), Num({"page", "count"}, 60, 1200),
+       Num({"publish", "year"}, 1950, 2024), Num({"price"}, 5, 120, false)}));
+
+  // --- Music domain ------------------------------------------------------
+  bank->AddEntity(Entity(
+      "band", {"band"},
+      {Id("band"), NameCol({"band", "name"}, "team_names"),
+       Num({"found", "year"}, 1960, 2020), Cat({"country"}, "countries")}));
+  bank->AddEntity(Entity(
+      "musician", {"musician"},
+      {Id("musician"), NameCol({"musician", "name"}, "last_names"),
+       Num({"age"}, 16, 75), Cat({"instrument"}, "instruments"),
+       Fk("band", "band")}));
+  bank->AddEntity(Entity(
+      "concert", {"concert"},
+      {Id("concert"), NameCol({"concert", "name"}, "venue_names"),
+       Num({"concert", "year"}, 2000, 2024), Num({"attendance"}, 100, 60000),
+       Fk("band", "band")}));
+
+  // --- Weather domain ----------------------------------------------------
+  bank->AddEntity(Entity(
+      "station", {"station"},
+      {Id("station"), NameCol({"station", "name"}, "station_names"),
+       Cat({"city"}, "cities"), Num({"open", "year"}, 1950, 2015)}));
+  bank->AddEntity(Entity(
+      "weather", {"weather", "record"},
+      {Id("record"), DateCol({"record", "date"}, 2020, 2024),
+       Num({"temperature"}, -20, 42, false), Num({"humidity"}, 10, 100),
+       Num({"wind", "speed"}, 0, 120, false), Fk("station", "station")}));
+
+  // --- Automotive domain -------------------------------------------------
+  bank->AddEntity(Entity(
+      "maker", {"brand"},
+      {Id("brand"), NameCol({"brand", "name"}, "brands"),
+       Cat({"country"}, "countries"), Num({"found", "year"}, 1900, 2000)}));
+  bank->AddEntity(Entity(
+      "car", {"car", "model"},
+      {Id("model"), NameCol({"model", "name"}, "brands"),
+       Num({"horsepower"}, 60, 700), Num({"price"}, 9000, 220000),
+       Num({"model", "year"}, 1995, 2024), Cat({"color"}, "colors"),
+       Fk("maker", "maker")}));
+
+  // --- Restaurant domain -------------------------------------------------
+  bank->AddEntity(Entity(
+      "restaurant", {"restaurant"},
+      {Id("restaurant"), NameCol({"restaurant", "name"}, "restaurant_names"),
+       Cat({"cuisine"}, "cuisines"), Cat({"city"}, "cities"),
+       Num({"open", "year"}, 1970, 2022), Num({"rating"}, 1, 5, false)}));
+  bank->AddEntity(Entity(
+      "dish", {"dish"},
+      {Id("dish"), NameCol({"dish", "name"}, "dish_names"),
+       Num({"price"}, 4, 80, false), Num({"calorie", "count"}, 150, 1400),
+       Fk("restaurant", "restaurant")}));
+
+  // --- School domain -------------------------------------------------------
+  bank->AddEntity(Entity(
+      "teacher", {"teacher"},
+      {Id("teacher"), NameCol({"teacher", "name"}, "last_names"),
+       Cat({"subject"}, "subjects"), Num({"experience", "year"}, 1, 40),
+       Num({"salary"}, 30000, 90000)}));
+  bank->AddEntity(Entity(
+      "school_class", {"class"},
+      {Id("class"), Cat({"class", "title"}, "subjects"),
+       Num({"capacity"}, 10, 40), Cat({"semester"}, "semesters"),
+       Fk("teacher", "teacher")}));
+
+  // --- Energy domain -------------------------------------------------------
+  bank->AddEntity(Entity(
+      "plant", {"plant"},
+      {Id("plant"), NameCol({"plant", "name"}, "plant_names"),
+       Cat({"city"}, "cities"), Num({"capacity"}, 50, 2000),
+       Num({"open", "year"}, 1960, 2020)}));
+  bank->AddEntity(Entity(
+      "energy_reading", {"energy", "reading"},
+      {Id("reading"), DateCol({"reading", "date"}, 2019, 2024),
+       Num({"output"}, 10, 1800, false),
+       Num({"efficiency"}, 40, 99, false), Fk("plant", "plant")}));
+
+  // Domains (parents listed before children so FK population works).
+  bank->AddDomain({"hr", {"department", "job", "employee"}});
+  bank->AddDomain({"college", {"advisor", "student", "course", "pet"}});
+  bank->AddDomain({"commerce", {"customer", "product", "order"}});
+  bank->AddDomain({"aviation", {"airline", "flight"}});
+  bank->AddDomain({"cinema", {"cinema", "film"}});
+  bank->AddDomain({"sports", {"team", "match"}});
+  bank->AddDomain({"hospital", {"doctor", "patient"}});
+  bank->AddDomain({"realestate", {"building", "apartment"}});
+  bank->AddDomain({"library", {"author", "book"}});
+  bank->AddDomain({"music", {"band", "musician", "concert"}});
+  bank->AddDomain({"weather", {"station", "weather"}});
+  bank->AddDomain({"auto", {"maker", "car"}});
+  bank->AddDomain({"campus_pets", {"advisor", "student", "pet"}});
+  bank->AddDomain({"restaurant", {"restaurant", "dish"}});
+  bank->AddDomain({"school", {"teacher", "school_class"}});
+  bank->AddDomain({"energy", {"plant", "energy_reading"}});
+  return bank;
+}
+
+}  // namespace
+
+const EntityBank& EntityBank::Default() {
+  static const EntityBank* const kBank = BuildDefaultBank();
+  return *kBank;
+}
+
+const EntitySpec* EntityBank::FindEntity(const std::string& id) const {
+  for (const EntitySpec& e : entities_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& EntityBank::Pool(const std::string& id) const {
+  static const std::vector<std::string> kEmpty;
+  for (const auto& [pool_id, values] : pools_) {
+    if (pool_id == id) return values;
+  }
+  return kEmpty;
+}
+
+void EntityBank::AddPool(const std::string& id,
+                         std::vector<std::string> values) {
+  pools_.emplace_back(id, std::move(values));
+}
+
+}  // namespace gred::dataset

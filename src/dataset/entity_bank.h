@@ -1,0 +1,81 @@
+#ifndef GREDVIS_DATASET_ENTITY_BANK_H_
+#define GREDVIS_DATASET_ENTITY_BANK_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace gred::dataset {
+
+/// Semantic role of a column, driving both value generation and
+/// NLQ/DVQ template selection.
+enum class ColumnRole {
+  kId,        // primary key / foreign key
+  kName,      // human-readable entity name (text)
+  kCategory,  // low-cardinality categorical text
+  kNumeric,   // measure
+  kDate,      // ISO date
+};
+
+/// Blueprint of one column within an entity template.
+///
+/// `words` are canonical lexicon concept words; the database generator
+/// joins them into a concrete column name ("hire","date" -> "hire_date")
+/// and the schema perturbation engine later substitutes synonyms for the
+/// same words ("employment_day").
+struct ColumnSpec {
+  std::vector<std::string> words;
+  schema::ColumnType type = schema::ColumnType::kText;
+  ColumnRole role = ColumnRole::kNumeric;
+  double min_value = 0;       // numeric range (inclusive)
+  double max_value = 100;
+  bool integral = true;       // false -> real-valued
+  std::string pool;           // value-pool id for kName/kCategory columns
+  std::string fk_entity;      // non-empty: references that entity's id
+};
+
+/// Blueprint of one table.
+struct EntitySpec {
+  std::string id;                        // "employee"
+  std::vector<std::string> table_words;  // words forming the table name
+  std::vector<ColumnSpec> columns;       // first column is the id column
+  std::size_t min_rows = 25;
+  std::size_t max_rows = 90;
+};
+
+/// A coherent group of entities with foreign-key links; one domain seeds
+/// several generated databases.
+struct DomainSpec {
+  std::string id;                      // "hr"
+  std::vector<std::string> entities;   // entity ids, parents first
+};
+
+/// The built-in bank of entity templates, domains and value pools from
+/// which the benchmark's databases are generated.
+class EntityBank {
+ public:
+  /// The curated default bank (35 entities across 16 domains).
+  static const EntityBank& Default();
+
+  const std::vector<EntitySpec>& entities() const { return entities_; }
+  const std::vector<DomainSpec>& domains() const { return domains_; }
+
+  const EntitySpec* FindEntity(const std::string& id) const;
+
+  /// Value pool lookup ("first_names", "cities", ...); empty when unknown.
+  const std::vector<std::string>& Pool(const std::string& id) const;
+
+  void AddEntity(EntitySpec entity) { entities_.push_back(std::move(entity)); }
+  void AddDomain(DomainSpec domain) { domains_.push_back(std::move(domain)); }
+  void AddPool(const std::string& id, std::vector<std::string> values);
+
+ private:
+  std::vector<EntitySpec> entities_;
+  std::vector<DomainSpec> domains_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> pools_;
+};
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_ENTITY_BANK_H_

@@ -1,0 +1,31 @@
+#ifndef GREDVIS_DATASET_EXAMPLE_H_
+#define GREDVIS_DATASET_EXAMPLE_H_
+
+#include <string>
+
+#include "dvq/ast.h"
+
+namespace gred::dataset {
+
+/// DVQ hardness tiers, following nvBench's four levels (Figure 2).
+enum class Hardness { kEasy, kMedium, kHard, kExtraHard };
+
+/// Returns "Easy" / "Medium" / "Hard" / "Extra Hard".
+const char* HardnessName(Hardness h);
+
+/// One (NLQ, DVQ) benchmark pair.
+struct Example {
+  std::string id;        // stable example id, e.g. "hr_1@0042"
+  std::string db_name;   // database the DVQ runs against
+  std::string nlq;       // natural-language question (clean, nvBench style)
+  std::string nlq_rob;   // paraphrased NLQ (nvBench-Rob style)
+  dvq::DVQ dvq;          // target query (clean schema names)
+  Hardness hardness = Hardness::kEasy;
+
+  /// Canonical target DVQ text.
+  std::string DvqText() const { return dvq.ToString(); }
+};
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_EXAMPLE_H_

@@ -1,0 +1,308 @@
+#include "dataset/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "dvq/parser.h"
+#include "util/strings.h"
+
+namespace gred::dataset {
+
+namespace {
+
+using storage::Value;
+
+const char* TypeName(schema::ColumnType type) {
+  switch (type) {
+    case schema::ColumnType::kInt:
+      return "int";
+    case schema::ColumnType::kReal:
+      return "real";
+    case schema::ColumnType::kText:
+      return "text";
+    case schema::ColumnType::kDate:
+      return "date";
+    case schema::ColumnType::kBool:
+      return "bool";
+  }
+  return "text";
+}
+
+Result<schema::ColumnType> TypeFromName(const std::string& name) {
+  if (name == "int") return schema::ColumnType::kInt;
+  if (name == "real") return schema::ColumnType::kReal;
+  if (name == "text") return schema::ColumnType::kText;
+  if (name == "date") return schema::ColumnType::kDate;
+  if (name == "bool") return schema::ColumnType::kBool;
+  return Status::ParseError("unknown column type '" + name + "'");
+}
+
+const char* RoleName(ColumnRole role) {
+  switch (role) {
+    case ColumnRole::kId:
+      return "id";
+    case ColumnRole::kName:
+      return "name";
+    case ColumnRole::kCategory:
+      return "category";
+    case ColumnRole::kNumeric:
+      return "numeric";
+    case ColumnRole::kDate:
+      return "date";
+  }
+  return "numeric";
+}
+
+Result<ColumnRole> RoleFromName(const std::string& name) {
+  if (name == "id") return ColumnRole::kId;
+  if (name == "name") return ColumnRole::kName;
+  if (name == "category") return ColumnRole::kCategory;
+  if (name == "numeric") return ColumnRole::kNumeric;
+  if (name == "date") return ColumnRole::kDate;
+  return Status::ParseError("unknown column role '" + name + "'");
+}
+
+json::Value CellToJson(const Value& v) {
+  if (v.is_null()) return json::Value::Null();
+  if (v.is_int()) return json::Value::Int(v.int_value());
+  if (v.is_real()) return json::Value::Number(v.real_value());
+  return json::Value::Str(v.text_value());
+}
+
+Value CellFromJson(const json::Value& v, schema::ColumnType type) {
+  switch (v.kind()) {
+    case json::Value::Kind::kNull:
+      return Value::Null();
+    case json::Value::Kind::kNumber:
+      if (type == schema::ColumnType::kReal) {
+        return Value::Real(v.number_value());
+      }
+      return Value::Int(static_cast<std::int64_t>(v.number_value()));
+    case json::Value::Kind::kString:
+      return Value::Text(v.string_value());
+    case json::Value::Kind::kBool:
+      return Value::Bool(v.bool_value());
+    default:
+      return Value::Null();
+  }
+}
+
+const json::Value* Require(const json::Value& obj, const std::string& key,
+                           Status* status) {
+  const json::Value* found = obj.Find(key);
+  if (found == nullptr && status->ok()) {
+    *status = Status::ParseError("missing key '" + key + "'");
+  }
+  return found;
+}
+
+}  // namespace
+
+json::Value DatabaseToJson(const GeneratedDatabase& db) {
+  json::Value out = json::Value::Object();
+  out.Set("name", json::Value::Str(db.data.name()));
+  out.Set("domain", json::Value::Str(db.domain));
+  json::Value tables = json::Value::Array();
+  for (std::size_t t = 0; t < db.tables.size(); ++t) {
+    const GeneratedTable& meta = db.tables[t];
+    const storage::DataTable& data = db.data.tables()[t];
+    json::Value table = json::Value::Object();
+    table.Set("name", json::Value::Str(meta.name));
+    table.Set("entity", json::Value::Str(meta.entity_id));
+    json::Value columns = json::Value::Array();
+    for (std::size_t c = 0; c < meta.columns.size(); ++c) {
+      const GeneratedColumn& col = meta.columns[c];
+      json::Value column = json::Value::Object();
+      column.Set("name", json::Value::Str(col.name));
+      column.Set("type",
+                 json::Value::Str(TypeName(col.spec.type)));
+      column.Set("role", json::Value::Str(RoleName(col.spec.role)));
+      column.Set("primary_key",
+                 json::Value::Bool(data.def().columns()[c].primary_key));
+      columns.Append(std::move(column));
+    }
+    table.Set("columns", std::move(columns));
+    json::Value rows = json::Value::Array();
+    for (std::size_t r = 0; r < data.num_rows(); ++r) {
+      json::Value row = json::Value::Array();
+      for (std::size_t c = 0; c < data.num_columns(); ++c) {
+        row.Append(CellToJson(data.at(r, c)));
+      }
+      rows.Append(std::move(row));
+    }
+    table.Set("rows", std::move(rows));
+    tables.Append(std::move(table));
+  }
+  out.Set("tables", std::move(tables));
+  json::Value fks = json::Value::Array();
+  for (const schema::ForeignKey& fk : db.data.db_schema().foreign_keys()) {
+    json::Value edge = json::Value::Object();
+    edge.Set("from_table", json::Value::Str(fk.from_table));
+    edge.Set("from_column", json::Value::Str(fk.from_column));
+    edge.Set("to_table", json::Value::Str(fk.to_table));
+    edge.Set("to_column", json::Value::Str(fk.to_column));
+    fks.Append(std::move(edge));
+  }
+  out.Set("foreign_keys", std::move(fks));
+  return out;
+}
+
+Result<GeneratedDatabase> DatabaseFromJson(const json::Value& value) {
+  Status status;
+  const json::Value* name = Require(value, "name", &status);
+  const json::Value* tables = Require(value, "tables", &status);
+  GRED_RETURN_IF_ERROR(status);
+
+  schema::Database db_schema(name->string_value());
+  std::vector<GeneratedTable> metas;
+  for (std::size_t t = 0; t < tables->size(); ++t) {
+    const json::Value& table = tables->at(t);
+    const json::Value* table_name = Require(table, "name", &status);
+    const json::Value* columns = Require(table, "columns", &status);
+    GRED_RETURN_IF_ERROR(status);
+    GeneratedTable meta;
+    meta.name = table_name->string_value();
+    if (const json::Value* entity = table.Find("entity")) {
+      meta.entity_id = entity->string_value();
+    }
+    schema::TableDef def(meta.name, {});
+    for (std::size_t c = 0; c < columns->size(); ++c) {
+      const json::Value& column = columns->at(c);
+      const json::Value* col_name = Require(column, "name", &status);
+      const json::Value* type = Require(column, "type", &status);
+      const json::Value* role = Require(column, "role", &status);
+      GRED_RETURN_IF_ERROR(status);
+      GeneratedColumn gc;
+      gc.name = col_name->string_value();
+      GRED_ASSIGN_OR_RETURN(gc.spec.type,
+                            TypeFromName(type->string_value()));
+      GRED_ASSIGN_OR_RETURN(gc.spec.role,
+                            RoleFromName(role->string_value()));
+      gc.spec.words = strings::SplitIdentifierWords(gc.name);
+      schema::Column sc;
+      sc.name = gc.name;
+      sc.type = gc.spec.type;
+      const json::Value* pk = column.Find("primary_key");
+      sc.primary_key = pk != nullptr && pk->bool_value();
+      def.AddColumn(std::move(sc));
+      meta.columns.push_back(std::move(gc));
+    }
+    db_schema.AddTable(std::move(def));
+    metas.push_back(std::move(meta));
+  }
+  if (const json::Value* fks = value.Find("foreign_keys")) {
+    for (std::size_t i = 0; i < fks->size(); ++i) {
+      const json::Value& edge = fks->at(i);
+      schema::ForeignKey fk;
+      fk.from_table = edge.Find("from_table")->string_value();
+      fk.from_column = edge.Find("from_column")->string_value();
+      fk.to_table = edge.Find("to_table")->string_value();
+      fk.to_column = edge.Find("to_column")->string_value();
+      db_schema.AddForeignKey(std::move(fk));
+    }
+  }
+  GRED_RETURN_IF_ERROR(db_schema.Validate());
+
+  GeneratedDatabase out;
+  out.data = storage::DatabaseData(std::move(db_schema));
+  out.tables = std::move(metas);
+  if (const json::Value* domain = value.Find("domain")) {
+    out.domain = domain->string_value();
+  }
+  for (std::size_t t = 0; t < tables->size(); ++t) {
+    const json::Value& table = tables->at(t);
+    const json::Value* rows = table.Find("rows");
+    if (rows == nullptr) continue;
+    storage::DataTable* data = out.data.FindTable(out.tables[t].name);
+    for (std::size_t r = 0; r < rows->size(); ++r) {
+      const json::Value& row = rows->at(r);
+      std::vector<Value> cells;
+      cells.reserve(row.size());
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        cells.push_back(
+            CellFromJson(row.at(c), out.tables[t].columns[c].spec.type));
+      }
+      GRED_RETURN_IF_ERROR(data->AppendRow(std::move(cells)));
+    }
+  }
+  return out;
+}
+
+json::Value ExampleToJson(const Example& example) {
+  json::Value out = json::Value::Object();
+  out.Set("id", json::Value::Str(example.id));
+  out.Set("db", json::Value::Str(example.db_name));
+  out.Set("nlq", json::Value::Str(example.nlq));
+  out.Set("nlq_rob", json::Value::Str(example.nlq_rob));
+  out.Set("dvq", json::Value::Str(example.DvqText()));
+  out.Set("hardness", json::Value::Str(HardnessName(example.hardness)));
+  return out;
+}
+
+Result<Example> ExampleFromJson(const json::Value& value) {
+  Status status;
+  const json::Value* id = Require(value, "id", &status);
+  const json::Value* db = Require(value, "db", &status);
+  const json::Value* nlq = Require(value, "nlq", &status);
+  const json::Value* dvq = Require(value, "dvq", &status);
+  GRED_RETURN_IF_ERROR(status);
+  Example out;
+  out.id = id->string_value();
+  out.db_name = db->string_value();
+  out.nlq = nlq->string_value();
+  if (const json::Value* rob = value.Find("nlq_rob")) {
+    out.nlq_rob = rob->string_value();
+  }
+  GRED_ASSIGN_OR_RETURN(out.dvq, dvq::Parse(dvq->string_value()));
+  if (const json::Value* hardness = value.Find("hardness")) {
+    const std::string& h = hardness->string_value();
+    if (h == "Easy") {
+      out.hardness = Hardness::kEasy;
+    } else if (h == "Medium") {
+      out.hardness = Hardness::kMedium;
+    } else if (h == "Hard") {
+      out.hardness = Hardness::kHard;
+    } else {
+      out.hardness = Hardness::kExtraHard;
+    }
+  }
+  return out;
+}
+
+json::Value ExamplesToJson(const std::vector<Example>& examples) {
+  json::Value arr = json::Value::Array();
+  for (const Example& ex : examples) arr.Append(ExampleToJson(ex));
+  return arr;
+}
+
+Result<std::vector<Example>> ExamplesFromJson(const json::Value& value) {
+  std::vector<Example> out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    GRED_ASSIGN_OR_RETURN(Example ex, ExampleFromJson(value.at(i)));
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+Status WriteJsonFile(const std::string& path, const json::Value& value) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  out << value.Dump(2) << "\n";
+  return out.good() ? Status::OK()
+                    : Status::Internal("write to '" + path + "' failed");
+}
+
+Result<json::Value> ReadJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  json::ParseResult parsed = json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    return Status::ParseError(path + ": " + parsed.error());
+  }
+  return parsed.value();
+}
+
+}  // namespace gred::dataset

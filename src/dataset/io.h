@@ -1,0 +1,42 @@
+#ifndef GREDVIS_DATASET_IO_H_
+#define GREDVIS_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/db_generator.h"
+#include "dataset/example.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace gred::dataset {
+
+/// JSON (de)serialization of the benchmark's artifacts, so a generated
+/// suite can be exported, versioned and reloaded byte-identically by
+/// other tools (and by the tests, which round-trip everything here).
+
+/// Serializes a populated database: schema (tables, columns with types
+/// and roles, foreign keys) plus every data row.
+json::Value DatabaseToJson(const GeneratedDatabase& db);
+
+/// Reconstructs a database (schema, metadata and rows) from
+/// DatabaseToJson output.
+Result<GeneratedDatabase> DatabaseFromJson(const json::Value& value);
+
+/// Serializes one benchmark pair.
+json::Value ExampleToJson(const Example& example);
+
+/// Reconstructs a pair; the DVQ text is re-parsed.
+Result<Example> ExampleFromJson(const json::Value& value);
+
+/// Serializes a whole example list.
+json::Value ExamplesToJson(const std::vector<Example>& examples);
+Result<std::vector<Example>> ExamplesFromJson(const json::Value& value);
+
+/// File helpers (whole-document read/write).
+Status WriteJsonFile(const std::string& path, const json::Value& value);
+Result<json::Value> ReadJsonFile(const std::string& path);
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_IO_H_

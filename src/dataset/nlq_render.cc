@@ -1,0 +1,425 @@
+#include "dataset/nlq_render.h"
+
+#include "util/strings.h"
+
+namespace gred::dataset {
+
+namespace {
+
+using dvq::AggFunc;
+using dvq::ChartType;
+using dvq::CompareOp;
+
+std::string PickPhrase(const std::vector<std::string>& options, Rng* rng) {
+  return options[rng->NextIndex(options.size())];
+}
+
+/// ChatGPT's reconstruction does not rewrite every clause: a fraction of
+/// clauses keep their original (explicit) phrasing. This per-clause
+/// "leak" is what leaves the baselines partial accuracy on the
+/// robustness sets, as in the paper's Tables 1-3.
+constexpr double kExplicitLeak = 0.3;
+
+NlqStyle EffectiveStyle(NlqStyle style, Rng* rng) {
+  if (style == NlqStyle::kParaphrased && rng->NextBool(kExplicitLeak)) {
+    return NlqStyle::kExplicit;
+  }
+  return style;
+}
+
+std::string LiteralPhrase(const dvq::Literal& lit) {
+  if (lit.kind == dvq::Literal::Kind::kString) {
+    // LIKE patterns read as the bare fragment ("%Spr%" -> "Spr").
+    std::string v = lit.string_value;
+    std::erase(v, '%');
+    return v;
+  }
+  return lit.ToString();
+}
+
+std::string UnitWord(dvq::BinUnit unit) {
+  switch (unit) {
+    case dvq::BinUnit::kYear:
+      return "year";
+    case dvq::BinUnit::kMonth:
+      return "month";
+    case dvq::BinUnit::kDay:
+      return "day";
+    case dvq::BinUnit::kWeekday:
+      return "weekday";
+  }
+  return "year";
+}
+
+}  // namespace
+
+const std::vector<std::string>& ExplicitOpPhrases(CompareOp op) {
+  static const std::vector<std::string> kEq = {"is", "equals", "="};
+  static const std::vector<std::string> kNe = {"is not", "!="};
+  static const std::vector<std::string> kLt = {"is less than", "is below",
+                                               "<"};
+  static const std::vector<std::string> kLe = {"is at most",
+                                               "is not more than"};
+  static const std::vector<std::string> kGt = {"is greater than",
+                                               "is more than", "is above"};
+  static const std::vector<std::string> kGe = {"is at least",
+                                               "is not less than"};
+  static const std::vector<std::string> kLike = {"contains", "includes"};
+  static const std::vector<std::string> kEmpty = {};
+  switch (op) {
+    case CompareOp::kEq:
+      return kEq;
+    case CompareOp::kNe:
+      return kNe;
+    case CompareOp::kLt:
+      return kLt;
+    case CompareOp::kLe:
+      return kLe;
+    case CompareOp::kGt:
+      return kGt;
+    case CompareOp::kGe:
+      return kGe;
+    case CompareOp::kLike:
+      return kLike;
+    default:
+      return kEmpty;
+  }
+}
+
+const std::vector<std::string>& ParaphrasedOpPhrases(CompareOp op) {
+  static const std::vector<std::string> kEq = {"matches", "amounts to",
+                                               "sits at"};
+  static const std::vector<std::string> kNe = {"differs from",
+                                               "is anything but"};
+  static const std::vector<std::string> kLt = {"stays below", "falls under",
+                                               "comes in under"};
+  static const std::vector<std::string> kLe = {"does not exceed",
+                                               "tops out at"};
+  static const std::vector<std::string> kGt = {"exceeds", "goes beyond",
+                                               "surpasses"};
+  static const std::vector<std::string> kGe = {"reaches at minimum",
+                                               "is no lower than"};
+  static const std::vector<std::string> kLike = {"mentions", "features"};
+  static const std::vector<std::string> kEmpty = {};
+  switch (op) {
+    case CompareOp::kEq:
+      return kEq;
+    case CompareOp::kNe:
+      return kNe;
+    case CompareOp::kLt:
+      return kLt;
+    case CompareOp::kLe:
+      return kLe;
+    case CompareOp::kGt:
+      return kGt;
+    case CompareOp::kGe:
+      return kGe;
+    case CompareOp::kLike:
+      return kLike;
+    default:
+      return kEmpty;
+  }
+}
+
+const std::vector<std::string>& ChartPhrases(ChartType chart, NlqStyle style) {
+  static const std::vector<std::string> kBarE = {"bar chart", "bar graph",
+                                                 "histogram"};
+  static const std::vector<std::string> kBarP = {"bar graph", "histogram",
+                                                 "bar-style figure"};
+  static const std::vector<std::string> kPieE = {"pie chart", "pie graph"};
+  static const std::vector<std::string> kPieP = {"pie graph",
+                                                 "pie-style breakdown"};
+  static const std::vector<std::string> kLineE = {"line chart", "line graph"};
+  static const std::vector<std::string> kLineP = {"line graph",
+                                                  "line-based trend view"};
+  static const std::vector<std::string> kScatE = {"scatter chart",
+                                                  "scatter plot"};
+  static const std::vector<std::string> kScatP = {"scatter plot",
+                                                  "scatter diagram"};
+  static const std::vector<std::string> kStackE = {"stacked bar chart"};
+  static const std::vector<std::string> kStackP = {"stacked bar graph",
+                                                   "stacked histogram"};
+  static const std::vector<std::string> kGLineE = {"grouping line chart"};
+  static const std::vector<std::string> kGLineP = {"grouped line graph"};
+  static const std::vector<std::string> kGScatE = {"grouping scatter chart"};
+  static const std::vector<std::string> kGScatP = {"grouped scatter plot"};
+  const bool explicit_style = style == NlqStyle::kExplicit;
+  switch (chart) {
+    case ChartType::kBar:
+      return explicit_style ? kBarE : kBarP;
+    case ChartType::kPie:
+      return explicit_style ? kPieE : kPieP;
+    case ChartType::kLine:
+      return explicit_style ? kLineE : kLineP;
+    case ChartType::kScatter:
+      return explicit_style ? kScatE : kScatP;
+    case ChartType::kStackedBar:
+      return explicit_style ? kStackE : kStackP;
+    case ChartType::kGroupingLine:
+      return explicit_style ? kGLineE : kGLineP;
+    case ChartType::kGroupingScatter:
+      return explicit_style ? kGScatE : kGScatP;
+  }
+  return kBarE;
+}
+
+std::string ColumnPhrase(const AxisPick& col, NlqStyle style, Rng* rng,
+                         const nl::Lexicon& lexicon) {
+  if (style == NlqStyle::kExplicit) {
+    // Quote the column name verbatim or as its exact word sequence.
+    if (rng->NextBool(0.6)) return col.column;
+    return strings::Join(col.words, " ");
+  }
+  // Paraphrased: substitute a synonym for every known word.
+  std::vector<std::string> words;
+  words.reserve(col.words.size());
+  for (const std::string& word : col.words) {
+    std::vector<std::string> alternates = lexicon.AlternateForms(word);
+    if (!alternates.empty() && rng->NextBool(0.6)) {
+      words.push_back(alternates[rng->NextIndex(alternates.size())]);
+    } else {
+      words.push_back(word);
+    }
+  }
+  return strings::Join(words, " ");
+}
+
+namespace {
+
+std::string YPhrase(const QueryPlan& plan, NlqStyle style, Rng* rng,
+                    const nl::Lexicon& lexicon) {
+  const bool ex = style == NlqStyle::kExplicit;
+  std::string x_phrase = ColumnPhrase(plan.x, style, rng, lexicon);
+  std::string y_col = plan.count_of_x
+                          ? x_phrase
+                          : ColumnPhrase(plan.y, style, rng, lexicon);
+  switch (plan.y_agg) {
+    case AggFunc::kNone:
+      return y_col;
+    case AggFunc::kCount:
+      return ex ? PickPhrase({"the number of " + y_col,
+                              "the count of " + y_col,
+                              "how many " + y_col},
+                             rng)
+                : PickPhrase({"how many entries of " + y_col,
+                              "the tally of " + y_col,
+                              "the frequency of " + y_col},
+                             rng);
+    case AggFunc::kSum:
+      return ex ? PickPhrase({"the sum of " + y_col, "the total " + y_col},
+                             rng)
+                : PickPhrase({"the combined " + y_col,
+                              "the overall " + y_col},
+                             rng);
+    case AggFunc::kAvg:
+      return ex ? PickPhrase({"the average of " + y_col,
+                              "the average " + y_col},
+                             rng)
+                : PickPhrase({"the mean " + y_col, "the typical " + y_col},
+                             rng);
+    case AggFunc::kMin:
+      return ex ? PickPhrase({"the minimum " + y_col,
+                              "the lowest " + y_col},
+                             rng)
+                : PickPhrase({"the smallest " + y_col,
+                              "the least " + y_col},
+                             rng);
+    case AggFunc::kMax:
+      return ex ? PickPhrase({"the maximum " + y_col,
+                              "the highest " + y_col},
+                             rng)
+                : PickPhrase({"the largest " + y_col, "the peak " + y_col},
+                             rng);
+  }
+  return y_col;
+}
+
+std::string FilterClause(const QueryPlan& plan, NlqStyle style, Rng* rng,
+                         const nl::Lexicon& lexicon) {
+  const FilterPick& f = *plan.filter;
+  const bool ex = style == NlqStyle::kExplicit;
+  const AxisPick& col = f.via_subquery ? f.sub_attr : f.col;
+  std::string col_phrase = ColumnPhrase(col, style, rng, lexicon);
+  const auto& ops = ex ? ExplicitOpPhrases(f.op) : ParaphrasedOpPhrases(f.op);
+  std::string op_phrase = PickPhrase(ops, rng);
+  std::string value = LiteralPhrase(f.literal);
+  std::string core = col_phrase + " " + op_phrase + " " + value;
+  if (f.via_subquery) {
+    // The attribute lives on the parent entity; phrase it through the
+    // relationship ("... for the department whose name is Finance").
+    std::string parent = f.sub_table;
+    if (ex) {
+      return PickPhrase({" for the " + parent + " whose " + core,
+                         " restricted to the " + parent + " where " + core},
+                        rng);
+    }
+    return PickPhrase({" limited to the " + parent + " in which " + core,
+                       " only for the " + parent + " whose " + core},
+                      rng);
+  }
+  if (ex) {
+    return PickPhrase(
+        {" whose " + core, " where " + core, " for rows where " + core},
+        rng);
+  }
+  return PickPhrase({" considering only records whose " + core,
+                     " but keep just rows where " + core,
+                     " filtered so that " + core},
+                    rng);
+}
+
+std::string GroupClause(const QueryPlan& plan, NlqStyle style, Rng* rng,
+                        const nl::Lexicon& lexicon) {
+  const bool ex = style == NlqStyle::kExplicit;
+  std::string x_phrase = ColumnPhrase(plan.x, style, rng, lexicon);
+  std::string out;
+  if (ex) {
+    out = PickPhrase({", group by " + x_phrase, " for each " + x_phrase},
+                     rng);
+  } else {
+    out = PickPhrase({" per " + x_phrase, " for every " + x_phrase,
+                      " broken down by " + x_phrase},
+                     rng);
+  }
+  if (plan.series.has_value()) {
+    std::string s_phrase = ColumnPhrase(*plan.series, style, rng, lexicon);
+    out += ex ? ", and group by " + s_phrase
+              : ", split by " + s_phrase;
+  }
+  return out;
+}
+
+std::string OrderClause(const QueryPlan& plan, NlqStyle style, Rng* rng) {
+  const OrderPick& o = *plan.order;
+  const bool ex = style == NlqStyle::kExplicit;
+  std::string axis = o.on_y ? "Y-axis" : "X-axis";
+  if (ex) {
+    std::string dir = o.descending ? "descending" : "ascending";
+    std::string dir2 = o.descending ? "from high to low" : "from low to high";
+    return PickPhrase({", sort the " + axis + " in " + dir + " order",
+                       ", order the " + axis + " " + dir2,
+                       ", and rank in " + dir + " order of the " + axis},
+                      rng);
+  }
+  std::string dir = o.descending ? "descending" : "ascending";
+  std::string dir3 =
+      o.descending ? "from largest to smallest" : "from smallest to largest";
+  return PickPhrase(
+      {", with the " + axis + " organized in " + dir + " order",
+       ", arranging the " + axis + " " + dir3,
+       ", laid out " + dir3 + " along the " + axis},
+      rng);
+}
+
+std::string LimitClause(const QueryPlan& plan, NlqStyle style, Rng* rng) {
+  std::string k = strings::Format("%lld", static_cast<long long>(*plan.limit));
+  if (style == NlqStyle::kExplicit) {
+    return PickPhrase({", show only the top " + k,
+                       ", and list just the first " + k},
+                      rng);
+  }
+  return PickPhrase({", keeping no more than " + k + " of them",
+                     ", restricted to the leading " + k},
+                    rng);
+}
+
+std::string BinClauseText(const QueryPlan& plan, NlqStyle style, Rng* rng,
+                          const nl::Lexicon& lexicon) {
+  const BinPick& b = *plan.bin;
+  std::string unit = UnitWord(b.unit);
+  const bool ex = style == NlqStyle::kExplicit;
+  std::string col_phrase = ColumnPhrase(b.col, style, rng, lexicon);
+  if (ex) {
+    return PickPhrase({", bin " + col_phrase + " by " + unit,
+                       ", and bin the " + col_phrase + " into " + unit +
+                           " intervals"},
+                      rng);
+  }
+  if (b.unit == dvq::BinUnit::kMonth || b.unit == dvq::BinUnit::kYear ||
+      b.unit == dvq::BinUnit::kDay) {
+    std::string adverb = unit + "ly";
+    if (unit == "day") adverb = "daily";
+    return PickPhrase({" on a " + adverb + " basis",
+                       ", aggregated per " + unit,
+                       ", rolled up " + adverb},
+                      rng);
+  }
+  return PickPhrase({", summarized per " + unit,
+                     ", aggregated by day of the week"},
+                    rng);
+}
+
+}  // namespace
+
+std::string RenderNlq(const QueryPlan& plan, NlqStyle style, Rng* rng,
+                      const nl::Lexicon& lexicon) {
+  const bool ex = style == NlqStyle::kExplicit;
+  std::string chart = PickPhrase(ChartPhrases(plan.chart, style), rng);
+  std::string x_phrase =
+      ColumnPhrase(plan.x, EffectiveStyle(style, rng), rng, lexicon);
+  std::string y_phrase = YPhrase(plan, EffectiveStyle(style, rng), rng,
+                                 lexicon);
+  std::string table = plan.main_table;
+
+  std::string main;
+  if (ex) {
+    switch (rng->NextIndex(4)) {
+      case 0:
+        main = "Show a " + chart + " of " + x_phrase + " and " + y_phrase +
+               " from " + table;
+        break;
+      case 1:
+        main = "Draw a " + chart + " about " + y_phrase + " by " + x_phrase +
+               " in " + table;
+        break;
+      case 2:
+        main = "Visualize " + x_phrase + " versus " + y_phrase +
+               " from the table " + table + " with a " + chart;
+        break;
+      default:
+        main = "What are " + x_phrase + " and " + y_phrase + " in " + table +
+               "? Plot a " + chart;
+        break;
+    }
+  } else {
+    switch (rng->NextIndex(4)) {
+      case 0:
+        main = "Present " + y_phrase + " across " + x_phrase + " as a " +
+               chart;
+        break;
+      case 1:
+        main = "I'd like to see " + y_phrase + " set against " + x_phrase +
+               ", rendered as a " + chart;
+        break;
+      case 2:
+        main = "Could you put together a " + chart + " relating " + x_phrase +
+               " with " + y_phrase + "?";
+        break;
+      default:
+        main = "Give me a " + chart + " that lays out " + y_phrase +
+               " over " + x_phrase;
+        break;
+    }
+  }
+
+  std::string out = main;
+  if (plan.filter.has_value()) {
+    out += FilterClause(plan, EffectiveStyle(style, rng), rng, lexicon);
+  }
+  if (plan.group && plan.y_agg != dvq::AggFunc::kNone) {
+    out += GroupClause(plan, EffectiveStyle(style, rng), rng, lexicon);
+  }
+  if (plan.bin.has_value()) {
+    out += BinClauseText(plan, EffectiveStyle(style, rng), rng, lexicon);
+  }
+  if (plan.order.has_value()) {
+    out += OrderClause(plan, EffectiveStyle(style, rng), rng);
+  }
+  if (plan.limit.has_value()) {
+    out += LimitClause(plan, EffectiveStyle(style, rng), rng);
+  }
+  if (out.back() != '?' && out.back() != '.') out += ".";
+  return out;
+}
+
+}  // namespace gred::dataset

@@ -1,0 +1,50 @@
+#ifndef GREDVIS_DATASET_NLQ_RENDER_H_
+#define GREDVIS_DATASET_NLQ_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/plan.h"
+#include "nl/lexicon.h"
+#include "util/rng.h"
+
+namespace gred::dataset {
+
+/// Surface style of a rendered NLQ.
+///
+/// kExplicit is the original nvBench register: column names appear
+/// verbatim (or as their exact word sequence) and DVQ keywords leak into
+/// the sentence ("group by", "bin ... by month", "sort in descending
+/// order"). kParaphrased is the nvBench-Rob register produced by the
+/// paper's ChatGPT+human reconstruction: nouns are replaced by synonyms,
+/// schema is never quoted verbatim, and DVQ keywords are expressed
+/// through everyday phrasing.
+enum class NlqStyle { kExplicit, kParaphrased };
+
+/// Renders a natural-language question for `plan` in the given style.
+/// Deterministic given the Rng state.
+std::string RenderNlq(const QueryPlan& plan, NlqStyle style, Rng* rng,
+                      const nl::Lexicon& lexicon);
+
+/// The operator surface phrases of each style. Exposed so that baseline
+/// models can "learn" (hard-wire) the explicit ones while the simulated
+/// LLM understands both registers.
+const std::vector<std::string>& ExplicitOpPhrases(dvq::CompareOp op);
+const std::vector<std::string>& ParaphrasedOpPhrases(dvq::CompareOp op);
+
+/// Chart-type surface phrases per style. The type word itself (bar, pie,
+/// line, scatter, stacked, grouped) stays recognizable in both styles:
+/// this mirrors nvBench-Rob, where even perturbed NLQs keep the chart
+/// family identifiable (the paper's Vis Accuracy stays >90% throughout).
+const std::vector<std::string>& ChartPhrases(dvq::ChartType chart,
+                                             NlqStyle style);
+
+/// Renders a column's spoken phrase. Explicit style quotes the column
+/// name (or its exact words); paraphrased style substitutes synonyms for
+/// every word the lexicon knows.
+std::string ColumnPhrase(const AxisPick& col, NlqStyle style, Rng* rng,
+                         const nl::Lexicon& lexicon);
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_NLQ_RENDER_H_

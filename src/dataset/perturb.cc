@@ -1,0 +1,245 @@
+#include "dataset/perturb.h"
+
+#include <cctype>
+#include <functional>
+#include <set>
+
+#include "util/strings.h"
+
+namespace gred::dataset {
+
+namespace {
+
+std::string ApplyStyle(const std::vector<std::string>& words,
+                       NamingStyle style) {
+  switch (style) {
+    case NamingStyle::kSnakeLower:
+      return strings::ToSnakeCase(words);
+    case NamingStyle::kSnakeUpper:
+      return strings::ToUpper(strings::ToSnakeCase(words));
+    case NamingStyle::kSnakeCapital: {
+      std::vector<std::string> caps;
+      caps.reserve(words.size());
+      for (const std::string& w : words) {
+        std::string c = w;
+        if (!c.empty() && c[0] >= 'a' && c[0] <= 'z') {
+          c[0] = static_cast<char>(c[0] - 'a' + 'A');
+        }
+        caps.push_back(c);
+      }
+      return strings::Join(caps, "_");
+    }
+    case NamingStyle::kCamel:
+      return strings::ToCamelCase(words);
+    case NamingStyle::kAbbrevPrefix: {
+      // All words but the last collapse to their initials:
+      // {"employment","day"} -> "E_day"; single words keep their spelling.
+      if (words.size() < 2) return strings::ToSnakeCase(words);
+      std::string prefix;
+      for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+        if (!words[i].empty()) {
+          prefix.push_back(
+              static_cast<char>(std::toupper(
+                  static_cast<unsigned char>(words[i][0]))));
+        }
+      }
+      return prefix + "_" + words.back();
+    }
+  }
+  return strings::ToSnakeCase(words);
+}
+
+/// Substitutes synonyms into the word sequence (per-word, when the
+/// lexicon offers alternates).
+std::vector<std::string> SubstituteSynonyms(
+    const std::vector<std::string>& words, const nl::Lexicon& lexicon,
+    const PerturbOptions& options, Rng* rng) {
+  std::vector<std::string> replaced;
+  replaced.reserve(words.size());
+  for (const std::string& word : words) {
+    std::vector<std::string> alternates = lexicon.AlternateForms(word);
+    if (!alternates.empty() && rng->NextBool(options.synonym_probability)) {
+      replaced.push_back(
+          strings::ToLower(alternates[rng->NextIndex(alternates.size())]));
+    } else {
+      replaced.push_back(strings::ToLower(word));
+    }
+  }
+  return replaced;
+}
+
+NamingStyle PickStyle(const PerturbOptions& options, Rng* rng) {
+  if (!rng->NextBool(options.style_change_probability)) {
+    return NamingStyle::kSnakeLower;
+  }
+  static const NamingStyle kStyles[] = {
+      NamingStyle::kSnakeUpper, NamingStyle::kSnakeCapital,
+      NamingStyle::kCamel, NamingStyle::kAbbrevPrefix};
+  return kStyles[rng->NextIndex(4)];
+}
+
+/// Renames a table: synonyms, then pluralization of the last word, then
+/// a naming style over the whole sequence.
+std::string RenameTableIdentifier(const std::vector<std::string>& words,
+                                  const nl::Lexicon& lexicon,
+                                  const PerturbOptions& options, Rng* rng) {
+  std::vector<std::string> replaced =
+      SubstituteSynonyms(words, lexicon, options, rng);
+  if (!replaced.empty()) {
+    replaced.back() =
+        strings::SplitIdentifierWords(PluralTableName({replaced.back()}))[0];
+  }
+  return ApplyStyle(replaced, PickStyle(options, rng));
+}
+
+/// Substitutes synonyms into the word sequence, optionally restructures
+/// the word order (the paper's "ACC_Percent" -> "percentage_of_ACC"
+/// pattern), then applies a naming style. Returns the new identifier.
+std::string RenameIdentifier(const std::vector<std::string>& words,
+                             const nl::Lexicon& lexicon,
+                             const PerturbOptions& options, Rng* rng) {
+  std::vector<std::string> replaced =
+      SubstituteSynonyms(words, lexicon, options, rng);
+  // Structural churn: reversed word order joined with a connector keeps
+  // the words (lexically recoverable) while breaking exact matching.
+  if (replaced.size() >= 2 &&
+      rng->NextBool(options.reorder_probability)) {
+    std::vector<std::string> reordered;
+    for (std::size_t i = replaced.size(); i-- > 0;) {
+      reordered.push_back(replaced[i]);
+      if (i > 0 && reordered.size() == 1) reordered.push_back("of");
+    }
+    replaced = std::move(reordered);
+  }
+  return ApplyStyle(replaced, PickStyle(options, rng));
+}
+
+}  // namespace
+
+std::string SchemaRename::TableName(const std::string& old_table) const {
+  auto it = tables.find(strings::ToLower(old_table));
+  return it == tables.end() ? old_table : it->second;
+}
+
+std::string SchemaRename::ColumnName(const std::string& old_table,
+                                     const std::string& old_column) const {
+  auto it = columns.find(
+      {strings::ToLower(old_table), strings::ToLower(old_column)});
+  return it == columns.end() ? old_column : it->second;
+}
+
+GeneratedDatabase PerturbSchema(const GeneratedDatabase& db,
+                                const nl::Lexicon& lexicon,
+                                const PerturbOptions& options, Rng* rng,
+                                SchemaRename* renames) {
+  GeneratedDatabase out = db;
+  for (GeneratedTable& table : out.tables) {
+    const std::string old_table = table.name;
+    std::string current_table = old_table;
+    if (rng->NextBool(options.table_rename_probability)) {
+      const EntityBank& bank = EntityBank::Default();
+      const EntitySpec* entity = bank.FindEntity(table.entity_id);
+      std::vector<std::string> words =
+          entity != nullptr ? entity->table_words
+                            : strings::SplitIdentifierWords(old_table);
+      std::string renamed =
+          RenameTableIdentifier(words, lexicon, options, rng);
+      if (!strings::EqualsIgnoreCase(renamed, old_table) &&
+          out.data.db_schema().FindTable(renamed) == nullptr) {
+        Status s = out.data.RenameTable(old_table, renamed);
+        if (s.ok()) {
+          renames->tables[strings::ToLower(old_table)] = renamed;
+          table.name = renamed;
+          current_table = renamed;
+        }
+      }
+    }
+    std::set<std::string> used;
+    for (const schema::Column& c :
+         out.data.db_schema().FindTable(current_table)->columns()) {
+      used.insert(strings::ToLower(c.name));
+    }
+    for (GeneratedColumn& column : table.columns) {
+      if (!rng->NextBool(options.column_rename_probability)) continue;
+      std::string renamed =
+          RenameIdentifier(column.spec.words, lexicon, options, rng);
+      std::string lower_new = strings::ToLower(renamed);
+      std::string lower_old = strings::ToLower(column.name);
+      if (lower_new == lower_old || used.count(lower_new) > 0) continue;
+      Status s = out.data.RenameColumn(current_table, column.name, renamed);
+      if (!s.ok()) continue;
+      used.erase(lower_old);
+      used.insert(lower_new);
+      renames->columns[{strings::ToLower(old_table), lower_old}] = renamed;
+      column.name = renamed;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Renames column references and table names of one query level. The
+/// owner of an unqualified column is resolved against the level's own
+/// tables first (subquery scope shadows the outer scope), then the outer
+/// scope, then the whole schema.
+void RewriteQueryRefs(dvq::Query* q, const schema::Database& clean_schema,
+                      const SchemaRename& renames,
+                      const std::vector<std::string>& outer_tables) {
+  std::vector<std::string> scope;
+  scope.push_back(q->from_table);
+  for (const dvq::JoinClause& j : q->joins) scope.push_back(j.table);
+  scope.insert(scope.end(), outer_tables.begin(), outer_tables.end());
+
+  auto owner_of = [&](const dvq::ColumnRef& ref) -> std::string {
+    if (!ref.table.empty()) return ref.table;
+    for (const std::string& t : scope) {
+      const schema::TableDef* def = clean_schema.FindTable(t);
+      if (def != nullptr && def->FindColumn(ref.column) != nullptr) return t;
+    }
+    auto [table, col] = clean_schema.FindColumnAnywhere(ref.column);
+    (void)col;
+    return table != nullptr ? table->name() : std::string();
+  };
+  auto rewrite_ref = [&](dvq::ColumnRef* ref) {
+    if (ref->column == "*") return;
+    std::string owner = owner_of(*ref);
+    if (owner.empty()) return;
+    ref->column = renames.ColumnName(owner, ref->column);
+    if (!ref->table.empty()) ref->table = renames.TableName(ref->table);
+  };
+
+  for (dvq::SelectExpr& e : q->select) rewrite_ref(&e.col);
+  for (dvq::JoinClause& j : q->joins) {
+    rewrite_ref(&j.left);
+    rewrite_ref(&j.right);
+  }
+  if (q->where.has_value()) {
+    for (dvq::Predicate& p : q->where->predicates) {
+      rewrite_ref(&p.col);
+      if (p.subquery != nullptr) {
+        dvq::Query inner = *p.subquery;
+        RewriteQueryRefs(&inner, clean_schema, renames, scope);
+        p.subquery = std::make_shared<const dvq::Query>(std::move(inner));
+      }
+    }
+  }
+  for (dvq::ColumnRef& g : q->group_by) rewrite_ref(&g);
+  if (q->order_by.has_value()) rewrite_ref(&q->order_by->expr.col);
+  if (q->bin.has_value()) rewrite_ref(&q->bin->col);
+
+  // Table names last (owner resolution above used the clean names).
+  q->from_table = renames.TableName(q->from_table);
+  for (dvq::JoinClause& j : q->joins) j.table = renames.TableName(j.table);
+}
+
+}  // namespace
+
+dvq::DVQ RewriteDvq(const dvq::DVQ& query, const GeneratedDatabase& clean_db,
+                    const SchemaRename& renames) {
+  dvq::DVQ out = query;
+  RewriteQueryRefs(&out.query, clean_db.data.db_schema(), renames, {});
+  return out;
+}
+
+}  // namespace gred::dataset

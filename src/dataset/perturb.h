@@ -1,0 +1,71 @@
+#ifndef GREDVIS_DATASET_PERTURB_H_
+#define GREDVIS_DATASET_PERTURB_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "dataset/db_generator.h"
+#include "dvq/ast.h"
+#include "nl/lexicon.h"
+#include "util/rng.h"
+
+namespace gred::dataset {
+
+/// Record of the schema renames applied to one database. Keys are
+/// lower-cased original names; values are the new spellings. Used to
+/// rewrite target DVQs consistently — models never see this map.
+struct SchemaRename {
+  std::map<std::string, std::string> tables;
+  /// (lower old table, lower old column) -> new column name.
+  std::map<std::pair<std::string, std::string>, std::string> columns;
+
+  /// New table name for `old_table`, or the original when unrenamed.
+  std::string TableName(const std::string& old_table) const;
+  /// New column name, or the original when unrenamed.
+  std::string ColumnName(const std::string& old_table,
+                         const std::string& old_column) const;
+};
+
+/// Naming-convention styles applied to renamed identifiers. The mix
+/// mirrors Section 2.2's "diverse database naming habits": synonym
+/// substitution plus case-convention churn and abbreviation.
+enum class NamingStyle {
+  kSnakeLower,   // employment_day
+  kSnakeUpper,   // EMPLOYMENT_DAY
+  kSnakeCapital, // Employment_Day
+  kCamel,        // EmploymentDay
+  kAbbrevPrefix, // first words initialed: E_day (the paper's "HH_ID" case)
+};
+
+/// Options for the schema perturbation engine.
+struct PerturbOptions {
+  double table_rename_probability = 0.35;
+  double column_rename_probability = 0.5;
+  /// Per word, when alternates exist. A synonym destroys lexical
+  /// recoverability; the remaining renames (reorder/case/abbreviation)
+  /// keep the original words, which is what lets schema-matching models
+  /// like RGVisNet retain partial accuracy on nvBench-Rob_schema.
+  double synonym_probability = 0.55;
+  double style_change_probability = 0.5;
+  /// Word-order churn ("acc_percent" -> "percent_of_acc").
+  double reorder_probability = 0.35;
+};
+
+/// Produces a schema-perturbed deep copy of `db` (same database name,
+/// renamed tables/columns, identical row data) and records the rename
+/// map. Deterministic given the Rng state. Renames never collide within
+/// a table (collisions fall back to the original name).
+GeneratedDatabase PerturbSchema(const GeneratedDatabase& db,
+                                const nl::Lexicon& lexicon,
+                                const PerturbOptions& options, Rng* rng,
+                                SchemaRename* renames);
+
+/// Rewrites a target DVQ onto the renamed schema. `clean_db` supplies the
+/// original schema for resolving unqualified column owners.
+dvq::DVQ RewriteDvq(const dvq::DVQ& dvq, const GeneratedDatabase& clean_db,
+                    const SchemaRename& renames);
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_PERTURB_H_

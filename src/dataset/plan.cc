@@ -1,0 +1,111 @@
+#include "dataset/plan.h"
+
+namespace gred::dataset {
+
+const char* HardnessName(Hardness h) {
+  switch (h) {
+    case Hardness::kEasy:
+      return "Easy";
+    case Hardness::kMedium:
+      return "Medium";
+    case Hardness::kHard:
+      return "Hard";
+    case Hardness::kExtraHard:
+      return "Extra Hard";
+  }
+  return "Easy";
+}
+
+dvq::DVQ PlanToDvq(const QueryPlan& plan) {
+  dvq::DVQ out;
+  out.chart = plan.chart;
+  dvq::Query& q = out.query;
+
+  // SELECT list: x, y, [series].
+  dvq::SelectExpr x;
+  x.col.column = plan.x.column;
+  q.select.push_back(x);
+  dvq::SelectExpr y;
+  y.agg = plan.y_agg;
+  y.col.column = plan.count_of_x ? plan.x.column : plan.y.column;
+  q.select.push_back(y);
+  if (plan.series.has_value()) {
+    dvq::SelectExpr s;
+    s.col.column = plan.series->column;
+    q.select.push_back(s);
+  }
+
+  q.from_table = plan.main_table;
+  if (plan.join.has_value()) {
+    dvq::JoinClause join;
+    join.table = plan.join->parent_table;
+    join.left.table = plan.main_table;
+    join.left.column = plan.join->fk_column;
+    join.right.table = plan.join->parent_table;
+    join.right.column = plan.join->parent_key;
+    q.joins.push_back(std::move(join));
+  }
+
+  if (plan.filter.has_value()) {
+    const FilterPick& f = *plan.filter;
+    dvq::Condition cond;
+    dvq::Predicate pred;
+    if (f.via_subquery) {
+      pred.col.column = f.sub_fk;
+      pred.op = dvq::CompareOp::kEq;
+      dvq::Query sub;
+      dvq::SelectExpr key;
+      key.col.column = f.sub_key;
+      sub.select.push_back(key);
+      sub.from_table = f.sub_table;
+      dvq::Condition sub_cond;
+      dvq::Predicate sub_pred;
+      sub_pred.col.column = f.sub_attr.column;
+      sub_pred.op = f.op;
+      sub_pred.literal = f.literal;
+      sub_cond.predicates.push_back(std::move(sub_pred));
+      sub.where = std::move(sub_cond);
+      pred.subquery = std::make_shared<const dvq::Query>(std::move(sub));
+    } else {
+      pred.col.column = f.col.column;
+      pred.op = f.op;
+      pred.literal = f.literal;
+    }
+    cond.predicates.push_back(std::move(pred));
+    q.where = std::move(cond);
+  }
+
+  if (plan.group) {
+    if (plan.series.has_value()) {
+      dvq::ColumnRef s;
+      s.column = plan.series->column;
+      q.group_by.push_back(std::move(s));
+    }
+    dvq::ColumnRef g;
+    g.column = plan.x.column;
+    q.group_by.push_back(std::move(g));
+  }
+
+  if (plan.order.has_value()) {
+    dvq::OrderByClause order;
+    if (plan.order->on_y) {
+      order.expr = q.select[1];
+    } else {
+      order.expr = q.select[0];
+    }
+    order.descending = plan.order->descending;
+    q.order_by = std::move(order);
+  }
+
+  q.limit = plan.limit;
+
+  if (plan.bin.has_value()) {
+    dvq::BinClause bin;
+    bin.col.column = plan.bin->col.column;
+    bin.unit = plan.bin->unit;
+    q.bin = std::move(bin);
+  }
+  return out;
+}
+
+}  // namespace gred::dataset

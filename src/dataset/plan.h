@@ -1,0 +1,85 @@
+#ifndef GREDVIS_DATASET_PLAN_H_
+#define GREDVIS_DATASET_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/db_generator.h"
+#include "dataset/example.h"
+#include "dvq/ast.h"
+
+namespace gred::dataset {
+
+/// A column chosen for a query role, with its generation metadata.
+struct AxisPick {
+  std::string table;                // owning table name
+  std::string column;               // concrete column name
+  std::vector<std::string> words;   // concept words of the column
+  ColumnRole role = ColumnRole::kNumeric;
+};
+
+/// A WHERE predicate in plan form.
+struct FilterPick {
+  AxisPick col;
+  dvq::CompareOp op = dvq::CompareOp::kEq;
+  dvq::Literal literal;
+  /// Extra-hard variant: filter on a parent attribute through a scalar
+  /// subquery `fk = (SELECT parent_id FROM parent WHERE attr = v)`.
+  bool via_subquery = false;
+  std::string sub_table;        // parent table
+  std::string sub_key;          // parent id column (subquery select)
+  std::string sub_fk;           // child fk column (outer predicate column)
+  AxisPick sub_attr;            // parent attribute filtered inside
+};
+
+/// Sorting in plan form.
+struct OrderPick {
+  bool on_y = false;      // sort key: y (true) or x (false)
+  bool descending = false;
+};
+
+/// Binning in plan form.
+struct BinPick {
+  AxisPick col;
+  dvq::BinUnit unit = dvq::BinUnit::kMonth;
+};
+
+/// A fully-determined visualization intent, from which both the target
+/// DVQ and the NLQ surface forms are rendered. The plan is the ground
+/// truth the benchmark generator works with.
+struct QueryPlan {
+  std::string db_name;
+  dvq::ChartType chart = dvq::ChartType::kBar;
+  Hardness hardness = Hardness::kEasy;
+
+  std::string main_table;
+
+  /// Present when the query joins a parent table.
+  struct JoinPick {
+    std::string parent_table;
+    std::string fk_column;      // on main table
+    std::string parent_key;     // on parent table
+  };
+  std::optional<JoinPick> join;
+
+  AxisPick x;
+  dvq::AggFunc y_agg = dvq::AggFunc::kNone;
+  AxisPick y;                         // ignored column when y_agg==COUNT(x)
+  bool count_of_x = false;            // y is COUNT(x-column)
+  std::optional<AxisPick> series;     // grouped charts only
+
+  std::optional<FilterPick> filter;
+  bool group = false;                 // GROUP BY x (and series)
+  std::optional<OrderPick> order;
+  std::optional<std::int64_t> limit;
+  std::optional<BinPick> bin;
+};
+
+/// Renders the target DVQ for a plan (clean schema names, corpus style:
+/// unqualified columns except join keys).
+dvq::DVQ PlanToDvq(const QueryPlan& plan);
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_PLAN_H_

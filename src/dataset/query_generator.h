@@ -1,0 +1,64 @@
+#ifndef GREDVIS_DATASET_QUERY_GENERATOR_H_
+#define GREDVIS_DATASET_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/db_generator.h"
+#include "dataset/example.h"
+#include "dataset/nlq_render.h"
+#include "dataset/plan.h"
+#include "nl/lexicon.h"
+#include "util/rng.h"
+
+namespace gred::dataset {
+
+/// Options steering the (NLQ, DVQ) pair generator. The default weights
+/// match the chart-type and hardness distributions of nvBench-Rob's
+/// development split (Figure 2 of the paper).
+struct QueryGeneratorOptions {
+  std::uint64_t seed = 7711;
+  /// Weights over {bar, pie, line, scatter, stacked, grouping line,
+  /// grouping scatter}.
+  /// Line-family weights are boosted above Figure 2's shares because
+  /// plans for them fail more often (they need date columns) and are
+  /// resampled; the realized distribution matches the paper's.
+  std::vector<double> chart_weights = {0.70, 0.074, 0.09, 0.041,
+                                       0.051, 0.022, 0.028};
+  /// Weights over {easy, medium, hard, extra hard}.
+  std::vector<double> hardness_weights = {0.242, 0.402, 0.239, 0.117};
+  /// NLQ surface variants rendered per sampled plan. nvBench pairs each
+  /// visualization with several differently-phrased questions; the
+  /// redundancy is what lets memorization-heavy models look strong on
+  /// the clean split (Section 3's analysis).
+  std::size_t variants_per_plan = 3;
+};
+
+/// Generates benchmark pairs over a database corpus. Each Example carries
+/// both the explicit-style NLQ (nvBench register) and a paraphrased NLQ
+/// (nvBench-Rob register) rendered from the same plan.
+class QueryGenerator {
+ public:
+  QueryGenerator(const std::vector<GeneratedDatabase>* databases,
+                 const nl::Lexicon* lexicon,
+                 QueryGeneratorOptions options = {});
+
+  /// Generates `count` examples with ids "<prefix><n>". Round-robins over
+  /// databases so every database contributes.
+  std::vector<Example> Generate(std::size_t count, const std::string& prefix);
+
+  /// Samples one plan for the given database, or nullopt when the
+  /// database lacks the column roles the sampled chart needs.
+  std::optional<QueryPlan> SamplePlan(const GeneratedDatabase& db, Rng* rng);
+
+ private:
+  const std::vector<GeneratedDatabase>* databases_;  // not owned
+  const nl::Lexicon* lexicon_;                        // not owned
+  QueryGeneratorOptions options_;
+};
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_QUERY_GENERATOR_H_

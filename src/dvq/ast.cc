@@ -1,0 +1,366 @@
+#include "dvq/ast.h"
+
+#include "util/strings.h"
+
+namespace gred::dvq {
+
+std::string ChartTypeName(ChartType type) {
+  switch (type) {
+    case ChartType::kBar:
+      return "BAR";
+    case ChartType::kPie:
+      return "PIE";
+    case ChartType::kLine:
+      return "LINE";
+    case ChartType::kScatter:
+      return "SCATTER";
+    case ChartType::kStackedBar:
+      return "STACKED BAR";
+    case ChartType::kGroupingLine:
+      return "GROUPING LINE";
+    case ChartType::kGroupingScatter:
+      return "GROUPING SCATTER";
+  }
+  return "BAR";
+}
+
+std::optional<ChartType> ChartTypeFromName(const std::string& name) {
+  std::string upper = strings::ToUpper(strings::Trim(name));
+  if (upper == "BAR") return ChartType::kBar;
+  if (upper == "PIE") return ChartType::kPie;
+  if (upper == "LINE") return ChartType::kLine;
+  if (upper == "SCATTER") return ChartType::kScatter;
+  if (upper == "STACKED BAR") return ChartType::kStackedBar;
+  if (upper == "GROUPING LINE") return ChartType::kGroupingLine;
+  if (upper == "GROUPING SCATTER") return ChartType::kGroupingScatter;
+  return std::nullopt;
+}
+
+std::string AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "";
+}
+
+bool ColumnRef::EqualsIgnoreCase(const ColumnRef& other) const {
+  return strings::EqualsIgnoreCase(table, other.table) &&
+         strings::EqualsIgnoreCase(column, other.column);
+}
+
+std::string ColumnRef::ToString() const {
+  if (table.empty()) return column;
+  return table + "." + column;
+}
+
+bool SelectExpr::EqualsIgnoreCase(const SelectExpr& other) const {
+  return agg == other.agg && distinct == other.distinct &&
+         col.EqualsIgnoreCase(other.col);
+}
+
+std::string SelectExpr::ToString() const {
+  if (agg == AggFunc::kNone) return col.ToString();
+  std::string out = AggFuncName(agg) + "(";
+  if (distinct) out += "DISTINCT ";
+  out += col.ToString();
+  out += ")";
+  return out;
+}
+
+std::string CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
+    case CompareOp::kNotLike:
+      return "NOT LIKE";
+    case CompareOp::kIsNull:
+      return "IS NULL";
+    case CompareOp::kIsNotNull:
+      return "IS NOT NULL";
+    case CompareOp::kIn:
+      return "IN";
+    case CompareOp::kNotIn:
+      return "NOT IN";
+  }
+  return "=";
+}
+
+Literal Literal::Int(std::int64_t v) {
+  Literal l;
+  l.kind = Kind::kInt;
+  l.int_value = v;
+  return l;
+}
+
+Literal Literal::Real(double v) {
+  Literal l;
+  l.kind = Kind::kReal;
+  l.real_value = v;
+  return l;
+}
+
+Literal Literal::Str(std::string v) {
+  Literal l;
+  l.kind = Kind::kString;
+  l.string_value = std::move(v);
+  return l;
+}
+
+bool Literal::Equals(const Literal& other) const {
+  if (kind == Kind::kString || other.kind == Kind::kString) {
+    return kind == other.kind && string_value == other.string_value;
+  }
+  // Numeric literals compare by value across int/real.
+  double a = kind == Kind::kInt ? static_cast<double>(int_value) : real_value;
+  double b = other.kind == Kind::kInt ? static_cast<double>(other.int_value)
+                                      : other.real_value;
+  return a == b;
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return strings::Format("%lld", static_cast<long long>(int_value));
+    case Kind::kReal:
+      return strings::Format("%g", real_value);
+    case Kind::kString:
+      return "\"" + string_value + "\"";
+  }
+  return "0";
+}
+
+std::string Predicate::ToString() const {
+  std::string out = col.ToString();
+  switch (op) {
+    case CompareOp::kIsNull:
+    case CompareOp::kIsNotNull:
+      out += " " + CompareOpName(op);
+      return out;
+    case CompareOp::kIn:
+    case CompareOp::kNotIn: {
+      out += " " + CompareOpName(op) + " (";
+      for (std::size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) out += " , ";
+        out += in_list[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+    default:
+      break;
+  }
+  out += " " + CompareOpName(op) + " ";
+  if (subquery != nullptr) {
+    out += "(" + subquery->ToString() + ")";
+  } else if (literal.has_value()) {
+    out += literal->ToString();
+  }
+  return out;
+}
+
+std::string Condition::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) {
+      out += connectors[i - 1] == LogicalOp::kAnd ? " AND " : " OR ";
+    }
+    out += predicates[i].ToString();
+  }
+  return out;
+}
+
+std::string JoinClause::ToString() const {
+  std::string out = "JOIN " + table;
+  if (!alias.empty()) out += " AS " + alias;
+  out += " ON " + left.ToString() + " = " + right.ToString();
+  return out;
+}
+
+std::string BinUnitName(BinUnit unit) {
+  switch (unit) {
+    case BinUnit::kYear:
+      return "YEAR";
+    case BinUnit::kMonth:
+      return "MONTH";
+    case BinUnit::kDay:
+      return "DAY";
+    case BinUnit::kWeekday:
+      return "WEEKDAY";
+  }
+  return "YEAR";
+}
+
+std::string BinClause::ToString() const {
+  return "BIN " + col.ToString() + " BY " + BinUnitName(unit);
+}
+
+std::string OrderByClause::ToString() const {
+  return "ORDER BY " + expr.ToString() + (descending ? " DESC" : " ASC");
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  for (std::size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += " , ";
+    out += select[i].ToString();
+  }
+  out += " FROM " + from_table;
+  if (!from_alias.empty()) out += " AS " + from_alias;
+  for (const JoinClause& j : joins) out += " " + j.ToString();
+  if (where.has_value()) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (std::size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += " , ";
+      out += group_by[i].ToString();
+    }
+  }
+  if (order_by.has_value()) out += " " + order_by->ToString();
+  if (limit.has_value()) {
+    out += strings::Format(" LIMIT %lld", static_cast<long long>(*limit));
+  }
+  if (bin.has_value()) out += " " + bin->ToString();
+  return out;
+}
+
+std::string DVQ::ToString() const {
+  return "Visualize " + ChartTypeName(chart) + " " + query.ToString();
+}
+
+namespace {
+
+void LowercaseRef(ColumnRef* ref) {
+  ref->table = strings::ToLower(ref->table);
+  ref->column = strings::ToLower(ref->column);
+}
+
+}  // namespace
+
+Query LowercaseIdentifiers(const Query& q) {
+  Query out = q;
+  out.from_table = strings::ToLower(out.from_table);
+  out.from_alias = strings::ToLower(out.from_alias);
+  for (JoinClause& j : out.joins) {
+    j.table = strings::ToLower(j.table);
+    j.alias = strings::ToLower(j.alias);
+  }
+  TransformColumnRefs(&out, LowercaseRef);
+  if (out.where.has_value()) {
+    for (Predicate& p : out.where->predicates) {
+      if (p.subquery != nullptr) {
+        p.subquery =
+            std::make_shared<const Query>(LowercaseIdentifiers(*p.subquery));
+      }
+    }
+  }
+  return out;
+}
+
+std::string DVQ::Canonical() const {
+  DVQ lowered;
+  lowered.chart = chart;
+  lowered.query = LowercaseIdentifiers(query);
+  return lowered.ToString();
+}
+
+std::vector<ColumnRef> CollectColumnRefs(const Query& q) {
+  std::vector<ColumnRef> refs;
+  for (const SelectExpr& e : q.select) refs.push_back(e.col);
+  for (const JoinClause& j : q.joins) {
+    refs.push_back(j.left);
+    refs.push_back(j.right);
+  }
+  if (q.where.has_value()) {
+    for (const Predicate& p : q.where->predicates) {
+      refs.push_back(p.col);
+      if (p.subquery != nullptr) {
+        std::vector<ColumnRef> inner = CollectColumnRefs(*p.subquery);
+        refs.insert(refs.end(), inner.begin(), inner.end());
+      }
+    }
+  }
+  for (const ColumnRef& g : q.group_by) refs.push_back(g);
+  if (q.order_by.has_value()) refs.push_back(q.order_by->expr.col);
+  if (q.bin.has_value()) refs.push_back(q.bin->col);
+  return refs;
+}
+
+void TransformColumnRefs(Query* q,
+                         const std::function<void(ColumnRef*)>& fn) {
+  for (SelectExpr& e : q->select) fn(&e.col);
+  for (JoinClause& j : q->joins) {
+    fn(&j.left);
+    fn(&j.right);
+  }
+  if (q->where.has_value()) {
+    for (Predicate& p : q->where->predicates) {
+      fn(&p.col);
+      if (p.subquery != nullptr) {
+        Query inner = *p.subquery;
+        TransformColumnRefs(&inner, fn);
+        p.subquery = std::make_shared<const Query>(std::move(inner));
+      }
+    }
+  }
+  for (ColumnRef& g : q->group_by) fn(&g);
+  if (q->order_by.has_value()) fn(&q->order_by->expr.col);
+  if (q->bin.has_value()) fn(&q->bin->col);
+}
+
+void TransformNonJoinColumnRefs(Query* q,
+                                const std::function<void(ColumnRef*)>& fn) {
+  for (SelectExpr& e : q->select) fn(&e.col);
+  if (q->where.has_value()) {
+    for (Predicate& p : q->where->predicates) {
+      fn(&p.col);
+      if (p.subquery != nullptr) {
+        Query inner = *p.subquery;
+        TransformNonJoinColumnRefs(&inner, fn);
+        p.subquery = std::make_shared<const Query>(std::move(inner));
+      }
+    }
+  }
+  for (ColumnRef& g : q->group_by) fn(&g);
+  if (q->order_by.has_value()) fn(&q->order_by->expr.col);
+  if (q->bin.has_value()) fn(&q->bin->col);
+}
+
+std::vector<std::string> CollectTableNames(const Query& q) {
+  std::vector<std::string> names;
+  names.push_back(q.from_table);
+  for (const JoinClause& j : q.joins) names.push_back(j.table);
+  if (q.where.has_value()) {
+    for (const Predicate& p : q.where->predicates) {
+      if (p.subquery != nullptr) {
+        std::vector<std::string> inner = CollectTableNames(*p.subquery);
+        names.insert(names.end(), inner.begin(), inner.end());
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace gred::dvq

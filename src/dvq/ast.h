@@ -1,0 +1,200 @@
+#ifndef GREDVIS_DVQ_AST_H_
+#define GREDVIS_DVQ_AST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gred::dvq {
+
+/// Chart types supported by nvBench DVQs (Figure 2 of the paper).
+enum class ChartType {
+  kBar,
+  kPie,
+  kLine,
+  kScatter,
+  kStackedBar,
+  kGroupingLine,
+  kGroupingScatter,
+};
+
+/// Returns the DVQ surface form, e.g. "BAR", "STACKED BAR".
+std::string ChartTypeName(ChartType type);
+
+/// Parses a chart-type surface form; returns nullopt for unknown names.
+std::optional<ChartType> ChartTypeFromName(const std::string& name);
+
+/// Aggregate functions usable in the SELECT list / ORDER BY.
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+std::string AggFuncName(AggFunc f);
+
+/// A column reference, optionally qualified by table name or alias.
+/// `column == "*"` denotes the star target (only valid under COUNT).
+struct ColumnRef {
+  std::string table;   // empty when unqualified
+  std::string column;
+
+  /// Case-insensitive equality on both parts.
+  bool EqualsIgnoreCase(const ColumnRef& other) const;
+
+  /// "t.col" or "col".
+  std::string ToString() const;
+};
+
+/// One SELECT-list entry: an optional aggregate around a column.
+struct SelectExpr {
+  AggFunc agg = AggFunc::kNone;
+  bool distinct = false;
+  ColumnRef col;
+
+  bool EqualsIgnoreCase(const SelectExpr& other) const;
+  std::string ToString() const;
+};
+
+/// Comparison operators usable in WHERE predicates.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kNotLike,
+  kIsNull,
+  kIsNotNull,
+  kIn,
+  kNotIn,
+};
+
+std::string CompareOpName(CompareOp op);
+
+/// A literal constant in a predicate.
+struct Literal {
+  enum class Kind { kInt, kReal, kString } kind = Kind::kInt;
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  std::string string_value;
+
+  static Literal Int(std::int64_t v);
+  static Literal Real(double v);
+  static Literal Str(std::string v);
+
+  bool Equals(const Literal& other) const;
+  /// Canonical DVQ rendering; strings get double quotes.
+  std::string ToString() const;
+};
+
+struct Query;  // forward declaration for scalar subqueries
+
+/// An atomic predicate `col OP rhs`. The right-hand side is exactly one of
+/// a literal, an IN-list, nothing (IS [NOT] NULL) or a scalar subquery.
+/// Subqueries are shared immutable trees (never mutated after parse).
+struct Predicate {
+  ColumnRef col;
+  CompareOp op = CompareOp::kEq;
+  std::optional<Literal> literal;
+  std::vector<Literal> in_list;
+  std::shared_ptr<const Query> subquery;
+
+  std::string ToString() const;
+};
+
+enum class LogicalOp { kAnd, kOr };
+
+/// A left-associative chain: preds[0] (ops[0]) preds[1] (ops[1]) ...
+struct Condition {
+  std::vector<Predicate> predicates;
+  std::vector<LogicalOp> connectors;  // size == predicates.size() - 1
+
+  std::string ToString() const;
+};
+
+/// An equi-join clause `JOIN table [AS alias] ON left = right`.
+struct JoinClause {
+  std::string table;
+  std::string alias;  // empty when none
+  ColumnRef left;
+  ColumnRef right;
+
+  std::string ToString() const;
+};
+
+/// Temporal binning units supported by `BIN col BY unit`.
+enum class BinUnit { kYear, kMonth, kDay, kWeekday };
+
+std::string BinUnitName(BinUnit unit);
+
+/// `BIN col BY unit` data-transformation clause.
+struct BinClause {
+  ColumnRef col;
+  BinUnit unit = BinUnit::kYear;
+
+  std::string ToString() const;
+};
+
+/// ORDER BY entry: an expression (possibly aggregated) plus direction.
+struct OrderByClause {
+  SelectExpr expr;
+  bool descending = false;
+
+  std::string ToString() const;
+};
+
+/// The relational core of a DVQ (everything after the chart type).
+struct Query {
+  std::vector<SelectExpr> select;   // 2 entries (x,y), 3 for grouped charts
+  std::string from_table;
+  std::string from_alias;           // empty when none
+  std::vector<JoinClause> joins;
+  std::optional<Condition> where;
+  std::vector<ColumnRef> group_by;
+  std::optional<OrderByClause> order_by;
+  std::optional<std::int64_t> limit;
+  std::optional<BinClause> bin;
+
+  std::string ToString() const;
+};
+
+/// A complete data-visualization query: `Visualize CHART <query>`.
+struct DVQ {
+  ChartType chart = ChartType::kBar;
+  Query query;
+
+  /// Pretty-prints in the corpus surface style (keywords upper-case,
+  /// identifiers verbatim).
+  std::string ToString() const;
+
+  /// Canonical form for equality: identifiers lower-cased, aliases
+  /// resolved-as-written, spacing normalized. Two DVQs are semantically
+  /// "exact match" (paper's Overall Accuracy) iff canonical forms match.
+  std::string Canonical() const;
+};
+
+/// Lower-cases identifiers throughout a copy of `q` (helper for
+/// Canonical() and for component comparison).
+Query LowercaseIdentifiers(const Query& q);
+
+/// Collects every column reference in the query (select, where, group,
+/// order, bin, join keys), pre-order. Star targets are included.
+std::vector<ColumnRef> CollectColumnRefs(const Query& q);
+
+/// Applies `fn` to every column reference in `q` (in place).
+void TransformColumnRefs(Query* q,
+                         const std::function<void(ColumnRef*)>& fn);
+
+/// Like TransformColumnRefs but skips join ON keys (which are resolved
+/// by different rules — foreign keys, not mentions).
+void TransformNonJoinColumnRefs(Query* q,
+                                const std::function<void(ColumnRef*)>& fn);
+
+/// Collects referenced table names (FROM + JOINs + subqueries).
+std::vector<std::string> CollectTableNames(const Query& q);
+
+}  // namespace gred::dvq
+
+#endif  // GREDVIS_DVQ_AST_H_

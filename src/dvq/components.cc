@@ -1,0 +1,78 @@
+#include "dvq/components.h"
+
+#include <algorithm>
+
+#include "dvq/normalize.h"
+#include "util/strings.h"
+
+namespace gred::dvq {
+
+namespace {
+
+std::string AxisFingerprint(const Query& q) {
+  std::string out;
+  for (const SelectExpr& e : q.select) {
+    out += e.ToString();
+    out += ";";
+  }
+  return out;
+}
+
+std::string DataFingerprint(const Query& q) {
+  std::string out = "FROM " + q.from_table + ";";
+  // Joins are an unordered set: JOIN a then b reads the same data as b
+  // then a. Each join key pair is itself order-normalized.
+  std::vector<std::string> joins;
+  for (const JoinClause& j : q.joins) {
+    std::string l = j.left.ToString();
+    std::string r = j.right.ToString();
+    if (r < l) std::swap(l, r);
+    joins.push_back(j.table + ":" + l + "=" + r);
+  }
+  std::sort(joins.begin(), joins.end());
+  for (const std::string& j : joins) out += "JOIN " + j + ";";
+  if (q.where.has_value()) out += "WHERE " + q.where->ToString() + ";";
+  if (!q.group_by.empty()) {
+    out += "GROUP";
+    for (const ColumnRef& g : q.group_by) out += " " + g.ToString();
+    out += ";";
+  }
+  if (q.order_by.has_value()) out += q.order_by->ToString() + ";";
+  if (q.limit.has_value()) {
+    out += strings::Format("LIMIT %lld;", static_cast<long long>(*q.limit));
+  }
+  if (q.bin.has_value()) out += q.bin->ToString() + ";";
+  return out;
+}
+
+}  // namespace
+
+Components ExtractComponents(const DVQ& d) {
+  Components c;
+  c.chart = d.chart;
+  Query normalized = NormalizeForComparison(d.query);
+  c.axis_fingerprint = AxisFingerprint(normalized);
+  c.data_fingerprint = DataFingerprint(normalized);
+  return c;
+}
+
+bool VisMatch(const DVQ& a, const DVQ& b) { return a.chart == b.chart; }
+
+bool AxisMatch(const DVQ& a, const DVQ& b) {
+  return ExtractComponents(a).axis_fingerprint ==
+         ExtractComponents(b).axis_fingerprint;
+}
+
+bool DataMatch(const DVQ& a, const DVQ& b) {
+  return ExtractComponents(a).data_fingerprint ==
+         ExtractComponents(b).data_fingerprint;
+}
+
+bool OverallMatch(const DVQ& a, const DVQ& b) {
+  Components ca = ExtractComponents(a);
+  Components cb = ExtractComponents(b);
+  return ca.chart == cb.chart && ca.axis_fingerprint == cb.axis_fingerprint &&
+         ca.data_fingerprint == cb.data_fingerprint;
+}
+
+}  // namespace gred::dvq

@@ -1,0 +1,41 @@
+#ifndef GREDVIS_DVQ_COMPONENTS_H_
+#define GREDVIS_DVQ_COMPONENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "dvq/ast.h"
+
+namespace gred::dvq {
+
+/// The three component fingerprints of a DVQ, per the paper's Appendix A:
+/// every DVQ consists of the chart type, the x/y-axis encoding and the
+/// data transformation. Fingerprints are canonical strings computed after
+/// comparison normalization, so equality of fingerprints defines the
+/// Vis/Axis/Data accuracy matches.
+struct Components {
+  ChartType chart = ChartType::kBar;
+  std::string axis_fingerprint;
+  std::string data_fingerprint;
+};
+
+/// Extracts the components of `d` (normalizing first).
+Components ExtractComponents(const DVQ& d);
+
+/// Chart-type match (Vis Accuracy numerator).
+bool VisMatch(const DVQ& a, const DVQ& b);
+
+/// X/Y(/series)-axis match (Axis Accuracy numerator).
+bool AxisMatch(const DVQ& a, const DVQ& b);
+
+/// Data-transformation match (Data Accuracy numerator): FROM/JOIN/WHERE/
+/// GROUP BY/ORDER BY/LIMIT/BIN, with joins compared as an unordered set.
+bool DataMatch(const DVQ& a, const DVQ& b);
+
+/// Exact match of the full query (Overall Accuracy numerator). Equivalent
+/// to VisMatch && AxisMatch && DataMatch.
+bool OverallMatch(const DVQ& a, const DVQ& b);
+
+}  // namespace gred::dvq
+
+#endif  // GREDVIS_DVQ_COMPONENTS_H_

@@ -1,0 +1,136 @@
+#include "dvq/lexer.h"
+
+#include <cctype>
+#include <array>
+
+#include "util/strings.h"
+
+namespace gred::dvq {
+
+namespace {
+
+constexpr std::array<const char*, 36> kKeywords = {
+    "VISUALIZE", "SELECT",  "FROM",   "WHERE",  "GROUP",   "BY",
+    "ORDER",     "ASC",     "DESC",   "LIMIT",  "BIN",     "JOIN",
+    "ON",        "AS",      "AND",    "OR",     "NOT",     "IN",
+    "IS",        "NULL",    "LIKE",   "COUNT",  "SUM",     "AVG",
+    "MIN",       "MAX",     "DISTINCT", "BAR",  "PIE",     "LINE",
+    "SCATTER",   "STACKED", "GROUPING", "YEAR", "MONTH",   "WEEKDAY",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.';
+}
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& upper_word) {
+  for (const char* kw : kKeywords) {
+    if (upper_word == kw) return true;
+  }
+  // DAY is a bin unit but also a plausible column name; treat it as a
+  // keyword only in BIN context, which the parser handles by accepting an
+  // identifier there as well.
+  return false;
+}
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = strings::ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) != 0 &&
+         (tokens.empty() || tokens.back().kind == TokenKind::kSymbol ||
+          tokens.back().kind == TokenKind::kKeyword))) {
+      std::size_t start = i;
+      if (c == '-') ++i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) != 0 ||
+                       (input[i] == '.' && !seen_dot))) {
+        if (input[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = input.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      std::size_t start = ++i;
+      while (i < n && input[i] != quote) ++i;
+      if (i >= n) {
+        return Status::ParseError(
+            strings::Format("unterminated string literal at offset %zu",
+                            tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = input.substr(start, i - start);
+      ++i;  // closing quote
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto match2 = [&](const char* op) {
+      return i + 1 < n && input[i] == op[0] && input[i + 1] == op[1];
+    };
+    if (match2("!=") || match2("<=") || match2(">=") || match2("<>")) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = input.substr(i, 2);
+      if (tok.text == "<>") tok.text = "!=";
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '*' || c == '=' ||
+        c == '<' || c == '>' || c == ';') {
+      if (c == ';') {
+        ++i;
+        continue;  // trailing semicolons are tolerated and dropped
+      }
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError(strings::Format(
+        "unexpected character '%c' at offset %zu", c, tok.offset));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace gred::dvq

@@ -1,0 +1,25 @@
+#ifndef GREDVIS_DVQ_LEXER_H_
+#define GREDVIS_DVQ_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "dvq/token.h"
+#include "util/status.h"
+
+namespace gred::dvq {
+
+/// Tokenizes a DVQ string.
+///
+/// Keywords are recognized case-insensitively and normalized to upper case;
+/// everything matching the keyword table becomes TokenKind::kKeyword.
+/// Identifiers keep their original spelling (DVQ schema matching is
+/// case-insensitive downstream but style matters to the Retuner).
+Result<std::vector<Token>> Lex(const std::string& input);
+
+/// True if `word` (upper-cased) is a reserved DVQ keyword.
+bool IsReservedKeyword(const std::string& upper_word);
+
+}  // namespace gred::dvq
+
+#endif  // GREDVIS_DVQ_LEXER_H_

@@ -1,0 +1,70 @@
+#include "dvq/normalize.h"
+
+#include <map>
+#include <string>
+
+#include "util/strings.h"
+
+namespace gred::dvq {
+
+Query ResolveAliases(const Query& q) {
+  Query out = q;
+  std::map<std::string, std::string> alias_to_table;
+  if (!out.from_alias.empty()) {
+    alias_to_table[strings::ToLower(out.from_alias)] = out.from_table;
+  }
+  for (const JoinClause& j : out.joins) {
+    if (!j.alias.empty()) {
+      alias_to_table[strings::ToLower(j.alias)] = j.table;
+    }
+  }
+  TransformColumnRefs(&out, [&](ColumnRef* ref) {
+    if (ref->table.empty()) return;
+    auto it = alias_to_table.find(strings::ToLower(ref->table));
+    if (it != alias_to_table.end()) ref->table = it->second;
+  });
+  out.from_alias.clear();
+  for (JoinClause& j : out.joins) j.alias.clear();
+  if (out.where.has_value()) {
+    for (Predicate& p : out.where->predicates) {
+      if (p.subquery != nullptr) {
+        p.subquery =
+            std::make_shared<const Query>(ResolveAliases(*p.subquery));
+      }
+    }
+  }
+  return out;
+}
+
+Query DropQualifiers(const Query& q) {
+  Query out = q;
+  // Join keys keep their qualifiers; everything else drops them. We clear
+  // via a second pass because TransformColumnRefs visits join keys too.
+  TransformColumnRefs(&out, [](ColumnRef* ref) { ref->table.clear(); });
+  for (std::size_t i = 0; i < out.joins.size(); ++i) {
+    out.joins[i].left = q.joins[i].left;
+    out.joins[i].right = q.joins[i].right;
+  }
+  if (out.where.has_value()) {
+    for (Predicate& p : out.where->predicates) {
+      if (p.subquery != nullptr) {
+        p.subquery =
+            std::make_shared<const Query>(DropQualifiers(*p.subquery));
+      }
+    }
+  }
+  return out;
+}
+
+Query NormalizeForComparison(const Query& q) {
+  return LowercaseIdentifiers(DropQualifiers(ResolveAliases(q)));
+}
+
+DVQ NormalizeForComparison(const DVQ& d) {
+  DVQ out;
+  out.chart = d.chart;
+  out.query = NormalizeForComparison(d.query);
+  return out;
+}
+
+}  // namespace gred::dvq

@@ -1,0 +1,31 @@
+#ifndef GREDVIS_DVQ_NORMALIZE_H_
+#define GREDVIS_DVQ_NORMALIZE_H_
+
+#include "dvq/ast.h"
+
+namespace gred::dvq {
+
+/// Rewrites table aliases to the underlying table names throughout the
+/// query (column qualifiers `T1.x` become `employees.x`, alias
+/// declarations are removed). Subqueries are resolved recursively with
+/// their own alias scope.
+Query ResolveAliases(const Query& q);
+
+/// Removes table qualifiers from every column reference except join keys
+/// (where the qualifier is load-bearing). Used for component comparison,
+/// where `employees.salary` and `salary` are the same axis.
+Query DropQualifiers(const Query& q);
+
+/// Full comparison normalization: ResolveAliases + DropQualifiers +
+/// lower-cased identifiers. Deliberately does NOT canonicalize
+/// programming-style choices (COUNT(col) vs COUNT(*), IS NOT NULL vs
+/// != "null", subquery vs JOIN): those differences are exactly what the
+/// paper's exact-match metric penalizes and what the Retuner repairs.
+Query NormalizeForComparison(const Query& q);
+
+/// Normalizes a whole DVQ (chart type untouched, query normalized).
+DVQ NormalizeForComparison(const DVQ& d);
+
+}  // namespace gred::dvq
+
+#endif  // GREDVIS_DVQ_NORMALIZE_H_

@@ -1,0 +1,385 @@
+#include "dvq/parser.h"
+
+#include <cstdlib>
+
+#include "dvq/lexer.h"
+#include "util/strings.h"
+
+namespace gred::dvq {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<DVQ> ParseDvq() {
+    DVQ out;
+    if (!Peek().IsKeyword("VISUALIZE")) {
+      return Error("expected 'Visualize' at the start of a DVQ");
+    }
+    Advance();
+    GRED_ASSIGN_OR_RETURN(out.chart, ParseChartType());
+    GRED_ASSIGN_OR_RETURN(out.query, ParseQueryBody());
+    GRED_RETURN_IF_ERROR(ExpectEnd());
+    return out;
+  }
+
+  Result<Query> ParseBareQuery() {
+    GRED_ASSIGN_OR_RETURN(Query q, ParseQueryBody());
+    GRED_RETURN_IF_ERROR(ExpectEnd());
+    return q;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(const char* keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const char* keyword) {
+    if (!Accept(keyword)) {
+      return Status::ParseError(strings::Format(
+          "expected keyword '%s' at offset %zu, found '%s'", keyword,
+          Peek().offset, Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::ParseError(
+          strings::Format("expected '%s' at offset %zu, found '%s'", sym,
+                          Peek().offset, Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectEnd() {
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError(strings::Format(
+          "trailing input at offset %zu: '%s'", Peek().offset,
+          Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) {
+    return Status::ParseError(
+        strings::Format("%s (at offset %zu, token '%s')", msg.c_str(),
+                        Peek().offset, Peek().text.c_str()));
+  }
+
+  Result<ChartType> ParseChartType() {
+    if (Accept("BAR")) return ChartType::kBar;
+    if (Accept("PIE")) return ChartType::kPie;
+    if (Accept("LINE")) return ChartType::kLine;
+    if (Accept("SCATTER")) return ChartType::kScatter;
+    if (Accept("STACKED")) {
+      GRED_RETURN_IF_ERROR(Expect("BAR"));
+      return ChartType::kStackedBar;
+    }
+    if (Accept("GROUPING")) {
+      if (Accept("LINE")) return ChartType::kGroupingLine;
+      if (Accept("SCATTER")) return ChartType::kGroupingScatter;
+      return Error("expected LINE or SCATTER after GROUPING");
+    }
+    return Error("expected a chart type");
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    const Token& tok = Peek();
+    if (tok.kind != TokenKind::kIdentifier) {
+      // A handful of keyword-like words double as column names in noisy
+      // corpora (YEAR, MONTH); allow keyword tokens here.
+      if (tok.kind == TokenKind::kKeyword &&
+          (tok.text == "YEAR" || tok.text == "MONTH" ||
+           tok.text == "WEEKDAY")) {
+        ColumnRef ref;
+        ref.column = Advance().text;
+        return ref;
+      }
+      return Error("expected a column reference");
+    }
+    std::string text = Advance().text;
+    ColumnRef ref;
+    std::size_t dot = text.find('.');
+    if (dot == std::string::npos) {
+      ref.column = text;
+    } else {
+      ref.table = text.substr(0, dot);
+      ref.column = text.substr(dot + 1);
+    }
+    return ref;
+  }
+
+  Result<SelectExpr> ParseSelectExpr() {
+    SelectExpr expr;
+    const Token& tok = Peek();
+    auto agg_from_keyword = [](const std::string& kw) {
+      if (kw == "COUNT") return AggFunc::kCount;
+      if (kw == "SUM") return AggFunc::kSum;
+      if (kw == "AVG") return AggFunc::kAvg;
+      if (kw == "MIN") return AggFunc::kMin;
+      if (kw == "MAX") return AggFunc::kMax;
+      return AggFunc::kNone;
+    };
+    if (tok.kind == TokenKind::kKeyword &&
+        agg_from_keyword(tok.text) != AggFunc::kNone) {
+      expr.agg = agg_from_keyword(Advance().text);
+      GRED_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Accept("DISTINCT")) expr.distinct = true;
+      if (AcceptSymbol("*")) {
+        expr.col.column = "*";
+      } else {
+        GRED_ASSIGN_OR_RETURN(expr.col, ParseColumnRef());
+      }
+      GRED_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return expr;
+    }
+    GRED_ASSIGN_OR_RETURN(expr.col, ParseColumnRef());
+    return expr;
+  }
+
+  Result<Literal> ParseLiteral() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kNumber) {
+      std::string text = Advance().text;
+      if (text.find('.') != std::string::npos) {
+        return Literal::Real(std::strtod(text.c_str(), nullptr));
+      }
+      return Literal::Int(std::strtoll(text.c_str(), nullptr, 10));
+    }
+    if (tok.kind == TokenKind::kString) {
+      return Literal::Str(Advance().text);
+    }
+    // Bare identifiers in literal position are treated as unquoted strings
+    // (common in the nvBench corpus: WHERE name = Finance).
+    if (tok.kind == TokenKind::kIdentifier) {
+      return Literal::Str(Advance().text);
+    }
+    return Error("expected a literal");
+  }
+
+  Result<Predicate> ParsePredicate() {
+    Predicate pred;
+    GRED_ASSIGN_OR_RETURN(pred.col, ParseColumnRef());
+    if (Accept("IS")) {
+      if (Accept("NOT")) {
+        GRED_RETURN_IF_ERROR(Expect("NULL"));
+        pred.op = CompareOp::kIsNotNull;
+      } else {
+        GRED_RETURN_IF_ERROR(Expect("NULL"));
+        pred.op = CompareOp::kIsNull;
+      }
+      return pred;
+    }
+    bool negated = Accept("NOT");
+    if (Accept("LIKE")) {
+      pred.op = negated ? CompareOp::kNotLike : CompareOp::kLike;
+      GRED_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      pred.literal = std::move(lit);
+      return pred;
+    }
+    if (Accept("IN")) {
+      pred.op = negated ? CompareOp::kNotIn : CompareOp::kIn;
+      GRED_RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        GRED_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+        pred.in_list.push_back(std::move(lit));
+        if (!AcceptSymbol(",")) break;
+      }
+      GRED_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return pred;
+    }
+    if (negated) return Error("expected LIKE or IN after NOT");
+    const Token& op_tok = Peek();
+    if (op_tok.kind != TokenKind::kSymbol) {
+      return Error("expected a comparison operator");
+    }
+    const std::string op = Advance().text;
+    if (op == "=") {
+      pred.op = CompareOp::kEq;
+    } else if (op == "!=") {
+      pred.op = CompareOp::kNe;
+    } else if (op == "<") {
+      pred.op = CompareOp::kLt;
+    } else if (op == "<=") {
+      pred.op = CompareOp::kLe;
+    } else if (op == ">") {
+      pred.op = CompareOp::kGt;
+    } else if (op == ">=") {
+      pred.op = CompareOp::kGe;
+    } else {
+      return Error("unknown comparison operator '" + op + "'");
+    }
+    if (Peek().IsSymbol("(") && Peek(1).IsKeyword("SELECT")) {
+      Advance();  // '('
+      GRED_ASSIGN_OR_RETURN(Query sub, ParseQueryBody());
+      GRED_RETURN_IF_ERROR(ExpectSymbol(")"));
+      pred.subquery = std::make_shared<const Query>(std::move(sub));
+      return pred;
+    }
+    GRED_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+    pred.literal = std::move(lit);
+    return pred;
+  }
+
+  Result<Condition> ParseCondition() {
+    Condition cond;
+    GRED_ASSIGN_OR_RETURN(Predicate first, ParsePredicate());
+    cond.predicates.push_back(std::move(first));
+    while (true) {
+      if (Accept("AND")) {
+        cond.connectors.push_back(LogicalOp::kAnd);
+      } else if (Accept("OR")) {
+        cond.connectors.push_back(LogicalOp::kOr);
+      } else {
+        break;
+      }
+      GRED_ASSIGN_OR_RETURN(Predicate next, ParsePredicate());
+      cond.predicates.push_back(std::move(next));
+    }
+    return cond;
+  }
+
+  Result<BinUnit> ParseBinUnit() {
+    const Token& tok = Peek();
+    std::string word = strings::ToUpper(tok.text);
+    if (tok.kind == TokenKind::kKeyword || tok.kind == TokenKind::kIdentifier) {
+      if (word == "YEAR") {
+        Advance();
+        return BinUnit::kYear;
+      }
+      if (word == "MONTH") {
+        Advance();
+        return BinUnit::kMonth;
+      }
+      if (word == "DAY") {
+        Advance();
+        return BinUnit::kDay;
+      }
+      if (word == "WEEKDAY") {
+        Advance();
+        return BinUnit::kWeekday;
+      }
+    }
+    return Error("expected a bin unit (YEAR, MONTH, DAY, WEEKDAY)");
+  }
+
+  Result<Query> ParseQueryBody() {
+    Query q;
+    GRED_RETURN_IF_ERROR(Expect("SELECT"));
+    while (true) {
+      GRED_ASSIGN_OR_RETURN(SelectExpr expr, ParseSelectExpr());
+      q.select.push_back(std::move(expr));
+      if (!AcceptSymbol(",")) break;
+    }
+    if (q.select.empty()) return Error("empty select list");
+    GRED_RETURN_IF_ERROR(Expect("FROM"));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected a table name after FROM");
+    }
+    q.from_table = Advance().text;
+    if (Accept("AS")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected an alias after AS");
+      }
+      q.from_alias = Advance().text;
+    }
+    while (Accept("JOIN")) {
+      JoinClause join;
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected a table name after JOIN");
+      }
+      join.table = Advance().text;
+      if (Accept("AS")) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected an alias after AS");
+        }
+        join.alias = Advance().text;
+      }
+      GRED_RETURN_IF_ERROR(Expect("ON"));
+      GRED_ASSIGN_OR_RETURN(join.left, ParseColumnRef());
+      GRED_RETURN_IF_ERROR(ExpectSymbol("="));
+      GRED_ASSIGN_OR_RETURN(join.right, ParseColumnRef());
+      q.joins.push_back(std::move(join));
+    }
+    if (Accept("WHERE")) {
+      GRED_ASSIGN_OR_RETURN(Condition cond, ParseCondition());
+      q.where = std::move(cond);
+    }
+    if (Accept("GROUP")) {
+      GRED_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        GRED_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        q.group_by.push_back(std::move(ref));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (Accept("ORDER")) {
+      GRED_RETURN_IF_ERROR(Expect("BY"));
+      OrderByClause order;
+      GRED_ASSIGN_OR_RETURN(order.expr, ParseSelectExpr());
+      if (Accept("DESC")) {
+        order.descending = true;
+      } else {
+        Accept("ASC");
+      }
+      q.order_by = std::move(order);
+    }
+    if (Accept("LIMIT")) {
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected a number after LIMIT");
+      }
+      q.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    if (Accept("BIN")) {
+      BinClause bin;
+      GRED_ASSIGN_OR_RETURN(bin.col, ParseColumnRef());
+      GRED_RETURN_IF_ERROR(Expect("BY"));
+      GRED_ASSIGN_OR_RETURN(bin.unit, ParseBinUnit());
+      q.bin = std::move(bin);
+    }
+    return q;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<DVQ> Parse(const std::string& input) {
+  GRED_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseDvq();
+}
+
+Result<Query> ParseQuery(const std::string& input) {
+  GRED_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseBareQuery();
+}
+
+}  // namespace gred::dvq

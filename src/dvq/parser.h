@@ -1,0 +1,29 @@
+#ifndef GREDVIS_DVQ_PARSER_H_
+#define GREDVIS_DVQ_PARSER_H_
+
+#include <string>
+
+#include "dvq/ast.h"
+#include "util/status.h"
+
+namespace gred::dvq {
+
+/// Parses a DVQ string into an AST.
+///
+/// The grammar follows the nvBench / Vega-Zero surface language:
+///
+///   Visualize CHART SELECT e1 , e2 [, e3] FROM t [AS a] {JOIN t2 [AS a2]
+///   ON c1 = c2} [WHERE pred {(AND|OR) pred}] [GROUP BY c {, c}]
+///   [ORDER BY expr [ASC|DESC]] [LIMIT n] [BIN c BY unit]
+///
+/// Predicates support =, !=, <, <=, >, >=, [NOT] LIKE, IS [NOT] NULL,
+/// [NOT] IN (lit, ...), and scalar subqueries `col = (SELECT ...)`.
+Result<DVQ> Parse(const std::string& input);
+
+/// Parses just the relational core (no "Visualize CHART" prefix); used for
+/// subqueries and tests.
+Result<Query> ParseQuery(const std::string& input);
+
+}  // namespace gred::dvq
+
+#endif  // GREDVIS_DVQ_PARSER_H_

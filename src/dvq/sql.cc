@@ -1,0 +1,172 @@
+#include "dvq/sql.h"
+
+#include "util/strings.h"
+
+namespace gred::dvq {
+
+namespace {
+
+std::string SqlQuote(const std::string& s) {
+  return "'" + strings::ReplaceAll(s, "'", "''") + "'";
+}
+
+std::string SqlLiteral(const Literal& lit) {
+  switch (lit.kind) {
+    case Literal::Kind::kInt:
+      return strings::Format("%lld", static_cast<long long>(lit.int_value));
+    case Literal::Kind::kReal:
+      return strings::Format("%g", lit.real_value);
+    case Literal::Kind::kString:
+      return SqlQuote(lit.string_value);
+  }
+  return "NULL";
+}
+
+std::string BinExpression(const ColumnRef& col, BinUnit unit,
+                          SqlDialect dialect) {
+  std::string name = col.ToString();
+  if (dialect == SqlDialect::kSqlite) {
+    switch (unit) {
+      case BinUnit::kYear:
+        return "strftime('%Y', " + name + ")";
+      case BinUnit::kMonth:
+        return "strftime('%Y-%m', " + name + ")";
+      case BinUnit::kDay:
+        return "strftime('%Y-%m-%d', " + name + ")";
+      case BinUnit::kWeekday:
+        return "strftime('%w', " + name + ")";
+    }
+  }
+  switch (unit) {
+    case BinUnit::kYear:
+      return "EXTRACT(YEAR FROM " + name + ")";
+    case BinUnit::kMonth:
+      return "EXTRACT(MONTH FROM " + name + ")";
+    case BinUnit::kDay:
+      return "CAST(" + name + " AS DATE)";
+    case BinUnit::kWeekday:
+      return "EXTRACT(DOW FROM " + name + ")";
+  }
+  return name;
+}
+
+/// Renders a select expression, substituting the bin expression for the
+/// binned column.
+std::string SqlExpr(const SelectExpr& expr, const Query& q,
+                    SqlDialect dialect) {
+  std::string target = expr.col.ToString();
+  if (q.bin.has_value() &&
+      q.bin->col.EqualsIgnoreCase(expr.col)) {
+    target = BinExpression(q.bin->col, q.bin->unit, dialect);
+  }
+  if (expr.agg == AggFunc::kNone) return target;
+  std::string out = AggFuncName(expr.agg) + "(";
+  if (expr.distinct) out += "DISTINCT ";
+  out += expr.col.column == "*" ? "*" : target;
+  out += ")";
+  return out;
+}
+
+std::string SqlPredicate(const Predicate& pred, SqlDialect dialect);
+
+std::string SqlCondition(const Condition& cond, SqlDialect dialect) {
+  std::string out;
+  for (std::size_t i = 0; i < cond.predicates.size(); ++i) {
+    if (i > 0) {
+      out += cond.connectors[i - 1] == LogicalOp::kAnd ? " AND " : " OR ";
+    }
+    out += SqlPredicate(cond.predicates[i], dialect);
+  }
+  return out;
+}
+
+std::string SqlPredicate(const Predicate& pred, SqlDialect dialect) {
+  std::string lhs = pred.col.ToString();
+  switch (pred.op) {
+    case CompareOp::kIsNull:
+      return lhs + " IS NULL";
+    case CompareOp::kIsNotNull:
+      return lhs + " IS NOT NULL";
+    case CompareOp::kIn:
+    case CompareOp::kNotIn: {
+      std::string out = lhs;
+      out += pred.op == CompareOp::kIn ? " IN (" : " NOT IN (";
+      for (std::size_t i = 0; i < pred.in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += SqlLiteral(pred.in_list[i]);
+      }
+      return out + ")";
+    }
+    case CompareOp::kLike:
+      return lhs + " LIKE " + SqlLiteral(*pred.literal);
+    case CompareOp::kNotLike:
+      return lhs + " NOT LIKE " + SqlLiteral(*pred.literal);
+    default:
+      break;
+  }
+  std::string op = CompareOpName(pred.op);
+  if (pred.subquery != nullptr) {
+    return lhs + " " + op + " (" + ToSql(*pred.subquery, dialect) + ")";
+  }
+  return lhs + " " + op + " " + SqlLiteral(*pred.literal);
+}
+
+}  // namespace
+
+std::string ToSql(const Query& query, SqlDialect dialect) {
+  std::string out = "SELECT ";
+  for (std::size_t i = 0; i < query.select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += SqlExpr(query.select[i], query, dialect);
+  }
+  out += " FROM " + query.from_table;
+  if (!query.from_alias.empty()) out += " AS " + query.from_alias;
+  for (const JoinClause& j : query.joins) {
+    out += " JOIN " + j.table;
+    if (!j.alias.empty()) out += " AS " + j.alias;
+    out += " ON " + j.left.ToString() + " = " + j.right.ToString();
+  }
+  if (query.where.has_value()) {
+    out += " WHERE " + SqlCondition(*query.where, dialect);
+  }
+  // Explicit grouping: the DVQ's GROUP BY, or the implicit Vega-Zero
+  // grouping over non-aggregated select columns; the bin expression
+  // participates either way.
+  bool has_aggregate = false;
+  for (const SelectExpr& e : query.select) {
+    if (e.agg != AggFunc::kNone) has_aggregate = true;
+  }
+  std::vector<std::string> group_terms;
+  if (!query.group_by.empty()) {
+    for (const ColumnRef& g : query.group_by) {
+      std::string term = g.ToString();
+      if (query.bin.has_value() && query.bin->col.EqualsIgnoreCase(g)) {
+        term = BinExpression(query.bin->col, query.bin->unit, dialect);
+      }
+      group_terms.push_back(term);
+    }
+  } else if (has_aggregate) {
+    for (const SelectExpr& e : query.select) {
+      if (e.agg != AggFunc::kNone) continue;
+      group_terms.push_back(SqlExpr(e, query, dialect));
+    }
+  }
+  if (!group_terms.empty()) {
+    out += " GROUP BY " + strings::Join(group_terms, ", ");
+  }
+  if (query.order_by.has_value()) {
+    out += " ORDER BY " + SqlExpr(query.order_by->expr, query, dialect);
+    out += query.order_by->descending ? " DESC" : " ASC";
+  }
+  if (query.limit.has_value()) {
+    out += strings::Format(" LIMIT %lld",
+                           static_cast<long long>(*query.limit));
+  }
+  return out;
+}
+
+std::string ToSql(const DVQ& query, SqlDialect dialect) {
+  return ToSql(query.query, dialect);
+}
+
+}  // namespace gred::dvq

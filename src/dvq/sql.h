@@ -1,0 +1,34 @@
+#ifndef GREDVIS_DVQ_SQL_H_
+#define GREDVIS_DVQ_SQL_H_
+
+#include <string>
+
+#include "dvq/ast.h"
+
+namespace gred::dvq {
+
+/// SQL dialect for ToSql.
+enum class SqlDialect {
+  kSqlite,    // strftime-based binning (nvBench's substrate)
+  kStandard,  // EXTRACT-based binning
+};
+
+/// Translates a DVQ's relational core into executable SQL.
+///
+/// DVQ departs from SQL in three places, all normalized here:
+///  * `BIN c BY unit` becomes a date-truncation expression that replaces
+///    `c` in the select list and joins the GROUP BY;
+///  * implicit grouping (aggregates without GROUP BY) becomes explicit;
+///  * string literals are single-quoted with '' escaping.
+/// The `Visualize CHART` prefix has no SQL counterpart; callers keep the
+/// chart type on the side.
+std::string ToSql(const Query& query,
+                  SqlDialect dialect = SqlDialect::kSqlite);
+
+/// Convenience overload for whole DVQs (chart type is dropped).
+std::string ToSql(const DVQ& query,
+                  SqlDialect dialect = SqlDialect::kSqlite);
+
+}  // namespace gred::dvq
+
+#endif  // GREDVIS_DVQ_SQL_H_

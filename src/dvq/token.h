@@ -1,0 +1,35 @@
+#ifndef GREDVIS_DVQ_TOKEN_H_
+#define GREDVIS_DVQ_TOKEN_H_
+
+#include <cstddef>
+#include <string>
+
+namespace gred::dvq {
+
+/// Lexical token kinds of the DVQ (Vega-Zero style) language.
+enum class TokenKind {
+  kKeyword,     // VISUALIZE SELECT FROM WHERE ... (normalized upper-case)
+  kIdentifier,  // table / column names, possibly qualified (t1.col)
+  kNumber,      // integer or decimal literal
+  kString,      // quoted literal, quotes stripped
+  kSymbol,      // ( ) , * = != < <= > >= !
+  kEnd,
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // keyword: upper-cased; identifier: verbatim
+  std::size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+}  // namespace gred::dvq
+
+#endif  // GREDVIS_DVQ_TOKEN_H_

@@ -1,0 +1,127 @@
+#include "embed/ann_index.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace gred::embed {
+
+namespace {
+
+double Dot(const Vector& a, const Vector& b) {
+  double dot = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  return dot;
+}
+
+}  // namespace
+
+IvfIndex::IvfIndex() : IvfIndex(Options()) {}
+
+IvfIndex::IvfIndex(Options options) : options_(options) {}
+
+std::size_t IvfIndex::Add(Vector v) {
+  L2Normalize(&v);
+  vectors_.push_back(std::move(v));
+  built_ = false;
+  return vectors_.size() - 1;
+}
+
+void IvfIndex::Build() {
+  const std::size_t n = vectors_.size();
+  const std::size_t k = std::min(options_.num_clusters, std::max<std::size_t>(
+                                                            1, n));
+  centroids_.clear();
+  lists_.assign(k, {});
+  if (n == 0) {
+    built_ = true;
+    return;
+  }
+  // Seed centroids with a deterministic sample.
+  Rng rng(options_.seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  for (std::size_t c = 0; c < k; ++c) {
+    centroids_.push_back(vectors_[order[c]]);
+  }
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t iter = 0; iter < options_.kmeans_iterations; ++iter) {
+    // Assign each vector to its most similar centroid.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_dot = -2.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double d = Dot(vectors_[i], centroids_[c]);
+        if (d > best_dot) {
+          best_dot = d;
+          best = c;
+        }
+      }
+      changed = changed || best != assignment[i];
+      assignment[i] = best;
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centroids as normalized means (spherical k-means).
+    const std::size_t dim = vectors_[0].size();
+    std::vector<Vector> sums(k, Vector(dim, 0.0f));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        sums[assignment[i]][d] += vectors_[i][d];
+      }
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      L2Normalize(&sums[c]);
+      centroids_[c] = std::move(sums[c]);
+    }
+  }
+  lists_.assign(k, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    lists_[assignment[i]].push_back(i);
+  }
+  built_ = true;
+}
+
+std::vector<VectorStore::Hit> IvfIndex::TopK(const Vector& query,
+                                             std::size_t k) const {
+  std::vector<VectorStore::Hit> hits;
+  if (!built_ || vectors_.empty()) return hits;
+  Vector q = query;
+  L2Normalize(&q);
+  // Rank centroids; probe the best few.
+  std::vector<VectorStore::Hit> centroid_rank;
+  centroid_rank.reserve(centroids_.size());
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    centroid_rank.push_back(VectorStore::Hit{c, Dot(q, centroids_[c])});
+  }
+  std::size_t probes = std::min(options_.num_probes, centroid_rank.size());
+  std::partial_sort(centroid_rank.begin(),
+                    centroid_rank.begin() + static_cast<long>(probes),
+                    centroid_rank.end(),
+                    [](const VectorStore::Hit& a, const VectorStore::Hit& b) {
+                      return a.score > b.score;
+                    });
+  for (std::size_t p = 0; p < probes; ++p) {
+    for (std::size_t i : lists_[centroid_rank[p].index]) {
+      hits.push_back(VectorStore::Hit{i, Dot(q, vectors_[i])});
+    }
+  }
+  std::size_t keep = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
+                    hits.end(),
+                    [](const VectorStore::Hit& a, const VectorStore::Hit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.index < b.index;
+                    });
+  hits.resize(keep);
+  return hits;
+}
+
+}  // namespace gred::embed

@@ -1,0 +1,55 @@
+#ifndef GREDVIS_EMBED_ANN_INDEX_H_
+#define GREDVIS_EMBED_ANN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/vector_store.h"
+
+namespace gred::embed {
+
+/// Inverted-file (IVF-flat) approximate nearest-neighbour index.
+///
+/// The brute-force VectorStore is exact and fast enough for nvBench-scale
+/// libraries (a few thousand vectors); this index exists for larger
+/// embedding libraries: vectors are k-means-clustered and queries scan
+/// only the `num_probes` closest clusters. Deterministic (seeded k-means,
+/// fixed iteration count).
+class IvfIndex {
+ public:
+  struct Options {
+    std::size_t num_clusters = 16;
+    std::size_t num_probes = 4;
+    std::size_t kmeans_iterations = 8;
+    std::uint64_t seed = 42;
+  };
+
+  IvfIndex();
+  explicit IvfIndex(Options options);
+
+  /// Buffers a vector (L2-normalized); returns its insertion index.
+  std::size_t Add(Vector v);
+
+  /// Clusters the buffered vectors. Must be called after the last Add and
+  /// before the first TopK. Safe to call again after more Adds.
+  void Build();
+
+  /// Approximate top-k by cosine similarity over the probed clusters.
+  /// Hit indexes refer to insertion order, as in VectorStore.
+  std::vector<VectorStore::Hit> TopK(const Vector& query,
+                                     std::size_t k) const;
+
+  std::size_t size() const { return vectors_.size(); }
+  bool built() const { return built_; }
+
+ private:
+  Options options_;
+  std::vector<Vector> vectors_;
+  std::vector<Vector> centroids_;
+  std::vector<std::vector<std::size_t>> lists_;  // per-centroid members
+  bool built_ = false;
+};
+
+}  // namespace gred::embed
+
+#endif  // GREDVIS_EMBED_ANN_INDEX_H_

@@ -1,0 +1,95 @@
+#include "embed/embedder.h"
+
+#include <cmath>
+
+#include "nl/text.h"
+#include "util/rng.h"
+
+namespace gred::embed {
+
+double CosineSimilarity(const Vector& a, const Vector& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void L2Normalize(Vector* v) {
+  double norm = 0.0;
+  for (float x : *v) norm += static_cast<double>(x) * x;
+  if (norm == 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm));
+  for (float& x : *v) x *= inv;
+}
+
+namespace {
+
+/// Adds one hashed feature with a hash-derived sign (feature hashing with
+/// signed buckets keeps collisions unbiased).
+void AddFeature(const std::string& feature, double weight, Vector* out) {
+  std::uint64_t h = Fnv1a64(feature);
+  std::size_t bucket = static_cast<std::size_t>(h % out->size());
+  float sign = (h >> 63) != 0 ? -1.0f : 1.0f;
+  (*out)[bucket] += sign * static_cast<float>(weight);
+}
+
+}  // namespace
+
+SemanticHashEmbedder::SemanticHashEmbedder(const nl::Lexicon* lexicon,
+                                           EmbedderOptions options)
+    : lexicon_(lexicon), options_(options) {}
+
+SemanticHashEmbedder::SemanticHashEmbedder()
+    : SemanticHashEmbedder(&nl::Lexicon::Default(), EmbedderOptions()) {}
+
+Vector SemanticHashEmbedder::Embed(const std::string& text) const {
+  Vector out(options_.dimension, 0.0f);
+  std::vector<std::string> tokens = nl::Tokenize(text);
+  for (const std::string& token : tokens) {
+    if (nl::IsStopword(token)) continue;
+    if (options_.token_weight > 0.0) {
+      AddFeature("tok:" + nl::Stem(token), options_.token_weight, &out);
+    }
+    if (options_.concept_weight > 0.0 && lexicon_ != nullptr) {
+      std::string concept_id = lexicon_->ConceptIdOf(token);
+      if (!concept_id.empty()) {
+        AddFeature("con:" + concept_id, options_.concept_weight, &out);
+      }
+    }
+  }
+  if (options_.trigram_weight > 0.0) {
+    std::string joined;
+    for (const std::string& token : tokens) {
+      joined += token;
+      joined += ' ';
+    }
+    if (joined.size() >= 3) {
+      for (std::size_t i = 0; i + 3 <= joined.size(); ++i) {
+        AddFeature("tri:" + joined.substr(i, 3), options_.trigram_weight,
+                   &out);
+      }
+    }
+  }
+  L2Normalize(&out);
+  return out;
+}
+
+LexicalHashEmbedder::LexicalHashEmbedder(EmbedderOptions options)
+    : impl_(nullptr, [&options] {
+        EmbedderOptions lexical = options;
+        lexical.concept_weight = 0.0;
+        return lexical;
+      }()) {}
+
+Vector LexicalHashEmbedder::Embed(const std::string& text) const {
+  return impl_.Embed(text);
+}
+
+}  // namespace gred::embed

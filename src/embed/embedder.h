@@ -1,0 +1,86 @@
+#ifndef GREDVIS_EMBED_EMBEDDER_H_
+#define GREDVIS_EMBED_EMBEDDER_H_
+
+#include <string>
+#include <vector>
+
+#include "nl/lexicon.h"
+
+namespace gred::embed {
+
+/// Dense embedding vector (L2-normalized by the embedders).
+using Vector = std::vector<float>;
+
+/// Cosine similarity; returns 0 for zero vectors or dimension mismatch.
+double CosineSimilarity(const Vector& a, const Vector& b);
+
+/// Normalizes `v` to unit length in place (no-op on the zero vector).
+void L2Normalize(Vector* v);
+
+/// Interface for text embedding models.
+///
+/// Stands in for OpenAI's `text-embedding-3-large` in the paper's
+/// preparatory phase (Section 4.1). Implementations must be deterministic.
+class TextEmbedder {
+ public:
+  virtual ~TextEmbedder() = default;
+
+  /// Embeds `text` into a unit-length vector of `dimension()` floats.
+  virtual Vector Embed(const std::string& text) const = 0;
+
+  virtual std::size_t dimension() const = 0;
+};
+
+/// Configuration for the hash embedders.
+struct EmbedderOptions {
+  std::size_t dimension = 512;
+  /// Weight of stemmed-token features.
+  double token_weight = 1.0;
+  /// Weight of concept-id features (semantic folding). Zero disables
+  /// concept knowledge, turning the model into a purely lexical embedder.
+  double concept_weight = 1.6;
+  /// Weight of character-trigram features (robustness to morphology
+  /// and identifier-style tokens).
+  double trigram_weight = 0.3;
+};
+
+/// Concept-aware hashed bag-of-features embedder.
+///
+/// Features: (a) stemmed content tokens, (b) the lexicon concept id of
+/// every known token — this is what places "wage" next to "salary", the
+/// property the paper gets from the pretrained embedding model — and
+/// (c) character trigrams. Each feature is FNV-hashed into one of
+/// `dimension` buckets with a sign derived from the hash (feature
+/// hashing), then the vector is L2-normalized.
+class SemanticHashEmbedder : public TextEmbedder {
+ public:
+  SemanticHashEmbedder(const nl::Lexicon* lexicon, EmbedderOptions options);
+
+  /// Embedder with the default lexicon and options.
+  SemanticHashEmbedder();
+
+  Vector Embed(const std::string& text) const override;
+  std::size_t dimension() const override { return options_.dimension; }
+
+ private:
+  const nl::Lexicon* lexicon_;  // not owned
+  EmbedderOptions options_;
+};
+
+/// Purely lexical variant (concept weight zero): what a model without
+/// pretrained semantic knowledge "sees". Used by the RGVisNet baseline's
+/// prototype retrieval.
+class LexicalHashEmbedder : public TextEmbedder {
+ public:
+  explicit LexicalHashEmbedder(EmbedderOptions options = {});
+
+  Vector Embed(const std::string& text) const override;
+  std::size_t dimension() const override { return impl_.dimension(); }
+
+ private:
+  SemanticHashEmbedder impl_;
+};
+
+}  // namespace gred::embed
+
+#endif  // GREDVIS_EMBED_EMBEDDER_H_

@@ -1,0 +1,38 @@
+#include "embed/vector_store.h"
+
+#include <algorithm>
+
+namespace gred::embed {
+
+std::size_t VectorStore::Add(Vector v) {
+  L2Normalize(&v);
+  vectors_.push_back(std::move(v));
+  return vectors_.size() - 1;
+}
+
+std::vector<VectorStore::Hit> VectorStore::TopK(const Vector& query,
+                                                std::size_t k) const {
+  Vector q = query;
+  L2Normalize(&q);
+  std::vector<Hit> hits;
+  hits.reserve(vectors_.size());
+  for (std::size_t i = 0; i < vectors_.size(); ++i) {
+    const Vector& v = vectors_[i];
+    double dot = 0.0;
+    const std::size_t n = std::min(v.size(), q.size());
+    for (std::size_t d = 0; d < n; ++d) {
+      dot += static_cast<double>(v[d]) * q[d];
+    }
+    hits.push_back(Hit{i, dot});
+  }
+  std::size_t keep = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
+                    hits.end(), [](const Hit& a, const Hit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.index < b.index;
+                    });
+  hits.resize(keep);
+  return hits;
+}
+
+}  // namespace gred::embed

@@ -1,0 +1,41 @@
+#ifndef GREDVIS_EMBED_VECTOR_STORE_H_
+#define GREDVIS_EMBED_VECTOR_STORE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+
+namespace gred::embed {
+
+/// An exact top-K cosine-similarity index over embedding vectors.
+///
+/// This is the "embedding vector library" of GRED's preparatory phase:
+/// the NLQs and DVQs of the training split are embedded and stored here,
+/// then retrieved by cosine similarity at generation/retune time.
+/// Vectors are L2-normalized on insert so similarity is a dot product.
+class VectorStore {
+ public:
+  struct Hit {
+    std::size_t index = 0;  // insertion index (payload handle)
+    double score = 0.0;     // cosine similarity
+  };
+
+  /// Adds a vector; returns its insertion index.
+  std::size_t Add(Vector v);
+
+  /// Exact top-`k` by cosine similarity, highest first. Ties break by
+  /// lower insertion index (deterministic).
+  std::vector<Hit> TopK(const Vector& query, std::size_t k) const;
+
+  std::size_t size() const { return vectors_.size(); }
+  const Vector& at(std::size_t index) const { return vectors_[index]; }
+
+ private:
+  std::vector<Vector> vectors_;
+};
+
+}  // namespace gred::embed
+
+#endif  // GREDVIS_EMBED_VECTOR_STORE_H_

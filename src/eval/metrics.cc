@@ -1,0 +1,128 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "dvq/components.h"
+#include "exec/executor.h"
+#include "util/strings.h"
+
+namespace gred::eval {
+
+namespace {
+
+double Ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double MetricCounts::VisAcc() const { return Ratio(vis, total); }
+double MetricCounts::AxisAcc() const { return Ratio(axis, total); }
+double MetricCounts::DataAcc() const { return Ratio(data, total); }
+double MetricCounts::OverallAcc() const { return Ratio(overall, total); }
+double MetricCounts::ExecutionAcc() const { return Ratio(execution, total); }
+
+void MetricCounts::Merge(const MetricCounts& other) {
+  total += other.total;
+  vis += other.vis;
+  axis += other.axis;
+  data += other.data;
+  overall += other.overall;
+  execution += other.execution;
+  errors += other.errors;
+}
+
+bool ExecutionMatch(const dvq::DVQ& predicted, const dvq::DVQ& target,
+                    const storage::DatabaseData& db) {
+  if (predicted.chart != target.chart) return false;
+  Result<exec::ResultSet> a = exec::Execute(predicted, db);
+  Result<exec::ResultSet> b = exec::Execute(target, db);
+  if (!a.ok() || !b.ok()) return false;
+  if (a.value().num_rows() != b.value().num_rows() ||
+      a.value().num_columns() != b.value().num_columns()) {
+    return false;
+  }
+  auto rendered = [](const exec::ResultSet& rs) {
+    std::vector<std::string> rows;
+    rows.reserve(rs.num_rows());
+    for (const auto& row : rs.rows) {
+      std::string line;
+      for (const storage::Value& cell : row) {
+        line += cell.ToString();
+        line += '\x1f';
+      }
+      rows.push_back(std::move(line));
+    }
+    return rows;
+  };
+  std::vector<std::string> rows_a = rendered(a.value());
+  std::vector<std::string> rows_b = rendered(b.value());
+  const bool ordered = target.query.order_by.has_value();
+  if (!ordered) {
+    std::sort(rows_a.begin(), rows_a.end());
+    std::sort(rows_b.begin(), rows_b.end());
+  }
+  return rows_a == rows_b;
+}
+
+ExampleOutcome ScorePrediction(const dataset::Example& example,
+                               const Result<dvq::DVQ>& prediction) {
+  ExampleOutcome outcome;
+  outcome.example = &example;
+  if (!prediction.ok()) return outcome;
+  const dvq::DVQ& pred = prediction.value();
+  outcome.predicted = pred.ToString();
+  outcome.vis = dvq::VisMatch(pred, example.dvq);
+  outcome.axis = dvq::AxisMatch(pred, example.dvq);
+  outcome.data = dvq::DataMatch(pred, example.dvq);
+  outcome.overall = outcome.vis && outcome.axis && outcome.data;
+  return outcome;
+}
+
+EvalResult Evaluate(
+    const models::TextToVisModel& model,
+    const std::vector<dataset::Example>& test,
+    const std::vector<dataset::GeneratedDatabase>& databases,
+    const std::string& test_set_name,
+    const std::function<void(const ExampleOutcome&)>& on_example) {
+  EvalResult result;
+  result.model_name = model.name();
+  result.test_set = test_set_name;
+  for (const dataset::Example& example : test) {
+    const dataset::GeneratedDatabase* db = nullptr;
+    for (const dataset::GeneratedDatabase& candidate : databases) {
+      if (strings::EqualsIgnoreCase(candidate.data.name(),
+                                    example.db_name)) {
+        db = &candidate;
+        break;
+      }
+    }
+    MetricCounts unit;
+    unit.total = 1;
+    ExampleOutcome outcome;
+    if (db == nullptr) {
+      unit.errors = 1;
+      outcome.example = &example;
+    } else {
+      Result<dvq::DVQ> prediction = model.Translate(example.nlq, db->data);
+      outcome = ScorePrediction(example, prediction);
+      if (!prediction.ok()) unit.errors = 1;
+      if (prediction.ok()) {
+        outcome.execution =
+            ExecutionMatch(prediction.value(), example.dvq, db->data);
+      }
+      unit.vis = outcome.vis ? 1 : 0;
+      unit.axis = outcome.axis ? 1 : 0;
+      unit.data = outcome.data ? 1 : 0;
+      unit.overall = outcome.overall ? 1 : 0;
+      unit.execution = outcome.execution ? 1 : 0;
+    }
+    result.counts.Merge(unit);
+    result.by_hardness[dataset::HardnessName(example.hardness)].Merge(unit);
+    result.by_chart[dvq::ChartTypeName(example.dvq.chart)].Merge(unit);
+    if (on_example) on_example(outcome);
+  }
+  return result;
+}
+
+}  // namespace gred::eval

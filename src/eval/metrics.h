@@ -1,0 +1,79 @@
+#ifndef GREDVIS_EVAL_METRICS_H_
+#define GREDVIS_EVAL_METRICS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/benchmark.h"
+#include "models/model.h"
+
+namespace gred::eval {
+
+/// Raw match counts for the four metrics of Appendix A, plus execution
+/// accuracy (an extension: does the predicted query produce the same
+/// rows as the target when run against the live database?).
+struct MetricCounts {
+  std::size_t total = 0;
+  std::size_t vis = 0;        // chart-type matches
+  std::size_t axis = 0;       // x/y-axis component matches
+  std::size_t data = 0;       // data-transformation matches
+  std::size_t overall = 0;    // exact matches
+  std::size_t execution = 0;  // result-set matches (chart type included)
+  std::size_t errors = 0;     // model returned an error / unparseable DVQ
+
+  double VisAcc() const;
+  double AxisAcc() const;
+  double DataAcc() const;
+  double OverallAcc() const;
+  double ExecutionAcc() const;
+
+  void Merge(const MetricCounts& other);
+};
+
+/// Per-example evaluation record (kept by the harness for case studies).
+struct ExampleOutcome {
+  const dataset::Example* example = nullptr;
+  std::string predicted;   // empty when the model errored
+  bool vis = false;
+  bool axis = false;
+  bool data = false;
+  bool overall = false;
+  bool execution = false;
+};
+
+/// True when both queries execute against `db` and produce the same
+/// multiset of result rows (order-insensitive unless the target sorts)
+/// and the same chart type. An exact match always execution-matches.
+bool ExecutionMatch(const dvq::DVQ& predicted, const dvq::DVQ& target,
+                    const storage::DatabaseData& db);
+
+/// Full evaluation result with per-hardness and per-chart breakdowns.
+struct EvalResult {
+  std::string model_name;
+  std::string test_set;
+  MetricCounts counts;
+  std::map<std::string, MetricCounts> by_hardness;
+  std::map<std::string, MetricCounts> by_chart;
+};
+
+/// Scores one prediction against the target (component metrics).
+ExampleOutcome ScorePrediction(const dataset::Example& example,
+                               const Result<dvq::DVQ>& prediction);
+
+/// Evaluates `model` over `test`, resolving each example's database in
+/// `databases` (pass the clean corpus for nvBench / nvBench-Rob_nlq and
+/// the perturbed corpus for the schema-variant sets).
+///
+/// `on_example` (optional) observes every outcome as it is produced.
+EvalResult Evaluate(
+    const models::TextToVisModel& model,
+    const std::vector<dataset::Example>& test,
+    const std::vector<dataset::GeneratedDatabase>& databases,
+    const std::string& test_set_name,
+    const std::function<void(const ExampleOutcome&)>& on_example = nullptr);
+
+}  // namespace gred::eval
+
+#endif  // GREDVIS_EVAL_METRICS_H_

@@ -1,0 +1,484 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "dvq/normalize.h"
+#include "exec/scalar.h"
+#include "util/strings.h"
+
+namespace gred::exec {
+
+namespace {
+
+using storage::Value;
+
+/// Maps column references to slot indices in the joined working row.
+class Binding {
+ public:
+  void AddTable(const storage::DataTable& table) {
+    for (const schema::Column& c : table.def().columns()) {
+      slots_.emplace_back(table.name(), c.name);
+    }
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+  Result<std::size_t> Resolve(const dvq::ColumnRef& ref) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!strings::EqualsIgnoreCase(slots_[i].second, ref.column)) continue;
+      if (!ref.table.empty() &&
+          !strings::EqualsIgnoreCase(slots_[i].first, ref.table)) {
+        continue;
+      }
+      return i;
+    }
+    return Status::ExecutionError("unknown column '" + ref.ToString() + "'");
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> slots_;
+};
+
+Value LiteralToValue(const dvq::Literal& lit) {
+  switch (lit.kind) {
+    case dvq::Literal::Kind::kInt:
+      return Value::Int(lit.int_value);
+    case dvq::Literal::Kind::kReal:
+      return Value::Real(lit.real_value);
+    case dvq::Literal::Kind::kString:
+      return Value::Text(lit.string_value);
+  }
+  return Value::Null();
+}
+
+struct WorkingSet {
+  Binding binding;
+  std::vector<std::vector<Value>> rows;
+};
+
+Result<WorkingSet> BuildJoinedRows(const dvq::Query& q,
+                                   const storage::DatabaseData& db,
+                                   const ExecOptions& options) {
+  WorkingSet ws;
+  const storage::DataTable* from = db.FindTable(q.from_table);
+  if (from == nullptr) {
+    return Status::ExecutionError("unknown table '" + q.from_table + "'");
+  }
+  ws.binding.AddTable(*from);
+  ws.rows.reserve(from->num_rows());
+  for (std::size_t r = 0; r < from->num_rows(); ++r) {
+    ws.rows.push_back(from->Row(r));
+  }
+  for (const dvq::JoinClause& join : q.joins) {
+    const storage::DataTable* right = db.FindTable(join.table);
+    if (right == nullptr) {
+      return Status::ExecutionError("unknown table '" + join.table + "'");
+    }
+    // Determine which side of the ON condition binds to the existing rows
+    // and which to the newly joined table.
+    Binding right_binding;
+    right_binding.AddTable(*right);
+    auto left_in_existing = ws.binding.Resolve(join.left);
+    dvq::ColumnRef probe = join.left;
+    dvq::ColumnRef build = join.right;
+    if (!left_in_existing.ok()) {
+      std::swap(probe, build);
+    }
+    GRED_ASSIGN_OR_RETURN(std::size_t probe_slot, ws.binding.Resolve(probe));
+    // The build key must resolve within the joined table only.
+    dvq::ColumnRef build_local = build;
+    GRED_ASSIGN_OR_RETURN(std::size_t build_slot,
+                          right_binding.Resolve(build_local));
+
+    std::vector<std::vector<Value>> joined;
+    if (options.join_strategy == JoinStrategy::kHashJoin) {
+      std::unordered_multimap<std::uint64_t, std::size_t> index;
+      index.reserve(right->num_rows() * 2);
+      for (std::size_t r = 0; r < right->num_rows(); ++r) {
+        const Value& key = right->at(r, build_slot);
+        if (key.is_null()) continue;
+        index.emplace(key.Hash(), r);
+      }
+      for (const auto& row : ws.rows) {
+        const Value& key = row[probe_slot];
+        if (key.is_null()) continue;
+        auto [lo, hi] = index.equal_range(key.Hash());
+        for (auto it = lo; it != hi; ++it) {
+          if (right->at(it->second, build_slot) != key) continue;
+          std::vector<Value> merged = row;
+          std::vector<Value> rrow = right->Row(it->second);
+          merged.insert(merged.end(), rrow.begin(), rrow.end());
+          joined.push_back(std::move(merged));
+        }
+      }
+    } else {
+      for (const auto& row : ws.rows) {
+        const Value& key = row[probe_slot];
+        if (key.is_null()) continue;
+        for (std::size_t r = 0; r < right->num_rows(); ++r) {
+          if (right->at(r, build_slot) != key) continue;
+          std::vector<Value> merged = row;
+          std::vector<Value> rrow = right->Row(r);
+          merged.insert(merged.end(), rrow.begin(), rrow.end());
+          joined.push_back(std::move(merged));
+        }
+      }
+    }
+    ws.binding.AddTable(*right);
+    ws.rows = std::move(joined);
+  }
+  return ws;
+}
+
+Result<Value> EvaluateScalarSubquery(const dvq::Query& sub,
+                                     const storage::DatabaseData& db,
+                                     const ExecOptions& options) {
+  GRED_ASSIGN_OR_RETURN(ResultSet rs, Execute(sub, db, options));
+  if (rs.rows.empty() || rs.rows[0].empty()) return Value::Null();
+  return rs.rows[0][0];
+}
+
+Result<bool> EvaluatePredicate(const dvq::Predicate& pred,
+                               const Binding& binding,
+                               const std::vector<Value>& row,
+                               const storage::DatabaseData& db,
+                               const ExecOptions& options) {
+  GRED_ASSIGN_OR_RETURN(std::size_t slot, binding.Resolve(pred.col));
+  const Value& lhs = row[slot];
+  switch (pred.op) {
+    case dvq::CompareOp::kIsNull:
+      return lhs.is_null();
+    case dvq::CompareOp::kIsNotNull:
+      return !lhs.is_null();
+    case dvq::CompareOp::kLike:
+    case dvq::CompareOp::kNotLike: {
+      if (!pred.literal.has_value()) {
+        return Status::ExecutionError("LIKE without a pattern");
+      }
+      bool match = LikeMatch(pred.literal->string_value, lhs.ToString());
+      return pred.op == dvq::CompareOp::kLike ? match : !match;
+    }
+    case dvq::CompareOp::kIn:
+    case dvq::CompareOp::kNotIn: {
+      bool found = false;
+      for (const dvq::Literal& lit : pred.in_list) {
+        if (lhs == LiteralToValue(lit)) {
+          found = true;
+          break;
+        }
+      }
+      return pred.op == dvq::CompareOp::kIn ? found : !found;
+    }
+    default:
+      break;
+  }
+  Value rhs;
+  if (pred.subquery != nullptr) {
+    GRED_ASSIGN_OR_RETURN(rhs,
+                          EvaluateScalarSubquery(*pred.subquery, db, options));
+  } else if (pred.literal.has_value()) {
+    rhs = LiteralToValue(*pred.literal);
+  } else {
+    return Status::ExecutionError("predicate missing right-hand side");
+  }
+  if (lhs.is_null() || rhs.is_null()) return false;  // SQL 3VL -> not true
+  int cmp = lhs.Compare(rhs);
+  switch (pred.op) {
+    case dvq::CompareOp::kEq:
+      return cmp == 0;
+    case dvq::CompareOp::kNe:
+      return cmp != 0;
+    case dvq::CompareOp::kLt:
+      return cmp < 0;
+    case dvq::CompareOp::kLe:
+      return cmp <= 0;
+    case dvq::CompareOp::kGt:
+      return cmp > 0;
+    case dvq::CompareOp::kGe:
+      return cmp >= 0;
+    default:
+      return Status::ExecutionError("unsupported comparison");
+  }
+}
+
+/// Evaluates the condition with SQL precedence (AND binds tighter than
+/// OR): the chain is an OR of AND-groups.
+Result<bool> EvaluateCondition(const dvq::Condition& cond,
+                               const Binding& binding,
+                               const std::vector<Value>& row,
+                               const storage::DatabaseData& db,
+                               const ExecOptions& options) {
+  bool group_result = true;
+  bool any_group_true = false;
+  for (std::size_t i = 0; i < cond.predicates.size(); ++i) {
+    GRED_ASSIGN_OR_RETURN(
+        bool value,
+        EvaluatePredicate(cond.predicates[i], binding, row, db, options));
+    group_result = group_result && value;
+    bool end_of_group = i + 1 >= cond.predicates.size() ||
+                        cond.connectors[i] == dvq::LogicalOp::kOr;
+    if (end_of_group) {
+      any_group_true = any_group_true || group_result;
+      group_result = true;
+    }
+  }
+  return any_group_true;
+}
+
+/// Accumulates one aggregate over a group.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(const dvq::SelectExpr& expr) : expr_(expr) {}
+
+  void Add(const Value& v) {
+    if (expr_.agg == dvq::AggFunc::kCount && expr_.col.column == "*") {
+      ++count_;
+      return;
+    }
+    if (v.is_null()) return;
+    if (expr_.distinct) {
+      // Distinct tracking via canonical string; adequate for the value
+      // domains in play.
+      if (!seen_.insert(v.ToString()).second) return;
+    }
+    ++count_;
+    sum_ += v.AsDouble();
+    if (!has_extreme_ || v < min_) min_ = v;
+    if (!has_extreme_ || max_ < v) max_ = v;
+    has_extreme_ = true;
+  }
+
+  Value Finish() const {
+    switch (expr_.agg) {
+      case dvq::AggFunc::kCount:
+        return Value::Int(static_cast<std::int64_t>(count_));
+      case dvq::AggFunc::kSum:
+        return count_ == 0 ? Value::Null() : Value::Real(sum_);
+      case dvq::AggFunc::kAvg:
+        return count_ == 0 ? Value::Null()
+                           : Value::Real(sum_ / static_cast<double>(count_));
+      case dvq::AggFunc::kMin:
+        return has_extreme_ ? min_ : Value::Null();
+      case dvq::AggFunc::kMax:
+        return has_extreme_ ? max_ : Value::Null();
+      case dvq::AggFunc::kNone:
+        break;
+    }
+    return Value::Null();
+  }
+
+ private:
+  dvq::SelectExpr expr_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  Value min_;
+  Value max_;
+  bool has_extreme_ = false;
+  std::set<std::string> seen_;
+};
+
+std::uint64_t HashKey(const std::vector<Value>& key) {
+  std::uint64_t h = 0x51ed270b8d5f1fd1ULL;
+  for (const Value& v : key) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string ResultSet::ToString(std::size_t max_rows) const {
+  std::string out;
+  out += strings::Join(column_names, " | ") + "\n";
+  for (std::size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(rows[r].size());
+    for (const Value& v : rows[r]) cells.push_back(v.ToString());
+    out += strings::Join(cells, " | ") + "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += strings::Format("... (%zu more rows)\n", rows.size() - max_rows);
+  }
+  return out;
+}
+
+Result<ResultSet> Execute(const dvq::Query& query,
+                          const storage::DatabaseData& db,
+                          const ExecOptions& options) {
+  const dvq::Query q = dvq::ResolveAliases(query);
+  GRED_ASSIGN_OR_RETURN(WorkingSet ws, BuildJoinedRows(q, db, options));
+
+  // Filter.
+  if (q.where.has_value()) {
+    std::vector<std::vector<Value>> kept;
+    kept.reserve(ws.rows.size());
+    for (auto& row : ws.rows) {
+      GRED_ASSIGN_OR_RETURN(
+          bool pass, EvaluateCondition(*q.where, ws.binding, row, db, options));
+      if (pass) kept.push_back(std::move(row));
+    }
+    ws.rows = std::move(kept);
+  }
+
+  // Binning rewrites the binned column in place.
+  if (q.bin.has_value()) {
+    GRED_ASSIGN_OR_RETURN(std::size_t bin_slot,
+                          ws.binding.Resolve(q.bin->col));
+    for (auto& row : ws.rows) {
+      row[bin_slot] = BinValue(row[bin_slot], q.bin->unit);
+    }
+  }
+
+  // Resolve select expressions. The ORDER BY expression may reference an
+  // aggregate (or column) not in the select list; compute it as a hidden
+  // trailing column.
+  std::vector<dvq::SelectExpr> computed = q.select;
+  std::optional<std::size_t> order_slot;
+  if (q.order_by.has_value()) {
+    for (std::size_t i = 0; i < computed.size(); ++i) {
+      if (computed[i].EqualsIgnoreCase(q.order_by->expr)) {
+        order_slot = i;
+        break;
+      }
+    }
+    if (!order_slot.has_value()) {
+      computed.push_back(q.order_by->expr);
+      order_slot = computed.size() - 1;
+    }
+  }
+
+  bool has_aggregate = false;
+  for (const dvq::SelectExpr& e : computed) {
+    if (e.agg != dvq::AggFunc::kNone) has_aggregate = true;
+  }
+
+  std::vector<std::vector<Value>> out_rows;
+  if (has_aggregate || !q.group_by.empty()) {
+    // Determine grouping keys: explicit GROUP BY, else all non-aggregated
+    // select columns (Vega-Zero x-axis grouping).
+    std::vector<dvq::ColumnRef> keys = q.group_by;
+    if (keys.empty()) {
+      for (const dvq::SelectExpr& e : q.select) {
+        if (e.agg == dvq::AggFunc::kNone) keys.push_back(e.col);
+      }
+    }
+    std::vector<std::size_t> key_slots;
+    key_slots.reserve(keys.size());
+    for (const dvq::ColumnRef& k : keys) {
+      GRED_ASSIGN_OR_RETURN(std::size_t slot, ws.binding.Resolve(k));
+      key_slots.push_back(slot);
+    }
+    std::vector<std::size_t> value_slots(computed.size(),
+                                         static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < computed.size(); ++i) {
+      if (computed[i].col.column == "*") continue;
+      GRED_ASSIGN_OR_RETURN(std::size_t slot,
+                            ws.binding.Resolve(computed[i].col));
+      value_slots[i] = slot;
+    }
+    struct Group {
+      std::vector<Value> key;
+      std::vector<AggAccumulator> accs;
+      std::vector<Value> first_row;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
+    for (const auto& row : ws.rows) {
+      std::vector<Value> key;
+      key.reserve(key_slots.size());
+      for (std::size_t slot : key_slots) key.push_back(row[slot]);
+      std::uint64_t h = HashKey(key);
+      Group* group = nullptr;
+      for (std::size_t gi : index[h]) {
+        if (groups[gi].key == key) {
+          group = &groups[gi];
+          break;
+        }
+      }
+      if (group == nullptr) {
+        Group fresh;
+        fresh.key = key;
+        for (const dvq::SelectExpr& e : computed) {
+          fresh.accs.emplace_back(e);
+        }
+        fresh.first_row = row;
+        index[h].push_back(groups.size());
+        groups.push_back(std::move(fresh));
+        group = &groups.back();
+      }
+      for (std::size_t i = 0; i < computed.size(); ++i) {
+        if (computed[i].agg == dvq::AggFunc::kNone) continue;
+        const Value v = value_slots[i] == static_cast<std::size_t>(-1)
+                            ? Value::Null()
+                            : row[value_slots[i]];
+        group->accs[i].Add(v);
+      }
+    }
+    out_rows.reserve(groups.size());
+    for (const Group& g : groups) {
+      std::vector<Value> row;
+      row.reserve(computed.size());
+      for (std::size_t i = 0; i < computed.size(); ++i) {
+        if (computed[i].agg == dvq::AggFunc::kNone) {
+          row.push_back(g.first_row[value_slots[i]]);
+        } else {
+          row.push_back(g.accs[i].Finish());
+        }
+      }
+      out_rows.push_back(std::move(row));
+    }
+  } else {
+    // Pure projection.
+    std::vector<std::size_t> slots;
+    slots.reserve(computed.size());
+    for (const dvq::SelectExpr& e : computed) {
+      GRED_ASSIGN_OR_RETURN(std::size_t slot, ws.binding.Resolve(e.col));
+      slots.push_back(slot);
+    }
+    out_rows.reserve(ws.rows.size());
+    for (const auto& row : ws.rows) {
+      std::vector<Value> out;
+      out.reserve(slots.size());
+      for (std::size_t slot : slots) out.push_back(row[slot]);
+      out_rows.push_back(std::move(out));
+    }
+  }
+
+  // Order.
+  if (q.order_by.has_value()) {
+    const std::size_t slot = *order_slot;
+    const bool desc = q.order_by->descending;
+    std::stable_sort(out_rows.begin(), out_rows.end(),
+                     [slot, desc](const auto& a, const auto& b) {
+                       int cmp = a[slot].Compare(b[slot]);
+                       return desc ? cmp > 0 : cmp < 0;
+                     });
+  }
+
+  // Limit, then strip hidden order column.
+  if (q.limit.has_value() && *q.limit >= 0 &&
+      out_rows.size() > static_cast<std::size_t>(*q.limit)) {
+    out_rows.resize(static_cast<std::size_t>(*q.limit));
+  }
+  ResultSet rs;
+  for (const dvq::SelectExpr& e : q.select) {
+    rs.column_names.push_back(e.ToString());
+  }
+  const std::size_t visible = q.select.size();
+  for (auto& row : out_rows) {
+    row.resize(visible);
+    rs.rows.push_back(std::move(row));
+  }
+  return rs;
+}
+
+Result<ResultSet> Execute(const dvq::DVQ& query,
+                          const storage::DatabaseData& db,
+                          const ExecOptions& options) {
+  return Execute(query.query, db, options);
+}
+
+}  // namespace gred::exec

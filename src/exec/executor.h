@@ -1,0 +1,57 @@
+#ifndef GREDVIS_EXEC_EXECUTOR_H_
+#define GREDVIS_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "dvq/ast.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace gred::exec {
+
+/// A materialized query result: named columns plus row-major cells.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<storage::Value>> rows;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::size_t num_columns() const { return column_names.size(); }
+
+  /// Renders a small fixed-width preview (used by examples and the case
+  /// study bench).
+  std::string ToString(std::size_t max_rows = 20) const;
+};
+
+/// Join algorithm selection, exposed for benchmarking; results are
+/// identical (verified by property tests).
+enum class JoinStrategy { kHashJoin, kNestedLoop };
+
+/// Execution options.
+struct ExecOptions {
+  JoinStrategy join_strategy = JoinStrategy::kHashJoin;
+};
+
+/// Evaluates the relational core of a DVQ against a database instance.
+///
+/// Semantics follow nvBench's SQLite substrate with Vega-Zero extensions:
+///  * Aliases are resolved before binding.
+///  * Unknown tables/columns yield ExecutionError (this is precisely how a
+///    DVQ with hallucinated schema "produces no chart" in the paper).
+///  * `BIN c BY unit` rewrites c's values to bin labels and, when combined
+///    with aggregates, participates in grouping.
+///  * Aggregates without GROUP BY implicitly group by the non-aggregated
+///    select columns (Vega-Zero's x-axis grouping).
+///  * Scalar subqueries evaluate to their first cell (NULL when empty).
+Result<ResultSet> Execute(const dvq::Query& query,
+                          const storage::DatabaseData& db,
+                          const ExecOptions& options = {});
+
+/// Executes the full DVQ (chart type does not affect row computation).
+Result<ResultSet> Execute(const dvq::DVQ& query,
+                          const storage::DatabaseData& db,
+                          const ExecOptions& options = {});
+
+}  // namespace gred::exec
+
+#endif  // GREDVIS_EXEC_EXECUTOR_H_

@@ -1,0 +1,115 @@
+#include "exec/scalar.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace gred::exec {
+
+namespace {
+
+char Lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool LikeMatchImpl(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer matcher with backtracking on the last '%'.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || Lower(pattern[p]) == Lower(text[t]))) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace
+
+bool LikeMatch(std::string_view pattern, std::string_view text) {
+  return LikeMatchImpl(pattern, text);
+}
+
+int Date::Weekday() const {
+  static const int kTable[] = {0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4};
+  int y = year;
+  if (month < 3) y -= 1;
+  return (y + y / 4 - y / 100 + y / 400 + kTable[month - 1] + day) % 7;
+}
+
+bool ParseDate(std::string_view text, Date* out) {
+  auto digits = [&](std::size_t start, std::size_t len, int* value) {
+    if (start + len > text.size()) return false;
+    int v = 0;
+    for (std::size_t i = start; i < start + len; ++i) {
+      if (std::isdigit(static_cast<unsigned char>(text[i])) == 0) return false;
+      v = v * 10 + (text[i] - '0');
+    }
+    *value = v;
+    return true;
+  };
+  Date d;
+  if (text.size() == 4) {
+    if (!digits(0, 4, &d.year)) return false;
+    *out = d;
+    return true;
+  }
+  if (text.size() < 10) return false;
+  if (!digits(0, 4, &d.year) || text[4] != '-' || !digits(5, 2, &d.month) ||
+      text[7] != '-' || !digits(8, 2, &d.day)) {
+    return false;
+  }
+  if (d.month < 1 || d.month > 12 || d.day < 1 || d.day > 31) return false;
+  *out = d;
+  return true;
+}
+
+const char* WeekdayName(int w) {
+  static const char* kNames[] = {"Sunday",   "Monday", "Tuesday", "Wednesday",
+                                 "Thursday", "Friday", "Saturday"};
+  return kNames[((w % 7) + 7) % 7];
+}
+
+storage::Value BinValue(const storage::Value& value, dvq::BinUnit unit) {
+  if (value.is_null()) return value;
+  if (value.is_text()) {
+    Date d;
+    if (ParseDate(value.text_value(), &d)) {
+      char buf[16];
+      switch (unit) {
+        case dvq::BinUnit::kYear:
+          std::snprintf(buf, sizeof(buf), "%04d", d.year);
+          return storage::Value::Text(buf);
+        case dvq::BinUnit::kMonth:
+          std::snprintf(buf, sizeof(buf), "%04d-%02d", d.year, d.month);
+          return storage::Value::Text(buf);
+        case dvq::BinUnit::kDay:
+          std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month,
+                        d.day);
+          return storage::Value::Text(buf);
+        case dvq::BinUnit::kWeekday:
+          return storage::Value::Text(WeekdayName(d.Weekday()));
+      }
+    }
+    return value;
+  }
+  if (value.is_int() && unit == dvq::BinUnit::kYear) {
+    // Years stored as plain integers bin to themselves.
+    return value;
+  }
+  return value;
+}
+
+}  // namespace gred::exec

@@ -1,0 +1,43 @@
+#ifndef GREDVIS_EXEC_SCALAR_H_
+#define GREDVIS_EXEC_SCALAR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dvq/ast.h"
+#include "storage/value.h"
+
+namespace gred::exec {
+
+/// SQL LIKE pattern matching: `%` matches any run, `_` one character.
+/// Comparison is case-insensitive (SQLite default for ASCII).
+bool LikeMatch(std::string_view pattern, std::string_view text);
+
+/// A parsed ISO-8601 calendar date.
+struct Date {
+  int year = 0;
+  int month = 1;  // 1-12
+  int day = 1;    // 1-31
+
+  /// Day of week, 0=Sunday ... 6=Saturday (Sakamoto's method).
+  int Weekday() const;
+};
+
+/// Parses "YYYY-MM-DD" (also accepts bare "YYYY"). Returns false on
+/// malformed input.
+bool ParseDate(std::string_view text, Date* out);
+
+/// Computes the bin label for `value` under `unit`:
+///   kYear -> "2020", kMonth -> "2020-03", kDay -> "2020-03-15",
+///   kWeekday -> "Monday".
+/// Non-date text and numbers fall back to: kYear keeps an integer as-is
+/// (years stored numerically), anything else returns the value's string.
+storage::Value BinValue(const storage::Value& value, dvq::BinUnit unit);
+
+/// Name of weekday `w` in 0=Sunday..6=Saturday convention.
+const char* WeekdayName(int w);
+
+}  // namespace gred::exec
+
+#endif  // GREDVIS_EXEC_SCALAR_H_

@@ -1,0 +1,153 @@
+#include "gred/gred.h"
+
+#include <algorithm>
+
+#include "dvq/parser.h"
+#include "llm/prompt.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gred::core {
+
+namespace {
+
+/// Working-phase sampling parameters (Section 5.1).
+llm::ChatOptions WorkingOptions() {
+  llm::ChatOptions options;
+  options.temperature = 0.0;
+  options.frequency_penalty = -0.5;
+  options.presence_penalty = -0.5;
+  return options;
+}
+
+/// Preparation-phase sampling parameters (Section 5.1).
+llm::ChatOptions PreparationOptions() {
+  return llm::ChatOptions{};  // all zeros
+}
+
+}  // namespace
+
+Result<std::string> GenerateAnnotations(const schema::Database& db,
+                                        const llm::ChatModel& llm) {
+  llm::Prompt prompt = llm::BuildAnnotationPrompt(db);
+  return llm.Complete(prompt, PreparationOptions());
+}
+
+Gred::Gred(const models::TrainingCorpus& corpus, const llm::ChatModel* llm,
+           GredConfig config)
+    : config_(std::move(config)), llm_(llm), databases_(corpus.databases) {
+  // Preparatory phase (Section 4.1): the embedding vector library over
+  // the training split's NLQs and DVQs, built with the semantic embedder
+  // (the stand-in for text-embedding-3-large).
+  embedder_ = std::make_unique<embed::SemanticHashEmbedder>();
+  nlq_index_ = std::make_unique<models::ExampleIndex>(corpus.train,
+                                                      embedder_.get());
+  dvq_index_ =
+      std::make_unique<models::DvqIndex>(corpus.train, embedder_.get());
+  for (const dataset::GeneratedDatabase& db : *corpus.databases) {
+    db_schema_prompts_[strings::ToLower(db.data.name())] =
+        db.data.db_schema().RenderSchemaPrompt();
+  }
+}
+
+Result<std::string> Gred::AnnotationsFor(const schema::Database& db) const {
+  std::string fingerprint =
+      strings::Format("%016llx", static_cast<unsigned long long>(
+                                     Fnv1a64(db.RenderSchemaPrompt())));
+  auto it = annotation_cache_.find(fingerprint);
+  if (it != annotation_cache_.end()) return it->second;
+  GRED_ASSIGN_OR_RETURN(std::string annotations,
+                        GenerateAnnotations(db, *llm_));
+  annotation_cache_[fingerprint] = annotations;
+  return annotations;
+}
+
+Result<std::size_t> Gred::PrepareAnnotations(
+    const std::vector<dataset::GeneratedDatabase>& databases) const {
+  std::size_t annotated = 0;
+  for (const dataset::GeneratedDatabase& db : databases) {
+    GRED_ASSIGN_OR_RETURN(std::string annotations,
+                          AnnotationsFor(db.data.db_schema()));
+    (void)annotations;
+    ++annotated;
+  }
+  return annotated;
+}
+
+Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
+                                 const storage::DatabaseData& db) const {
+  trace_ = Trace();
+
+  // --- NLQ-Retrieval Generator -------------------------------------------
+  std::vector<models::ExampleIndex::Hit> hits =
+      nlq_index_->TopK(nlq, config_.k);
+  if (hits.empty()) {
+    return Status::NotFound("GRED: empty embedding library");
+  }
+  // hits are descending by similarity; the paper assembles the prompt in
+  // ascending order so the most similar example sits next to the
+  // question.
+  if (config_.ascending_prompt_order) {
+    std::reverse(hits.begin(), hits.end());
+  }
+  std::vector<llm::GenerationExample> examples;
+  examples.reserve(hits.size());
+  for (const models::ExampleIndex::Hit& hit : hits) {
+    llm::GenerationExample ex;
+    auto schema_it =
+        db_schema_prompts_.find(strings::ToLower(hit.example->db_name));
+    if (schema_it != db_schema_prompts_.end()) {
+      ex.schema_prompt = schema_it->second;
+    }
+    ex.nlq = hit.example->nlq;
+    ex.dvq = hit.example->DvqText();
+    examples.push_back(std::move(ex));
+  }
+  std::string target_schema = db.db_schema().RenderSchemaPrompt();
+  llm::Prompt gen_prompt =
+      llm::BuildGenerationPrompt(examples, target_schema, nlq);
+  GRED_ASSIGN_OR_RETURN(std::string gen_completion,
+                        llm_->Complete(gen_prompt, WorkingOptions()));
+  std::string dvq_gen = llm::ExtractDvqText(gen_completion);
+  if (dvq_gen.empty()) {
+    return Status::ExecutionError("GRED: generator produced no DVQ");
+  }
+  trace_.dvq_gen = dvq_gen;
+  std::string current = dvq_gen;
+
+  // --- DVQ-Retrieval Retuner ----------------------------------------------
+  if (config_.enable_retuner) {
+    std::vector<models::DvqIndex::Hit> dvq_hits =
+        dvq_index_->TopK(current, config_.k);
+    std::vector<std::string> references;
+    references.reserve(dvq_hits.size());
+    for (const models::DvqIndex::Hit& hit : dvq_hits) {
+      references.push_back(hit.example->DvqText());
+    }
+    llm::Prompt retune_prompt = llm::BuildRetunePrompt(references, current);
+    GRED_ASSIGN_OR_RETURN(std::string retune_completion,
+                          llm_->Complete(retune_prompt, WorkingOptions()));
+    std::string dvq_rtn = llm::ExtractDvqText(retune_completion);
+    if (!dvq_rtn.empty()) current = dvq_rtn;
+    trace_.dvq_rtn = current;
+  }
+
+  // --- Annotation-based Debugger -------------------------------------------
+  if (config_.enable_debugger) {
+    std::string annotations;
+    if (config_.debugger_uses_annotations) {
+      GRED_ASSIGN_OR_RETURN(annotations, AnnotationsFor(db.db_schema()));
+    }
+    llm::Prompt debug_prompt =
+        llm::BuildDebugPrompt(target_schema, annotations, current);
+    GRED_ASSIGN_OR_RETURN(std::string debug_completion,
+                          llm_->Complete(debug_prompt, WorkingOptions()));
+    std::string dvq_dbg = llm::ExtractDvqText(debug_completion);
+    if (!dvq_dbg.empty()) current = dvq_dbg;
+    trace_.dvq_dbg = current;
+  }
+
+  return dvq::Parse(current);
+}
+
+}  // namespace gred::core

@@ -1,0 +1,93 @@
+#ifndef GREDVIS_GRED_GRED_H_
+#define GREDVIS_GRED_GRED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "llm/chat_model.h"
+#include "models/model.h"
+#include "models/retrieval.h"
+
+namespace gred::core {
+
+/// Configuration of the GRED pipeline (Section 4).
+struct GredConfig {
+  /// Retrieval depth for both the NLQ and DVQ libraries (paper: K=10).
+  std::size_t k = 10;
+  /// Stage switches for the Table 4 ablations.
+  bool enable_retuner = true;    // w/o RTN when false
+  bool enable_debugger = true;   // w/o DBG when false
+  /// Annotation-grounding ablation: when false the Debugger prompt ships
+  /// the bare schema with no NL annotations, so hallucinated names can
+  /// only be repaired by name similarity (Section 4.2 argues the
+  /// annotations are what make the repair reliable).
+  bool debugger_uses_annotations = true;
+  /// Prompt example order: true = ascending similarity (most similar
+  /// example adjacent to the question; the paper's choice), false =
+  /// descending (ablation).
+  bool ascending_prompt_order = true;
+  /// Optional display-name suffix (" w/o RTN", ...).
+  std::string name_suffix;
+};
+
+/// Generates the natural-language annotation text for one database by
+/// prompting `llm` with the Appendix C.1 prompt (preparation phase uses
+/// zero penalties, per Section 5.1).
+Result<std::string> GenerateAnnotations(const schema::Database& db,
+                                        const llm::ChatModel& llm);
+
+/// The GRED framework: NLQ-Retrieval Generator -> DVQ-Retrieval Retuner
+/// -> Annotation-based Debugger, all through LLM prompts (Appendix C).
+class Gred : public models::TextToVisModel {
+ public:
+  /// `corpus` supplies the embedding libraries (training split) and the
+  /// clean databases whose schemas accompany in-context examples.
+  /// `llm` is the chat model (not owned).
+  Gred(const models::TrainingCorpus& corpus, const llm::ChatModel* llm,
+       GredConfig config = {});
+
+  std::string name() const override { return "GRED" + config_.name_suffix; }
+
+  Result<dvq::DVQ> Translate(const std::string& nlq,
+                             const storage::DatabaseData& db) const override;
+
+  /// Preparatory phase, step 2 (Section 4.1): generates and caches the
+  /// NL annotations for every given database up front, so Translate
+  /// never pays annotation latency. Returns the number of databases
+  /// annotated (cache hits included).
+  Result<std::size_t> PrepareAnnotations(
+      const std::vector<dataset::GeneratedDatabase>& databases) const;
+
+  /// Intermediate artifacts of the last Translate call (for the case
+  /// study and tests): generator output, retuner output, debugger output.
+  struct Trace {
+    std::string dvq_gen;
+    std::string dvq_rtn;
+    std::string dvq_dbg;
+  };
+  const Trace& last_trace() const { return trace_; }
+
+  const GredConfig& config() const { return config_; }
+
+ private:
+  /// Annotation collection, keyed by schema fingerprint (clean and
+  /// perturbed corpora share database names but not schemas).
+  Result<std::string> AnnotationsFor(const schema::Database& db) const;
+
+  GredConfig config_;
+  const llm::ChatModel* llm_;  // not owned
+  const std::vector<dataset::GeneratedDatabase>* databases_;
+  std::unique_ptr<embed::TextEmbedder> embedder_;
+  std::unique_ptr<models::ExampleIndex> nlq_index_;
+  std::unique_ptr<models::DvqIndex> dvq_index_;
+  std::map<std::string, std::string> db_schema_prompts_;  // by db name
+  mutable std::map<std::string, std::string> annotation_cache_;
+  mutable Trace trace_;
+};
+
+}  // namespace gred::core
+
+#endif  // GREDVIS_GRED_GRED_H_

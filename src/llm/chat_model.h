@@ -1,0 +1,45 @@
+#ifndef GREDVIS_LLM_CHAT_MODEL_H_
+#define GREDVIS_LLM_CHAT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gred::llm {
+
+/// One message of a chat prompt.
+struct ChatMessage {
+  enum class Role { kSystem, kUser, kAssistant };
+  Role role = Role::kUser;
+  std::string content;
+};
+
+/// A full chat prompt (Appendix C of the paper builds four of these).
+using Prompt = std::vector<ChatMessage>;
+
+/// Sampling options mirroring the paper's openai.ChatCompletion.create
+/// parameters (Section 5.1): temperature 0 everywhere; the working phase
+/// uses frequency/presence penalties of -0.5.
+struct ChatOptions {
+  double temperature = 0.0;
+  double frequency_penalty = 0.0;
+  double presence_penalty = 0.0;
+};
+
+/// Interface of the chat LLM (GPT-3.5-Turbo in the paper).
+class ChatModel {
+ public:
+  virtual ~ChatModel() = default;
+
+  /// Produces the assistant completion for `prompt`.
+  virtual Result<std::string> Complete(const Prompt& prompt,
+                                       const ChatOptions& options) const = 0;
+};
+
+/// Renders a prompt as plain text (for logging and tests).
+std::string RenderPrompt(const Prompt& prompt);
+
+}  // namespace gred::llm
+
+#endif  // GREDVIS_LLM_CHAT_MODEL_H_

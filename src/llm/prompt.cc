@@ -1,0 +1,195 @@
+#include "llm/prompt.h"
+
+#include "util/strings.h"
+
+namespace gred::llm {
+
+namespace {
+
+constexpr char kChartTypeLine[] =
+    "### Chart Type: [ BAR , PIE , LINE , SCATTER , STACKED BAR , "
+    "GROUPING LINE , GROUPING SCATTER ]\n";
+
+}  // namespace
+
+std::string RenderPrompt(const Prompt& prompt) {
+  std::string out;
+  for (const ChatMessage& m : prompt) {
+    switch (m.role) {
+      case ChatMessage::Role::kSystem:
+        out += "Role: SYSTEM\n";
+        break;
+      case ChatMessage::Role::kUser:
+        out += "Role: USER\n";
+        break;
+      case ChatMessage::Role::kAssistant:
+        out += "Role: ASSISTANT\n";
+        break;
+    }
+    out += "Content:\n" + m.content + "\n\n";
+  }
+  return out;
+}
+
+Prompt BuildAnnotationPrompt(const schema::Database& db) {
+  Prompt prompt;
+  prompt.push_back(
+      {ChatMessage::Role::kSystem,
+       "You are a data mining engineer with ten years of experience in "
+       "data visualization."});
+  std::string user =
+      "#### Please generate detailed natural language annotations to the "
+      "following database schemas.\n\n"
+      "### Database Schemas:\n";
+  user += db.RenderSchemaPrompt();
+  user += "\n### Natural Language Annotations:\nA:\n";
+  prompt.push_back({ChatMessage::Role::kUser, std::move(user)});
+  return prompt;
+}
+
+Prompt BuildGenerationPrompt(const std::vector<GenerationExample>& examples,
+                             const std::string& schema_prompt,
+                             const std::string& nlq) {
+  Prompt prompt;
+  prompt.push_back(
+      {ChatMessage::Role::kSystem,
+       "Please follow the syntax in the examples instead of SQL syntax."});
+  std::string user =
+      "#### Given Natural Language Questions, Generate DVQs based on "
+      "their corresponding Database Schemas.\n\n";
+  for (const GenerationExample& ex : examples) {
+    user += "### Database Schemas:\n";
+    user += ex.schema_prompt;
+    user += kChartTypeLine;
+    user += "### Natural Language Question:\n# \"" + ex.nlq + "\"\n";
+    user += "### Data Visualization Query:\nA: " + ex.dvq + "\n\n";
+  }
+  user += "### Database Schemas:\n";
+  user += schema_prompt;
+  user += kChartTypeLine;
+  user += "### Natural Language Question:\n# \"" + nlq + "\"\n";
+  user += "### Data Visualization Query:\nA:";
+  prompt.push_back({ChatMessage::Role::kUser, std::move(user)});
+  return prompt;
+}
+
+Prompt BuildRetunePrompt(const std::vector<std::string>& reference_dvqs,
+                         const std::string& original_dvq) {
+  Prompt prompt;
+  prompt.push_back(
+      {ChatMessage::Role::kSystem,
+       "The Reference Data Visualization Queries(DVQs) all comply with "
+       "the syntax of DVQ. Please follow the syntax of the referenced DVQ "
+       "to modify the Original DVQ."});
+  std::string user = "### Reference DVQs:\n";
+  for (std::size_t i = 0; i < reference_dvqs.size(); ++i) {
+    user += std::to_string(i + 1) + " - " + reference_dvqs[i] + "\n";
+  }
+  user +=
+      "\n#### Given the Reference DVQs, please modify the Original DVQ to "
+      "mimic the style of the Reference DVQs.\n"
+      "#### NOTE: Do not Modify the column name in Original DVQ. "
+      "Especially do not Modify the column names in the ORDER clause!\n"
+      "### Original DVQ:\n# " +
+      original_dvq + "\nA: Let's think step by step!";
+  prompt.push_back({ChatMessage::Role::kUser, std::move(user)});
+  return prompt;
+}
+
+Prompt BuildDebugPrompt(const std::string& schema_prompt,
+                        const std::string& annotations,
+                        const std::string& original_dvq) {
+  Prompt prompt;
+  prompt.push_back(
+      {ChatMessage::Role::kSystem,
+       "#### NOTE: Don't replace column names in Original DVQ that "
+       "already exist in the database schemas, especially column names in "
+       "GROUP BY Clause!"});
+  std::string user = "### Database Schemas:\n";
+  user += schema_prompt;
+  user += "\n### Natural Language Annotations:\n";
+  user += annotations;
+  user +=
+      "\n#### Given Database Schemas and their corresponding Natural "
+      "Language Annotations, Please replace the column names in the Data "
+      "Visualization Query(DVQ, a new Programming Language abstracted "
+      "from Vega-Zero) that do not exist in the database.\n"
+      "#### NOTE: Don't replace column names in Original DVQ that "
+      "already exist in the database schemas, especially column names in "
+      "GROUP BY Clause!\n"
+      "### Original DVQ:\n# " +
+      original_dvq + "\nA: Let's think step by step!";
+  prompt.push_back({ChatMessage::Role::kUser, std::move(user)});
+  return prompt;
+}
+
+Result<schema::Database> ParseSchemaPrompt(const std::string& text) {
+  schema::Database db("prompt_db");
+  for (const std::string& raw_line : strings::Split(text, '\n')) {
+    std::string line = strings::Trim(raw_line);
+    if (strings::StartsWith(line, "# Table")) {
+      std::size_t comma = line.find(',');
+      if (comma == std::string::npos) {
+        return Status::ParseError("malformed table line: " + line);
+      }
+      std::string name = strings::Trim(line.substr(7, comma - 7));
+      std::size_t lb = line.find('[', comma);
+      std::size_t rb = line.rfind(']');
+      if (lb == std::string::npos || rb == std::string::npos || rb <= lb) {
+        return Status::ParseError("malformed column list: " + line);
+      }
+      schema::TableDef table(name, {});
+      for (const std::string& piece :
+           strings::Split(line.substr(lb + 1, rb - lb - 1), ',')) {
+        std::string col = strings::Trim(piece);
+        if (col.empty() || col == "*") continue;
+        schema::Column column;
+        column.name = col;
+        column.type = schema::ColumnType::kText;
+        table.AddColumn(std::move(column));
+      }
+      db.AddTable(std::move(table));
+    } else if (strings::StartsWith(line, "# Foreign_keys")) {
+      std::size_t lb = line.find('[');
+      std::size_t rb = line.rfind(']');
+      if (lb == std::string::npos || rb == std::string::npos || rb <= lb) {
+        continue;
+      }
+      for (const std::string& piece :
+           strings::Split(line.substr(lb + 1, rb - lb - 1), ',')) {
+        std::string edge = strings::Trim(piece);
+        if (edge.empty()) continue;
+        std::size_t eq = edge.find('=');
+        if (eq == std::string::npos) continue;
+        auto parse_side = [](const std::string& side)
+            -> std::pair<std::string, std::string> {
+          std::size_t dot = side.find('.');
+          if (dot == std::string::npos) return {"", side};
+          return {side.substr(0, dot), side.substr(dot + 1)};
+        };
+        auto [lt, lc] = parse_side(strings::Trim(edge.substr(0, eq)));
+        auto [rt, rc] = parse_side(strings::Trim(edge.substr(eq + 1)));
+        schema::ForeignKey fk;
+        fk.from_table = lt;
+        fk.from_column = lc;
+        fk.to_table = rt;
+        fk.to_column = rc;
+        db.AddForeignKey(std::move(fk));
+      }
+    }
+  }
+  if (db.tables().empty()) {
+    return Status::ParseError("schema prompt contains no tables");
+  }
+  return db;
+}
+
+std::string ExtractDvqText(const std::string& completion) {
+  std::size_t pos = completion.find("Visualize");
+  if (pos == std::string::npos) return std::string();
+  std::size_t end = completion.find('\n', pos);
+  if (end == std::string::npos) end = completion.size();
+  return completion.substr(pos, end - pos);
+}
+
+}  // namespace gred::llm

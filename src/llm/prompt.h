@@ -1,0 +1,50 @@
+#ifndef GREDVIS_LLM_PROMPT_H_
+#define GREDVIS_LLM_PROMPT_H_
+
+#include <string>
+#include <vector>
+
+#include "llm/chat_model.h"
+#include "schema/schema.h"
+
+namespace gred::llm {
+
+/// One in-context example of the NLQ-Retrieval Generator prompt.
+struct GenerationExample {
+  std::string schema_prompt;  // "# Table ..." lines
+  std::string nlq;
+  std::string dvq;
+};
+
+/// Builds the C.1 Database Annotation Generator prompt: one worked
+/// example (departments/jobs) followed by the target schema.
+Prompt BuildAnnotationPrompt(const schema::Database& db);
+
+/// Builds the C.2 NLQ-Retrieval Generator prompt. `examples` must be in
+/// the order they should appear; GRED passes them in ascending
+/// similarity (most similar example adjacent to the question).
+Prompt BuildGenerationPrompt(const std::vector<GenerationExample>& examples,
+                             const std::string& schema_prompt,
+                             const std::string& nlq);
+
+/// Builds the C.3 DVQ-Retrieval Retuner prompt from reference DVQs.
+Prompt BuildRetunePrompt(const std::vector<std::string>& reference_dvqs,
+                         const std::string& original_dvq);
+
+/// Builds the C.4 Annotation-based Debugger prompt.
+Prompt BuildDebugPrompt(const std::string& schema_prompt,
+                        const std::string& annotations,
+                        const std::string& original_dvq);
+
+/// Extracts the DVQ string from an LLM completion (the line starting at
+/// the first "Visualize"); empty when absent.
+std::string ExtractDvqText(const std::string& completion);
+
+/// Parses a "# Table name , columns = [ * , a , b ]" schema-prompt block
+/// back into a Database (columns default to Text type; foreign keys are
+/// recovered from the "# Foreign_keys = [...]" line).
+Result<schema::Database> ParseSchemaPrompt(const std::string& text);
+
+}  // namespace gred::llm
+
+#endif  // GREDVIS_LLM_PROMPT_H_

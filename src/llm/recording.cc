@@ -1,0 +1,36 @@
+#include "llm/recording.h"
+
+namespace gred::llm {
+
+Result<std::string> RecordingChatModel::Complete(
+    const Prompt& prompt, const ChatOptions& options) const {
+  Result<std::string> result = inner_->Complete(prompt, options);
+  Exchange exchange;
+  exchange.prompt = prompt;
+  exchange.options = options;
+  if (result.ok()) {
+    exchange.status = Status::OK();
+    exchange.completion = result.value();
+  } else {
+    exchange.status = result.status();
+  }
+  exchanges_.push_back(std::move(exchange));
+  return result;
+}
+
+std::string RecordingChatModel::Transcript() const {
+  std::string out;
+  for (std::size_t i = 0; i < exchanges_.size(); ++i) {
+    const Exchange& exchange = exchanges_[i];
+    out += "================ exchange " + std::to_string(i + 1) + " of " +
+           std::to_string(exchanges_.size()) + " ================\n";
+    out += RenderPrompt(exchange.prompt);
+    out += "---------------- completion ----------------\n";
+    out += exchange.status.ok() ? exchange.completion
+                                : "(error) " + exchange.status.ToString();
+    out += "\n\n";
+  }
+  return out;
+}
+
+}  // namespace gred::llm

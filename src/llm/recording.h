@@ -1,0 +1,47 @@
+#ifndef GREDVIS_LLM_RECORDING_H_
+#define GREDVIS_LLM_RECORDING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "llm/chat_model.h"
+
+namespace gred::llm {
+
+/// Decorator that records every prompt/completion exchange passing
+/// through a ChatModel. Used to inspect exactly what GRED sends to the
+/// LLM (the Appendix C prompts) and what comes back, to count calls per
+/// pipeline stage, and to dump transcripts for debugging.
+class RecordingChatModel : public ChatModel {
+ public:
+  /// One recorded exchange.
+  struct Exchange {
+    Prompt prompt;
+    ChatOptions options;
+    Status status;        // completion status
+    std::string completion;  // empty when status is not OK
+  };
+
+  /// Wraps `inner` (not owned; must outlive this object).
+  explicit RecordingChatModel(const ChatModel* inner) : inner_(inner) {}
+
+  Result<std::string> Complete(const Prompt& prompt,
+                               const ChatOptions& options) const override;
+
+  const std::vector<Exchange>& exchanges() const { return exchanges_; }
+  std::size_t call_count() const { return exchanges_.size(); }
+  void Clear() { exchanges_.clear(); }
+
+  /// Renders all recorded exchanges as readable text (prompt roles,
+  /// contents and completions), for logs or files.
+  std::string Transcript() const;
+
+ private:
+  const ChatModel* inner_;
+  mutable std::vector<Exchange> exchanges_;
+};
+
+}  // namespace gred::llm
+
+#endif  // GREDVIS_LLM_RECORDING_H_

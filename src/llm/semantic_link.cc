@@ -1,0 +1,193 @@
+#include "llm/semantic_link.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "models/linking.h"
+#include "nl/text.h"
+#include "util/strings.h"
+
+namespace gred::llm {
+
+namespace {
+
+double WordPairSimilarity(const std::string& a, const std::string& b,
+                          const nl::Lexicon& lexicon) {
+  double sem = lexicon.WordSimilarity(a, b);
+  if (sem > 0.0) return sem;
+  double edit = strings::EditSimilarity(a, b);
+  // Scaled fallback: surface closeness without semantic confirmation.
+  return edit >= 0.7 ? 0.6 * edit : 0.0;
+}
+
+}  // namespace
+
+double SemanticNameSimilarity(const std::string& a, const std::string& b,
+                              const nl::Lexicon& lexicon) {
+  std::vector<std::string> wa = strings::SplitIdentifierWords(a);
+  std::vector<std::string> wb = strings::SplitIdentifierWords(b);
+  if (wa.empty() || wb.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& w : wa) {
+    double best = 0.0;
+    for (const std::string& v : wb) {
+      best = std::max(best, WordPairSimilarity(w, v, lexicon));
+    }
+    total += best;
+  }
+  // Symmetric penalty for unmatched words on the longer side.
+  return total / static_cast<double>(std::max(wa.size(), wb.size()));
+}
+
+double SemanticMentionScore(const std::vector<std::string>& nlq_tokens,
+                            const std::string& column_name,
+                            const nl::Lexicon& lexicon) {
+  std::vector<std::string> words =
+      strings::SplitIdentifierWords(column_name);
+  if (words.empty() || nlq_tokens.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& w : words) {
+    double best = 0.0;
+    for (const std::string& t : nlq_tokens) {
+      best = std::max(best, WordPairSimilarity(w, t, lexicon));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(words.size());
+}
+
+double SoftTokenSimilarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           const nl::Lexicon& lexicon) {
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& w : a) {
+    double best = 0.0;
+    for (const std::string& v : b) {
+      best = std::max(best, WordPairSimilarity(w, v, lexicon));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(std::max(a.size(), b.size()));
+}
+
+void RelinkSchemaSemantically(dvq::Query* query,
+                              const schema::Database& db_schema,
+                              const std::vector<std::string>& nlq_tokens,
+                              const nl::Lexicon& lexicon,
+                              const SemanticLinkOptions& options) {
+  // Tables.
+  std::function<void(dvq::Query*)> relink_tables = [&](dvq::Query* q) {
+    auto fix_table = [&](std::string* table) {
+      if (db_schema.FindTable(*table) != nullptr) return;
+      std::string best_table;
+      double best = 0.0;
+      for (const schema::TableDef& t : db_schema.tables()) {
+        double score = SemanticNameSimilarity(t.name(), *table, lexicon);
+        if (score > best) {
+          best = score;
+          best_table = t.name();
+        }
+      }
+      if (best >= options.table_threshold) *table = best_table;
+    };
+    fix_table(&q->from_table);
+    for (dvq::JoinClause& j : q->joins) fix_table(&j.table);
+    if (q->where.has_value()) {
+      for (dvq::Predicate& p : q->where->predicates) {
+        if (p.subquery != nullptr) {
+          dvq::Query inner = *p.subquery;
+          relink_tables(&inner);
+          p.subquery = std::make_shared<const dvq::Query>(std::move(inner));
+        }
+      }
+    }
+  };
+  relink_tables(query);
+  models::RepairJoinKeys(query, db_schema);
+
+  // Foreign-key columns threaded through scalar subqueries are resolved
+  // structurally, not by mention evidence; protect them when they exist.
+  std::set<std::string> protected_cols;
+  std::function<void(const dvq::Query&)> collect_protected =
+      [&](const dvq::Query& q) {
+        if (!q.where.has_value()) return;
+        for (const dvq::Predicate& p : q.where->predicates) {
+          if (p.subquery == nullptr) continue;
+          if (db_schema.HasColumn(p.col.column)) {
+            protected_cols.insert(strings::ToLower(p.col.column));
+          }
+          if (p.subquery->select.size() == 1 &&
+              db_schema.HasColumn(p.subquery->select[0].col.column)) {
+            protected_cols.insert(
+                strings::ToLower(p.subquery->select[0].col.column));
+          }
+          collect_protected(*p.subquery);
+        }
+      };
+  collect_protected(*query);
+
+  auto annotation_words =
+      [&](const std::string& column) -> const std::vector<std::string>* {
+    if (options.annotations == nullptr) return nullptr;
+    for (const auto& [col, words] : *options.annotations) {
+      if (strings::EqualsIgnoreCase(col, column)) return &words;
+    }
+    return nullptr;
+  };
+
+  auto relink_ref = [&](dvq::ColumnRef* ref) {
+    if (ref->column == "*") return;
+    const bool present = db_schema.HasColumn(ref->column);
+    if (present && options.only_missing) return;
+    const bool rescue_only = !present && !options.relink_missing;
+    if (rescue_only && options.mention_rescue_threshold <= 0.0) return;
+    if (present && protected_cols.count(strings::ToLower(ref->column)) > 0) {
+      return;
+    }
+    std::string best_table;
+    std::string best_column;
+    double best = 0.0;
+    for (const schema::TableDef& table : db_schema.tables()) {
+      for (const schema::Column& col : table.columns()) {
+        double name_sim;
+        if (strings::EqualsIgnoreCase(col.name, ref->column)) {
+          name_sim = 1.0;
+        } else {
+          name_sim = SemanticNameSimilarity(col.name, ref->column, lexicon);
+          if (const std::vector<std::string>* words =
+                  annotation_words(col.name)) {
+            // Annotation evidence: align the hallucinated name's words to
+            // the column's annotation vocabulary.
+            std::string joined = strings::Join(*words, "_");
+            name_sim = std::max(
+                name_sim,
+                SemanticNameSimilarity(joined, ref->column, lexicon));
+          }
+        }
+        double mention =
+            SemanticMentionScore(nlq_tokens, col.name, lexicon);
+        if (rescue_only && mention < options.mention_rescue_threshold) {
+          continue;  // rescue requires question-grounded candidates
+        }
+        double score = (1.0 - options.mention_weight) * name_sim +
+                       options.mention_weight * mention;
+        if (score > best) {
+          best = score;
+          best_table = table.name();
+          best_column = col.name;
+        }
+      }
+    }
+    if (best < options.column_threshold || best_column.empty()) return;
+    if (!strings::EqualsIgnoreCase(best_column, ref->column) ||
+        best_column != ref->column) {
+      ref->column = best_column;
+      if (!ref->table.empty()) ref->table = best_table;
+    }
+  };
+  dvq::TransformNonJoinColumnRefs(query, relink_ref);
+}
+
+}  // namespace gred::llm

@@ -1,0 +1,75 @@
+#ifndef GREDVIS_LLM_SEMANTIC_LINK_H_
+#define GREDVIS_LLM_SEMANTIC_LINK_H_
+
+#include <string>
+#include <vector>
+
+#include "dvq/ast.h"
+#include "nl/lexicon.h"
+#include "schema/schema.h"
+
+namespace gred::llm {
+
+/// Semantic (lexicon-aware) schema-linking utilities.
+///
+/// This is the capability the paper obtains from pretrained LLMs: the
+/// knowledge that "wage" and "salary" name the same concept. The
+/// simulated LLM and GRED's debugger link through these functions; the
+/// baselines only ever use the lexical linkers in `models/linking.h`.
+
+/// Identifier-to-identifier similarity in [0,1]: greedy word alignment
+/// where word pairs score via the lexicon (same stem 1.0, same concept
+/// 0.85) with a scaled edit-similarity fallback.
+double SemanticNameSimilarity(const std::string& a, const std::string& b,
+                              const nl::Lexicon& lexicon);
+
+/// How strongly the NLQ mentions `column_name`, concept-aware: each
+/// identifier word is matched to its best NLQ token by lexicon word
+/// similarity.
+double SemanticMentionScore(const std::vector<std::string>& nlq_tokens,
+                            const std::string& column_name,
+                            const nl::Lexicon& lexicon);
+
+/// Soft token-set similarity between two texts (greedy best-match
+/// average over content tokens). Used by the simulated LLM to pick the
+/// most relevant in-context example.
+double SoftTokenSimilarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           const nl::Lexicon& lexicon);
+
+/// Options for semantic re-linking.
+struct SemanticLinkOptions {
+  double column_threshold = 0.5;
+  double table_threshold = 0.45;
+  double mention_weight = 0.45;
+  bool only_missing = false;
+  /// When false, references that do NOT resolve in the schema are left
+  /// untouched (hallucinated names survive). GRED's generation stage
+  /// runs in this mode: like the LLM it stands in for, it copies
+  /// training-register names from the in-context examples; repairing
+  /// them is the Annotation-based Debugger's job (Section 4.2).
+  bool relink_missing = true;
+  /// Exception to relink_missing=false: a missing reference may still be
+  /// replaced when some schema column is *named by the question* with at
+  /// least this mention score (an LLM grounds axes it can read off the
+  /// question even when the example's column came from another
+  /// database). 0 disables the rescue.
+  double mention_rescue_threshold = 0.0;
+  /// Optional per-column annotation words (column -> descriptive words);
+  /// when present, annotation evidence joins the name evidence.
+  const std::vector<std::pair<std::string, std::vector<std::string>>>*
+      annotations = nullptr;
+};
+
+/// Re-links schema references of `query` against `db_schema` using
+/// lexicon-aware similarity plus NLQ mention evidence. Recurses into
+/// scalar subqueries.
+void RelinkSchemaSemantically(dvq::Query* query,
+                              const schema::Database& db_schema,
+                              const std::vector<std::string>& nlq_tokens,
+                              const nl::Lexicon& lexicon,
+                              const SemanticLinkOptions& options);
+
+}  // namespace gred::llm
+
+#endif  // GREDVIS_LLM_SEMANTIC_LINK_H_

@@ -1,0 +1,796 @@
+#include "llm/sim_llm.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "dataset/nlq_render.h"
+#include "dvq/normalize.h"
+#include "dvq/parser.h"
+#include "llm/semantic_link.h"
+#include "models/keywords.h"
+#include "models/linking.h"
+#include "models/revision.h"
+#include "nl/text.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gred::llm {
+
+namespace {
+
+using models::DetectorProfile;
+
+/// Deterministic pseudo-randomness keyed on the input text: stands in
+/// for the prompt-sensitive style instability of a real LLM (the same
+/// model answers stylistically differently for different questions, but
+/// identically for identical prompts at temperature 0).
+bool StyleCoin(const std::string& key, std::uint64_t salt,
+               std::uint64_t percent) {
+  return (Fnv1a64(key) ^ salt) % 100 < percent;
+}
+
+std::string Section(const std::string& text, const std::string& begin,
+                    const std::string& end) {
+  std::size_t b = text.find(begin);
+  if (b == std::string::npos) return std::string();
+  b += begin.size();
+  std::size_t e = end.empty() ? std::string::npos : text.find(end, b);
+  if (e == std::string::npos) return text.substr(b);
+  return text.substr(b, e - b);
+}
+
+struct ParsedExample {
+  std::string schema_text;
+  std::string nlq;
+  std::string dvq_text;
+};
+
+std::vector<ParsedExample> ParseGenerationBlocks(const std::string& user) {
+  std::vector<ParsedExample> out;
+  const std::string kMarker = "### Database Schemas:";
+  std::size_t pos = user.find(kMarker);
+  while (pos != std::string::npos) {
+    std::size_t next = user.find(kMarker, pos + kMarker.size());
+    std::string chunk =
+        user.substr(pos, next == std::string::npos ? std::string::npos
+                                                   : next - pos);
+    ParsedExample ex;
+    ex.schema_text = Section(chunk, kMarker, "### Chart Type");
+    std::size_t q_begin = chunk.find("# \"");
+    if (q_begin != std::string::npos) {
+      std::size_t q_end = chunk.find('"', q_begin + 3);
+      if (q_end != std::string::npos) {
+        ex.nlq = chunk.substr(q_begin + 3, q_end - q_begin - 3);
+      }
+    }
+    std::size_t a = chunk.find("A: ");
+    if (a != std::string::npos) {
+      std::size_t line_end = chunk.find('\n', a);
+      ex.dvq_text = strings::Trim(
+          chunk.substr(a + 3, line_end == std::string::npos
+                                  ? std::string::npos
+                                  : line_end - a - 3));
+    }
+    out.push_back(std::move(ex));
+    pos = next;
+  }
+  return out;
+}
+
+/// Filter-evidence phrases understood by the general register.
+bool HasFilterEvidence(const std::string& lower) {
+  static const char* kMarkers[] = {
+      "whose",     "where",        "considering only",
+      "keep just", "filtered so",  "limited to",  "only for",
+  };
+  for (const char* m : kMarkers) {
+    if (lower.find(m) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Finds the first operator phrase of either register in the question.
+struct OpHit {
+  dvq::CompareOp op = dvq::CompareOp::kEq;
+  std::size_t pos = std::string::npos;
+  std::size_t len = 0;
+};
+std::optional<OpHit> FindOpPhrase(const std::string& lower) {
+  static const dvq::CompareOp kOps[] = {
+      dvq::CompareOp::kGe,   dvq::CompareOp::kLe, dvq::CompareOp::kGt,
+      dvq::CompareOp::kLt,   dvq::CompareOp::kNe, dvq::CompareOp::kLike,
+      dvq::CompareOp::kEq,
+  };
+  OpHit best;
+  std::size_t best_raw = std::string::npos;
+  for (dvq::CompareOp op : kOps) {
+    for (const auto* table :
+         {&dataset::ExplicitOpPhrases(op), &dataset::ParaphrasedOpPhrases(op)}) {
+      for (const std::string& phrase : *table) {
+        std::size_t pos = lower.find(" " + phrase + " ");
+        if (pos == std::string::npos) continue;
+        // Strictly earlier wins; ties keep the first (more specific) op.
+        if (best_raw == std::string::npos || pos < best_raw) {
+          best_raw = pos;
+          best.op = op;
+          best.pos = pos + 1;
+          best.len = phrase.size();
+        }
+      }
+    }
+  }
+  if (best_raw == std::string::npos) return std::nullopt;
+  return best;
+}
+
+}  // namespace
+
+SimulatedChatModel::SimulatedChatModel(const nl::Lexicon* lexicon)
+    : lexicon_(lexicon) {}
+
+SimulatedChatModel::SimulatedChatModel()
+    : SimulatedChatModel(&nl::Lexicon::Default()) {}
+
+Result<std::string> SimulatedChatModel::Complete(
+    const Prompt& prompt, const ChatOptions& options) const {
+  (void)options;  // temperature-0 behaviour regardless
+  std::string user;
+  for (const ChatMessage& m : prompt) {
+    if (m.role == ChatMessage::Role::kUser) user += m.content + "\n";
+  }
+  if (user.find("Generate DVQs based on") != std::string::npos) {
+    return CompleteGeneration(user);
+  }
+  if (user.find("mimic the style of the Reference DVQs") !=
+      std::string::npos) {
+    return CompleteRetune(user);
+  }
+  if (user.find("replace the column names") != std::string::npos) {
+    return CompleteDebug(user);
+  }
+  if (user.find("natural language annotations") != std::string::npos) {
+    return CompleteAnnotation(user);
+  }
+  return Status::InvalidArgument("unrecognized prompt task");
+}
+
+Result<std::string> SimulatedChatModel::CompleteAnnotation(
+    const std::string& user) const {
+  std::string schema_text =
+      Section(user, "### Database Schemas:", "### Natural Language");
+  GRED_ASSIGN_OR_RETURN(schema::Database db, ParseSchemaPrompt(schema_text));
+  std::string out = "A:\n";
+  for (const schema::TableDef& table : db.tables()) {
+    out += "Table " + table.name() + ":\n";
+    out += "- Stores data related to " +
+           strings::Join(strings::SplitIdentifierWords(table.name()), " ") +
+           ".\n- Columns:\n";
+    for (const schema::Column& col : table.columns()) {
+      std::vector<std::string> words =
+          strings::SplitIdentifierWords(col.name);
+      std::string description;
+      for (const std::string& word : words) {
+        if (!description.empty()) description += " ";
+        description += word;
+        // World knowledge: gloss each word with its canonical concept.
+        std::string canonical;
+        int idx = lexicon_->ConceptIndexOf(word);
+        if (idx >= 0) {
+          canonical = lexicon_->concepts()[static_cast<std::size_t>(idx)]
+                          .forms[0];
+        }
+        if (!canonical.empty() &&
+            !strings::EqualsIgnoreCase(canonical, word)) {
+          description += " (" + canonical + ")";
+        }
+      }
+      out += "- " + col.name + ": the " + description + " recorded in " +
+             table.name() + ".\n";
+    }
+  }
+  if (!db.foreign_keys().empty()) {
+    out += "Foreign Keys:\n";
+    for (const schema::ForeignKey& fk : db.foreign_keys()) {
+      out += "- " + fk.from_table + "." + fk.from_column + " references " +
+             fk.to_table + "." + fk.to_column + ".\n";
+    }
+  }
+  return out;
+}
+
+Result<std::string> SimulatedChatModel::CompleteGeneration(
+    const std::string& user) const {
+  std::vector<ParsedExample> blocks = ParseGenerationBlocks(user);
+  if (blocks.size() < 2) {
+    return Status::InvalidArgument("generation prompt has no examples");
+  }
+  ParsedExample question = blocks.back();
+  blocks.pop_back();
+  GRED_ASSIGN_OR_RETURN(schema::Database db,
+                        ParseSchemaPrompt(question.schema_text));
+
+  // Pick the most relevant example: concept-aware similarity plus a mild
+  // recency bias (examples adjacent to the question weigh more).
+  std::vector<std::string> q_tokens = nl::ContentTokens(question.nlq);
+  std::vector<std::size_t> order(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) order[i] = i;
+  std::vector<double> scores(blocks.size(), 0.0);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    scores[i] =
+        SoftTokenSimilarity(q_tokens, nl::ContentTokens(blocks[i].nlq),
+                            *lexicon_) +
+        0.015 * static_cast<double>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  dvq::DVQ base;
+  bool parsed = false;
+  for (std::size_t i : order) {
+    Result<dvq::DVQ> attempt = dvq::Parse(blocks[i].dvq_text);
+    if (attempt.ok()) {
+      base = std::move(attempt).value();
+      parsed = true;
+      break;
+    }
+  }
+  if (!parsed) {
+    return Status::InvalidArgument("no parseable example DVQ in prompt");
+  }
+
+  const std::string lower = strings::ToLower(question.nlq);
+  constexpr DetectorProfile kProfile = DetectorProfile::kGeneral;
+
+  // Chart type.
+  if (std::optional<dvq::ChartType> chart =
+          models::DetectChart(question.nlq, kProfile)) {
+    base.chart = *chart;
+  }
+
+  // Select-arity normalization: only grouped charts keep a series column.
+  const bool grouped_chart = base.chart == dvq::ChartType::kStackedBar ||
+                             base.chart == dvq::ChartType::kGroupingLine ||
+                             base.chart == dvq::ChartType::kGroupingScatter;
+  if (!grouped_chart && base.query.select.size() > 2) {
+    base.query.select.resize(2);
+  }
+  if (grouped_chart && base.query.select.size() == 2) {
+    // Series recovery: the last grouping/splitting phrase names the
+    // series column (both registers).
+    std::size_t pos = lower.rfind("group by ");
+    std::size_t len = 9;
+    for (const char* marker : {"split by ", "broken down by "}) {
+      std::size_t p = lower.rfind(marker);
+      if (p != std::string::npos &&
+          (pos == std::string::npos || p > pos)) {
+        pos = p;
+        len = std::string(marker).size();
+      }
+    }
+    if (pos != std::string::npos) {
+      std::vector<std::string> after =
+          nl::ContentTokens(lower.substr(pos + len));
+      if (after.size() > 3) after.resize(3);
+      const nl::Lexicon* lexicon = lexicon_;
+      std::string col = models::LinkTargetAfterPhrase(
+          after, db,
+          [lexicon](const std::string& token, const std::string& word) {
+            return lexicon->WordSimilarity(token, word) >= 0.8;
+          });
+      if (!col.empty() &&
+          !strings::EqualsIgnoreCase(col, base.query.select[0].col.column)) {
+        dvq::SelectExpr series;
+        series.col.column = col;
+        base.query.select.push_back(series);
+      }
+    }
+  }
+
+  // Aggregation intent: set the function the question asks for, locate
+  // its target column from the words after the aggregation phrase, and
+  // strip aggregates with no evidence at all.
+  std::optional<models::AggHit> agg_hit =
+      models::FindAggPhrase(question.nlq, kProfile);
+  bool base_has_agg = base.query.select.size() >= 2 &&
+                      base.query.select[1].agg != dvq::AggFunc::kNone;
+  if (!agg_hit.has_value()) {
+    if (base_has_agg) {
+      base.query.select[1].agg = dvq::AggFunc::kNone;
+      base.query.select[1].distinct = false;
+      if (base.query.select[1].col.column == "*") {
+        base.query.select[1].col = base.query.select[0].col;
+      }
+      base.query.group_by.clear();
+    }
+  } else if (base.query.select.size() >= 2) {
+    const dvq::AggFunc func = agg_hit->func;
+    base.query.select[1].agg = func;
+    if (func == dvq::AggFunc::kCount) {
+      // Corpus convention: the count of the x column.
+      base.query.select[1].col = base.query.select[0].col;
+    } else {
+      // The aggregation target follows the phrase ("the mean wage" ->
+      // salary). Proximity wins; words match through the lexicon.
+      std::vector<std::string> after =
+          nl::ContentTokens(lower.substr(agg_hit->end_pos));
+      if (after.size() > 4) after.resize(4);
+      const nl::Lexicon* lexicon = lexicon_;
+      std::string best_col = models::LinkTargetAfterPhrase(
+          after, db,
+          [lexicon](const std::string& token, const std::string& word) {
+            return lexicon->WordSimilarity(token, word) >= 0.8;
+          });
+      if (!best_col.empty()) {
+        base.query.select[1].col.table.clear();
+        base.query.select[1].col.column = best_col;
+      }
+    }
+    // GPT-ish style: a slice of count queries come out as COUNT(*).
+    if (func == dvq::AggFunc::kCount && StyleCoin(question.nlq, 0x5717, 30)) {
+      base.query.select[1].col.table.clear();
+      base.query.select[1].col.column = "*";
+      base.query.select[1].distinct = false;
+    }
+  }
+
+  // Sorting.
+  if (std::optional<models::OrderIntent> intent =
+          models::DetectOrder(question.nlq, kProfile)) {
+    dvq::OrderByClause clause;
+    if (base.query.order_by.has_value()) clause = *base.query.order_by;
+    if (intent->axis == 0) {
+      clause.expr = base.query.select[0];
+    } else if (intent->axis == 1 && base.query.select.size() >= 2) {
+      clause.expr = base.query.select[1];
+    } else if (!base.query.order_by.has_value()) {
+      clause.expr = base.query.select.size() >= 2 ? base.query.select[1]
+                                                  : base.query.select[0];
+    }
+    clause.descending = intent->descending;
+    base.query.order_by = clause;
+  } else {
+    base.query.order_by.reset();  // no sorting evidence -> prune
+  }
+
+  // Limit.
+  if (std::optional<std::int64_t> limit = models::DetectLimit(question.nlq)) {
+    base.query.limit = *limit;
+  } else {
+    base.query.limit.reset();
+  }
+
+  // Binning.
+  if (std::optional<dvq::BinUnit> unit =
+          models::DetectBinUnit(question.nlq, kProfile)) {
+    if (base.query.bin.has_value()) {
+      base.query.bin->unit = *unit;
+    } else {
+      dvq::BinClause bin;
+      bin.col = base.query.select[0].col;
+      bin.unit = *unit;
+      base.query.bin = bin;
+    }
+  } else if (base.query.bin.has_value()) {
+    base.query.bin.reset();
+  }
+
+  // Grouping: corpus convention induced from the in-context examples —
+  // aggregated queries group by x (series first for grouped charts)
+  // unless a BIN clause provides the implicit grouping.
+  const bool has_agg_now = base.query.select.size() >= 2 &&
+                           base.query.select[1].agg != dvq::AggFunc::kNone;
+  base.query.group_by.clear();
+  if (has_agg_now && !base.query.bin.has_value()) {
+    if (grouped_chart && base.query.select.size() >= 3) {
+      base.query.group_by.push_back(base.query.select[2].col);
+    }
+    base.query.group_by.push_back(base.query.select[0].col);
+  }
+
+  // Filtering: prune unsupported filters; rebuild evidenced ones from
+  // the question itself (what an LLM reading the question does), falling
+  // back to the example's filter when the question is less explicit.
+  const bool filter_evidence = HasFilterEvidence(lower);
+  if (!filter_evidence) {
+    base.query.where.reset();
+  } else {
+    bool base_has_subquery = false;
+    if (base.query.where.has_value()) {
+      for (const dvq::Predicate& p : base.query.where->predicates) {
+        if (p.subquery != nullptr) base_has_subquery = true;
+      }
+    }
+    std::optional<dvq::Predicate> fabricated;
+    if (std::optional<OpHit> hit = FindOpPhrase(lower)) {
+      // Column: semantic link of the tokens just before the op phrase.
+      std::vector<std::string> before =
+          nl::ContentTokens(lower.substr(0, hit->pos));
+      if (before.size() > 3) {
+        before.erase(before.begin(), before.end() - 3);
+      }
+      std::string best_col;
+      std::string best_table;
+      double best_score = 0.0;
+      for (const schema::TableDef& t : db.tables()) {
+        for (const schema::Column& c : t.columns()) {
+          double s = SemanticMentionScore(before, c.name, *lexicon_);
+          if (s > best_score) {
+            best_score = s;
+            best_col = c.name;
+            best_table = t.name();
+          }
+        }
+      }
+      std::optional<dvq::Literal> literal =
+          models::LiteralAfterPhrase(question.nlq, hit->pos + hit->len);
+      if (!best_col.empty() && best_score >= 0.5 && literal.has_value()) {
+        dvq::Predicate pred;
+        pred.col.column = best_col;
+        pred.op = hit->op;
+        if (hit->op == dvq::CompareOp::kLike &&
+            literal->kind == dvq::Literal::Kind::kString) {
+          literal->string_value = "%" + literal->string_value + "%";
+        }
+        pred.literal = std::move(*literal);
+        // When the filtered column lives outside the query's tables but a
+        // foreign key reaches it, phrase the filter as a scalar subquery
+        // (the corpus' extra-hard idiom).
+        std::vector<std::string> query_tables =
+            dvq::CollectTableNames(base.query);
+        bool in_query_tables = false;
+        for (const std::string& t : query_tables) {
+          const schema::TableDef* def = db.FindTable(t);
+          if (def != nullptr && def->FindColumn(best_col) != nullptr) {
+            in_query_tables = true;
+          }
+        }
+        if (!in_query_tables) {
+          for (const schema::ForeignKey& fk : db.foreign_keys()) {
+            if (!strings::EqualsIgnoreCase(fk.from_table,
+                                           base.query.from_table) ||
+                !strings::EqualsIgnoreCase(fk.to_table, best_table)) {
+              continue;
+            }
+            dvq::Query sub;
+            dvq::SelectExpr key;
+            key.col.column = fk.to_column;
+            sub.select.push_back(key);
+            sub.from_table = fk.to_table;
+            dvq::Condition sub_cond;
+            sub_cond.predicates.push_back(pred);
+            sub.where = std::move(sub_cond);
+            dvq::Predicate outer;
+            outer.col.column = fk.from_column;
+            outer.op = dvq::CompareOp::kEq;
+            outer.subquery =
+                std::make_shared<const dvq::Query>(std::move(sub));
+            pred = std::move(outer);
+            break;
+          }
+        }
+        fabricated = std::move(pred);
+      }
+    }
+    if (fabricated.has_value() &&
+        (!base.query.where.has_value() || !base_has_subquery ||
+         fabricated->subquery != nullptr)) {
+      dvq::Condition cond;
+      cond.predicates.push_back(std::move(*fabricated));
+      base.query.where = std::move(cond);
+    }
+  }
+
+  // FROM revision: when the question names (possibly via synonyms) a
+  // different table of the target database and never the example's,
+  // follow the question. Single-table queries only.
+  std::vector<std::string> nlq_tokens = nl::Tokenize(question.nlq);
+  if (base.query.joins.empty()) {
+    double current = SemanticMentionScore(nlq_tokens, base.query.from_table,
+                                          *lexicon_);
+    if (current < 0.9) {
+      std::string best_table;
+      double best = 0.0;
+      for (const schema::TableDef& t : db.tables()) {
+        double s = SemanticMentionScore(nlq_tokens, t.name(), *lexicon_);
+        if (s > best) {
+          best = s;
+          best_table = t.name();
+        }
+      }
+      if (best >= 0.9) base.query.from_table = best_table;
+    }
+  }
+
+  // Literal values ride along from the question surface.
+  models::AdaptLiterals(&base.query,
+                        models::ExtractSurfaceValues(question.nlq));
+
+  // Semantic schema linking against the prompt's schema.
+  SemanticLinkOptions link;
+  link.only_missing = false;
+  link.relink_missing = false;  // hallucinated names are the Debugger's job
+  link.mention_rescue_threshold = 0.0;  // name repair is the Debugger's job  // ...unless the question names one
+  link.column_threshold = 0.5;
+  link.mention_weight = 0.55;
+  RelinkSchemaSemantically(&base.query, db, nlq_tokens,
+                           *lexicon_, link);
+
+  // Axis grounding, for examples copied from a different database (their
+  // FROM table is not in this schema): a select column that did not
+  // resolve is read off the question positionally — the earliest token
+  // window matching a schema column names the axis ("relating age with
+  // salary" -> age, salary). Same-database examples skip this; their
+  // residual name drift is the Debugger's job.
+  const bool foreign_example =
+      db.FindTable(base.query.from_table) == nullptr;
+  if (foreign_example) {
+    std::vector<std::string> content = nl::ContentTokens(lower);
+    const nl::Lexicon* lexicon = lexicon_;
+    auto window_matcher = [lexicon](const std::string& token,
+                                    const std::string& word) {
+      return lexicon->WordSimilarity(token, word) >= 0.8;
+    };
+    std::vector<std::string> ordered_matches;
+    for (std::size_t start = 0; start < content.size(); ++start) {
+      std::vector<std::string> suffix(content.begin() +
+                                          static_cast<long>(start),
+                                      content.end());
+      if (suffix.size() > 3) suffix.resize(3);
+      std::string hit = models::LinkTargetAfterPhrase(suffix, db,
+                                                      window_matcher);
+      if (!hit.empty() &&
+          std::find(ordered_matches.begin(), ordered_matches.end(), hit) ==
+              ordered_matches.end()) {
+        ordered_matches.push_back(hit);
+      }
+    }
+    std::size_t cursor = 0;
+    for (dvq::SelectExpr& e : base.query.select) {
+      if (e.agg != dvq::AggFunc::kNone || e.col.column == "*" ||
+          db.HasColumn(e.col.column)) {
+        continue;
+      }
+      // Skip matches already used by resolved select columns.
+      while (cursor < ordered_matches.size()) {
+        bool taken = false;
+        for (const dvq::SelectExpr& other : base.query.select) {
+          if (&other != &e &&
+              strings::EqualsIgnoreCase(other.col.column,
+                                        ordered_matches[cursor])) {
+            taken = true;
+          }
+        }
+        if (!taken) break;
+        ++cursor;
+      }
+      if (cursor >= ordered_matches.size()) break;
+      e.col.table.clear();
+      e.col.column = ordered_matches[cursor++];
+    }
+  }
+
+  // FROM fallback: an unknown table whose columns all resolve means the
+  // example's table name was copied from another database; pick the
+  // schema table covering the most of the query's columns. Joins to
+  // equally-unknown tables are dropped first.
+  if (db.FindTable(base.query.from_table) == nullptr &&
+      !base.query.joins.empty()) {
+    bool all_unknown = true;
+    for (const dvq::JoinClause& j : base.query.joins) {
+      if (db.FindTable(j.table) != nullptr) all_unknown = false;
+    }
+    if (all_unknown) base.query.joins.clear();
+  }
+  if (db.FindTable(base.query.from_table) == nullptr &&
+      base.query.joins.empty()) {
+    std::map<std::string, int> coverage;
+    for (const dvq::ColumnRef& ref :
+         dvq::CollectColumnRefs(base.query)) {
+      if (ref.column == "*") continue;
+      for (const schema::TableDef& t : db.tables()) {
+        if (t.FindColumn(ref.column) != nullptr) ++coverage[t.name()];
+      }
+    }
+    std::string best_table;
+    int best = 0;
+    for (const auto& [table, count] : coverage) {
+      if (count > best) {
+        best = count;
+        best_table = table;
+      }
+    }
+    if (!best_table.empty()) base.query.from_table = best_table;
+  }
+  models::SynthesizeJoins(&base.query, db);
+
+  // GPT-ish style: aliased joins on a slice of join queries.
+  if (!base.query.joins.empty() && StyleCoin(question.nlq, 0x4a11, 50)) {
+    base.query.from_alias = "T1";
+    std::map<std::string, std::string> table_alias;
+    table_alias[strings::ToLower(base.query.from_table)] = "T1";
+    for (std::size_t i = 0; i < base.query.joins.size(); ++i) {
+      std::string alias = "T" + std::to_string(i + 2);
+      base.query.joins[i].alias = alias;
+      table_alias[strings::ToLower(base.query.joins[i].table)] = alias;
+    }
+    dvq::TransformColumnRefs(&base.query, [&](dvq::ColumnRef* ref) {
+      if (ref->table.empty()) return;
+      auto it = table_alias.find(strings::ToLower(ref->table));
+      if (it != table_alias.end()) ref->table = it->second;
+    });
+  }
+
+  return "A: " + base.ToString();
+}
+
+Result<std::string> SimulatedChatModel::CompleteRetune(
+    const std::string& user) const {
+  // Parse reference DVQs ("N - Visualize ...").
+  std::vector<dvq::DVQ> refs;
+  std::string refs_text =
+      Section(user, "### Reference DVQs:", "#### Given the Reference");
+  for (const std::string& line : strings::Split(refs_text, '\n')) {
+    std::size_t dash = line.find(" - ");
+    if (dash == std::string::npos) continue;
+    Result<dvq::DVQ> parsed = dvq::Parse(strings::Trim(line.substr(dash + 3)));
+    if (parsed.ok()) refs.push_back(std::move(parsed).value());
+  }
+  std::string original_text =
+      strings::Trim(Section(user, "### Original DVQ:\n# ", "\nA:"));
+  Result<dvq::DVQ> original = dvq::Parse(original_text);
+  if (!original.ok() || refs.empty()) {
+    // An LLM would echo something sensible; echo the original.
+    return "### Modified DVQ:\n# " + original_text;
+  }
+  dvq::DVQ out = std::move(original).value();
+
+  // --- COUNT target style ------------------------------------------------
+  int star = 0;
+  int named = 0;
+  for (const dvq::DVQ& ref : refs) {
+    for (const dvq::SelectExpr& e : ref.query.select) {
+      if (e.agg != dvq::AggFunc::kCount) continue;
+      if (e.col.column == "*") {
+        ++star;
+      } else {
+        ++named;
+      }
+    }
+  }
+  auto fix_count = [&](dvq::SelectExpr* e) {
+    if (e->agg != dvq::AggFunc::kCount) return;
+    if (named >= star && e->col.column == "*" && !out.query.select.empty()) {
+      e->col = out.query.select[0].col;
+    } else if (star > named && e->col.column != "*") {
+      e->col.table.clear();
+      e->col.column = "*";
+      e->distinct = false;
+    }
+  };
+  for (dvq::SelectExpr& e : out.query.select) fix_count(&e);
+  if (out.query.order_by.has_value()) fix_count(&out.query.order_by->expr);
+
+  // --- NULL-test style -----------------------------------------------------
+  int is_not_null = 0;
+  int ne_null = 0;
+  for (const dvq::DVQ& ref : refs) {
+    if (!ref.query.where.has_value()) continue;
+    for (const dvq::Predicate& p : ref.query.where->predicates) {
+      if (p.op == dvq::CompareOp::kIsNotNull) ++is_not_null;
+      if (p.op == dvq::CompareOp::kNe && p.literal.has_value() &&
+          p.literal->kind == dvq::Literal::Kind::kString &&
+          strings::EqualsIgnoreCase(p.literal->string_value, "null")) {
+        ++ne_null;
+      }
+    }
+  }
+  if (out.query.where.has_value()) {
+    for (dvq::Predicate& p : out.query.where->predicates) {
+      bool p_ne_null = p.op == dvq::CompareOp::kNe && p.literal.has_value() &&
+                       p.literal->kind == dvq::Literal::Kind::kString &&
+                       strings::EqualsIgnoreCase(p.literal->string_value,
+                                                 "null");
+      if (p_ne_null && is_not_null >= ne_null) {
+        p.op = dvq::CompareOp::kIsNotNull;
+        p.literal.reset();
+      } else if (p.op == dvq::CompareOp::kIsNotNull && ne_null > is_not_null) {
+        p.op = dvq::CompareOp::kNe;
+        p.literal = dvq::Literal::Str("null");
+      }
+    }
+  }
+
+  // --- Subquery vs JOIN style ---------------------------------------------
+  int with_join = 0;
+  int with_subquery = 0;
+  for (const dvq::DVQ& ref : refs) {
+    if (!ref.query.joins.empty()) ++with_join;
+    if (ref.query.where.has_value()) {
+      for (const dvq::Predicate& p : ref.query.where->predicates) {
+        if (p.subquery != nullptr) ++with_subquery;
+      }
+    }
+  }
+  if (out.query.where.has_value() && with_join > with_subquery) {
+    std::vector<dvq::Predicate>& preds = out.query.where->predicates;
+    for (dvq::Predicate& p : preds) {
+      if (p.subquery == nullptr || p.op != dvq::CompareOp::kEq) continue;
+      const dvq::Query& sub = *p.subquery;
+      if (sub.select.size() != 1 || !sub.where.has_value() ||
+          sub.where->predicates.size() != 1) {
+        continue;
+      }
+      dvq::JoinClause join;
+      join.table = sub.from_table;
+      join.left.table = out.query.from_table;
+      join.left.column = p.col.column;
+      join.right.table = sub.from_table;
+      join.right.column = sub.select[0].col.column;
+      out.query.joins.push_back(std::move(join));
+      // The subquery's predicate floats up to the outer WHERE.
+      dvq::Predicate lifted = sub.where->predicates[0];
+      p = std::move(lifted);
+    }
+  }
+
+  // --- Alias style -----------------------------------------------------------
+  int aliased = 0;
+  int plain = 0;
+  for (const dvq::DVQ& ref : refs) {
+    if (ref.query.joins.empty()) continue;
+    bool has_alias = !ref.query.from_alias.empty();
+    for (const dvq::JoinClause& j : ref.query.joins) {
+      has_alias = has_alias || !j.alias.empty();
+    }
+    if (has_alias) {
+      ++aliased;
+    } else {
+      ++plain;
+    }
+  }
+  if (plain >= aliased) {
+    out.query = dvq::ResolveAliases(out.query);
+  }
+
+  return "### Modified DVQ:\n# " + out.ToString();
+}
+
+Result<std::string> SimulatedChatModel::CompleteDebug(
+    const std::string& user) const {
+  std::string schema_text =
+      Section(user, "### Database Schemas:", "### Natural Language");
+  GRED_ASSIGN_OR_RETURN(schema::Database db, ParseSchemaPrompt(schema_text));
+  std::string annotations =
+      Section(user, "### Natural Language Annotations:", "#### Given");
+  std::vector<std::pair<std::string, std::vector<std::string>>> vocab;
+  for (const std::string& raw : strings::Split(annotations, '\n')) {
+    std::string line = strings::Trim(raw);
+    if (!strings::StartsWith(line, "- ")) continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string col = strings::Trim(line.substr(2, colon - 2));
+    if (db.HasColumn(col)) {
+      vocab.emplace_back(col, nl::ContentTokens(line.substr(colon + 1)));
+    }
+  }
+  std::string original_text =
+      strings::Trim(Section(user, "### Original DVQ:\n# ", "\nA:"));
+  Result<dvq::DVQ> original = dvq::Parse(original_text);
+  if (!original.ok()) {
+    return "### Revised DVQ:\n# " + original_text;
+  }
+  dvq::DVQ out = std::move(original).value();
+  SemanticLinkOptions link;
+  link.only_missing = true;  // the prompt's NOTE: keep names that exist
+  link.column_threshold = 0.35;
+  link.mention_weight = 0.0;  // no question in this prompt
+  link.annotations = &vocab;
+  RelinkSchemaSemantically(&out.query, db, {}, *lexicon_, link);
+  return "### Revised DVQ:\n# " + out.ToString();
+}
+
+}  // namespace gred::llm

@@ -1,0 +1,60 @@
+#ifndef GREDVIS_LLM_SIM_LLM_H_
+#define GREDVIS_LLM_SIM_LLM_H_
+
+#include <string>
+#include <vector>
+
+#include "llm/chat_model.h"
+#include "llm/prompt.h"
+#include "nl/lexicon.h"
+
+namespace gred::llm {
+
+/// Deterministic stand-in for GPT-3.5-Turbo.
+///
+/// The model receives exactly the prompts GRED builds (Appendix C) and
+/// nothing else — it parses the prompt text, recognizes which of the four
+/// tasks is being asked, and executes an explicit algorithm per task:
+///
+///  * Database annotation (C.1): renders per-table/column descriptions,
+///    expanding identifier words through the lexicon (the stand-in for an
+///    LLM's world knowledge).
+///  * DVQ generation (C.2): picks the most relevant in-context example by
+///    soft (concept-aware) token similarity with a mild recency bias
+///    toward examples near the question — modelling the observation in
+///    Section 4.2 that similar examples close to the question reduce
+///    hallucination — then adapts its DVQ: intent keywords (general
+///    register), literal values copied from the question, and semantic
+///    schema linking against the prompt's schema. Emits GPT-ish style:
+///    COUNT(*) targets and aliased joins, which the Retuner later
+///    normalizes to corpus style.
+///  * Style retuning (C.3): infers majority style from the reference
+///    DVQs (COUNT target form, subquery-vs-join) and rewrites the
+///    original accordingly, never touching column names (the prompt's
+///    NOTE).
+///  * Schema debugging (C.4): parses the schema and its annotations and
+///    replaces only out-of-schema names, linking hallucinated columns to
+///    real ones through lexicon + annotation evidence (no NLQ available
+///    in this prompt, as in the paper).
+///
+/// Temperature-0 behaviour: same prompt, same completion, always.
+class SimulatedChatModel : public ChatModel {
+ public:
+  explicit SimulatedChatModel(const nl::Lexicon* lexicon);
+  SimulatedChatModel();
+
+  Result<std::string> Complete(const Prompt& prompt,
+                               const ChatOptions& options) const override;
+
+ private:
+  Result<std::string> CompleteAnnotation(const std::string& user) const;
+  Result<std::string> CompleteGeneration(const std::string& user) const;
+  Result<std::string> CompleteRetune(const std::string& user) const;
+  Result<std::string> CompleteDebug(const std::string& user) const;
+
+  const nl::Lexicon* lexicon_;  // not owned
+};
+
+}  // namespace gred::llm
+
+#endif  // GREDVIS_LLM_SIM_LLM_H_

@@ -1,0 +1,195 @@
+#include "models/keywords.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace gred::models {
+
+namespace {
+
+bool Has(const std::string& lower, const char* phrase) {
+  return lower.find(phrase) != std::string::npos;
+}
+
+bool HasAny(const std::string& lower,
+            const std::vector<const char*>& phrases) {
+  for (const char* p : phrases) {
+    if (Has(lower, p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<dvq::ChartType> DetectChart(const std::string& nlq,
+                                          DetectorProfile profile) {
+  std::string lower = strings::ToLower(nlq);
+  const bool general = profile == DetectorProfile::kGeneral;
+  if (Has(lower, "stacked")) return dvq::ChartType::kStackedBar;
+  if (Has(lower, "grouping line") || Has(lower, "grouped line")) {
+    return dvq::ChartType::kGroupingLine;
+  }
+  if (Has(lower, "grouping scatter") || Has(lower, "grouped scatter")) {
+    return dvq::ChartType::kGroupingScatter;
+  }
+  if (Has(lower, "pie")) return dvq::ChartType::kPie;
+  if (Has(lower, "scatter") || (general && Has(lower, "dot plot"))) {
+    return dvq::ChartType::kScatter;
+  }
+  if (Has(lower, "line chart") || Has(lower, "line graph") ||
+      (general && Has(lower, "line-based")) ||
+      (general && Has(lower, "trend"))) {
+    return dvq::ChartType::kLine;
+  }
+  if (Has(lower, "bar") || Has(lower, "histogram")) {
+    return dvq::ChartType::kBar;
+  }
+  return std::nullopt;
+}
+
+std::optional<OrderIntent> DetectOrder(const std::string& nlq,
+                                       DetectorProfile profile) {
+  std::string lower = strings::ToLower(nlq);
+  const bool general = profile == DetectorProfile::kGeneral;
+  bool desc = HasAny(lower, {"descending", "desc order", "high to low"});
+  bool asc = HasAny(lower, {"ascending", "asc order", "low to high"});
+  if (general) {
+    desc = desc || HasAny(lower, {"largest to smallest", "downward",
+                                  "decreasing"});
+    asc = asc || HasAny(lower, {"smallest to largest", "upward",
+                                "increasing"});
+  }
+  if (!desc && !asc) {
+    // A bare "sort"/"order"/"rank" without a direction defaults ascending.
+    if (HasAny(lower, {"sort the", "order the", "rank in", "sorted"}) ||
+        (general && HasAny(lower, {"arranging the", "laid out",
+                                   "organized in"}))) {
+      asc = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  OrderIntent intent;
+  intent.descending = desc;
+  if (Has(lower, "y-axis") || Has(lower, "y axis")) {
+    intent.axis = 1;
+  } else if (Has(lower, "x-axis") || Has(lower, "x axis")) {
+    intent.axis = 0;
+  }
+  return intent;
+}
+
+std::optional<dvq::AggFunc> DetectAgg(const std::string& nlq,
+                                      DetectorProfile profile) {
+  std::optional<AggHit> hit = FindAggPhrase(nlq, profile);
+  if (!hit.has_value()) return std::nullopt;
+  return hit->func;
+}
+
+std::optional<AggHit> FindAggPhrase(const std::string& nlq,
+                                    DetectorProfile profile) {
+  std::string lower = strings::ToLower(nlq);
+  const bool general = profile == DetectorProfile::kGeneral;
+  struct Entry {
+    dvq::AggFunc func;
+    const char* phrase;
+    bool general_only;
+  };
+  static const Entry kEntries[] = {
+      {dvq::AggFunc::kCount, "number of", false},
+      {dvq::AggFunc::kCount, "count of", false},
+      {dvq::AggFunc::kCount, "how many", false},
+      {dvq::AggFunc::kCount, "tally of", true},
+      {dvq::AggFunc::kCount, "frequency of", true},
+      {dvq::AggFunc::kCount, "entries of", true},
+      {dvq::AggFunc::kSum, "sum of", false},
+      {dvq::AggFunc::kSum, "the total", false},
+      {dvq::AggFunc::kSum, "the combined", true},
+      {dvq::AggFunc::kSum, "the overall", true},
+      {dvq::AggFunc::kAvg, "average of", false},
+      {dvq::AggFunc::kAvg, "the average", false},
+      {dvq::AggFunc::kAvg, "the mean", true},
+      {dvq::AggFunc::kAvg, "the typical", true},
+      {dvq::AggFunc::kMin, "the minimum", false},
+      {dvq::AggFunc::kMin, "the lowest", false},
+      {dvq::AggFunc::kMin, "the smallest", true},
+      {dvq::AggFunc::kMin, "the least", true},
+      {dvq::AggFunc::kMax, "the maximum", false},
+      {dvq::AggFunc::kMax, "the highest", false},
+      {dvq::AggFunc::kMax, "the largest", true},
+      {dvq::AggFunc::kMax, "the peak", true},
+  };
+  std::optional<AggHit> best;
+  for (const Entry& entry : kEntries) {
+    if (entry.general_only && !general) continue;
+    std::size_t pos = lower.find(entry.phrase);
+    if (pos == std::string::npos) continue;
+    std::size_t end = pos + std::string(entry.phrase).size();
+    if (!best.has_value() || end < best->end_pos) {
+      best = AggHit{entry.func, end};
+    }
+  }
+  return best;
+}
+
+std::optional<dvq::BinUnit> DetectBinUnit(const std::string& nlq,
+                                          DetectorProfile profile) {
+  std::string lower = strings::ToLower(nlq);
+  const bool general = profile == DetectorProfile::kGeneral;
+  bool bin_marker = Has(lower, "bin ") || Has(lower, " bin") ||
+                    Has(lower, "interval");
+  if (bin_marker || general) {
+    if (Has(lower, "weekday") ||
+        (general && Has(lower, "day of the week"))) {
+      return dvq::BinUnit::kWeekday;
+    }
+    if (Has(lower, "by month") || (general && (Has(lower, "monthly") ||
+                                               Has(lower, "per month")))) {
+      return dvq::BinUnit::kMonth;
+    }
+    if (Has(lower, "by year") || (general && (Has(lower, "yearly") ||
+                                              Has(lower, "per year")))) {
+      return dvq::BinUnit::kYear;
+    }
+    if (Has(lower, "by day") ||
+        (general && (Has(lower, "daily") || Has(lower, "per day")))) {
+      return dvq::BinUnit::kDay;
+    }
+  }
+  return std::nullopt;
+}
+
+bool DetectGroup(const std::string& nlq, DetectorProfile profile) {
+  std::string lower = strings::ToLower(nlq);
+  if (HasAny(lower, {"group by", "for each"})) return true;
+  if (profile == DetectorProfile::kGeneral &&
+      HasAny(lower, {"per ", "for every", "broken down by", "split by",
+                     "across"})) {
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::int64_t> DetectLimit(const std::string& nlq) {
+  std::string lower = strings::ToLower(nlq);
+  static const std::vector<const char*> kMarkers = {
+      "top ", "first ", "leading ", "no more than "};
+  for (const char* marker : kMarkers) {
+    std::size_t pos = lower.find(marker);
+    if (pos == std::string::npos) continue;
+    std::size_t start = pos + std::string(marker).size();
+    std::size_t end = start;
+    while (end < lower.size() &&
+           std::isdigit(static_cast<unsigned char>(lower[end])) != 0) {
+      ++end;
+    }
+    if (end > start) {
+      return std::stoll(lower.substr(start, end - start));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gred::models

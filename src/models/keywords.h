@@ -1,0 +1,59 @@
+#ifndef GREDVIS_MODELS_KEYWORDS_H_
+#define GREDVIS_MODELS_KEYWORDS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dvq/ast.h"
+
+namespace gred::models {
+
+/// Which phrase inventory a detector understands.
+///
+/// kCorpusTrained models a system whose keyword knowledge comes from the
+/// clean nvBench training register only (the baselines). kGeneral models
+/// broad natural-language understanding (the simulated LLM): it covers
+/// the paraphrased register of nvBench-Rob as well.
+enum class DetectorProfile { kCorpusTrained, kGeneral };
+
+/// Chart-type intent; nullopt when no chart vocabulary is present.
+std::optional<dvq::ChartType> DetectChart(const std::string& nlq,
+                                          DetectorProfile profile);
+
+/// Sorting intent.
+struct OrderIntent {
+  bool descending = false;
+  /// Which axis the sort names: 0 = x, 1 = y, -1 = unspecified.
+  int axis = -1;
+};
+std::optional<OrderIntent> DetectOrder(const std::string& nlq,
+                                       DetectorProfile profile);
+
+/// Aggregation intent for the y axis.
+std::optional<dvq::AggFunc> DetectAgg(const std::string& nlq,
+                                      DetectorProfile profile);
+
+/// Temporal binning intent.
+std::optional<dvq::BinUnit> DetectBinUnit(const std::string& nlq,
+                                          DetectorProfile profile);
+
+/// Grouping intent ("group by", "for each", ...).
+bool DetectGroup(const std::string& nlq, DetectorProfile profile);
+
+/// Aggregation intent plus where its phrase ends in the (lower-cased)
+/// question — callers read the tokens after `end_pos` to locate the
+/// aggregation target column ("the sum of price ..." -> "price").
+struct AggHit {
+  dvq::AggFunc func = dvq::AggFunc::kNone;
+  std::size_t end_pos = 0;
+};
+std::optional<AggHit> FindAggPhrase(const std::string& nlq,
+                                    DetectorProfile profile);
+
+/// Row-limit intent ("top 5"); profile-independent.
+std::optional<std::int64_t> DetectLimit(const std::string& nlq);
+
+}  // namespace gred::models
+
+#endif  // GREDVIS_MODELS_KEYWORDS_H_

@@ -1,0 +1,389 @@
+#include "models/linking.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "nl/text.h"
+#include "util/strings.h"
+
+namespace gred::models {
+
+namespace {
+
+double WindowOverlap(const std::vector<std::string>& window,
+                     const std::vector<std::string>& words, bool stemmed) {
+  if (window.size() != words.size() || words.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    std::string a = window[i];
+    std::string b = words[i];
+    if (stemmed) {
+      a = nl::Stem(a);
+      b = nl::Stem(b);
+    }
+    if (a == b) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(words.size());
+}
+
+}  // namespace
+
+double MentionScore(const std::vector<std::string>& nlq_tokens,
+                    const std::string& column_name) {
+  std::vector<std::string> words =
+      strings::SplitIdentifierWords(column_name);
+  if (words.empty()) return 0.0;
+  // Verbatim token: "hire_date" tokenizes to "hire","date" in NLQ text,
+  // so check consecutive windows.
+  double best = 0.0;
+  if (nlq_tokens.size() >= words.size()) {
+    for (std::size_t start = 0; start + words.size() <= nlq_tokens.size();
+         ++start) {
+      std::vector<std::string> window(
+          nlq_tokens.begin() + static_cast<long>(start),
+          nlq_tokens.begin() + static_cast<long>(start + words.size()));
+      double exact = WindowOverlap(window, words, /*stemmed=*/false);
+      double stem = WindowOverlap(window, words, /*stemmed=*/true);
+      best = std::max({best, exact, 0.95 * stem});
+      if (best >= 1.0) return 1.0;
+    }
+  }
+  // Unordered partial credit: fraction of identifier words present
+  // anywhere in the NLQ (stemmed).
+  std::set<std::string> stems;
+  for (const std::string& t : nlq_tokens) stems.insert(nl::Stem(t));
+  std::size_t hits = 0;
+  for (const std::string& w : words) hits += stems.count(nl::Stem(w));
+  double loose = 0.8 * static_cast<double>(hits) /
+                 static_cast<double>(words.size());
+  return std::max(best, loose);
+}
+
+std::optional<LinkCandidate> LexicalLinkColumn(
+    const std::string& mention, const schema::Database& db_schema,
+    double threshold) {
+  LinkCandidate best;
+  for (const schema::TableDef& table : db_schema.tables()) {
+    for (const schema::Column& col : table.columns()) {
+      double score;
+      if (strings::EqualsIgnoreCase(col.name, mention)) {
+        score = 1.0;
+      } else {
+        double overlap = strings::IdentifierWordOverlap(col.name, mention);
+        double edit = strings::EditSimilarity(strings::ToLower(col.name),
+                                              strings::ToLower(mention));
+        score = std::max(overlap, 0.9 * edit);
+      }
+      if (score > best.score) {
+        best.table = table.name();
+        best.column = col.name;
+        best.score = score;
+      }
+    }
+  }
+  if (best.score < threshold) return std::nullopt;
+  return best;
+}
+
+std::optional<std::string> LexicalLinkTable(
+    const std::string& mention, const schema::Database& db_schema,
+    double threshold) {
+  std::string best_table;
+  double best_score = 0.0;
+  for (const schema::TableDef& table : db_schema.tables()) {
+    double score;
+    if (strings::EqualsIgnoreCase(table.name(), mention)) {
+      score = 1.0;
+    } else {
+      double overlap =
+          strings::IdentifierWordOverlap(table.name(), mention);
+      double edit = strings::EditSimilarity(strings::ToLower(table.name()),
+                                            strings::ToLower(mention));
+      score = std::max(overlap, 0.9 * edit);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_table = table.name();
+    }
+  }
+  if (best_score < threshold) return std::nullopt;
+  return best_table;
+}
+
+SurfaceValues ExtractSurfaceValues(const std::string& nlq) {
+  SurfaceValues out;
+  // Numbers straight from the character stream (keeps decimals intact).
+  std::size_t i = 0;
+  while (i < nlq.size()) {
+    char c = nlq[i];
+    bool neg = c == '-' && i + 1 < nlq.size() &&
+               std::isdigit(static_cast<unsigned char>(nlq[i + 1])) != 0;
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || neg) {
+      std::size_t start = i;
+      if (neg) ++i;
+      bool dot = false;
+      while (i < nlq.size() &&
+             (std::isdigit(static_cast<unsigned char>(nlq[i])) != 0 ||
+              (nlq[i] == '.' && !dot && i + 1 < nlq.size() &&
+               std::isdigit(static_cast<unsigned char>(nlq[i + 1])) != 0))) {
+        if (nlq[i] == '.') dot = true;
+        ++i;
+      }
+      std::string text = nlq.substr(start, i - start);
+      if (dot) {
+        out.numbers.push_back(dvq::Literal::Real(std::stod(text)));
+      } else {
+        out.numbers.push_back(dvq::Literal::Int(std::stoll(text)));
+      }
+      continue;
+    }
+    ++i;
+  }
+  // Proper words: capitalized tokens that do not open a sentence, plus
+  // date-looking tokens (YYYY-MM-DD survives tokenization as numbers, so
+  // re-scan the raw text).
+  bool sentence_start = true;
+  std::string word;
+  auto flush = [&]() {
+    if (word.size() > 1 && std::isupper(static_cast<unsigned char>(word[0])) &&
+        !sentence_start) {
+      out.proper_words.push_back(word);
+    }
+    if (!word.empty()) sentence_start = false;
+    word.clear();
+  };
+  for (char c : nlq) {
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      word.push_back(c);
+      continue;
+    }
+    flush();
+    if (c == '.' || c == '?' || c == '!') sentence_start = true;
+  }
+  flush();
+  // ISO dates.
+  for (std::size_t p = 0; p + 10 <= nlq.size(); ++p) {
+    bool is_date = true;
+    for (std::size_t k = 0; k < 10; ++k) {
+      char c = nlq[p + k];
+      if (k == 4 || k == 7) {
+        if (c != '-') is_date = false;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+        is_date = false;
+      }
+      if (!is_date) break;
+    }
+    if (is_date) out.proper_words.push_back(nlq.substr(p, 10));
+  }
+  return out;
+}
+
+void AdaptLiterals(dvq::Query* query, const SurfaceValues& values) {
+  std::size_t num_cursor = 0;
+  std::size_t word_cursor = 0;
+  auto adapt = [&](dvq::Literal* lit) {
+    switch (lit->kind) {
+      case dvq::Literal::Kind::kInt:
+      case dvq::Literal::Kind::kReal:
+        if (num_cursor < values.numbers.size()) {
+          *lit = values.numbers[num_cursor++];
+        }
+        break;
+      case dvq::Literal::Kind::kString: {
+        bool is_like = !lit->string_value.empty() &&
+                       (lit->string_value.front() == '%' ||
+                        lit->string_value.back() == '%');
+        if (word_cursor < values.proper_words.size()) {
+          std::string v = values.proper_words[word_cursor++];
+          lit->string_value = is_like ? "%" + v + "%" : v;
+        }
+        break;
+      }
+    }
+  };
+  std::function<void(dvq::Query*)> walk = [&](dvq::Query* q) {
+    if (!q->where.has_value()) return;
+    for (dvq::Predicate& p : q->where->predicates) {
+      if (p.literal.has_value()) adapt(&*p.literal);
+      for (dvq::Literal& l : p.in_list) adapt(&l);
+      if (p.subquery != nullptr) {
+        dvq::Query inner = *p.subquery;
+        walk(&inner);
+        p.subquery = std::make_shared<const dvq::Query>(std::move(inner));
+      }
+    }
+  };
+  walk(query);
+  // LIMIT values also ride on the surface numbers ("top 5").
+  if (query->limit.has_value() && num_cursor < values.numbers.size() &&
+      values.numbers[num_cursor].kind == dvq::Literal::Kind::kInt) {
+    query->limit = values.numbers[num_cursor].int_value;
+  }
+}
+
+void RepairJoinKeys(dvq::Query* query, const schema::Database& db_schema) {
+  for (dvq::JoinClause& join : query->joins) {
+    const schema::TableDef* left_table = db_schema.FindTable(query->from_table);
+    const schema::TableDef* right_table = db_schema.FindTable(join.table);
+    if (left_table == nullptr || right_table == nullptr) continue;
+    auto resolves = [&](const dvq::ColumnRef& ref) {
+      if (!ref.table.empty()) {
+        const schema::TableDef* t = db_schema.FindTable(ref.table);
+        return t != nullptr && t->FindColumn(ref.column) != nullptr;
+      }
+      return left_table->FindColumn(ref.column) != nullptr ||
+             right_table->FindColumn(ref.column) != nullptr;
+    };
+    if (resolves(join.left) && resolves(join.right)) continue;
+    for (const schema::ForeignKey& fk : db_schema.foreign_keys()) {
+      bool forward =
+          strings::EqualsIgnoreCase(fk.from_table, query->from_table) &&
+          strings::EqualsIgnoreCase(fk.to_table, join.table);
+      bool backward =
+          strings::EqualsIgnoreCase(fk.to_table, query->from_table) &&
+          strings::EqualsIgnoreCase(fk.from_table, join.table);
+      if (!forward && !backward) continue;
+      join.left.table = fk.from_table;
+      join.left.column = fk.from_column;
+      join.right.table = fk.to_table;
+      join.right.column = fk.to_column;
+      break;
+    }
+  }
+}
+
+void SynthesizeJoins(dvq::Query* query, const schema::Database& db_schema) {
+  auto in_query_tables = [&](const dvq::ColumnRef& ref) {
+    if (ref.column == "*") return true;
+    std::vector<std::string> tables;
+    tables.push_back(query->from_table);
+    for (const dvq::JoinClause& j : query->joins) tables.push_back(j.table);
+    for (const std::string& name : tables) {
+      const schema::TableDef* def = db_schema.FindTable(name);
+      if (def != nullptr && def->FindColumn(ref.column) != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<dvq::ColumnRef> refs = dvq::CollectColumnRefs(*query);
+  for (const dvq::ColumnRef& ref : refs) {
+    if (in_query_tables(ref)) continue;
+    auto [owner, col] = db_schema.FindColumnAnywhere(ref.column);
+    if (owner == nullptr || col == nullptr) continue;
+    for (const schema::ForeignKey& fk : db_schema.foreign_keys()) {
+      bool forward =
+          strings::EqualsIgnoreCase(fk.from_table, query->from_table) &&
+          strings::EqualsIgnoreCase(fk.to_table, owner->name());
+      bool backward =
+          strings::EqualsIgnoreCase(fk.to_table, query->from_table) &&
+          strings::EqualsIgnoreCase(fk.from_table, owner->name());
+      if (!forward && !backward) continue;
+      dvq::JoinClause join;
+      join.table = owner->name();
+      join.left.table = fk.from_table;
+      join.left.column = fk.from_column;
+      join.right.table = fk.to_table;
+      join.right.column = fk.to_column;
+      query->joins.push_back(std::move(join));
+      break;
+    }
+  }
+}
+
+void RelinkSchemaLexically(dvq::Query* query,
+                           const schema::Database& db_schema,
+                           const std::vector<std::string>& nlq_tokens,
+                           const RelinkOptions& options) {
+  // Tables first: FROM / JOIN targets absent from the schema are mapped
+  // to their closest surface match.
+  std::function<void(dvq::Query*)> relink_tables = [&](dvq::Query* q) {
+    auto fix_table = [&](std::string* table) {
+      if (db_schema.FindTable(*table) != nullptr) return;
+      std::optional<std::string> linked =
+          LexicalLinkTable(*table, db_schema, options.table_threshold);
+      if (linked.has_value()) *table = *linked;
+    };
+    fix_table(&q->from_table);
+    for (dvq::JoinClause& j : q->joins) fix_table(&j.table);
+    if (q->where.has_value()) {
+      for (dvq::Predicate& p : q->where->predicates) {
+        if (p.subquery != nullptr) {
+          dvq::Query inner = *p.subquery;
+          relink_tables(&inner);
+          p.subquery = std::make_shared<const dvq::Query>(std::move(inner));
+        }
+      }
+    }
+  };
+  relink_tables(query);
+  RepairJoinKeys(query, db_schema);
+
+  // Foreign-key columns threaded through scalar subqueries are resolved
+  // structurally, not by mention evidence; protect them when they exist.
+  std::set<std::string> protected_cols;
+  std::function<void(const dvq::Query&)> collect_protected =
+      [&](const dvq::Query& q) {
+        if (!q.where.has_value()) return;
+        for (const dvq::Predicate& p : q.where->predicates) {
+          if (p.subquery == nullptr) continue;
+          if (db_schema.HasColumn(p.col.column)) {
+            protected_cols.insert(strings::ToLower(p.col.column));
+          }
+          if (p.subquery->select.size() == 1 &&
+              db_schema.HasColumn(p.subquery->select[0].col.column)) {
+            protected_cols.insert(
+                strings::ToLower(p.subquery->select[0].col.column));
+          }
+          collect_protected(*p.subquery);
+        }
+      };
+  collect_protected(*query);
+
+  auto relink_ref = [&](dvq::ColumnRef* ref) {
+    if (ref->column == "*") return;
+    const bool present = db_schema.HasColumn(ref->column);
+    if (present && options.only_missing) return;
+    // A resolved reference the question names verbatim is already right;
+    // re-scoring it can only do harm.
+    if (present && MentionScore(nlq_tokens, ref->column) >= 0.95) return;
+    if (present && protected_cols.count(strings::ToLower(ref->column)) > 0) {
+      return;
+    }
+    LinkCandidate best;
+    for (const schema::TableDef& table : db_schema.tables()) {
+      for (const schema::Column& col : table.columns()) {
+        double name_sim;
+        if (strings::EqualsIgnoreCase(col.name, ref->column)) {
+          name_sim = 1.0;
+        } else {
+          double overlap =
+              strings::IdentifierWordOverlap(col.name, ref->column);
+          double edit = strings::EditSimilarity(
+              strings::ToLower(col.name), strings::ToLower(ref->column));
+          name_sim = std::max(overlap, 0.9 * edit);
+        }
+        double mention = MentionScore(nlq_tokens, col.name);
+        double score = (1.0 - options.mention_weight) * name_sim +
+                       options.mention_weight * mention;
+        if (score > best.score) {
+          best.table = table.name();
+          best.column = col.name;
+          best.score = score;
+        }
+      }
+    }
+    if (best.score < options.column_threshold) return;
+    if (strings::EqualsIgnoreCase(best.column, ref->column)) {
+      // Only the spelling may differ (case conventions); adopt schema's.
+      ref->column = best.column;
+      return;
+    }
+    ref->column = best.column;
+    if (!ref->table.empty()) ref->table = best.table;
+  };
+  dvq::TransformNonJoinColumnRefs(query, relink_ref);
+}
+
+}  // namespace gred::models

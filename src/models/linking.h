@@ -1,0 +1,98 @@
+#ifndef GREDVIS_MODELS_LINKING_H_
+#define GREDVIS_MODELS_LINKING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dvq/ast.h"
+#include "schema/schema.h"
+
+namespace gred::models {
+
+/// Lexical schema-linking utilities shared by the baseline models.
+///
+/// Everything in this header matches on surface forms only — exact names,
+/// case/underscore normalization, word overlap, edit distance and stems.
+/// Deliberately no synonym knowledge: the paper's analysis attributes the
+/// baselines' robustness collapse to exactly this limitation.
+
+/// How strongly an NLQ mentions `column_name`, in [0,1]:
+/// 1.0 the name appears verbatim (as a token or adjacent word sequence),
+/// otherwise the best of word-overlap and stem-overlap scores between the
+/// column's identifier words and any NLQ window of the same length.
+double MentionScore(const std::vector<std::string>& nlq_tokens,
+                    const std::string& column_name);
+
+/// Best-matching column in `db_schema` for a mention string, by combined
+/// word-overlap + edit similarity. Returns nullopt when the best score is
+/// below `threshold`.
+struct LinkCandidate {
+  std::string table;
+  std::string column;
+  double score = 0.0;
+};
+std::optional<LinkCandidate> LexicalLinkColumn(
+    const std::string& mention, const schema::Database& db_schema,
+    double threshold);
+
+/// Best-matching table for a mention, same scoring; nullopt below
+/// `threshold`.
+std::optional<std::string> LexicalLinkTable(
+    const std::string& mention, const schema::Database& db_schema,
+    double threshold);
+
+/// Values the NLQ surface carries: numbers (in order of appearance) and
+/// capitalized / quoted words usable as string literals. Models use these
+/// to adapt retrieved literals (a seq2seq copy mechanism would do the
+/// same).
+struct SurfaceValues {
+  std::vector<dvq::Literal> numbers;
+  std::vector<std::string> proper_words;
+};
+SurfaceValues ExtractSurfaceValues(const std::string& nlq);
+
+/// Rewrites the literals of `query` in place from `values`, pairing
+/// numeric literals with extracted numbers and string literals with
+/// proper words (in order). LIKE patterns keep their % wrapping.
+void AdaptLiterals(dvq::Query* query, const SurfaceValues& values);
+
+/// Options for lexical schema re-linking.
+struct RelinkOptions {
+  /// Minimum combined score to accept a substitution; below it the model
+  /// keeps the (possibly hallucinated) original name — the paper's
+  /// signature baseline failure.
+  double column_threshold = 0.55;
+  double table_threshold = 0.5;
+  /// Weight of NLQ-mention evidence relative to name-to-name similarity.
+  double mention_weight = 0.35;
+  /// When true, only references absent from the schema are re-linked
+  /// (Transformer); when false every reference is re-scored (RGVisNet's
+  /// revision stage).
+  bool only_missing = true;
+};
+
+/// Re-links the schema references of `query` in place against
+/// `db_schema`, using surface evidence only (names + NLQ mentions; no
+/// synonym knowledge). Join ON keys are repaired from the schema's
+/// foreign keys (RepairJoinKeys), not by mention evidence. Recurses into
+/// scalar subqueries.
+void RelinkSchemaLexically(dvq::Query* query,
+                           const schema::Database& db_schema,
+                           const std::vector<std::string>& nlq_tokens,
+                           const RelinkOptions& options);
+
+/// Rewrites each join's ON keys to the declared foreign key between the
+/// joined tables when either side fails to resolve in `db_schema`.
+/// Joins whose tables have no declared edge are left untouched.
+void RepairJoinKeys(dvq::Query* query, const schema::Database& db_schema);
+
+/// Adds a JOIN for every column the query references that resolves in
+/// none of its tables but does resolve in a table one foreign-key hop
+/// away from the FROM table (classic schema linking: "job title" over
+/// `employees` pulls in `jobs`). No-op when no FK edge exists.
+void SynthesizeJoins(dvq::Query* query, const schema::Database& db_schema);
+
+}  // namespace gred::models
+
+#endif  // GREDVIS_MODELS_LINKING_H_

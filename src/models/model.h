@@ -1,0 +1,41 @@
+#ifndef GREDVIS_MODELS_MODEL_H_
+#define GREDVIS_MODELS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/benchmark.h"
+#include "dvq/ast.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace gred::models {
+
+/// The training corpus visible to baseline models: nvBench's clean
+/// training split and the clean database corpus. Baselines "train" by
+/// building retrieval indexes and alignment statistics over this data;
+/// they never see the robustness perturbations or the lexicon.
+struct TrainingCorpus {
+  const std::vector<dataset::Example>* train = nullptr;
+  const std::vector<dataset::GeneratedDatabase>* databases = nullptr;
+};
+
+/// Interface implemented by every text-to-vis system in this repository
+/// (the three baselines and GRED).
+class TextToVisModel {
+ public:
+  virtual ~TextToVisModel() = default;
+
+  /// Display name ("Seq2Vis", "Transformer", "RGVisNet", "GRED").
+  virtual std::string name() const = 0;
+
+  /// Translates `nlq` into a DVQ against `db`'s schema. The database the
+  /// model sees is the (possibly perturbed) evaluation database; models
+  /// must not assume its names match the training corpus.
+  virtual Result<dvq::DVQ> Translate(const std::string& nlq,
+                                     const storage::DatabaseData& db) const = 0;
+};
+
+}  // namespace gred::models
+
+#endif  // GREDVIS_MODELS_MODEL_H_

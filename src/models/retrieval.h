@@ -1,0 +1,65 @@
+#ifndef GREDVIS_MODELS_RETRIEVAL_H_
+#define GREDVIS_MODELS_RETRIEVAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/example.h"
+#include "embed/embedder.h"
+#include "embed/vector_store.h"
+
+namespace gred::models {
+
+/// A retrieval index over training examples keyed by NLQ embedding.
+///
+/// Baselines build it with a lexical embedder (their "memory" of the
+/// training distribution); GRED builds it with the semantic embedder
+/// (Section 4.1's embedding vector library).
+class ExampleIndex {
+ public:
+  struct Hit {
+    const dataset::Example* example = nullptr;
+    double score = 0.0;
+  };
+
+  /// Indexes `train` (not owned; must outlive the index) using
+  /// `embedder` (not owned).
+  ExampleIndex(const std::vector<dataset::Example>* train,
+               const embed::TextEmbedder* embedder);
+
+  /// Top-k most similar training examples for `nlq`, best first.
+  std::vector<Hit> TopK(const std::string& nlq, std::size_t k) const;
+
+  std::size_t size() const { return store_.size(); }
+
+ private:
+  const std::vector<dataset::Example>* train_;
+  const embed::TextEmbedder* embedder_;
+  embed::VectorStore store_;
+};
+
+/// A retrieval index over DVQ strings (GRED's DVQ embedding library used
+/// by the Retuner; also RGVisNet's prototype codebase).
+class DvqIndex {
+ public:
+  struct Hit {
+    const dataset::Example* example = nullptr;
+    double score = 0.0;
+  };
+
+  DvqIndex(const std::vector<dataset::Example>* train,
+           const embed::TextEmbedder* embedder);
+
+  /// Top-k training examples whose DVQ text is most similar to `dvq_text`.
+  std::vector<Hit> TopK(const std::string& dvq_text, std::size_t k) const;
+
+ private:
+  const std::vector<dataset::Example>* train_;
+  const embed::TextEmbedder* embedder_;
+  embed::VectorStore store_;
+};
+
+}  // namespace gred::models
+
+#endif  // GREDVIS_MODELS_RETRIEVAL_H_

@@ -1,0 +1,318 @@
+#include "models/revision.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "dataset/nlq_render.h"
+#include "models/keywords.h"
+#include "models/linking.h"
+#include "nl/text.h"
+#include "util/strings.h"
+
+namespace gred::models {
+
+std::string LinkTargetAfterPhrase(
+    const std::vector<std::string>& tokens,
+    const schema::Database& db_schema,
+    const std::function<bool(const std::string&, const std::string&)>&
+        match) {
+  for (std::size_t start = 0; start < tokens.size(); ++start) {
+    std::string best_col;
+    std::size_t best_len = 0;
+    for (const schema::TableDef& t : db_schema.tables()) {
+      for (const schema::Column& c : t.columns()) {
+        std::vector<std::string> words =
+            strings::SplitIdentifierWords(c.name);
+        if (words.empty() || start + words.size() > tokens.size()) continue;
+        bool all = true;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+          if (!match(tokens[start + i], words[i])) {
+            all = false;
+            break;
+          }
+        }
+        if (all && words.size() > best_len) {
+          best_len = words.size();
+          best_col = c.name;
+        }
+      }
+    }
+    if (!best_col.empty()) return best_col;
+  }
+  return std::string();
+}
+
+std::optional<dvq::Literal> LiteralAfterPhrase(const std::string& nlq,
+                                               std::size_t pos) {
+  std::size_t i = pos;
+  auto is_space_or_quote = [](char c) {
+    return c == ' ' || c == '\t' || c == '"' || c == '\'' || c == ':';
+  };
+  while (i < nlq.size() && is_space_or_quote(nlq[i])) ++i;
+  if (i >= nlq.size()) return std::nullopt;
+  char c = nlq[i];
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+      (c == '-' && i + 1 < nlq.size() &&
+       std::isdigit(static_cast<unsigned char>(nlq[i + 1])) != 0)) {
+    std::size_t start = i;
+    if (c == '-') ++i;
+    bool dot = false;
+    while (i < nlq.size() &&
+           (std::isdigit(static_cast<unsigned char>(nlq[i])) != 0 ||
+            (nlq[i] == '.' && !dot && i + 1 < nlq.size() &&
+             std::isdigit(static_cast<unsigned char>(nlq[i + 1])) != 0) ||
+            nlq[i] == '-')) {  // dates ride along; treated as text below
+      if (nlq[i] == '.') dot = true;
+      ++i;
+    }
+    std::string text = nlq.substr(start, i - start);
+    if (text.find('-', 1) != std::string::npos) {
+      return dvq::Literal::Str(text);  // ISO date
+    }
+    if (dot) return dvq::Literal::Real(std::stod(text));
+    return dvq::Literal::Int(std::stoll(text));
+  }
+  auto read_word = [&](std::size_t* cursor) {
+    std::size_t start = *cursor;
+    while (*cursor < nlq.size() &&
+           (std::isalnum(static_cast<unsigned char>(nlq[*cursor])) != 0 ||
+            nlq[*cursor] == '_')) {
+      ++*cursor;
+    }
+    return nlq.substr(start, *cursor - start);
+  };
+  std::string value = read_word(&i);
+  if (value.empty()) return std::nullopt;
+  // Absorb capitalized continuations ("Harbor Point").
+  while (i + 1 < nlq.size() && nlq[i] == ' ' &&
+         std::isupper(static_cast<unsigned char>(nlq[i + 1])) != 0) {
+    std::size_t j = i + 1;
+    std::string next = read_word(&j);
+    value += " " + next;
+    i = j;
+  }
+  return dvq::Literal::Str(value);
+}
+
+std::optional<dvq::Predicate> TryBuildCorpusFilter(
+    const std::string& nlq, const schema::Database& db_schema) {
+  const std::string lower = strings::ToLower(nlq);
+  // Locate the earliest explicit operator phrase.
+  static const dvq::CompareOp kOps[] = {
+      dvq::CompareOp::kGe, dvq::CompareOp::kLe,  dvq::CompareOp::kGt,
+      dvq::CompareOp::kLt, dvq::CompareOp::kNe,  dvq::CompareOp::kLike,
+      dvq::CompareOp::kEq,
+  };
+  dvq::CompareOp op = dvq::CompareOp::kEq;
+  std::size_t op_pos = std::string::npos;
+  std::size_t op_len = 0;
+  std::size_t best_raw = std::string::npos;
+  for (dvq::CompareOp candidate : kOps) {
+    for (const std::string& phrase :
+         dataset::ExplicitOpPhrases(candidate)) {
+      std::size_t pos = lower.find(" " + phrase + " ");
+      if (pos == std::string::npos) continue;
+      // Strictly earlier wins; ties keep the first (more specific) op.
+      if (best_raw == std::string::npos || pos < best_raw) {
+        best_raw = pos;
+        op = candidate;
+        op_pos = pos + 1;
+        op_len = phrase.size();
+      }
+    }
+  }
+  if (best_raw == std::string::npos) return std::nullopt;
+
+  // The filtered column: nearest column words ending right before the
+  // phrase — scan backwards over reversed tokens, matching each column's
+  // words in reverse order.
+  std::vector<std::string> before =
+      nl::ContentTokens(lower.substr(0, op_pos));
+  std::reverse(before.begin(), before.end());
+  if (before.size() > 4) before.resize(4);
+  std::string column;
+  for (std::size_t start = 0; start < before.size() && column.empty();
+       ++start) {
+    std::size_t best_len = 0;
+    for (const schema::TableDef& t : db_schema.tables()) {
+      for (const schema::Column& c : t.columns()) {
+        std::vector<std::string> words =
+            strings::SplitIdentifierWords(c.name);
+        if (words.empty() || start + words.size() > before.size()) continue;
+        bool all = true;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+          const std::string& token = before[start + i];
+          const std::string& word = words[words.size() - 1 - i];
+          if (token != word && nl::Stem(token) != nl::Stem(word)) {
+            all = false;
+            break;
+          }
+        }
+        if (all && words.size() > best_len) {
+          best_len = words.size();
+          column = c.name;
+        }
+      }
+    }
+  }
+  if (column.empty()) return std::nullopt;
+
+  // The literal: the value right after the phrase.
+  std::optional<dvq::Literal> literal =
+      LiteralAfterPhrase(nlq, op_pos + op_len);
+  if (!literal.has_value()) return std::nullopt;
+  dvq::Predicate pred;
+  pred.col.column = column;
+  pred.op = op;
+  if (op == dvq::CompareOp::kLike &&
+      literal->kind == dvq::Literal::Kind::kString) {
+    literal->string_value = "%" + literal->string_value + "%";
+  }
+  pred.literal = std::move(*literal);
+  return pred;
+}
+
+void ApplyCorpusIntent(dvq::DVQ* out, const std::string& nlq,
+                       const schema::Database& db_schema,
+                       const CorpusIntentOptions& options) {
+  constexpr DetectorProfile kProfile = DetectorProfile::kCorpusTrained;
+  const std::string lower = strings::ToLower(nlq);
+
+  // Chart head.
+  if (std::optional<dvq::ChartType> chart = DetectChart(nlq, kProfile)) {
+    out->chart = *chart;
+  }
+
+  // Select-arity normalization: only the grouped chart family carries a
+  // third (series) encoding.
+  const bool grouped_chart = out->chart == dvq::ChartType::kStackedBar ||
+                             out->chart == dvq::ChartType::kGroupingLine ||
+                             out->chart == dvq::ChartType::kGroupingScatter;
+  if (!grouped_chart && out->query.select.size() > 2) {
+    out->query.select.resize(2);
+  }
+  if (options.series_recovery && grouped_chart &&
+      out->query.select.size() == 2) {
+    // Series recovery: the last grouping phrase names the series column.
+    std::size_t pos = lower.rfind("group by ");
+    if (pos != std::string::npos) {
+      std::vector<std::string> after =
+          nl::ContentTokens(lower.substr(pos + 9));
+      if (after.size() > 3) after.resize(3);
+      std::string col = LinkTargetAfterPhrase(
+          after, db_schema,
+          [](const std::string& token, const std::string& word) {
+            return token == word || nl::Stem(token) == nl::Stem(word);
+          });
+      if (!col.empty() &&
+          !strings::EqualsIgnoreCase(col,
+                                     out->query.select[0].col.column)) {
+        dvq::SelectExpr series;
+        series.col.column = col;
+        out->query.select.push_back(series);
+      }
+    }
+  }
+
+  // Aggregation head.
+  std::optional<AggHit> agg_hit = FindAggPhrase(nlq, kProfile);
+  bool base_has_agg = out->query.select.size() >= 2 &&
+                      out->query.select[1].agg != dvq::AggFunc::kNone;
+  if (!agg_hit.has_value()) {
+    if (base_has_agg && options.prune_unevidenced) {
+      out->query.select[1].agg = dvq::AggFunc::kNone;
+      out->query.select[1].distinct = false;
+      if (out->query.select[1].col.column == "*") {
+        out->query.select[1].col = out->query.select[0].col;
+      }
+      out->query.group_by.clear();
+    }
+  } else if (out->query.select.size() >= 2) {
+    out->query.select[1].agg = agg_hit->func;
+    if (agg_hit->func == dvq::AggFunc::kCount) {
+      out->query.select[1].col = out->query.select[0].col;
+    } else if (options.agg_target_extraction) {
+      // The aggregation target follows the phrase; link it lexically
+      // (verbatim / case / stem — no synonyms). Proximity wins: the
+      // column whose words appear earliest after the phrase.
+      std::vector<std::string> after =
+          nl::ContentTokens(lower.substr(agg_hit->end_pos));
+      if (after.size() > 4) after.resize(4);
+      std::string best_col = LinkTargetAfterPhrase(
+          after, db_schema, [](const std::string& token,
+                               const std::string& word) {
+            return token == word || nl::Stem(token) == nl::Stem(word);
+          });
+      if (!best_col.empty()) {
+        out->query.select[1].col.table.clear();
+        out->query.select[1].col.column = best_col;
+      }
+    }
+  }
+
+  // Bin head: adjust the unit, or prune the clause when the question
+  // carries no binning vocabulary at all.
+  if (out->query.bin.has_value()) {
+    if (std::optional<dvq::BinUnit> unit = DetectBinUnit(nlq, kProfile)) {
+      out->query.bin->unit = *unit;
+    } else if (options.prune_unevidenced &&
+               lower.find("bin") == std::string::npos &&
+               lower.find("interval") == std::string::npos) {
+      out->query.bin.reset();
+    }
+  }
+
+  // Grouping: rebuild to the corpus convention — aggregated queries group
+  // by the x axis (series first for grouped charts) unless a BIN clause
+  // provides the implicit grouping; non-aggregated queries don't group.
+  const bool has_agg_now = out->query.select.size() >= 2 &&
+                           out->query.select[1].agg != dvq::AggFunc::kNone;
+  out->query.group_by.clear();
+  if (has_agg_now && !out->query.bin.has_value()) {
+    if (grouped_chart && out->query.select.size() >= 3) {
+      out->query.group_by.push_back(out->query.select[2].col);
+    }
+    out->query.group_by.push_back(out->query.select[0].col);
+  }
+
+  // Sorting head.
+  if (std::optional<OrderIntent> order = DetectOrder(nlq, kProfile)) {
+    dvq::OrderByClause clause;
+    if (out->query.order_by.has_value()) clause = *out->query.order_by;
+    if (order->axis == 0) {
+      clause.expr = out->query.select[0];
+    } else if (order->axis == 1 && out->query.select.size() >= 2) {
+      clause.expr = out->query.select[1];
+    } else if (!out->query.order_by.has_value()) {
+      clause.expr = out->query.select.size() >= 2 ? out->query.select[1]
+                                                  : out->query.select[0];
+    }
+    clause.descending = order->descending;
+    out->query.order_by = clause;
+  } else if (options.prune_unevidenced && out->query.order_by.has_value() &&
+             lower.find("sort") == std::string::npos &&
+             lower.find("order") == std::string::npos &&
+             lower.find("rank") == std::string::npos) {
+    out->query.order_by.reset();
+  }
+
+  // Limit head.
+  if (std::optional<std::int64_t> limit = DetectLimit(nlq)) {
+    out->query.limit = *limit;
+  } else if (options.prune_unevidenced && out->query.limit.has_value() &&
+             lower.find("top") == std::string::npos &&
+             lower.find("first") == std::string::npos) {
+    out->query.limit.reset();
+  }
+
+  // Filter pruning.
+  const bool filter_evidence = lower.find("whose") != std::string::npos ||
+                               lower.find("where") != std::string::npos;
+  if (options.prune_unevidenced && !filter_evidence) {
+    out->query.where.reset();
+  }
+}
+
+}  // namespace gred::models

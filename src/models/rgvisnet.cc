@@ -1,0 +1,176 @@
+#include "models/rgvisnet.h"
+
+#include <map>
+
+#include "models/keywords.h"
+#include "models/revision.h"
+#include "models/linking.h"
+#include "nl/text.h"
+#include "util/strings.h"
+
+namespace gred::models {
+
+namespace {
+
+/// Masks schema tokens and literal values, leaving the structural
+/// skeleton: chart type, clause shape, aggregates, operators.
+std::string SkeletonKey(const dvq::DVQ& query) {
+  dvq::DVQ masked = query;
+  dvq::TransformColumnRefs(&masked.query, [](dvq::ColumnRef* ref) {
+    if (ref->column != "*") ref->column = "C";
+    ref->table.clear();
+  });
+  std::function<void(dvq::Query*)> mask = [&](dvq::Query* q) {
+    q->from_table = "T";
+    q->from_alias.clear();
+    for (dvq::JoinClause& j : q->joins) {
+      j.table = "T";
+      j.alias.clear();
+    }
+    if (q->limit.has_value()) q->limit = 0;
+    if (q->where.has_value()) {
+      for (dvq::Predicate& p : q->where->predicates) {
+        if (p.literal.has_value()) {
+          p.literal = p.literal->kind == dvq::Literal::Kind::kString
+                          ? dvq::Literal::Str("V")
+                          : dvq::Literal::Int(0);
+        }
+        for (dvq::Literal& l : p.in_list) {
+          l = l.kind == dvq::Literal::Kind::kString ? dvq::Literal::Str("V")
+                                                    : dvq::Literal::Int(0);
+        }
+        if (p.subquery != nullptr) {
+          dvq::Query inner = *p.subquery;
+          mask(&inner);
+          p.subquery = std::make_shared<const dvq::Query>(std::move(inner));
+        }
+      }
+    }
+  };
+  mask(&masked.query);
+  return masked.Canonical();
+}
+
+}  // namespace
+
+RGVisNet::RGVisNet(const TrainingCorpus& corpus) {
+  // Retrieval is RGVisNet's core strength (a dedicated retrieval network
+  // over the DVQ codebase): heavier subword features than the
+  // Transformer's encoder give it the best out-of-register recall among
+  // the baselines.
+  embed::EmbedderOptions options;
+  options.trigram_weight = 0.1;
+  embedder_ = std::make_unique<embed::LexicalHashEmbedder>(options);
+  index_ = std::make_unique<ExampleIndex>(corpus.train, embedder_.get());
+}
+
+Result<dvq::DVQ> RGVisNet::Translate(const std::string& nlq,
+                                     const storage::DatabaseData& db) const {
+  std::vector<ExampleIndex::Hit> hits = index_->TopK(nlq, 10);
+  if (hits.empty()) {
+    return Status::NotFound("RGVisNet: empty prototype codebase");
+  }
+
+  // Skeleton vote: the structure supported by the most similar
+  // neighbourhood wins; its best instance becomes the prototype.
+  std::map<std::string, double> votes;
+  for (const ExampleIndex::Hit& hit : hits) {
+    // Only the near-top neighbourhood votes, and votes sharpen steeply
+    // with similarity, so one near-duplicate outweighs many mediocre
+    // neighbours.
+    if (hit.score < hits[0].score - 0.04) continue;
+    double w = hit.score * hit.score;
+    w = w * w;
+    w = w * w;  // score^8
+    votes[SkeletonKey(hit.example->dvq)] += w;
+  }
+  const dataset::Example* prototype = hits[0].example;
+  if (hits[0].score >= 0.72) {
+    double best_vote = -1.0;
+    for (const ExampleIndex::Hit& hit : hits) {
+      if (hit.score < hits[0].score - 0.04) continue;
+      double vote = votes[SkeletonKey(hit.example->dvq)];
+      // Within a skeleton, the highest-similarity instance wins (hits
+      // are ordered by similarity, so the first with the best vote is
+      // taken).
+      if (vote > best_vote) {
+        best_vote = vote;
+        prototype = hit.example;
+      }
+    }
+  }
+
+  // The retrieval net's confidence gates how aggressively the revision
+  // network trusts the question over the prototype.
+  const bool in_distribution = hits[0].score >= 0.72;
+
+  dvq::DVQ out = prototype->dvq;
+  AdaptLiterals(&out.query, ExtractSurfaceValues(nlq));
+
+  // Revision heads (clean-register keyword knowledge).
+  // In-distribution inputs are decoded literally (clauses without
+  // question evidence are pruned); out-of-distribution inputs fall back
+  // to the retrieval-first prior and keep the prototype's structure.
+  CorpusIntentOptions intent;
+  intent.prune_unevidenced = in_distribution;
+  ApplyCorpusIntent(&out, nlq, db.db_schema(), intent);
+
+  // FROM revision: when the question names another table of the target
+  // database verbatim and never names the prototype's table, follow the
+  // question (single-table queries only; join synthesis is beyond the
+  // revision network).
+  std::vector<std::string> nlq_tokens = nl::Tokenize(nlq);
+  if (out.query.joins.empty()) {
+    double current_mention =
+        MentionScore(nlq_tokens, out.query.from_table);
+    if (current_mention < 1.0) {
+      for (const schema::TableDef& t : db.db_schema().tables()) {
+        if (MentionScore(nlq_tokens, t.name()) >= 1.0) {
+          out.query.from_table = t.name();
+          break;
+        }
+      }
+    }
+  }
+
+  // Filter decoding: the revision network rebuilds the predicate from
+  // the clean-register surface (column words, operator phrase, literal),
+  // replacing whatever the prototype carried; without any surface
+  // evidence the clause was already pruned by ApplyCorpusIntent.
+  const std::string lower_nlq = strings::ToLower(nlq);
+  const bool filter_evidence =
+      lower_nlq.find("whose") != std::string::npos ||
+      lower_nlq.find("where") != std::string::npos;
+  if (filter_evidence && in_distribution) {
+    bool prototype_has_subquery = false;
+    if (out.query.where.has_value()) {
+      for (const dvq::Predicate& p : out.query.where->predicates) {
+        if (p.subquery != nullptr) prototype_has_subquery = true;
+      }
+    }
+    if (!prototype_has_subquery) {
+      if (std::optional<dvq::Predicate> pred =
+              TryBuildCorpusFilter(nlq, db.db_schema())) {
+        dvq::Condition cond;
+        cond.predicates.push_back(std::move(*pred));
+        out.query.where = std::move(cond);
+      }
+    }
+  }
+
+  // Full schema revision: every reference re-scored against the target
+  // database (surface evidence only).
+  RelinkOptions relink;
+  relink.only_missing = !in_distribution;  // conservative when OOD
+  relink.column_threshold = 0.5;
+  relink.mention_weight = 0.55;
+  relink.table_threshold = 0.45;
+  RelinkSchemaLexically(&out.query, db.db_schema(), nlq_tokens, relink);
+
+  // Join synthesis: pull in the foreign-key neighbour when a linked
+  // column lives outside the query's tables.
+  SynthesizeJoins(&out.query, db.db_schema());
+  return out;
+}
+
+}  // namespace gred::models

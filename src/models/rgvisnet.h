@@ -1,0 +1,42 @@
+#ifndef GREDVIS_MODELS_RGVISNET_H_
+#define GREDVIS_MODELS_RGVISNET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "models/retrieval.h"
+
+namespace gred::models {
+
+/// RGVisNet baseline (Song et al., KDD 2022): the paper's previous SOTA.
+/// A hybrid retrieval-generation framework — retrieve the best DVQ
+/// prototype from a codebase, then revise it with a schema-aware network.
+///
+/// Statistical analogue: prototypes are the skeletons (structure with
+/// schema tokens masked) of the training DVQs; retrieval scores combine
+/// NLQ similarity with a skeleton vote over the top hits. Revision
+/// re-links every schema token against the *target* database by surface
+/// similarity and NLQ mention evidence. The linker normalizes case,
+/// underscores and stems — but knows no synonyms, so when nvBench-Rob
+/// renames "ACC_Percent" to "percentage_of_ACC"-style equivalents with
+/// fresh words it keeps the prototype's training-set column names, the
+/// exact behaviour Section 3 reports.
+class RGVisNet : public TextToVisModel {
+ public:
+  explicit RGVisNet(const TrainingCorpus& corpus);
+
+  std::string name() const override { return "RGVisNet"; }
+
+  Result<dvq::DVQ> Translate(const std::string& nlq,
+                             const storage::DatabaseData& db) const override;
+
+ private:
+  std::unique_ptr<embed::TextEmbedder> embedder_;
+  std::unique_ptr<ExampleIndex> index_;
+};
+
+}  // namespace gred::models
+
+#endif  // GREDVIS_MODELS_RGVISNET_H_

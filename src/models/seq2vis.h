@@ -1,0 +1,51 @@
+#ifndef GREDVIS_MODELS_SEQ2VIS_H_
+#define GREDVIS_MODELS_SEQ2VIS_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "embed/vector_store.h"
+#include "models/model.h"
+#include "models/retrieval.h"
+
+namespace gred::models {
+
+/// Seq2Vis baseline (Luo et al., 2021): an LSTM encoder-decoder trained
+/// on nvBench.
+///
+/// Statistical analogue: the model memorizes the training distribution
+/// and decodes the query whose source sentence it recognizes best —
+/// implemented as nearest-neighbour decoding over a word-level NLQ
+/// encoding with standard seq2seq preprocessing: out-of-vocabulary words
+/// collapse to <unk> and digit tokens are delexicalized to <num> (an
+/// LSTM cannot anchor on literal values it has never embedded). The copy
+/// mechanism is limited to literal values (numbers and proper names
+/// copied from the source). No schema linking of any kind: when the
+/// input drifts from the memorized surface (paraphrases, renamed
+/// schemas) the decoder keeps emitting training-set tokens, reproducing
+/// the paper's Seq2Vis failures (e.g. generating "FROM dogs" for an
+/// employees question, Table 5).
+class Seq2Vis : public TextToVisModel {
+ public:
+  explicit Seq2Vis(const TrainingCorpus& corpus);
+
+  std::string name() const override { return "Seq2Vis"; }
+
+  Result<dvq::DVQ> Translate(const std::string& nlq,
+                             const storage::DatabaseData& db) const override;
+
+ private:
+  /// Word-level encoding used for both the memory and the query:
+  /// stemmed in-vocabulary tokens, <unk> for OOV, <num> for digits.
+  std::string Encode(const std::string& nlq) const;
+
+  std::unique_ptr<embed::TextEmbedder> embedder_;
+  const std::vector<dataset::Example>* train_ = nullptr;
+  embed::VectorStore store_;
+  std::set<std::string> vocabulary_;  // stemmed training tokens
+};
+
+}  // namespace gred::models
+
+#endif  // GREDVIS_MODELS_SEQ2VIS_H_

@@ -1,0 +1,92 @@
+#include "models/transformer.h"
+
+#include "models/keywords.h"
+#include "models/linking.h"
+#include "models/revision.h"
+#include "nl/text.h"
+
+namespace gred::models {
+
+namespace {
+
+/// Structural compatibility between the detected intent and a memorized
+/// pattern: each agreeing head adds one point.
+double StructureCompatibility(const std::string& nlq,
+                              const dataset::Example& example) {
+  constexpr DetectorProfile kProfile = DetectorProfile::kCorpusTrained;
+  double score = 0.0;
+  const dvq::Query& q = example.dvq.query;
+  std::optional<dvq::ChartType> chart = DetectChart(nlq, kProfile);
+  if (chart.has_value() && *chart == example.dvq.chart) score += 1.0;
+  bool wants_order = DetectOrder(nlq, kProfile).has_value();
+  if (wants_order == q.order_by.has_value()) score += 1.0;
+  std::optional<dvq::AggFunc> agg = DetectAgg(nlq, kProfile);
+  bool has_agg = false;
+  for (const dvq::SelectExpr& e : q.select) {
+    if (e.agg != dvq::AggFunc::kNone) has_agg = true;
+  }
+  if (agg.has_value() == has_agg) score += 1.0;
+  if (agg.has_value() && has_agg && q.select.size() >= 2 &&
+      q.select[1].agg == *agg) {
+    score += 1.0;
+  }
+  bool wants_bin = DetectBinUnit(nlq, kProfile).has_value();
+  if (wants_bin == q.bin.has_value()) score += 1.0;
+  bool wants_filter = nlq.find("whose") != std::string::npos ||
+                      nlq.find("where") != std::string::npos;
+  if (wants_filter == q.where.has_value()) score += 1.0;
+  return score;
+}
+
+}  // namespace
+
+TransformerModel::TransformerModel(const TrainingCorpus& corpus) {
+  // Subword (BPE-like) features give a little robustness to unseen word
+  // forms, but far less than full word-level semantics.
+  embed::EmbedderOptions options;
+  options.trigram_weight = 0.05;
+  embedder_ = std::make_unique<embed::LexicalHashEmbedder>(options);
+  index_ = std::make_unique<ExampleIndex>(corpus.train, embedder_.get());
+}
+
+Result<dvq::DVQ> TransformerModel::Translate(
+    const std::string& nlq, const storage::DatabaseData& db) const {
+  std::vector<ExampleIndex::Hit> hits = index_->TopK(nlq, 5);
+  if (hits.empty()) {
+    return Status::NotFound("Transformer: empty training memory");
+  }
+  const dataset::Example* best = hits[0].example;
+  double best_score = -1.0;
+  for (const ExampleIndex::Hit& hit : hits) {
+    double score =
+        hit.score + 0.08 * StructureCompatibility(nlq, *hit.example);
+    if (score > best_score) {
+      best_score = score;
+      best = hit.example;
+    }
+  }
+
+  dvq::DVQ out = best->dvq;
+  AdaptLiterals(&out.query, ExtractSurfaceValues(nlq));
+
+  // Keyword heads trained on the clean register. When the input sits
+  // far from the training distribution (low retrieval similarity) the
+  // decoder leans on its prior — the memorized pattern — instead of
+  // pruning clauses it cannot ground in the question.
+  CorpusIntentOptions intent;
+  intent.agg_target_extraction = false;
+  intent.series_recovery = false;
+  intent.prune_unevidenced = hits[0].score >= 0.72;
+  ApplyCorpusIntent(&out, nlq, db.db_schema(), intent);
+
+  // Lexical copy mechanism for schema tokens the memory got wrong.
+  RelinkOptions relink;
+  relink.only_missing = true;
+  relink.column_threshold = 0.72;
+  relink.mention_weight = 0.2;
+  RelinkSchemaLexically(&out.query, db.db_schema(), nl::Tokenize(nlq),
+                        relink);
+  return out;
+}
+
+}  // namespace gred::models

@@ -1,0 +1,37 @@
+#ifndef GREDVIS_MODELS_TRANSFORMER_H_
+#define GREDVIS_MODELS_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+
+#include "models/model.h"
+#include "models/retrieval.h"
+
+namespace gred::models {
+
+/// Transformer baseline (Vaswani et al., 2017) trained on nvBench.
+///
+/// Statistical analogue: compared to Seq2Vis it adds (a) attention-style
+/// reranking of memorized patterns by structural compatibility with the
+/// input, (b) keyword heads for chart type, sorting, limits (trained on
+/// the clean register only), and (c) a lexical copy mechanism that can
+/// substitute a schema token when the input or target schema mentions it
+/// near-verbatim (case/underscore/stem normalization — but no synonym
+/// knowledge, which is what the paper shows these models lack).
+class TransformerModel : public TextToVisModel {
+ public:
+  explicit TransformerModel(const TrainingCorpus& corpus);
+
+  std::string name() const override { return "Transformer"; }
+
+  Result<dvq::DVQ> Translate(const std::string& nlq,
+                             const storage::DatabaseData& db) const override;
+
+ private:
+  std::unique_ptr<embed::TextEmbedder> embedder_;
+  std::unique_ptr<ExampleIndex> index_;
+};
+
+}  // namespace gred::models
+
+#endif  // GREDVIS_MODELS_TRANSFORMER_H_

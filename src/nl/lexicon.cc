@@ -1,0 +1,240 @@
+#include "nl/lexicon.h"
+
+#include "nl/text.h"
+
+namespace gred::nl {
+
+void Lexicon::AddConcept(const std::string& id,
+                         std::vector<std::string> forms) {
+  int index = static_cast<int>(concepts_.size());
+  Concept entry;
+  entry.id = id;
+  for (std::string& form : forms) {
+    std::string stem = Stem(form);
+    auto [it, inserted] = stem_to_concept_.emplace(stem, index);
+    (void)it;
+    if (inserted) entry.forms.push_back(std::move(form));
+  }
+  if (!entry.forms.empty()) concepts_.push_back(std::move(entry));
+}
+
+int Lexicon::ConceptIndexOf(const std::string& word) const {
+  auto it = stem_to_concept_.find(Stem(word));
+  return it == stem_to_concept_.end() ? -1 : it->second;
+}
+
+std::string Lexicon::ConceptIdOf(const std::string& word) const {
+  int idx = ConceptIndexOf(word);
+  return idx < 0 ? std::string() : concepts_[static_cast<std::size_t>(idx)].id;
+}
+
+bool Lexicon::SameConcept(const std::string& a, const std::string& b) const {
+  int ia = ConceptIndexOf(a);
+  return ia >= 0 && ia == ConceptIndexOf(b);
+}
+
+double Lexicon::WordSimilarity(const std::string& a,
+                               const std::string& b) const {
+  if (Stem(a) == Stem(b)) return 1.0;
+  if (SameConcept(a, b)) return 0.85;
+  return 0.0;
+}
+
+std::vector<std::string> Lexicon::AlternateForms(
+    const std::string& word) const {
+  std::vector<std::string> out;
+  int idx = ConceptIndexOf(word);
+  if (idx < 0) return out;
+  std::string stem = Stem(word);
+  for (const std::string& form :
+       concepts_[static_cast<std::size_t>(idx)].forms) {
+    if (Stem(form) != stem) out.push_back(form);
+  }
+  return out;
+}
+
+namespace {
+
+Lexicon* BuildDefaultLexicon() {
+  auto* lex = new Lexicon();
+  // People and organizations.
+  lex->AddConcept("employee", {"employee", "worker", "staffer"});
+  lex->AddConcept("department", {"department", "dept", "division", "bureau"});
+  lex->AddConcept("manager", {"manager", "mgr", "supervisor", "boss"});
+  lex->AddConcept("job", {"job", "position", "role", "occupation"});
+  lex->AddConcept("student", {"student", "pupil", "learner"});
+  lex->AddConcept("teacher", {"teacher", "instructor", "professor"});
+  lex->AddConcept("advisor", {"advisor", "mentor", "counselor"});
+  lex->AddConcept("customer", {"customer", "client", "patron", "buyer"});
+  lex->AddConcept("owner", {"owner", "keeper", "holder"});
+  lex->AddConcept("doctor", {"doctor", "physician", "medic"});
+  lex->AddConcept("patient", {"patient", "inpatient"});
+  lex->AddConcept("author", {"author", "writer", "novelist"});
+  lex->AddConcept("musician", {"musician", "artist", "instrumentalist"});
+  lex->AddConcept("team", {"team", "squad", "club"});
+  lex->AddConcept("airline", {"airline", "carrier", "airway"});
+  lex->AddConcept("member", {"member", "participant"});
+  lex->AddConcept("person", {"person", "individual", "people"});
+
+  // Naming and identity.
+  lex->AddConcept("identifier", {"id", "identifier", "key"});
+  lex->AddConcept("code", {"code", "abbreviation", "shorthand"});
+  lex->AddConcept("name", {"name", "label", "designation"});
+  lex->AddConcept("title", {"title", "heading", "caption"});
+  lex->AddConcept("first", {"first", "given", "fname", "forename"});
+  lex->AddConcept("last", {"last", "family", "lname", "surname"});
+  lex->AddConcept("email", {"email", "mail", "inbox"});
+  lex->AddConcept("phone", {"phone", "telephone", "cellphone"});
+  lex->AddConcept("address", {"address", "addr", "residence"});
+  lex->AddConcept("description", {"description", "detail", "summary"});
+  lex->AddConcept("status", {"status", "state", "condition"});
+
+  // Money and quantity.
+  lex->AddConcept("salary", {"salary", "wage", "pay", "compensation",
+                             "earnings"});
+  lex->AddConcept("budget", {"budget", "funds", "allocation"});
+  lex->AddConcept("price", {"price", "cost", "fare", "charge"});
+  lex->AddConcept("rent", {"rent", "rental"});
+  lex->AddConcept("revenue", {"revenue", "income", "proceeds"});
+  lex->AddConcept("amount", {"amount", "quantity", "qty", "volume"});
+  lex->AddConcept("total", {"total", "sum", "overall", "combined"});
+  lex->AddConcept("count", {"count", "number", "num", "tally"});
+  lex->AddConcept("average", {"average", "avg", "mean"});
+  lex->AddConcept("maximum",
+                  {"maximum", "max", "highest", "largest", "greatest"});
+  lex->AddConcept("minimum", {"minimum", "min", "lowest", "smallest"});
+  lex->AddConcept("percentage", {"percentage", "percent", "proportion",
+                                 "share"});
+  lex->AddConcept("credit", {"credit", "credits"});
+  lex->AddConcept("stock", {"stock", "inventory", "supply"});
+  lex->AddConcept("capacity", {"capacity", "seating", "headroom"});
+  lex->AddConcept("balance", {"balance", "remainder"});
+
+  // Time.
+  lex->AddConcept("date", {"date", "day", "calendar"});
+  lex->AddConcept("year", {"year", "yr", "annum"});
+  lex->AddConcept("month", {"month"});
+  lex->AddConcept("week", {"week", "weekday"});
+  lex->AddConcept("time", {"time", "moment", "instant"});
+  lex->AddConcept("hire", {"hire", "hiring", "employment", "recruitment"});
+  lex->AddConcept("start", {"start", "begin", "commencement", "onset"});
+  lex->AddConcept("end", {"end", "finish", "conclusion"});
+  lex->AddConcept("birth", {"birth", "born", "natal"});
+  lex->AddConcept("join", {"join", "signup", "registration", "enrollment"});
+  lex->AddConcept("departure", {"departure", "takeoff", "leaving"});
+  lex->AddConcept("arrival", {"arrival", "landing"});
+  lex->AddConcept("admission", {"admission", "intake", "hospitalization"});
+  lex->AddConcept("release", {"release", "debut", "premiere"});
+  lex->AddConcept("publish", {"publish", "issue", "print"});
+  lex->AddConcept("open", {"opening", "inauguration", "launch"});
+  lex->AddConcept("found", {"founded", "established", "formed", "creation"});
+  lex->AddConcept("built", {"built", "constructed", "erected"});
+  lex->AddConcept("duration", {"duration", "length", "runtime"});
+  lex->AddConcept("experience", {"experience", "tenure", "seniority"});
+  lex->AddConcept("semester", {"semester", "term"});
+  lex->AddConcept("age", {"age", "oldness"});
+
+  // Places.
+  lex->AddConcept("city", {"city", "town", "municipality"});
+  lex->AddConcept("country", {"country", "nation", "homeland"});
+  lex->AddConcept("location", {"location", "place", "site", "venue"});
+  lex->AddConcept("region", {"region", "area", "zone", "district"});
+  lex->AddConcept("origin", {"origin", "source"});
+  lex->AddConcept("destination", {"destination", "target"});
+  lex->AddConcept("building", {"building", "structure", "edifice", "tower"});
+  lex->AddConcept("apartment", {"apartment", "flat", "suite"});
+  lex->AddConcept("station", {"station", "outpost", "post"});
+  lex->AddConcept("floor", {"floor", "storey", "level"});
+  lex->AddConcept("room", {"room", "chamber"});
+
+  // Domain objects.
+  lex->AddConcept("course", {"course", "module", "subject"});
+  lex->AddConcept("class", {"class", "session", "lecture"});
+  lex->AddConcept("major", {"major", "specialization", "discipline"});
+  lex->AddConcept("grade", {"grade", "gpa", "mark"});
+  lex->AddConcept("score", {"score", "points", "result"});
+  lex->AddConcept("rating", {"rating", "stars", "evaluation"});
+  lex->AddConcept("pet", {"pet", "animal", "creature"});
+  lex->AddConcept("type", {"type", "kind", "category", "variety"});
+  lex->AddConcept("genre", {"genre", "style"});
+  lex->AddConcept("weight", {"weight", "mass", "heaviness"});
+  lex->AddConcept("height", {"height", "tallness", "stature"});
+  lex->AddConcept("flight", {"flight", "voyage"});
+  lex->AddConcept("order", {"order", "purchase", "transaction"});
+  lex->AddConcept("product", {"product", "item", "merchandise", "goods"});
+  lex->AddConcept("film", {"film", "movie", "picture"});
+  lex->AddConcept("cinema", {"cinema", "theater", "multiplex"});
+  lex->AddConcept("book", {"book", "publication", "tome"});
+  lex->AddConcept("page", {"page", "pages", "folio"});
+  lex->AddConcept("match", {"match", "game", "fixture", "contest"});
+  lex->AddConcept("win", {"win", "victory", "triumph"});
+  lex->AddConcept("loss", {"loss", "defeat"});
+  lex->AddConcept("attendance", {"attendance", "turnout", "audience",
+                                 "crowd"});
+  lex->AddConcept("concert", {"concert", "performance", "gig"});
+  lex->AddConcept("band", {"band", "ensemble"});
+  lex->AddConcept("instrument", {"instrument"});
+  lex->AddConcept("song", {"song", "track", "tune"});
+  lex->AddConcept("album", {"album", "record"});
+  lex->AddConcept("diagnosis", {"diagnosis", "ailment", "illness"});
+  lex->AddConcept("specialty", {"specialty", "expertise", "specialism"});
+  lex->AddConcept("bedroom", {"bedroom", "bed"});
+  lex->AddConcept("bathroom", {"bathroom", "bath", "washroom"});
+  lex->AddConcept("temperature", {"temperature", "temp", "warmth"});
+  lex->AddConcept("humidity", {"humidity", "moisture", "dampness"});
+  lex->AddConcept("wind", {"wind", "breeze", "gust"});
+  lex->AddConcept("speed", {"speed", "velocity", "pace"});
+  lex->AddConcept("fleet", {"fleet", "aircraft"});
+  lex->AddConcept("seat", {"seat", "chair"});
+  lex->AddConcept("branch", {"branch", "outlet", "chapter"});
+  lex->AddConcept("account", {"account", "profile"});
+  lex->AddConcept("document", {"document", "file", "paper"});
+  lex->AddConcept("project", {"project", "initiative", "undertaking"});
+  lex->AddConcept("budget_type", {"expense", "expenditure", "outlay"});
+  lex->AddConcept("bonus", {"bonus", "premium", "incentive"});
+  lex->AddConcept("tax", {"tax", "levy", "duty"});
+  lex->AddConcept("distance", {"distance", "mileage", "span"});
+  lex->AddConcept("population", {"population", "inhabitants", "residents"});
+  lex->AddConcept("ranking", {"ranking", "rank", "standing"});
+  lex->AddConcept("size", {"size", "dimension", "extent"});
+  lex->AddConcept("gender", {"gender", "sex"});
+  lex->AddConcept("nationality", {"nationality", "citizenship"});
+  lex->AddConcept("language", {"language", "tongue"});
+  lex->AddConcept("color", {"color", "colour", "hue", "shade"});
+  lex->AddConcept("brand", {"brand", "make", "marque"});
+  lex->AddConcept("model", {"model", "variant", "version"});
+  lex->AddConcept("engine", {"engine", "motor"});
+  lex->AddConcept("fuel", {"fuel", "gasoline", "petrol"});
+  lex->AddConcept("horsepower", {"horsepower", "hp"});
+  lex->AddConcept("restaurant", {"restaurant", "eatery", "bistro"});
+  lex->AddConcept("dish", {"dish", "meal", "plate"});
+  lex->AddConcept("cuisine", {"cuisine", "cookery"});
+  lex->AddConcept("calorie", {"calorie", "kcal"});
+  lex->AddConcept("teacher_subject", {"subject"});
+  lex->AddConcept("plant", {"plant", "facility", "installation"});
+  lex->AddConcept("energy", {"energy", "power", "electricity"});
+  lex->AddConcept("output", {"output", "production", "yield"});
+  lex->AddConcept("efficiency", {"efficiency", "effectiveness"});
+  lex->AddConcept("reading", {"reading", "measurement", "sample"});
+
+  // Chart/DVQ intent vocabulary (used by NLQ templates and reconstruction).
+  lex->AddConcept("ascending", {"ascending", "asc", "increasing", "upward"});
+  lex->AddConcept("descending",
+                  {"descending", "desc", "decreasing", "downward"});
+  lex->AddConcept("group", {"group", "bucket", "cluster"});
+  lex->AddConcept("bin", {"bin", "interval"});
+  lex->AddConcept("sort", {"sort", "arrange", "rank"});
+  lex->AddConcept("compare", {"compare", "contrast"});
+  lex->AddConcept("trend", {"trend", "evolution", "change"});
+  lex->AddConcept("distribution", {"distribution", "breakdown", "spread"});
+  return lex;
+}
+
+}  // namespace
+
+const Lexicon& Lexicon::Default() {
+  static const Lexicon* const kLexicon = BuildDefaultLexicon();
+  return *kLexicon;
+}
+
+}  // namespace gred::nl

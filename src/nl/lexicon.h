@@ -1,0 +1,72 @@
+#ifndef GREDVIS_NL_LEXICON_H_
+#define GREDVIS_NL_LEXICON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gred::nl {
+
+/// A synonym/concept bank.
+///
+/// Concepts group surface forms ("salary", "wage", "pay", ...) under a
+/// stable concept id ("salary"). The lexicon is the repository's stand-in
+/// for the distributional knowledge a pretrained embedding model or LLM
+/// carries: components that the paper powers with OpenAI models (the
+/// embedder, the in-context synthesizer, the annotation-based debugger)
+/// consult the lexicon, while the nvBench-trained baselines must rely on
+/// the lexical alignments they saw in training — exactly the asymmetry
+/// the paper studies.
+///
+/// Invariants (checked by tests): every surface form maps to exactly one
+/// concept, lookup is by stem, and the first form of each concept is its
+/// canonical form.
+class Lexicon {
+ public:
+  struct Concept {
+    std::string id;                  // canonical identifier
+    std::vector<std::string> forms;  // forms[0] == canonical surface form
+  };
+
+  /// The built-in curated bank covering the benchmark's domain
+  /// vocabulary (~150 concepts). Thread-safe, constructed on first use.
+  static const Lexicon& Default();
+
+  /// Builds an empty lexicon (tests compose their own).
+  Lexicon() = default;
+
+  /// Registers a concept. First form is canonical. Duplicate surface
+  /// forms are ignored (first concept wins), preserving the invariant.
+  void AddConcept(const std::string& id, std::vector<std::string> forms);
+
+  const std::vector<Concept>& concepts() const { return concepts_; }
+
+  /// Concept index for `word` (stem-matched); -1 when unknown.
+  int ConceptIndexOf(const std::string& word) const;
+
+  /// Concept id for `word`; empty when unknown.
+  std::string ConceptIdOf(const std::string& word) const;
+
+  /// True if both words are known and share a concept.
+  bool SameConcept(const std::string& a, const std::string& b) const;
+
+  /// Word-level semantic similarity:
+  ///   1.0  same stem,
+  ///   0.85 different stems, same concept,
+  ///   0.0  otherwise.
+  double WordSimilarity(const std::string& a, const std::string& b) const;
+
+  /// All other forms of `word`'s concept (excluding forms that stem the
+  /// same as `word`). Empty when the word is unknown.
+  std::vector<std::string> AlternateForms(const std::string& word) const;
+
+  std::size_t size() const { return concepts_.size(); }
+
+ private:
+  std::vector<Concept> concepts_;
+  std::map<std::string, int> stem_to_concept_;
+};
+
+}  // namespace gred::nl
+
+#endif  // GREDVIS_NL_LEXICON_H_

@@ -1,0 +1,98 @@
+#include "nl/text.h"
+
+#include <cctype>
+#include <set>
+
+#include "util/strings.h"
+
+namespace gred::nl {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c) != 0) {
+      current.push_back(
+          static_cast<char>(std::tolower(c)));
+      continue;
+    }
+    if (raw == '\'') continue;  // drop apostrophes within words
+    flush();
+  }
+  flush();
+  return tokens;
+}
+
+std::string Stem(const std::string& word) {
+  std::string w = word;
+  auto ends = [&](const char* suffix) {
+    return strings::EndsWith(w, suffix);
+  };
+  auto chop = [&](std::size_t n) { w.resize(w.size() - n); };
+  if (w.size() > 4 && ends("ies")) {
+    chop(3);
+    w += "y";
+  } else if (w.size() > 4 && (ends("sses") || ends("ches") ||
+                              ends("shes") || ends("xes") || ends("zes"))) {
+    chop(2);  // "matches" -> "match", "boxes" -> "box"
+  } else if (w.size() > 3 && ends("es") && !ends("oes")) {
+    chop(1);  // "courses" -> "course"
+  } else if (w.size() > 3 && ends("s") && !ends("ss") && !ends("us") &&
+             !ends("is")) {
+    chop(1);
+  }
+  if (w.size() > 5 && strings::EndsWith(w, "ing")) {
+    chop(3);
+    if (w.size() >= 2 && w[w.size() - 1] == w[w.size() - 2]) chop(1);
+  } else if (w.size() > 4 && strings::EndsWith(w, "ed")) {
+    chop(2);
+    if (w.size() >= 2 && w[w.size() - 1] == w[w.size() - 2]) chop(1);
+  }
+  if (w.size() > 6 && strings::EndsWith(w, "ation")) {
+    chop(5);
+    w += "e";
+  } else if (w.size() > 5 && (strings::EndsWith(w, "tion") ||
+                              strings::EndsWith(w, "sion"))) {
+    chop(3);
+  }
+  if (w.size() < 3) return word;
+  return w;
+}
+
+std::vector<std::string> StemmedTokens(std::string_view text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  for (std::string& t : tokens) t = Stem(t);
+  return tokens;
+}
+
+bool IsStopword(const std::string& word) {
+  static const std::set<std::string> kStopwords = {
+      "a",     "an",    "the",   "of",   "for",  "and",  "or",    "in",
+      "on",    "by",    "to",    "with", "all",  "each", "every", "me",
+      "show",  "draw",  "plot",  "give", "list", "find", "what",  "which",
+      "how",   "many",  "is",    "are",  "was",  "were", "please", "chart",
+      "graph", "using", "about", "from", "that", "their", "them",  "those",
+      "i",     "want",  "would", "like", "you",  "can",  "could", "display",
+      "also",  "as",    "at",    "be",   "its",  "it",
+  };
+  return kStopwords.count(word) > 0;
+}
+
+std::vector<std::string> ContentTokens(std::string_view text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& t : tokens) {
+    if (!IsStopword(t)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace gred::nl

@@ -1,0 +1,31 @@
+#ifndef GREDVIS_NL_TEXT_H_
+#define GREDVIS_NL_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gred::nl {
+
+/// Lower-cases and splits natural-language text into word/number tokens.
+/// Punctuation separates tokens; apostrophes are dropped ("what's" ->
+/// "whats"); underscores split identifiers mentioned inline.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Light suffix stemmer (Porter step-1 flavour): plural -s/-es/-ies,
+/// -ing, -ed, -er, -est, -tion/-sion collapse. Never shortens a word
+/// below three characters.
+std::string Stem(const std::string& word);
+
+/// Tokenize + Stem in one pass.
+std::vector<std::string> StemmedTokens(std::string_view text);
+
+/// True for high-frequency function words that carry no retrieval signal.
+bool IsStopword(const std::string& word);
+
+/// Tokens with stopwords removed (not stemmed).
+std::vector<std::string> ContentTokens(std::string_view text);
+
+}  // namespace gred::nl
+
+#endif  // GREDVIS_NL_TEXT_H_

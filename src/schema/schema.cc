@@ -1,0 +1,142 @@
+#include "schema/schema.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace gred::schema {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+    case ColumnType::kReal:
+      return "Number";
+    case ColumnType::kText:
+      return "Text";
+    case ColumnType::kDate:
+      return "Time";
+    case ColumnType::kBool:
+      return "Bool";
+  }
+  return "Text";
+}
+
+const Column* TableDef::FindColumn(const std::string& name) const {
+  for (const Column& c : columns_) {
+    if (strings::EqualsIgnoreCase(c.name, name)) return &c;
+  }
+  return nullptr;
+}
+
+std::optional<std::size_t> TableDef::ColumnIndex(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (strings::EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+const TableDef* Database::FindTable(const std::string& name) const {
+  for (const TableDef& t : tables_) {
+    if (strings::EqualsIgnoreCase(t.name(), name)) return &t;
+  }
+  return nullptr;
+}
+
+TableDef* Database::FindTable(const std::string& name) {
+  for (TableDef& t : tables_) {
+    if (strings::EqualsIgnoreCase(t.name(), name)) return &t;
+  }
+  return nullptr;
+}
+
+std::pair<const TableDef*, const Column*> Database::FindColumnAnywhere(
+    const std::string& name) const {
+  for (const TableDef& t : tables_) {
+    if (const Column* c = t.FindColumn(name)) return {&t, c};
+  }
+  return {nullptr, nullptr};
+}
+
+bool Database::HasColumn(const std::string& name) const {
+  return FindColumnAnywhere(name).second != nullptr;
+}
+
+std::vector<std::string> Database::AllColumnNames() const {
+  std::vector<std::string> names;
+  for (const TableDef& t : tables_) {
+    for (const Column& c : t.columns()) names.push_back(c.name);
+  }
+  return names;
+}
+
+std::size_t Database::total_columns() const {
+  std::size_t n = 0;
+  for (const TableDef& t : tables_) n += t.columns().size();
+  return n;
+}
+
+std::string Database::RenderSchemaPrompt() const {
+  std::string out;
+  for (const TableDef& t : tables_) {
+    out += "# Table " + t.name() + " , columns = [ *";
+    for (const Column& c : t.columns()) {
+      out += " , " + c.name;
+    }
+    out += " ]\n";
+  }
+  if (!foreign_keys_.empty()) {
+    out += "# Foreign_keys = [";
+    for (std::size_t i = 0; i < foreign_keys_.size(); ++i) {
+      const ForeignKey& fk = foreign_keys_[i];
+      if (i > 0) out += " ,";
+      out += " " + fk.from_table + "." + fk.from_column + " = " +
+             fk.to_table + "." + fk.to_column;
+    }
+    out += " ]\n";
+  }
+  return out;
+}
+
+Status Database::Validate() const {
+  std::set<std::string> table_names;
+  for (const TableDef& t : tables_) {
+    if (t.columns().empty()) {
+      return Status::InvalidArgument("table '" + t.name() +
+                                     "' has no columns");
+    }
+    std::string lower = strings::ToLower(t.name());
+    if (!table_names.insert(lower).second) {
+      return Status::InvalidArgument("duplicate table name '" + t.name() +
+                                     "'");
+    }
+    std::set<std::string> column_names;
+    for (const Column& c : t.columns()) {
+      if (!column_names.insert(strings::ToLower(c.name)).second) {
+        return Status::InvalidArgument("duplicate column '" + c.name +
+                                       "' in table '" + t.name() + "'");
+      }
+    }
+  }
+  for (const ForeignKey& fk : foreign_keys_) {
+    const TableDef* from = FindTable(fk.from_table);
+    const TableDef* to = FindTable(fk.to_table);
+    if (from == nullptr || to == nullptr) {
+      return Status::InvalidArgument("foreign key references missing table");
+    }
+    if (from->FindColumn(fk.from_column) == nullptr ||
+        to->FindColumn(fk.to_column) == nullptr) {
+      return Status::InvalidArgument("foreign key references missing column");
+    }
+  }
+  return Status::OK();
+}
+
+const Database* Catalog::FindDatabase(const std::string& name) const {
+  for (const Database& db : databases_) {
+    if (strings::EqualsIgnoreCase(db.name(), name)) return &db;
+  }
+  return nullptr;
+}
+
+}  // namespace gred::schema

@@ -1,0 +1,136 @@
+#ifndef GREDVIS_SCHEMA_SCHEMA_H_
+#define GREDVIS_SCHEMA_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gred::schema {
+
+/// Logical column type, mirroring the type vocabulary used by nvBench
+/// schemas ("number", "text", "time", ...).
+enum class ColumnType {
+  kInt,
+  kReal,
+  kText,
+  kDate,
+  kBool,
+};
+
+/// Returns the nvBench-style type name ("Number", "Text", "Time", "Bool").
+const char* ColumnTypeName(ColumnType type);
+
+/// A column definition within a table.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool primary_key = false;
+};
+
+/// A foreign-key edge `from_table.from_column -> to_table.to_column`.
+struct ForeignKey {
+  std::string from_table;
+  std::string from_column;
+  std::string to_table;
+  std::string to_column;
+};
+
+/// A table definition: name plus ordered columns.
+class TableDef {
+ public:
+  TableDef() = default;
+  TableDef(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::vector<Column>& mutable_columns() { return columns_; }
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Case-insensitive column lookup; returns nullptr when absent.
+  const Column* FindColumn(const std::string& name) const;
+
+  /// Case-insensitive index lookup; nullopt when absent.
+  std::optional<std::size_t> ColumnIndex(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+/// A database: named collection of tables plus foreign keys.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+  std::vector<TableDef>& mutable_tables() { return tables_; }
+  void AddTable(TableDef table) { tables_.push_back(std::move(table)); }
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+  std::vector<ForeignKey>& mutable_foreign_keys() { return foreign_keys_; }
+  void AddForeignKey(ForeignKey fk) { foreign_keys_.push_back(std::move(fk)); }
+
+  /// Case-insensitive table lookup; nullptr when absent.
+  const TableDef* FindTable(const std::string& name) const;
+  TableDef* FindTable(const std::string& name);
+
+  /// Finds a column in any table. When several tables define the name the
+  /// first in table order wins (matches DVQ's unqualified-column rules).
+  /// Returns {table, column} or {nullptr, nullptr}.
+  std::pair<const TableDef*, const Column*> FindColumnAnywhere(
+      const std::string& name) const;
+
+  /// True if some table contains `name` (case-insensitive).
+  bool HasColumn(const std::string& name) const;
+
+  /// Collects every column name across all tables, in table order.
+  std::vector<std::string> AllColumnNames() const;
+
+  std::size_t total_columns() const;
+
+  /// Renders the database in the prompt format of Appendix C:
+  ///   # Table foo, columns = [ * , a , b ]
+  ///   # Foreign_keys = [ foo.a = bar.a ]
+  std::string RenderSchemaPrompt() const;
+
+  /// Structural validation: FK endpoints exist, no duplicate table names,
+  /// every table has at least one column.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<TableDef> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+/// An ordered collection of databases addressable by name.
+class Catalog {
+ public:
+  void AddDatabase(Database db) { databases_.push_back(std::move(db)); }
+
+  const std::vector<Database>& databases() const { return databases_; }
+  std::vector<Database>& mutable_databases() { return databases_; }
+
+  /// Case-insensitive lookup; nullptr when absent.
+  const Database* FindDatabase(const std::string& name) const;
+
+  std::size_t size() const { return databases_.size(); }
+
+ private:
+  std::vector<Database> databases_;
+};
+
+}  // namespace gred::schema
+
+#endif  // GREDVIS_SCHEMA_SCHEMA_H_

@@ -1,0 +1,113 @@
+#include "storage/table.h"
+
+#include "util/strings.h"
+
+namespace gred::storage {
+
+DataTable::DataTable(schema::TableDef def) : def_(std::move(def)) {
+  columns_.resize(def_.columns().size());
+}
+
+Status DataTable::AppendRow(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        strings::Format("row arity %zu does not match table '%s' arity %zu",
+                        row.size(), def_.name().c_str(), columns_.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    columns_[i].push_back(std::move(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<Value> DataTable::Row(std::size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col[row]);
+  return out;
+}
+
+DatabaseData::DatabaseData(schema::Database db_schema)
+    : schema_(std::move(db_schema)) {
+  for (const schema::TableDef& t : schema_.tables()) {
+    tables_.emplace_back(t);
+  }
+}
+
+const DataTable* DatabaseData::FindTable(const std::string& name) const {
+  for (const DataTable& t : tables_) {
+    if (strings::EqualsIgnoreCase(t.name(), name)) return &t;
+  }
+  return nullptr;
+}
+
+DataTable* DatabaseData::FindTable(const std::string& name) {
+  for (DataTable& t : tables_) {
+    if (strings::EqualsIgnoreCase(t.name(), name)) return &t;
+  }
+  return nullptr;
+}
+
+Status DatabaseData::RenameTable(const std::string& old_name,
+                                 const std::string& new_name) {
+  schema::TableDef* def = schema_.FindTable(old_name);
+  DataTable* data = FindTable(old_name);
+  if (def == nullptr || data == nullptr) {
+    return Status::NotFound("table '" + old_name + "' not found");
+  }
+  def->set_name(new_name);
+  data->mutable_def().set_name(new_name);
+  for (auto& fk :
+       schema_.mutable_foreign_keys()) {
+    if (strings::EqualsIgnoreCase(fk.from_table, old_name)) {
+      fk.from_table = new_name;
+    }
+    if (strings::EqualsIgnoreCase(fk.to_table, old_name)) {
+      fk.to_table = new_name;
+    }
+  }
+  return Status::OK();
+}
+
+Status DatabaseData::RenameColumn(const std::string& table,
+                                  const std::string& old_name,
+                                  const std::string& new_name) {
+  schema::TableDef* def = schema_.FindTable(table);
+  DataTable* data = FindTable(table);
+  if (def == nullptr || data == nullptr) {
+    return Status::NotFound("table '" + table + "' not found");
+  }
+  bool renamed = false;
+  for (schema::Column& c : def->mutable_columns()) {
+    if (strings::EqualsIgnoreCase(c.name, old_name)) {
+      c.name = new_name;
+      renamed = true;
+      break;
+    }
+  }
+  if (!renamed) {
+    return Status::NotFound("column '" + old_name + "' not found in '" +
+                            table + "'");
+  }
+  for (schema::Column& c : data->mutable_def().mutable_columns()) {
+    if (strings::EqualsIgnoreCase(c.name, old_name)) {
+      c.name = new_name;
+      break;
+    }
+  }
+  for (auto& fk :
+       schema_.mutable_foreign_keys()) {
+    if (strings::EqualsIgnoreCase(fk.from_table, table) &&
+        strings::EqualsIgnoreCase(fk.from_column, old_name)) {
+      fk.from_column = new_name;
+    }
+    if (strings::EqualsIgnoreCase(fk.to_table, table) &&
+        strings::EqualsIgnoreCase(fk.to_column, old_name)) {
+      fk.to_column = new_name;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gred::storage

@@ -1,0 +1,83 @@
+#ifndef GREDVIS_STORAGE_TABLE_H_
+#define GREDVIS_STORAGE_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace gred::storage {
+
+/// Column-major storage for one table's rows.
+///
+/// The layout is a vector of column vectors; every column vector has
+/// exactly `num_rows()` entries. Rows are appended whole so the invariant
+/// holds by construction.
+class DataTable {
+ public:
+  explicit DataTable(schema::TableDef def);
+
+  const schema::TableDef& def() const { return def_; }
+  schema::TableDef& mutable_def() { return def_; }
+  const std::string& name() const { return def_.name(); }
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row. Returns InvalidArgument when the arity mismatches.
+  Status AppendRow(std::vector<Value> row);
+
+  /// Cell accessor; both indices must be in range.
+  const Value& at(std::size_t row, std::size_t col) const {
+    return columns_[col][row];
+  }
+
+  /// Materializes one row (copying cells).
+  std::vector<Value> Row(std::size_t row) const;
+
+  /// Whole-column view.
+  const std::vector<Value>& column(std::size_t col) const {
+    return columns_[col];
+  }
+
+ private:
+  schema::TableDef def_;
+  std::vector<std::vector<Value>> columns_;
+  std::size_t num_rows_ = 0;
+};
+
+/// A database instance: schema plus one DataTable per schema table, kept
+/// index-aligned with `schema().tables()`.
+class DatabaseData {
+ public:
+  explicit DatabaseData(schema::Database db_schema);
+
+  const schema::Database& db_schema() const { return schema_; }
+  schema::Database& mutable_schema() { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  const std::vector<DataTable>& tables() const { return tables_; }
+  std::vector<DataTable>& mutable_tables() { return tables_; }
+
+  /// Case-insensitive lookup; nullptr when absent.
+  const DataTable* FindTable(const std::string& name) const;
+  DataTable* FindTable(const std::string& name);
+
+  /// Renames schema objects in both the schema and the aligned tables.
+  /// Used by the schema-perturbation engine. Fails with NotFound when the
+  /// old name does not exist.
+  Status RenameTable(const std::string& old_name, const std::string& new_name);
+  Status RenameColumn(const std::string& table, const std::string& old_name,
+                      const std::string& new_name);
+
+ private:
+  schema::Database schema_;
+  std::vector<DataTable> tables_;
+};
+
+}  // namespace gred::storage
+
+#endif  // GREDVIS_STORAGE_TABLE_H_

@@ -1,0 +1,82 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace gred::storage {
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(int_value());
+  if (is_real()) return real_value();
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(int_value()));
+    return buf;
+  }
+  if (is_real()) {
+    double d = real_value();
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+      return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", d);
+    return buf;
+  }
+  return text_value();
+}
+
+int Value::Compare(const Value& other) const {
+  // NULL < numbers < text, matching SQLite's type ordering.
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  int ra = rank(*this);
+  int rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;
+  if (ra == 1) {
+    if (is_int() && other.is_int()) {
+      std::int64_t a = int_value();
+      std::int64_t b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int cmp = text_value().compare(other.text_value());
+  return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+}
+
+std::uint64_t Value::Hash() const {
+  if (is_null()) return 0x9ae16a3b2f90404fULL;
+  if (is_int()) {
+    std::int64_t v = int_value();
+    return Fnv1a64(&v, sizeof(v));
+  }
+  if (is_real()) {
+    double d = real_value();
+    // Hash integral reals identically to the matching int so that
+    // group keys 4 and 4.0 coincide (mirrors Compare()).
+    if (d == std::floor(d) && std::fabs(d) < 9.2e18) {
+      std::int64_t v = static_cast<std::int64_t>(d);
+      return Fnv1a64(&v, sizeof(v));
+    }
+    return Fnv1a64(&d, sizeof(d));
+  }
+  return Fnv1a64(text_value());
+}
+
+}  // namespace gred::storage

@@ -1,0 +1,63 @@
+#ifndef GREDVIS_STORAGE_VALUE_H_
+#define GREDVIS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace gred::storage {
+
+/// A dynamically-typed cell value. Dates are stored as ISO-8601 text with
+/// date semantics provided by the executor's date functions (nvBench's
+/// SQLite substrate does the same).
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(std::int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Text(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Bool(bool v) { return Int(v ? 1 : 0); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_real() const { return std::holds_alternative<double>(rep_); }
+  bool is_text() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  std::int64_t int_value() const { return std::get<std::int64_t>(rep_); }
+  double real_value() const { return std::get<double>(rep_); }
+  const std::string& text_value() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: ints widen to double; NULL and text yield 0.
+  double AsDouble() const;
+
+  /// Renders the value for display / DVQ result comparison. NULL -> "NULL",
+  /// reals use a minimal representation ("3.5", "4").
+  std::string ToString() const;
+
+  /// SQL-style three-way comparison used by ORDER BY and predicates.
+  /// NULL sorts before everything; numbers compare numerically across
+  /// int/real; text compares case-sensitively byte-wise.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash for group-by keys.
+  std::uint64_t Hash() const;
+
+ private:
+  using Rep = std::variant<std::monostate, std::int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace gred::storage
+
+#endif  // GREDVIS_STORAGE_VALUE_H_

@@ -1,0 +1,417 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gred::json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::Int(std::int64_t i) { return Number(static_cast<double>(i)); }
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value Value::Object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+void Value::Append(Value v) { array_.push_back(std::move(v)); }
+
+void Value::Set(const std::string& key, Value v) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+const Value* Value::Find(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string NumberToString(double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  return buf;
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent > 0) {
+    out->push_back('\n');
+    out->append(static_cast<std::size_t>(indent) * depth, ' ');
+  }
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      break;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      out->append(NumberToString(number_));
+      break;
+    case Kind::kString:
+      out->push_back('"');
+      out->append(Escape(string_));
+      out->push_back('"');
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) Indent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        out->push_back('"');
+        out->append(Escape(object_[i].first));
+        out->append("\":");
+        if (indent > 0) out->push_back(' ');
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) Indent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ParseResult Run() {
+    SkipWs();
+    Value v;
+    std::string error;
+    if (!ParseValue(&v, &error)) return ParseResult(std::move(error));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return ParseResult("trailing content at offset " +
+                         std::to_string(pos_));
+    }
+    return ParseResult(std::move(v));
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(std::string* error, const std::string& what) {
+    *error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Literal(const char* word) {
+    std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Value* out, std::string* error) {
+    if (pos_ >= text_.size()) return Fail(error, "unexpected end");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out, error);
+    if (c == '[') return ParseArray(out, error);
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s, error)) return false;
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    if (Literal("true")) {
+      *out = Value::Bool(true);
+      return true;
+    }
+    if (Literal("false")) {
+      *out = Value::Bool(false);
+      return true;
+    }
+    if (Literal("null")) {
+      *out = Value::Null();
+      return true;
+    }
+    return ParseNumber(out, error);
+  }
+
+  bool ParseNumber(Value* out, std::string* error) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      digits = digits ||
+               std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0;
+      ++pos_;
+    }
+    if (!digits) {
+      pos_ = start;
+      return Fail(error, "expected a value");
+    }
+    *out = Value::Number(std::strtod(text_.c_str() + start, nullptr));
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (text_[pos_] != '"') return Fail(error, "expected '\"'");
+    ++pos_;
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c != '\\') {
+        s.push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return Fail(error, "bad escape");
+      char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"':
+          s.push_back('"');
+          break;
+        case '\\':
+          s.push_back('\\');
+          break;
+        case '/':
+          s.push_back('/');
+          break;
+        case 'n':
+          s.push_back('\n');
+          break;
+        case 't':
+          s.push_back('\t');
+          break;
+        case 'r':
+          s.push_back('\r');
+          break;
+        case 'b':
+          s.push_back('\b');
+          break;
+        case 'f':
+          s.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail(error, "bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail(error, "bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode (BMP only; surrogate pairs are passed through as
+          // two 3-byte sequences, adequate for this codebase's ASCII data).
+          if (code < 0x80) {
+            s.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail(error, "unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) return Fail(error, "unterminated string");
+    ++pos_;  // closing quote
+    *out = std::move(s);
+    return true;
+  }
+
+  bool ParseArray(Value* out, std::string* error) {
+    ++pos_;  // '['
+    Value arr = Value::Array();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = std::move(arr);
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      Value item;
+      if (!ParseValue(&item, error)) return false;
+      arr.Append(std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail(error, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        break;
+      }
+      return Fail(error, "expected ',' or ']'");
+    }
+    *out = std::move(arr);
+    return true;
+  }
+
+  bool ParseObject(Value* out, std::string* error) {
+    ++pos_;  // '{'
+    Value obj = Value::Object();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = std::move(obj);
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key, error)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail(error, "expected ':'");
+      }
+      ++pos_;
+      SkipWs();
+      Value item;
+      if (!ParseValue(&item, error)) return false;
+      obj.Set(key, std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail(error, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        break;
+      }
+      return Fail(error, "expected ',' or '}'");
+    }
+    *out = std::move(obj);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseResult Parse(const std::string& text) { return Parser(text).Run(); }
+
+}  // namespace gred::json

@@ -1,0 +1,84 @@
+#ifndef GREDVIS_UTIL_JSON_H_
+#define GREDVIS_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gred::json {
+
+/// A minimal immutable-ish JSON document model, sufficient for emitting
+/// Vega-Lite specs and dataset exports. Keys of objects keep insertion
+/// order (Vega-Lite specs read better that way).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d);
+  static Value Int(std::int64_t i);
+  static Value Str(std::string s);
+  static Value Array();
+  static Value Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Array operations (require kind()==kArray).
+  void Append(Value v);
+  std::size_t size() const { return array_.size(); }
+  const Value& at(std::size_t i) const { return array_[i]; }
+
+  /// Object operations (require kind()==kObject).
+  void Set(const std::string& key, Value v);
+  const Value* Find(const std::string& key) const;
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Serializes the document. `indent` <= 0 means compact single-line.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Escapes a string for embedding in JSON output (adds no quotes).
+std::string Escape(const std::string& s);
+
+/// Parses a JSON document. Supports the full value grammar produced by
+/// Value::Dump (objects, arrays, strings with \uXXXX escapes, numbers,
+/// booleans, null); trailing content after the document is an error.
+class ParseResult {
+ public:
+  ParseResult(Value value) : ok_(true), value_(std::move(value)) {}
+  ParseResult(std::string error) : ok_(false), error_(std::move(error)) {}
+
+  bool ok() const { return ok_; }
+  const Value& value() const { return value_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool ok_;
+  Value value_;
+  std::string error_;
+};
+
+ParseResult Parse(const std::string& text);
+
+}  // namespace gred::json
+
+#endif  // GREDVIS_UTIL_JSON_H_

@@ -1,0 +1,143 @@
+#ifndef GREDVIS_UTIL_STATUS_H_
+#define GREDVIS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gred {
+
+/// Machine-readable classification of an error condition.
+///
+/// Mirrors the Arrow/RocksDB idiom: library code never throws across the
+/// public API boundary; fallible operations return `Status` or `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kExecutionError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail without producing a value.
+///
+/// `Status` is cheap to copy in the OK case and carries a code plus a
+/// message otherwise. Use the factory functions (`Status::OK()`,
+/// `Status::ParseError(...)`, ...) rather than the constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for the success status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// The result of an operation that either yields a `T` or fails with a
+/// `Status`. Accessing `value()` when `!ok()` is a programming error and
+/// aborts the process (checked in all build modes).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value marks success; from a non-OK
+  /// status marks failure. These mirror arrow::Result conventions.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void AbortOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::AbortOnBadResultAccess(status_);
+}
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define GRED_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::gred::Status _gred_status = (expr);            \
+    if (!_gred_status.ok()) return _gred_status;     \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// binds the value to `lhs`.
+#define GRED_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto GRED_CONCAT_(_gred_res_, __LINE__) = (expr);  \
+  if (!GRED_CONCAT_(_gred_res_, __LINE__).ok())      \
+    return GRED_CONCAT_(_gred_res_, __LINE__).status(); \
+  lhs = std::move(GRED_CONCAT_(_gred_res_, __LINE__)).value()
+
+#define GRED_CONCAT_INNER_(a, b) a##b
+#define GRED_CONCAT_(a, b) GRED_CONCAT_INNER_(a, b)
+
+}  // namespace gred
+
+#endif  // GREDVIS_UTIL_STATUS_H_

@@ -1,0 +1,236 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <algorithm>
+#include <set>
+
+namespace gred::strings {
+
+namespace {
+
+char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+char AsciiUpper(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), AsciiLower);
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), AsciiUpper);
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && IsSpace(s[begin])) ++begin;
+  while (end > begin && IsSpace(s[end - 1])) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpace(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !IsSpace(s[i])) ++i;
+    if (i > start) parts.emplace_back(s.substr(start, i - start));
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (AsciiLower(a[i]) != AsciiLower(b[i])) return false;
+  }
+  return true;
+}
+
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      if (AsciiLower(haystack[i + j]) != AsciiLower(needle[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      break;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::size_t EditDistance(std::string_view a, std::string_view b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<std::size_t> prev(m + 1);
+  std::vector<std::size_t> cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+std::vector<std::string> SplitIdentifierWords(std::string_view ident) {
+  std::vector<std::string> words;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      words.push_back(ToLower(current));
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < ident.size(); ++i) {
+    char c = ident[i];
+    if (c == '_' || c == '-' || c == ' ' || c == '.') {
+      flush();
+      continue;
+    }
+    bool is_digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    bool prev_digit =
+        !current.empty() &&
+        std::isdigit(static_cast<unsigned char>(current.back())) != 0;
+    if (is_digit != prev_digit && !current.empty()) flush();
+    // CamelCase boundary: lower followed by upper, or upper followed by
+    // upper+lower (e.g. "HTTPServer" -> "http","server").
+    if (!is_digit && c >= 'A' && c <= 'Z' && !current.empty()) {
+      char last = current.back();
+      bool last_lower = last >= 'a' && last <= 'z';
+      bool next_lower =
+          i + 1 < ident.size() && ident[i + 1] >= 'a' && ident[i + 1] <= 'z';
+      if (last_lower || (last >= 'A' && last <= 'Z' && next_lower)) flush();
+    }
+    current.push_back(c);
+  }
+  flush();
+  return words;
+}
+
+std::string ToSnakeCase(const std::vector<std::string>& words) {
+  return Join(words, "_");
+}
+
+std::string ToCamelCase(const std::vector<std::string>& words) {
+  std::string out;
+  for (const std::string& w : words) {
+    if (w.empty()) continue;
+    out.push_back(AsciiUpper(w[0]));
+    out.append(w.substr(1));
+  }
+  return out;
+}
+
+double IdentifierWordOverlap(std::string_view a, std::string_view b) {
+  std::vector<std::string> wa = SplitIdentifierWords(a);
+  std::vector<std::string> wb = SplitIdentifierWords(b);
+  if (wa.empty() && wb.empty()) return 1.0;
+  std::set<std::string> sa(wa.begin(), wa.end());
+  std::set<std::string> sb(wb.begin(), wb.end());
+  std::size_t inter = 0;
+  for (const std::string& w : sa) inter += sb.count(w);
+  std::size_t uni = sa.size() + sb.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace gred::strings

@@ -1,0 +1,67 @@
+#ifndef GREDVIS_UTIL_STRINGS_H_
+#define GREDVIS_UTIL_STRINGS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gred::strings {
+
+/// Returns `s` with ASCII letters lower-cased.
+std::string ToLower(std::string_view s);
+
+/// Returns `s` with ASCII letters upper-cased.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if the strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Case-insensitive substring check.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` in `s` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Levenshtein edit distance over bytes.
+std::size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Edit similarity in [0,1]: 1 - distance / max(len). Both empty -> 1.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Splits an identifier into lower-cased word pieces. Handles snake_case,
+/// kebab-case, spaces, digits and CamelCase boundaries:
+/// "Dept_ID" -> {"dept","id"}, "maxSalary2" -> {"max","salary","2"}.
+std::vector<std::string> SplitIdentifierWords(std::string_view ident);
+
+/// Joins word pieces into snake_case ("dept","id" -> "dept_id").
+std::string ToSnakeCase(const std::vector<std::string>& words);
+
+/// Joins word pieces into CamelCase ("dept","id" -> "DeptId").
+std::string ToCamelCase(const std::vector<std::string>& words);
+
+/// Jaccard similarity of the word-piece sets of two identifiers.
+double IdentifierWordOverlap(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace gred::strings
+
+#endif  // GREDVIS_UTIL_STRINGS_H_

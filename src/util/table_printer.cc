@@ -1,0 +1,52 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace gred {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      line += " " + cell;
+      line.append(widths[c] - cell.size() + 1, ' ');
+      line += "|";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string FormatPercent(double value) {
+  return strings::Format("%.2f%%", value * 100.0);
+}
+
+}  // namespace gred

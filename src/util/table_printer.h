@@ -1,0 +1,32 @@
+#ifndef GREDVIS_UTIL_TABLE_PRINTER_H_
+#define GREDVIS_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace gred {
+
+/// Renders aligned ASCII tables for benchmark reports. Used by every
+/// bench binary so that reproduced tables visually mirror the paper's.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded
+  /// with empty cells; longer rows are truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` as a percentage with two decimals, e.g. "85.17%".
+std::string FormatPercent(double value);
+
+}  // namespace gred
+
+#endif  // GREDVIS_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,181 @@
+#include "viz/chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace gred::viz {
+
+Result<Chart> BuildChart(const dvq::DVQ& query,
+                         const storage::DatabaseData& db) {
+  GRED_ASSIGN_OR_RETURN(exec::ResultSet data, exec::Execute(query, db));
+  if (data.num_columns() < 2) {
+    return Status::ExecutionError("a chart needs an x and a y column");
+  }
+  Chart chart;
+  chart.type = query.chart;
+  chart.title = dvq::ChartTypeName(query.chart) + std::string(" of ") +
+                data.column_names[1] + " by " + data.column_names[0];
+  chart.x_label = data.column_names[0];
+  chart.y_label = data.column_names[1];
+  if (data.num_columns() >= 3) chart.series_label = data.column_names[2];
+  chart.data = std::move(data);
+  return chart;
+}
+
+namespace {
+
+const char* VegaMark(dvq::ChartType type) {
+  switch (type) {
+    case dvq::ChartType::kBar:
+    case dvq::ChartType::kStackedBar:
+      return "bar";
+    case dvq::ChartType::kPie:
+      return "arc";
+    case dvq::ChartType::kLine:
+    case dvq::ChartType::kGroupingLine:
+      return "line";
+    case dvq::ChartType::kScatter:
+    case dvq::ChartType::kGroupingScatter:
+      return "point";
+  }
+  return "bar";
+}
+
+json::Value ValueToJson(const storage::Value& v) {
+  if (v.is_null()) return json::Value::Null();
+  if (v.is_int()) return json::Value::Int(v.int_value());
+  if (v.is_real()) return json::Value::Number(v.real_value());
+  return json::Value::Str(v.text_value());
+}
+
+}  // namespace
+
+json::Value ToVegaLite(const Chart& chart) {
+  json::Value spec = json::Value::Object();
+  spec.Set("$schema",
+           json::Value::Str(
+               "https://vega.github.io/schema/vega-lite/v5.json"));
+  spec.Set("title", json::Value::Str(chart.title));
+  spec.Set("mark", json::Value::Str(VegaMark(chart.type)));
+
+  json::Value values = json::Value::Array();
+  for (const auto& row : chart.data.rows) {
+    json::Value item = json::Value::Object();
+    item.Set("x", ValueToJson(row[0]));
+    item.Set("y", ValueToJson(row[1]));
+    if (row.size() >= 3 && !chart.series_label.empty()) {
+      item.Set("series", ValueToJson(row[2]));
+    }
+    values.Append(std::move(item));
+  }
+  json::Value data = json::Value::Object();
+  data.Set("values", std::move(values));
+  spec.Set("data", std::move(data));
+
+  json::Value encoding = json::Value::Object();
+  const bool x_quant = chart.type == dvq::ChartType::kScatter ||
+                       chart.type == dvq::ChartType::kGroupingScatter;
+  if (chart.type == dvq::ChartType::kPie) {
+    json::Value theta = json::Value::Object();
+    theta.Set("field", json::Value::Str("y"));
+    theta.Set("type", json::Value::Str("quantitative"));
+    encoding.Set("theta", std::move(theta));
+    json::Value color = json::Value::Object();
+    color.Set("field", json::Value::Str("x"));
+    color.Set("type", json::Value::Str("nominal"));
+    color.Set("title", json::Value::Str(chart.x_label));
+    encoding.Set("color", std::move(color));
+  } else {
+    json::Value x = json::Value::Object();
+    x.Set("field", json::Value::Str("x"));
+    x.Set("type",
+          json::Value::Str(x_quant ? "quantitative" : "nominal"));
+    x.Set("title", json::Value::Str(chart.x_label));
+    x.Set("sort", json::Value::Null());  // preserve DVQ ordering
+    encoding.Set("x", std::move(x));
+    json::Value y = json::Value::Object();
+    y.Set("field", json::Value::Str("y"));
+    y.Set("type", json::Value::Str("quantitative"));
+    y.Set("title", json::Value::Str(chart.y_label));
+    encoding.Set("y", std::move(y));
+    if (!chart.series_label.empty()) {
+      json::Value color = json::Value::Object();
+      color.Set("field", json::Value::Str("series"));
+      color.Set("type", json::Value::Str("nominal"));
+      color.Set("title", json::Value::Str(chart.series_label));
+      encoding.Set("color", std::move(color));
+    }
+  }
+  spec.Set("encoding", std::move(encoding));
+  return spec;
+}
+
+std::string RenderAscii(const Chart& chart, std::size_t width,
+                        std::size_t max_rows) {
+  std::string out = chart.title + "\n";
+  const auto& rows = chart.data.rows;
+  if (rows.empty()) return out + "(no data)\n";
+  const std::size_t shown = std::min(max_rows, rows.size());
+
+  const bool bar_family = chart.type == dvq::ChartType::kBar ||
+                          chart.type == dvq::ChartType::kStackedBar ||
+                          chart.type == dvq::ChartType::kPie;
+  if (bar_family) {
+    // Horizontal bars scaled to the max |y|.
+    double max_y = 0.0;
+    std::size_t label_width = 0;
+    for (std::size_t i = 0; i < shown; ++i) {
+      max_y = std::max(max_y, std::fabs(rows[i][1].AsDouble()));
+      label_width = std::max(label_width, rows[i][0].ToString().size());
+    }
+    label_width = std::min<std::size_t>(label_width, 18);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::string label = rows[i][0].ToString();
+      if (label.size() > label_width) label.resize(label_width);
+      label.append(label_width - label.size(), ' ');
+      double y = rows[i][1].AsDouble();
+      std::size_t bars =
+          max_y > 0.0 ? static_cast<std::size_t>(
+                            std::round(std::fabs(y) / max_y *
+                                       static_cast<double>(width)))
+                      : 0;
+      out += label + " |" + std::string(bars, '#') + " " +
+             rows[i][1].ToString();
+      if (rows[i].size() >= 3 && !chart.series_label.empty()) {
+        out += "  [" + rows[i][2].ToString() + "]";
+      }
+      out += "\n";
+    }
+  } else {
+    // Dot grid: x ascending across columns, y scaled down rows.
+    const std::size_t height = 12;
+    double min_y = rows[0][1].AsDouble();
+    double max_y = min_y;
+    for (std::size_t i = 0; i < shown; ++i) {
+      double y = rows[i][1].AsDouble();
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::size_t col =
+          shown <= 1 ? 0 : i * (width - 1) / (shown - 1);
+      double y = rows[i][1].AsDouble();
+      double frac = max_y > min_y ? (y - min_y) / (max_y - min_y) : 0.5;
+      std::size_t row_idx = static_cast<std::size_t>(
+          std::round((1.0 - frac) * static_cast<double>(height - 1)));
+      grid[row_idx][col] = '*';
+    }
+    out += strings::Format("y: %.6g .. %.6g\n", min_y, max_y);
+    for (const std::string& line : grid) out += "|" + line + "\n";
+    out += "+" + std::string(width, '-') + "> " + chart.x_label + "\n";
+  }
+  if (rows.size() > shown) {
+    out += strings::Format("... (%zu more rows)\n", rows.size() - shown);
+  }
+  return out;
+}
+
+}  // namespace gred::viz

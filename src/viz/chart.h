@@ -1,0 +1,41 @@
+#ifndef GREDVIS_VIZ_CHART_H_
+#define GREDVIS_VIZ_CHART_H_
+
+#include <string>
+
+#include "dvq/ast.h"
+#include "exec/executor.h"
+#include "storage/table.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace gred::viz {
+
+/// A fully materialized chart: the executed data plus presentation
+/// metadata derived from the DVQ.
+struct Chart {
+  dvq::ChartType type = dvq::ChartType::kBar;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::string series_label;  // grouped charts only
+  exec::ResultSet data;      // column 0 = x, 1 = y, [2 = series]
+};
+
+/// Executes the DVQ against the database and assembles the chart.
+/// Fails (no chart is produced) when the DVQ references unknown schema —
+/// the paper's "no chart being shown" failure mode.
+Result<Chart> BuildChart(const dvq::DVQ& query,
+                         const storage::DatabaseData& db);
+
+/// Emits a Vega-Lite v5 specification with inline data values.
+json::Value ToVegaLite(const Chart& chart);
+
+/// Renders a terminal chart: horizontal bars for bar/pie families,
+/// a dot grid for line/scatter. `width` bounds the plot area.
+std::string RenderAscii(const Chart& chart, std::size_t width = 60,
+                        std::size_t max_rows = 16);
+
+}  // namespace gred::viz
+
+#endif  // GREDVIS_VIZ_CHART_H_

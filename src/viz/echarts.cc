@@ -1,0 +1,138 @@
+#include "viz/echarts.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace gred::viz {
+
+namespace {
+
+json::Value ValueToJson(const storage::Value& v) {
+  if (v.is_null()) return json::Value::Null();
+  if (v.is_int()) return json::Value::Int(v.int_value());
+  if (v.is_real()) return json::Value::Number(v.real_value());
+  return json::Value::Str(v.text_value());
+}
+
+std::vector<std::string> SeriesNames(const Chart& chart) {
+  std::vector<std::string> names;
+  if (chart.series_label.empty()) return names;
+  for (const auto& row : chart.data.rows) {
+    if (row.size() < 3) continue;
+    std::string name = row[2].ToString();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+json::Value ToECharts(const Chart& chart) {
+  json::Value option = json::Value::Object();
+  json::Value title = json::Value::Object();
+  title.Set("text", json::Value::Str(chart.title));
+  option.Set("title", std::move(title));
+  option.Set("tooltip", json::Value::Object());
+
+  const auto& rows = chart.data.rows;
+  json::Value series_array = json::Value::Array();
+
+  if (chart.type == dvq::ChartType::kPie) {
+    json::Value series = json::Value::Object();
+    series.Set("type", json::Value::Str("pie"));
+    series.Set("name", json::Value::Str(chart.x_label));
+    json::Value data = json::Value::Array();
+    for (const auto& row : rows) {
+      json::Value item = json::Value::Object();
+      item.Set("name", json::Value::Str(row[0].ToString()));
+      item.Set("value", ValueToJson(row[1]));
+      data.Append(std::move(item));
+    }
+    series.Set("data", std::move(data));
+    series_array.Append(std::move(series));
+    option.Set("series", std::move(series_array));
+    return option;
+  }
+
+  const bool numeric_x = chart.type == dvq::ChartType::kScatter ||
+                         chart.type == dvq::ChartType::kGroupingScatter;
+  const bool stacked = chart.type == dvq::ChartType::kStackedBar;
+  const bool line_family = chart.type == dvq::ChartType::kLine ||
+                           chart.type == dvq::ChartType::kGroupingLine;
+  const char* mark = line_family ? "line"
+                     : numeric_x ? "scatter"
+                                 : "bar";
+
+  // Axes.
+  json::Value x_axis = json::Value::Object();
+  x_axis.Set("type", json::Value::Str(numeric_x ? "value" : "category"));
+  x_axis.Set("name", json::Value::Str(chart.x_label));
+  std::vector<std::string> categories;
+  if (!numeric_x) {
+    json::Value cats = json::Value::Array();
+    for (const auto& row : rows) {
+      std::string label = row[0].ToString();
+      if (std::find(categories.begin(), categories.end(), label) ==
+          categories.end()) {
+        categories.push_back(label);
+        cats.Append(json::Value::Str(label));
+      }
+    }
+    x_axis.Set("data", std::move(cats));
+  }
+  option.Set("xAxis", std::move(x_axis));
+  json::Value y_axis = json::Value::Object();
+  y_axis.Set("type", json::Value::Str("value"));
+  y_axis.Set("name", json::Value::Str(chart.y_label));
+  option.Set("yAxis", std::move(y_axis));
+
+  std::vector<std::string> groups = SeriesNames(chart);
+  if (groups.empty()) groups.push_back(chart.y_label);
+  json::Value legend_data = json::Value::Array();
+  for (const std::string& g : groups) {
+    legend_data.Append(json::Value::Str(g));
+  }
+  json::Value legend = json::Value::Object();
+  legend.Set("data", std::move(legend_data));
+  option.Set("legend", std::move(legend));
+
+  const bool has_series = !chart.series_label.empty() &&
+                          chart.data.num_columns() >= 3;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    json::Value series = json::Value::Object();
+    series.Set("type", json::Value::Str(mark));
+    series.Set("name", json::Value::Str(groups[g]));
+    if (stacked) series.Set("stack", json::Value::Str("total"));
+    json::Value data = json::Value::Array();
+    if (numeric_x) {
+      for (const auto& row : rows) {
+        if (has_series && row[2].ToString() != groups[g]) continue;
+        json::Value point = json::Value::Array();
+        point.Append(ValueToJson(row[0]));
+        point.Append(ValueToJson(row[1]));
+        data.Append(std::move(point));
+      }
+    } else {
+      // Category-aligned values; missing categories are null.
+      std::map<std::string, json::Value> by_category;
+      for (const auto& row : rows) {
+        if (has_series && row[2].ToString() != groups[g]) continue;
+        by_category[row[0].ToString()] = ValueToJson(row[1]);
+      }
+      for (const std::string& cat : categories) {
+        auto it = by_category.find(cat);
+        data.Append(it == by_category.end() ? json::Value::Null()
+                                            : it->second);
+      }
+    }
+    series.Set("data", std::move(data));
+    series_array.Append(std::move(series));
+  }
+  option.Set("series", std::move(series_array));
+  return option;
+}
+
+}  // namespace gred::viz

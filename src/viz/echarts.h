@@ -1,0 +1,22 @@
+#ifndef GREDVIS_VIZ_ECHARTS_H_
+#define GREDVIS_VIZ_ECHARTS_H_
+
+#include "util/json.h"
+#include "viz/chart.h"
+
+namespace gred::viz {
+
+/// Emits an Apache ECharts `option` object for the chart.
+///
+/// ECharts is one of the declarative visualization languages the paper's
+/// introduction motivates DVQ with (alongside Vega-Lite); RGVisNet's own
+/// deployment targets it. Mapping:
+///   BAR/STACKED BAR -> series type "bar" (stack key set for stacked),
+///   PIE             -> series type "pie" with {name,value} data,
+///   LINE family     -> series type "line", one series per group,
+///   SCATTER family  -> series type "scatter" with [x,y] pairs.
+json::Value ToECharts(const Chart& chart);
+
+}  // namespace gred::viz
+
+#endif  // GREDVIS_VIZ_ECHARTS_H_

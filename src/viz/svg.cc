@@ -1,0 +1,305 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace gred::viz {
+
+namespace {
+
+constexpr const char* kPalette[] = {
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+    "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+};
+
+std::string XmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) { return strings::Format("%.2f", v); }
+
+/// Rounds the axis maximum up to a "nice" 1/2/5 multiple.
+double NiceCeil(double v) {
+  if (v <= 0.0) return 1.0;
+  double mag = std::pow(10.0, std::floor(std::log10(v)));
+  double norm = v / mag;
+  double nice = norm <= 1.0 ? 1.0 : norm <= 2.0 ? 2.0 : norm <= 5.0 ? 5.0
+                                                                    : 10.0;
+  return nice * mag;
+}
+
+struct Frame {
+  double x0, y0, x1, y1;  // plot area (y grows downward in SVG)
+};
+
+void DrawAxes(std::string* svg, const Frame& frame, double y_min,
+              double y_max, const std::string& x_label,
+              const std::string& y_label) {
+  *svg += "<line x1='" + Num(frame.x0) + "' y1='" + Num(frame.y1) +
+          "' x2='" + Num(frame.x1) + "' y2='" + Num(frame.y1) +
+          "' stroke='#333'/>\n";
+  *svg += "<line x1='" + Num(frame.x0) + "' y1='" + Num(frame.y0) +
+          "' x2='" + Num(frame.x0) + "' y2='" + Num(frame.y1) +
+          "' stroke='#333'/>\n";
+  const int ticks = 5;
+  for (int i = 0; i <= ticks; ++i) {
+    double value = y_min + (y_max - y_min) * i / ticks;
+    double y = frame.y1 - (frame.y1 - frame.y0) * i / ticks;
+    *svg += "<line x1='" + Num(frame.x0 - 4) + "' y1='" + Num(y) + "' x2='" +
+            Num(frame.x0) + "' y2='" + Num(y) + "' stroke='#333'/>\n";
+    *svg += "<text x='" + Num(frame.x0 - 8) + "' y='" + Num(y + 4) +
+            "' font-size='11' text-anchor='end' fill='#333'>" +
+            XmlEscape(strings::Format("%g", value)) + "</text>\n";
+  }
+  double mid_x = (frame.x0 + frame.x1) / 2;
+  *svg += "<text x='" + Num(mid_x) + "' y='" + Num(frame.y1 + 48) +
+          "' font-size='12' text-anchor='middle' fill='#333'>" +
+          XmlEscape(x_label) + "</text>\n";
+  *svg += "<text x='14' y='" + Num((frame.y0 + frame.y1) / 2) +
+          "' font-size='12' text-anchor='middle' fill='#333' transform='"
+          "rotate(-90 14 " +
+          Num((frame.y0 + frame.y1) / 2) + ")'>" + XmlEscape(y_label) +
+          "</text>\n";
+}
+
+void DrawXCategory(std::string* svg, const Frame& frame, double center_x,
+                   const std::string& label) {
+  std::string text = label.size() > 14 ? label.substr(0, 13) + "…" : label;
+  *svg += "<text x='" + Num(center_x) + "' y='" + Num(frame.y1 + 14) +
+          "' font-size='10' text-anchor='end' fill='#333' transform='rotate("
+          "-35 " +
+          Num(center_x) + " " + Num(frame.y1 + 14) + ")'>" +
+          XmlEscape(text) + "</text>\n";
+}
+
+std::vector<std::string> SeriesNames(const exec::ResultSet& data) {
+  std::vector<std::string> names;
+  for (const auto& row : data.rows) {
+    if (row.size() < 3) continue;
+    std::string name = row[2].ToString();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+void DrawLegend(std::string* svg, const SvgOptions& options,
+                const std::vector<std::string>& names) {
+  double y = static_cast<double>(options.margin_top);
+  double x = static_cast<double>(options.width - options.margin_right - 120);
+  for (std::size_t i = 0; i < names.size() && i < 8; ++i) {
+    *svg += "<rect x='" + Num(x) + "' y='" + Num(y) +
+            "' width='10' height='10' fill='" +
+            kPalette[i % 8] + "'/>\n";
+    *svg += "<text x='" + Num(x + 14) + "' y='" + Num(y + 9) +
+            "' font-size='11' fill='#333'>" + XmlEscape(names[i]) +
+            "</text>\n";
+    y += 16;
+  }
+}
+
+}  // namespace
+
+std::string RenderSvg(const Chart& chart, const SvgOptions& options) {
+  const std::size_t shown =
+      std::min(options.max_items, chart.data.rows.size());
+  std::string svg = strings::Format(
+      "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d' "
+      "viewBox='0 0 %d %d'>\n",
+      options.width, options.height, options.width, options.height);
+  svg += "<rect width='100%' height='100%' fill='white'/>\n";
+  svg += "<text x='" + Num(options.width / 2.0) +
+         "' y='20' font-size='14' text-anchor='middle' fill='#111'>" +
+         XmlEscape(chart.title) + "</text>\n";
+
+  Frame frame;
+  frame.x0 = options.margin_left;
+  frame.y0 = options.margin_top;
+  frame.x1 = options.width - options.margin_right;
+  frame.y1 = options.height - options.margin_bottom;
+
+  if (shown == 0) {
+    svg += "<text x='" + Num(options.width / 2.0) + "' y='" +
+           Num(options.height / 2.0) +
+           "' font-size='13' text-anchor='middle' fill='#666'>(no data)"
+           "</text>\n</svg>\n";
+    return svg;
+  }
+
+  const auto& rows = chart.data.rows;
+  const bool has_series = chart.data.num_columns() >= 3 &&
+                          !chart.series_label.empty();
+  std::vector<std::string> series = has_series
+                                        ? SeriesNames(chart.data)
+                                        : std::vector<std::string>{};
+  auto series_index = [&](const storage::Value& v) -> std::size_t {
+    std::string name = v.ToString();
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (series[i] == name) return i;
+    }
+    return 0;
+  };
+
+  if (chart.type == dvq::ChartType::kPie) {
+    double cx = (frame.x0 + frame.x1) / 2;
+    double cy = (frame.y0 + frame.y1) / 2;
+    double r = std::min(frame.x1 - frame.x0, frame.y1 - frame.y0) / 2 - 10;
+    double total = 0.0;
+    for (std::size_t i = 0; i < shown; ++i) {
+      total += std::max(0.0, rows[i][1].AsDouble());
+    }
+    if (total <= 0.0) total = 1.0;
+    double angle = -M_PI / 2;
+    std::vector<std::string> labels;
+    for (std::size_t i = 0; i < shown; ++i) {
+      double frac = std::max(0.0, rows[i][1].AsDouble()) / total;
+      double next = angle + frac * 2 * M_PI;
+      double x1 = cx + r * std::cos(angle);
+      double y1 = cy + r * std::sin(angle);
+      double x2 = cx + r * std::cos(next);
+      double y2 = cy + r * std::sin(next);
+      int large = next - angle > M_PI ? 1 : 0;
+      svg += "<path d='M " + Num(cx) + " " + Num(cy) + " L " + Num(x1) +
+             " " + Num(y1) + " A " + Num(r) + " " + Num(r) + " 0 " +
+             std::to_string(large) + " 1 " + Num(x2) + " " + Num(y2) +
+             " Z' fill='" + kPalette[i % 8] +
+             "' stroke='white' stroke-width='1'/>\n";
+      labels.push_back(rows[i][0].ToString());
+      angle = next;
+    }
+    DrawLegend(&svg, options, labels);
+    svg += "</svg>\n";
+    return svg;
+  }
+
+  // Y scale (shared by the remaining chart kinds).
+  double y_min = 0.0;
+  double y_max = 0.0;
+  for (std::size_t i = 0; i < shown; ++i) {
+    y_min = std::min(y_min, rows[i][1].AsDouble());
+    y_max = std::max(y_max, rows[i][1].AsDouble());
+  }
+  y_max = NiceCeil(y_max);
+  if (y_max == y_min) y_max = y_min + 1.0;
+  auto y_pos = [&](double v) {
+    return frame.y1 - (v - y_min) / (y_max - y_min) * (frame.y1 - frame.y0);
+  };
+
+  const bool numeric_x = chart.type == dvq::ChartType::kScatter ||
+                         chart.type == dvq::ChartType::kGroupingScatter;
+  if (numeric_x) {
+    double x_min = rows[0][0].AsDouble();
+    double x_max = x_min;
+    for (std::size_t i = 0; i < shown; ++i) {
+      x_min = std::min(x_min, rows[i][0].AsDouble());
+      x_max = std::max(x_max, rows[i][0].AsDouble());
+    }
+    if (x_max == x_min) x_max = x_min + 1.0;
+    auto x_pos = [&](double v) {
+      return frame.x0 +
+             (v - x_min) / (x_max - x_min) * (frame.x1 - frame.x0);
+    };
+    DrawAxes(&svg, frame, y_min, y_max, chart.x_label, chart.y_label);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::size_t color = has_series ? series_index(rows[i][2]) : 0;
+      svg += "<circle cx='" + Num(x_pos(rows[i][0].AsDouble())) + "' cy='" +
+             Num(y_pos(rows[i][1].AsDouble())) + "' r='4' fill='" +
+             kPalette[color % 8] + "' fill-opacity='0.8'/>\n";
+    }
+    if (has_series) DrawLegend(&svg, options, series);
+    svg += "</svg>\n";
+    return svg;
+  }
+
+  // Categorical x: distinct labels in first-seen order.
+  std::vector<std::string> categories;
+  std::map<std::string, std::size_t> category_index;
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::string label = rows[i][0].ToString();
+    if (category_index.emplace(label, categories.size()).second) {
+      categories.push_back(label);
+    }
+  }
+  double slot = (frame.x1 - frame.x0) / static_cast<double>(
+                                            std::max<std::size_t>(
+                                                1, categories.size()));
+  auto slot_center = [&](std::size_t i) {
+    return frame.x0 + slot * (static_cast<double>(i) + 0.5);
+  };
+  DrawAxes(&svg, frame, y_min, y_max, chart.x_label, chart.y_label);
+  for (std::size_t i = 0; i < categories.size(); ++i) {
+    DrawXCategory(&svg, frame, slot_center(i), categories[i]);
+  }
+
+  const bool line_family = chart.type == dvq::ChartType::kLine ||
+                           chart.type == dvq::ChartType::kGroupingLine;
+  if (line_family) {
+    std::map<std::size_t, std::string> paths;  // series -> polyline points
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::size_t color = has_series ? series_index(rows[i][2]) : 0;
+      std::size_t cat = category_index[rows[i][0].ToString()];
+      paths[color] += Num(slot_center(cat)) + "," +
+                      Num(y_pos(rows[i][1].AsDouble())) + " ";
+    }
+    for (const auto& [color, points] : paths) {
+      svg += "<polyline points='" + points + "' fill='none' stroke='" +
+             kPalette[color % 8] + "' stroke-width='2'/>\n";
+    }
+  } else {
+    // Bar family. Stacked bars accumulate per category.
+    std::map<std::size_t, double> stack_base;
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::size_t cat = category_index[rows[i][0].ToString()];
+      std::size_t color = has_series ? series_index(rows[i][2]) : 0;
+      double value = rows[i][1].AsDouble();
+      double base = chart.type == dvq::ChartType::kStackedBar
+                        ? stack_base[cat]
+                        : 0.0;
+      double top = y_pos(base + std::max(0.0, value));
+      double bottom = y_pos(base);
+      double width = slot * 0.7;
+      svg += "<rect x='" + Num(slot_center(cat) - width / 2) + "' y='" +
+             Num(top) + "' width='" + Num(width) + "' height='" +
+             Num(std::max(0.0, bottom - top)) + "' fill='" +
+             kPalette[color % 8] + "'/>\n";
+      if (chart.type == dvq::ChartType::kStackedBar) {
+        stack_base[cat] = base + std::max(0.0, value);
+      }
+    }
+  }
+  if (has_series) DrawLegend(&svg, options, series);
+  if (rows.size() > shown) {
+    svg += "<text x='" + Num(frame.x1) + "' y='" + Num(frame.y0 - 6) +
+           "' font-size='10' text-anchor='end' fill='#666'>(" +
+           std::to_string(rows.size() - shown) + " more)</text>\n";
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace gred::viz

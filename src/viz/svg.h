@@ -1,0 +1,33 @@
+#ifndef GREDVIS_VIZ_SVG_H_
+#define GREDVIS_VIZ_SVG_H_
+
+#include <string>
+
+#include "viz/chart.h"
+
+namespace gred::viz {
+
+/// Rendering options for the SVG backend.
+struct SvgOptions {
+  int width = 640;
+  int height = 400;
+  int margin_left = 70;
+  int margin_bottom = 60;
+  int margin_top = 40;
+  int margin_right = 20;
+  /// Maximum categories/points drawn; the rest are dropped with an
+  /// ellipsis note (charts stay readable).
+  std::size_t max_items = 40;
+};
+
+/// Renders a chart as a standalone SVG document.
+///
+/// Mark selection follows the chart type: bars (grouped charts stack by
+/// series), pie sectors, polylines per series, or points. Axes carry the
+/// DVQ's column labels; categorical x values are drawn as rotated tick
+/// labels.
+std::string RenderSvg(const Chart& chart, const SvgOptions& options = {});
+
+}  // namespace gred::viz
+
+#endif  // GREDVIS_VIZ_SVG_H_

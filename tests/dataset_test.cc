@@ -1,0 +1,350 @@
+// Unit and property tests for the benchmark generator: databases, plans,
+// NLQ rendering, perturbations and the assembled suite.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/benchmark.h"
+#include "dataset/db_generator.h"
+#include "dataset/nlq_render.h"
+#include "dataset/perturb.h"
+#include "dataset/query_generator.h"
+#include "dvq/components.h"
+#include "dvq/parser.h"
+#include "exec/executor.h"
+#include "util/strings.h"
+
+namespace gred::dataset {
+namespace {
+
+/// A small shared suite built once (tests only read from it).
+const BenchmarkSuite& SmallSuite() {
+  static const BenchmarkSuite* const kSuite = [] {
+    BenchmarkOptions options;
+    options.train_size = 300;
+    options.test_size = 90;
+    return new BenchmarkSuite(BuildBenchmarkSuite(options));
+  }();
+  return *kSuite;
+}
+
+TEST(DbGenerator, GeneratesRequestedCount) {
+  DbGeneratorOptions options;
+  options.num_databases = 12;
+  std::vector<GeneratedDatabase> dbs =
+      GenerateDatabases(EntityBank::Default(), options);
+  EXPECT_EQ(dbs.size(), 12u);
+}
+
+TEST(DbGenerator, EverySchemaValidates) {
+  for (const GeneratedDatabase& db : SmallSuite().databases) {
+    EXPECT_TRUE(db.data.db_schema().Validate().ok()) << db.data.name();
+  }
+  for (const GeneratedDatabase& db : SmallSuite().databases_rob) {
+    EXPECT_TRUE(db.data.db_schema().Validate().ok()) << db.data.name();
+  }
+}
+
+TEST(DbGenerator, MetadataAlignedWithSchema) {
+  for (const GeneratedDatabase& db : SmallSuite().databases) {
+    EXPECT_EQ(db.tables.size(), db.data.tables().size());
+    for (const GeneratedTable& gt : db.tables) {
+      const schema::TableDef* def = db.data.db_schema().FindTable(gt.name);
+      ASSERT_NE(def, nullptr) << gt.name;
+      EXPECT_EQ(def->columns().size(), gt.columns.size());
+    }
+  }
+}
+
+TEST(DbGenerator, TablesArePopulated) {
+  for (const GeneratedDatabase& db : SmallSuite().databases) {
+    for (const storage::DataTable& table : db.data.tables()) {
+      EXPECT_GT(table.num_rows(), 0u) << table.name();
+    }
+  }
+}
+
+TEST(DbGenerator, ForeignKeysReferenceExistingParents) {
+  const GeneratedDatabase& db = SmallSuite().databases[0];
+  for (const schema::ForeignKey& fk : db.data.db_schema().foreign_keys()) {
+    const storage::DataTable* child = db.data.FindTable(fk.from_table);
+    const storage::DataTable* parent = db.data.FindTable(fk.to_table);
+    ASSERT_NE(child, nullptr);
+    ASSERT_NE(parent, nullptr);
+    auto parent_col = parent->def().ColumnIndex(fk.to_column);
+    ASSERT_TRUE(parent_col.has_value());
+    std::set<std::string> parent_keys;
+    for (std::size_t r = 0; r < parent->num_rows(); ++r) {
+      parent_keys.insert(parent->at(r, *parent_col).ToString());
+    }
+    EXPECT_FALSE(parent_keys.empty());
+  }
+}
+
+TEST(DbGenerator, DeterministicForSameSeed) {
+  DbGeneratorOptions options;
+  options.num_databases = 5;
+  std::vector<GeneratedDatabase> a =
+      GenerateDatabases(EntityBank::Default(), options);
+  std::vector<GeneratedDatabase> b =
+      GenerateDatabases(EntityBank::Default(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].data.db_schema().RenderSchemaPrompt(),
+              b[i].data.db_schema().RenderSchemaPrompt());
+    EXPECT_EQ(a[i].data.tables()[0].num_rows(),
+              b[i].data.tables()[0].num_rows());
+  }
+}
+
+TEST(Naming, PluralTableName) {
+  EXPECT_EQ(PluralTableName({"employee"}), "employees");
+  EXPECT_EQ(PluralTableName({"match"}), "matches");
+  EXPECT_EQ(PluralTableName({"weather", "record"}), "weather_records");
+  EXPECT_EQ(PluralTableName({"city"}), "cities");
+}
+
+TEST(QueryGenerator, PlansRenderToParseableDvqs) {
+  for (const Example& ex : SmallSuite().test_clean) {
+    Result<dvq::DVQ> parsed = dvq::Parse(ex.DvqText());
+    ASSERT_TRUE(parsed.ok()) << ex.DvqText();
+    EXPECT_TRUE(dvq::OverallMatch(parsed.value(), ex.dvq));
+  }
+}
+
+TEST(QueryGenerator, EveryTargetExecutesOnItsCleanDatabase) {
+  const BenchmarkSuite& suite = SmallSuite();
+  for (const Example& ex : suite.test_clean) {
+    const GeneratedDatabase* db = suite.FindCleanDb(ex.db_name);
+    ASSERT_NE(db, nullptr) << ex.db_name;
+    Result<exec::ResultSet> rs = exec::Execute(ex.dvq, db->data);
+    EXPECT_TRUE(rs.ok()) << ex.id << ": " << ex.DvqText() << " -> "
+                         << rs.status().ToString();
+  }
+}
+
+TEST(QueryGenerator, RenamedTargetsExecuteOnPerturbedDatabases) {
+  const BenchmarkSuite& suite = SmallSuite();
+  for (const Example& ex : suite.test_schema) {
+    const GeneratedDatabase* db = suite.FindRobDb(ex.db_name);
+    ASSERT_NE(db, nullptr);
+    Result<exec::ResultSet> rs = exec::Execute(ex.dvq, db->data);
+    EXPECT_TRUE(rs.ok()) << ex.id << ": " << ex.DvqText() << " -> "
+                         << rs.status().ToString();
+  }
+}
+
+TEST(QueryGenerator, NlqVariantsShareThePlan) {
+  const BenchmarkSuite& suite = SmallSuite();
+  for (std::size_t i = 0; i < suite.test_clean.size(); ++i) {
+    EXPECT_EQ(suite.test_clean[i].DvqText(), suite.test_nlq[i].DvqText());
+    EXPECT_EQ(suite.test_nlq[i].nlq, suite.test_clean[i].nlq_rob);
+    EXPECT_NE(suite.test_nlq[i].nlq, suite.test_clean[i].nlq);
+  }
+}
+
+TEST(QueryGenerator, BothVariantCombinesNlqAndSchema) {
+  const BenchmarkSuite& suite = SmallSuite();
+  for (std::size_t i = 0; i < suite.test_both.size(); ++i) {
+    EXPECT_EQ(suite.test_both[i].nlq, suite.test_nlq[i].nlq);
+    EXPECT_EQ(suite.test_both[i].DvqText(), suite.test_schema[i].DvqText());
+  }
+}
+
+TEST(QueryGenerator, HardnessDistributionCoversAllTiers) {
+  DatasetStats stats =
+      ComputeStats(SmallSuite().test_clean, SmallSuite().databases);
+  EXPECT_EQ(stats.total, SmallSuite().test_clean.size());
+  EXPECT_GT(stats.by_hardness["Easy"], 0u);
+  EXPECT_GT(stats.by_hardness["Medium"], 0u);
+  EXPECT_GT(stats.by_hardness["Hard"], 0u);
+  EXPECT_GT(stats.by_hardness["Extra Hard"], 0u);
+  EXPECT_GT(stats.by_chart["BAR"], stats.by_chart["PIE"]);
+}
+
+TEST(QueryGenerator, StatsAveragesMatchFigure2Shape) {
+  DatasetStats stats =
+      ComputeStats(SmallSuite().test_clean, SmallSuite().databases);
+  EXPECT_GT(stats.avg_tables_per_db, 3.5);
+  EXPECT_LT(stats.avg_tables_per_db, 7.5);
+  EXPECT_GT(stats.avg_columns_per_table, 4.0);
+  EXPECT_LT(stats.avg_columns_per_table, 7.0);
+}
+
+TEST(NlqRender, ExplicitStyleMentionsSchemaOrWords) {
+  const BenchmarkSuite& suite = SmallSuite();
+  for (std::size_t i = 0; i < 20 && i < suite.test_clean.size(); ++i) {
+    const Example& ex = suite.test_clean[i];
+    EXPECT_FALSE(ex.nlq.empty());
+    EXPECT_FALSE(ex.nlq_rob.empty());
+    EXPECT_NE(ex.nlq.back(), ' ');
+  }
+}
+
+TEST(Perturb, RenameMapMatchesPerturbedSchema) {
+  const BenchmarkSuite& suite = SmallSuite();
+  for (const auto& [db_name, renames] : suite.renames) {
+    const GeneratedDatabase* clean = suite.FindCleanDb(db_name);
+    const GeneratedDatabase* rob = suite.FindRobDb(db_name);
+    ASSERT_NE(clean, nullptr);
+    ASSERT_NE(rob, nullptr);
+    for (const auto& [old_table, new_table] : renames.tables) {
+      EXPECT_NE(clean->data.db_schema().FindTable(old_table), nullptr);
+      EXPECT_NE(rob->data.db_schema().FindTable(new_table), nullptr);
+    }
+    for (const auto& [key, new_column] : renames.columns) {
+      const auto& [old_table, old_column] = key;
+      std::string rob_table = renames.TableName(old_table);
+      const schema::TableDef* def =
+          rob->data.db_schema().FindTable(rob_table);
+      ASSERT_NE(def, nullptr) << rob_table;
+      EXPECT_NE(def->FindColumn(new_column), nullptr)
+          << old_table << "." << old_column << " -> " << new_column;
+      EXPECT_EQ(def->FindColumn(old_column), nullptr)
+          << "old name still present: " << old_column;
+    }
+  }
+}
+
+TEST(Perturb, RowDataSurvivesRenaming) {
+  const BenchmarkSuite& suite = SmallSuite();
+  const GeneratedDatabase& clean = suite.databases[0];
+  const GeneratedDatabase& rob = suite.databases_rob[0];
+  ASSERT_EQ(clean.data.tables().size(), rob.data.tables().size());
+  for (std::size_t t = 0; t < clean.data.tables().size(); ++t) {
+    EXPECT_EQ(clean.data.tables()[t].num_rows(),
+              rob.data.tables()[t].num_rows());
+  }
+}
+
+TEST(Perturb, RewriteDvqTargetsResolveInRenamedSchema) {
+  const BenchmarkSuite& suite = SmallSuite();
+  for (const Example& ex : suite.test_schema) {
+    const GeneratedDatabase* rob = suite.FindRobDb(ex.db_name);
+    for (const dvq::ColumnRef& ref :
+         dvq::CollectColumnRefs(ex.dvq.query)) {
+      if (ref.column == "*") continue;
+      EXPECT_TRUE(rob->data.db_schema().HasColumn(ref.column))
+          << ex.id << " references missing column " << ref.column;
+    }
+  }
+}
+
+// Property: schema perturbation renames names, never data — executing
+// the rewritten target on the perturbed database returns exactly the
+// rows of the clean target on the clean database.
+TEST(Perturb, RenamedTargetsPreserveExecutionSemantics) {
+  const BenchmarkSuite& suite = SmallSuite();
+  for (std::size_t i = 0; i < suite.test_clean.size(); ++i) {
+    const Example& clean = suite.test_clean[i];
+    const Example& renamed = suite.test_schema[i];
+    const GeneratedDatabase* clean_db = suite.FindCleanDb(clean.db_name);
+    const GeneratedDatabase* rob_db = suite.FindRobDb(renamed.db_name);
+    Result<exec::ResultSet> a = exec::Execute(clean.dvq, clean_db->data);
+    Result<exec::ResultSet> b = exec::Execute(renamed.dvq, rob_db->data);
+    ASSERT_TRUE(a.ok()) << clean.id;
+    ASSERT_TRUE(b.ok()) << renamed.id << ": " << renamed.DvqText();
+    ASSERT_EQ(a.value().num_rows(), b.value().num_rows()) << clean.id;
+    for (std::size_t r = 0; r < a.value().num_rows(); ++r) {
+      for (std::size_t c = 0; c < a.value().num_columns(); ++c) {
+        EXPECT_EQ(a.value().rows[r][c].Compare(b.value().rows[r][c]), 0)
+            << clean.id << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(Perturb, SchemaRenameLookupFallsBackToOriginal) {
+  SchemaRename renames;
+  renames.tables["employees"] = "staffers";
+  renames.columns[{"employees", "salary"}] = "wage";
+  EXPECT_EQ(renames.TableName("EMPLOYEES"), "staffers");
+  EXPECT_EQ(renames.TableName("departments"), "departments");
+  EXPECT_EQ(renames.ColumnName("employees", "SALARY"), "wage");
+  EXPECT_EQ(renames.ColumnName("employees", "name"), "name");
+}
+
+TEST(Suite, DeterministicAcrossBuilds) {
+  BenchmarkOptions options;
+  options.train_size = 60;
+  options.test_size = 20;
+  BenchmarkSuite a = BuildBenchmarkSuite(options);
+  BenchmarkSuite b = BuildBenchmarkSuite(options);
+  ASSERT_EQ(a.test_clean.size(), b.test_clean.size());
+  for (std::size_t i = 0; i < a.test_clean.size(); ++i) {
+    EXPECT_EQ(a.test_clean[i].nlq, b.test_clean[i].nlq);
+    EXPECT_EQ(a.test_clean[i].DvqText(), b.test_clean[i].DvqText());
+  }
+}
+
+TEST(Suite, CrossDomainHoldsOutDatabases) {
+  BenchmarkOptions options;
+  options.train_size = 200;
+  options.test_size = 60;
+  options.cross_domain = true;
+  BenchmarkSuite suite = BuildBenchmarkSuite(options);
+  EXPECT_FALSE(suite.test_clean.empty());
+  EXPECT_FALSE(suite.train.empty());
+  std::set<std::string> train_dbs;
+  for (const Example& ex : suite.train) {
+    train_dbs.insert(strings::ToLower(ex.db_name));
+  }
+  for (const Example& ex : suite.test_clean) {
+    EXPECT_EQ(train_dbs.count(strings::ToLower(ex.db_name)), 0u)
+        << ex.db_name << " appears in both splits";
+  }
+}
+
+TEST(Suite, TrainAndTestDisjointIds) {
+  const BenchmarkSuite& suite = SmallSuite();
+  std::set<std::string> train_ids;
+  for (const Example& ex : suite.train) train_ids.insert(ex.id);
+  for (const Example& ex : suite.test_clean) {
+    EXPECT_EQ(train_ids.count(ex.id), 0u);
+  }
+}
+
+TEST(OpPhrases, BothRegistersAreDisjointPerOperator) {
+  for (dvq::CompareOp op :
+       {dvq::CompareOp::kEq, dvq::CompareOp::kNe, dvq::CompareOp::kGt,
+        dvq::CompareOp::kLt, dvq::CompareOp::kGe, dvq::CompareOp::kLe,
+        dvq::CompareOp::kLike}) {
+    const auto& explicit_phrases = ExplicitOpPhrases(op);
+    const auto& paraphrased = ParaphrasedOpPhrases(op);
+    EXPECT_FALSE(explicit_phrases.empty());
+    EXPECT_FALSE(paraphrased.empty());
+    for (const std::string& p : paraphrased) {
+      for (const std::string& e : explicit_phrases) {
+        EXPECT_NE(p, e);
+      }
+    }
+  }
+}
+
+TEST(ChartPhrases, ChartFamilyWordSurvivesBothStyles) {
+  // Vis accuracy stays high in the paper because the chart family is
+  // recognizable in both registers.
+  struct Case {
+    dvq::ChartType chart;
+    const char* word;
+  };
+  const Case kCases[] = {
+      {dvq::ChartType::kBar, "bar"},      {dvq::ChartType::kPie, "pie"},
+      {dvq::ChartType::kLine, "line"},    {dvq::ChartType::kScatter,
+                                           "scatter"},
+      {dvq::ChartType::kStackedBar, "stacked"},
+  };
+  for (const Case& c : kCases) {
+    for (NlqStyle style : {NlqStyle::kExplicit, NlqStyle::kParaphrased}) {
+      for (const std::string& phrase : ChartPhrases(c.chart, style)) {
+        bool ok = phrase.find(c.word) != std::string::npos ||
+                  phrase.find("histogram") != std::string::npos;
+        EXPECT_TRUE(ok) << phrase;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gred::dataset

@@ -1,0 +1,382 @@
+// Unit and property tests for the DVQ language: lexer, parser, printer,
+// normalizer and component extraction.
+
+#include <gtest/gtest.h>
+
+#include "dvq/ast.h"
+#include "dvq/components.h"
+#include "dvq/lexer.h"
+#include "dvq/normalize.h"
+#include "dvq/parser.h"
+#include "util/rng.h"
+
+namespace gred::dvq {
+namespace {
+
+DVQ MustParse(const std::string& text) {
+  Result<DVQ> result = Parse(text);
+  EXPECT_TRUE(result.ok()) << text << " -> " << result.status().ToString();
+  return result.value_or(DVQ{});
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  Result<std::vector<Token>> tokens = Lex("visualize BaR select");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(tokens.value()[0].IsKeyword("VISUALIZE"));
+  EXPECT_TRUE(tokens.value()[1].IsKeyword("BAR"));
+  EXPECT_TRUE(tokens.value()[2].IsKeyword("SELECT"));
+}
+
+TEST(Lexer, IdentifiersKeepSpelling) {
+  Result<std::vector<Token>> tokens = Lex("Dept_ID T1.salary");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "Dept_ID");
+  EXPECT_EQ(tokens.value()[1].text, "T1.salary");
+}
+
+TEST(Lexer, NumbersAndStrings) {
+  Result<std::vector<Token>> tokens = Lex("42 3.5 'hi' \"there\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens.value()[1].text, "3.5");
+  EXPECT_EQ(tokens.value()[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens.value()[2].text, "hi");
+  EXPECT_EQ(tokens.value()[3].text, "there");
+}
+
+TEST(Lexer, OperatorsIncludingNormalizedNotEquals) {
+  Result<std::vector<Token>> tokens = Lex("a != b <> c <= d >= e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(tokens.value()[1].IsSymbol("!="));
+  EXPECT_TRUE(tokens.value()[3].IsSymbol("!="));  // <> normalizes
+  EXPECT_TRUE(tokens.value()[5].IsSymbol("<="));
+  EXPECT_TRUE(tokens.value()[7].IsSymbol(">="));
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("WHERE x = 'oops").ok());
+}
+
+TEST(Lexer, DropsTrailingSemicolon) {
+  Result<std::vector<Token>> tokens = Lex("SELECT a;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value().size(), 3u);  // SELECT, a, end
+}
+
+TEST(Parser, MinimalBarQuery) {
+  DVQ q = MustParse("Visualize BAR SELECT name , salary FROM employees");
+  EXPECT_EQ(q.chart, ChartType::kBar);
+  ASSERT_EQ(q.query.select.size(), 2u);
+  EXPECT_EQ(q.query.select[0].col.column, "name");
+  EXPECT_EQ(q.query.from_table, "employees");
+}
+
+TEST(Parser, AllChartTypes) {
+  EXPECT_EQ(MustParse("Visualize PIE SELECT a , b FROM t").chart,
+            ChartType::kPie);
+  EXPECT_EQ(MustParse("Visualize STACKED BAR SELECT a , b , c FROM t").chart,
+            ChartType::kStackedBar);
+  EXPECT_EQ(MustParse("Visualize GROUPING LINE SELECT a , b , c FROM t").chart,
+            ChartType::kGroupingLine);
+  EXPECT_EQ(
+      MustParse("Visualize GROUPING SCATTER SELECT a , b , c FROM t").chart,
+      ChartType::kGroupingScatter);
+}
+
+TEST(Parser, Aggregates) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT job , COUNT(DISTINCT employee_id) FROM t");
+  EXPECT_EQ(q.query.select[1].agg, AggFunc::kCount);
+  EXPECT_TRUE(q.query.select[1].distinct);
+  DVQ star = MustParse("Visualize BAR SELECT job , COUNT(*) FROM t");
+  EXPECT_EQ(star.query.select[1].col.column, "*");
+}
+
+TEST(Parser, WhereWithPrecedence) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , b FROM t WHERE x > 3 AND y = \"v\" OR z "
+      "LIKE \"%m%\"");
+  ASSERT_TRUE(q.query.where.has_value());
+  EXPECT_EQ(q.query.where->predicates.size(), 3u);
+  EXPECT_EQ(q.query.where->connectors[0], LogicalOp::kAnd);
+  EXPECT_EQ(q.query.where->connectors[1], LogicalOp::kOr);
+  EXPECT_EQ(q.query.where->predicates[2].op, CompareOp::kLike);
+}
+
+TEST(Parser, NullTests) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , b FROM t WHERE x IS NOT NULL AND y IS NULL");
+  EXPECT_EQ(q.query.where->predicates[0].op, CompareOp::kIsNotNull);
+  EXPECT_EQ(q.query.where->predicates[1].op, CompareOp::kIsNull);
+}
+
+TEST(Parser, InList) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , b FROM t WHERE x IN (1 , 2 , 3) AND y NOT "
+      "IN (\"u\" , \"v\")");
+  EXPECT_EQ(q.query.where->predicates[0].op, CompareOp::kIn);
+  EXPECT_EQ(q.query.where->predicates[0].in_list.size(), 3u);
+  EXPECT_EQ(q.query.where->predicates[1].op, CompareOp::kNotIn);
+}
+
+TEST(Parser, UnquotedStringLiteral) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , b FROM t WHERE name = Finance");
+  EXPECT_EQ(q.query.where->predicates[0].literal->string_value, "Finance");
+}
+
+TEST(Parser, JoinWithAliases) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , b FROM employees AS T1 JOIN departments AS "
+      "T2 ON T1.department_id = T2.department_id");
+  EXPECT_EQ(q.query.from_alias, "T1");
+  ASSERT_EQ(q.query.joins.size(), 1u);
+  EXPECT_EQ(q.query.joins[0].alias, "T2");
+  EXPECT_EQ(q.query.joins[0].left.table, "T1");
+}
+
+TEST(Parser, GroupOrderLimitBin) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a ORDER BY "
+      "COUNT(a) DESC LIMIT 5 BIN a BY MONTH");
+  EXPECT_EQ(q.query.group_by.size(), 1u);
+  ASSERT_TRUE(q.query.order_by.has_value());
+  EXPECT_TRUE(q.query.order_by->descending);
+  EXPECT_EQ(q.query.order_by->expr.agg, AggFunc::kCount);
+  EXPECT_EQ(q.query.limit, 5);
+  ASSERT_TRUE(q.query.bin.has_value());
+  EXPECT_EQ(q.query.bin->unit, BinUnit::kMonth);
+}
+
+TEST(Parser, BinUnitsIncludingDayIdentifier) {
+  EXPECT_EQ(MustParse("Visualize LINE SELECT d , c FROM t BIN d BY DAY")
+                .query.bin->unit,
+            BinUnit::kDay);
+  EXPECT_EQ(MustParse("Visualize LINE SELECT d , c FROM t BIN d BY weekday")
+                .query.bin->unit,
+            BinUnit::kWeekday);
+}
+
+TEST(Parser, ScalarSubquery) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , b FROM t WHERE fk = (SELECT id FROM p "
+      "WHERE name = \"X\")");
+  ASSERT_NE(q.query.where->predicates[0].subquery, nullptr);
+  EXPECT_EQ(q.query.where->predicates[0].subquery->from_table, "p");
+}
+
+TEST(Parser, ErrorsOnGarbage) {
+  EXPECT_FALSE(Parse("SELECT a FROM t").ok());  // missing Visualize
+  EXPECT_FALSE(Parse("Visualize TRIANGLE SELECT a , b FROM t").ok());
+  EXPECT_FALSE(Parse("Visualize BAR SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("Visualize BAR SELECT a , b").ok());
+  EXPECT_FALSE(Parse("Visualize BAR SELECT a , b FROM t trailing junk").ok());
+}
+
+TEST(Parser, ParseQueryWithoutPrefix) {
+  Result<Query> q = ParseQuery("SELECT a , b FROM t WHERE a > 1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().from_table, "t");
+}
+
+TEST(Printer, RoundTripCanonical) {
+  const std::string text =
+      "Visualize BAR SELECT Fname , Dept_ID FROM employees ORDER BY "
+      "Dept_ID DESC";
+  DVQ q = MustParse(text);
+  EXPECT_EQ(q.ToString(), text);
+}
+
+TEST(Printer, CanonicalLowercasesIdentifiers) {
+  DVQ q = MustParse("Visualize BAR SELECT Fname , Dept_ID FROM Employees");
+  EXPECT_EQ(q.Canonical(),
+            "Visualize BAR SELECT fname , dept_id FROM employees");
+}
+
+TEST(Normalize, ResolveAliases) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT T1.a , T2.b FROM emp AS T1 JOIN dept AS T2 ON "
+      "T1.k = T2.k WHERE T2.name = \"Finance\"");
+  Query resolved = ResolveAliases(q.query);
+  EXPECT_TRUE(resolved.from_alias.empty());
+  EXPECT_EQ(resolved.select[0].col.table, "emp");
+  EXPECT_EQ(resolved.select[1].col.table, "dept");
+  EXPECT_EQ(resolved.where->predicates[0].col.table, "dept");
+}
+
+TEST(Normalize, DropQualifiersKeepsJoinKeys) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT emp.a , dept.b FROM emp JOIN dept ON emp.k = "
+      "dept.k");
+  Query dropped = DropQualifiers(q.query);
+  EXPECT_TRUE(dropped.select[0].col.table.empty());
+  EXPECT_EQ(dropped.joins[0].left.table, "emp");
+}
+
+TEST(Components, VisMatch) {
+  DVQ a = MustParse("Visualize BAR SELECT x , y FROM t");
+  DVQ b = MustParse("Visualize PIE SELECT x , y FROM t");
+  EXPECT_TRUE(VisMatch(a, a));
+  EXPECT_FALSE(VisMatch(a, b));
+}
+
+TEST(Components, AxisMatchIgnoresCaseAndQualifiers) {
+  DVQ a = MustParse("Visualize BAR SELECT T1.Fname , SUM(Salary) FROM "
+                    "employees AS T1");
+  DVQ b = MustParse("Visualize BAR SELECT fname , SUM(salary) FROM "
+                    "employees");
+  EXPECT_TRUE(AxisMatch(a, b));
+}
+
+TEST(Components, AxisMismatchOnCountTarget) {
+  // COUNT(col) vs COUNT(*) is a style difference the metric penalizes
+  // (the Retuner exists to fix it).
+  DVQ a = MustParse("Visualize BAR SELECT x , COUNT(x) FROM t GROUP BY x");
+  DVQ b = MustParse("Visualize BAR SELECT x , COUNT(*) FROM t GROUP BY x");
+  EXPECT_FALSE(AxisMatch(a, b));
+  EXPECT_TRUE(VisMatch(a, b));
+  EXPECT_TRUE(DataMatch(a, b));
+}
+
+TEST(Components, DataMatchJoinOrderInsensitive) {
+  DVQ a = MustParse(
+      "Visualize BAR SELECT x , y FROM t JOIN p ON t.k = p.k JOIN q ON "
+      "t.j = q.j");
+  DVQ b = MustParse(
+      "Visualize BAR SELECT x , y FROM t JOIN q ON q.j = t.j JOIN p ON "
+      "p.k = t.k");
+  EXPECT_TRUE(DataMatch(a, b));
+}
+
+TEST(Components, DataMismatchOnSubqueryVsJoin) {
+  DVQ sub = MustParse(
+      "Visualize BAR SELECT x , y FROM t WHERE fk = (SELECT id FROM p "
+      "WHERE n = \"v\")");
+  DVQ join = MustParse(
+      "Visualize BAR SELECT x , y FROM t JOIN p ON t.fk = p.id WHERE n = "
+      "\"v\"");
+  EXPECT_FALSE(DataMatch(sub, join));
+}
+
+TEST(Components, OverallMatchIsConjunction) {
+  DVQ a = MustParse(
+      "Visualize BAR SELECT x , COUNT(x) FROM t GROUP BY x ORDER BY "
+      "COUNT(x) DESC");
+  DVQ same = MustParse(
+      "Visualize BAR SELECT X , COUNT(X) FROM T GROUP BY X ORDER BY "
+      "COUNT(X) DESC");
+  DVQ diff_order = MustParse(
+      "Visualize BAR SELECT x , COUNT(x) FROM t GROUP BY x ORDER BY "
+      "COUNT(x) ASC");
+  EXPECT_TRUE(OverallMatch(a, same));
+  EXPECT_FALSE(OverallMatch(a, diff_order));
+}
+
+TEST(Ast, CollectColumnRefsCoversAllClauses) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , SUM(b) FROM t JOIN p ON t.k = p.k WHERE c "
+      "> 1 GROUP BY a ORDER BY SUM(b) DESC BIN d BY YEAR");
+  std::vector<ColumnRef> refs = CollectColumnRefs(q.query);
+  std::vector<std::string> names;
+  names.reserve(refs.size());
+  for (const ColumnRef& r : refs) names.push_back(r.column);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "k", "k", "c", "a",
+                                             "b", "d"}));
+}
+
+TEST(Ast, TransformNonJoinSkipsJoinKeys) {
+  DVQ q = MustParse(
+      "Visualize BAR SELECT a , b FROM t JOIN p ON t.k = p.k");
+  TransformNonJoinColumnRefs(&q.query,
+                             [](ColumnRef* ref) { ref->column = "Z"; });
+  EXPECT_EQ(q.query.select[0].col.column, "Z");
+  EXPECT_EQ(q.query.joins[0].left.column, "k");
+}
+
+TEST(Ast, LiteralEqualityNumericCrossType) {
+  EXPECT_TRUE(Literal::Int(4).Equals(Literal::Real(4.0)));
+  EXPECT_FALSE(Literal::Int(4).Equals(Literal::Str("4")));
+  EXPECT_TRUE(Literal::Str("x").Equals(Literal::Str("x")));
+}
+
+// Property: parse(print(q)) is canonical-identical, over a grammar-driven
+// random query generator.
+class RoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripProperty, ParsePrintFixedPoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 13);
+  for (int i = 0; i < 60; ++i) {
+    DVQ q;
+    q.chart = static_cast<ChartType>(rng.NextIndex(7));
+    SelectExpr x;
+    x.col.column = "col" + std::to_string(rng.NextIndex(4));
+    q.query.select.push_back(x);
+    SelectExpr y;
+    y.agg = static_cast<AggFunc>(rng.NextIndex(6));
+    y.col.column = y.agg == AggFunc::kCount && rng.NextBool(0.3)
+                       ? "*"
+                       : "val" + std::to_string(rng.NextIndex(3));
+    y.distinct = y.agg == AggFunc::kCount && rng.NextBool(0.3) &&
+                 y.col.column != "*";
+    q.query.select.push_back(y);
+    q.query.from_table = "table" + std::to_string(rng.NextIndex(3));
+    if (rng.NextBool(0.3)) {
+      JoinClause join;
+      join.table = "parent";
+      join.left = {q.query.from_table, "fk"};
+      join.right = {"parent", "id"};
+      q.query.joins.push_back(join);
+    }
+    if (rng.NextBool(0.5)) {
+      Condition cond;
+      Predicate pred;
+      pred.col.column = "f";
+      switch (rng.NextIndex(4)) {
+        case 0:
+          pred.op = CompareOp::kGt;
+          pred.literal = Literal::Int(rng.NextInt(-9, 9));
+          break;
+        case 1:
+          pred.op = CompareOp::kLike;
+          pred.literal = Literal::Str("%ab%");
+          break;
+        case 2:
+          pred.op = CompareOp::kIsNotNull;
+          break;
+        default:
+          pred.op = CompareOp::kEq;
+          pred.literal = Literal::Real(1.5);
+          break;
+      }
+      cond.predicates.push_back(std::move(pred));
+      q.query.where = std::move(cond);
+    }
+    if (rng.NextBool(0.5)) q.query.group_by.push_back(x.col);
+    if (rng.NextBool(0.5)) {
+      OrderByClause order;
+      order.expr = rng.NextBool(0.5) ? q.query.select[0] : q.query.select[1];
+      order.descending = rng.NextBool(0.5);
+      q.query.order_by = order;
+    }
+    if (rng.NextBool(0.25)) q.query.limit = rng.NextInt(1, 20);
+    if (rng.NextBool(0.25)) {
+      BinClause bin;
+      bin.col = x.col;
+      bin.unit = static_cast<BinUnit>(rng.NextIndex(4));
+      q.query.bin = bin;
+    }
+
+    std::string printed = q.ToString();
+    Result<DVQ> reparsed = Parse(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << " -> "
+                               << reparsed.status().ToString();
+    EXPECT_EQ(reparsed.value().Canonical(), q.Canonical()) << printed;
+    EXPECT_TRUE(OverallMatch(reparsed.value(), q)) << printed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace gred::dvq

@@ -1,0 +1,243 @@
+// Assorted edge-case coverage across modules: corners that the focused
+// per-module suites do not reach.
+
+#include <gtest/gtest.h>
+
+#include "dvq/components.h"
+#include "dvq/normalize.h"
+#include "dvq/parser.h"
+#include "dvq/sql.h"
+#include "exec/executor.h"
+#include "llm/prompt.h"
+#include "models/keywords.h"
+#include "models/linking.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "viz/chart.h"
+#include "viz/echarts.h"
+
+namespace gred {
+namespace {
+
+using storage::Value;
+
+dvq::DVQ D(const std::string& text) {
+  Result<dvq::DVQ> q = dvq::Parse(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return q.value_or(dvq::DVQ{});
+}
+
+// --- dvq ------------------------------------------------------------------
+
+TEST(EdgeDvq, ThreeColumnSelectRoundTrip) {
+  const std::string text =
+      "Visualize STACKED BAR SELECT a , COUNT(a) , c FROM t GROUP BY c , a";
+  EXPECT_EQ(D(text).ToString(), text);
+}
+
+TEST(EdgeDvq, NestedSubqueryPrintsAndReparses) {
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT a , b FROM t WHERE fk = (SELECT id FROM p "
+      "WHERE pk = (SELECT gid FROM g WHERE n = \"x\"))");
+  Result<dvq::DVQ> again = dvq::Parse(q.ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(dvq::OverallMatch(q, again.value()));
+}
+
+TEST(EdgeDvq, CanonicalStableUnderAliasAndCaseChurn) {
+  dvq::DVQ a = D(
+      "Visualize BAR SELECT T1.X , T2.Y FROM Emp AS T1 JOIN Dept AS T2 ON "
+      "T1.K = T2.K");
+  dvq::DVQ b = D(
+      "Visualize BAR SELECT emp.x , dept.y FROM emp JOIN dept ON emp.k = "
+      "dept.k");
+  EXPECT_TRUE(dvq::OverallMatch(a, b));
+}
+
+TEST(EdgeDvq, NegativeNumberLiterals) {
+  dvq::DVQ q = D("Visualize BAR SELECT a , b FROM t WHERE x > -5");
+  EXPECT_EQ(q.query.where->predicates[0].literal->int_value, -5);
+}
+
+TEST(EdgeDvq, EmptyConditionRejected) {
+  EXPECT_FALSE(dvq::Parse("Visualize BAR SELECT a , b FROM t WHERE").ok());
+  EXPECT_FALSE(
+      dvq::Parse("Visualize BAR SELECT a , b FROM t GROUP BY").ok());
+}
+
+TEST(EdgeSql, MultiPredicateMixedConnectors) {
+  EXPECT_EQ(dvq::ToSql(D("Visualize BAR SELECT a , b FROM t WHERE x = 1 "
+                         "OR y = 2 AND z = 3")),
+            "SELECT a, b FROM t WHERE x = 1 OR y = 2 AND z = 3");
+}
+
+// --- exec -------------------------------------------------------------
+
+storage::DatabaseData TinyDb() {
+  schema::Database db_schema("d");
+  schema::TableDef t("t", {});
+  t.AddColumn({"k", schema::ColumnType::kText, false});
+  t.AddColumn({"v", schema::ColumnType::kInt, false});
+  db_schema.AddTable(std::move(t));
+  storage::DatabaseData db(std::move(db_schema));
+  storage::DataTable* table = db.FindTable("t");
+  EXPECT_TRUE(table->AppendRow({Value::Text("a"), Value::Int(1)}).ok());
+  EXPECT_TRUE(table->AppendRow({Value::Text("a"), Value::Int(2)}).ok());
+  EXPECT_TRUE(table->AppendRow({Value::Text("b"), Value::Null()}).ok());
+  return db;
+}
+
+TEST(EdgeExec, SumOverOnlyNullsIsNull) {
+  storage::DatabaseData db = TinyDb();
+  Result<exec::ResultSet> rs = exec::Execute(
+      dvq::ParseQuery("SELECT k , SUM(v) FROM t WHERE k = \"b\" GROUP BY k")
+          .value(),
+      db);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().num_rows(), 1u);
+  EXPECT_TRUE(rs.value().rows[0][1].is_null());
+}
+
+TEST(EdgeExec, CountIgnoresNullsCountStarDoesNot) {
+  storage::DatabaseData db = TinyDb();
+  Result<exec::ResultSet> named = exec::Execute(
+      dvq::ParseQuery("SELECT k , COUNT(v) FROM t GROUP BY k").value(), db);
+  Result<exec::ResultSet> star = exec::Execute(
+      dvq::ParseQuery("SELECT k , COUNT(*) FROM t GROUP BY k").value(), db);
+  ASSERT_TRUE(named.ok());
+  ASSERT_TRUE(star.ok());
+  // Group "b" has one row whose v is NULL.
+  EXPECT_EQ(named.value().rows[1][1].int_value(), 0);
+  EXPECT_EQ(star.value().rows[1][1].int_value(), 1);
+}
+
+TEST(EdgeExec, LimitZeroAndOversized) {
+  storage::DatabaseData db = TinyDb();
+  Result<exec::ResultSet> zero = exec::Execute(
+      dvq::ParseQuery("SELECT k , v FROM t LIMIT 0").value(), db);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value().num_rows(), 0u);
+  Result<exec::ResultSet> big = exec::Execute(
+      dvq::ParseQuery("SELECT k , v FROM t LIMIT 999").value(), db);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value().num_rows(), 3u);
+}
+
+TEST(EdgeExec, StableSortPreservesInsertionOrderOnTies) {
+  storage::DatabaseData db = TinyDb();
+  Result<exec::ResultSet> rs = exec::Execute(
+      dvq::ParseQuery("SELECT k , v FROM t ORDER BY k ASC").value(), db);
+  ASSERT_TRUE(rs.ok());
+  // Two "a" rows keep their original relative order (v = 1 then 2).
+  EXPECT_EQ(rs.value().rows[0][1].int_value(), 1);
+  EXPECT_EQ(rs.value().rows[1][1].int_value(), 2);
+}
+
+TEST(EdgeExec, NullsSortFirstAscending) {
+  storage::DatabaseData db = TinyDb();
+  Result<exec::ResultSet> rs = exec::Execute(
+      dvq::ParseQuery("SELECT k , v FROM t ORDER BY v ASC").value(), db);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs.value().rows[0][1].is_null());
+}
+
+// --- models -----------------------------------------------------------
+
+TEST(EdgeKeywords, LimitParsesFirstMarkerOnly) {
+  EXPECT_EQ(models::DetectLimit("top 3 of the first 9"), 3);
+}
+
+TEST(EdgeKeywords, OrderBareSortDefaultsAscending) {
+  auto intent = models::DetectOrder("sorted please",
+                                    models::DetectorProfile::kCorpusTrained);
+  ASSERT_TRUE(intent.has_value());
+  EXPECT_FALSE(intent->descending);
+  EXPECT_EQ(intent->axis, -1);
+}
+
+TEST(EdgeLinking, AdaptLiteralsLeavesQueryWithoutWhereAlone) {
+  dvq::DVQ q = D("Visualize BAR SELECT a , b FROM t");
+  models::SurfaceValues values;
+  values.numbers.push_back(dvq::Literal::Int(7));
+  models::AdaptLiterals(&q.query, values);
+  EXPECT_FALSE(q.query.where.has_value());
+  EXPECT_FALSE(q.query.limit.has_value());
+}
+
+TEST(EdgeLinking, SubqueryLiteralsAdaptedInOrder) {
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT a , b FROM t WHERE fk = (SELECT id FROM p "
+      "WHERE n = \"Old\")");
+  models::SurfaceValues values;
+  values.proper_words = {"Fresh"};
+  models::AdaptLiterals(&q.query, values);
+  EXPECT_EQ(q.query.where->predicates[0]
+                .subquery->where->predicates[0]
+                .literal->string_value,
+            "Fresh");
+}
+
+// --- llm prompts ------------------------------------------------------
+
+TEST(EdgePrompt, ExtractDvqTakesFirstOccurrence) {
+  EXPECT_EQ(llm::ExtractDvqText("x\nVisualize BAR SELECT a , b FROM t\n"
+                                "Visualize PIE SELECT c , d FROM u"),
+            "Visualize BAR SELECT a , b FROM t");
+}
+
+TEST(EdgePrompt, SchemaPromptToleratesMissingForeignKeys) {
+  Result<schema::Database> db =
+      llm::ParseSchemaPrompt("# Table t , columns = [ * , a ]\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db.value().foreign_keys().empty());
+}
+
+// --- viz --------------------------------------------------------------
+
+TEST(EdgeViz, EChartsLineFamilySplitsBySeries) {
+  schema::Database db_schema("d");
+  schema::TableDef t("t", {});
+  t.AddColumn({"day", schema::ColumnType::kDate, false});
+  t.AddColumn({"v", schema::ColumnType::kInt, false});
+  t.AddColumn({"s", schema::ColumnType::kText, false});
+  db_schema.AddTable(std::move(t));
+  storage::DatabaseData db(std::move(db_schema));
+  storage::DataTable* table = db.FindTable("t");
+  ASSERT_TRUE(table
+                  ->AppendRow({Value::Text("2024-01-01"), Value::Int(1),
+                               Value::Text("x")})
+                  .ok());
+  ASSERT_TRUE(table
+                  ->AppendRow({Value::Text("2024-02-01"), Value::Int(2),
+                               Value::Text("y")})
+                  .ok());
+  Result<viz::Chart> chart = viz::BuildChart(
+      D("Visualize GROUPING LINE SELECT day , v , s FROM t"), db);
+  ASSERT_TRUE(chart.ok());
+  json::Value option = viz::ToECharts(chart.value());
+  EXPECT_EQ(option.Find("series")->size(), 2u);
+  EXPECT_EQ(option.Find("series")->at(0).Find("type")->string_value(),
+            "line");
+}
+
+// --- strings ----------------------------------------------------------
+
+TEST(EdgeStrings, CamelCaseAcronymBoundaries) {
+  EXPECT_EQ(strings::SplitIdentifierWords("HTTPServerPort"),
+            (std::vector<std::string>{"http", "server", "port"}));
+  EXPECT_EQ(strings::SplitIdentifierWords("HH_ID"),
+            (std::vector<std::string>{"hh", "id"}));
+}
+
+TEST(EdgeStrings, IdentifierOverlapIgnoresWordOrder) {
+  EXPECT_DOUBLE_EQ(
+      strings::IdentifierWordOverlap("date_hire", "hire_date"), 1.0);
+}
+
+TEST(EdgeRng, WeightedSinglePositiveWeight) {
+  Rng rng(3);
+  EXPECT_EQ(rng.PickWeighted({5.0}), 0u);
+}
+
+}  // namespace
+}  // namespace gred

@@ -1,0 +1,231 @@
+// Unit tests for the embedding models and the vector store.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/ann_index.h"
+#include "embed/embedder.h"
+#include "embed/vector_store.h"
+#include "util/rng.h"
+
+namespace gred::embed {
+namespace {
+
+double Norm(const Vector& v) {
+  double n = 0.0;
+  for (float x : v) n += static_cast<double>(x) * x;
+  return std::sqrt(n);
+}
+
+TEST(Embedder, Deterministic) {
+  SemanticHashEmbedder embedder;
+  Vector a = embedder.Embed("show the salary by department");
+  Vector b = embedder.Embed("show the salary by department");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Embedder, UnitNorm) {
+  SemanticHashEmbedder embedder;
+  Vector v = embedder.Embed("average price per category");
+  EXPECT_NEAR(Norm(v), 1.0, 1e-5);
+  EXPECT_EQ(v.size(), embedder.dimension());
+}
+
+TEST(Embedder, EmptyTextIsZeroVector) {
+  SemanticHashEmbedder embedder;
+  Vector v = embedder.Embed("");
+  EXPECT_NEAR(Norm(v), 0.0, 1e-9);
+}
+
+TEST(Embedder, SynonymsLandCloseWithConceptFolding) {
+  SemanticHashEmbedder semantic;
+  double syn = CosineSimilarity(semantic.Embed("the employee salary"),
+                                semantic.Embed("the worker wage"));
+  double unrelated = CosineSimilarity(semantic.Embed("the employee salary"),
+                                      semantic.Embed("flight departure"));
+  EXPECT_GT(syn, unrelated + 0.2);
+}
+
+TEST(Embedder, LexicalVariantIgnoresSynonymy) {
+  LexicalHashEmbedder lexical;
+  SemanticHashEmbedder semantic;
+  double lex_syn = CosineSimilarity(lexical.Embed("the employee salary"),
+                                    lexical.Embed("the worker wage"));
+  double sem_syn = CosineSimilarity(semantic.Embed("the employee salary"),
+                                    semantic.Embed("the worker wage"));
+  // The semantic embedder sees the paraphrase; the lexical one largely
+  // does not — the asymmetry the robustness study hinges on.
+  EXPECT_GT(sem_syn, lex_syn + 0.25);
+}
+
+TEST(Embedder, IdenticalTextMaxSimilarity) {
+  SemanticHashEmbedder embedder;
+  Vector v = embedder.Embed("identical question");
+  EXPECT_NEAR(CosineSimilarity(v, v), 1.0, 1e-6);
+}
+
+TEST(Cosine, EdgeCases) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1.0f}, {1.0f, 0.0f}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0.0f, 0.0f}, {0.0f, 0.0f}), 0.0);
+}
+
+TEST(Cosine, OppositeVectors) {
+  EXPECT_NEAR(CosineSimilarity({1.0f, 0.0f}, {-1.0f, 0.0f}), -1.0, 1e-9);
+}
+
+TEST(L2Normalize, MakesUnitLength) {
+  Vector v = {3.0f, 4.0f};
+  L2Normalize(&v);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6);
+  EXPECT_NEAR(v[1], 0.8f, 1e-6);
+  Vector zero = {0.0f, 0.0f};
+  L2Normalize(&zero);  // must not divide by zero
+  EXPECT_EQ(zero[0], 0.0f);
+}
+
+TEST(VectorStore, TopKOrdering) {
+  VectorStore store;
+  store.Add({1.0f, 0.0f});
+  store.Add({0.0f, 1.0f});
+  store.Add({0.7f, 0.7f});
+  std::vector<VectorStore::Hit> hits = store.TopK({1.0f, 0.1f}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].index, 0u);
+  EXPECT_EQ(hits[1].index, 2u);
+  EXPECT_GE(hits[0].score, hits[1].score);
+}
+
+TEST(VectorStore, KLargerThanStore) {
+  VectorStore store;
+  store.Add({1.0f, 0.0f});
+  EXPECT_EQ(store.TopK({1.0f, 0.0f}, 10).size(), 1u);
+  VectorStore empty;
+  EXPECT_TRUE(empty.TopK({1.0f}, 3).empty());
+}
+
+TEST(VectorStore, TieBreaksByInsertionIndex) {
+  VectorStore store;
+  store.Add({1.0f, 0.0f});
+  store.Add({1.0f, 0.0f});  // duplicate
+  std::vector<VectorStore::Hit> hits = store.TopK({1.0f, 0.0f}, 2);
+  EXPECT_EQ(hits[0].index, 0u);
+  EXPECT_EQ(hits[1].index, 1u);
+}
+
+TEST(VectorStore, ScoresAreCosine) {
+  VectorStore store;
+  store.Add({2.0f, 0.0f});  // normalized on insert
+  std::vector<VectorStore::Hit> hits = store.TopK({5.0f, 0.0f}, 1);
+  EXPECT_NEAR(hits[0].score, 1.0, 1e-6);
+}
+
+TEST(IvfIndex, EmptyAndUnbuilt) {
+  IvfIndex index;
+  EXPECT_TRUE(index.TopK({1.0f, 0.0f}, 3).empty());  // not built
+  index.Build();
+  EXPECT_TRUE(index.built());
+  EXPECT_TRUE(index.TopK({1.0f, 0.0f}, 3).empty());  // empty
+}
+
+TEST(IvfIndex, ExactWhenProbingEveryCluster) {
+  IvfIndex::Options options;
+  options.num_clusters = 4;
+  options.num_probes = 4;  // probe all -> exact
+  IvfIndex index(options);
+  VectorStore exact;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Vector v(16);
+    for (float& x : v) x = static_cast<float>(rng.NextDouble() - 0.5);
+    index.Add(v);
+    exact.Add(v);
+  }
+  index.Build();
+  Vector q(16);
+  for (float& x : q) x = static_cast<float>(rng.NextDouble() - 0.5);
+  std::vector<VectorStore::Hit> approx = index.TopK(q, 10);
+  std::vector<VectorStore::Hit> truth = exact.TopK(q, 10);
+  ASSERT_EQ(approx.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(approx[i].index, truth[i].index);
+    EXPECT_NEAR(approx[i].score, truth[i].score, 1e-6);
+  }
+}
+
+TEST(IvfIndex, RecallAtTenOnClusteredData) {
+  // Clustered data (the realistic case): probing 4 of 16 clusters should
+  // recover the bulk of the true top-10.
+  IvfIndex::Options options;
+  options.num_clusters = 16;
+  options.num_probes = 4;
+  IvfIndex index(options);
+  VectorStore exact;
+  Rng rng(9);
+  std::vector<Vector> centers;
+  for (int c = 0; c < 16; ++c) {
+    Vector center(32);
+    for (float& x : center) x = static_cast<float>(rng.NextDouble() - 0.5);
+    L2Normalize(&center);
+    centers.push_back(center);
+  }
+  for (int i = 0; i < 600; ++i) {
+    Vector v = centers[rng.NextIndex(centers.size())];
+    for (float& x : v) x += static_cast<float>((rng.NextDouble() - 0.5) * 0.2);
+    index.Add(v);
+    exact.Add(v);
+  }
+  index.Build();
+  double recall_sum = 0.0;
+  const int queries = 20;
+  for (int qi = 0; qi < queries; ++qi) {
+    Vector q = centers[rng.NextIndex(centers.size())];
+    for (float& x : q) x += static_cast<float>((rng.NextDouble() - 0.5) * 0.2);
+    std::vector<VectorStore::Hit> approx = index.TopK(q, 10);
+    std::vector<VectorStore::Hit> truth = exact.TopK(q, 10);
+    std::size_t hits = 0;
+    for (const auto& t : truth) {
+      for (const auto& a : approx) {
+        if (a.index == t.index) ++hits;
+      }
+    }
+    recall_sum += static_cast<double>(hits) / 10.0;
+  }
+  EXPECT_GT(recall_sum / queries, 0.8);
+}
+
+TEST(IvfIndex, DeterministicBuilds) {
+  auto build = [] {
+    IvfIndex index;
+    Rng rng(3);
+    for (int i = 0; i < 80; ++i) {
+      Vector v(8);
+      for (float& x : v) x = static_cast<float>(rng.NextDouble());
+      index.Add(v);
+    }
+    index.Build();
+    Vector q(8, 0.5f);
+    return index.TopK(q, 5);
+  };
+  std::vector<VectorStore::Hit> a = build();
+  std::vector<VectorStore::Hit> b = build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+  }
+}
+
+TEST(IvfIndex, RebuildAfterMoreAdds) {
+  IvfIndex index;
+  index.Add({1.0f, 0.0f});
+  index.Build();
+  EXPECT_TRUE(index.built());
+  index.Add({0.0f, 1.0f});
+  EXPECT_FALSE(index.built());  // new adds invalidate the build
+  index.Build();
+  EXPECT_EQ(index.TopK({0.0f, 1.0f}, 1)[0].index, 1u);
+}
+
+}  // namespace
+}  // namespace gred::embed

@@ -1,0 +1,202 @@
+// Tests for the evaluation metrics and harness (Appendix A).
+
+#include <gtest/gtest.h>
+
+#include "dataset/benchmark.h"
+#include "dvq/parser.h"
+#include "eval/metrics.h"
+
+namespace gred::eval {
+namespace {
+
+/// Model that always answers with the target (oracle).
+class OracleModel : public models::TextToVisModel {
+ public:
+  explicit OracleModel(const std::vector<dataset::Example>* test)
+      : test_(test) {}
+  std::string name() const override { return "Oracle"; }
+  Result<dvq::DVQ> Translate(const std::string& nlq,
+                             const storage::DatabaseData& db) const override {
+    (void)db;
+    for (const dataset::Example& ex : *test_) {
+      if (ex.nlq == nlq) return ex.dvq;
+    }
+    return Status::NotFound("no such nlq");
+  }
+
+ private:
+  const std::vector<dataset::Example>* test_;
+};
+
+/// Model that always errors.
+class BrokenModel : public models::TextToVisModel {
+ public:
+  std::string name() const override { return "Broken"; }
+  Result<dvq::DVQ> Translate(const std::string&,
+                             const storage::DatabaseData&) const override {
+    return Status::ExecutionError("down for maintenance");
+  }
+};
+
+const dataset::BenchmarkSuite& SmallSuite() {
+  static const dataset::BenchmarkSuite* const kSuite = [] {
+    dataset::BenchmarkOptions options;
+    options.train_size = 120;
+    options.test_size = 30;
+    return new dataset::BenchmarkSuite(
+        dataset::BuildBenchmarkSuite(options));
+  }();
+  return *kSuite;
+}
+
+TEST(Metrics, CountsAndRatios) {
+  MetricCounts counts;
+  counts.total = 4;
+  counts.vis = 4;
+  counts.axis = 3;
+  counts.data = 2;
+  counts.overall = 2;
+  EXPECT_DOUBLE_EQ(counts.VisAcc(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.AxisAcc(), 0.75);
+  EXPECT_DOUBLE_EQ(counts.DataAcc(), 0.5);
+  EXPECT_DOUBLE_EQ(counts.OverallAcc(), 0.5);
+  MetricCounts empty;
+  EXPECT_DOUBLE_EQ(empty.OverallAcc(), 0.0);
+}
+
+TEST(Metrics, Merge) {
+  MetricCounts a;
+  a.total = 2;
+  a.vis = 1;
+  MetricCounts b;
+  b.total = 3;
+  b.vis = 3;
+  b.errors = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.total, 5u);
+  EXPECT_EQ(a.vis, 4u);
+  EXPECT_EQ(a.errors, 1u);
+}
+
+TEST(Metrics, ScorePredictionComponents) {
+  dataset::Example ex;
+  ex.dvq = dvq::Parse("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a")
+               .value();
+  Result<dvq::DVQ> same =
+      dvq::Parse("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a");
+  ExampleOutcome outcome = ScorePrediction(ex, same);
+  EXPECT_TRUE(outcome.vis);
+  EXPECT_TRUE(outcome.axis);
+  EXPECT_TRUE(outcome.data);
+  EXPECT_TRUE(outcome.overall);
+
+  Result<dvq::DVQ> wrong_chart =
+      dvq::Parse("Visualize PIE SELECT a , COUNT(a) FROM t GROUP BY a");
+  outcome = ScorePrediction(ex, wrong_chart);
+  EXPECT_FALSE(outcome.vis);
+  EXPECT_TRUE(outcome.axis);
+  EXPECT_FALSE(outcome.overall);
+
+  Result<dvq::DVQ> error(Status::Internal("x"));
+  outcome = ScorePrediction(ex, error);
+  EXPECT_FALSE(outcome.vis);
+  EXPECT_TRUE(outcome.predicted.empty());
+}
+
+TEST(ExecutionMatch, StyleInsensitive) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  // Find a counting example; COUNT(x) vs COUNT(*) differ in exact match
+  // but execute identically when the column has no NULLs.
+  for (const dataset::Example& ex : suite.test_clean) {
+    if (ex.dvq.query.select.size() < 2 ||
+        ex.dvq.query.select[1].agg != dvq::AggFunc::kCount ||
+        ex.dvq.query.select[1].col.column == "*") {
+      continue;
+    }
+    const dataset::GeneratedDatabase* db = suite.FindCleanDb(ex.db_name);
+    dvq::DVQ star = ex.dvq;
+    star.query.select[1].col.column = "*";
+    star.query.select[1].col.table.clear();
+    EXPECT_FALSE(dvq::Parse(star.ToString()).value().Canonical() ==
+                 ex.dvq.Canonical());
+    EXPECT_TRUE(ExecutionMatch(star, ex.dvq, db->data));
+    return;
+  }
+  GTEST_SKIP() << "no counting example in the small suite";
+}
+
+TEST(ExecutionMatch, DetectsDifferentResults) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  const dataset::Example& ex = suite.test_clean[0];
+  const dataset::GeneratedDatabase* db = suite.FindCleanDb(ex.db_name);
+  EXPECT_TRUE(ExecutionMatch(ex.dvq, ex.dvq, db->data));
+  dvq::DVQ wrong_chart = ex.dvq;
+  wrong_chart.chart = ex.dvq.chart == dvq::ChartType::kPie
+                          ? dvq::ChartType::kBar
+                          : dvq::ChartType::kPie;
+  EXPECT_FALSE(ExecutionMatch(wrong_chart, ex.dvq, db->data));
+  dvq::DVQ broken = ex.dvq;
+  broken.query.from_table = "no_such_table";
+  EXPECT_FALSE(ExecutionMatch(broken, ex.dvq, db->data));
+}
+
+TEST(ExecutionMatch, CountedInHarness) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  OracleModel oracle(&suite.test_clean);
+  EvalResult result = Evaluate(oracle, suite.test_clean, suite.databases,
+                               "clean");
+  EXPECT_EQ(result.counts.execution, result.counts.total);
+  EXPECT_DOUBLE_EQ(result.counts.ExecutionAcc(), 1.0);
+}
+
+TEST(Harness, OracleScoresPerfect) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  OracleModel oracle(&suite.test_clean);
+  EvalResult result = Evaluate(oracle, suite.test_clean, suite.databases,
+                               "clean");
+  EXPECT_EQ(result.counts.total, suite.test_clean.size());
+  EXPECT_DOUBLE_EQ(result.counts.OverallAcc(), 1.0);
+  EXPECT_EQ(result.counts.errors, 0u);
+  EXPECT_EQ(result.model_name, "Oracle");
+}
+
+TEST(Harness, BrokenModelCountsErrors) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  BrokenModel broken;
+  EvalResult result = Evaluate(broken, suite.test_clean, suite.databases,
+                               "clean");
+  EXPECT_EQ(result.counts.errors, suite.test_clean.size());
+  EXPECT_DOUBLE_EQ(result.counts.OverallAcc(), 0.0);
+}
+
+TEST(Harness, BreakdownsPartitionTotals) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  OracleModel oracle(&suite.test_clean);
+  EvalResult result = Evaluate(oracle, suite.test_clean, suite.databases,
+                               "clean");
+  std::size_t by_hardness = 0;
+  for (const auto& [name, counts] : result.by_hardness) {
+    by_hardness += counts.total;
+  }
+  std::size_t by_chart = 0;
+  for (const auto& [name, counts] : result.by_chart) {
+    by_chart += counts.total;
+  }
+  EXPECT_EQ(by_hardness, result.counts.total);
+  EXPECT_EQ(by_chart, result.counts.total);
+}
+
+TEST(Harness, ObserverSeesEveryExample) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  OracleModel oracle(&suite.test_clean);
+  std::size_t seen = 0;
+  Evaluate(oracle, suite.test_clean, suite.databases, "clean",
+           [&](const ExampleOutcome& outcome) {
+             ++seen;
+             EXPECT_NE(outcome.example, nullptr);
+           });
+  EXPECT_EQ(seen, suite.test_clean.size());
+}
+
+}  // namespace
+}  // namespace gred::eval

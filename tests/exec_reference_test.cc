@@ -1,0 +1,338 @@
+// Differential test: an independent, deliberately naive reference
+// evaluator for single-table DVQs is compared against the production
+// executor over the generated benchmark corpus. The reference
+// implementation shares no code with exec::Execute beyond the AST and
+// Value types.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "dataset/benchmark.h"
+#include "exec/executor.h"
+#include "exec/scalar.h"
+
+namespace gred {
+namespace {
+
+using storage::Value;
+
+/// Naive reference: materialize -> filter -> bin -> group -> aggregate ->
+/// order -> limit, all with straightforward O(n^2) scans and string keys.
+class ReferenceEvaluator {
+ public:
+  ReferenceEvaluator(const dvq::Query& query,
+                     const storage::DataTable& table)
+      : query_(query), table_(table) {}
+
+  /// Returns nullopt when the query uses features outside the reference
+  /// scope (joins, subqueries) or references unknown columns.
+  std::optional<std::vector<std::vector<Value>>> Run() {
+    if (!query_.joins.empty()) return std::nullopt;
+    std::vector<std::vector<Value>> rows;
+    for (std::size_t r = 0; r < table_.num_rows(); ++r) {
+      rows.push_back(table_.Row(r));
+    }
+    // Filter.
+    if (query_.where.has_value()) {
+      std::vector<std::vector<Value>> kept;
+      for (const auto& row : rows) {
+        std::optional<bool> pass = EvalCondition(*query_.where, row);
+        if (!pass.has_value()) return std::nullopt;
+        if (*pass) kept.push_back(row);
+      }
+      rows = std::move(kept);
+    }
+    // Bin.
+    if (query_.bin.has_value()) {
+      std::optional<std::size_t> slot = Slot(query_.bin->col.column);
+      if (!slot.has_value()) return std::nullopt;
+      for (auto& row : rows) {
+        row[*slot] = exec::BinValue(row[*slot], query_.bin->unit);
+      }
+    }
+    // Compute output columns (plus a hidden order column when needed).
+    std::vector<dvq::SelectExpr> exprs = query_.select;
+    std::optional<std::size_t> order_slot;
+    if (query_.order_by.has_value()) {
+      for (std::size_t i = 0; i < exprs.size(); ++i) {
+        if (exprs[i].EqualsIgnoreCase(query_.order_by->expr)) order_slot = i;
+      }
+      if (!order_slot.has_value()) {
+        exprs.push_back(query_.order_by->expr);
+        order_slot = exprs.size() - 1;
+      }
+    }
+    bool has_agg = false;
+    for (const auto& e : exprs) {
+      if (e.agg != dvq::AggFunc::kNone) has_agg = true;
+    }
+    std::vector<std::vector<Value>> out;
+    if (has_agg || !query_.group_by.empty()) {
+      std::vector<std::string> keys;
+      std::vector<std::size_t> key_slots;
+      std::vector<dvq::ColumnRef> group = query_.group_by;
+      if (group.empty()) {
+        for (const auto& e : query_.select) {
+          if (e.agg == dvq::AggFunc::kNone) group.push_back(e.col);
+        }
+      }
+      for (const auto& g : group) {
+        std::optional<std::size_t> slot = Slot(g.column);
+        if (!slot.has_value()) return std::nullopt;
+        key_slots.push_back(*slot);
+      }
+      // Group rows by string key, first-seen order.
+      std::vector<std::string> group_order;
+      std::map<std::string, std::vector<std::vector<Value>>> groups;
+      for (const auto& row : rows) {
+        std::string key;
+        for (std::size_t slot : key_slots) {
+          key += row[slot].ToString();
+          key += '\x1f';
+        }
+        if (groups.find(key) == groups.end()) group_order.push_back(key);
+        groups[key].push_back(row);
+      }
+      for (const std::string& key : group_order) {
+        const auto& members = groups[key];
+        std::vector<Value> out_row;
+        for (const auto& e : exprs) {
+          std::optional<Value> v = EvalExpr(e, members);
+          if (!v.has_value()) return std::nullopt;
+          out_row.push_back(*v);
+        }
+        out.push_back(std::move(out_row));
+      }
+    } else {
+      for (const auto& row : rows) {
+        std::vector<Value> out_row;
+        for (const auto& e : exprs) {
+          std::optional<std::size_t> slot = Slot(e.col.column);
+          if (!slot.has_value()) return std::nullopt;
+          out_row.push_back(row[*slot]);
+        }
+        out.push_back(std::move(out_row));
+      }
+    }
+    // Order (stable).
+    if (query_.order_by.has_value()) {
+      const std::size_t slot = *order_slot;
+      const bool desc = query_.order_by->descending;
+      std::stable_sort(out.begin(), out.end(),
+                       [slot, desc](const auto& a, const auto& b) {
+                         int cmp = a[slot].Compare(b[slot]);
+                         return desc ? cmp > 0 : cmp < 0;
+                       });
+    }
+    // Limit + strip hidden column.
+    if (query_.limit.has_value() &&
+        out.size() > static_cast<std::size_t>(*query_.limit)) {
+      out.resize(static_cast<std::size_t>(*query_.limit));
+    }
+    for (auto& row : out) row.resize(query_.select.size());
+    return out;
+  }
+
+ private:
+  std::optional<std::size_t> Slot(const std::string& column) const {
+    return table_.def().ColumnIndex(column);
+  }
+
+  std::optional<bool> EvalCondition(const dvq::Condition& cond,
+                                    const std::vector<Value>& row) const {
+    // OR of AND-groups (SQL precedence).
+    bool group = true;
+    bool any = false;
+    for (std::size_t i = 0; i < cond.predicates.size(); ++i) {
+      std::optional<bool> value = EvalPredicate(cond.predicates[i], row);
+      if (!value.has_value()) return std::nullopt;
+      group = group && *value;
+      bool group_ends = i + 1 >= cond.predicates.size() ||
+                        cond.connectors[i] == dvq::LogicalOp::kOr;
+      if (group_ends) {
+        any = any || group;
+        group = true;
+      }
+    }
+    return any;
+  }
+
+  std::optional<bool> EvalPredicate(const dvq::Predicate& pred,
+                                    const std::vector<Value>& row) const {
+    if (pred.subquery != nullptr) return std::nullopt;  // out of scope
+    std::optional<std::size_t> slot = Slot(pred.col.column);
+    if (!slot.has_value()) return std::nullopt;
+    const Value& lhs = row[*slot];
+    auto lit_value = [](const dvq::Literal& lit) {
+      switch (lit.kind) {
+        case dvq::Literal::Kind::kInt:
+          return Value::Int(lit.int_value);
+        case dvq::Literal::Kind::kReal:
+          return Value::Real(lit.real_value);
+        case dvq::Literal::Kind::kString:
+          return Value::Text(lit.string_value);
+      }
+      return Value::Null();
+    };
+    switch (pred.op) {
+      case dvq::CompareOp::kIsNull:
+        return lhs.is_null();
+      case dvq::CompareOp::kIsNotNull:
+        return !lhs.is_null();
+      case dvq::CompareOp::kLike:
+        return !lhs.is_null() &&
+               exec::LikeMatch(pred.literal->string_value, lhs.ToString());
+      case dvq::CompareOp::kNotLike:
+        return !lhs.is_null() &&
+               !exec::LikeMatch(pred.literal->string_value, lhs.ToString());
+      case dvq::CompareOp::kIn:
+      case dvq::CompareOp::kNotIn: {
+        bool found = false;
+        for (const auto& lit : pred.in_list) {
+          if (lhs == lit_value(lit)) found = true;
+        }
+        return pred.op == dvq::CompareOp::kIn ? found : !found;
+      }
+      default:
+        break;
+    }
+    if (lhs.is_null()) return false;
+    Value rhs = lit_value(*pred.literal);
+    int cmp = lhs.Compare(rhs);
+    switch (pred.op) {
+      case dvq::CompareOp::kEq:
+        return cmp == 0;
+      case dvq::CompareOp::kNe:
+        return cmp != 0;
+      case dvq::CompareOp::kLt:
+        return cmp < 0;
+      case dvq::CompareOp::kLe:
+        return cmp <= 0;
+      case dvq::CompareOp::kGt:
+        return cmp > 0;
+      case dvq::CompareOp::kGe:
+        return cmp >= 0;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Value> EvalExpr(
+      const dvq::SelectExpr& expr,
+      const std::vector<std::vector<Value>>& members) const {
+    if (expr.agg == dvq::AggFunc::kNone) {
+      std::optional<std::size_t> slot = Slot(expr.col.column);
+      if (!slot.has_value()) return std::nullopt;
+      return members.front()[*slot];
+    }
+    if (expr.col.column == "*") {
+      if (expr.agg != dvq::AggFunc::kCount) return std::nullopt;
+      return Value::Int(static_cast<std::int64_t>(members.size()));
+    }
+    std::optional<std::size_t> slot = Slot(expr.col.column);
+    if (!slot.has_value()) return std::nullopt;
+    std::vector<Value> values;
+    std::vector<std::string> seen;
+    for (const auto& row : members) {
+      const Value& v = row[*slot];
+      if (v.is_null()) continue;
+      if (expr.distinct) {
+        std::string key = v.ToString();
+        if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+        seen.push_back(key);
+      }
+      values.push_back(v);
+    }
+    switch (expr.agg) {
+      case dvq::AggFunc::kCount:
+        return Value::Int(static_cast<std::int64_t>(values.size()));
+      case dvq::AggFunc::kSum: {
+        if (values.empty()) return Value::Null();
+        double sum = 0.0;
+        for (const Value& v : values) sum += v.AsDouble();
+        return Value::Real(sum);
+      }
+      case dvq::AggFunc::kAvg: {
+        if (values.empty()) return Value::Null();
+        double sum = 0.0;
+        for (const Value& v : values) sum += v.AsDouble();
+        return Value::Real(sum / static_cast<double>(values.size()));
+      }
+      case dvq::AggFunc::kMin: {
+        if (values.empty()) return Value::Null();
+        Value best = values[0];
+        for (const Value& v : values) {
+          if (v < best) best = v;
+        }
+        return best;
+      }
+      case dvq::AggFunc::kMax: {
+        if (values.empty()) return Value::Null();
+        Value best = values[0];
+        for (const Value& v : values) {
+          if (best < v) best = v;
+        }
+        return best;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  const dvq::Query& query_;
+  const storage::DataTable& table_;
+};
+
+class ExecutorDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorDifferential, AgreesWithReferenceOnCorpusTargets) {
+  dataset::BenchmarkOptions options;
+  options.seed = 9000 + static_cast<std::uint64_t>(GetParam());
+  options.train_size = 60;
+  options.test_size = 120;
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  std::size_t compared = 0;
+  for (const dataset::Example& ex : suite.test_clean) {
+    const dataset::GeneratedDatabase* db = suite.FindCleanDb(ex.db_name);
+    if (!ex.dvq.query.joins.empty()) continue;
+    bool has_subquery = false;
+    if (ex.dvq.query.where.has_value()) {
+      for (const auto& p : ex.dvq.query.where->predicates) {
+        if (p.subquery != nullptr) has_subquery = true;
+      }
+    }
+    if (has_subquery) continue;
+    const storage::DataTable* table =
+        db->data.FindTable(ex.dvq.query.from_table);
+    ASSERT_NE(table, nullptr);
+    ReferenceEvaluator reference(ex.dvq.query, *table);
+    std::optional<std::vector<std::vector<Value>>> expected =
+        reference.Run();
+    if (!expected.has_value()) continue;
+    Result<exec::ResultSet> actual = exec::Execute(ex.dvq, db->data);
+    ASSERT_TRUE(actual.ok()) << ex.DvqText();
+    ASSERT_EQ(actual.value().num_rows(), expected->size()) << ex.DvqText();
+    for (std::size_t r = 0; r < expected->size(); ++r) {
+      for (std::size_t c = 0; c < ex.dvq.query.select.size(); ++c) {
+        const Value& a = actual.value().rows[r][c];
+        const Value& b = (*expected)[r][c];
+        if (a.is_numeric() && b.is_numeric()) {
+          EXPECT_NEAR(a.AsDouble(), b.AsDouble(), 1e-9) << ex.DvqText();
+        } else {
+          EXPECT_EQ(a.Compare(b), 0) << ex.DvqText();
+        }
+      }
+    }
+    ++compared;
+  }
+  EXPECT_GT(compared, 40u);  // the corpus must exercise the comparison
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorDifferential,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gred

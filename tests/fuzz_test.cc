@@ -1,0 +1,158 @@
+// Failure-injection / fuzz-style tests: random and malformed inputs must
+// produce Status errors (or graceful degradation), never crashes.
+
+#include <gtest/gtest.h>
+
+#include "dataset/benchmark.h"
+#include "dvq/lexer.h"
+#include "dvq/parser.h"
+#include "exec/executor.h"
+#include "llm/prompt.h"
+#include "llm/sim_llm.h"
+#include "models/linking.h"
+#include "util/rng.h"
+
+namespace gred {
+namespace {
+
+std::string RandomBytes(Rng* rng, std::size_t max_len) {
+  std::string s;
+  std::size_t n = rng->NextIndex(max_len);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(rng->NextInt(32, 126)));
+  }
+  return s;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 1);
+  for (int i = 0; i < 300; ++i) {
+    std::string input = RandomBytes(&rng, 80);
+    Result<std::vector<dvq::Token>> tokens = dvq::Lex(input);
+    (void)tokens;
+    Result<dvq::DVQ> parsed = dvq::Parse(input);
+    if (parsed.ok()) {
+      // Anything that parses must round-trip.
+      EXPECT_TRUE(dvq::Parse(parsed.value().ToString()).ok());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, TokenSoupNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  static const char* kWords[] = {
+      "Visualize", "BAR",   "SELECT", ",",     "FROM",  "WHERE", "GROUP",
+      "BY",        "ORDER", "ASC",    "DESC",  "LIMIT", "BIN",   "JOIN",
+      "ON",        "AND",   "OR",     "(",     ")",     "=",     "!=",
+      "COUNT",     "col",   "t",      "\"v\"", "3",     "*",     "IS",
+      "NOT",       "NULL",  "LIKE",   "IN",    "AS",
+  };
+  for (int i = 0; i < 300; ++i) {
+    std::string input;
+    std::size_t n = rng.NextIndex(30);
+    for (std::size_t w = 0; w < n; ++w) {
+      input += kWords[rng.NextIndex(std::size(kWords))];
+      input += ' ';
+    }
+    Result<dvq::DVQ> parsed = dvq::Parse(input);
+    if (parsed.ok()) {
+      EXPECT_TRUE(dvq::Parse(parsed.value().ToString()).ok()) << input;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 5));
+
+TEST(ExecutorFuzz, CorruptedTargetsErrorCleanly) {
+  dataset::BenchmarkOptions options;
+  options.train_size = 60;
+  options.test_size = 30;
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  Rng rng(99);
+  for (const dataset::Example& ex : suite.test_clean) {
+    const dataset::GeneratedDatabase* db = suite.FindCleanDb(ex.db_name);
+    dvq::DVQ corrupted = ex.dvq;
+    // Corrupt one random reference.
+    std::vector<dvq::ColumnRef> refs = dvq::CollectColumnRefs(
+        corrupted.query);
+    if (refs.empty()) continue;
+    std::size_t victim = rng.NextIndex(refs.size());
+    std::size_t seen = 0;
+    dvq::TransformColumnRefs(&corrupted.query, [&](dvq::ColumnRef* ref) {
+      if (seen++ == victim && ref->column != "*") {
+        ref->column = "zz_not_a_column";
+      }
+    });
+    Result<exec::ResultSet> rs = exec::Execute(corrupted, db->data);
+    // Either it still resolves (the victim was a duplicate name) or it
+    // errors; both are fine — no crash, no UB.
+    if (!rs.ok()) {
+      EXPECT_EQ(rs.status().code(), StatusCode::kExecutionError);
+    }
+  }
+}
+
+TEST(SimLlmFuzz, MalformedPromptsErrorOrEcho) {
+  llm::SimulatedChatModel model;
+  // Generation marker with no parsable blocks.
+  llm::Prompt p1;
+  p1.push_back({llm::ChatMessage::Role::kUser,
+                "Generate DVQs based on nothing at all"});
+  EXPECT_FALSE(model.Complete(p1, {}).ok());
+
+  // Retune with an unparseable original: the model echoes it.
+  llm::Prompt p2 = llm::BuildRetunePrompt({"garbage ref"},
+                                          "not a dvq at all");
+  Result<std::string> out = model.Complete(p2, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("not a dvq at all"), std::string::npos);
+
+  // Debug with an empty schema fails cleanly.
+  llm::Prompt p3 = llm::BuildDebugPrompt("", "", "Visualize BAR SELECT a , "
+                                                 "b FROM t");
+  EXPECT_FALSE(model.Complete(p3, {}).ok());
+}
+
+TEST(SimLlmFuzz, GenerationWithGarbageExamplesFails) {
+  llm::SimulatedChatModel model;
+  llm::GenerationExample ex;
+  ex.schema_prompt = "# Table t , columns = [ * , a ]\n";
+  ex.nlq = "junk";
+  ex.dvq = "completely unparseable &^%";
+  llm::Prompt prompt = llm::BuildGenerationPrompt(
+      {ex}, "# Table t , columns = [ * , a ]\n", "show a of t");
+  Result<std::string> out = model.Complete(prompt, {});
+  // No parseable example DVQ exists -> the model reports failure rather
+  // than hallucinating structure from nothing.
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(SurfaceValuesFuzz, NeverCrashesOnRandomText) {
+  Rng rng(4242);
+  for (int i = 0; i < 500; ++i) {
+    std::string input = RandomBytes(&rng, 60);
+    models::SurfaceValues values = models::ExtractSurfaceValues(input);
+    for (const dvq::Literal& n : values.numbers) {
+      EXPECT_NE(n.kind, dvq::Literal::Kind::kString);
+    }
+  }
+}
+
+TEST(LexerFuzz, OffsetsAreMonotonic) {
+  Rng rng(777);
+  for (int i = 0; i < 200; ++i) {
+    std::string input = RandomBytes(&rng, 60);
+    Result<std::vector<dvq::Token>> tokens = dvq::Lex(input);
+    if (!tokens.ok()) continue;
+    std::size_t last = 0;
+    for (const dvq::Token& t : tokens.value()) {
+      EXPECT_GE(t.offset, last);
+      last = t.offset;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gred

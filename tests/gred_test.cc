@@ -1,0 +1,145 @@
+// Tests for the GRED pipeline: preparatory phase, three stages, traces,
+// ablation switches and the prompt-order flag.
+
+#include <gtest/gtest.h>
+
+#include "dvq/components.h"
+#include "gred/gred.h"
+#include "llm/sim_llm.h"
+
+namespace gred::core {
+namespace {
+
+class GredFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset::BenchmarkOptions options;
+    options.train_size = 240;
+    options.test_size = 40;
+    suite_ = new dataset::BenchmarkSuite(
+        dataset::BuildBenchmarkSuite(options));
+    corpus_.train = &suite_->train;
+    corpus_.databases = &suite_->databases;
+    llm_ = new llm::SimulatedChatModel();
+  }
+  static dataset::BenchmarkSuite* suite_;
+  static models::TrainingCorpus corpus_;
+  static llm::SimulatedChatModel* llm_;
+};
+
+dataset::BenchmarkSuite* GredFixture::suite_ = nullptr;
+models::TrainingCorpus GredFixture::corpus_;
+llm::SimulatedChatModel* GredFixture::llm_ = nullptr;
+
+TEST_F(GredFixture, AnnotationGeneratorProducesColumnLines) {
+  const schema::Database& db = suite_->databases[0].data.db_schema();
+  Result<std::string> annotations = GenerateAnnotations(db, *llm_);
+  ASSERT_TRUE(annotations.ok());
+  for (const schema::TableDef& table : db.tables()) {
+    EXPECT_NE(annotations.value().find("Table " + table.name()),
+              std::string::npos);
+  }
+}
+
+TEST_F(GredFixture, PrepareAnnotationsCoversCorpus) {
+  Gred model(corpus_, llm_);
+  Result<std::size_t> prepared =
+      model.PrepareAnnotations(suite_->databases);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared.value(), suite_->databases.size());
+  // Idempotent (cache hits).
+  EXPECT_EQ(model.PrepareAnnotations(suite_->databases).value(),
+            suite_->databases.size());
+}
+
+TEST_F(GredFixture, TranslatesCleanExample) {
+  Gred model(corpus_, llm_);
+  const dataset::Example& ex = suite_->test_clean[0];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(model.last_trace().dvq_gen.empty());
+  EXPECT_FALSE(model.last_trace().dvq_rtn.empty());
+  EXPECT_FALSE(model.last_trace().dvq_dbg.empty());
+}
+
+TEST_F(GredFixture, AblationSwitchesSkipStages) {
+  GredConfig config;
+  config.enable_retuner = false;
+  config.enable_debugger = false;
+  config.name_suffix = " w/o RTN&DBG";
+  Gred model(corpus_, llm_, config);
+  EXPECT_EQ(model.name(), "GRED w/o RTN&DBG");
+  const dataset::Example& ex = suite_->test_clean[1];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(model.last_trace().dvq_gen.empty());
+  EXPECT_TRUE(model.last_trace().dvq_rtn.empty());
+  EXPECT_TRUE(model.last_trace().dvq_dbg.empty());
+}
+
+TEST_F(GredFixture, DebuggerRecoversRenamedSchema) {
+  Gred full(corpus_, llm_);
+  GredConfig no_dbg;
+  no_dbg.enable_debugger = false;
+  Gred without(corpus_, llm_, no_dbg);
+  std::size_t full_hits = 0;
+  std::size_t without_hits = 0;
+  const std::size_t n = std::min<std::size_t>(25, suite_->test_schema.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const dataset::Example& ex = suite_->test_schema[i];
+    const dataset::GeneratedDatabase* db = suite_->FindRobDb(ex.db_name);
+    Result<dvq::DVQ> a = full.Translate(ex.nlq, db->data);
+    Result<dvq::DVQ> b = without.Translate(ex.nlq, db->data);
+    if (a.ok() && dvq::OverallMatch(a.value(), ex.dvq)) ++full_hits;
+    if (b.ok() && dvq::OverallMatch(b.value(), ex.dvq)) ++without_hits;
+  }
+  // Section 5.3: the Debugger is the schema-variant workhorse.
+  EXPECT_GT(full_hits, without_hits);
+}
+
+TEST_F(GredFixture, DebuggerWithoutAnnotationsStillRuns) {
+  GredConfig config;
+  config.debugger_uses_annotations = false;
+  Gred model(corpus_, llm_, config);
+  const dataset::Example& ex = suite_->test_schema[0];
+  const dataset::GeneratedDatabase* db = suite_->FindRobDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  EXPECT_TRUE(out.ok());
+  EXPECT_FALSE(model.last_trace().dvq_dbg.empty());
+}
+
+TEST_F(GredFixture, DeterministicTranslations) {
+  Gred model(corpus_, llm_);
+  const dataset::Example& ex = suite_->test_both[0];
+  const dataset::GeneratedDatabase* db = suite_->FindRobDb(ex.db_name);
+  Result<dvq::DVQ> a = model.Translate(ex.nlq, db->data);
+  Result<dvq::DVQ> b = model.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().ToString(), b.value().ToString());
+}
+
+TEST_F(GredFixture, PromptOrderFlagChangesNothingStructural) {
+  GredConfig desc;
+  desc.ascending_prompt_order = false;
+  Gred model(corpus_, llm_, desc);
+  const dataset::Example& ex = suite_->test_clean[2];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  EXPECT_TRUE(out.ok());
+}
+
+TEST_F(GredFixture, KConfigRespected) {
+  GredConfig tiny;
+  tiny.k = 1;
+  Gred model(corpus_, llm_, tiny);
+  EXPECT_EQ(model.config().k, 1u);
+  const dataset::Example& ex = suite_->test_clean[3];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  EXPECT_TRUE(model.Translate(ex.nlq, db->data).ok());
+}
+
+}  // namespace
+}  // namespace gred::core

@@ -1,0 +1,154 @@
+// Cross-module integration tests: the full reproduction loop at small
+// scale. These assert the *shape* of the paper's findings, with generous
+// margins so the suite stays robust to calibration changes.
+
+#include <gtest/gtest.h>
+
+#include "dataset/benchmark.h"
+#include "eval/metrics.h"
+#include "gred/gred.h"
+#include "llm/sim_llm.h"
+#include "models/rgvisnet.h"
+#include "models/seq2vis.h"
+#include "models/transformer.h"
+#include "viz/chart.h"
+
+namespace gred {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset::BenchmarkOptions options;
+    options.train_size = 600;
+    options.test_size = 80;
+    suite_ = new dataset::BenchmarkSuite(
+        dataset::BuildBenchmarkSuite(options));
+    corpus_.train = &suite_->train;
+    corpus_.databases = &suite_->databases;
+    llm_ = new llm::SimulatedChatModel();
+    seq2vis_ = new models::Seq2Vis(corpus_);
+    transformer_ = new models::TransformerModel(corpus_);
+    rgvisnet_ = new models::RGVisNet(corpus_);
+    gred_ = new core::Gred(corpus_, llm_);
+  }
+
+  static eval::EvalResult Run(const models::TextToVisModel& model,
+                              const std::vector<dataset::Example>& test,
+                              bool rob_databases) {
+    return eval::Evaluate(model, test,
+                          rob_databases ? suite_->databases_rob
+                                        : suite_->databases,
+                          "integration");
+  }
+
+  static dataset::BenchmarkSuite* suite_;
+  static models::TrainingCorpus corpus_;
+  static llm::SimulatedChatModel* llm_;
+  static models::Seq2Vis* seq2vis_;
+  static models::TransformerModel* transformer_;
+  static models::RGVisNet* rgvisnet_;
+  static core::Gred* gred_;
+};
+
+dataset::BenchmarkSuite* IntegrationFixture::suite_ = nullptr;
+models::TrainingCorpus IntegrationFixture::corpus_;
+llm::SimulatedChatModel* IntegrationFixture::llm_ = nullptr;
+models::Seq2Vis* IntegrationFixture::seq2vis_ = nullptr;
+models::TransformerModel* IntegrationFixture::transformer_ = nullptr;
+models::RGVisNet* IntegrationFixture::rgvisnet_ = nullptr;
+core::Gred* IntegrationFixture::gred_ = nullptr;
+
+TEST_F(IntegrationFixture, BaselinesStrongOnCleanNvBench) {
+  // Figure 3's left bars: every model performs well on clean nvBench.
+  for (const models::TextToVisModel* model :
+       {static_cast<const models::TextToVisModel*>(seq2vis_),
+        static_cast<const models::TextToVisModel*>(transformer_),
+        static_cast<const models::TextToVisModel*>(rgvisnet_)}) {
+    eval::EvalResult r = Run(*model, suite_->test_clean, false);
+    EXPECT_GT(r.counts.OverallAcc(), 0.5) << model->name();
+    EXPECT_GT(r.counts.VisAcc(), 0.9) << model->name();
+  }
+}
+
+TEST_F(IntegrationFixture, BaselinesCollapseOnDualVariant) {
+  // Figure 3's right bars: the robustness cliff.
+  for (const models::TextToVisModel* model :
+       {static_cast<const models::TextToVisModel*>(seq2vis_),
+        static_cast<const models::TextToVisModel*>(transformer_),
+        static_cast<const models::TextToVisModel*>(rgvisnet_)}) {
+    eval::EvalResult clean = Run(*model, suite_->test_clean, false);
+    eval::EvalResult rob = Run(*model, suite_->test_both, true);
+    EXPECT_LT(rob.counts.OverallAcc(), clean.counts.OverallAcc() - 0.3)
+        << model->name();
+  }
+}
+
+TEST_F(IntegrationFixture, GredIsRobust) {
+  eval::EvalResult clean = Run(*gred_, suite_->test_clean, false);
+  eval::EvalResult rob = Run(*gred_, suite_->test_both, true);
+  // Tables 1-3: GRED stays usable under the dual perturbation.
+  EXPECT_GT(rob.counts.OverallAcc(), 0.4);
+  // ... and the drop is far smaller than the baselines'.
+  EXPECT_GT(rob.counts.OverallAcc(), clean.counts.OverallAcc() - 0.35);
+}
+
+TEST_F(IntegrationFixture, GredBeatsSotaOnEveryRobustnessSet) {
+  struct Set {
+    const std::vector<dataset::Example>* test;
+    bool rob;
+  };
+  const Set kSets[] = {
+      {&suite_->test_nlq, false},
+      {&suite_->test_schema, true},
+      {&suite_->test_both, true},
+  };
+  for (const Set& set : kSets) {
+    eval::EvalResult ours = Run(*gred_, *set.test, set.rob);
+    eval::EvalResult sota = Run(*rgvisnet_, *set.test, set.rob);
+    EXPECT_GT(ours.counts.OverallAcc(), sota.counts.OverallAcc() + 0.1);
+  }
+}
+
+TEST_F(IntegrationFixture, VisAccuracyStaysHighForEveryone) {
+  // In all three of the paper's tables Vis accuracy exceeds 90%.
+  for (const models::TextToVisModel* model :
+       {static_cast<const models::TextToVisModel*>(seq2vis_),
+        static_cast<const models::TextToVisModel*>(transformer_),
+        static_cast<const models::TextToVisModel*>(rgvisnet_),
+        static_cast<const models::TextToVisModel*>(gred_)}) {
+    eval::EvalResult rob = Run(*model, suite_->test_both, true);
+    EXPECT_GT(rob.counts.VisAcc(), 0.8) << model->name();
+  }
+}
+
+TEST_F(IntegrationFixture, CleanTargetsProduceCharts) {
+  for (std::size_t i = 0; i < 20 && i < suite_->test_clean.size(); ++i) {
+    const dataset::Example& ex = suite_->test_clean[i];
+    const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+    Result<viz::Chart> chart = viz::BuildChart(ex.dvq, db->data);
+    ASSERT_TRUE(chart.ok()) << ex.id << ": " << chart.status().ToString();
+    json::Value spec = viz::ToVegaLite(chart.value());
+    EXPECT_NE(spec.Find("mark"), nullptr);
+  }
+}
+
+TEST_F(IntegrationFixture, GredOutputsExecuteMoreOftenThanSotaOnRob) {
+  // The "no chart produced" failure mode: count executable outputs.
+  std::size_t gred_exec = 0;
+  std::size_t sota_exec = 0;
+  const std::size_t n = std::min<std::size_t>(30, suite_->test_both.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const dataset::Example& ex = suite_->test_both[i];
+    const dataset::GeneratedDatabase* db = suite_->FindRobDb(ex.db_name);
+    Result<dvq::DVQ> a = gred_->Translate(ex.nlq, db->data);
+    if (a.ok() && viz::BuildChart(a.value(), db->data).ok()) ++gred_exec;
+    Result<dvq::DVQ> b = rgvisnet_->Translate(ex.nlq, db->data);
+    if (b.ok() && viz::BuildChart(b.value(), db->data).ok()) ++sota_exec;
+  }
+  EXPECT_GE(gred_exec, sota_exec);
+  EXPECT_GT(gred_exec, n / 2);
+}
+
+}  // namespace
+}  // namespace gred

@@ -1,0 +1,160 @@
+// Tests for JSON parsing and benchmark (de)serialization round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dataset/benchmark.h"
+#include "dataset/io.h"
+#include "dvq/components.h"
+#include "exec/executor.h"
+
+namespace gred {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::Parse("null").value().is_null());
+  EXPECT_TRUE(json::Parse("true").value().bool_value());
+  EXPECT_DOUBLE_EQ(json::Parse("-3.5e2").value().number_value(), -350.0);
+  EXPECT_EQ(json::Parse("\"hi\\n\"").value().string_value(), "hi\n");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(json::Parse("\"\\u0041\"").value().string_value(), "A");
+  EXPECT_EQ(json::Parse("\"\\u00e9\"").value().string_value(), "\xc3\xa9");
+}
+
+TEST(JsonParse, Structures) {
+  json::ParseResult result =
+      json::Parse("{\"a\": [1, 2, {\"b\": false}], \"c\": \"x\"}");
+  ASSERT_TRUE(result.ok()) << result.error();
+  const json::Value& v = result.value();
+  EXPECT_EQ(v.Find("a")->size(), 3u);
+  EXPECT_FALSE(v.Find("a")->at(2).Find("b")->bool_value());
+  EXPECT_EQ(v.Find("c")->string_value(), "x");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(json::Parse("[]").value().size(), 0u);
+  EXPECT_TRUE(json::Parse("{}").ok());
+  EXPECT_TRUE(json::Parse("  [ ]  ").ok());
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(json::Parse("").ok());
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("[1,]").ok());
+  EXPECT_FALSE(json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(json::Parse("1 2").ok());
+  EXPECT_FALSE(json::Parse("nope").ok());
+}
+
+TEST(JsonParse, RoundTripDump) {
+  const std::string doc =
+      "{\"k\":[1,2.5,\"s\\\"x\",null,true],\"nested\":{\"a\":-7}}";
+  json::ParseResult first = json::Parse(doc);
+  ASSERT_TRUE(first.ok());
+  json::ParseResult second = json::Parse(first.value().Dump());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().Dump(), second.value().Dump());
+  // Indented output parses back identically too.
+  json::ParseResult third = json::Parse(first.value().Dump(2));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().Dump(), first.value().Dump());
+}
+
+const dataset::BenchmarkSuite& SmallSuite() {
+  static const dataset::BenchmarkSuite* const kSuite = [] {
+    dataset::BenchmarkOptions options;
+    options.train_size = 90;
+    options.test_size = 30;
+    return new dataset::BenchmarkSuite(
+        dataset::BuildBenchmarkSuite(options));
+  }();
+  return *kSuite;
+}
+
+TEST(DatasetIo, DatabaseRoundTrip) {
+  const dataset::GeneratedDatabase& original = SmallSuite().databases[0];
+  json::Value serialized = dataset::DatabaseToJson(original);
+  Result<dataset::GeneratedDatabase> restored =
+      dataset::DatabaseFromJson(serialized);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().data.name(), original.data.name());
+  EXPECT_EQ(restored.value().data.db_schema().RenderSchemaPrompt(),
+            original.data.db_schema().RenderSchemaPrompt());
+  ASSERT_EQ(restored.value().data.tables().size(),
+            original.data.tables().size());
+  for (std::size_t t = 0; t < original.data.tables().size(); ++t) {
+    const storage::DataTable& a = original.data.tables()[t];
+    const storage::DataTable& b = restored.value().data.tables()[t];
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (std::size_t r = 0; r < a.num_rows(); ++r) {
+      for (std::size_t c = 0; c < a.num_columns(); ++c) {
+        EXPECT_EQ(a.at(r, c).Compare(b.at(r, c)), 0);
+      }
+    }
+  }
+}
+
+TEST(DatasetIo, RestoredDatabaseExecutesTargets) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  const dataset::Example& ex = suite.test_clean[0];
+  const dataset::GeneratedDatabase* db = suite.FindCleanDb(ex.db_name);
+  Result<dataset::GeneratedDatabase> restored =
+      dataset::DatabaseFromJson(dataset::DatabaseToJson(*db));
+  ASSERT_TRUE(restored.ok());
+  Result<exec::ResultSet> a = exec::Execute(ex.dvq, db->data);
+  Result<exec::ResultSet> b = exec::Execute(ex.dvq, restored.value().data);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().num_rows(), b.value().num_rows());
+}
+
+TEST(DatasetIo, ExampleRoundTrip) {
+  const dataset::Example& original = SmallSuite().test_clean[3];
+  Result<dataset::Example> restored =
+      dataset::ExampleFromJson(dataset::ExampleToJson(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().id, original.id);
+  EXPECT_EQ(restored.value().nlq, original.nlq);
+  EXPECT_EQ(restored.value().nlq_rob, original.nlq_rob);
+  EXPECT_EQ(restored.value().hardness, original.hardness);
+  EXPECT_TRUE(dvq::OverallMatch(restored.value().dvq, original.dvq));
+}
+
+TEST(DatasetIo, ExampleListRoundTrip) {
+  const auto& examples = SmallSuite().test_clean;
+  Result<std::vector<dataset::Example>> restored =
+      dataset::ExamplesFromJson(dataset::ExamplesToJson(examples));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored.value().size(), examples.size());
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    EXPECT_EQ(restored.value()[i].DvqText(), examples[i].DvqText());
+  }
+}
+
+TEST(DatasetIo, ExampleFromJsonRejectsMalformed) {
+  json::Value bad = json::Value::Object();
+  bad.Set("id", json::Value::Str("x"));
+  EXPECT_FALSE(dataset::ExampleFromJson(bad).ok());  // missing keys
+  bad.Set("db", json::Value::Str("d"));
+  bad.Set("nlq", json::Value::Str("q"));
+  bad.Set("dvq", json::Value::Str("not a dvq"));
+  EXPECT_FALSE(dataset::ExampleFromJson(bad).ok());  // unparseable DVQ
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  const std::string path = "/tmp/gredvis_io_test.json";
+  json::Value doc = dataset::ExamplesToJson(SmallSuite().test_clean);
+  ASSERT_TRUE(dataset::WriteJsonFile(path, doc).ok());
+  Result<json::Value> read = dataset::ReadJsonFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().Dump(), doc.Dump());
+  std::remove(path.c_str());
+  EXPECT_FALSE(dataset::ReadJsonFile("/tmp/definitely_missing_xyz.json")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace gred

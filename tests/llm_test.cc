@@ -1,0 +1,435 @@
+// Unit tests for the LLM layer: prompt builders/parsers, semantic
+// linking, and the four tasks of the simulated chat model.
+
+#include <gtest/gtest.h>
+
+#include "dvq/components.h"
+#include "dvq/parser.h"
+#include "llm/prompt.h"
+#include "llm/semantic_link.h"
+#include "dataset/benchmark.h"
+#include "gred/gred.h"
+#include "llm/recording.h"
+#include "llm/sim_llm.h"
+#include "nl/text.h"
+
+namespace gred::llm {
+namespace {
+
+schema::Database MakeSchema() {
+  schema::Database db("hr");
+  schema::TableDef employees("staffers", {});
+  employees.AddColumn({"staffer_id", schema::ColumnType::kInt, true});
+  employees.AddColumn({"forename", schema::ColumnType::kText, false});
+  employees.AddColumn({"wage", schema::ColumnType::kInt, false});
+  employees.AddColumn({"employment_day", schema::ColumnType::kDate, false});
+  db.AddTable(std::move(employees));
+  return db;
+}
+
+TEST(Prompt, RenderContainsRoles) {
+  Prompt prompt;
+  prompt.push_back({ChatMessage::Role::kSystem, "sys"});
+  prompt.push_back({ChatMessage::Role::kUser, "usr"});
+  std::string text = RenderPrompt(prompt);
+  EXPECT_NE(text.find("Role: SYSTEM"), std::string::npos);
+  EXPECT_NE(text.find("usr"), std::string::npos);
+}
+
+TEST(Prompt, SchemaPromptRoundTrip) {
+  schema::Database db = MakeSchema();
+  Result<schema::Database> parsed =
+      ParseSchemaPrompt(db.RenderSchemaPrompt());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().tables().size(), 1u);
+  EXPECT_EQ(parsed.value().tables()[0].name(), "staffers");
+  EXPECT_TRUE(parsed.value().HasColumn("employment_day"));
+}
+
+TEST(Prompt, SchemaPromptRoundTripKeepsForeignKeys) {
+  std::string text =
+      "# Table a , columns = [ * , id ]\n"
+      "# Table b , columns = [ * , a_id ]\n"
+      "# Foreign_keys = [ b.a_id = a.id ]\n";
+  Result<schema::Database> parsed = ParseSchemaPrompt(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().foreign_keys().size(), 1u);
+  EXPECT_EQ(parsed.value().foreign_keys()[0].from_table, "b");
+  EXPECT_EQ(parsed.value().foreign_keys()[0].to_column, "id");
+}
+
+TEST(Prompt, SchemaPromptRejectsEmpty) {
+  EXPECT_FALSE(ParseSchemaPrompt("no tables here").ok());
+}
+
+TEST(Prompt, ExtractDvqText) {
+  EXPECT_EQ(ExtractDvqText("A: Visualize BAR SELECT a , b FROM t\nrest"),
+            "Visualize BAR SELECT a , b FROM t");
+  EXPECT_EQ(ExtractDvqText("nothing here"), "");
+}
+
+TEST(Prompt, GenerationPromptStructure) {
+  GenerationExample ex;
+  ex.schema_prompt = "# Table t , columns = [ * , a ]\n";
+  ex.nlq = "question one";
+  ex.dvq = "Visualize BAR SELECT a , a FROM t";
+  Prompt prompt = BuildGenerationPrompt({ex}, "# Table u , columns = [ * , "
+                                              "b ]\n",
+                                        "the real question");
+  ASSERT_EQ(prompt.size(), 2u);
+  const std::string& user = prompt[1].content;
+  // Example appears before the final question block.
+  EXPECT_LT(user.find("question one"), user.find("the real question"));
+  EXPECT_NE(user.find("### Chart Type"), std::string::npos);
+  EXPECT_TRUE(user.rfind("A:") == user.size() - 2);
+}
+
+TEST(Prompt, RetuneAndDebugPromptsCarryNotes) {
+  Prompt retune = BuildRetunePrompt({"Visualize BAR SELECT a , b FROM t"},
+                                    "Visualize BAR SELECT a , b FROM t");
+  EXPECT_NE(retune[1].content.find("Do not Modify the column name"),
+            std::string::npos);
+  Prompt debug = BuildDebugPrompt("# Table t , columns = [ * , a ]\n",
+                                  "- a: the a.", "Visualize BAR SELECT a , "
+                                                 "b FROM t");
+  EXPECT_NE(debug[1].content.find("replace the column names"),
+            std::string::npos);
+}
+
+TEST(SemanticLink, NameSimilarityThroughLexicon) {
+  const nl::Lexicon& lex = nl::Lexicon::Default();
+  EXPECT_GT(SemanticNameSimilarity("salary", "wage", lex), 0.8);
+  EXPECT_GT(SemanticNameSimilarity("hire_date", "employment_day", lex),
+            0.8);
+  EXPECT_LT(SemanticNameSimilarity("salary", "pet_type", lex), 0.3);
+  EXPECT_DOUBLE_EQ(SemanticNameSimilarity("", "x", lex), 0.0);
+}
+
+TEST(SemanticLink, MentionScoreConceptAware) {
+  const nl::Lexicon& lex = nl::Lexicon::Default();
+  std::vector<std::string> tokens =
+      nl::Tokenize("present the wage across divisions");
+  EXPECT_GT(SemanticMentionScore(tokens, "salary", lex), 0.8);
+  EXPECT_GT(SemanticMentionScore(tokens, "department_name", lex), 0.4);
+}
+
+TEST(SemanticLink, SoftTokenSimilarity) {
+  const nl::Lexicon& lex = nl::Lexicon::Default();
+  double close = SoftTokenSimilarity({"wage", "employee"},
+                                     {"salary", "worker"}, lex);
+  double far = SoftTokenSimilarity({"wage"}, {"flight"}, lex);
+  EXPECT_GT(close, 0.8);
+  EXPECT_LT(far, 0.2);
+}
+
+TEST(SemanticLink, RelinksHallucinatedNamesAcrossSynonyms) {
+  schema::Database db = MakeSchema();
+  Result<dvq::DVQ> q = dvq::Parse(
+      "Visualize BAR SELECT first_name , salary FROM employees");
+  ASSERT_TRUE(q.ok());
+  dvq::DVQ out = q.value();
+  SemanticLinkOptions options;
+  options.only_missing = true;
+  options.column_threshold = 0.35;
+  options.mention_weight = 0.0;
+  RelinkSchemaSemantically(&out.query, db, {}, nl::Lexicon::Default(),
+                           options);
+  EXPECT_EQ(out.query.from_table, "staffers");
+  EXPECT_EQ(out.query.select[0].col.column, "forename");
+  EXPECT_EQ(out.query.select[1].col.column, "wage");
+}
+
+TEST(SemanticLink, RelinkMissingFlagDisablesRepair) {
+  schema::Database db = MakeSchema();
+  Result<dvq::DVQ> q = dvq::Parse(
+      "Visualize BAR SELECT forename , salary FROM staffers");
+  ASSERT_TRUE(q.ok());
+  dvq::DVQ out = q.value();
+  SemanticLinkOptions options;
+  options.relink_missing = false;
+  RelinkSchemaSemantically(&out.query, db, nl::Tokenize("forename wage"),
+                           nl::Lexicon::Default(), options);
+  EXPECT_EQ(out.query.select[1].col.column, "salary");  // left hallucinated
+}
+
+TEST(SimLlm, RejectsUnknownPrompt) {
+  SimulatedChatModel llm;
+  Prompt prompt;
+  prompt.push_back({ChatMessage::Role::kUser, "tell me a joke"});
+  EXPECT_FALSE(llm.Complete(prompt, {}).ok());
+}
+
+TEST(SimLlm, AnnotationTaskCoversEveryColumn) {
+  SimulatedChatModel llm;
+  schema::Database db = MakeSchema();
+  Result<std::string> out =
+      llm.Complete(BuildAnnotationPrompt(db), ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("Table staffers:"), std::string::npos);
+  EXPECT_NE(out.value().find("- wage:"), std::string::npos);
+  EXPECT_NE(out.value().find("- employment_day:"), std::string::npos);
+  // World knowledge: the gloss surfaces the canonical concept.
+  EXPECT_NE(out.value().find("(salary)"), std::string::npos);
+}
+
+TEST(SimLlm, GenerationFollowsBestExample) {
+  SimulatedChatModel llm;
+  GenerationExample near;
+  near.schema_prompt = "# Table staffers , columns = [ * , forename , wage ]\n";
+  near.nlq = "Show a bar chart of forename and wage from staffers.";
+  near.dvq = "Visualize BAR SELECT forename , wage FROM staffers";
+  GenerationExample far;
+  far.schema_prompt = "# Table flights , columns = [ * , origin , price ]\n";
+  far.nlq = "Draw a pie chart about the number of origin in flights.";
+  far.dvq =
+      "Visualize PIE SELECT origin , COUNT(origin) FROM flights GROUP BY "
+      "origin";
+  Prompt prompt = BuildGenerationPrompt(
+      {far, near},
+      "# Table staffers , columns = [ * , forename , wage ]\n",
+      "Show a bar chart of forename and wage from staffers.");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  Result<dvq::DVQ> parsed = dvq::Parse(ExtractDvqText(out.value()));
+  ASSERT_TRUE(parsed.ok()) << out.value();
+  EXPECT_EQ(parsed.value().chart, dvq::ChartType::kBar);
+  EXPECT_EQ(parsed.value().query.from_table, "staffers");
+}
+
+TEST(SimLlm, GenerationUnderstandsParaphrase) {
+  SimulatedChatModel llm;
+  GenerationExample ex;
+  ex.schema_prompt =
+      "# Table staffers , columns = [ * , forename , wage ]\n";
+  ex.nlq = "Show a bar chart of forename and wage from staffers.";
+  ex.dvq = "Visualize BAR SELECT forename , wage FROM staffers";
+  Prompt prompt = BuildGenerationPrompt(
+      {ex}, "# Table staffers , columns = [ * , forename , wage ]\n",
+      "Present the pay across forename as a histogram, with the Y-axis "
+      "organized in descending order.");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  Result<dvq::DVQ> parsed = dvq::Parse(ExtractDvqText(out.value()));
+  ASSERT_TRUE(parsed.ok()) << out.value();
+  ASSERT_TRUE(parsed.value().query.order_by.has_value());
+  EXPECT_TRUE(parsed.value().query.order_by->descending);
+}
+
+TEST(SimLlm, GenerationFromFallbackForForeignExamples) {
+  // The best example comes from another database entirely; the LLM must
+  // re-ground FROM on the table covering the question's columns.
+  SimulatedChatModel llm;
+  GenerationExample foreign;
+  foreign.schema_prompt =
+      "# Table students , columns = [ * , city , grade ]\n";
+  foreign.nlq = "Show a bar chart of city and the number of city from "
+                "students for each city.";
+  foreign.dvq =
+      "Visualize BAR SELECT city , COUNT(city) FROM students GROUP BY city";
+  Prompt prompt = BuildGenerationPrompt(
+      {foreign},
+      "# Table staffers , columns = [ * , forename , wage , city ]\n",
+      "Show a bar chart of city and the number of city from staffers for "
+      "each city.");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  Result<dvq::DVQ> parsed = dvq::Parse(ExtractDvqText(out.value()));
+  ASSERT_TRUE(parsed.ok()) << out.value();
+  EXPECT_EQ(parsed.value().query.from_table, "staffers");
+}
+
+TEST(SimLlm, GenerationGroundsAxesFromQuestionForForeignExamples) {
+  SimulatedChatModel llm;
+  GenerationExample foreign;
+  foreign.schema_prompt =
+      "# Table students , columns = [ * , grade , age ]\n";
+  foreign.nlq = "Could you put together a scatter plot relating grade "
+                "with age?";
+  foreign.dvq = "Visualize SCATTER SELECT grade , age FROM students";
+  Prompt prompt = BuildGenerationPrompt(
+      {foreign},
+      "# Table staffers , columns = [ * , wage , age ]\n",
+      "Could you put together a scatter plot relating wage with age?");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  Result<dvq::DVQ> parsed = dvq::Parse(ExtractDvqText(out.value()));
+  ASSERT_TRUE(parsed.ok()) << out.value();
+  EXPECT_EQ(parsed.value().query.from_table, "staffers");
+  // "wage" is grounded from the question; "age" resolves directly.
+  EXPECT_EQ(parsed.value().query.select[0].col.column, "wage");
+  EXPECT_EQ(parsed.value().query.select[1].col.column, "age");
+}
+
+TEST(SimLlm, RetuneFixesCountStarTowardCorpus) {
+  SimulatedChatModel llm;
+  std::vector<std::string> refs = {
+      "Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a",
+      "Visualize BAR SELECT b , COUNT(b) FROM t GROUP BY b",
+  };
+  Prompt prompt = BuildRetunePrompt(
+      refs, "Visualize BAR SELECT a , COUNT(*) FROM t GROUP BY a");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("COUNT(a)"), std::string::npos);
+  EXPECT_EQ(out.value().find("COUNT(*)"), std::string::npos);
+}
+
+TEST(SimLlm, RetuneRewritesSubqueryAsJoin) {
+  SimulatedChatModel llm;
+  std::vector<std::string> refs = {
+      "Visualize BAR SELECT x , y FROM t JOIN p ON t.fk = p.id WHERE n = "
+      "\"v\"",
+      "Visualize BAR SELECT x , y FROM t JOIN p ON t.fk = p.id",
+  };
+  Prompt prompt = BuildRetunePrompt(
+      refs,
+      "Visualize BAR SELECT x , y FROM t WHERE fk = (SELECT id FROM p "
+      "WHERE n = \"v\")");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  Result<dvq::DVQ> parsed = dvq::Parse(ExtractDvqText(out.value()));
+  ASSERT_TRUE(parsed.ok()) << out.value();
+  ASSERT_EQ(parsed.value().query.joins.size(), 1u);
+  EXPECT_EQ(parsed.value().query.joins[0].table, "p");
+  EXPECT_EQ(parsed.value().query.where->predicates[0].subquery, nullptr);
+}
+
+TEST(SimLlm, RetuneKeepsSubqueryWhenReferencesUseIt) {
+  SimulatedChatModel llm;
+  std::vector<std::string> refs = {
+      "Visualize BAR SELECT x , y FROM t WHERE fk = (SELECT id FROM p "
+      "WHERE n = \"a\")",
+      "Visualize BAR SELECT x , y FROM t WHERE fk = (SELECT id FROM p "
+      "WHERE n = \"b\")",
+  };
+  std::string original =
+      "Visualize BAR SELECT x , y FROM t WHERE fk = (SELECT id FROM p "
+      "WHERE n = \"v\")";
+  Prompt prompt = BuildRetunePrompt(refs, original);
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("(SELECT"), std::string::npos);
+}
+
+TEST(SimLlm, RetuneNormalizesNullStyle) {
+  SimulatedChatModel llm;
+  std::vector<std::string> refs = {
+      "Visualize BAR SELECT a , b FROM t WHERE c IS NOT NULL",
+  };
+  Prompt prompt = BuildRetunePrompt(
+      refs, "Visualize BAR SELECT a , b FROM t WHERE c != \"null\"");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("IS NOT NULL"), std::string::npos);
+}
+
+TEST(SimLlm, RetuneStripsAliasesTowardCorpus) {
+  SimulatedChatModel llm;
+  std::vector<std::string> refs = {
+      "Visualize BAR SELECT x , y FROM t JOIN p ON t.fk = p.id",
+  };
+  Prompt prompt = BuildRetunePrompt(
+      refs,
+      "Visualize BAR SELECT T1.x , T2.y FROM t AS T1 JOIN p AS T2 ON T1.fk "
+      "= T2.id");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().find(" AS "), std::string::npos);
+}
+
+TEST(SimLlm, DebugReplacesOnlyMissingColumns) {
+  SimulatedChatModel llm;
+  schema::Database db = MakeSchema();
+  Result<std::string> annotations =
+      llm.Complete(BuildAnnotationPrompt(db), ChatOptions{});
+  ASSERT_TRUE(annotations.ok());
+  Prompt prompt = BuildDebugPrompt(
+      db.RenderSchemaPrompt(), annotations.value(),
+      "Visualize BAR SELECT forename , salary FROM staffers ORDER BY "
+      "salary DESC");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  Result<dvq::DVQ> parsed = dvq::Parse(ExtractDvqText(out.value()));
+  ASSERT_TRUE(parsed.ok()) << out.value();
+  // "salary" (hallucinated) -> "wage"; "forename" (exists) untouched.
+  EXPECT_EQ(parsed.value().query.select[0].col.column, "forename");
+  EXPECT_EQ(parsed.value().query.select[1].col.column, "wage");
+  EXPECT_EQ(parsed.value().query.order_by->expr.col.column, "wage");
+}
+
+TEST(SimLlm, DebugFixesTables) {
+  SimulatedChatModel llm;
+  schema::Database db = MakeSchema();
+  Result<std::string> annotations =
+      llm.Complete(BuildAnnotationPrompt(db), ChatOptions{});
+  ASSERT_TRUE(annotations.ok());
+  Prompt prompt = BuildDebugPrompt(
+      db.RenderSchemaPrompt(), annotations.value(),
+      "Visualize BAR SELECT forename , wage FROM employees");
+  Result<std::string> out = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("FROM staffers"), std::string::npos);
+}
+
+TEST(Recording, CapturesExchangesAndTranscript) {
+  SimulatedChatModel inner;
+  RecordingChatModel recorder(&inner);
+  schema::Database db = MakeSchema();
+  Result<std::string> out =
+      recorder.Complete(BuildAnnotationPrompt(db), ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(recorder.call_count(), 1u);
+  EXPECT_EQ(recorder.exchanges()[0].completion, out.value());
+  EXPECT_TRUE(recorder.exchanges()[0].status.ok());
+  std::string transcript = recorder.Transcript();
+  EXPECT_NE(transcript.find("exchange 1 of 1"), std::string::npos);
+  EXPECT_NE(transcript.find("Table staffers"), std::string::npos);
+  recorder.Clear();
+  EXPECT_EQ(recorder.call_count(), 0u);
+}
+
+TEST(Recording, CapturesErrors) {
+  SimulatedChatModel inner;
+  RecordingChatModel recorder(&inner);
+  Prompt bad;
+  bad.push_back({ChatMessage::Role::kUser, "tell me a joke"});
+  EXPECT_FALSE(recorder.Complete(bad, {}).ok());
+  ASSERT_EQ(recorder.call_count(), 1u);
+  EXPECT_FALSE(recorder.exchanges()[0].status.ok());
+  EXPECT_NE(recorder.Transcript().find("(error)"), std::string::npos);
+}
+
+TEST(Recording, GredPipelineCallCounts) {
+  // Full GRED issues generation + retune + debug (+ one annotation on a
+  // fresh database) per translation.
+  dataset::BenchmarkOptions options;
+  options.train_size = 120;
+  options.test_size = 20;
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  SimulatedChatModel inner;
+  RecordingChatModel recorder(&inner);
+  models::TrainingCorpus corpus;
+  corpus.train = &suite.train;
+  corpus.databases = &suite.databases;
+  core::Gred gred(corpus, &recorder);
+  const dataset::Example& ex = suite.test_clean[0];
+  const dataset::GeneratedDatabase* db = suite.FindCleanDb(ex.db_name);
+  ASSERT_TRUE(gred.Translate(ex.nlq, db->data).ok());
+  EXPECT_EQ(recorder.call_count(), 4u);  // gen + rtn + annotate + dbg
+  recorder.Clear();
+  ASSERT_TRUE(gred.Translate(ex.nlq, db->data).ok());
+  EXPECT_EQ(recorder.call_count(), 3u);  // annotation now cached
+}
+
+TEST(SimLlm, DeterministicCompletion) {
+  SimulatedChatModel llm;
+  schema::Database db = MakeSchema();
+  Prompt prompt = BuildAnnotationPrompt(db);
+  Result<std::string> a = llm.Complete(prompt, ChatOptions{});
+  Result<std::string> b = llm.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace gred::llm

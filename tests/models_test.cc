@@ -1,0 +1,401 @@
+// Unit tests for the baseline-model infrastructure: lexical linking,
+// keyword detection, revision heads, retrieval and the three baselines.
+
+#include <gtest/gtest.h>
+
+#include "dataset/benchmark.h"
+#include "dvq/components.h"
+#include "dvq/parser.h"
+#include "models/keywords.h"
+#include "models/linking.h"
+#include "models/retrieval.h"
+#include "models/revision.h"
+#include "models/rgvisnet.h"
+#include "models/seq2vis.h"
+#include "models/transformer.h"
+#include "nl/text.h"
+
+namespace gred::models {
+namespace {
+
+schema::Database MakeSchema() {
+  schema::Database db("hr");
+  schema::TableDef employees("employees", {});
+  employees.AddColumn({"employee_id", schema::ColumnType::kInt, true});
+  employees.AddColumn({"first_name", schema::ColumnType::kText, false});
+  employees.AddColumn({"salary", schema::ColumnType::kInt, false});
+  employees.AddColumn({"hire_date", schema::ColumnType::kDate, false});
+  employees.AddColumn({"department_id", schema::ColumnType::kInt, false});
+  db.AddTable(std::move(employees));
+  schema::TableDef departments("departments", {});
+  departments.AddColumn({"department_id", schema::ColumnType::kInt, true});
+  departments.AddColumn({"department_name", schema::ColumnType::kText,
+                         false});
+  db.AddTable(std::move(departments));
+  schema::ForeignKey fk;
+  fk.from_table = "employees";
+  fk.from_column = "department_id";
+  fk.to_table = "departments";
+  fk.to_column = "department_id";
+  db.AddForeignKey(std::move(fk));
+  return db;
+}
+
+dvq::DVQ D(const std::string& text) {
+  Result<dvq::DVQ> q = dvq::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.value_or(dvq::DVQ{});
+}
+
+TEST(MentionScore, VerbatimAndWindowed) {
+  std::vector<std::string> tokens =
+      nl::Tokenize("show the hire_date of employees");
+  EXPECT_DOUBLE_EQ(MentionScore(tokens, "hire_date"), 1.0);
+  EXPECT_LT(MentionScore(tokens, "birth_date"), 1.0);
+  EXPECT_GT(MentionScore(tokens, "birth_date"), 0.0);  // shares "date"
+  EXPECT_DOUBLE_EQ(MentionScore(tokens, "zzz"), 0.0);
+}
+
+TEST(MentionScore, StemmedWindow) {
+  std::vector<std::string> tokens = nl::Tokenize("count of departments");
+  EXPECT_GE(MentionScore(tokens, "department"), 0.95);
+}
+
+TEST(LexicalLink, ExactAndOverlap) {
+  schema::Database db = MakeSchema();
+  auto exact = LexicalLinkColumn("SALARY", db, 0.9);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->column, "salary");
+  auto reorder = LexicalLinkColumn("name_of_department", db, 0.6);
+  ASSERT_TRUE(reorder.has_value());
+  EXPECT_EQ(reorder->column, "department_name");
+  EXPECT_FALSE(LexicalLinkColumn("wage", db, 0.6).has_value());
+}
+
+TEST(LexicalLink, Table) {
+  schema::Database db = MakeSchema();
+  EXPECT_EQ(LexicalLinkTable("employee", db, 0.5).value_or(""), "employees");
+  EXPECT_FALSE(LexicalLinkTable("airlines", db, 0.5).has_value());
+}
+
+TEST(SurfaceValues, NumbersInOrder) {
+  SurfaceValues values =
+      ExtractSurfaceValues("where salary > 1500.5 show top 3");
+  ASSERT_EQ(values.numbers.size(), 2u);
+  EXPECT_EQ(values.numbers[0].kind, dvq::Literal::Kind::kReal);
+  EXPECT_DOUBLE_EQ(values.numbers[0].real_value, 1500.5);
+  EXPECT_EQ(values.numbers[1].int_value, 3);
+}
+
+TEST(SurfaceValues, ProperWordsSkipSentenceStart) {
+  SurfaceValues values =
+      ExtractSurfaceValues("Show the city whose name is Springfield.");
+  ASSERT_EQ(values.proper_words.size(), 1u);
+  EXPECT_EQ(values.proper_words[0], "Springfield");
+}
+
+TEST(AdaptLiterals, RewritesFilterAndLimit) {
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT a , b FROM t WHERE x > 100 AND n = \"Old\" "
+      "LIMIT 9");
+  SurfaceValues values =
+      ExtractSurfaceValues("rows where x is above 250, named Fresh, top 4");
+  AdaptLiterals(&q.query, values);
+  EXPECT_EQ(q.query.where->predicates[0].literal->int_value, 250);
+  EXPECT_EQ(q.query.where->predicates[1].literal->string_value, "Fresh");
+  EXPECT_EQ(q.query.limit, 4);
+}
+
+TEST(AdaptLiterals, PreservesLikeWrapping) {
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT a , b FROM t WHERE n LIKE \"%old%\"");
+  SurfaceValues values;
+  values.proper_words = {"New"};
+  AdaptLiterals(&q.query, values);
+  EXPECT_EQ(q.query.where->predicates[0].literal->string_value, "%New%");
+}
+
+TEST(RepairJoinKeys, UsesDeclaredForeignKey) {
+  schema::Database db = MakeSchema();
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT department_name , COUNT(department_name) FROM "
+      "employees JOIN departments ON employees.wrong = departments.also_wrong "
+      "GROUP BY department_name");
+  RepairJoinKeys(&q.query, db);
+  EXPECT_EQ(q.query.joins[0].left.column, "department_id");
+  EXPECT_EQ(q.query.joins[0].right.table, "departments");
+}
+
+TEST(SynthesizeJoins, AddsFkHop) {
+  schema::Database db = MakeSchema();
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT department_name , COUNT(department_name) FROM "
+      "employees GROUP BY department_name");
+  SynthesizeJoins(&q.query, db);
+  ASSERT_EQ(q.query.joins.size(), 1u);
+  EXPECT_EQ(q.query.joins[0].table, "departments");
+  // Idempotent: a second pass adds nothing.
+  SynthesizeJoins(&q.query, db);
+  EXPECT_EQ(q.query.joins.size(), 1u);
+}
+
+TEST(SynthesizeJoins, NoEdgeNoJoin) {
+  schema::Database db = MakeSchema();
+  dvq::DVQ q = D("Visualize BAR SELECT nothing , salary FROM employees");
+  SynthesizeJoins(&q.query, db);
+  EXPECT_TRUE(q.query.joins.empty());
+}
+
+TEST(Relink, OnlyMissingLeavesResolvedRefsAlone) {
+  schema::Database db = MakeSchema();
+  // Case differences resolve (lookup is case-insensitive), so the ref is
+  // untouched; the missing "employee_salary" is repaired via word
+  // overlap + mention evidence.
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT FIRST_NAME , employee_salary FROM employees");
+  RelinkOptions options;
+  options.only_missing = true;
+  RelinkSchemaLexically(&q.query, db,
+                        nl::Tokenize("first_name by salary"), options);
+  EXPECT_EQ(q.query.select[0].col.column, "FIRST_NAME");
+  EXPECT_EQ(q.query.select[1].col.column, "salary");
+}
+
+TEST(Relink, KeepsHallucinationBelowThreshold) {
+  schema::Database db = MakeSchema();
+  dvq::DVQ q = D("Visualize BAR SELECT wage , first_name FROM employees");
+  RelinkOptions options;
+  options.only_missing = true;
+  options.column_threshold = 0.7;
+  RelinkSchemaLexically(&q.query, db, nl::Tokenize("wage by first name"),
+                        options);
+  // "wage" has no lexical relation to "salary": the baseline keeps the
+  // hallucinated name (the paper's diagnosis).
+  EXPECT_EQ(q.query.select[0].col.column, "wage");
+}
+
+TEST(Keywords, ChartDetection) {
+  using dvq::ChartType;
+  constexpr auto kCorpus = DetectorProfile::kCorpusTrained;
+  EXPECT_EQ(DetectChart("draw a histogram of x", kCorpus), ChartType::kBar);
+  EXPECT_EQ(DetectChart("a stacked bar chart", kCorpus),
+            ChartType::kStackedBar);
+  EXPECT_EQ(DetectChart("show a pie graph", kCorpus), ChartType::kPie);
+  EXPECT_EQ(DetectChart("scatter plot please", kCorpus),
+            ChartType::kScatter);
+  EXPECT_FALSE(DetectChart("just a table", kCorpus).has_value());
+  // "trend" is general-register vocabulary only.
+  EXPECT_FALSE(DetectChart("a trend view", kCorpus).has_value());
+  EXPECT_EQ(DetectChart("a trend view", DetectorProfile::kGeneral),
+            ChartType::kLine);
+}
+
+TEST(Keywords, OrderDetectionRegisters) {
+  constexpr auto kCorpus = DetectorProfile::kCorpusTrained;
+  constexpr auto kGeneral = DetectorProfile::kGeneral;
+  auto corpus = DetectOrder("sort the Y-axis in descending order", kCorpus);
+  ASSERT_TRUE(corpus.has_value());
+  EXPECT_TRUE(corpus->descending);
+  EXPECT_EQ(corpus->axis, 1);
+  EXPECT_FALSE(
+      DetectOrder("arranged from largest to smallest", kCorpus).has_value());
+  auto general = DetectOrder("arranged from largest to smallest", kGeneral);
+  ASSERT_TRUE(general.has_value());
+  EXPECT_TRUE(general->descending);
+}
+
+TEST(Keywords, AggDetectionPositional) {
+  constexpr auto kCorpus = DetectorProfile::kCorpusTrained;
+  EXPECT_EQ(DetectAgg("the sum of price by name", kCorpus),
+            dvq::AggFunc::kSum);
+  EXPECT_EQ(DetectAgg("how many employees", kCorpus), dvq::AggFunc::kCount);
+  EXPECT_FALSE(DetectAgg("the combined price", kCorpus).has_value());
+  EXPECT_EQ(DetectAgg("the combined price", DetectorProfile::kGeneral),
+            dvq::AggFunc::kSum);
+  auto hit = FindAggPhrase("show the average of salary", kCorpus);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->func, dvq::AggFunc::kAvg);
+  // The earliest-ending phrase wins ("the average" before "average of").
+  EXPECT_EQ(hit->end_pos, std::string("show the average").size());
+}
+
+TEST(Keywords, BinAndGroupAndLimit) {
+  constexpr auto kCorpus = DetectorProfile::kCorpusTrained;
+  EXPECT_EQ(DetectBinUnit("bin hire_date by month", kCorpus),
+            dvq::BinUnit::kMonth);
+  EXPECT_FALSE(DetectBinUnit("on a monthly basis", kCorpus).has_value());
+  EXPECT_EQ(DetectBinUnit("on a monthly basis", DetectorProfile::kGeneral),
+            dvq::BinUnit::kMonth);
+  EXPECT_TRUE(DetectGroup("group by city", kCorpus));
+  EXPECT_FALSE(DetectGroup("broken down by city", kCorpus));
+  EXPECT_TRUE(DetectGroup("broken down by city",
+                          DetectorProfile::kGeneral));
+  EXPECT_EQ(DetectLimit("show only the top 7 rows"), 7);
+  EXPECT_FALSE(DetectLimit("show everything").has_value());
+}
+
+TEST(Revision, AggHeadSetsFunctionAndTarget) {
+  schema::Database db = MakeSchema();
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT first_name , COUNT(first_name) FROM employees "
+      "GROUP BY first_name");
+  ApplyCorpusIntent(&q, "Show the sum of salary by first_name for each "
+                        "first_name in a bar chart",
+                    db);
+  EXPECT_EQ(q.query.select[1].agg, dvq::AggFunc::kSum);
+  EXPECT_EQ(q.query.select[1].col.column, "salary");
+  EXPECT_EQ(q.query.group_by.size(), 1u);
+}
+
+TEST(Revision, StripsAggWithoutEvidence) {
+  schema::Database db = MakeSchema();
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT first_name , MIN(salary) FROM employees GROUP "
+      "BY first_name");
+  ApplyCorpusIntent(&q, "Show first_name and salary in a bar chart", db);
+  EXPECT_EQ(q.query.select[1].agg, dvq::AggFunc::kNone);
+  EXPECT_TRUE(q.query.group_by.empty());
+}
+
+TEST(Revision, ArityNormalizationForPlainCharts) {
+  schema::Database db = MakeSchema();
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT first_name , salary , hire_date FROM "
+      "employees");
+  ApplyCorpusIntent(&q, "bar chart of first_name and salary", db);
+  EXPECT_EQ(q.query.select.size(), 2u);
+}
+
+TEST(Revision, PruneGateKeepsClausesWhenDisabled) {
+  schema::Database db = MakeSchema();
+  dvq::DVQ q = D(
+      "Visualize BAR SELECT first_name , salary FROM employees WHERE "
+      "salary > 10 ORDER BY salary DESC");
+  CorpusIntentOptions options;
+  options.prune_unevidenced = false;
+  ApplyCorpusIntent(&q, "an unrelated paraphrase", db, options);
+  EXPECT_TRUE(q.query.where.has_value());
+  EXPECT_TRUE(q.query.order_by.has_value());
+  CorpusIntentOptions pruning;
+  pruning.prune_unevidenced = true;
+  ApplyCorpusIntent(&q, "an unrelated paraphrase", db, pruning);
+  EXPECT_FALSE(q.query.where.has_value());
+  EXPECT_FALSE(q.query.order_by.has_value());
+}
+
+TEST(Revision, LiteralAfterPhraseKinds) {
+  EXPECT_EQ(LiteralAfterPhrase("is 42 end", 2)->int_value, 42);
+  EXPECT_DOUBLE_EQ(LiteralAfterPhrase("is 4.5 end", 2)->real_value, 4.5);
+  EXPECT_EQ(LiteralAfterPhrase("is Finance end", 2)->string_value,
+            "Finance");
+  EXPECT_EQ(LiteralAfterPhrase("is Harbor Point for each", 2)->string_value,
+            "Harbor Point");
+  EXPECT_EQ(LiteralAfterPhrase("is clarinet.", 2)->string_value,
+            "clarinet");
+  EXPECT_EQ(LiteralAfterPhrase("is 2020-03-05 x", 2)->string_value,
+            "2020-03-05");
+  EXPECT_FALSE(LiteralAfterPhrase("is ", 2).has_value());
+}
+
+TEST(Revision, TryBuildCorpusFilter) {
+  schema::Database db = MakeSchema();
+  auto pred = TryBuildCorpusFilter(
+      "bar chart of employees whose salary is greater than 5000", db);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(pred->col.column, "salary");
+  EXPECT_EQ(pred->op, dvq::CompareOp::kGt);
+  EXPECT_EQ(pred->literal->int_value, 5000);
+}
+
+TEST(Revision, TryBuildCorpusFilterMultiWordColumnAndLike) {
+  schema::Database db = MakeSchema();
+  auto pred = TryBuildCorpusFilter(
+      "employees whose first name contains Ann for each salary", db);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(pred->col.column, "first_name");
+  EXPECT_EQ(pred->op, dvq::CompareOp::kLike);
+  EXPECT_EQ(pred->literal->string_value, "%Ann%");
+}
+
+TEST(Revision, TryBuildCorpusFilterNeedsAllIngredients) {
+  schema::Database db = MakeSchema();
+  EXPECT_FALSE(TryBuildCorpusFilter("just show everything", db).has_value());
+  EXPECT_FALSE(
+      TryBuildCorpusFilter("whose nonexistent is more than 3", db)
+          .has_value());
+}
+
+/// A tiny corpus the baselines can memorize.
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset::BenchmarkOptions options;
+    options.train_size = 240;
+    options.test_size = 40;
+    suite_ = new dataset::BenchmarkSuite(
+        dataset::BuildBenchmarkSuite(options));
+    corpus_.train = &suite_->train;
+    corpus_.databases = &suite_->databases;
+  }
+  static dataset::BenchmarkSuite* suite_;
+  static TrainingCorpus corpus_;
+};
+
+dataset::BenchmarkSuite* BaselineFixture::suite_ = nullptr;
+TrainingCorpus BaselineFixture::corpus_;
+
+TEST_F(BaselineFixture, ExampleIndexRetrievesSelf) {
+  embed::LexicalHashEmbedder embedder;
+  ExampleIndex index(&suite_->train, &embedder);
+  EXPECT_EQ(index.size(), suite_->train.size());
+  const dataset::Example& probe = suite_->train[5];
+  std::vector<ExampleIndex::Hit> hits = index.TopK(probe.nlq, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].example->id, probe.id);
+  EXPECT_NEAR(hits[0].score, 1.0, 1e-6);
+}
+
+TEST_F(BaselineFixture, DvqIndexRetrievesSelf) {
+  embed::SemanticHashEmbedder embedder;
+  DvqIndex index(&suite_->train, &embedder);
+  const dataset::Example& probe = suite_->train[7];
+  std::vector<DvqIndex::Hit> hits = index.TopK(probe.DvqText(), 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].example->DvqText(), probe.DvqText());
+}
+
+TEST_F(BaselineFixture, Seq2VisMemorizesTrainingPairs) {
+  Seq2Vis model(corpus_);
+  const dataset::Example& probe = suite_->train[3];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(probe.db_name);
+  Result<dvq::DVQ> out = model.Translate(probe.nlq, db->data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(dvq::OverallMatch(out.value(), probe.dvq));
+}
+
+TEST_F(BaselineFixture, BaselinesProduceParseableOutput) {
+  Seq2Vis seq2vis(corpus_);
+  TransformerModel transformer(corpus_);
+  RGVisNet rgvisnet(corpus_);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const dataset::Example& ex = suite_->test_clean[i];
+    const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+    for (const TextToVisModel* model :
+         {static_cast<const TextToVisModel*>(&seq2vis),
+          static_cast<const TextToVisModel*>(&transformer),
+          static_cast<const TextToVisModel*>(&rgvisnet)}) {
+      Result<dvq::DVQ> out = model->Translate(ex.nlq, db->data);
+      ASSERT_TRUE(out.ok()) << model->name();
+      EXPECT_FALSE(out.value().ToString().empty());
+    }
+  }
+}
+
+TEST_F(BaselineFixture, ModelNames) {
+  EXPECT_EQ(Seq2Vis(corpus_).name(), "Seq2Vis");
+  EXPECT_EQ(TransformerModel(corpus_).name(), "Transformer");
+  EXPECT_EQ(RGVisNet(corpus_).name(), "RGVisNet");
+}
+
+}  // namespace
+}  // namespace gred::models

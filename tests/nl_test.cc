@@ -1,0 +1,138 @@
+// Unit and invariant tests for the NL layer: tokenizer, stemmer and the
+// concept lexicon.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "nl/lexicon.h"
+#include "nl/text.h"
+
+namespace gred::nl {
+namespace {
+
+TEST(Tokenize, LowercasesAndSplitsPunctuation) {
+  EXPECT_EQ(Tokenize("Show me the Hire_Date, please!"),
+            (std::vector<std::string>{"show", "me", "the", "hire", "date",
+                                      "please"}));
+}
+
+TEST(Tokenize, KeepsNumbersAndDropsApostrophes) {
+  EXPECT_EQ(Tokenize("what's the top 10?"),
+            (std::vector<std::string>{"whats", "the", "top", "10"}));
+}
+
+TEST(Tokenize, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("?!,.").empty());
+}
+
+TEST(Stem, PluralForms) {
+  EXPECT_EQ(Stem("salaries"), Stem("salary"));
+  EXPECT_EQ(Stem("departments"), Stem("department"));
+  EXPECT_EQ(Stem("matches"), Stem("match"));
+}
+
+TEST(Stem, VerbSuffixes) {
+  EXPECT_EQ(Stem("sorting"), Stem("sort"));
+  EXPECT_EQ(Stem("sorted"), Stem("sort"));
+  EXPECT_EQ(Stem("grouping"), Stem("group"));
+}
+
+TEST(Stem, NeverShortensBelowThree) {
+  EXPECT_EQ(Stem("is"), "is");
+  EXPECT_EQ(Stem("as"), "as");
+}
+
+TEST(Stopwords, CommonFunctionWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("show"));
+  EXPECT_FALSE(IsStopword("salary"));
+  EXPECT_FALSE(IsStopword("whose"));
+}
+
+TEST(ContentTokens, DropsStopwords) {
+  std::vector<std::string> tokens =
+      ContentTokens("Show me the salary of each employee");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"salary", "employee"}));
+}
+
+TEST(Lexicon, DefaultKnowsDomainSynonyms) {
+  const Lexicon& lex = Lexicon::Default();
+  EXPECT_TRUE(lex.SameConcept("salary", "wage"));
+  EXPECT_TRUE(lex.SameConcept("department", "division"));
+  EXPECT_TRUE(lex.SameConcept("film", "movie"));
+  EXPECT_FALSE(lex.SameConcept("salary", "department"));
+  EXPECT_FALSE(lex.SameConcept("zzz", "salary"));
+}
+
+TEST(Lexicon, StemmedLookup) {
+  const Lexicon& lex = Lexicon::Default();
+  // "wages" stems to "wage" which belongs to the salary concept.
+  EXPECT_EQ(lex.ConceptIdOf("wages"), "salary");
+  EXPECT_EQ(lex.ConceptIdOf("unknownword"), "");
+}
+
+TEST(Lexicon, WordSimilarityTiers) {
+  const Lexicon& lex = Lexicon::Default();
+  EXPECT_DOUBLE_EQ(lex.WordSimilarity("salary", "salaries"), 1.0);
+  EXPECT_DOUBLE_EQ(lex.WordSimilarity("salary", "wage"), 0.85);
+  EXPECT_DOUBLE_EQ(lex.WordSimilarity("salary", "pet"), 0.0);
+}
+
+TEST(Lexicon, AlternateFormsExcludeSameStem) {
+  const Lexicon& lex = Lexicon::Default();
+  std::vector<std::string> alts = lex.AlternateForms("salary");
+  EXPECT_FALSE(alts.empty());
+  for (const std::string& alt : alts) {
+    EXPECT_NE(Stem(alt), Stem("salary"));
+    EXPECT_TRUE(lex.SameConcept(alt, "salary"));
+  }
+  EXPECT_TRUE(lex.AlternateForms("qqq").empty());
+}
+
+TEST(Lexicon, AddConceptIgnoresDuplicateForms) {
+  Lexicon lex;
+  lex.AddConcept("a", {"alpha", "first"});
+  lex.AddConcept("b", {"alpha", "beta"});  // "alpha" already taken
+  EXPECT_EQ(lex.ConceptIdOf("alpha"), "a");
+  EXPECT_EQ(lex.ConceptIdOf("beta"), "b");
+}
+
+// Invariant: every surface form in the default lexicon maps to exactly
+// one concept, and the canonical form (forms[0]) maps back to its own
+// concept.
+TEST(Lexicon, DefaultBankInvariants) {
+  const Lexicon& lex = Lexicon::Default();
+  EXPECT_GT(lex.size(), 100u);
+  std::map<std::string, std::string> stem_owner;
+  for (const Lexicon::Concept& entry : lex.concepts()) {
+    ASSERT_FALSE(entry.forms.empty());
+    EXPECT_EQ(lex.ConceptIdOf(entry.forms[0]), entry.id)
+        << "canonical form of " << entry.id;
+    for (const std::string& form : entry.forms) {
+      std::string stem = Stem(form);
+      auto [it, inserted] = stem_owner.emplace(stem, entry.id);
+      EXPECT_TRUE(inserted) << "stem '" << stem << "' owned by both '"
+                            << it->second << "' and '" << entry.id << "'";
+      EXPECT_EQ(lex.ConceptIdOf(form), entry.id);
+    }
+  }
+}
+
+// Invariant: word similarity is symmetric over the lexicon vocabulary.
+TEST(Lexicon, WordSimilaritySymmetry) {
+  const Lexicon& lex = Lexicon::Default();
+  const std::vector<std::string> words = {"salary", "wage", "pay",
+                                          "department", "film", "movie",
+                                          "city", "unknown"};
+  for (const std::string& a : words) {
+    for (const std::string& b : words) {
+      EXPECT_DOUBLE_EQ(lex.WordSimilarity(a, b), lex.WordSimilarity(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gred::nl

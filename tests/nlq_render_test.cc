@@ -1,0 +1,154 @@
+// Focused tests for NLQ rendering in the two registers (explicit nvBench
+// style vs paraphrased nvBench-Rob style).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/nlq_render.h"
+#include "nl/lexicon.h"
+#include "nl/text.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gred::dataset {
+namespace {
+
+AxisPick MakePick(const std::string& table, const std::string& column,
+                  std::vector<std::string> words, ColumnRole role) {
+  AxisPick pick;
+  pick.table = table;
+  pick.column = column;
+  pick.words = std::move(words);
+  pick.role = role;
+  return pick;
+}
+
+QueryPlan MakePlan() {
+  QueryPlan plan;
+  plan.db_name = "hr_1";
+  plan.chart = dvq::ChartType::kBar;
+  plan.hardness = Hardness::kHard;
+  plan.main_table = "employees";
+  plan.x = MakePick("employees", "city", {"city"}, ColumnRole::kCategory);
+  plan.y_agg = dvq::AggFunc::kAvg;
+  plan.y = MakePick("employees", "salary", {"salary"}, ColumnRole::kNumeric);
+  plan.group = true;
+  FilterPick filter;
+  filter.col = MakePick("employees", "age", {"age"}, ColumnRole::kNumeric);
+  filter.op = dvq::CompareOp::kGt;
+  filter.literal = dvq::Literal::Int(30);
+  plan.filter = filter;
+  OrderPick order;
+  order.on_y = true;
+  order.descending = true;
+  plan.order = order;
+  return plan;
+}
+
+TEST(NlqRender, ExplicitStyleCarriesLiteralAndColumns) {
+  Rng rng(1);
+  std::string nlq = RenderNlq(MakePlan(), NlqStyle::kExplicit, &rng,
+                              nl::Lexicon::Default());
+  EXPECT_NE(nlq.find("30"), std::string::npos);
+  EXPECT_TRUE(strings::ContainsIgnoreCase(nlq, "city"));
+  EXPECT_TRUE(strings::ContainsIgnoreCase(nlq, "age"));
+  // Terminal punctuation.
+  EXPECT_TRUE(nlq.back() == '.' || nlq.back() == '?');
+}
+
+TEST(NlqRender, ParaphrasedStyleNeverQuotesIdentifiersVerbatim) {
+  // Across many renders, the paraphrased register should avoid the raw
+  // identifier form "hire_date" (words may still appear, underscored
+  // names must not).
+  QueryPlan plan = MakePlan();
+  plan.x = MakePick("employees", "hire_date", {"hire", "date"},
+                    ColumnRole::kDate);
+  Rng rng(2);
+  int verbatim = 0;
+  for (int i = 0; i < 40; ++i) {
+    std::string nlq = RenderNlq(plan, NlqStyle::kParaphrased, &rng,
+                                nl::Lexicon::Default());
+    if (nlq.find("hire_date") != std::string::npos) ++verbatim;
+  }
+  // The per-clause explicit leak can surface the identifier sometimes,
+  // but the paraphrased register must not default to it.
+  EXPECT_LT(verbatim, 20);
+}
+
+TEST(NlqRender, ParaphrasedUsesSynonymsSometimes) {
+  QueryPlan plan = MakePlan();
+  Rng rng(3);
+  bool saw_synonym = false;
+  for (int i = 0; i < 60 && !saw_synonym; ++i) {
+    std::string nlq = strings::ToLower(RenderNlq(
+        plan, NlqStyle::kParaphrased, &rng, nl::Lexicon::Default()));
+    for (const char* syn : {"wage", "pay", "compensation", "earnings"}) {
+      if (nlq.find(syn) != std::string::npos) saw_synonym = true;
+    }
+  }
+  EXPECT_TRUE(saw_synonym);
+}
+
+TEST(NlqRender, DeterministicGivenRngState) {
+  Rng a(7);
+  Rng b(7);
+  std::string nlq_a = RenderNlq(MakePlan(), NlqStyle::kParaphrased, &a,
+                                nl::Lexicon::Default());
+  std::string nlq_b = RenderNlq(MakePlan(), NlqStyle::kParaphrased, &b,
+                                nl::Lexicon::Default());
+  EXPECT_EQ(nlq_a, nlq_b);
+}
+
+TEST(NlqRender, ColumnPhraseStyles) {
+  AxisPick pick = MakePick("employees", "hire_date", {"hire", "date"},
+                           ColumnRole::kDate);
+  Rng rng(11);
+  std::set<std::string> explicit_forms;
+  for (int i = 0; i < 30; ++i) {
+    explicit_forms.insert(
+        ColumnPhrase(pick, NlqStyle::kExplicit, &rng, nl::Lexicon::Default()));
+  }
+  // Explicit style is either the identifier or its exact words.
+  for (const std::string& form : explicit_forms) {
+    EXPECT_TRUE(form == "hire_date" || form == "hire date") << form;
+  }
+}
+
+TEST(NlqRender, LimitAndBinClausesSurfaceTheirParameters) {
+  QueryPlan plan = MakePlan();
+  plan.limit = 7;
+  BinPick bin;
+  bin.col = MakePick("employees", "hire_date", {"hire", "date"},
+                     ColumnRole::kDate);
+  bin.unit = dvq::BinUnit::kMonth;
+  plan.bin = bin;
+  plan.x = bin.col;
+  Rng rng(5);
+  std::string nlq = RenderNlq(plan, NlqStyle::kExplicit, &rng,
+                              nl::Lexicon::Default());
+  EXPECT_NE(nlq.find("7"), std::string::npos);
+  EXPECT_TRUE(strings::ContainsIgnoreCase(nlq, "month"));
+}
+
+TEST(NlqRender, SubqueryFilterPhrasesThroughParent) {
+  QueryPlan plan = MakePlan();
+  FilterPick filter;
+  filter.via_subquery = true;
+  filter.op = dvq::CompareOp::kEq;
+  filter.literal = dvq::Literal::Str("Finance");
+  filter.sub_table = "departments";
+  filter.sub_key = "department_id";
+  filter.sub_fk = "department_id";
+  filter.sub_attr = MakePick("departments", "department_name",
+                             {"department", "name"}, ColumnRole::kName);
+  plan.filter = filter;
+  Rng rng(13);
+  std::string nlq = RenderNlq(plan, NlqStyle::kExplicit, &rng,
+                              nl::Lexicon::Default());
+  EXPECT_TRUE(strings::ContainsIgnoreCase(nlq, "departments"));
+  EXPECT_NE(nlq.find("Finance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gred::dataset

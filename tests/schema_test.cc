@@ -1,0 +1,143 @@
+// Unit tests for schema definitions, lookup and validation.
+
+#include <gtest/gtest.h>
+
+#include "schema/schema.h"
+
+namespace gred::schema {
+namespace {
+
+Database MakeHrSchema() {
+  Database db("hr");
+  TableDef departments("departments", {});
+  departments.AddColumn({"department_id", ColumnType::kInt, true});
+  departments.AddColumn({"department_name", ColumnType::kText, false});
+  db.AddTable(std::move(departments));
+  TableDef employees("employees", {});
+  employees.AddColumn({"employee_id", ColumnType::kInt, true});
+  employees.AddColumn({"salary", ColumnType::kInt, false});
+  employees.AddColumn({"hire_date", ColumnType::kDate, false});
+  employees.AddColumn({"department_id", ColumnType::kInt, false});
+  db.AddTable(std::move(employees));
+  ForeignKey fk;
+  fk.from_table = "employees";
+  fk.from_column = "department_id";
+  fk.to_table = "departments";
+  fk.to_column = "department_id";
+  db.AddForeignKey(std::move(fk));
+  return db;
+}
+
+TEST(Schema, ColumnTypeNames) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt), "Number");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kReal), "Number");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kText), "Text");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDate), "Time");
+}
+
+TEST(Schema, TableColumnLookupIsCaseInsensitive) {
+  Database db = MakeHrSchema();
+  const TableDef* employees = db.FindTable("EMPLOYEES");
+  ASSERT_NE(employees, nullptr);
+  EXPECT_NE(employees->FindColumn("Hire_Date"), nullptr);
+  EXPECT_EQ(employees->FindColumn("wage"), nullptr);
+  EXPECT_EQ(employees->ColumnIndex("salary"), 1u);
+  EXPECT_FALSE(employees->ColumnIndex("missing").has_value());
+}
+
+TEST(Schema, FindColumnAnywherePrefersTableOrder) {
+  Database db = MakeHrSchema();
+  auto [table, column] = db.FindColumnAnywhere("department_id");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->name(), "departments");
+  ASSERT_NE(column, nullptr);
+  EXPECT_EQ(column->name, "department_id");
+  EXPECT_EQ(db.FindColumnAnywhere("nothing").first, nullptr);
+}
+
+TEST(Schema, HasColumn) {
+  Database db = MakeHrSchema();
+  EXPECT_TRUE(db.HasColumn("SALARY"));
+  EXPECT_FALSE(db.HasColumn("wage"));
+}
+
+TEST(Schema, AllColumnNamesInTableOrder) {
+  Database db = MakeHrSchema();
+  std::vector<std::string> names = db.AllColumnNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "department_id");
+  EXPECT_EQ(names[2], "employee_id");
+  EXPECT_EQ(db.total_columns(), 6u);
+}
+
+TEST(Schema, RenderSchemaPromptFormat) {
+  Database db = MakeHrSchema();
+  std::string prompt = db.RenderSchemaPrompt();
+  EXPECT_NE(prompt.find("# Table departments , columns = [ * , "
+                        "department_id , department_name ]"),
+            std::string::npos);
+  EXPECT_NE(prompt.find("# Foreign_keys = [ employees.department_id = "
+                        "departments.department_id ]"),
+            std::string::npos);
+}
+
+TEST(Schema, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(MakeHrSchema().Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsDuplicateTables) {
+  Database db("d");
+  TableDef a("t", {});
+  a.AddColumn({"x", ColumnType::kInt, false});
+  db.AddTable(a);
+  db.AddTable(a);
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsDuplicateColumns) {
+  Database db("d");
+  TableDef t("t", {});
+  t.AddColumn({"x", ColumnType::kInt, false});
+  t.AddColumn({"X", ColumnType::kText, false});  // case-insensitive dup
+  db.AddTable(std::move(t));
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsEmptyTable) {
+  Database db("d");
+  db.AddTable(TableDef("empty", {}));
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsDanglingForeignKey) {
+  Database db = MakeHrSchema();
+  ForeignKey bad;
+  bad.from_table = "employees";
+  bad.from_column = "salary";
+  bad.to_table = "missing_table";
+  bad.to_column = "id";
+  db.AddForeignKey(std::move(bad));
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsMissingFkColumn) {
+  Database db = MakeHrSchema();
+  ForeignKey bad;
+  bad.from_table = "employees";
+  bad.from_column = "no_such_col";
+  bad.to_table = "departments";
+  bad.to_column = "department_id";
+  db.AddForeignKey(std::move(bad));
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(Schema, CatalogLookup) {
+  Catalog catalog;
+  catalog.AddDatabase(MakeHrSchema());
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_NE(catalog.FindDatabase("HR"), nullptr);
+  EXPECT_EQ(catalog.FindDatabase("other"), nullptr);
+}
+
+}  // namespace
+}  // namespace gred::schema

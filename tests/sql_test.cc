@@ -1,0 +1,82 @@
+// Tests for the DVQ -> SQL translator.
+
+#include <gtest/gtest.h>
+
+#include "dvq/parser.h"
+#include "dvq/sql.h"
+
+namespace gred::dvq {
+namespace {
+
+DVQ D(const std::string& text) {
+  Result<DVQ> q = Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.value_or(DVQ{});
+}
+
+TEST(Sql, PlainProjection) {
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT name , salary FROM employees")),
+            "SELECT name, salary FROM employees");
+}
+
+TEST(Sql, QuotesAndEscapesStrings) {
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT a , b FROM t WHERE n = "
+                    "\"O'Hara\"")),
+            "SELECT a, b FROM t WHERE n = 'O''Hara'");
+}
+
+TEST(Sql, ExplicitAndImplicitGrouping) {
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a")),
+            "SELECT a, COUNT(a) FROM t GROUP BY a");
+  // Implicit Vega-Zero grouping becomes explicit SQL.
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT a , SUM(b) FROM t")),
+            "SELECT a, SUM(b) FROM t GROUP BY a");
+}
+
+TEST(Sql, BinBecomesStrftimeOnSqlite) {
+  EXPECT_EQ(
+      ToSql(D("Visualize LINE SELECT d , COUNT(d) FROM t BIN d BY MONTH")),
+      "SELECT strftime('%Y-%m', d), COUNT(strftime('%Y-%m', d)) FROM t "
+      "GROUP BY strftime('%Y-%m', d)");
+}
+
+TEST(Sql, BinBecomesExtractOnStandard) {
+  std::string sql =
+      ToSql(D("Visualize LINE SELECT d , COUNT(d) FROM t BIN d BY YEAR"),
+            SqlDialect::kStandard);
+  EXPECT_NE(sql.find("EXTRACT(YEAR FROM d)"), std::string::npos);
+}
+
+TEST(Sql, JoinAliasesAndQualifiers) {
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT T1.a , T2.b FROM emp AS T1 JOIN "
+                    "dept AS T2 ON T1.k = T2.k")),
+            "SELECT T1.a, T2.b FROM emp AS T1 JOIN dept AS T2 ON T1.k = "
+            "T2.k");
+}
+
+TEST(Sql, WhereOperatorsAndNullTests) {
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT a , b FROM t WHERE x >= 3 AND y "
+                    "IS NOT NULL OR z IN (1 , 2)")),
+            "SELECT a, b FROM t WHERE x >= 3 AND y IS NOT NULL OR z IN "
+            "(1, 2)");
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT a , b FROM t WHERE n LIKE "
+                    "\"%x%\"")),
+            "SELECT a, b FROM t WHERE n LIKE '%x%'");
+}
+
+TEST(Sql, ScalarSubquery) {
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT a , b FROM t WHERE fk = (SELECT "
+                    "id FROM p WHERE n = \"v\")")),
+            "SELECT a, b FROM t WHERE fk = (SELECT id FROM p WHERE n = "
+            "'v')");
+}
+
+TEST(Sql, OrderLimitCountStar) {
+  EXPECT_EQ(ToSql(D("Visualize BAR SELECT a , COUNT(*) FROM t GROUP BY a "
+                    "ORDER BY COUNT(*) DESC LIMIT 5")),
+            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY COUNT(*) DESC "
+            "LIMIT 5");
+}
+
+}  // namespace
+}  // namespace gred::dvq

@@ -1,0 +1,171 @@
+// Unit and property tests for the storage layer: typed values and
+// column-store tables.
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+#include "storage/value.h"
+#include "util/rng.h"
+
+namespace gred::storage {
+namespace {
+
+TEST(Value, KindPredicates) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Real(2.5).is_real());
+  EXPECT_TRUE(Value::Text("x").is_text());
+  EXPECT_TRUE(Value::Int(3).is_numeric());
+  EXPECT_TRUE(Value::Real(2.5).is_numeric());
+  EXPECT_FALSE(Value::Text("x").is_numeric());
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Real(4.0).ToString(), "4");
+  EXPECT_EQ(Value::Real(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value::Text("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Bool(true).ToString(), "1");
+}
+
+TEST(Value, AsDouble) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Text("x").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Null().AsDouble(), 0.0);
+}
+
+TEST(Value, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Text("b").Compare(Value::Text("a")), 0);
+}
+
+TEST(Value, CompareAcrossNumericTypes) {
+  EXPECT_EQ(Value::Int(4).Compare(Value::Real(4.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+}
+
+TEST(Value, SqliteTypeOrdering) {
+  // NULL < numbers < text.
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Int(1000).Compare(Value::Text("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(Value, EqualValuesHashEqually) {
+  EXPECT_EQ(Value::Int(4).Hash(), Value::Real(4.0).Hash());
+  EXPECT_EQ(Value::Text("x").Hash(), Value::Text("x").Hash());
+  EXPECT_NE(Value::Text("x").Hash(), Value::Text("y").Hash());
+}
+
+// Property: Compare defines a total order over a sampled value domain.
+class ValueOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueOrderProperty, TotalOrder) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto random_value = [&]() -> Value {
+    switch (rng.NextIndex(4)) {
+      case 0:
+        return Value::Null();
+      case 1:
+        return Value::Int(rng.NextInt(-5, 5));
+      case 2:
+        return Value::Real(static_cast<double>(rng.NextInt(-5, 5)) / 2.0);
+      default:
+        return Value::Text(std::string(1, static_cast<char>(
+                                              'a' + rng.NextIndex(3))));
+    }
+  };
+  for (int i = 0; i < 200; ++i) {
+    Value a = random_value();
+    Value b = random_value();
+    Value c = random_value();
+    // Antisymmetry.
+    EXPECT_EQ(a.Compare(b), -b.Compare(a));
+    // Transitivity (on the <= relation).
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0);
+    }
+    // Hash consistency with equality.
+    if (a.Compare(b) == 0) {
+      EXPECT_EQ(a.Hash(), b.Hash());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderProperty,
+                         ::testing::Values(1, 2, 3));
+
+schema::TableDef MakeDef() {
+  schema::TableDef def("people", {});
+  def.AddColumn({"id", schema::ColumnType::kInt, true});
+  def.AddColumn({"name", schema::ColumnType::kText, false});
+  return def;
+}
+
+TEST(DataTable, AppendAndAccess) {
+  DataTable table(MakeDef());
+  EXPECT_EQ(table.num_rows(), 0u);
+  ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Text("ann")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(2), Value::Text("bob")}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.at(1, 1).text_value(), "bob");
+  EXPECT_EQ(table.Row(0)[0].int_value(), 1);
+  EXPECT_EQ(table.column(1).size(), 2u);
+}
+
+TEST(DataTable, RejectsArityMismatch) {
+  DataTable table(MakeDef());
+  EXPECT_FALSE(table.AppendRow({Value::Int(1)}).ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+schema::Database MakeDbSchema() {
+  schema::Database db("d");
+  db.AddTable(MakeDef());
+  schema::TableDef pets("pets", {});
+  pets.AddColumn({"pet_id", schema::ColumnType::kInt, true});
+  pets.AddColumn({"owner_id", schema::ColumnType::kInt, false});
+  db.AddTable(std::move(pets));
+  schema::ForeignKey fk;
+  fk.from_table = "pets";
+  fk.from_column = "owner_id";
+  fk.to_table = "people";
+  fk.to_column = "id";
+  db.AddForeignKey(std::move(fk));
+  return db;
+}
+
+TEST(DatabaseData, TablesAlignedWithSchema) {
+  DatabaseData db(MakeDbSchema());
+  EXPECT_EQ(db.tables().size(), 2u);
+  EXPECT_NE(db.FindTable("PETS"), nullptr);
+  EXPECT_EQ(db.FindTable("missing"), nullptr);
+}
+
+TEST(DatabaseData, RenameTableUpdatesSchemaDataAndFks) {
+  DatabaseData db(MakeDbSchema());
+  ASSERT_TRUE(db.RenameTable("people", "persons").ok());
+  EXPECT_EQ(db.db_schema().FindTable("people"), nullptr);
+  EXPECT_NE(db.db_schema().FindTable("persons"), nullptr);
+  EXPECT_NE(db.FindTable("persons"), nullptr);
+  EXPECT_EQ(db.db_schema().foreign_keys()[0].to_table, "persons");
+  EXPECT_FALSE(db.RenameTable("people", "x").ok());
+}
+
+TEST(DatabaseData, RenameColumnUpdatesSchemaDataAndFks) {
+  DatabaseData db(MakeDbSchema());
+  ASSERT_TRUE(db.RenameColumn("people", "id", "person_key").ok());
+  const schema::TableDef* people = db.db_schema().FindTable("people");
+  EXPECT_EQ(people->FindColumn("id"), nullptr);
+  EXPECT_NE(people->FindColumn("person_key"), nullptr);
+  EXPECT_NE(db.FindTable("people")->def().FindColumn("person_key"), nullptr);
+  EXPECT_EQ(db.db_schema().foreign_keys()[0].to_column, "person_key");
+  EXPECT_FALSE(db.RenameColumn("people", "id", "y").ok());
+  EXPECT_FALSE(db.RenameColumn("missing", "id", "y").ok());
+}
+
+}  // namespace
+}  // namespace gred::storage

@@ -1,0 +1,131 @@
+// Tests for the SVG chart renderer.
+
+#include <gtest/gtest.h>
+
+#include "dvq/parser.h"
+#include "viz/svg.h"
+
+namespace gred::viz {
+namespace {
+
+using storage::Value;
+
+storage::DatabaseData MakeDb() {
+  schema::Database db_schema("shop");
+  schema::TableDef sales("sales", {});
+  sales.AddColumn({"region", schema::ColumnType::kText, false});
+  sales.AddColumn({"amount", schema::ColumnType::kReal, false});
+  sales.AddColumn({"channel", schema::ColumnType::kText, false});
+  sales.AddColumn({"day", schema::ColumnType::kDate, false});
+  db_schema.AddTable(std::move(sales));
+  storage::DatabaseData db(std::move(db_schema));
+  storage::DataTable* t = db.FindTable("sales");
+  auto add = [&](const char* region, double amount, const char* channel,
+                 const char* day) {
+    EXPECT_TRUE(t->AppendRow({Value::Text(region), Value::Real(amount),
+                              Value::Text(channel), Value::Text(day)})
+                    .ok());
+  };
+  add("north", 10, "web", "2024-01-05");
+  add("south", 25, "web", "2024-02-10");
+  add("north", 5, "store", "2024-03-15");
+  add("south", 15, "store", "2024-04-20");
+  return db;
+}
+
+Chart MakeChart(const std::string& dvq_text) {
+  storage::DatabaseData db = MakeDb();
+  Result<dvq::DVQ> q = dvq::Parse(dvq_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  Result<Chart> chart = BuildChart(q.value(), db);
+  EXPECT_TRUE(chart.ok()) << chart.status().ToString();
+  return chart.value_or(Chart{});
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Svg, BarChartHasRectsAndAxes) {
+  Chart chart = MakeChart(
+      "Visualize BAR SELECT region , SUM(amount) FROM sales GROUP BY "
+      "region");
+  std::string svg = RenderSvg(chart);
+  EXPECT_TRUE(Contains(svg, "<svg"));
+  EXPECT_TRUE(Contains(svg, "<rect"));
+  EXPECT_TRUE(Contains(svg, "region"));       // x-axis label
+  EXPECT_TRUE(Contains(svg, "SUM(amount)"));  // y-axis label
+  EXPECT_TRUE(Contains(svg, "</svg>"));
+}
+
+TEST(Svg, PieChartUsesArcPaths) {
+  Chart chart = MakeChart(
+      "Visualize PIE SELECT region , COUNT(region) FROM sales GROUP BY "
+      "region");
+  std::string svg = RenderSvg(chart);
+  EXPECT_TRUE(Contains(svg, "<path"));
+  EXPECT_TRUE(Contains(svg, " A "));   // arc command
+  EXPECT_FALSE(Contains(svg, "<line"));  // no axes on a pie
+}
+
+TEST(Svg, LineChartUsesPolyline) {
+  Chart chart = MakeChart(
+      "Visualize LINE SELECT day , COUNT(day) FROM sales BIN day BY MONTH");
+  std::string svg = RenderSvg(chart);
+  EXPECT_TRUE(Contains(svg, "<polyline"));
+}
+
+TEST(Svg, ScatterUsesCircles) {
+  Chart chart =
+      MakeChart("Visualize SCATTER SELECT amount , amount FROM sales");
+  std::string svg = RenderSvg(chart);
+  EXPECT_TRUE(Contains(svg, "<circle"));
+}
+
+TEST(Svg, StackedBarGetsLegend) {
+  Chart chart = MakeChart(
+      "Visualize STACKED BAR SELECT region , SUM(amount) , channel FROM "
+      "sales GROUP BY channel , region");
+  std::string svg = RenderSvg(chart);
+  EXPECT_TRUE(Contains(svg, "web"));
+  EXPECT_TRUE(Contains(svg, "store"));
+  EXPECT_TRUE(Contains(svg, "<rect"));
+}
+
+TEST(Svg, EscapesLabels) {
+  Chart chart = MakeChart("Visualize BAR SELECT region , amount FROM sales");
+  chart.title = "a <b> & \"c\"";
+  std::string svg = RenderSvg(chart);
+  EXPECT_TRUE(Contains(svg, "a &lt;b&gt; &amp; &quot;c&quot;"));
+  EXPECT_FALSE(Contains(svg, "<b>"));
+}
+
+TEST(Svg, EmptyDataStillValidDocument) {
+  Chart chart = MakeChart(
+      "Visualize BAR SELECT region , amount FROM sales WHERE amount > "
+      "9999");
+  std::string svg = RenderSvg(chart);
+  EXPECT_TRUE(Contains(svg, "(no data)"));
+  EXPECT_TRUE(Contains(svg, "</svg>"));
+}
+
+TEST(Svg, MaxItemsTruncationNoted) {
+  Chart chart = MakeChart("Visualize BAR SELECT region , amount FROM sales");
+  SvgOptions options;
+  options.max_items = 2;
+  std::string svg = RenderSvg(chart, options);
+  EXPECT_TRUE(Contains(svg, "more)"));
+}
+
+TEST(Svg, RespectsDimensions) {
+  Chart chart = MakeChart("Visualize BAR SELECT region , amount FROM sales");
+  SvgOptions options;
+  options.width = 320;
+  options.height = 200;
+  std::string svg = RenderSvg(chart, options);
+  EXPECT_TRUE(Contains(svg, "width='320'"));
+  EXPECT_TRUE(Contains(svg, "height='200'"));
+}
+
+}  // namespace
+}  // namespace gred::viz

@@ -1,0 +1,206 @@
+// Unit tests for the chart pipeline: DVQ -> executed data -> Vega-Lite /
+// ASCII.
+
+#include <gtest/gtest.h>
+
+#include "dvq/parser.h"
+#include "viz/chart.h"
+#include "viz/echarts.h"
+
+namespace gred::viz {
+namespace {
+
+using storage::Value;
+
+storage::DatabaseData MakeDb() {
+  schema::Database db_schema("shop");
+  schema::TableDef products("products", {});
+  products.AddColumn({"category", schema::ColumnType::kText, false});
+  products.AddColumn({"price", schema::ColumnType::kReal, false});
+  products.AddColumn({"stock", schema::ColumnType::kInt, false});
+  db_schema.AddTable(std::move(products));
+  storage::DatabaseData db(std::move(db_schema));
+  storage::DataTable* t = db.FindTable("products");
+  EXPECT_TRUE(
+      t->AppendRow({Value::Text("toys"), Value::Real(9.5), Value::Int(4)})
+          .ok());
+  EXPECT_TRUE(
+      t->AppendRow({Value::Text("books"), Value::Real(12.0), Value::Int(7)})
+          .ok());
+  EXPECT_TRUE(
+      t->AppendRow({Value::Text("toys"), Value::Real(3.0), Value::Int(2)})
+          .ok());
+  return db;
+}
+
+dvq::DVQ D(const std::string& text) {
+  Result<dvq::DVQ> q = dvq::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.value_or(dvq::DVQ{});
+}
+
+TEST(Chart, BuildsFromValidDvq) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize BAR SELECT category , SUM(price) FROM products GROUP "
+        "BY category"),
+      db);
+  ASSERT_TRUE(chart.ok());
+  EXPECT_EQ(chart.value().type, dvq::ChartType::kBar);
+  EXPECT_EQ(chart.value().x_label, "category");
+  EXPECT_EQ(chart.value().y_label, "SUM(price)");
+  EXPECT_EQ(chart.value().data.num_rows(), 2u);
+}
+
+TEST(Chart, FailsOnHallucinatedColumn) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize BAR SELECT genre , SUM(price) FROM products GROUP BY "
+        "genre"),
+      db);
+  EXPECT_FALSE(chart.ok());  // the paper's "no chart" outcome
+}
+
+TEST(Chart, SeriesLabelForGroupedCharts) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize STACKED BAR SELECT category , SUM(price) , category "
+        "FROM products GROUP BY category"),
+      db);
+  ASSERT_TRUE(chart.ok());
+  EXPECT_EQ(chart.value().series_label, "category");
+}
+
+TEST(VegaLite, BarSpecShape) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize BAR SELECT category , stock FROM products"), db);
+  ASSERT_TRUE(chart.ok());
+  json::Value spec = ToVegaLite(chart.value());
+  EXPECT_EQ(spec.Find("mark")->string_value(), "bar");
+  const json::Value* encoding = spec.Find("encoding");
+  ASSERT_NE(encoding, nullptr);
+  EXPECT_EQ(encoding->Find("x")->Find("type")->string_value(), "nominal");
+  EXPECT_EQ(encoding->Find("y")->Find("type")->string_value(),
+            "quantitative");
+  const json::Value* data = spec.Find("data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->Find("values")->size(), 3u);
+}
+
+TEST(VegaLite, PieUsesThetaEncoding) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize PIE SELECT category , COUNT(category) FROM products "
+        "GROUP BY category"),
+      db);
+  ASSERT_TRUE(chart.ok());
+  json::Value spec = ToVegaLite(chart.value());
+  EXPECT_EQ(spec.Find("mark")->string_value(), "arc");
+  EXPECT_NE(spec.Find("encoding")->Find("theta"), nullptr);
+  EXPECT_EQ(spec.Find("encoding")->Find("x"), nullptr);
+}
+
+TEST(VegaLite, ScatterIsQuantitativeBothAxes) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize SCATTER SELECT price , stock FROM products"), db);
+  ASSERT_TRUE(chart.ok());
+  json::Value spec = ToVegaLite(chart.value());
+  EXPECT_EQ(spec.Find("mark")->string_value(), "point");
+  EXPECT_EQ(
+      spec.Find("encoding")->Find("x")->Find("type")->string_value(),
+      "quantitative");
+}
+
+TEST(Ascii, BarRenderingContainsLabelsAndBars) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize BAR SELECT category , SUM(stock) FROM products GROUP "
+        "BY category"),
+      db);
+  ASSERT_TRUE(chart.ok());
+  std::string art = RenderAscii(chart.value(), 20);
+  EXPECT_NE(art.find("toys"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Ascii, LineRenderingHasGrid) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize SCATTER SELECT price , stock FROM products"), db);
+  ASSERT_TRUE(chart.ok());
+  std::string art = RenderAscii(chart.value(), 30);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find("+"), std::string::npos);
+}
+
+TEST(Ascii, EmptyResult) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize BAR SELECT category , price FROM products WHERE price "
+        "> 100"),
+      db);
+  ASSERT_TRUE(chart.ok());
+  EXPECT_NE(RenderAscii(chart.value()).find("(no data)"),
+            std::string::npos);
+}
+
+TEST(ECharts, BarOptionShape) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize BAR SELECT category , SUM(price) FROM products GROUP "
+        "BY category"),
+      db);
+  ASSERT_TRUE(chart.ok());
+  json::Value option = ToECharts(chart.value());
+  EXPECT_EQ(option.Find("xAxis")->Find("type")->string_value(), "category");
+  EXPECT_EQ(option.Find("series")->at(0).Find("type")->string_value(),
+            "bar");
+  EXPECT_EQ(option.Find("xAxis")->Find("data")->size(), 2u);
+}
+
+TEST(ECharts, PieUsesNameValuePairs) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize PIE SELECT category , COUNT(category) FROM products "
+        "GROUP BY category"),
+      db);
+  ASSERT_TRUE(chart.ok());
+  json::Value option = ToECharts(chart.value());
+  const json::Value& series = option.Find("series")->at(0);
+  EXPECT_EQ(series.Find("type")->string_value(), "pie");
+  EXPECT_NE(series.Find("data")->at(0).Find("name"), nullptr);
+  EXPECT_EQ(option.Find("xAxis"), nullptr);
+}
+
+TEST(ECharts, StackedBarSplitsSeriesWithStackKey) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize STACKED BAR SELECT category , SUM(price) , category "
+        "FROM products GROUP BY category"),
+      db);
+  ASSERT_TRUE(chart.ok());
+  json::Value option = ToECharts(chart.value());
+  const json::Value* series = option.Find("series");
+  EXPECT_GE(series->size(), 2u);
+  EXPECT_EQ(series->at(0).Find("stack")->string_value(), "total");
+  // Category-aligned data arrays match the x-axis length.
+  EXPECT_EQ(series->at(0).Find("data")->size(),
+            option.Find("xAxis")->Find("data")->size());
+}
+
+TEST(ECharts, ScatterEmitsPairs) {
+  storage::DatabaseData db = MakeDb();
+  Result<Chart> chart = BuildChart(
+      D("Visualize SCATTER SELECT price , stock FROM products"), db);
+  ASSERT_TRUE(chart.ok());
+  json::Value option = ToECharts(chart.value());
+  EXPECT_EQ(option.Find("xAxis")->Find("type")->string_value(), "value");
+  const json::Value& point =
+      option.Find("series")->at(0).Find("data")->at(0);
+  EXPECT_EQ(point.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gred::viz

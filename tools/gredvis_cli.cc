@@ -1,0 +1,241 @@
+// gredvis — unified command-line front end for the library.
+//
+//   gredvis stats                       dataset statistics (Figure 2)
+//   gredvis schema <db>                 print a database schema
+//   gredvis annotate <db>               LLM annotations for a database
+//   gredvis translate <db> "<question>" run GRED on one question
+//   gredvis eval <model> <set>          accuracy tables
+//   gredvis export <dir>                dump the benchmark as JSON
+//
+// Scale with GRED_BENCH_TRAIN_SIZE / GRED_BENCH_TEST_SIZE (defaults are
+// CLI-friendly: 1500 train / 200 test).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "dataset/benchmark.h"
+#include "dataset/io.h"
+#include "eval/metrics.h"
+#include "gred/gred.h"
+#include "llm/sim_llm.h"
+#include "models/rgvisnet.h"
+#include "models/seq2vis.h"
+#include "models/transformer.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "dvq/sql.h"
+#include "viz/chart.h"
+#include "viz/svg.h"
+
+namespace {
+
+using namespace gred;
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::atoll(value) > 0
+             ? static_cast<std::size_t>(std::atoll(value))
+             : fallback;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gredvis <command> [args]\n"
+      "  stats                     dataset statistics (Figure 2)\n"
+      "  schema <db>               print a database schema\n"
+      "  annotate <db>             LLM annotations for a database\n"
+      "  translate <db> <question> run GRED on one question\n"
+      "  eval <model> <set>        model in {seq2vis,transformer,rgvisnet,"
+      "gred}; set in {clean,nlq,schema,both}\n"
+      "  export <dir>              dump the benchmark as JSON\n");
+  return 2;
+}
+
+dataset::BenchmarkSuite BuildSuite() {
+  dataset::BenchmarkOptions options;
+  options.train_size = EnvSize("GRED_BENCH_TRAIN_SIZE", 1500);
+  options.test_size = EnvSize("GRED_BENCH_TEST_SIZE", 200);
+  std::fprintf(stderr, "[gredvis] building suite (%zu train / %zu test)\n",
+               options.train_size, options.test_size);
+  return dataset::BuildBenchmarkSuite(options);
+}
+
+int CmdStats() {
+  dataset::BenchmarkSuite suite = BuildSuite();
+  dataset::DatasetStats stats =
+      dataset::ComputeStats(suite.test_clean, suite.databases);
+  TablePrinter table({"Metric", "Value"});
+  for (const auto& [chart, count] : stats.by_chart) {
+    table.AddRow({"chart: " + chart, std::to_string(count)});
+  }
+  for (const auto& [level, count] : stats.by_hardness) {
+    table.AddRow({"hardness: " + level, std::to_string(count)});
+  }
+  table.AddRow({"databases", std::to_string(stats.num_databases)});
+  table.AddRow({"tables", std::to_string(stats.num_tables)});
+  table.AddRow({"columns", std::to_string(stats.num_columns)});
+  table.AddRow({"avg tables/db",
+                strings::Format("%.2f", stats.avg_tables_per_db)});
+  table.AddRow({"avg columns/table",
+                strings::Format("%.2f", stats.avg_columns_per_table)});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdSchema(const std::string& db_name) {
+  dataset::BenchmarkSuite suite = BuildSuite();
+  const dataset::GeneratedDatabase* db = suite.FindCleanDb(db_name);
+  if (db == nullptr) {
+    std::fprintf(stderr, "unknown database '%s'\n", db_name.c_str());
+    return 1;
+  }
+  std::printf("%s", db->data.db_schema().RenderSchemaPrompt().c_str());
+  return 0;
+}
+
+int CmdAnnotate(const std::string& db_name) {
+  dataset::BenchmarkSuite suite = BuildSuite();
+  const dataset::GeneratedDatabase* db = suite.FindCleanDb(db_name);
+  if (db == nullptr) {
+    std::fprintf(stderr, "unknown database '%s'\n", db_name.c_str());
+    return 1;
+  }
+  llm::SimulatedChatModel llm;
+  Result<std::string> annotations =
+      core::GenerateAnnotations(db->data.db_schema(), llm);
+  if (!annotations.ok()) {
+    std::fprintf(stderr, "%s\n", annotations.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", annotations.value().c_str());
+  return 0;
+}
+
+int CmdTranslate(const std::string& db_name, const std::string& question) {
+  dataset::BenchmarkSuite suite = BuildSuite();
+  const dataset::GeneratedDatabase* db = suite.FindCleanDb(db_name);
+  if (db == nullptr) {
+    std::fprintf(stderr, "unknown database '%s'\n", db_name.c_str());
+    return 1;
+  }
+  llm::SimulatedChatModel llm;
+  models::TrainingCorpus corpus;
+  corpus.train = &suite.train;
+  corpus.databases = &suite.databases;
+  core::Gred gred(corpus, &llm);
+  Result<dvq::DVQ> dvq = gred.Translate(question, db->data);
+  if (!dvq.ok()) {
+    std::fprintf(stderr, "translation failed: %s\n",
+                 dvq.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("DVQ: %s\n", dvq.value().ToString().c_str());
+  std::printf("SQL: %s\n", dvq::ToSql(dvq.value()).c_str());
+  Result<viz::Chart> chart = viz::BuildChart(dvq.value(), db->data);
+  if (!chart.ok()) {
+    std::printf("no chart produced: %s\n",
+                chart.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", viz::RenderAscii(chart.value()).c_str());
+  return 0;
+}
+
+int CmdEval(const std::string& model_name, const std::string& set_name) {
+  dataset::BenchmarkSuite suite = BuildSuite();
+  models::TrainingCorpus corpus;
+  corpus.train = &suite.train;
+  corpus.databases = &suite.databases;
+  llm::SimulatedChatModel llm;
+  std::unique_ptr<models::TextToVisModel> model;
+  if (model_name == "seq2vis") {
+    model = std::make_unique<models::Seq2Vis>(corpus);
+  } else if (model_name == "transformer") {
+    model = std::make_unique<models::TransformerModel>(corpus);
+  } else if (model_name == "rgvisnet") {
+    model = std::make_unique<models::RGVisNet>(corpus);
+  } else if (model_name == "gred") {
+    model = std::make_unique<core::Gred>(corpus, &llm);
+  } else {
+    std::fprintf(stderr, "unknown model '%s'\n", model_name.c_str());
+    return 1;
+  }
+  const std::vector<dataset::Example>* test = nullptr;
+  const std::vector<dataset::GeneratedDatabase>* dbs = nullptr;
+  if (set_name == "clean") {
+    test = &suite.test_clean;
+    dbs = &suite.databases;
+  } else if (set_name == "nlq") {
+    test = &suite.test_nlq;
+    dbs = &suite.databases;
+  } else if (set_name == "schema") {
+    test = &suite.test_schema;
+    dbs = &suite.databases_rob;
+  } else if (set_name == "both") {
+    test = &suite.test_both;
+    dbs = &suite.databases_rob;
+  } else {
+    std::fprintf(stderr, "unknown test set '%s'\n", set_name.c_str());
+    return 1;
+  }
+  eval::EvalResult result = eval::Evaluate(*model, *test, *dbs, set_name);
+  TablePrinter table({"Vis Acc.", "Data Acc.", "Axis Acc.", "Acc.",
+                      "Exec Acc."});
+  table.AddRow({FormatPercent(result.counts.VisAcc()),
+                FormatPercent(result.counts.DataAcc()),
+                FormatPercent(result.counts.AxisAcc()),
+                FormatPercent(result.counts.OverallAcc()),
+                FormatPercent(result.counts.ExecutionAcc())});
+  std::printf("%s on %s (%zu examples)\n%s", result.model_name.c_str(),
+              set_name.c_str(), result.counts.total,
+              table.ToString().c_str());
+  return 0;
+}
+
+int CmdExport(const std::string& dir) {
+  if (std::system(("mkdir -p " + dir).c_str()) != 0) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+  dataset::BenchmarkSuite suite = BuildSuite();
+  struct Split {
+    const char* name;
+    const std::vector<dataset::Example>* examples;
+  };
+  const Split kSplits[] = {
+      {"train", &suite.train},          {"test_clean", &suite.test_clean},
+      {"test_nlq", &suite.test_nlq},    {"test_schema", &suite.test_schema},
+      {"test_both", &suite.test_both},
+  };
+  for (const Split& split : kSplits) {
+    std::string path = dir + "/" + split.name + ".json";
+    Status status = dataset::WriteJsonFile(
+        path, dataset::ExamplesToJson(*split.examples));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu examples)\n", path.c_str(),
+                split.examples->size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "stats") return CmdStats();
+  if (command == "schema" && argc >= 3) return CmdSchema(argv[2]);
+  if (command == "annotate" && argc >= 3) return CmdAnnotate(argv[2]);
+  if (command == "translate" && argc >= 4) {
+    return CmdTranslate(argv[2], argv[3]);
+  }
+  if (command == "eval" && argc >= 4) return CmdEval(argv[2], argv[3]);
+  if (command == "export" && argc >= 3) return CmdExport(argv[2]);
+  return Usage();
+}

@@ -1,0 +1,65 @@
+// Developer diagnostic: prints target vs model predictions (with
+// component-match flags) for a sample of test examples.
+//
+// Usage: inspect [test_set] [count]
+//   test_set: clean | nlq | schema | both   (default clean)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/common.h"
+#include "dvq/components.h"
+
+int main(int argc, char** argv) {
+  std::string set_name = argc > 1 ? argv[1] : "clean";
+  std::size_t count = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2]))
+                               : 10;
+  gred::bench::BenchContext context;
+  const gred::dataset::BenchmarkSuite& suite = context.suite();
+  const std::vector<gred::dataset::Example>* test = &suite.test_clean;
+  const std::vector<gred::dataset::GeneratedDatabase>* dbs =
+      &suite.databases;
+  if (set_name == "nlq") {
+    test = &suite.test_nlq;
+  } else if (set_name == "schema") {
+    test = &suite.test_schema;
+    dbs = &suite.databases_rob;
+  } else if (set_name == "both") {
+    test = &suite.test_both;
+    dbs = &suite.databases_rob;
+  }
+
+  std::vector<const gred::models::TextToVisModel*> models =
+      context.Baselines();
+  models.push_back(&context.gred());
+
+  for (std::size_t i = 0; i < count && i < test->size(); ++i) {
+    const gred::dataset::Example& ex = (*test)[i];
+    const gred::dataset::GeneratedDatabase* db = nullptr;
+    for (const auto& candidate : *dbs) {
+      if (candidate.data.name() == ex.db_name) db = &candidate;
+    }
+    std::printf("=== %s (db=%s, %s)\nNLQ: %s\nTGT: %s\n", ex.id.c_str(),
+                ex.db_name.c_str(),
+                gred::dataset::HardnessName(ex.hardness), ex.nlq.c_str(),
+                ex.DvqText().c_str());
+    for (const auto* model : models) {
+      gred::Result<gred::dvq::DVQ> pred =
+          model->Translate(ex.nlq, db->data);
+      if (!pred.ok()) {
+        std::printf("%-12s ERROR %s\n", model->name().c_str(),
+                    pred.status().ToString().c_str());
+        continue;
+      }
+      bool vis = gred::dvq::VisMatch(pred.value(), ex.dvq);
+      bool axis = gred::dvq::AxisMatch(pred.value(), ex.dvq);
+      bool data = gred::dvq::DataMatch(pred.value(), ex.dvq);
+      std::printf("%-12s [%c%c%c] %s\n", model->name().c_str(),
+                  vis ? 'V' : '.', axis ? 'A' : '.', data ? 'D' : '.',
+                  pred.value().ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

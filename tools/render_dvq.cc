@@ -1,0 +1,99 @@
+// render_dvq — run a DVQ (not a natural-language question) against a
+// generated database and render the result. Pipe-friendly: the DVQ is
+// read from argv or stdin.
+//
+//   $ ./build/tools/render_dvq hr_1 "Visualize BAR SELECT city ,
+//     COUNT(city) FROM employees GROUP BY city"
+//   $ echo "Visualize ..." | ./build/tools/render_dvq hr_1 --svg out.svg
+//
+// Flags: --svg <path>    also write an SVG
+//        --vega          print the Vega-Lite spec
+//        --echarts       print the ECharts option
+//        --sql           print the SQL translation
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dataset/benchmark.h"
+#include "dvq/parser.h"
+#include "dvq/sql.h"
+#include "viz/chart.h"
+#include "viz/echarts.h"
+#include "viz/svg.h"
+
+int main(int argc, char** argv) {
+  using namespace gred;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: render_dvq <database> [dvq] [--svg out.svg] "
+                 "[--vega] [--echarts] [--sql]\n");
+    return 2;
+  }
+  std::string db_name = argv[1];
+  std::string dvq_text;
+  std::string svg_path;
+  bool vega = false;
+  bool echarts = false;
+  bool sql = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--svg" && i + 1 < argc) {
+      svg_path = argv[++i];
+    } else if (arg == "--vega") {
+      vega = true;
+    } else if (arg == "--echarts") {
+      echarts = true;
+    } else if (arg == "--sql") {
+      sql = true;
+    } else {
+      dvq_text = arg;
+    }
+  }
+  if (dvq_text.empty()) std::getline(std::cin, dvq_text);
+  if (dvq_text.empty()) {
+    std::fprintf(stderr, "no DVQ given\n");
+    return 2;
+  }
+
+  dataset::BenchmarkOptions options;
+  options.train_size = 1;  // databases only; no training pairs needed
+  options.test_size = 1;
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  const dataset::GeneratedDatabase* db = suite.FindCleanDb(db_name);
+  if (db == nullptr) {
+    std::fprintf(stderr, "unknown database '%s'\n", db_name.c_str());
+    return 1;
+  }
+
+  Result<dvq::DVQ> parsed = dvq::Parse(dvq_text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  if (sql) {
+    std::printf("SQL: %s\n", dvq::ToSql(parsed.value()).c_str());
+  }
+  Result<viz::Chart> chart = viz::BuildChart(parsed.value(), db->data);
+  if (!chart.ok()) {
+    std::fprintf(stderr, "no chart produced: %s\n",
+                 chart.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", viz::RenderAscii(chart.value()).c_str());
+  if (vega) {
+    std::printf("%s\n", viz::ToVegaLite(chart.value()).Dump(2).c_str());
+  }
+  if (echarts) {
+    std::printf("%s\n", viz::ToECharts(chart.value()).Dump(2).c_str());
+  }
+  if (!svg_path.empty()) {
+    std::ofstream out(svg_path);
+    out << viz::RenderSvg(chart.value());
+    std::printf("SVG written to %s\n", svg_path.c_str());
+  }
+  return 0;
+}
