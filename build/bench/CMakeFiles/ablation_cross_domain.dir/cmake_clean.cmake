@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cross_domain.dir/ablation_cross_domain.cc.o"
+  "CMakeFiles/ablation_cross_domain.dir/ablation_cross_domain.cc.o.d"
+  "ablation_cross_domain"
+  "ablation_cross_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cross_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

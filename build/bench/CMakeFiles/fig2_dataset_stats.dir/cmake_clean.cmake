@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dataset_stats.dir/fig2_dataset_stats.cc.o"
+  "CMakeFiles/fig2_dataset_stats.dir/fig2_dataset_stats.cc.o.d"
+  "fig2_dataset_stats"
+  "fig2_dataset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

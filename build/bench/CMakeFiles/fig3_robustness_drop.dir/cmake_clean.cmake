@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_robustness_drop.dir/fig3_robustness_drop.cc.o"
+  "CMakeFiles/fig3_robustness_drop.dir/fig3_robustness_drop.cc.o.d"
+  "fig3_robustness_drop"
+  "fig3_robustness_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_robustness_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

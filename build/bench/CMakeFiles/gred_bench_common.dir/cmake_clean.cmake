@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libgred_bench_common.a"
+  "../lib/libgred_bench_common.pdb"
+  "CMakeFiles/gred_bench_common.dir/common.cc.o"
+  "CMakeFiles/gred_bench_common.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgred_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rob_nlq.dir/table1_rob_nlq.cc.o"
+  "CMakeFiles/table1_rob_nlq.dir/table1_rob_nlq.cc.o.d"
+  "table1_rob_nlq"
+  "table1_rob_nlq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rob_nlq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

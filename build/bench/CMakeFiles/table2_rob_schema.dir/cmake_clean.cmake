@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rob_schema.dir/table2_rob_schema.cc.o"
+  "CMakeFiles/table2_rob_schema.dir/table2_rob_schema.cc.o.d"
+  "table2_rob_schema"
+  "table2_rob_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rob_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rob_both.dir/table3_rob_both.cc.o"
+  "CMakeFiles/table3_rob_both.dir/table3_rob_both.cc.o.d"
+  "table3_rob_both"
+  "table3_rob_both.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rob_both.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

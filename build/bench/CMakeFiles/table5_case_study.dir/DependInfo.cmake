@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_case_study.cc" "bench/CMakeFiles/table5_case_study.dir/table5_case_study.cc.o" "gcc" "bench/CMakeFiles/table5_case_study.dir/table5_case_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gred_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/gred_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/gred/CMakeFiles/gred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/gred_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/gred_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gred_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gred_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/gred_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/gred_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gred_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/gred_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvq/CMakeFiles/gred_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nl/CMakeFiles/gred_nl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gred_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

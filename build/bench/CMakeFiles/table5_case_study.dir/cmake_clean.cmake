@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_case_study.dir/table5_case_study.cc.o"
+  "CMakeFiles/table5_case_study.dir/table5_case_study.cc.o.d"
+  "table5_case_study"
+  "table5_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

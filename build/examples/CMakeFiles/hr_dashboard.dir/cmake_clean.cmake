@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hr_dashboard.dir/hr_dashboard.cpp.o"
+  "CMakeFiles/hr_dashboard.dir/hr_dashboard.cpp.o.d"
+  "hr_dashboard"
+  "hr_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hr_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

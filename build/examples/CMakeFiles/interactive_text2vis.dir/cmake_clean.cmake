@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_text2vis.dir/interactive_text2vis.cpp.o"
+  "CMakeFiles/interactive_text2vis.dir/interactive_text2vis.cpp.o.d"
+  "interactive_text2vis"
+  "interactive_text2vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_text2vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_eval.dir/robustness_eval.cpp.o"
+  "CMakeFiles/robustness_eval.dir/robustness_eval.cpp.o.d"
+  "robustness_eval"
+  "robustness_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(quickstart_smoke "/root/repo/build/examples/quickstart")
+set_tests_properties(quickstart_smoke PROPERTIES  ENVIRONMENT "GRED_BENCH_TRAIN_SIZE=250;GRED_BENCH_TEST_SIZE=40" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(robustness_eval_smoke "/root/repo/build/examples/robustness_eval" "gred" "clean")
+set_tests_properties(robustness_eval_smoke PROPERTIES  ENVIRONMENT "GRED_BENCH_TRAIN_SIZE=250;GRED_BENCH_TEST_SIZE=40" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(dataset_export_smoke "/root/repo/build/examples/dataset_export" "/root/repo/build/export_smoke")
+set_tests_properties(dataset_export_smoke PROPERTIES  ENVIRONMENT "GRED_BENCH_TRAIN_SIZE=250;GRED_BENCH_TEST_SIZE=40" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(hr_dashboard_smoke "/root/repo/build/examples/hr_dashboard" "/root/repo/build/hr_dashboard_smoke.svg")
+set_tests_properties(hr_dashboard_smoke PROPERTIES  ENVIRONMENT "GRED_BENCH_TRAIN_SIZE=250;GRED_BENCH_TEST_SIZE=40" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/benchmark.cc" "src/dataset/CMakeFiles/gred_dataset.dir/benchmark.cc.o" "gcc" "src/dataset/CMakeFiles/gred_dataset.dir/benchmark.cc.o.d"
+  "/root/repo/src/dataset/db_generator.cc" "src/dataset/CMakeFiles/gred_dataset.dir/db_generator.cc.o" "gcc" "src/dataset/CMakeFiles/gred_dataset.dir/db_generator.cc.o.d"
+  "/root/repo/src/dataset/entity_bank.cc" "src/dataset/CMakeFiles/gred_dataset.dir/entity_bank.cc.o" "gcc" "src/dataset/CMakeFiles/gred_dataset.dir/entity_bank.cc.o.d"
+  "/root/repo/src/dataset/io.cc" "src/dataset/CMakeFiles/gred_dataset.dir/io.cc.o" "gcc" "src/dataset/CMakeFiles/gred_dataset.dir/io.cc.o.d"
+  "/root/repo/src/dataset/nlq_render.cc" "src/dataset/CMakeFiles/gred_dataset.dir/nlq_render.cc.o" "gcc" "src/dataset/CMakeFiles/gred_dataset.dir/nlq_render.cc.o.d"
+  "/root/repo/src/dataset/perturb.cc" "src/dataset/CMakeFiles/gred_dataset.dir/perturb.cc.o" "gcc" "src/dataset/CMakeFiles/gred_dataset.dir/perturb.cc.o.d"
+  "/root/repo/src/dataset/plan.cc" "src/dataset/CMakeFiles/gred_dataset.dir/plan.cc.o" "gcc" "src/dataset/CMakeFiles/gred_dataset.dir/plan.cc.o.d"
+  "/root/repo/src/dataset/query_generator.cc" "src/dataset/CMakeFiles/gred_dataset.dir/query_generator.cc.o" "gcc" "src/dataset/CMakeFiles/gred_dataset.dir/query_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dvq/CMakeFiles/gred_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gred_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nl/CMakeFiles/gred_nl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gred_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/gred_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

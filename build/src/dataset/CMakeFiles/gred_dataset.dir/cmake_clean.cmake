@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_dataset.dir/benchmark.cc.o"
+  "CMakeFiles/gred_dataset.dir/benchmark.cc.o.d"
+  "CMakeFiles/gred_dataset.dir/db_generator.cc.o"
+  "CMakeFiles/gred_dataset.dir/db_generator.cc.o.d"
+  "CMakeFiles/gred_dataset.dir/entity_bank.cc.o"
+  "CMakeFiles/gred_dataset.dir/entity_bank.cc.o.d"
+  "CMakeFiles/gred_dataset.dir/io.cc.o"
+  "CMakeFiles/gred_dataset.dir/io.cc.o.d"
+  "CMakeFiles/gred_dataset.dir/nlq_render.cc.o"
+  "CMakeFiles/gred_dataset.dir/nlq_render.cc.o.d"
+  "CMakeFiles/gred_dataset.dir/perturb.cc.o"
+  "CMakeFiles/gred_dataset.dir/perturb.cc.o.d"
+  "CMakeFiles/gred_dataset.dir/plan.cc.o"
+  "CMakeFiles/gred_dataset.dir/plan.cc.o.d"
+  "CMakeFiles/gred_dataset.dir/query_generator.cc.o"
+  "CMakeFiles/gred_dataset.dir/query_generator.cc.o.d"
+  "libgred_dataset.a"
+  "libgred_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

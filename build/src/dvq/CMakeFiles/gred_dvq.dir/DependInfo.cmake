@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvq/ast.cc" "src/dvq/CMakeFiles/gred_dvq.dir/ast.cc.o" "gcc" "src/dvq/CMakeFiles/gred_dvq.dir/ast.cc.o.d"
+  "/root/repo/src/dvq/components.cc" "src/dvq/CMakeFiles/gred_dvq.dir/components.cc.o" "gcc" "src/dvq/CMakeFiles/gred_dvq.dir/components.cc.o.d"
+  "/root/repo/src/dvq/lexer.cc" "src/dvq/CMakeFiles/gred_dvq.dir/lexer.cc.o" "gcc" "src/dvq/CMakeFiles/gred_dvq.dir/lexer.cc.o.d"
+  "/root/repo/src/dvq/normalize.cc" "src/dvq/CMakeFiles/gred_dvq.dir/normalize.cc.o" "gcc" "src/dvq/CMakeFiles/gred_dvq.dir/normalize.cc.o.d"
+  "/root/repo/src/dvq/parser.cc" "src/dvq/CMakeFiles/gred_dvq.dir/parser.cc.o" "gcc" "src/dvq/CMakeFiles/gred_dvq.dir/parser.cc.o.d"
+  "/root/repo/src/dvq/sql.cc" "src/dvq/CMakeFiles/gred_dvq.dir/sql.cc.o" "gcc" "src/dvq/CMakeFiles/gred_dvq.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gred_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_dvq.dir/ast.cc.o"
+  "CMakeFiles/gred_dvq.dir/ast.cc.o.d"
+  "CMakeFiles/gred_dvq.dir/components.cc.o"
+  "CMakeFiles/gred_dvq.dir/components.cc.o.d"
+  "CMakeFiles/gred_dvq.dir/lexer.cc.o"
+  "CMakeFiles/gred_dvq.dir/lexer.cc.o.d"
+  "CMakeFiles/gred_dvq.dir/normalize.cc.o"
+  "CMakeFiles/gred_dvq.dir/normalize.cc.o.d"
+  "CMakeFiles/gred_dvq.dir/parser.cc.o"
+  "CMakeFiles/gred_dvq.dir/parser.cc.o.d"
+  "CMakeFiles/gred_dvq.dir/sql.cc.o"
+  "CMakeFiles/gred_dvq.dir/sql.cc.o.d"
+  "libgred_dvq.a"
+  "libgred_dvq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_dvq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

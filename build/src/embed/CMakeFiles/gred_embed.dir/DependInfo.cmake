@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/ann_index.cc" "src/embed/CMakeFiles/gred_embed.dir/ann_index.cc.o" "gcc" "src/embed/CMakeFiles/gred_embed.dir/ann_index.cc.o.d"
+  "/root/repo/src/embed/embedder.cc" "src/embed/CMakeFiles/gred_embed.dir/embedder.cc.o" "gcc" "src/embed/CMakeFiles/gred_embed.dir/embedder.cc.o.d"
+  "/root/repo/src/embed/vector_store.cc" "src/embed/CMakeFiles/gred_embed.dir/vector_store.cc.o" "gcc" "src/embed/CMakeFiles/gred_embed.dir/vector_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nl/CMakeFiles/gred_nl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gred_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_embed.dir/ann_index.cc.o"
+  "CMakeFiles/gred_embed.dir/ann_index.cc.o.d"
+  "CMakeFiles/gred_embed.dir/embedder.cc.o"
+  "CMakeFiles/gred_embed.dir/embedder.cc.o.d"
+  "CMakeFiles/gred_embed.dir/vector_store.cc.o"
+  "CMakeFiles/gred_embed.dir/vector_store.cc.o.d"
+  "libgred_embed.a"
+  "libgred_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_eval.dir/metrics.cc.o"
+  "CMakeFiles/gred_eval.dir/metrics.cc.o.d"
+  "libgred_eval.a"
+  "libgred_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/gred_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/gred_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/scalar.cc" "src/exec/CMakeFiles/gred_exec.dir/scalar.cc.o" "gcc" "src/exec/CMakeFiles/gred_exec.dir/scalar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dvq/CMakeFiles/gred_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gred_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gred_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/gred_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

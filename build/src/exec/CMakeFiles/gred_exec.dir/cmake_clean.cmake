@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_exec.dir/executor.cc.o"
+  "CMakeFiles/gred_exec.dir/executor.cc.o.d"
+  "CMakeFiles/gred_exec.dir/scalar.cc.o"
+  "CMakeFiles/gred_exec.dir/scalar.cc.o.d"
+  "libgred_exec.a"
+  "libgred_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_core.dir/gred.cc.o"
+  "CMakeFiles/gred_core.dir/gred.cc.o.d"
+  "libgred_core.a"
+  "libgred_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

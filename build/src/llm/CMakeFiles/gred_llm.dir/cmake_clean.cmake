@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_llm.dir/prompt.cc.o"
+  "CMakeFiles/gred_llm.dir/prompt.cc.o.d"
+  "CMakeFiles/gred_llm.dir/recording.cc.o"
+  "CMakeFiles/gred_llm.dir/recording.cc.o.d"
+  "CMakeFiles/gred_llm.dir/semantic_link.cc.o"
+  "CMakeFiles/gred_llm.dir/semantic_link.cc.o.d"
+  "CMakeFiles/gred_llm.dir/sim_llm.cc.o"
+  "CMakeFiles/gred_llm.dir/sim_llm.cc.o.d"
+  "libgred_llm.a"
+  "libgred_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

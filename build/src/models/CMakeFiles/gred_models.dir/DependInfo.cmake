@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/keywords.cc" "src/models/CMakeFiles/gred_models.dir/keywords.cc.o" "gcc" "src/models/CMakeFiles/gred_models.dir/keywords.cc.o.d"
+  "/root/repo/src/models/linking.cc" "src/models/CMakeFiles/gred_models.dir/linking.cc.o" "gcc" "src/models/CMakeFiles/gred_models.dir/linking.cc.o.d"
+  "/root/repo/src/models/retrieval.cc" "src/models/CMakeFiles/gred_models.dir/retrieval.cc.o" "gcc" "src/models/CMakeFiles/gred_models.dir/retrieval.cc.o.d"
+  "/root/repo/src/models/revision.cc" "src/models/CMakeFiles/gred_models.dir/revision.cc.o" "gcc" "src/models/CMakeFiles/gred_models.dir/revision.cc.o.d"
+  "/root/repo/src/models/rgvisnet.cc" "src/models/CMakeFiles/gred_models.dir/rgvisnet.cc.o" "gcc" "src/models/CMakeFiles/gred_models.dir/rgvisnet.cc.o.d"
+  "/root/repo/src/models/seq2vis.cc" "src/models/CMakeFiles/gred_models.dir/seq2vis.cc.o" "gcc" "src/models/CMakeFiles/gred_models.dir/seq2vis.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/models/CMakeFiles/gred_models.dir/transformer.cc.o" "gcc" "src/models/CMakeFiles/gred_models.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/gred_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/gred_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvq/CMakeFiles/gred_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/gred_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gred_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gred_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/nl/CMakeFiles/gred_nl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_models.dir/keywords.cc.o"
+  "CMakeFiles/gred_models.dir/keywords.cc.o.d"
+  "CMakeFiles/gred_models.dir/linking.cc.o"
+  "CMakeFiles/gred_models.dir/linking.cc.o.d"
+  "CMakeFiles/gred_models.dir/retrieval.cc.o"
+  "CMakeFiles/gred_models.dir/retrieval.cc.o.d"
+  "CMakeFiles/gred_models.dir/revision.cc.o"
+  "CMakeFiles/gred_models.dir/revision.cc.o.d"
+  "CMakeFiles/gred_models.dir/rgvisnet.cc.o"
+  "CMakeFiles/gred_models.dir/rgvisnet.cc.o.d"
+  "CMakeFiles/gred_models.dir/seq2vis.cc.o"
+  "CMakeFiles/gred_models.dir/seq2vis.cc.o.d"
+  "CMakeFiles/gred_models.dir/transformer.cc.o"
+  "CMakeFiles/gred_models.dir/transformer.cc.o.d"
+  "libgred_models.a"
+  "libgred_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

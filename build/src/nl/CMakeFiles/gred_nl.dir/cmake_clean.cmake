@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_nl.dir/lexicon.cc.o"
+  "CMakeFiles/gred_nl.dir/lexicon.cc.o.d"
+  "CMakeFiles/gred_nl.dir/text.cc.o"
+  "CMakeFiles/gred_nl.dir/text.cc.o.d"
+  "libgred_nl.a"
+  "libgred_nl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_nl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_schema.dir/schema.cc.o"
+  "CMakeFiles/gred_schema.dir/schema.cc.o.d"
+  "libgred_schema.a"
+  "libgred_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

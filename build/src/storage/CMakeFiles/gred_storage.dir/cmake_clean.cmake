@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_storage.dir/table.cc.o"
+  "CMakeFiles/gred_storage.dir/table.cc.o.d"
+  "CMakeFiles/gred_storage.dir/value.cc.o"
+  "CMakeFiles/gred_storage.dir/value.cc.o.d"
+  "libgred_storage.a"
+  "libgred_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

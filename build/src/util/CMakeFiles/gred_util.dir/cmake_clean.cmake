@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_util.dir/json.cc.o"
+  "CMakeFiles/gred_util.dir/json.cc.o.d"
+  "CMakeFiles/gred_util.dir/rng.cc.o"
+  "CMakeFiles/gred_util.dir/rng.cc.o.d"
+  "CMakeFiles/gred_util.dir/status.cc.o"
+  "CMakeFiles/gred_util.dir/status.cc.o.d"
+  "CMakeFiles/gred_util.dir/strings.cc.o"
+  "CMakeFiles/gred_util.dir/strings.cc.o.d"
+  "CMakeFiles/gred_util.dir/table_printer.cc.o"
+  "CMakeFiles/gred_util.dir/table_printer.cc.o.d"
+  "libgred_util.a"
+  "libgred_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/chart.cc" "src/viz/CMakeFiles/gred_viz.dir/chart.cc.o" "gcc" "src/viz/CMakeFiles/gred_viz.dir/chart.cc.o.d"
+  "/root/repo/src/viz/echarts.cc" "src/viz/CMakeFiles/gred_viz.dir/echarts.cc.o" "gcc" "src/viz/CMakeFiles/gred_viz.dir/echarts.cc.o.d"
+  "/root/repo/src/viz/svg.cc" "src/viz/CMakeFiles/gred_viz.dir/svg.cc.o" "gcc" "src/viz/CMakeFiles/gred_viz.dir/svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/gred_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvq/CMakeFiles/gred_dvq.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gred_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gred_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/gred_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_viz.dir/chart.cc.o"
+  "CMakeFiles/gred_viz.dir/chart.cc.o.d"
+  "CMakeFiles/gred_viz.dir/echarts.cc.o"
+  "CMakeFiles/gred_viz.dir/echarts.cc.o.d"
+  "CMakeFiles/gred_viz.dir/svg.cc.o"
+  "CMakeFiles/gred_viz.dir/svg.cc.o.d"
+  "libgred_viz.a"
+  "libgred_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_reference_test.dir/exec_reference_test.cc.o"
+  "CMakeFiles/exec_reference_test.dir/exec_reference_test.cc.o.d"
+  "exec_reference_test"
+  "exec_reference_test.pdb"
+  "exec_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

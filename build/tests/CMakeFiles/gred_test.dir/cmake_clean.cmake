@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_test.dir/gred_test.cc.o"
+  "CMakeFiles/gred_test.dir/gred_test.cc.o.d"
+  "gred_test"
+  "gred_test.pdb"
+  "gred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

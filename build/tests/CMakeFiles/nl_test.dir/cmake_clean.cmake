@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_test.dir/nl_test.cc.o"
+  "CMakeFiles/nl_test.dir/nl_test.cc.o.d"
+  "nl_test"
+  "nl_test.pdb"
+  "nl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlq_render_test.dir/nlq_render_test.cc.o"
+  "CMakeFiles/nlq_render_test.dir/nlq_render_test.cc.o.d"
+  "nlq_render_test"
+  "nlq_render_test.pdb"
+  "nlq_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlq_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gredvis_cli.dir/gredvis_cli.cc.o"
+  "CMakeFiles/gredvis_cli.dir/gredvis_cli.cc.o.d"
+  "gredvis"
+  "gredvis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gredvis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_dvq.dir/render_dvq.cc.o"
+  "CMakeFiles/render_dvq.dir/render_dvq.cc.o.d"
+  "render_dvq"
+  "render_dvq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_dvq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

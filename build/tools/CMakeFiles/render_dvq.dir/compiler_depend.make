@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for render_dvq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(gredvis_cli_stats_smoke "/root/repo/build/tools/gredvis" "stats")
+set_tests_properties(gredvis_cli_stats_smoke PROPERTIES  ENVIRONMENT "GRED_BENCH_TRAIN_SIZE=250;GRED_BENCH_TEST_SIZE=40" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gredvis_cli_eval_smoke "/root/repo/build/tools/gredvis" "eval" "seq2vis" "nlq")
+set_tests_properties(gredvis_cli_eval_smoke PROPERTIES  ENVIRONMENT "GRED_BENCH_TRAIN_SIZE=250;GRED_BENCH_TEST_SIZE=40" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(render_dvq_smoke "/root/repo/build/tools/render_dvq" "hr_1" "Visualize BAR SELECT city , COUNT(city) FROM employees GROUP BY city" "--sql" "--vega")
+set_tests_properties(render_dvq_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
