@@ -31,12 +31,10 @@ struct Row {
 std::vector<Row> RunRegime(bool cross_domain) {
   dataset::BenchmarkOptions options;
   options.cross_domain = cross_domain;
-  if (const char* scaled = std::getenv("GRED_BENCH_TRAIN_SIZE")) {
-    options.train_size = static_cast<std::size_t>(std::atoll(scaled));
-  }
-  if (const char* scaled = std::getenv("GRED_BENCH_TEST_SIZE")) {
-    options.test_size = static_cast<std::size_t>(std::atoll(scaled));
-  }
+  options.train_size =
+      bench::EnvSizeOrDie("GRED_BENCH_TRAIN_SIZE", options.train_size);
+  options.test_size =
+      bench::EnvSizeOrDie("GRED_BENCH_TEST_SIZE", options.test_size);
   std::fprintf(stderr, "[bench] building %s-domain suite...\n",
                cross_domain ? "cross" : "no-cross");
   dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);

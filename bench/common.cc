@@ -1,31 +1,42 @@
 #include "bench/common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/strings.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace gred::bench {
 
-namespace {
-
-std::size_t EnvSize(const char* name, std::size_t fallback) {
+std::size_t EnvSizeOrDie(const char* name, std::size_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
-  long long parsed = std::atoll(value);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+  std::optional<std::size_t> parsed = strings::ParsePositiveSize(value);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "[bench] invalid %s=\"%s\": expected a positive integer\n",
+                 name, value);
+    std::exit(2);
+  }
+  return *parsed;
 }
-
-}  // namespace
 
 BenchContext::BenchContext() {
   dataset::BenchmarkOptions options;
-  options.train_size = EnvSize("GRED_BENCH_TRAIN_SIZE", options.train_size);
-  options.test_size = EnvSize("GRED_BENCH_TEST_SIZE", options.test_size);
-  options.seed = EnvSize("GRED_BENCH_SEED", options.seed);
+  options.train_size =
+      EnvSizeOrDie("GRED_BENCH_TRAIN_SIZE", options.train_size);
+  options.test_size = EnvSizeOrDie("GRED_BENCH_TEST_SIZE", options.test_size);
+  options.seed = EnvSizeOrDie("GRED_BENCH_SEED", options.seed);
+  // Validate the thread override up front so a typo aborts before the
+  // (expensive) suite build instead of mid-run inside eval::Evaluate.
+  std::size_t threads = EnvSizeOrDie("GRED_BENCH_THREADS", HardwareThreads());
   std::fprintf(stderr,
-               "[bench] building suite: %zu databases, %zu train, %zu test\n",
-               options.num_databases, options.train_size, options.test_size);
+               "[bench] building suite: %zu databases, %zu train, %zu test "
+               "(%zu eval threads)\n",
+               options.num_databases, options.train_size, options.test_size,
+               threads);
   suite_ = dataset::BuildBenchmarkSuite(options);
   corpus_.train = &suite_.train;
   corpus_.databases = &suite_.databases;
@@ -69,8 +80,33 @@ std::vector<eval::EvalResult> RunModels(
   for (const models::TextToVisModel* model : models) {
     std::fprintf(stderr, "[bench] evaluating %s on %s (%zu examples)...\n",
                  model->name().c_str(), test_set_name.c_str(), test.size());
-    results.push_back(
-        eval::Evaluate(*model, test, databases, test_set_name));
+    const auto* gred = dynamic_cast<const core::Gred*>(model);
+    core::Gred::StageStats before;
+    if (gred != nullptr) before = gred->stage_stats();
+    eval::EvalTiming timing;
+    eval::EvalOptions options;
+    options.timing = &timing;
+    auto start = std::chrono::steady_clock::now();
+    results.push_back(eval::Evaluate(*model, test, databases, test_set_name,
+                                     nullptr, options));
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    std::fprintf(stderr,
+                 "[bench]   %.2fs wall | translate %.2fs, execute %.2fs "
+                 "(summed over threads)\n",
+                 wall, timing.translate.seconds(), timing.execute.seconds());
+    if (gred != nullptr) {
+      core::Gred::StageStats after = gred->stage_stats();
+      std::fprintf(stderr,
+                   "[bench]   GRED stages: retrieval %.2fs, retune %.2fs, "
+                   "debug %.2fs over %llu calls\n",
+                   after.retrieval_seconds - before.retrieval_seconds,
+                   after.retune_seconds - before.retune_seconds,
+                   after.debug_seconds - before.debug_seconds,
+                   static_cast<unsigned long long>(after.translate_calls -
+                                                   before.translate_calls));
+    }
   }
   return results;
 }

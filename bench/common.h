@@ -16,11 +16,20 @@
 
 namespace gred::bench {
 
+/// Reads a positive-integer environment override. Unset returns
+/// `fallback`; anything that does not parse as a strictly positive
+/// integer (garbage, sign, zero, overflow) prints a clear message to
+/// stderr and exits(2) — a mistyped override must not silently fall
+/// back and burn a long benchmark run on the wrong configuration.
+std::size_t EnvSizeOrDie(const char* name, std::size_t fallback);
+
 /// Shared experiment context: the benchmark suite, the simulated LLM and
 /// all four systems, built once per binary.
 ///
 /// Environment overrides (for quick local runs):
-///   GRED_BENCH_TRAIN_SIZE, GRED_BENCH_TEST_SIZE, GRED_BENCH_SEED.
+///   GRED_BENCH_TRAIN_SIZE, GRED_BENCH_TEST_SIZE, GRED_BENCH_SEED
+///   (suite shape) and GRED_BENCH_THREADS (eval worker count; default
+///   hardware concurrency). All are validated up front via EnvSizeOrDie.
 class BenchContext {
  public:
   BenchContext();
@@ -53,6 +62,11 @@ void PrintResultsTable(const std::string& title,
 
 /// Runs every given model over a test set. `databases` must be the corpus
 /// the test set's DVQs are written against.
+///
+/// Evaluation is parallel by default (GRED_BENCH_THREADS workers, else
+/// hardware concurrency) and reports per-model wall clock plus a stage
+/// breakdown (translate / execute, and for GRED the retrieval / retune /
+/// debug pipeline stages) on stderr.
 std::vector<eval::EvalResult> RunModels(
     const std::vector<const models::TextToVisModel*>& models,
     const std::vector<dataset::Example>& test,

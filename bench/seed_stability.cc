@@ -9,9 +9,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
+#include "bench/common.h"
 #include "dataset/benchmark.h"
 #include "eval/metrics.h"
 #include "gred/gred.h"
@@ -22,18 +22,7 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-namespace {
-
 using namespace gred;
-
-std::size_t EnvSize(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  return value != nullptr && std::atoll(value) > 0
-             ? static_cast<std::size_t>(std::atoll(value))
-             : fallback;
-}
-
-}  // namespace
 
 int main() {
   const std::vector<std::uint64_t> seeds = {20240501, 7, 424242};
@@ -43,8 +32,8 @@ int main() {
   for (std::uint64_t seed : seeds) {
     dataset::BenchmarkOptions options;
     options.seed = seed;
-    options.train_size = EnvSize("GRED_BENCH_TRAIN_SIZE", 2000);
-    options.test_size = EnvSize("GRED_BENCH_TEST_SIZE", 300);
+    options.train_size = bench::EnvSizeOrDie("GRED_BENCH_TRAIN_SIZE", 2000);
+    options.test_size = bench::EnvSizeOrDie("GRED_BENCH_TEST_SIZE", 300);
     std::fprintf(stderr, "[bench] seed %llu...\n",
                  static_cast<unsigned long long>(seed));
     dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);

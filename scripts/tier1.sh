@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer
+# pass over the concurrency-sensitive tests (the parallel eval harness,
+# the thread pool, and GRED's mutex-guarded annotation cache).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: release build + full ctest =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j"$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j"$JOBS"
+
+echo "== tier-1: ThreadSanitizer pass (parallel harness) =="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" \
+  -DGRED_SANITIZE=thread \
+  -DGRED_BUILD_BENCHMARKS=OFF \
+  -DGRED_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$ROOT/build-tsan" -j"$JOBS" --target thread_pool_test eval_test
+# TSAN_OPTIONS makes any detected race fail the run loudly.
+TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/thread_pool_test"
+TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/eval_test" \
+  --gtest_filter='ParallelHarness.*'
+
+echo "== tier-1: OK =="

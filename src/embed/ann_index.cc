@@ -8,10 +8,14 @@ namespace gred::embed {
 
 namespace {
 
+/// Dot product under the CosineSimilarity contract: mismatched
+/// dimensions (or empty vectors) score 0 rather than silently truncating
+/// to the shorter vector, which used to rank a wrong-dimension query
+/// against the prefix of every stored vector.
 double Dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
   double dot = 0.0;
-  const std::size_t n = std::min(a.size(), b.size());
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
     dot += static_cast<double>(a[i]) * b[i];
   }
   return dot;

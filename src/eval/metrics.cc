@@ -1,10 +1,14 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
 
 #include "dvq/components.h"
 #include "exec/executor.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace gred::eval {
 
@@ -15,6 +19,19 @@ double Ratio(std::size_t num, std::size_t den) {
 }
 
 }  // namespace
+
+std::size_t DefaultEvalThreads() {
+  const char* value = std::getenv("GRED_BENCH_THREADS");
+  if (value != nullptr) {
+    std::optional<std::size_t> parsed = strings::ParsePositiveSize(value);
+    if (parsed.has_value()) return *parsed;
+    std::fprintf(stderr,
+                 "[eval] ignoring invalid GRED_BENCH_THREADS=\"%s\" "
+                 "(want a positive integer); using hardware concurrency\n",
+                 value);
+  }
+  return HardwareThreads();
+}
 
 double MetricCounts::VisAcc() const { return Ratio(vis, total); }
 double MetricCounts::AxisAcc() const { return Ratio(axis, total); }
@@ -79,48 +96,95 @@ ExampleOutcome ScorePrediction(const dataset::Example& example,
   return outcome;
 }
 
+namespace {
+
+/// Per-example evaluation unit: the outcome plus its metric increment.
+struct ScoredExample {
+  MetricCounts unit;
+  ExampleOutcome outcome;
+};
+
+/// Scores one example. Pure with respect to the harness (the model must
+/// be thread-safe); both the serial and the parallel path run exactly
+/// this, which is what makes them bit-identical.
+ScoredExample ScoreExample(
+    const models::TextToVisModel& model, const dataset::Example& example,
+    const std::vector<dataset::GeneratedDatabase>& databases,
+    EvalTiming* timing) {
+  ScoredExample scored;
+  scored.unit.total = 1;
+  const dataset::GeneratedDatabase* db = nullptr;
+  for (const dataset::GeneratedDatabase& candidate : databases) {
+    if (strings::EqualsIgnoreCase(candidate.data.name(), example.db_name)) {
+      db = &candidate;
+      break;
+    }
+  }
+  if (db == nullptr) {
+    scored.unit.errors = 1;
+    scored.outcome.example = &example;
+    return scored;
+  }
+  Result<dvq::DVQ> prediction = [&] {
+    ScopedTimer timer(timing == nullptr ? nullptr : &timing->translate);
+    return model.Translate(example.nlq, db->data);
+  }();
+  scored.outcome = ScorePrediction(example, prediction);
+  if (!prediction.ok()) scored.unit.errors = 1;
+  if (prediction.ok()) {
+    ScopedTimer timer(timing == nullptr ? nullptr : &timing->execute);
+    scored.outcome.execution =
+        ExecutionMatch(prediction.value(), example.dvq, db->data);
+  }
+  scored.unit.vis = scored.outcome.vis ? 1 : 0;
+  scored.unit.axis = scored.outcome.axis ? 1 : 0;
+  scored.unit.data = scored.outcome.data ? 1 : 0;
+  scored.unit.overall = scored.outcome.overall ? 1 : 0;
+  scored.unit.execution = scored.outcome.execution ? 1 : 0;
+  return scored;
+}
+
+}  // namespace
+
 EvalResult Evaluate(
     const models::TextToVisModel& model,
     const std::vector<dataset::Example>& test,
     const std::vector<dataset::GeneratedDatabase>& databases,
     const std::string& test_set_name,
-    const std::function<void(const ExampleOutcome&)>& on_example) {
+    const std::function<void(const ExampleOutcome&)>& on_example,
+    const EvalOptions& options) {
   EvalResult result;
   result.model_name = model.name();
   result.test_set = test_set_name;
-  for (const dataset::Example& example : test) {
-    const dataset::GeneratedDatabase* db = nullptr;
-    for (const dataset::GeneratedDatabase& candidate : databases) {
-      if (strings::EqualsIgnoreCase(candidate.data.name(),
-                                    example.db_name)) {
-        db = &candidate;
-        break;
-      }
+  const std::size_t n = test.size();
+  std::size_t threads =
+      options.num_threads == 0 ? DefaultEvalThreads() : options.num_threads;
+  threads = std::min(threads, std::max<std::size_t>(1, n));
+  std::vector<ScoredExample> scored(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      scored[i] = ScoreExample(model, test[i], databases, options.timing);
     }
-    MetricCounts unit;
-    unit.total = 1;
-    ExampleOutcome outcome;
-    if (db == nullptr) {
-      unit.errors = 1;
-      outcome.example = &example;
-    } else {
-      Result<dvq::DVQ> prediction = model.Translate(example.nlq, db->data);
-      outcome = ScorePrediction(example, prediction);
-      if (!prediction.ok()) unit.errors = 1;
-      if (prediction.ok()) {
-        outcome.execution =
-            ExecutionMatch(prediction.value(), example.dvq, db->data);
-      }
-      unit.vis = outcome.vis ? 1 : 0;
-      unit.axis = outcome.axis ? 1 : 0;
-      unit.data = outcome.data ? 1 : 0;
-      unit.overall = outcome.overall ? 1 : 0;
-      unit.execution = outcome.execution ? 1 : 0;
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(pool.Submit([&model, &test, &databases, &scored,
+                                     timing = options.timing, i] {
+        scored[i] = ScoreExample(model, test[i], databases, timing);
+      }));
     }
-    result.counts.Merge(unit);
-    result.by_hardness[dataset::HardnessName(example.hardness)].Merge(unit);
-    result.by_chart[dvq::ChartTypeName(example.dvq.chart)].Merge(unit);
-    if (on_example) on_example(outcome);
+    for (std::future<void>& future : futures) future.get();  // rethrows
+  }
+  // Deterministic merge: input order, independent of worker scheduling.
+  for (std::size_t i = 0; i < n; ++i) {
+    result.counts.Merge(scored[i].unit);
+    result.by_hardness[dataset::HardnessName(test[i].hardness)].Merge(
+        scored[i].unit);
+    result.by_chart[dvq::ChartTypeName(test[i].dvq.chart)].Merge(
+        scored[i].unit);
+    if (on_example) on_example(scored[i].outcome);
   }
   return result;
 }

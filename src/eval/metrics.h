@@ -8,6 +8,7 @@
 
 #include "dataset/benchmark.h"
 #include "models/model.h"
+#include "util/timing.h"
 
 namespace gred::eval {
 
@@ -23,6 +24,8 @@ struct MetricCounts {
   std::size_t execution = 0;  // result-set matches (chart type included)
   std::size_t errors = 0;     // model returned an error / unparseable DVQ
 
+  /// All accuracy accessors return 0.0 (never NaN) when `total == 0`,
+  /// so empty per-hardness / per-chart buckets render as 0% in tables.
   double VisAcc() const;
   double AxisAcc() const;
   double DataAcc() const;
@@ -30,6 +33,9 @@ struct MetricCounts {
   double ExecutionAcc() const;
 
   void Merge(const MetricCounts& other);
+
+  friend bool operator==(const MetricCounts& a,
+                         const MetricCounts& b) = default;
 };
 
 /// Per-example evaluation record (kept by the harness for case studies).
@@ -56,7 +62,34 @@ struct EvalResult {
   MetricCounts counts;
   std::map<std::string, MetricCounts> by_hardness;
   std::map<std::string, MetricCounts> by_chart;
+
+  friend bool operator==(const EvalResult& a, const EvalResult& b) = default;
 };
+
+/// Aggregate wall-clock time spent inside the harness, split by stage.
+/// Thread-safe; under a parallel run the stage totals sum time across
+/// workers, so they can exceed the elapsed wall clock.
+struct EvalTiming {
+  AtomicDuration translate;  // models::TextToVisModel::Translate
+  AtomicDuration execute;    // ExecutionMatch (query execution + compare)
+};
+
+/// Knobs for `Evaluate`.
+struct EvalOptions {
+  /// Worker threads scoring examples. 0 means `DefaultEvalThreads()`;
+  /// 1 forces the serial path. Any value yields bit-identical
+  /// `EvalResult`s: outcomes are merged in input order regardless of
+  /// completion order.
+  std::size_t num_threads = 0;
+  /// Optional stage-timing sink (not owned; may be null).
+  EvalTiming* timing = nullptr;
+};
+
+/// Worker count used when `EvalOptions::num_threads == 0`: the
+/// `GRED_BENCH_THREADS` environment override when it parses as a
+/// positive integer (a warning is printed and the override ignored
+/// otherwise), else the hardware concurrency.
+std::size_t DefaultEvalThreads();
 
 /// Scores one prediction against the target (component metrics).
 ExampleOutcome ScorePrediction(const dataset::Example& example,
@@ -66,13 +99,20 @@ ExampleOutcome ScorePrediction(const dataset::Example& example,
 /// `databases` (pass the clean corpus for nvBench / nvBench-Rob_nlq and
 /// the perturbed corpus for the schema-variant sets).
 ///
-/// `on_example` (optional) observes every outcome as it is produced.
+/// `on_example` (optional) observes every outcome, always in input
+/// order (even when scoring runs on several threads).
+///
+/// With `options.num_threads != 1` examples are scored concurrently on
+/// an internal ThreadPool; `model.Translate` must therefore be
+/// thread-safe (see models::TextToVisModel). Results are merged in
+/// input order, so the parallel path is bit-identical to the serial one.
 EvalResult Evaluate(
     const models::TextToVisModel& model,
     const std::vector<dataset::Example>& test,
     const std::vector<dataset::GeneratedDatabase>& databases,
     const std::string& test_set_name,
-    const std::function<void(const ExampleOutcome&)>& on_example = nullptr);
+    const std::function<void(const ExampleOutcome&)>& on_example = nullptr,
+    const EvalOptions& options = {});
 
 }  // namespace gred::eval
 

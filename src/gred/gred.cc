@@ -54,12 +54,20 @@ Result<std::string> Gred::AnnotationsFor(const schema::Database& db) const {
   std::string fingerprint =
       strings::Format("%016llx", static_cast<unsigned long long>(
                                      Fnv1a64(db.RenderSchemaPrompt())));
-  auto it = annotation_cache_.find(fingerprint);
-  if (it != annotation_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(annotation_mutex_);
+    auto it = annotation_cache_.find(fingerprint);
+    if (it != annotation_cache_.end()) return it->second;
+  }
+  // Generate outside the lock so a miss does not serialize concurrent
+  // Translate calls on other databases. The LLM is deterministic, so two
+  // threads racing on the same schema compute the same text; the first
+  // insert wins and both return identical annotations.
   GRED_ASSIGN_OR_RETURN(std::string annotations,
                         GenerateAnnotations(db, *llm_));
-  annotation_cache_[fingerprint] = annotations;
-  return annotations;
+  std::lock_guard<std::mutex> lock(annotation_mutex_);
+  return annotation_cache_.emplace(fingerprint, std::move(annotations))
+      .first->second;
 }
 
 Result<std::size_t> Gred::PrepareAnnotations(
@@ -74,49 +82,82 @@ Result<std::size_t> Gred::PrepareAnnotations(
   return annotated;
 }
 
+Gred::Trace Gred::last_trace() const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  return trace_;
+}
+
+Gred::StageStats Gred::stage_stats() const {
+  StageStats stats;
+  stats.retrieval_seconds = retrieval_time_.seconds();
+  stats.retune_seconds = retune_time_.seconds();
+  stats.debug_seconds = debug_time_.seconds();
+  stats.translate_calls = translate_calls_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
                                  const storage::DatabaseData& db) const {
-  trace_ = Trace();
+  // The trace is built locally and committed at the end so concurrent
+  // Translate calls never interleave writes into trace_.
+  Trace trace;
+  translate_calls_.fetch_add(1, std::memory_order_relaxed);
+  auto commit_trace = [this, &trace] {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    trace_ = trace;
+  };
 
   // --- NLQ-Retrieval Generator -------------------------------------------
-  std::vector<models::ExampleIndex::Hit> hits =
-      nlq_index_->TopK(nlq, config_.k);
-  if (hits.empty()) {
-    return Status::NotFound("GRED: empty embedding library");
-  }
-  // hits are descending by similarity; the paper assembles the prompt in
-  // ascending order so the most similar example sits next to the
-  // question.
-  if (config_.ascending_prompt_order) {
-    std::reverse(hits.begin(), hits.end());
-  }
-  std::vector<llm::GenerationExample> examples;
-  examples.reserve(hits.size());
-  for (const models::ExampleIndex::Hit& hit : hits) {
-    llm::GenerationExample ex;
-    auto schema_it =
-        db_schema_prompts_.find(strings::ToLower(hit.example->db_name));
-    if (schema_it != db_schema_prompts_.end()) {
-      ex.schema_prompt = schema_it->second;
+  std::string current;
+  std::string target_schema;
+  {
+    ScopedTimer timer(&retrieval_time_);
+    std::vector<models::ExampleIndex::Hit> hits =
+        nlq_index_->TopK(nlq, config_.k);
+    if (hits.empty()) {
+      commit_trace();
+      return Status::NotFound("GRED: empty embedding library");
     }
-    ex.nlq = hit.example->nlq;
-    ex.dvq = hit.example->DvqText();
-    examples.push_back(std::move(ex));
+    // hits are descending by similarity; the paper assembles the prompt in
+    // ascending order so the most similar example sits next to the
+    // question.
+    if (config_.ascending_prompt_order) {
+      std::reverse(hits.begin(), hits.end());
+    }
+    std::vector<llm::GenerationExample> examples;
+    examples.reserve(hits.size());
+    for (const models::ExampleIndex::Hit& hit : hits) {
+      llm::GenerationExample ex;
+      auto schema_it =
+          db_schema_prompts_.find(strings::ToLower(hit.example->db_name));
+      if (schema_it != db_schema_prompts_.end()) {
+        ex.schema_prompt = schema_it->second;
+      }
+      ex.nlq = hit.example->nlq;
+      ex.dvq = hit.example->DvqText();
+      examples.push_back(std::move(ex));
+    }
+    target_schema = db.db_schema().RenderSchemaPrompt();
+    llm::Prompt gen_prompt =
+        llm::BuildGenerationPrompt(examples, target_schema, nlq);
+    Result<std::string> gen_completion =
+        llm_->Complete(gen_prompt, WorkingOptions());
+    if (!gen_completion.ok()) {
+      commit_trace();
+      return gen_completion.status();
+    }
+    std::string dvq_gen = llm::ExtractDvqText(gen_completion.value());
+    if (dvq_gen.empty()) {
+      commit_trace();
+      return Status::ExecutionError("GRED: generator produced no DVQ");
+    }
+    trace.dvq_gen = dvq_gen;
+    current = dvq_gen;
   }
-  std::string target_schema = db.db_schema().RenderSchemaPrompt();
-  llm::Prompt gen_prompt =
-      llm::BuildGenerationPrompt(examples, target_schema, nlq);
-  GRED_ASSIGN_OR_RETURN(std::string gen_completion,
-                        llm_->Complete(gen_prompt, WorkingOptions()));
-  std::string dvq_gen = llm::ExtractDvqText(gen_completion);
-  if (dvq_gen.empty()) {
-    return Status::ExecutionError("GRED: generator produced no DVQ");
-  }
-  trace_.dvq_gen = dvq_gen;
-  std::string current = dvq_gen;
 
   // --- DVQ-Retrieval Retuner ----------------------------------------------
   if (config_.enable_retuner) {
+    ScopedTimer timer(&retune_time_);
     std::vector<models::DvqIndex::Hit> dvq_hits =
         dvq_index_->TopK(current, config_.k);
     std::vector<std::string> references;
@@ -125,28 +166,43 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
       references.push_back(hit.example->DvqText());
     }
     llm::Prompt retune_prompt = llm::BuildRetunePrompt(references, current);
-    GRED_ASSIGN_OR_RETURN(std::string retune_completion,
-                          llm_->Complete(retune_prompt, WorkingOptions()));
-    std::string dvq_rtn = llm::ExtractDvqText(retune_completion);
+    Result<std::string> retune_completion =
+        llm_->Complete(retune_prompt, WorkingOptions());
+    if (!retune_completion.ok()) {
+      commit_trace();
+      return retune_completion.status();
+    }
+    std::string dvq_rtn = llm::ExtractDvqText(retune_completion.value());
     if (!dvq_rtn.empty()) current = dvq_rtn;
-    trace_.dvq_rtn = current;
+    trace.dvq_rtn = current;
   }
 
   // --- Annotation-based Debugger -------------------------------------------
   if (config_.enable_debugger) {
+    ScopedTimer timer(&debug_time_);
     std::string annotations;
     if (config_.debugger_uses_annotations) {
-      GRED_ASSIGN_OR_RETURN(annotations, AnnotationsFor(db.db_schema()));
+      Result<std::string> fetched = AnnotationsFor(db.db_schema());
+      if (!fetched.ok()) {
+        commit_trace();
+        return fetched.status();
+      }
+      annotations = fetched.value();
     }
     llm::Prompt debug_prompt =
         llm::BuildDebugPrompt(target_schema, annotations, current);
-    GRED_ASSIGN_OR_RETURN(std::string debug_completion,
-                          llm_->Complete(debug_prompt, WorkingOptions()));
-    std::string dvq_dbg = llm::ExtractDvqText(debug_completion);
+    Result<std::string> debug_completion =
+        llm_->Complete(debug_prompt, WorkingOptions());
+    if (!debug_completion.ok()) {
+      commit_trace();
+      return debug_completion.status();
+    }
+    std::string dvq_dbg = llm::ExtractDvqText(debug_completion.value());
     if (!dvq_dbg.empty()) current = dvq_dbg;
-    trace_.dvq_dbg = current;
+    trace.dvq_dbg = current;
   }
 
+  commit_trace();
   return dvq::Parse(current);
 }
 

@@ -1,8 +1,11 @@
 #ifndef GREDVIS_GRED_GRED_H_
 #define GREDVIS_GRED_GRED_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +13,7 @@
 #include "llm/chat_model.h"
 #include "models/model.h"
 #include "models/retrieval.h"
+#include "util/timing.h"
 
 namespace gred::core {
 
@@ -51,6 +55,9 @@ class Gred : public models::TextToVisModel {
 
   std::string name() const override { return "GRED" + config_.name_suffix; }
 
+  /// Thread-safe: concurrent Translate calls share the annotation cache
+  /// (mutex-guarded) and the immutable embedding libraries built in the
+  /// constructor. `last_trace()` reflects whichever call finished last.
   Result<dvq::DVQ> Translate(const std::string& nlq,
                              const storage::DatabaseData& db) const override;
 
@@ -68,7 +75,20 @@ class Gred : public models::TextToVisModel {
     std::string dvq_rtn;
     std::string dvq_dbg;
   };
-  const Trace& last_trace() const { return trace_; }
+  /// Snapshot of the most recently completed Translate's trace (copied
+  /// under the trace mutex; under concurrency "last" means whichever
+  /// call committed its trace last).
+  Trace last_trace() const;
+
+  /// Cumulative wall time spent in each pipeline stage across every
+  /// Translate on this instance (summed over threads in parallel runs).
+  struct StageStats {
+    double retrieval_seconds = 0.0;  // NLQ-Retrieval Generator
+    double retune_seconds = 0.0;     // DVQ-Retrieval Retuner
+    double debug_seconds = 0.0;      // Annotation-based Debugger
+    std::uint64_t translate_calls = 0;
+  };
+  StageStats stage_stats() const;
 
   const GredConfig& config() const { return config_; }
 
@@ -84,8 +104,14 @@ class Gred : public models::TextToVisModel {
   std::unique_ptr<models::ExampleIndex> nlq_index_;
   std::unique_ptr<models::DvqIndex> dvq_index_;
   std::map<std::string, std::string> db_schema_prompts_;  // by db name
+  mutable std::mutex annotation_mutex_;  // guards annotation_cache_
   mutable std::map<std::string, std::string> annotation_cache_;
+  mutable std::mutex trace_mutex_;  // guards trace_
   mutable Trace trace_;
+  mutable AtomicDuration retrieval_time_;
+  mutable AtomicDuration retune_time_;
+  mutable AtomicDuration debug_time_;
+  mutable std::atomic<std::uint64_t> translate_calls_{0};
 };
 
 }  // namespace gred::core

@@ -14,11 +14,13 @@ Result<std::string> RecordingChatModel::Complete(
   } else {
     exchange.status = result.status();
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   exchanges_.push_back(std::move(exchange));
   return result;
 }
 
 std::string RecordingChatModel::Transcript() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (std::size_t i = 0; i < exchanges_.size(); ++i) {
     const Exchange& exchange = exchanges_[i];

@@ -2,6 +2,7 @@
 #define GREDVIS_LLM_RECORDING_H_
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,12 +27,25 @@ class RecordingChatModel : public ChatModel {
   /// Wraps `inner` (not owned; must outlive this object).
   explicit RecordingChatModel(const ChatModel* inner) : inner_(inner) {}
 
+  /// Thread-safe: concurrent completions append under a mutex (their
+  /// relative order is whatever the scheduler produced).
   Result<std::string> Complete(const Prompt& prompt,
                                const ChatOptions& options) const override;
 
+  /// Direct view of the recording. Only safe while no concurrent
+  /// Complete calls are in flight (inspection happens after a run);
+  /// use call_count()/Transcript() for synchronized access.
   const std::vector<Exchange>& exchanges() const { return exchanges_; }
-  std::size_t call_count() const { return exchanges_.size(); }
-  void Clear() { exchanges_.clear(); }
+
+  std::size_t call_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return exchanges_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exchanges_.clear();
+  }
 
   /// Renders all recorded exchanges as readable text (prompt roles,
   /// contents and completions), for logs or files.
@@ -39,6 +53,7 @@ class RecordingChatModel : public ChatModel {
 
  private:
   const ChatModel* inner_;
+  mutable std::mutex mutex_;  // guards exchanges_
   mutable std::vector<Exchange> exchanges_;
 };
 

@@ -32,6 +32,13 @@ class TextToVisModel {
   /// Translates `nlq` into a DVQ against `db`'s schema. The database the
   /// model sees is the (possibly perturbed) evaluation database; models
   /// must not assume its names match the training corpus.
+  ///
+  /// Thread-safety contract: the eval harness (eval::Evaluate) invokes
+  /// Translate concurrently from a thread pool, so implementations must
+  /// be safe for concurrent calls on one instance — treat `const` as
+  /// "no unsynchronized mutation": any cache or trace written from a
+  /// const method needs a mutex or atomics (see core::Gred's annotation
+  /// cache).
   virtual Result<dvq::DVQ> Translate(const std::string& nlq,
                                      const storage::DatabaseData& db) const = 0;
 };

@@ -10,6 +10,8 @@ namespace gred::strings {
 
 namespace {
 
+constexpr std::size_t kSizeMax = static_cast<std::size_t>(-1);
+
 char AsciiLower(char c) {
   return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
 }
@@ -215,6 +217,20 @@ double IdentifierWordOverlap(std::string_view a, std::string_view b) {
   std::size_t uni = sa.size() + sb.size() - inter;
   if (uni == 0) return 1.0;
   return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::optional<std::size_t> ParsePositiveSize(std::string_view s) {
+  std::string trimmed = Trim(s);
+  if (trimmed.empty()) return std::nullopt;
+  std::size_t value = 0;
+  for (char c : trimmed) {
+    if (c < '0' || c > '9') return std::nullopt;
+    std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (kSizeMax - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  if (value == 0) return std::nullopt;
+  return value;
 }
 
 std::string Format(const char* fmt, ...) {

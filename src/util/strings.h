@@ -2,6 +2,7 @@
 #define GREDVIS_UTIL_STRINGS_H_
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,6 +59,12 @@ std::string ToCamelCase(const std::vector<std::string>& words);
 
 /// Jaccard similarity of the word-piece sets of two identifiers.
 double IdentifierWordOverlap(std::string_view a, std::string_view b);
+
+/// Parses a strictly positive decimal integer (optional surrounding
+/// whitespace). Returns nullopt for anything else: empty strings, signs,
+/// garbage, trailing junk, zero, or values that overflow std::size_t.
+/// Used to validate the GRED_BENCH_* environment overrides.
+std::optional<std::size_t> ParsePositiveSize(std::string_view s);
 
 /// printf-style formatting into a std::string.
 std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

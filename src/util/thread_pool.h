@@ -1,0 +1,70 @@
+#ifndef GREDVIS_UTIL_THREAD_POOL_H_
+#define GREDVIS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gred {
+
+/// Number of worker threads to use by default: the hardware concurrency,
+/// never less than 1 (std::thread::hardware_concurrency may return 0).
+std::size_t HardwareThreads();
+
+/// A fixed-size worker pool.
+///
+/// Tasks are queued FIFO and executed by `num_threads` workers; `Submit`
+/// returns a `std::future` so callers can collect results (or rethrow an
+/// exception raised inside the task — exceptions propagate through
+/// `future::get`, they never kill a worker). The pool joins all workers
+/// on destruction after draining the queue.
+///
+/// A pool with one thread is a valid degenerate configuration: tasks run
+/// on the single worker in submission order, which the eval harness
+/// relies on for its serial-equivalence tests.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. Thread-safe.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // std::function requires copyable callables, so the move-only
+    // packaged_task rides behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gred
+
+#endif  // GREDVIS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,61 @@
+#ifndef GREDVIS_UTIL_TIMING_H_
+#define GREDVIS_UTIL_TIMING_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gred {
+
+/// A thread-safe wall-clock accumulator (relaxed atomics: totals are
+/// exact, but concurrent readers may observe nanos and count from
+/// different instants — fine for reporting).
+class AtomicDuration {
+ public:
+  void AddNanos(std::int64_t ns) {
+    nanos_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::int64_t nanos() const { return nanos_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double seconds() const { return static_cast<double>(nanos()) * 1e-9; }
+
+  void Reset() {
+    nanos_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> nanos_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Adds the scope's elapsed wall time to an AtomicDuration. A null
+/// target disables the timer (zero-cost opt-out for callers that do not
+/// collect timing).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(AtomicDuration* target)
+      : target_(target),
+        start_(target == nullptr ? std::chrono::steady_clock::time_point()
+                                 : std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimer() {
+    if (target_ == nullptr) return;
+    target_->AddNanos(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  AtomicDuration* target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gred
+
+#endif  // GREDVIS_UTIL_TIMING_H_

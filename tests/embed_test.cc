@@ -227,5 +227,64 @@ TEST(IvfIndex, RebuildAfterMoreAdds) {
   EXPECT_EQ(index.TopK({0.0f, 1.0f}, 1)[0].index, 1u);
 }
 
+TEST(IvfIndex, KLargerThanSizeReturnsEverything) {
+  IvfIndex index;
+  index.Add({1.0f, 0.0f, 0.0f});
+  index.Add({0.0f, 1.0f, 0.0f});
+  index.Add({0.0f, 0.0f, 1.0f});
+  index.Build();
+  std::vector<VectorStore::Hit> hits = index.TopK({1.0f, 1.0f, 1.0f}, 10);
+  EXPECT_EQ(hits.size(), 3u);  // clamped to size(), no out-of-range access
+}
+
+TEST(IvfIndex, SecondBuildAfterIncrementalAddsSeesAllVectors) {
+  IvfIndex::Options options;
+  options.num_clusters = 4;
+  options.num_probes = 4;  // probe everything -> exact
+  IvfIndex index(options);
+  Rng rng(11);
+  std::vector<Vector> all;
+  auto add_batch = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      Vector v(8);
+      for (float& x : v) x = static_cast<float>(rng.NextDouble() - 0.5);
+      L2Normalize(&v);
+      all.push_back(v);
+      index.Add(v);
+    }
+  };
+  add_batch(10);
+  index.Build();
+  add_batch(10);
+  index.Build();  // second build must re-cluster over all 20
+  ASSERT_EQ(index.size(), 20u);
+  // Every stored vector (including the post-first-Build batch) must be
+  // retrievable as its own exact nearest neighbour.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    std::vector<VectorStore::Hit> hits = index.TopK(all[i], 1);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].index, i);
+    EXPECT_NEAR(hits[0].score, 1.0, 1e-5);
+  }
+}
+
+TEST(IvfIndex, DimensionMismatchScoresZeroNotPrefixDot) {
+  // Regression: Dot() used to truncate to the shorter vector, so a
+  // wrong-dimension query was silently ranked against prefixes. It now
+  // follows the CosineSimilarity contract and scores 0.
+  IvfIndex::Options options;
+  options.num_clusters = 2;
+  options.num_probes = 2;
+  IvfIndex index(options);
+  index.Add({1.0f, 0.0f});
+  index.Add({0.0f, 1.0f});
+  index.Build();
+  std::vector<VectorStore::Hit> hits =
+      index.TopK({1.0f, 0.0f, 0.0f, 0.0f}, 2);  // dim 4 vs dim 2
+  for (const VectorStore::Hit& hit : hits) {
+    EXPECT_DOUBLE_EQ(hit.score, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace gred::embed

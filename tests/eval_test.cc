@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "dataset/benchmark.h"
 #include "dvq/parser.h"
 #include "eval/metrics.h"
+#include "gred/gred.h"
+#include "llm/sim_llm.h"
 
 namespace gred::eval {
 namespace {
@@ -62,6 +66,28 @@ TEST(Metrics, CountsAndRatios) {
   EXPECT_DOUBLE_EQ(counts.OverallAcc(), 0.5);
   MetricCounts empty;
   EXPECT_DOUBLE_EQ(empty.OverallAcc(), 0.0);
+}
+
+TEST(Metrics, EmptyCountsNeverProduceNaN) {
+  // total == 0 (e.g. an empty per-hardness or per-chart bucket) must
+  // report 0.0 from every accessor, not NaN leaking into bench tables.
+  MetricCounts empty;
+  EXPECT_DOUBLE_EQ(empty.VisAcc(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AxisAcc(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.DataAcc(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.OverallAcc(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ExecutionAcc(), 0.0);
+  EXPECT_FALSE(std::isnan(empty.VisAcc()));
+
+  // The same holds for a bucket that recorded only errors.
+  MetricCounts errors_only;
+  errors_only.errors = 3;
+  EXPECT_DOUBLE_EQ(errors_only.OverallAcc(), 0.0);
+
+  // An empty evaluation (no test examples) renders clean tables too.
+  EvalResult result;
+  EXPECT_DOUBLE_EQ(result.counts.OverallAcc(), 0.0);
+  EXPECT_DOUBLE_EQ(result.by_hardness["Easy"].OverallAcc(), 0.0);
 }
 
 TEST(Metrics, Merge) {
@@ -196,6 +222,78 @@ TEST(Harness, ObserverSeesEveryExample) {
              EXPECT_NE(outcome.example, nullptr);
            });
   EXPECT_EQ(seen, suite.test_clean.size());
+}
+
+/// Runs `model` serially and with `threads` workers, collecting the
+/// observer stream both times, and asserts bit-identical results.
+void ExpectParallelMatchesSerial(const models::TextToVisModel& model,
+                                 const std::vector<dataset::Example>& test,
+                                 const std::vector<dataset::GeneratedDatabase>&
+                                     databases,
+                                 std::size_t threads) {
+  auto run = [&](std::size_t num_threads,
+                 std::vector<ExampleOutcome>* outcomes) {
+    EvalOptions options;
+    options.num_threads = num_threads;
+    return Evaluate(model, test, databases, "suite",
+                    [outcomes](const ExampleOutcome& o) {
+                      outcomes->push_back(o);
+                    },
+                    options);
+  };
+  std::vector<ExampleOutcome> serial_outcomes;
+  std::vector<ExampleOutcome> parallel_outcomes;
+  EvalResult serial = run(1, &serial_outcomes);
+  EvalResult parallel = run(threads, &parallel_outcomes);
+  EXPECT_TRUE(serial == parallel) << "EvalResult differs across thread counts";
+  ASSERT_EQ(serial_outcomes.size(), parallel_outcomes.size());
+  for (std::size_t i = 0; i < serial_outcomes.size(); ++i) {
+    EXPECT_EQ(serial_outcomes[i].example, parallel_outcomes[i].example);
+    EXPECT_EQ(serial_outcomes[i].predicted, parallel_outcomes[i].predicted);
+    EXPECT_EQ(serial_outcomes[i].overall, parallel_outcomes[i].overall);
+    EXPECT_EQ(serial_outcomes[i].execution, parallel_outcomes[i].execution);
+  }
+}
+
+TEST(ParallelHarness, OracleDeterministicAcrossThreadCounts) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  OracleModel oracle(&suite.test_clean);
+  ExpectParallelMatchesSerial(oracle, suite.test_clean, suite.databases, 4);
+}
+
+TEST(ParallelHarness, BrokenModelDeterministicAcrossThreadCounts) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  BrokenModel broken;
+  ExpectParallelMatchesSerial(broken, suite.test_clean, suite.databases, 3);
+}
+
+// The full GRED pipeline under concurrency: exercises the mutex-guarded
+// annotation cache (concurrent misses on the perturbed schemas), the
+// shared embedding libraries, and the per-stage timing atomics. Run
+// under -DGRED_SANITIZE=thread this is the harness's data-race canary.
+TEST(ParallelHarness, GredDeterministicAcrossThreadCounts) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  llm::SimulatedChatModel llm;
+  models::TrainingCorpus corpus;
+  corpus.train = &suite.train;
+  corpus.databases = &suite.databases;
+  core::Gred gred(corpus, &llm);
+  ExpectParallelMatchesSerial(gred, suite.test_both, suite.databases_rob, 4);
+  EXPECT_GE(gred.stage_stats().translate_calls, suite.test_both.size());
+}
+
+TEST(ParallelHarness, TimingSinkCountsEveryExample) {
+  const dataset::BenchmarkSuite& suite = SmallSuite();
+  OracleModel oracle(&suite.test_clean);
+  EvalTiming timing;
+  EvalOptions options;
+  options.num_threads = 4;
+  options.timing = &timing;
+  Evaluate(oracle, suite.test_clean, suite.databases, "clean", nullptr,
+           options);
+  EXPECT_EQ(timing.translate.count(), suite.test_clean.size());
+  EXPECT_EQ(timing.execute.count(), suite.test_clean.size());
+  EXPECT_GE(timing.translate.nanos(), 0);
 }
 
 }  // namespace

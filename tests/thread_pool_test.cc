@@ -1,0 +1,93 @@
+// Unit tests for the worker pool behind the parallel eval harness.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+#include "util/timing.h"
+
+namespace gred {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ResultsLandInTheRightFutures) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> bad =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives the exception and keeps serving tasks.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 42; }).get(), 42);
+}
+
+TEST(Timing, AtomicDurationAccumulatesAcrossThreads) {
+  AtomicDuration total;
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([&total] { total.AddNanos(1000); }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  }
+  EXPECT_EQ(total.nanos(), 32'000);
+  EXPECT_EQ(total.count(), 32u);
+  total.Reset();
+  EXPECT_EQ(total.nanos(), 0);
+  EXPECT_EQ(total.count(), 0u);
+}
+
+TEST(Timing, ScopedTimerWithNullTargetIsANoOp) {
+  ScopedTimer timer(nullptr);  // must not crash
+}
+
+}  // namespace
+}  // namespace gred

@@ -332,5 +332,27 @@ TEST_P(EditDistanceProperty, TriangleInequalityAndSymmetry) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+TEST(ParsePositiveSize, AcceptsPositiveIntegers) {
+  EXPECT_EQ(strings::ParsePositiveSize("1"), 1u);
+  EXPECT_EQ(strings::ParsePositiveSize("42"), 42u);
+  EXPECT_EQ(strings::ParsePositiveSize("  8 "), 8u);  // surrounding space
+  EXPECT_EQ(strings::ParsePositiveSize("007"), 7u);
+}
+
+TEST(ParsePositiveSize, RejectsEverythingElse) {
+  EXPECT_EQ(strings::ParsePositiveSize(""), std::nullopt);
+  EXPECT_EQ(strings::ParsePositiveSize("   "), std::nullopt);
+  EXPECT_EQ(strings::ParsePositiveSize("0"), std::nullopt);
+  EXPECT_EQ(strings::ParsePositiveSize("-3"), std::nullopt);
+  EXPECT_EQ(strings::ParsePositiveSize("+3"), std::nullopt);
+  EXPECT_EQ(strings::ParsePositiveSize("3.5"), std::nullopt);
+  EXPECT_EQ(strings::ParsePositiveSize("12abc"), std::nullopt);
+  EXPECT_EQ(strings::ParsePositiveSize("abc"), std::nullopt);
+  EXPECT_EQ(strings::ParsePositiveSize("1e6"), std::nullopt);
+  // Overflows std::size_t on every platform we build for.
+  EXPECT_EQ(strings::ParsePositiveSize("99999999999999999999999999"),
+            std::nullopt);
+}
+
 }  // namespace
 }  // namespace gred
