@@ -1,5 +1,6 @@
 #include "bench/common.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,20 +24,65 @@ std::size_t EnvSizeOrDie(const char* name, std::size_t fallback) {
   return *parsed;
 }
 
+double EnvRateOrDie(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (errno != 0 || end == value || *end != '\0' || parsed < 0.0 ||
+      parsed > 1.0) {
+    std::fprintf(stderr,
+                 "[bench] invalid %s=\"%s\": expected a number in [0, 1]\n",
+                 name, value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+ResilientStack MakeResilientStack(const llm::ChatModel* base,
+                                  double fault_rate, std::size_t retries) {
+  ResilientStack stack;
+  if (fault_rate <= 0.0) {
+    stack.active = base;
+    return stack;
+  }
+  llm::FaultConfig faults;
+  faults.transient_rate = fault_rate;
+  faults.truncate_rate = fault_rate / 2;
+  faults.garbage_rate = fault_rate / 2;
+  stack.injector =
+      std::make_unique<llm::FaultInjectingChatModel>(base, faults);
+  llm::RetryConfig retry;
+  retry.max_attempts = retries;
+  stack.retrier = std::make_unique<llm::RetryingChatModel>(
+      stack.injector.get(), retry);
+  stack.active = stack.retrier.get();
+  return stack;
+}
+
 BenchContext::BenchContext() {
   dataset::BenchmarkOptions options;
   options.train_size =
       EnvSizeOrDie("GRED_BENCH_TRAIN_SIZE", options.train_size);
   options.test_size = EnvSizeOrDie("GRED_BENCH_TEST_SIZE", options.test_size);
   options.seed = EnvSizeOrDie("GRED_BENCH_SEED", options.seed);
-  // Validate the thread override up front so a typo aborts before the
+  // Validate every override up front so a typo aborts before the
   // (expensive) suite build instead of mid-run inside eval::Evaluate.
   std::size_t threads = EnvSizeOrDie("GRED_BENCH_THREADS", HardwareThreads());
+  fault_rate_ = EnvRateOrDie("GRED_BENCH_FAULT_RATE", 0.0);
+  retries_ = EnvSizeOrDie("GRED_BENCH_RETRIES", 3);
+  stack_ = MakeResilientStack(&llm_, fault_rate_, retries_);
   std::fprintf(stderr,
                "[bench] building suite: %zu databases, %zu train, %zu test "
                "(%zu eval threads)\n",
                options.num_databases, options.train_size, options.test_size,
                threads);
+  if (fault_rate_ > 0.0) {
+    std::fprintf(stderr,
+                 "[bench] fault injection on: rate %.3f, %zu attempts/call\n",
+                 fault_rate_, retries_);
+  }
   suite_ = dataset::BuildBenchmarkSuite(options);
   corpus_.train = &suite_.train;
   corpus_.databases = &suite_.databases;
@@ -44,7 +90,7 @@ BenchContext::BenchContext() {
   seq2vis_ = std::make_unique<models::Seq2Vis>(corpus_);
   transformer_ = std::make_unique<models::TransformerModel>(corpus_);
   rgvisnet_ = std::make_unique<models::RGVisNet>(corpus_);
-  gred_ = std::make_unique<core::Gred>(corpus_, &llm_);
+  gred_ = std::make_unique<core::Gred>(corpus_, stack_.active);
   std::fprintf(stderr, "[bench] ready\n");
 }
 
@@ -54,7 +100,12 @@ std::vector<const models::TextToVisModel*> BenchContext::Baselines() const {
 
 std::unique_ptr<core::Gred> BenchContext::MakeGred(
     core::GredConfig config) const {
-  return std::make_unique<core::Gred>(corpus_, &llm_, std::move(config));
+  return MakeGred(std::move(config), stack_.active);
+}
+
+std::unique_ptr<core::Gred> BenchContext::MakeGred(
+    core::GredConfig config, const llm::ChatModel* chat) const {
+  return std::make_unique<core::Gred>(corpus_, chat, std::move(config));
 }
 
 void PrintResultsTable(const std::string& title,
@@ -106,6 +157,15 @@ std::vector<eval::EvalResult> RunModels(
                    after.debug_seconds - before.debug_seconds,
                    static_cast<unsigned long long>(after.translate_calls -
                                                    before.translate_calls));
+      std::uint64_t rtn_deg = after.retune_degraded - before.retune_degraded;
+      std::uint64_t dbg_deg = after.debug_degraded - before.debug_degraded;
+      if (rtn_deg != 0 || dbg_deg != 0) {
+        std::fprintf(stderr,
+                     "[bench]   GRED degraded stages: retuner %llu, "
+                     "debugger %llu\n",
+                     static_cast<unsigned long long>(rtn_deg),
+                     static_cast<unsigned long long>(dbg_deg));
+      }
     }
   }
   return results;

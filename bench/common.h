@@ -8,6 +8,7 @@
 #include "dataset/benchmark.h"
 #include "eval/metrics.h"
 #include "gred/gred.h"
+#include "llm/resilient.h"
 #include "llm/sim_llm.h"
 #include "models/model.h"
 #include "models/rgvisnet.h"
@@ -23,13 +24,37 @@ namespace gred::bench {
 /// back and burn a long benchmark run on the wrong configuration.
 std::size_t EnvSizeOrDie(const char* name, std::size_t fallback);
 
+/// Reads a probability environment override in [0, 1]. Same strictness
+/// as EnvSizeOrDie: unset returns `fallback`, anything else that does
+/// not parse as a number in range exits(2).
+double EnvRateOrDie(const char* name, double fallback);
+
+/// Builds the fault/retry decorator stack around `base` from the given
+/// knobs. With `fault_rate == 0` the stack is empty and `base` itself is
+/// the active model (so fault-free runs are bit-identical to a run with
+/// no decorators at all). With a nonzero rate the injector fires
+/// transient faults at `fault_rate` and corrupts completions (truncation
+/// and garbage prefixes) at half that rate each, and the retrier makes
+/// up to `retries` attempts per call.
+struct ResilientStack {
+  std::unique_ptr<llm::FaultInjectingChatModel> injector;
+  std::unique_ptr<llm::RetryingChatModel> retrier;
+  const llm::ChatModel* active = nullptr;  // top of the stack (or `base`)
+};
+ResilientStack MakeResilientStack(const llm::ChatModel* base,
+                                  double fault_rate, std::size_t retries);
+
 /// Shared experiment context: the benchmark suite, the simulated LLM and
 /// all four systems, built once per binary.
 ///
 /// Environment overrides (for quick local runs):
 ///   GRED_BENCH_TRAIN_SIZE, GRED_BENCH_TEST_SIZE, GRED_BENCH_SEED
 ///   (suite shape) and GRED_BENCH_THREADS (eval worker count; default
-///   hardware concurrency). All are validated up front via EnvSizeOrDie.
+///   hardware concurrency), all validated up front via EnvSizeOrDie;
+///   GRED_BENCH_FAULT_RATE (probability of an injected transient LLM
+///   fault per call, default 0 = no fault layer, validated via
+///   EnvRateOrDie) and GRED_BENCH_RETRIES (LLM attempts per call when
+///   the fault layer is active, default 3).
 class BenchContext {
  public:
   BenchContext();
@@ -38,17 +63,32 @@ class BenchContext {
   const llm::SimulatedChatModel& llm() const { return llm_; }
   const models::TrainingCorpus& corpus() const { return corpus_; }
 
+  /// The chat model GRED talks to: the bare simulated LLM, or the
+  /// fault-injecting + retrying stack when GRED_BENCH_FAULT_RATE > 0.
+  const llm::ChatModel* chat_model() const { return stack_.active; }
+  double fault_rate() const { return fault_rate_; }
+  std::size_t retries() const { return retries_; }
+
   /// The three baselines, in paper order.
   std::vector<const models::TextToVisModel*> Baselines() const;
 
   const core::Gred& gred() const { return *gred_; }
 
-  /// Builds a GRED variant for the ablation table.
+  /// Builds a GRED variant for the ablation table (same chat model /
+  /// fault stack as `gred()`).
   std::unique_ptr<core::Gred> MakeGred(core::GredConfig config) const;
+
+  /// Builds a GRED variant against an explicit chat model (for fault
+  /// sweeps that need a fresh decorator stack per configuration).
+  std::unique_ptr<core::Gred> MakeGred(core::GredConfig config,
+                                       const llm::ChatModel* chat) const;
 
  private:
   dataset::BenchmarkSuite suite_;
   llm::SimulatedChatModel llm_;
+  double fault_rate_ = 0.0;
+  std::size_t retries_ = 3;
+  ResilientStack stack_;
   models::TrainingCorpus corpus_;
   std::unique_ptr<models::Seq2Vis> seq2vis_;
   std::unique_ptr<models::TransformerModel> transformer_;

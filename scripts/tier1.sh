@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer
 # pass over the concurrency-sensitive tests (the parallel eval harness,
-# the thread pool, and GRED's mutex-guarded annotation cache).
+# the thread pool, GRED's mutex-guarded annotation cache, and the
+# fault-tolerance layer, whose retry + degradation paths exercise the
+# annotation cache and stage timers concurrently).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -12,16 +14,24 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j"$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j"$JOBS"
 
-echo "== tier-1: ThreadSanitizer pass (parallel harness) =="
-cmake -B "$ROOT/build-tsan" -S "$ROOT" \
+echo "== tier-1: ThreadSanitizer pass (parallel harness + fault layer) =="
+if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DGRED_SANITIZE=thread \
   -DGRED_BUILD_BENCHMARKS=OFF \
   -DGRED_BUILD_EXAMPLES=OFF \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$ROOT/build-tsan" -j"$JOBS" --target thread_pool_test eval_test
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
+  echo "tier-1: FAILED — build-tsan configure failed" >&2
+  exit 1
+fi
+cmake --build "$ROOT/build-tsan" -j"$JOBS" \
+  --target thread_pool_test eval_test llm_test gred_test
 # TSAN_OPTIONS makes any detected race fail the run loudly.
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/thread_pool_test"
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/eval_test" \
   --gtest_filter='ParallelHarness.*'
+TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/llm_test" \
+  --gtest_filter='Resilient.*'
+TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/gred_test" \
+  --gtest_filter='*Degraded*:*RetryRecovers*:*GeneratorFailure*'
 
 echo "== tier-1: OK =="

@@ -66,7 +66,9 @@ bool ParseDate(std::string_view text, Date* out) {
     *out = d;
     return true;
   }
-  if (text.size() < 10) return false;
+  // Only bare years ("2020") and full dates ("2020-01-02") are dates;
+  // trailing garbage ("2020-01-02xyz") must not parse.
+  if (text.size() != 10) return false;
   if (!digits(0, 4, &d.year) || text[4] != '-' || !digits(5, 2, &d.month) ||
       text[7] != '-' || !digits(8, 2, &d.day)) {
     return false;

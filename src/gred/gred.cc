@@ -60,11 +60,11 @@ Result<std::string> Gred::AnnotationsFor(const schema::Database& db) const {
     if (it != annotation_cache_.end()) return it->second;
   }
   // Generate outside the lock so a miss does not serialize concurrent
-  // Translate calls on other databases. The LLM is deterministic, so two
-  // threads racing on the same schema compute the same text; the first
-  // insert wins and both return identical annotations.
-  GRED_ASSIGN_OR_RETURN(std::string annotations,
-                        GenerateAnnotations(db, *llm_));
+  // Translate calls on other databases. The outcome — success or failure
+  // — is cached either way: the first insert wins, so every later call
+  // replays the same result (with a fault-injecting LLM this is what
+  // keeps a schema's annotation fate independent of thread interleaving).
+  Result<std::string> annotations = GenerateAnnotations(db, *llm_);
   std::lock_guard<std::mutex> lock(annotation_mutex_);
   return annotation_cache_.emplace(fingerprint, std::move(annotations))
       .first->second;
@@ -74,10 +74,7 @@ Result<std::size_t> Gred::PrepareAnnotations(
     const std::vector<dataset::GeneratedDatabase>& databases) const {
   std::size_t annotated = 0;
   for (const dataset::GeneratedDatabase& db : databases) {
-    GRED_ASSIGN_OR_RETURN(std::string annotations,
-                          AnnotationsFor(db.data.db_schema()));
-    (void)annotations;
-    ++annotated;
+    if (AnnotationsFor(db.data.db_schema()).ok()) ++annotated;
   }
   return annotated;
 }
@@ -93,6 +90,8 @@ Gred::StageStats Gred::stage_stats() const {
   stats.retune_seconds = retune_time_.seconds();
   stats.debug_seconds = debug_time_.seconds();
   stats.translate_calls = translate_calls_.load(std::memory_order_relaxed);
+  stats.retune_degraded = retune_degraded_.load(std::memory_order_relaxed);
+  stats.debug_degraded = debug_degraded_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -156,6 +155,10 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
   }
 
   // --- DVQ-Retrieval Retuner ----------------------------------------------
+  // A retuner failure — transient LLM error surviving retries, or a
+  // completion with no extractable DVQ — degrades rather than fails the
+  // call: the generator's DVQ carries forward, the trace keeps dvq_rtn
+  // empty (the stage produced nothing) and marks the stage degraded.
   if (config_.enable_retuner) {
     ScopedTimer timer(&retune_time_);
     std::vector<models::DvqIndex::Hit> dvq_hits =
@@ -168,38 +171,56 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
     llm::Prompt retune_prompt = llm::BuildRetunePrompt(references, current);
     Result<std::string> retune_completion =
         llm_->Complete(retune_prompt, WorkingOptions());
-    if (!retune_completion.ok()) {
-      commit_trace();
-      return retune_completion.status();
+    std::string dvq_rtn;
+    if (retune_completion.ok()) {
+      dvq_rtn = llm::ExtractDvqText(retune_completion.value());
     }
-    std::string dvq_rtn = llm::ExtractDvqText(retune_completion.value());
-    if (!dvq_rtn.empty()) current = dvq_rtn;
-    trace.dvq_rtn = current;
+    // Accept the stage's output only when it is a parseable DVQ: a
+    // truncated/corrupted completion must not replace a healthy DVQ.
+    if (dvq_rtn.empty() || !dvq::Parse(dvq_rtn).ok()) {
+      trace.rtn_degraded = true;
+      retune_degraded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      trace.dvq_rtn = dvq_rtn;
+      current = std::move(dvq_rtn);
+    }
   }
 
   // --- Annotation-based Debugger -------------------------------------------
+  // Same fallback contract as the retuner; an annotation-generation
+  // failure (cached per schema) also degrades the stage.
   if (config_.enable_debugger) {
     ScopedTimer timer(&debug_time_);
+    bool degraded = false;
     std::string annotations;
     if (config_.debugger_uses_annotations) {
       Result<std::string> fetched = AnnotationsFor(db.db_schema());
-      if (!fetched.ok()) {
-        commit_trace();
-        return fetched.status();
+      if (fetched.ok()) {
+        annotations = fetched.value();
+      } else {
+        degraded = true;
       }
-      annotations = fetched.value();
     }
-    llm::Prompt debug_prompt =
-        llm::BuildDebugPrompt(target_schema, annotations, current);
-    Result<std::string> debug_completion =
-        llm_->Complete(debug_prompt, WorkingOptions());
-    if (!debug_completion.ok()) {
-      commit_trace();
-      return debug_completion.status();
+    if (!degraded) {
+      llm::Prompt debug_prompt =
+          llm::BuildDebugPrompt(target_schema, annotations, current);
+      Result<std::string> debug_completion =
+          llm_->Complete(debug_prompt, WorkingOptions());
+      std::string dvq_dbg;
+      if (debug_completion.ok()) {
+        dvq_dbg = llm::ExtractDvqText(debug_completion.value());
+      }
+      if (dvq_dbg.empty() || !dvq::Parse(dvq_dbg).ok()) {
+        degraded = true;
+      } else {
+        trace.dvq_dbg = dvq_dbg;
+        current = std::move(dvq_dbg);
+      }
     }
-    std::string dvq_dbg = llm::ExtractDvqText(debug_completion.value());
-    if (!dvq_dbg.empty()) current = dvq_dbg;
-    trace.dvq_dbg = current;
+    if (degraded) {
+      trace.dbg_degraded = true;
+      debug_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   commit_trace();

@@ -58,22 +58,37 @@ class Gred : public models::TextToVisModel {
   /// Thread-safe: concurrent Translate calls share the annotation cache
   /// (mutex-guarded) and the immutable embedding libraries built in the
   /// constructor. `last_trace()` reflects whichever call finished last.
+  ///
+  /// Fault tolerance: a retuner or debugger failure (LLM error after any
+  /// retries, or a completion with no extractable DVQ) degrades the call
+  /// — the previous stage's DVQ carries forward and the trace marks the
+  /// stage degraded — instead of failing it. Only a generator failure,
+  /// which leaves nothing to fall back to, returns an error.
   Result<dvq::DVQ> Translate(const std::string& nlq,
                              const storage::DatabaseData& db) const override;
 
   /// Preparatory phase, step 2 (Section 4.1): generates and caches the
   /// NL annotations for every given database up front, so Translate
   /// never pays annotation latency. Returns the number of databases
-  /// annotated (cache hits included).
+  /// successfully annotated (cache hits included); failures — possible
+  /// only with a fault-injecting LLM — are cached too (so the outcome is
+  /// decided once, deterministically) and excluded from the count.
   Result<std::size_t> PrepareAnnotations(
       const std::vector<dataset::GeneratedDatabase>& databases) const;
 
   /// Intermediate artifacts of the last Translate call (for the case
   /// study and tests): generator output, retuner output, debugger output.
+  /// A stage that ran but produced nothing usable (LLM failure after
+  /// retries, or a completion with no extractable DVQ) leaves its dvq_*
+  /// field empty and sets its degraded flag; the pipeline falls back to
+  /// the previous stage's DVQ. The generator has no fallback, so it has
+  /// no degraded flag — its failures fail Translate.
   struct Trace {
     std::string dvq_gen;
     std::string dvq_rtn;
     std::string dvq_dbg;
+    bool rtn_degraded = false;
+    bool dbg_degraded = false;
   };
   /// Snapshot of the most recently completed Translate's trace (copied
   /// under the trace mutex; under concurrency "last" means whichever
@@ -87,6 +102,10 @@ class Gred : public models::TextToVisModel {
     double retune_seconds = 0.0;     // DVQ-Retrieval Retuner
     double debug_seconds = 0.0;      // Annotation-based Debugger
     std::uint64_t translate_calls = 0;
+    /// Translate calls whose retuner / debugger stage fell back to the
+    /// previous stage's DVQ (zero unless the LLM actually fails).
+    std::uint64_t retune_degraded = 0;
+    std::uint64_t debug_degraded = 0;
   };
   StageStats stage_stats() const;
 
@@ -94,7 +113,11 @@ class Gred : public models::TextToVisModel {
 
  private:
   /// Annotation collection, keyed by schema fingerprint (clean and
-  /// perturbed corpora share database names but not schemas).
+  /// perturbed corpora share database names but not schemas). Failures
+  /// are cached alongside successes: a schema's annotation outcome is
+  /// decided exactly once per Gred instance, which keeps fault-injected
+  /// runs deterministic (later calls replay the cached outcome instead
+  /// of re-drawing faults under racy thread interleavings).
   Result<std::string> AnnotationsFor(const schema::Database& db) const;
 
   GredConfig config_;
@@ -105,13 +128,15 @@ class Gred : public models::TextToVisModel {
   std::unique_ptr<models::DvqIndex> dvq_index_;
   std::map<std::string, std::string> db_schema_prompts_;  // by db name
   mutable std::mutex annotation_mutex_;  // guards annotation_cache_
-  mutable std::map<std::string, std::string> annotation_cache_;
+  mutable std::map<std::string, Result<std::string>> annotation_cache_;
   mutable std::mutex trace_mutex_;  // guards trace_
   mutable Trace trace_;
   mutable AtomicDuration retrieval_time_;
   mutable AtomicDuration retune_time_;
   mutable AtomicDuration debug_time_;
   mutable std::atomic<std::uint64_t> translate_calls_{0};
+  mutable std::atomic<std::uint64_t> retune_degraded_{0};
+  mutable std::atomic<std::uint64_t> debug_degraded_{0};
 };
 
 }  // namespace gred::core

@@ -185,7 +185,13 @@ Result<schema::Database> ParseSchemaPrompt(const std::string& text) {
 }
 
 std::string ExtractDvqText(const std::string& completion) {
-  std::size_t pos = completion.find("Visualize");
+  // Case-insensitive: real models emit "visualize bar ..." as readily as
+  // "Visualize BAR ..." (the lexical variability the paper studies), and
+  // the lexer accepts either. Prefer the last occurrence so chatty prose
+  // before the answer ("let me visualize that for you: ...") does not
+  // hijack extraction — the DVQ is the final line of every prompt's
+  // expected answer format.
+  std::size_t pos = strings::ToLower(completion).rfind("visualize");
   if (pos == std::string::npos) return std::string();
   std::size_t end = completion.find('\n', pos);
   if (end == std::string::npos) end = completion.size();

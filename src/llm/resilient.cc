@@ -1,0 +1,119 @@
+#include "llm/resilient.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gred::llm {
+
+namespace {
+
+/// splitmix64-style avalanche of three words into one RNG seed. The
+/// constants are the splitmix64 increments; the point is only that
+/// (seed, fingerprint, attempt) triples land far apart.
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t fingerprint,
+                      std::uint64_t attempt) {
+  std::uint64_t x = seed ^ (fingerprint * 0x9E3779B97F4A7C15ULL) ^
+                    ((attempt + 1) * 0xBF58476D1CE4E5B9ULL);
+  x ^= x >> 30;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Prose a chatty assistant might emit before the answer. Mentions
+/// "visualize" in lowercase on purpose: extraction must not latch onto
+/// it (llm::ExtractDvqText prefers the last occurrence).
+constexpr char kGarbagePrefix[] =
+    "Sure! Let me visualize that for you. Here is the query you asked "
+    "for, following the DVQ syntax:\n";
+
+}  // namespace
+
+FaultInjectingChatModel::FaultInjectingChatModel(const ChatModel* inner,
+                                                 FaultConfig config)
+    : inner_(inner), config_(config) {}
+
+Result<std::string> FaultInjectingChatModel::Complete(
+    const Prompt& prompt, const ChatOptions& options) const {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t fingerprint = Fnv1a64(RenderPrompt(prompt));
+  std::uint32_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    attempt = attempts_[fingerprint]++;
+  }
+  Rng rng(MixSeed(config_.seed, fingerprint, attempt));
+  // Draw every fault decision up front so the outcome of attempt N is a
+  // pure function of (seed, prompt, N) regardless of which faults fire.
+  bool transient = rng.NextBool(config_.transient_rate);
+  bool truncate = rng.NextBool(config_.truncate_rate);
+  bool garbage = rng.NextBool(config_.garbage_rate);
+  if (transient) {
+    transient_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        strings::Format("injected transient fault (prompt %016llx, "
+                        "attempt %u)",
+                        static_cast<unsigned long long>(fingerprint),
+                        attempt));
+  }
+  Result<std::string> completion = inner_->Complete(prompt, options);
+  if (!completion.ok()) return completion;
+  std::string text = std::move(completion).value();
+  if (truncate) {
+    truncations_.fetch_add(1, std::memory_order_relaxed);
+    text.resize(text.size() / 2);
+  }
+  if (garbage) {
+    garbage_prefixes_.fetch_add(1, std::memory_order_relaxed);
+    text = kGarbagePrefix + text;
+  }
+  return text;
+}
+
+FaultInjectingChatModel::Stats FaultInjectingChatModel::stats() const {
+  Stats s;
+  s.calls = calls_.load(std::memory_order_relaxed);
+  s.transient_faults = transient_faults_.load(std::memory_order_relaxed);
+  s.truncations = truncations_.load(std::memory_order_relaxed);
+  s.garbage_prefixes = garbage_prefixes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+RetryingChatModel::RetryingChatModel(const ChatModel* inner,
+                                     RetryConfig config)
+    : inner_(inner), config_(config) {
+  if (config_.max_attempts == 0) config_.max_attempts = 1;
+}
+
+Result<std::string> RetryingChatModel::Complete(
+    const Prompt& prompt, const ChatOptions& options) const {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  double wait = config_.backoff_seconds;
+  Result<std::string> last = Status::Internal("retry loop did not run");
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Simulated backoff: account the wait instead of sleeping so runs
+      // stay fast and independent of the wall clock.
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff_.AddNanos(static_cast<std::int64_t>(wait * 1e9));
+      wait *= config_.backoff_multiplier;
+    }
+    last = inner_->Complete(prompt, options);
+    if (last.ok() || !last.status().IsTransient()) return last;
+  }
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  return last;
+}
+
+RetryingChatModel::Stats RetryingChatModel::stats() const {
+  Stats s;
+  s.calls = calls_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.exhausted = exhausted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace gred::llm

@@ -1,0 +1,125 @@
+#ifndef GREDVIS_LLM_RESILIENT_H_
+#define GREDVIS_LLM_RESILIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "llm/chat_model.h"
+#include "util/timing.h"
+
+namespace gred::llm {
+
+/// Knobs of the fault-injecting decorator. All rates are independent
+/// probabilities in [0, 1].
+struct FaultConfig {
+  /// Probability that a call fails with Status::Unavailable before
+  /// reaching the inner model (a dropped connection / 503).
+  double transient_rate = 0.0;
+  /// Probability that a successful completion is cut to its first half
+  /// (a response truncated mid-stream).
+  double truncate_rate = 0.0;
+  /// Probability that chatty assistant prose — which mentions the word
+  /// "visualize" — is prepended to a successful completion (exercises
+  /// DVQ extraction robustness).
+  double garbage_rate = 0.0;
+  /// Base seed mixed into every per-call RNG stream.
+  std::uint64_t seed = 0x5EEDULL;
+};
+
+/// Decorator that deterministically injects faults into a ChatModel.
+///
+/// Each call draws from an RNG seeded by (config seed, FNV fingerprint of
+/// the rendered prompt, per-prompt attempt index) — no wall clock and no
+/// process-global state — so a given prompt's Nth attempt produces the
+/// same outcome on every run, machine and thread count. Retrying a
+/// transiently-failed prompt advances its attempt index, giving the
+/// retry an independent draw (a retry can therefore succeed, as with a
+/// real flaky backend).
+///
+/// Thread-safe: the attempt-index map is mutex-guarded and the stats are
+/// atomics. Calls for distinct prompts never affect each other's draws,
+/// which is what makes parallel evaluation deterministic.
+class FaultInjectingChatModel : public ChatModel {
+ public:
+  /// Wraps `inner` (not owned; must outlive this object).
+  FaultInjectingChatModel(const ChatModel* inner, FaultConfig config);
+
+  Result<std::string> Complete(const Prompt& prompt,
+                               const ChatOptions& options) const override;
+
+  /// Counters of what was actually injected (for bench reporting).
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t transient_faults = 0;
+    std::uint64_t truncations = 0;
+    std::uint64_t garbage_prefixes = 0;
+  };
+  Stats stats() const;
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  const ChatModel* inner_;
+  FaultConfig config_;
+  mutable std::mutex mutex_;  // guards attempts_
+  mutable std::map<std::uint64_t, std::uint32_t> attempts_;  // by prompt fp
+  mutable std::atomic<std::uint64_t> calls_{0};
+  mutable std::atomic<std::uint64_t> transient_faults_{0};
+  mutable std::atomic<std::uint64_t> truncations_{0};
+  mutable std::atomic<std::uint64_t> garbage_prefixes_{0};
+};
+
+/// Knobs of the retrying decorator.
+struct RetryConfig {
+  /// Total attempts per Complete call (>= 1; 1 means no retry).
+  std::size_t max_attempts = 3;
+  /// Simulated exponential backoff: attempt k (0-based) waits
+  /// `backoff_seconds * backoff_multiplier^k` before retrying. The wait
+  /// is accounted, not slept, so runs stay fast and deterministic.
+  double backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+};
+
+/// Decorator that retries transient failures of the inner ChatModel.
+///
+/// Only `Status::IsTransient()` failures are retried; permanent errors
+/// and successes pass through on the first attempt. Backoff is simulated
+/// (accumulated into `simulated_backoff()` rather than slept) so stage
+/// timings can account for it without making benchmarks wall-clock
+/// dependent. Thread-safe: stats are atomics, backoff is an
+/// AtomicDuration.
+class RetryingChatModel : public ChatModel {
+ public:
+  /// Wraps `inner` (not owned; must outlive this object).
+  RetryingChatModel(const ChatModel* inner, RetryConfig config);
+
+  Result<std::string> Complete(const Prompt& prompt,
+                               const ChatOptions& options) const override;
+
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t retries = 0;    // extra attempts beyond the first
+    std::uint64_t exhausted = 0;  // calls that failed every attempt
+  };
+  Stats stats() const;
+
+  /// Total simulated backoff wait across all retried calls.
+  const AtomicDuration& simulated_backoff() const { return backoff_; }
+
+  const RetryConfig& config() const { return config_; }
+
+ private:
+  const ChatModel* inner_;
+  RetryConfig config_;
+  mutable std::atomic<std::uint64_t> calls_{0};
+  mutable std::atomic<std::uint64_t> retries_{0};
+  mutable std::atomic<std::uint64_t> exhausted_{0};
+  mutable AtomicDuration backoff_;
+};
+
+}  // namespace gred::llm
+
+#endif  // GREDVIS_LLM_RESILIENT_H_

@@ -19,6 +19,10 @@ enum class StatusCode {
   kExecutionError,
   kInternal,
   kUnimplemented,
+  /// A transient failure (backend overload, dropped connection, injected
+  /// fault): the operation may succeed if retried. The only code for
+  /// which `Status::IsTransient()` is true.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "ParseError").
@@ -57,8 +61,14 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True when the failure is worth retrying (see StatusCode::kUnavailable).
+  /// Permanent errors (parse failures, invalid arguments, ...) are not.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

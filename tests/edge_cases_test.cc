@@ -179,10 +179,13 @@ TEST(EdgeLinking, SubqueryLiteralsAdaptedInOrder) {
 
 // --- llm prompts ------------------------------------------------------
 
-TEST(EdgePrompt, ExtractDvqTakesFirstOccurrence) {
+TEST(EdgePrompt, ExtractDvqTakesLastOccurrence) {
+  // The DVQ is the final line of every expected answer format, so the
+  // last occurrence wins — prose mentioning "visualize" earlier in the
+  // completion must not hijack extraction.
   EXPECT_EQ(llm::ExtractDvqText("x\nVisualize BAR SELECT a , b FROM t\n"
                                 "Visualize PIE SELECT c , d FROM u"),
-            "Visualize BAR SELECT a , b FROM t");
+            "Visualize PIE SELECT c , d FROM u");
 }
 
 TEST(EdgePrompt, SchemaPromptToleratesMissingForeignKeys) {

@@ -369,6 +369,44 @@ TEST(Scalar, LikeMatch) {
   EXPECT_TRUE(LikeMatch("%end", "the end"));
 }
 
+TEST(Scalar, LikeMatchPercentUnderscoreCombinations) {
+  EXPECT_TRUE(LikeMatch("%_", "x"));
+  EXPECT_FALSE(LikeMatch("%_", ""));
+  EXPECT_TRUE(LikeMatch("_%", "xyz"));
+  EXPECT_TRUE(LikeMatch("a%_c", "abc"));
+  EXPECT_FALSE(LikeMatch("a%_c", "ac"));
+  EXPECT_TRUE(LikeMatch("_%_", "ab"));
+  EXPECT_FALSE(LikeMatch("_%_", "a"));
+  EXPECT_TRUE(LikeMatch("%a_b%", "xxaybzz"));
+  EXPECT_TRUE(LikeMatch("%%", "anything"));
+  EXPECT_TRUE(LikeMatch("%%", ""));
+}
+
+TEST(Scalar, LikeMatchBacktracking) {
+  // The first '%' must re-expand past the first "ab" to reach the last.
+  EXPECT_TRUE(LikeMatch("%ab%ab", "abxab"));
+  EXPECT_TRUE(LikeMatch("%ab%ab", "ababab"));
+  EXPECT_FALSE(LikeMatch("%ab%ab", "abab x"));
+  EXPECT_TRUE(LikeMatch("%ab%ab%", "xxabyyabzz"));
+  EXPECT_FALSE(LikeMatch("%ab%ab%", "xxabyy"));
+  EXPECT_TRUE(LikeMatch("a%a%a", "aaa"));
+  EXPECT_FALSE(LikeMatch("a%a%a", "aa"));
+}
+
+TEST(Scalar, LikeMatchCaseInsensitivity) {
+  EXPECT_TRUE(LikeMatch("%AbC%", "xxabcyy"));
+  EXPECT_TRUE(LikeMatch("heLLo", "HEllO"));
+  EXPECT_TRUE(LikeMatch("_BC", "abc"));
+}
+
+TEST(Scalar, LikeMatchEmptyPatternAndText) {
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_FALSE(LikeMatch("", "x"));
+  EXPECT_FALSE(LikeMatch("a", ""));
+  EXPECT_FALSE(LikeMatch("_", ""));
+  EXPECT_TRUE(LikeMatch("%", "anything"));
+}
+
 TEST(Scalar, ParseDate) {
   Date d;
   ASSERT_TRUE(ParseDate("2020-03-15", &d));
@@ -379,6 +417,19 @@ TEST(Scalar, ParseDate) {
   EXPECT_EQ(d.year, 1999);
   EXPECT_FALSE(ParseDate("2020-13-01", &d));
   EXPECT_FALSE(ParseDate("not a date", &d));
+}
+
+TEST(Scalar, ParseDateRejectsTrailingGarbage) {
+  Date d;
+  EXPECT_FALSE(ParseDate("2020-01-02xyz", &d));
+  EXPECT_FALSE(ParseDate("2020-01-02 12:00:00", &d));
+  EXPECT_FALSE(ParseDate("2020-01-023", &d));
+  EXPECT_FALSE(ParseDate("1999x", &d));
+  EXPECT_FALSE(ParseDate("19999", &d));
+  EXPECT_FALSE(ParseDate("2020-01-0", &d));
+  // Exact-length forms still parse.
+  EXPECT_TRUE(ParseDate("2020-01-02", &d));
+  EXPECT_TRUE(ParseDate("1999", &d));
 }
 
 TEST(Scalar, WeekdayComputation) {

@@ -3,8 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "dvq/components.h"
+#include "dvq/parser.h"
 #include "gred/gred.h"
+#include "llm/prompt.h"
+#include "llm/resilient.h"
 #include "llm/sim_llm.h"
 
 namespace gred::core {
@@ -139,6 +145,234 @@ TEST_F(GredFixture, KConfigRespected) {
   const dataset::Example& ex = suite_->test_clean[3];
   const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
   EXPECT_TRUE(model.Translate(ex.nlq, db->data).ok());
+}
+
+// --- Fault tolerance / graceful degradation ---------------------------------
+
+/// Substrings that identify each of the four Appendix C prompts.
+constexpr char kGenerationNeedle[] = "Generate DVQs based on";
+constexpr char kRetuneNeedle[] = "Reference DVQs";
+constexpr char kDebugNeedle[] = "replace the column names";
+constexpr char kAnnotationNeedle[] =
+    "natural language annotations to the following";
+
+/// Fails every prompt containing `needle` with a fixed status; delegates
+/// everything else to the inner model.
+class FailMatchingChatModel : public llm::ChatModel {
+ public:
+  FailMatchingChatModel(const llm::ChatModel* inner, std::string needle,
+                        Status failure = Status::Unavailable("injected"))
+      : inner_(inner), needle_(std::move(needle)),
+        failure_(std::move(failure)) {}
+
+  Result<std::string> Complete(
+      const llm::Prompt& prompt,
+      const llm::ChatOptions& options) const override {
+    if (llm::RenderPrompt(prompt).find(needle_) != std::string::npos) {
+      return failure_;
+    }
+    return inner_->Complete(prompt, options);
+  }
+
+ private:
+  const llm::ChatModel* inner_;
+  std::string needle_;
+  Status failure_;
+};
+
+/// Answers every prompt containing `needle` with a fixed completion (one
+/// with no extractable DVQ, for the empty-extraction paths); delegates
+/// everything else.
+class AnswerMatchingChatModel : public llm::ChatModel {
+ public:
+  AnswerMatchingChatModel(const llm::ChatModel* inner, std::string needle,
+                          std::string answer)
+      : inner_(inner), needle_(std::move(needle)),
+        answer_(std::move(answer)) {}
+
+  Result<std::string> Complete(
+      const llm::Prompt& prompt,
+      const llm::ChatOptions& options) const override {
+    if (llm::RenderPrompt(prompt).find(needle_) != std::string::npos) {
+      return answer_;
+    }
+    return inner_->Complete(prompt, options);
+  }
+
+ private:
+  const llm::ChatModel* inner_;
+  std::string needle_;
+  std::string answer_;
+};
+
+/// Fails only the first prompt containing `needle` (a one-shot transient
+/// fault), then delegates forever after.
+class FlakyOnceChatModel : public llm::ChatModel {
+ public:
+  FlakyOnceChatModel(const llm::ChatModel* inner, std::string needle)
+      : inner_(inner), needle_(std::move(needle)) {}
+
+  Result<std::string> Complete(
+      const llm::Prompt& prompt,
+      const llm::ChatOptions& options) const override {
+    if (llm::RenderPrompt(prompt).find(needle_) != std::string::npos &&
+        !failed_once_.exchange(true)) {
+      return Status::Unavailable("flaky backend");
+    }
+    return inner_->Complete(prompt, options);
+  }
+
+ private:
+  const llm::ChatModel* inner_;
+  std::string needle_;
+  mutable std::atomic<bool> failed_once_{false};
+};
+
+TEST_F(GredFixture, DegradedRetunerFallsBackToGeneratorDvq) {
+  FailMatchingChatModel failing(llm_, kRetuneNeedle);
+  Gred model(corpus_, &failing);
+  GredConfig no_rtn;
+  no_rtn.enable_retuner = false;
+  Gred reference(corpus_, llm_, no_rtn);
+  const dataset::Example& ex = suite_->test_clean[0];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  Gred::Trace trace = model.last_trace();
+  EXPECT_FALSE(trace.dvq_gen.empty());
+  EXPECT_TRUE(trace.dvq_rtn.empty());  // the stage produced nothing
+  EXPECT_TRUE(trace.rtn_degraded);
+  EXPECT_FALSE(trace.dbg_degraded);
+  EXPECT_EQ(model.stage_stats().retune_degraded, 1u);
+  // The degraded pipeline behaves exactly like one with no retuner.
+  Result<dvq::DVQ> expected = reference.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(out.value().ToString(), expected.value().ToString());
+}
+
+TEST_F(GredFixture, DegradedDebuggerFallsBackToRetunerDvq) {
+  FailMatchingChatModel failing(llm_, kDebugNeedle);
+  Gred model(corpus_, &failing);
+  const dataset::Example& ex = suite_->test_clean[1];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  Gred::Trace trace = model.last_trace();
+  EXPECT_FALSE(trace.dvq_rtn.empty());
+  EXPECT_TRUE(trace.dvq_dbg.empty());
+  EXPECT_FALSE(trace.rtn_degraded);
+  EXPECT_TRUE(trace.dbg_degraded);
+  EXPECT_EQ(model.stage_stats().debug_degraded, 1u);
+  // The returned DVQ is the retuner's output, parsed.
+  Result<dvq::DVQ> retuned = dvq::Parse(trace.dvq_rtn);
+  ASSERT_TRUE(retuned.ok());
+  EXPECT_EQ(out.value().ToString(), retuned.value().ToString());
+}
+
+TEST_F(GredFixture, DegradedAnnotationFailureSkipsDebugger) {
+  FailMatchingChatModel failing(llm_, kAnnotationNeedle);
+  Gred model(corpus_, &failing);
+  const dataset::Example& ex = suite_->test_schema[0];
+  const dataset::GeneratedDatabase* db = suite_->FindRobDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  Gred::Trace trace = model.last_trace();
+  EXPECT_TRUE(trace.dvq_dbg.empty());
+  EXPECT_TRUE(trace.dbg_degraded);
+  EXPECT_EQ(model.stage_stats().debug_degraded, 1u);
+  // Annotation failures are excluded from the PrepareAnnotations count.
+  Result<std::size_t> prepared = model.PrepareAnnotations(suite_->databases);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared.value(), 0u);
+}
+
+TEST_F(GredFixture, DegradedTraceNeverClaimsCarriedForwardOutput) {
+  // A retuner completion with no extractable DVQ must not be recorded as
+  // the stage's output (the old trace reported the generator's DVQ as
+  // dvq_rtn); it leaves the trace empty and marks the stage degraded.
+  AnswerMatchingChatModel refusing(llm_, kRetuneNeedle,
+                                   "I cannot help with that request.");
+  Gred model(corpus_, &refusing);
+  const dataset::Example& ex = suite_->test_clean[2];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  Gred::Trace trace = model.last_trace();
+  EXPECT_FALSE(trace.dvq_gen.empty());
+  EXPECT_TRUE(trace.dvq_rtn.empty());
+  EXPECT_TRUE(trace.rtn_degraded);
+}
+
+TEST_F(GredFixture, GeneratorFailureSurfacesError) {
+  FailMatchingChatModel failing(llm_, kGenerationNeedle);
+  Gred model(corpus_, &failing);
+  const dataset::Example& ex = suite_->test_clean[3];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsTransient());
+  Gred::StageStats stats = model.stage_stats();
+  EXPECT_EQ(stats.retune_degraded, 0u);
+  EXPECT_EQ(stats.debug_degraded, 0u);
+}
+
+TEST_F(GredFixture, RetryRecoversDegradableStage) {
+  FlakyOnceChatModel flaky(llm_, kRetuneNeedle);
+  llm::RetryingChatModel retrying(&flaky, llm::RetryConfig{});
+  Gred model(corpus_, &retrying);
+  const dataset::Example& ex = suite_->test_clean[0];
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+  Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  Gred::Trace trace = model.last_trace();
+  EXPECT_FALSE(trace.rtn_degraded);
+  EXPECT_FALSE(trace.dvq_rtn.empty());
+  EXPECT_EQ(model.stage_stats().retune_degraded, 0u);
+  EXPECT_EQ(retrying.stats().retries, 1u);
+}
+
+TEST_F(GredFixture, DegradedFaultInjectedRunsAreThreadCountInvariant) {
+  // The same examples translated serially and by four threads, each run
+  // on a fresh fault-injecting stack, must produce identical outcomes:
+  // fault draws depend only on (seed, prompt, attempt) and annotation
+  // outcomes are prewarmed, never on scheduling.
+  const std::size_t n = std::min<std::size_t>(12, suite_->test_clean.size());
+  llm::FaultConfig faults;
+  faults.transient_rate = 0.3;
+  faults.truncate_rate = 0.15;
+  faults.garbage_rate = 0.15;
+  llm::RetryConfig retry;
+  retry.max_attempts = 3;
+  auto run = [&](std::size_t threads) {
+    llm::FaultInjectingChatModel injector(llm_, faults);
+    llm::RetryingChatModel retrying(&injector, retry);
+    Gred model(corpus_, &retrying);
+    (void)model.PrepareAnnotations(suite_->databases);
+    std::vector<std::string> outcomes(n);
+    auto score = [&](std::size_t i) {
+      const dataset::Example& ex = suite_->test_clean[i];
+      const dataset::GeneratedDatabase* db = suite_->FindCleanDb(ex.db_name);
+      Result<dvq::DVQ> out = model.Translate(ex.nlq, db->data);
+      outcomes[i] = out.ok() ? out.value().ToString()
+                             : out.status().ToString();
+    };
+    if (threads <= 1) {
+      for (std::size_t i = 0; i < n; ++i) score(i);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          for (std::size_t i = t; i < n; i += threads) score(i);
+        });
+      }
+      for (std::thread& w : workers) w.join();
+    }
+    return outcomes;
+  };
+  std::vector<std::string> serial = run(1);
+  std::vector<std::string> parallel = run(4);
+  EXPECT_EQ(serial, parallel);
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "dvq/components.h"
 #include "dvq/parser.h"
 #include "llm/prompt.h"
@@ -10,6 +13,7 @@
 #include "dataset/benchmark.h"
 #include "gred/gred.h"
 #include "llm/recording.h"
+#include "llm/resilient.h"
 #include "llm/sim_llm.h"
 #include "nl/text.h"
 
@@ -66,6 +70,27 @@ TEST(Prompt, ExtractDvqText) {
   EXPECT_EQ(ExtractDvqText("A: Visualize BAR SELECT a , b FROM t\nrest"),
             "Visualize BAR SELECT a , b FROM t");
   EXPECT_EQ(ExtractDvqText("nothing here"), "");
+}
+
+TEST(Prompt, ExtractDvqTextCaseInsensitive) {
+  // A completion in the general register ("visualize bar ...") is the
+  // lexical-variability failure mode the paper studies; extraction must
+  // not demand the canonical capitalization.
+  EXPECT_EQ(ExtractDvqText("A: visualize bar SELECT a , b FROM t\nrest"),
+            "visualize bar SELECT a , b FROM t");
+  EXPECT_EQ(ExtractDvqText("VISUALIZE PIE SELECT a , b FROM t"),
+            "VISUALIZE PIE SELECT a , b FROM t");
+}
+
+TEST(Prompt, ExtractDvqTextPrefersLastOccurrence) {
+  // Chatty prose before the answer mentions "visualize"; the DVQ is the
+  // final occurrence and must win.
+  EXPECT_EQ(ExtractDvqText("Sure, I can visualize that for you.\n"
+                           "A: Visualize BAR SELECT a , b FROM t\n"),
+            "Visualize BAR SELECT a , b FROM t");
+  EXPECT_EQ(ExtractDvqText("let me visualize it... "
+                           "Visualize SCATTER SELECT x , y FROM t"),
+            "Visualize SCATTER SELECT x , y FROM t");
 }
 
 TEST(Prompt, GenerationPromptStructure) {
@@ -429,6 +454,223 @@ TEST(SimLlm, DeterministicCompletion) {
   Result<std::string> b = llm.Complete(prompt, ChatOptions{});
   ASSERT_TRUE(a.ok());
   EXPECT_EQ(a.value(), b.value());
+}
+
+// --- Fault-tolerance decorators ---------------------------------------------
+
+/// Plays back a fixed outcome script, one entry per call (the last entry
+/// repeats once the script is exhausted). Thread-compatible for the
+/// single-threaded decorator tests.
+class ScriptedChatModel : public ChatModel {
+ public:
+  explicit ScriptedChatModel(std::vector<Result<std::string>> script)
+      : script_(std::move(script)) {}
+
+  Result<std::string> Complete(const Prompt& /*prompt*/,
+                               const ChatOptions& /*options*/) const override {
+    std::size_t index = calls_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= script_.size()) index = script_.size() - 1;
+    return script_[index];
+  }
+
+  std::size_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Result<std::string>> script_;
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+Prompt UserPrompt(const std::string& text) {
+  return {{ChatMessage::Role::kUser, text}};
+}
+
+TEST(Resilient, RetryingRecoversFromTransientFailures) {
+  ScriptedChatModel inner({Status::Unavailable("drop 1"),
+                           Status::Unavailable("drop 2"),
+                           std::string("A: Visualize BAR SELECT a , a FROM "
+                                       "t")});
+  RetryingChatModel retrying(&inner, RetryConfig{});
+  Result<std::string> out = retrying.Complete(UserPrompt("q"), ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(inner.calls(), 3u);
+  RetryingChatModel::Stats stats = retrying.stats();
+  EXPECT_EQ(stats.calls, 1u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  // Simulated exponential backoff: 0.05s + 0.10s, accounted not slept.
+  EXPECT_NEAR(retrying.simulated_backoff().seconds(), 0.15, 1e-9);
+}
+
+TEST(Resilient, RetryingDoesNotRetryPermanentErrors) {
+  ScriptedChatModel inner({Status::Internal("broken prompt")});
+  RetryingChatModel retrying(&inner, RetryConfig{});
+  Result<std::string> out = retrying.Complete(UserPrompt("q"), ChatOptions{});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(inner.calls(), 1u);
+  EXPECT_EQ(retrying.stats().retries, 0u);
+}
+
+TEST(Resilient, RetryingExhaustsBoundedAttempts) {
+  ScriptedChatModel inner({Status::Unavailable("always down")});
+  RetryConfig config;
+  config.max_attempts = 2;
+  RetryingChatModel retrying(&inner, config);
+  Result<std::string> out = retrying.Complete(UserPrompt("q"), ChatOptions{});
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsTransient());
+  EXPECT_EQ(inner.calls(), 2u);
+  RetryingChatModel::Stats stats = retrying.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.exhausted, 1u);
+}
+
+TEST(Resilient, InjectorIsIdentityAtZeroRates) {
+  SimulatedChatModel sim;
+  FaultInjectingChatModel injector(&sim, FaultConfig{});
+  schema::Database db = MakeSchema();
+  Prompt prompt = BuildAnnotationPrompt(db);
+  Result<std::string> direct = sim.Complete(prompt, ChatOptions{});
+  Result<std::string> wrapped = injector.Complete(prompt, ChatOptions{});
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(direct.value(), wrapped.value());
+  FaultInjectingChatModel::Stats stats = injector.stats();
+  EXPECT_EQ(stats.calls, 1u);
+  EXPECT_EQ(stats.transient_faults, 0u);
+  EXPECT_EQ(stats.truncations, 0u);
+  EXPECT_EQ(stats.garbage_prefixes, 0u);
+}
+
+TEST(Resilient, InjectorFaultsArePureFunctionOfPromptAndAttempt) {
+  ScriptedChatModel inner({std::string("A: Visualize BAR SELECT a , a "
+                                       "FROM t")});
+  FaultConfig config;
+  config.transient_rate = 0.5;
+  config.truncate_rate = 0.25;
+  config.garbage_rate = 0.25;
+  FaultInjectingChatModel first(&inner, config);
+  FaultInjectingChatModel second(&inner, config);
+  // Same prompt sequence on two independent instances: identical faults,
+  // including across repeated attempts on the same prompt.
+  for (int round = 0; round < 8; ++round) {
+    for (const char* text : {"alpha", "beta", "gamma"}) {
+      Result<std::string> a = first.Complete(UserPrompt(text), ChatOptions{});
+      Result<std::string> b = second.Complete(UserPrompt(text), ChatOptions{});
+      ASSERT_EQ(a.ok(), b.ok()) << text << " round " << round;
+      if (a.ok()) {
+        EXPECT_EQ(a.value(), b.value());
+      } else {
+        EXPECT_EQ(a.status().ToString(), b.status().ToString());
+      }
+    }
+  }
+  FaultInjectingChatModel::Stats sa = first.stats();
+  FaultInjectingChatModel::Stats sb = second.stats();
+  EXPECT_EQ(sa.transient_faults, sb.transient_faults);
+  EXPECT_EQ(sa.truncations, sb.truncations);
+  EXPECT_EQ(sa.garbage_prefixes, sb.garbage_prefixes);
+  // With 24 draws at these rates, something must have fired.
+  EXPECT_GT(sa.transient_faults + sa.truncations + sa.garbage_prefixes, 0u);
+}
+
+TEST(Resilient, InjectorSeedChangesOutcomes) {
+  ScriptedChatModel inner({std::string("A: Visualize BAR SELECT a , a "
+                                       "FROM t")});
+  FaultConfig config;
+  config.transient_rate = 0.5;
+  std::size_t disagreements = 0;
+  for (int i = 0; i < 16; ++i) {
+    FaultConfig other = config;
+    other.seed = config.seed + 1 + i;
+    FaultInjectingChatModel a(&inner, config);
+    FaultInjectingChatModel b(&inner, other);
+    std::string text = "prompt " + std::to_string(i);
+    if (a.Complete(UserPrompt(text), ChatOptions{}).ok() !=
+        b.Complete(UserPrompt(text), ChatOptions{}).ok()) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0u);
+}
+
+TEST(Resilient, GarbagePrefixDoesNotDefeatExtraction) {
+  ScriptedChatModel inner({std::string("A: Visualize BAR SELECT a , a "
+                                       "FROM t")});
+  FaultConfig config;
+  config.garbage_rate = 1.0;
+  FaultInjectingChatModel injector(&inner, config);
+  Result<std::string> out = injector.Complete(UserPrompt("q"), ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("visualize"), std::string::npos);  // the prose
+  EXPECT_EQ(ExtractDvqText(out.value()),
+            "Visualize BAR SELECT a , a FROM t");
+}
+
+TEST(Resilient, TruncationHalvesCompletions) {
+  std::string full = "A: Visualize BAR SELECT a , a FROM t";
+  ScriptedChatModel inner({full});
+  FaultConfig config;
+  config.truncate_rate = 1.0;
+  FaultInjectingChatModel injector(&inner, config);
+  Result<std::string> out = injector.Complete(UserPrompt("q"), ChatOptions{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), full.substr(0, full.size() / 2));
+  EXPECT_EQ(injector.stats().truncations, 1u);
+}
+
+TEST(Resilient, RetryStackEventuallyDeliversInnerCompletion) {
+  std::string completion = "A: Visualize BAR SELECT a , a FROM t";
+  ScriptedChatModel inner({completion});
+  FaultConfig config;
+  config.transient_rate = 0.4;
+  FaultInjectingChatModel injector(&inner, config);
+  RetryConfig retry;
+  retry.max_attempts = 8;
+  RetryingChatModel retrying(&injector, retry);
+  std::size_t successes = 0;
+  for (int i = 0; i < 20; ++i) {
+    Result<std::string> out = retrying.Complete(
+        UserPrompt("question " + std::to_string(i)), ChatOptions{});
+    if (out.ok() && out.value() == completion) ++successes;
+  }
+  // 8 attempts at 40% fault rate: effectively every call succeeds, and
+  // clean completions pass through unmodified.
+  EXPECT_GE(successes, 18u);
+  EXPECT_GT(retrying.stats().retries, 0u);
+}
+
+TEST(Resilient, ConcurrentCallsKeepConsistentStats) {
+  ScriptedChatModel inner({std::string("A: Visualize BAR SELECT a , a "
+                                       "FROM t")});
+  FaultConfig config;
+  config.transient_rate = 0.3;
+  config.truncate_rate = 0.2;
+  FaultInjectingChatModel injector(&inner, config);
+  RetryConfig retry;
+  retry.max_attempts = 4;
+  RetryingChatModel retrying(&injector, retry);
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&retrying, t] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        std::string text =
+            "thread " + std::to_string(t) + " call " + std::to_string(i);
+        (void)retrying.Complete(UserPrompt(text), ChatOptions{});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  RetryingChatModel::Stats stats = retrying.stats();
+  EXPECT_EQ(stats.calls,
+            static_cast<std::uint64_t>(kThreads * kCallsPerThread));
+  FaultInjectingChatModel::Stats faults = injector.stats();
+  EXPECT_EQ(faults.calls, stats.calls + stats.retries);
 }
 
 }  // namespace

@@ -253,6 +253,21 @@ TEST(Status, OkByDefault) {
   EXPECT_EQ(s.ToString(), "OK");
 }
 
+TEST(Status, UnavailableIsTheOnlyTransientCode) {
+  Status s = Status::Unavailable("backend overloaded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(s.ToString(), "Unavailable: backend overloaded");
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::Internal("boom").IsTransient());
+  EXPECT_FALSE(Status::ParseError("bad").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("bad").IsTransient());
+  EXPECT_FALSE(Status::NotFound("gone").IsTransient());
+  EXPECT_FALSE(Status::ExecutionError("err").IsTransient());
+  EXPECT_FALSE(Status::Unimplemented("todo").IsTransient());
+}
+
 TEST(Status, ErrorCarriesCodeAndMessage) {
   Status s = Status::ParseError("bad token");
   EXPECT_FALSE(s.ok());

@@ -19,6 +19,7 @@
 #include "dataset/io.h"
 #include "eval/metrics.h"
 #include "gred/gred.h"
+#include "llm/resilient.h"
 #include "llm/sim_llm.h"
 #include "models/rgvisnet.h"
 #include "models/seq2vis.h"
@@ -38,6 +39,13 @@ std::size_t EnvSize(const char* name, std::size_t fallback) {
   return value != nullptr && std::atoll(value) > 0
              ? static_cast<std::size_t>(std::atoll(value))
              : fallback;
+}
+
+double EnvRate(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  double parsed = std::atof(value);
+  return parsed >= 0.0 && parsed <= 1.0 ? parsed : fallback;
 }
 
 int Usage() {
@@ -122,16 +130,40 @@ int CmdTranslate(const std::string& db_name, const std::string& question) {
     return 1;
   }
   llm::SimulatedChatModel llm;
+  // GRED_BENCH_FAULT_RATE > 0 wires the fault-injecting + retrying stack
+  // in front of the LLM (same knobs as the bench harness), to watch the
+  // pipeline degrade on a single question.
+  double fault_rate = EnvRate("GRED_BENCH_FAULT_RATE", 0.0);
+  llm::FaultConfig faults;
+  faults.transient_rate = fault_rate;
+  faults.truncate_rate = fault_rate / 2;
+  faults.garbage_rate = fault_rate / 2;
+  llm::FaultInjectingChatModel faulty(&llm, faults);
+  llm::RetryConfig retry;
+  retry.max_attempts = EnvSize("GRED_BENCH_RETRIES", 3);
+  llm::RetryingChatModel retrying(&faulty, retry);
+  const llm::ChatModel* chat = fault_rate > 0.0
+                                   ? static_cast<const llm::ChatModel*>(
+                                         &retrying)
+                                   : &llm;
   models::TrainingCorpus corpus;
   corpus.train = &suite.train;
   corpus.databases = &suite.databases;
-  core::Gred gred(corpus, &llm);
+  core::Gred gred(corpus, chat);
   Result<dvq::DVQ> dvq = gred.Translate(question, db->data);
   if (!dvq.ok()) {
     std::fprintf(stderr, "translation failed: %s\n",
                  dvq.status().ToString().c_str());
     return 1;
   }
+  core::Gred::Trace trace = gred.last_trace();
+  std::fprintf(stderr, "[gredvis] generator: %s\n", trace.dvq_gen.c_str());
+  std::fprintf(stderr, "[gredvis] retuner:   %s\n",
+               trace.rtn_degraded ? "(degraded; generator DVQ kept)"
+                                  : trace.dvq_rtn.c_str());
+  std::fprintf(stderr, "[gredvis] debugger:  %s\n",
+               trace.dbg_degraded ? "(degraded; previous DVQ kept)"
+                                  : trace.dvq_dbg.c_str());
   std::printf("DVQ: %s\n", dvq.value().ToString().c_str());
   std::printf("SQL: %s\n", dvq::ToSql(dvq.value()).c_str());
   Result<viz::Chart> chart = viz::BuildChart(dvq.value(), db->data);
