@@ -7,6 +7,7 @@
 #include "dataset/benchmark.h"
 #include "embed/ann_index.h"
 #include "dvq/parser.h"
+#include "embed/caching_embedder.h"
 #include "embed/embedder.h"
 #include "embed/vector_store.h"
 #include "exec/executor.h"
@@ -51,6 +52,40 @@ void BM_VectorStoreTopK(benchmark::State& state) {
                           static_cast<std::int64_t>(store.size()));
 }
 BENCHMARK(BM_VectorStoreTopK)->Arg(1)->Arg(10)->Arg(50);
+
+// Batched scan: `range(0)` queries share one pass over the store, so a
+// stored block is scored against every query while hot in cache.
+// items_per_second counts (stored vector, query) pairs, directly
+// comparable with BM_VectorStoreTopK's items_per_second.
+void BM_VectorStoreTopKBatch(benchmark::State& state) {
+  gred::embed::SemanticHashEmbedder embedder;
+  gred::embed::VectorStore store;
+  for (const auto& ex : Suite().train) store.Add(embedder.Embed(ex.nlq));
+  std::vector<gred::embed::Vector> queries;
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < batch; ++i) {
+    queries.push_back(embedder.Embed(Suite().test_clean[i].nlq));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.TopKBatch(queries, 10));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(store.size() * batch));
+}
+BENCHMARK(BM_VectorStoreTopKBatch)->Arg(4)->Arg(16)->Arg(64);
+
+// Cache-hit path of the shared embedding cache: every eval thread embeds
+// repeated NLQs during fault sweeps and k-sweeps.
+void BM_CachingEmbedderHit(benchmark::State& state) {
+  gred::embed::CachingEmbedder embedder(
+      std::make_unique<gred::embed::SemanticHashEmbedder>());
+  const std::string& nlq = Suite().test_clean[0].nlq;
+  benchmark::DoNotOptimize(embedder.Embed(nlq));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.Embed(nlq));
+  }
+}
+BENCHMARK(BM_CachingEmbedderHit);
 
 void BM_IvfIndexTopK(benchmark::State& state) {
   gred::embed::SemanticHashEmbedder embedder;

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then a ThreadSanitizer
-# pass over the concurrency-sensitive tests (the parallel eval harness,
-# the thread pool, GRED's mutex-guarded annotation cache, and the
-# fault-tolerance layer, whose retry + degradation paths exercise the
-# annotation cache and stage timers concurrently).
+# Tier-1 verification: full build + test suite, a Release micro-benchmark
+# smoke over the retrieval kernel, then a ThreadSanitizer pass over the
+# concurrency-sensitive tests (the parallel eval harness, the thread
+# pool, GRED's mutex-guarded annotation cache, the sharded embedding
+# cache, and the fault-tolerance layer, whose retry + degradation paths
+# exercise the annotation cache and stage timers concurrently).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -13,6 +14,13 @@ echo "== tier-1: release build + full ctest =="
 cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j"$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j"$JOBS"
+
+echo "== tier-1: micro-benchmark smoke (Release retrieval kernel) =="
+# Fast pass over the retrieval benchmarks: keeps the benchmark path and
+# the bench-report tooling building and running. Writes to build/ so a
+# smoke run never overwrites the committed BENCH_retrieval.json numbers
+# (regenerate those with a plain `scripts/bench_report`).
+"$ROOT/scripts/bench_report" --smoke "$ROOT/build/BENCH_retrieval_smoke.json"
 
 echo "== tier-1: ThreadSanitizer pass (parallel harness + fault layer) =="
 if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
@@ -24,7 +32,8 @@ if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   exit 1
 fi
 cmake --build "$ROOT/build-tsan" -j"$JOBS" \
-  --target thread_pool_test eval_test llm_test gred_test
+  --target thread_pool_test eval_test llm_test gred_test \
+           retrieval_equivalence_test
 # TSAN_OPTIONS makes any detected race fail the run loudly.
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/thread_pool_test"
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/eval_test" \
@@ -33,5 +42,8 @@ TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/llm_test" \
   --gtest_filter='Resilient.*'
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/gred_test" \
   --gtest_filter='*Degraded*:*RetryRecovers*:*GeneratorFailure*'
+TSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-tsan/tests/retrieval_equivalence_test" \
+  --gtest_filter='CachingEmbedder.*'
 
 echo "== tier-1: OK =="

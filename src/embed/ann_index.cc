@@ -6,22 +6,11 @@
 
 namespace gred::embed {
 
-namespace {
-
-/// Dot product under the CosineSimilarity contract: mismatched
-/// dimensions (or empty vectors) score 0 rather than silently truncating
-/// to the shorter vector, which used to rank a wrong-dimension query
-/// against the prefix of every stored vector.
-double Dot(const Vector& a, const Vector& b) {
-  if (a.size() != b.size() || a.empty()) return 0.0;
-  double dot = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-  }
-  return dot;
+double IvfIndex::ContractDot(const FlatVectors& rows, std::size_t i,
+                             const Vector& q) {
+  if (rows.row_size(i) != q.size() || q.empty()) return 0.0;
+  return DotBlocked(rows.row(i), q.data(), q.size());
 }
-
-}  // namespace
 
 IvfIndex::IvfIndex() : IvfIndex(Options()) {}
 
@@ -29,16 +18,15 @@ IvfIndex::IvfIndex(Options options) : options_(options) {}
 
 std::size_t IvfIndex::Add(Vector v) {
   L2Normalize(&v);
-  vectors_.push_back(std::move(v));
   built_ = false;
-  return vectors_.size() - 1;
+  return vectors_.Append(v);
 }
 
 void IvfIndex::Build() {
   const std::size_t n = vectors_.size();
   const std::size_t k = std::min(options_.num_clusters, std::max<std::size_t>(
                                                             1, n));
-  centroids_.clear();
+  centroids_ = FlatVectors();
   lists_.assign(k, {});
   if (n == 0) {
     built_ = true;
@@ -50,17 +38,21 @@ void IvfIndex::Build() {
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
   rng.Shuffle(&order);
   for (std::size_t c = 0; c < k; ++c) {
-    centroids_.push_back(vectors_[order[c]]);
+    centroids_.Append(vectors_.CopyRow(order[c]));
   }
   std::vector<std::size_t> assignment(n, 0);
   for (std::size_t iter = 0; iter < options_.kmeans_iterations; ++iter) {
     // Assign each vector to its most similar centroid.
     bool changed = false;
     for (std::size_t i = 0; i < n; ++i) {
+      const float* vrow = vectors_.row(i);
+      const std::size_t vdim = vectors_.row_size(i);
       std::size_t best = 0;
       double best_dot = -2.0;
       for (std::size_t c = 0; c < k; ++c) {
-        double d = Dot(vectors_[i], centroids_[c]);
+        double d = centroids_.row_size(c) == vdim && vdim > 0
+                       ? DotBlocked(centroids_.row(c), vrow, vdim)
+                       : 0.0;
         if (d > best_dot) {
           best_dot = d;
           best = c;
@@ -70,20 +62,24 @@ void IvfIndex::Build() {
       assignment[i] = best;
     }
     if (!changed && iter > 0) break;
-    // Recompute centroids as normalized means (spherical k-means).
-    const std::size_t dim = vectors_[0].size();
+    // Recompute centroids as normalized means (spherical k-means). The
+    // sums run over the padded stride: a short row's zero padding adds
+    // nothing, so mixed-dimension stores stay well-defined.
+    const std::size_t dim = vectors_.stride();
     std::vector<Vector> sums(k, Vector(dim, 0.0f));
     std::vector<std::size_t> counts(k, 0);
     for (std::size_t i = 0; i < n; ++i) {
+      const float* row = vectors_.row(i);
+      Vector& sum = sums[assignment[i]];
       for (std::size_t d = 0; d < dim; ++d) {
-        sums[assignment[i]][d] += vectors_[i][d];
+        sum[d] += row[d];
       }
       ++counts[assignment[i]];
     }
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) continue;  // empty cluster keeps its centroid
       L2Normalize(&sums[c]);
-      centroids_[c] = std::move(sums[c]);
+      centroids_.AssignRow(c, sums[c]);
     }
   }
   lists_.assign(k, {});
@@ -95,15 +91,14 @@ void IvfIndex::Build() {
 
 std::vector<VectorStore::Hit> IvfIndex::TopK(const Vector& query,
                                              std::size_t k) const {
-  std::vector<VectorStore::Hit> hits;
-  if (!built_ || vectors_.empty()) return hits;
+  if (!built_ || vectors_.empty()) return {};
   Vector q = query;
   L2Normalize(&q);
   // Rank centroids; probe the best few.
   std::vector<VectorStore::Hit> centroid_rank;
   centroid_rank.reserve(centroids_.size());
   for (std::size_t c = 0; c < centroids_.size(); ++c) {
-    centroid_rank.push_back(VectorStore::Hit{c, Dot(q, centroids_[c])});
+    centroid_rank.push_back(VectorStore::Hit{c, ContractDot(centroids_, c, q)});
   }
   std::size_t probes = std::min(options_.num_probes, centroid_rank.size());
   std::partial_sort(centroid_rank.begin(),
@@ -112,20 +107,13 @@ std::vector<VectorStore::Hit> IvfIndex::TopK(const Vector& query,
                     [](const VectorStore::Hit& a, const VectorStore::Hit& b) {
                       return a.score > b.score;
                     });
+  TopKSelector selector(std::min(k, vectors_.size()));
   for (std::size_t p = 0; p < probes; ++p) {
     for (std::size_t i : lists_[centroid_rank[p].index]) {
-      hits.push_back(VectorStore::Hit{i, Dot(q, vectors_[i])});
+      selector.Offer(i, ContractDot(vectors_, i, q));
     }
   }
-  std::size_t keep = std::min(k, hits.size());
-  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
-                    hits.end(),
-                    [](const VectorStore::Hit& a, const VectorStore::Hit& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.index < b.index;
-                    });
-  hits.resize(keep);
-  return hits;
+  return selector.Take();
 }
 
 }  // namespace gred::embed

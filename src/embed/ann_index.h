@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "embed/flat_vectors.h"
+#include "embed/kernel.h"
 #include "embed/vector_store.h"
 
 namespace gred::embed {
@@ -15,6 +17,11 @@ namespace gred::embed {
 /// embedding libraries: vectors are k-means-clustered and queries scan
 /// only the `num_probes` closest clusters. Deterministic (seeded k-means,
 /// fixed iteration count).
+///
+/// Vectors and centroids share VectorStore's flat SoA layout and blocked
+/// dot-product kernel, and probed candidates feed a bounded top-k heap,
+/// so a query allocates O(k) hits rather than materializing every probed
+/// member.
 class IvfIndex {
  public:
   struct Options {
@@ -43,9 +50,15 @@ class IvfIndex {
   bool built() const { return built_; }
 
  private:
+  /// Dot product under the CosineSimilarity contract: mismatched
+  /// dimensions (or empty vectors) score 0 rather than silently
+  /// truncating to the shorter vector.
+  static double ContractDot(const FlatVectors& rows, std::size_t i,
+                            const Vector& q);
+
   Options options_;
-  std::vector<Vector> vectors_;
-  std::vector<Vector> centroids_;
+  FlatVectors vectors_;
+  FlatVectors centroids_;
   std::vector<std::vector<std::size_t>> lists_;  // per-centroid members
   bool built_ = false;
 };

@@ -1,0 +1,56 @@
+#ifndef GREDVIS_EMBED_CACHING_EMBEDDER_H_
+#define GREDVIS_EMBED_CACHING_EMBEDDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/embedder.h"
+
+namespace gred::embed {
+
+/// Thread-safe memoizing wrapper around a deterministic TextEmbedder.
+///
+/// Repeated embeds of the same text are common: every eval thread embeds
+/// the same NLQs during fault sweeps and k-sweeps, and GRED's retuner
+/// re-embeds generator outputs that collide across examples. The cache is
+/// sharded by text fingerprint (FNV-1a), so concurrent eval threads
+/// rarely contend on the same mutex; entries verify the full text on hit,
+/// so a fingerprint collision falls back to computing (never returns the
+/// wrong embedding). Misses compute outside the shard lock — the inner
+/// embedder must be deterministic (all of ours are), making a double
+/// compute harmless.
+class CachingEmbedder : public TextEmbedder {
+ public:
+  /// Wraps `inner` (owned).
+  explicit CachingEmbedder(std::unique_ptr<TextEmbedder> inner,
+                           std::size_t num_shards = 16);
+
+  Vector Embed(const std::string& text) const override;
+  std::size_t dimension() const override { return inner_->dimension(); }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::pair<std::string, Vector>> cache;
+  };
+
+  std::unique_ptr<TextEmbedder> inner_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace gred::embed
+
+#endif  // GREDVIS_EMBED_CACHING_EMBEDDER_H_

@@ -32,13 +32,21 @@ void L2Normalize(Vector* v) {
 namespace {
 
 /// Adds one hashed feature with a hash-derived sign (feature hashing with
-/// signed buckets keeps collisions unbiased).
-void AddFeature(const std::string& feature, double weight, Vector* out) {
-  std::uint64_t h = Fnv1a64(feature);
+/// signed buckets keeps collisions unbiased). `h` is the FNV-1a hash of
+/// the full prefixed feature string.
+void AddFeatureHash(std::uint64_t h, double weight, Vector* out) {
   std::size_t bucket = static_cast<std::size_t>(h % out->size());
   float sign = (h >> 63) != 0 ? -1.0f : 1.0f;
   (*out)[bucket] += sign * static_cast<float>(weight);
 }
+
+// FNV-1a folds bytes left to right, so hashing a feature's payload from
+// the pre-hashed prefix state is bit-identical to hashing the
+// concatenated "prefix + payload" string — same buckets, same signs as
+// the seed implementation — without materializing the temporary.
+const std::uint64_t kTokPrefix = Fnv1a64("tok:", 4);
+const std::uint64_t kConPrefix = Fnv1a64("con:", 4);
+const std::uint64_t kTriPrefix = Fnv1a64("tri:", 4);
 
 }  // namespace
 
@@ -52,28 +60,44 @@ SemanticHashEmbedder::SemanticHashEmbedder()
 Vector SemanticHashEmbedder::Embed(const std::string& text) const {
   Vector out(options_.dimension, 0.0f);
   std::vector<std::string> tokens = nl::Tokenize(text);
+  // Per-call scratch for the stem: its capacity is reused across the
+  // token loop, so after the first few tokens the loop allocates nothing
+  // (features are hashed by FNV continuation, never concatenated).
+  std::string stem;
   for (const std::string& token : tokens) {
     if (nl::IsStopword(token)) continue;
-    if (options_.token_weight > 0.0) {
-      AddFeature("tok:" + nl::Stem(token), options_.token_weight, &out);
+    const bool want_concept =
+        options_.concept_weight > 0.0 && lexicon_ != nullptr;
+    if (options_.token_weight > 0.0 || want_concept) {
+      nl::StemInto(token, &stem);
     }
-    if (options_.concept_weight > 0.0 && lexicon_ != nullptr) {
-      std::string concept_id = lexicon_->ConceptIdOf(token);
-      if (!concept_id.empty()) {
-        AddFeature("con:" + concept_id, options_.concept_weight, &out);
+    if (options_.token_weight > 0.0) {
+      AddFeatureHash(Fnv1a64Continue(kTokPrefix, stem),
+                     options_.token_weight, &out);
+    }
+    if (want_concept) {
+      int idx = lexicon_->ConceptIndexOfStem(stem);
+      if (idx >= 0) {
+        const std::string& concept_id =
+            lexicon_->concepts()[static_cast<std::size_t>(idx)].id;
+        AddFeatureHash(Fnv1a64Continue(kConPrefix, concept_id),
+                       options_.concept_weight, &out);
       }
     }
   }
   if (options_.trigram_weight > 0.0) {
     std::string joined;
+    std::size_t total = 0;
+    for (const std::string& token : tokens) total += token.size() + 1;
+    joined.reserve(total);
     for (const std::string& token : tokens) {
       joined += token;
       joined += ' ';
     }
     if (joined.size() >= 3) {
       for (std::size_t i = 0; i + 3 <= joined.size(); ++i) {
-        AddFeature("tri:" + joined.substr(i, 3), options_.trigram_weight,
-                   &out);
+        AddFeatureHash(Fnv1a64Continue(kTriPrefix, joined.data() + i, 3),
+                       options_.trigram_weight, &out);
       }
     }
   }

@@ -1,0 +1,38 @@
+#include "embed/flat_vectors.h"
+
+#include <algorithm>
+
+namespace gred::embed {
+
+std::size_t FlatVectors::Append(const Vector& v) {
+  if (v.size() > stride_) {
+    // Re-pack existing rows at the wider stride (rare: only stores mixing
+    // dimensions ever grow the stride after the first append).
+    std::vector<float> wider(sizes_.size() * v.size(), 0.0f);
+    for (std::size_t i = 0; i < sizes_.size(); ++i) {
+      std::copy_n(data_.data() + i * stride_, stride_,
+                  wider.data() + i * v.size());
+    }
+    data_ = std::move(wider);
+    stride_ = v.size();
+  }
+  const std::size_t index = sizes_.size();
+  sizes_.push_back(static_cast<std::uint32_t>(v.size()));
+  data_.resize(data_.size() + stride_, 0.0f);
+  std::copy(v.begin(), v.end(), data_.data() + index * stride_);
+  return index;
+}
+
+Vector FlatVectors::CopyRow(std::size_t i) const {
+  const float* r = row(i);
+  return Vector(r, r + sizes_[i]);
+}
+
+void FlatVectors::AssignRow(std::size_t i, const Vector& v) {
+  float* r = data_.data() + i * stride_;
+  std::copy(v.begin(), v.end(), r);
+  std::fill(r + v.size(), r + stride_, 0.0f);
+  sizes_[i] = static_cast<std::uint32_t>(v.size());
+}
+
+}  // namespace gred::embed

@@ -1,0 +1,55 @@
+#ifndef GREDVIS_EMBED_FLAT_VECTORS_H_
+#define GREDVIS_EMBED_FLAT_VECTORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedder.h"
+
+namespace gred::embed {
+
+/// Structure-of-arrays embedding storage: all rows live in one contiguous
+/// float buffer at a fixed stride, so a retrieval scan walks memory
+/// linearly instead of chasing one heap allocation per vector (the seed's
+/// `std::vector<Vector>` layout).
+///
+/// The stride is the largest row dimension seen so far; shorter rows are
+/// zero-padded (padding never changes a dot product). Appending a row
+/// wider than the current stride re-packs the buffer — O(n·stride), and
+/// only mixed-dimension stores (tests, never the embedders, which emit a
+/// fixed dimension) pay it. Each row's true dimension is kept so scoring
+/// can enforce the CosineSimilarity contract: a query whose dimension
+/// differs from a row's scores exactly 0 against it.
+class FlatVectors {
+ public:
+  /// Appends a row (copied); returns its index.
+  std::size_t Append(const Vector& v);
+
+  /// Pointer to row `i`'s floats (stride() of them, zero-padded).
+  const float* row(std::size_t i) const { return data_.data() + i * stride_; }
+
+  /// The dimension row `i` was appended with (before padding).
+  std::size_t row_size(std::size_t i) const { return sizes_[i]; }
+
+  /// Copies row `i` back out at its original dimension.
+  Vector CopyRow(std::size_t i) const;
+
+  /// Overwrites row `i` with `v` (v.size() must not exceed stride());
+  /// the rest of the row is zero-padded and the row's dimension becomes
+  /// v.size(). Used by IvfIndex's k-means to update centroids in place.
+  void AssignRow(std::size_t i, const Vector& v);
+
+  std::size_t size() const { return sizes_.size(); }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return sizes_.empty(); }
+
+ private:
+  std::vector<float> data_;           // size() * stride_ floats
+  std::vector<std::uint32_t> sizes_;  // original dimension per row
+  std::size_t stride_ = 0;
+};
+
+}  // namespace gred::embed
+
+#endif  // GREDVIS_EMBED_FLAT_VECTORS_H_

@@ -1,0 +1,23 @@
+#include "embed/kernel.h"
+
+namespace gred::embed {
+
+double DotBlocked(const float* a, const float* b, std::size_t n) {
+  double acc0 = 0.0;
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  double acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<double>(a[i]) * b[i];
+    acc1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    acc2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    acc3 += static_cast<double>(a[i + 3]) * b[i + 3];
+  }
+  for (; i < n; ++i) {
+    acc0 += static_cast<double>(a[i]) * b[i];
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+}  // namespace gred::embed

@@ -1,0 +1,77 @@
+#ifndef GREDVIS_EMBED_KERNEL_H_
+#define GREDVIS_EMBED_KERNEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace gred::embed {
+
+/// One retrieval result: the insertion index of a stored vector and its
+/// cosine similarity to the query. Shared by VectorStore and IvfIndex.
+struct Hit {
+  std::size_t index = 0;  // insertion index (payload handle)
+  double score = 0.0;     // cosine similarity
+};
+
+/// Blocked dot product over `n` floats with independent accumulators.
+///
+/// The seed implementation summed one `double` at a time, so every add
+/// sat on the previous add's latency; splitting the sum across four
+/// accumulator chains lets the compiler vectorize and keeps the FP units
+/// busy. Products are still taken in `double` (exact for float inputs),
+/// so the only deviation from the strictly sequential sum is the final
+/// reassociation of four partial sums — error on the order of 1e-15 for
+/// unit vectors, far below any score gap that survives the deterministic
+/// index tie-break. Accumulating in `float` instead would be ~1e-7 loose,
+/// enough to flip real rankings, so the kernel deliberately keeps the
+/// promotion (a free lane-widening convert on the load path).
+double DotBlocked(const float* a, const float* b, std::size_t n);
+
+/// Ordering shared by every retrieval surface: higher score first, ties
+/// broken by lower insertion index (deterministic).
+inline bool HitBetter(const Hit& a, const Hit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+/// Bounded top-k selection without materializing all candidates.
+///
+/// Keeps at most `k` hits in a min-heap ordered by HitBetter (worst hit
+/// at the root), so offering n candidates costs O(n log k) time and O(k)
+/// memory instead of the seed's O(n) hit buffer + partial_sort. The
+/// selected set — and, after Take(), its order — is bit-identical to
+/// sorting all candidates with HitBetter and truncating, regardless of
+/// offer order, because HitBetter is a strict total order (no two hits
+/// share an index).
+class TopKSelector {
+ public:
+  explicit TopKSelector(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  void Offer(std::size_t index, double score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back(Hit{index, score});
+      std::push_heap(heap_.begin(), heap_.end(), HitBetter);
+      return;
+    }
+    if (!HitBetter(Hit{index, score}, heap_.front())) return;
+    std::pop_heap(heap_.begin(), heap_.end(), HitBetter);
+    heap_.back() = Hit{index, score};
+    std::push_heap(heap_.begin(), heap_.end(), HitBetter);
+  }
+
+  /// Extracts the selected hits, best first. Leaves the selector empty.
+  std::vector<Hit> Take() {
+    std::sort(heap_.begin(), heap_.end(), HitBetter);
+    return std::move(heap_);
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<Hit> heap_;
+};
+
+}  // namespace gred::embed
+
+#endif  // GREDVIS_EMBED_KERNEL_H_

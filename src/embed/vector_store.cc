@@ -4,35 +4,59 @@
 
 namespace gred::embed {
 
+namespace {
+
+/// Rows per block in the batched scan: 64 rows x 512 floats x 4 bytes =
+/// 128 KiB, comfortably L2-resident while every query revisits the block.
+constexpr std::size_t kBatchBlockRows = 64;
+
+}  // namespace
+
 std::size_t VectorStore::Add(Vector v) {
   L2Normalize(&v);
-  vectors_.push_back(std::move(v));
-  return vectors_.size() - 1;
+  return rows_.Append(v);
 }
 
 std::vector<VectorStore::Hit> VectorStore::TopK(const Vector& query,
                                                 std::size_t k) const {
   Vector q = query;
   L2Normalize(&q);
-  std::vector<Hit> hits;
-  hits.reserve(vectors_.size());
-  for (std::size_t i = 0; i < vectors_.size(); ++i) {
-    const Vector& v = vectors_[i];
-    double dot = 0.0;
-    const std::size_t n = std::min(v.size(), q.size());
-    for (std::size_t d = 0; d < n; ++d) {
-      dot += static_cast<double>(v[d]) * q[d];
-    }
-    hits.push_back(Hit{i, dot});
+  TopKSelector selector(std::min(k, rows_.size()));
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const double score = rows_.row_size(i) == q.size() && !q.empty()
+                             ? DotBlocked(rows_.row(i), q.data(), q.size())
+                             : 0.0;
+    selector.Offer(i, score);
   }
-  std::size_t keep = std::min(k, hits.size());
-  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(keep),
-                    hits.end(), [](const Hit& a, const Hit& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.index < b.index;
-                    });
-  hits.resize(keep);
-  return hits;
+  return selector.Take();
+}
+
+std::vector<std::vector<VectorStore::Hit>> VectorStore::TopKBatch(
+    std::span<const Vector> queries, std::size_t k) const {
+  std::vector<Vector> normalized(queries.begin(), queries.end());
+  for (Vector& q : normalized) L2Normalize(&q);
+  std::vector<TopKSelector> selectors;
+  selectors.reserve(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    selectors.emplace_back(std::min(k, rows_.size()));
+  }
+  for (std::size_t base = 0; base < rows_.size(); base += kBatchBlockRows) {
+    const std::size_t end = std::min(base + kBatchBlockRows, rows_.size());
+    for (std::size_t qi = 0; qi < normalized.size(); ++qi) {
+      const Vector& q = normalized[qi];
+      for (std::size_t i = base; i < end; ++i) {
+        const double score =
+            rows_.row_size(i) == q.size() && !q.empty()
+                ? DotBlocked(rows_.row(i), q.data(), q.size())
+                : 0.0;
+        selectors[qi].Offer(i, score);
+      }
+    }
+  }
+  std::vector<std::vector<Hit>> out;
+  out.reserve(selectors.size());
+  for (TopKSelector& selector : selectors) out.push_back(selector.Take());
+  return out;
 }
 
 }  // namespace gred::embed

@@ -2,10 +2,13 @@
 #define GREDVIS_EMBED_VECTOR_STORE_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "embed/embedder.h"
+#include "embed/flat_vectors.h"
+#include "embed/kernel.h"
 
 namespace gred::embed {
 
@@ -15,12 +18,15 @@ namespace gred::embed {
 /// the NLQs and DVQs of the training split are embedded and stored here,
 /// then retrieved by cosine similarity at generation/retune time.
 /// Vectors are L2-normalized on insert so similarity is a dot product.
+///
+/// Storage is a flat SoA buffer (FlatVectors) scanned with the blocked
+/// kernel; top-k selection is a bounded heap, so a query allocates O(k)
+/// rather than O(n). A query whose dimension differs from a stored
+/// vector's scores 0 against it (the CosineSimilarity contract) instead
+/// of being dotted against the vector's prefix.
 class VectorStore {
  public:
-  struct Hit {
-    std::size_t index = 0;  // insertion index (payload handle)
-    double score = 0.0;     // cosine similarity
-  };
+  using Hit = embed::Hit;
 
   /// Adds a vector; returns its insertion index.
   std::size_t Add(Vector v);
@@ -29,11 +35,19 @@ class VectorStore {
   /// lower insertion index (deterministic).
   std::vector<Hit> TopK(const Vector& query, std::size_t k) const;
 
-  std::size_t size() const { return vectors_.size(); }
-  const Vector& at(std::size_t index) const { return vectors_[index]; }
+  /// Batched top-`k`: one pass over the store amortized across all
+  /// queries (each block of rows is scored against every query while hot
+  /// in cache). Result `i` is bit-identical to `TopK(queries[i], k)`.
+  std::vector<std::vector<Hit>> TopKBatch(std::span<const Vector> queries,
+                                          std::size_t k) const;
+
+  std::size_t size() const { return rows_.size(); }
+
+  /// Copy of the stored (normalized) vector at `index`.
+  Vector at(std::size_t index) const { return rows_.CopyRow(index); }
 
  private:
-  std::vector<Vector> vectors_;
+  FlatVectors rows_;
 };
 
 }  // namespace gred::embed

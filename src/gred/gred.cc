@@ -38,8 +38,11 @@ Gred::Gred(const models::TrainingCorpus& corpus, const llm::ChatModel* llm,
     : config_(std::move(config)), llm_(llm), databases_(corpus.databases) {
   // Preparatory phase (Section 4.1): the embedding vector library over
   // the training split's NLQs and DVQs, built with the semantic embedder
-  // (the stand-in for text-embedding-3-large).
-  embedder_ = std::make_unique<embed::SemanticHashEmbedder>();
+  // (the stand-in for text-embedding-3-large). The memoizing wrapper is
+  // shared by every Translate thread: fault sweeps and k-sweeps re-embed
+  // the same NLQs and generator outputs, which become cache hits.
+  embedder_ = std::make_unique<embed::CachingEmbedder>(
+      std::make_unique<embed::SemanticHashEmbedder>());
   nlq_index_ = std::make_unique<models::ExampleIndex>(corpus.train,
                                                       embedder_.get());
   dvq_index_ =
@@ -47,6 +50,14 @@ Gred::Gred(const models::TrainingCorpus& corpus, const llm::ChatModel* llm,
   for (const dataset::GeneratedDatabase& db : *corpus.databases) {
     db_schema_prompts_[strings::ToLower(db.data.name())] =
         db.data.db_schema().RenderSchemaPrompt();
+  }
+  // Resolve each training example's schema prompt once (db names need
+  // lower-casing); Translate used to redo this on every retrieval hit.
+  example_schema_prompts_.reserve(corpus.train->size());
+  for (const dataset::Example& ex : *corpus.train) {
+    auto it = db_schema_prompts_.find(strings::ToLower(ex.db_name));
+    example_schema_prompts_.push_back(
+        it == db_schema_prompts_.end() ? nullptr : &it->second);
   }
 }
 
@@ -127,10 +138,9 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
     examples.reserve(hits.size());
     for (const models::ExampleIndex::Hit& hit : hits) {
       llm::GenerationExample ex;
-      auto schema_it =
-          db_schema_prompts_.find(strings::ToLower(hit.example->db_name));
-      if (schema_it != db_schema_prompts_.end()) {
-        ex.schema_prompt = schema_it->second;
+      const std::string* schema_prompt = example_schema_prompts_[hit.index];
+      if (schema_prompt != nullptr) {
+        ex.schema_prompt = *schema_prompt;
       }
       ex.nlq = hit.example->nlq;
       ex.dvq = hit.example->DvqText();

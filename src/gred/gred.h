@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "embed/caching_embedder.h"
 #include "embed/embedder.h"
 #include "llm/chat_model.h"
 #include "models/model.h"
@@ -109,6 +110,13 @@ class Gred : public models::TextToVisModel {
   };
   StageStats stage_stats() const;
 
+  /// Hit/miss counters of the shared embedding cache (all Translate
+  /// threads embed through one CachingEmbedder; fault sweeps and k-sweeps
+  /// re-embed the same NLQs, so hits dominate on re-runs).
+  embed::CachingEmbedder::Stats embed_cache_stats() const {
+    return embedder_->stats();
+  }
+
   const GredConfig& config() const { return config_; }
 
  private:
@@ -123,10 +131,14 @@ class Gred : public models::TextToVisModel {
   GredConfig config_;
   const llm::ChatModel* llm_;  // not owned
   const std::vector<dataset::GeneratedDatabase>* databases_;
-  std::unique_ptr<embed::TextEmbedder> embedder_;
+  std::unique_ptr<embed::CachingEmbedder> embedder_;
   std::unique_ptr<models::ExampleIndex> nlq_index_;
   std::unique_ptr<models::DvqIndex> dvq_index_;
   std::map<std::string, std::string> db_schema_prompts_;  // by db name
+  /// Schema prompt per training example (nullptr when the example's
+  /// database is unknown), resolved once at construction so Translate
+  /// never lower-cases a db name on the retrieval hot path.
+  std::vector<const std::string*> example_schema_prompts_;
   mutable std::mutex annotation_mutex_;  // guards annotation_cache_
   mutable std::map<std::string, Result<std::string>> annotation_cache_;
   mutable std::mutex trace_mutex_;  // guards trace_

@@ -15,7 +15,7 @@ std::vector<ExampleIndex::Hit> ExampleIndex::TopK(const std::string& nlq,
   std::vector<Hit> out;
   embed::Vector query = embedder_->Embed(nlq);
   for (const embed::VectorStore::Hit& hit : store_.TopK(query, k)) {
-    out.push_back(Hit{&(*train_)[hit.index], hit.score});
+    out.push_back(Hit{&(*train_)[hit.index], hit.score, hit.index});
   }
   return out;
 }
@@ -33,7 +33,7 @@ std::vector<DvqIndex::Hit> DvqIndex::TopK(const std::string& dvq_text,
   std::vector<Hit> out;
   embed::Vector query = embedder_->Embed(dvq_text);
   for (const embed::VectorStore::Hit& hit : store_.TopK(query, k)) {
-    out.push_back(Hit{&(*train_)[hit.index], hit.score});
+    out.push_back(Hit{&(*train_)[hit.index], hit.score, hit.index});
   }
   return out;
 }

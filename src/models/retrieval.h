@@ -21,6 +21,7 @@ class ExampleIndex {
   struct Hit {
     const dataset::Example* example = nullptr;
     double score = 0.0;
+    std::size_t index = 0;  // position of `example` in the training split
   };
 
   /// Indexes `train` (not owned; must outlive the index) using
@@ -46,6 +47,7 @@ class DvqIndex {
   struct Hit {
     const dataset::Example* example = nullptr;
     double score = 0.0;
+    std::size_t index = 0;  // position of `example` in the training split
   };
 
   DvqIndex(const std::vector<dataset::Example>* train,

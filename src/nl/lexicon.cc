@@ -19,7 +19,11 @@ void Lexicon::AddConcept(const std::string& id,
 }
 
 int Lexicon::ConceptIndexOf(const std::string& word) const {
-  auto it = stem_to_concept_.find(Stem(word));
+  return ConceptIndexOfStem(Stem(word));
+}
+
+int Lexicon::ConceptIndexOfStem(const std::string& stem) const {
+  auto it = stem_to_concept_.find(stem);
   return it == stem_to_concept_.end() ? -1 : it->second;
 }
 

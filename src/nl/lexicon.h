@@ -44,6 +44,11 @@ class Lexicon {
   /// Concept index for `word` (stem-matched); -1 when unknown.
   int ConceptIndexOf(const std::string& word) const;
 
+  /// Concept index for an already-stemmed word; -1 when unknown. Lets
+  /// callers that already hold the stem (the embedder's token loop) skip
+  /// re-stemming and avoid the ConceptIdOf string copy.
+  int ConceptIndexOfStem(const std::string& stem) const;
+
   /// Concept id for `word`; empty when unknown.
   std::string ConceptIdOf(const std::string& word) const;
 

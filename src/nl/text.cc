@@ -31,7 +31,14 @@ std::vector<std::string> Tokenize(std::string_view text) {
 }
 
 std::string Stem(const std::string& word) {
-  std::string w = word;
+  std::string out;
+  StemInto(word, &out);
+  return out;
+}
+
+void StemInto(const std::string& word, std::string* out) {
+  std::string& w = *out;
+  w = word;
   auto ends = [&](const char* suffix) {
     return strings::EndsWith(w, suffix);
   };
@@ -62,8 +69,7 @@ std::string Stem(const std::string& word) {
                               strings::EndsWith(w, "sion"))) {
     chop(3);
   }
-  if (w.size() < 3) return word;
-  return w;
+  if (w.size() < 3) w = word;
 }
 
 std::vector<std::string> StemmedTokens(std::string_view text) {

@@ -17,6 +17,11 @@ std::vector<std::string> Tokenize(std::string_view text);
 /// below three characters.
 std::string Stem(const std::string& word);
 
+/// Stems `word` into `*out` (same result as Stem). Reusing one scratch
+/// string across calls makes the embedder's token loop allocation-free
+/// once the scratch capacity has warmed up.
+void StemInto(const std::string& word, std::string* out);
+
 /// Tokenize + Stem in one pass.
 std::vector<std::string> StemmedTokens(std::string_view text);
 

@@ -51,14 +51,22 @@ std::size_t Rng::PickWeighted(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xd2b74407b1ce6e93ULL); }
 
-std::uint64_t Fnv1a64(const void* data, std::size_t size) {
+std::uint64_t Fnv1a64Continue(std::uint64_t state, const void* data,
+                              std::size_t size) {
   const unsigned char* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
   for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
+    state ^= bytes[i];
+    state *= 0x100000001b3ULL;
   }
-  return hash;
+  return state;
+}
+
+std::uint64_t Fnv1a64Continue(std::uint64_t state, const std::string& s) {
+  return Fnv1a64Continue(state, s.data(), s.size());
+}
+
+std::uint64_t Fnv1a64(const void* data, std::size_t size) {
+  return Fnv1a64Continue(0xcbf29ce484222325ULL, data, size);
 }
 
 std::uint64_t Fnv1a64(const std::string& s) {

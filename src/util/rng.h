@@ -71,6 +71,16 @@ std::uint64_t Fnv1a64(const void* data, std::size_t size);
 /// Convenience overload for strings.
 std::uint64_t Fnv1a64(const std::string& s);
 
+/// Continues an FNV-1a hash from `state` over `size` more bytes. Because
+/// FNV-1a folds bytes left to right, `Fnv1a64Continue(Fnv1a64(a), b)` is
+/// bit-identical to `Fnv1a64(a + b)` — the embedder uses this to hash
+/// prefixed features ("tok:" + stem) without building the concatenation.
+std::uint64_t Fnv1a64Continue(std::uint64_t state, const void* data,
+                              std::size_t size);
+
+/// Convenience overload for strings.
+std::uint64_t Fnv1a64Continue(std::uint64_t state, const std::string& s);
+
 }  // namespace gred
 
 #endif  // GREDVIS_UTIL_RNG_H_

@@ -121,6 +121,34 @@ TEST(VectorStore, ScoresAreCosine) {
   EXPECT_NEAR(hits[0].score, 1.0, 1e-6);
 }
 
+TEST(VectorStore, DimensionMismatchScoresZeroNotPrefixDot) {
+  // Regression: TopK used to truncate to the shorter vector
+  // (std::min(v.size(), q.size())), silently ranking a wrong-dimension
+  // query against the prefix of every stored vector. It now follows the
+  // CosineSimilarity contract and scores mismatched dimensions 0.
+  VectorStore store;
+  store.Add({1.0f, 0.0f});
+  store.Add({0.0f, 1.0f});
+  std::vector<VectorStore::Hit> hits =
+      store.TopK({1.0f, 0.0f, 0.0f, 0.0f}, 2);  // dim 4 vs dim 2
+  ASSERT_EQ(hits.size(), 2u);
+  for (const VectorStore::Hit& hit : hits) {
+    EXPECT_DOUBLE_EQ(hit.score, 0.0);
+  }
+  // Ties at 0 break by insertion index.
+  EXPECT_EQ(hits[0].index, 0u);
+  EXPECT_EQ(hits[1].index, 1u);
+}
+
+TEST(VectorStore, AtReturnsNormalizedRow) {
+  VectorStore store;
+  store.Add({3.0f, 4.0f});
+  Vector row = store.at(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_NEAR(row[0], 0.6f, 1e-6);
+  EXPECT_NEAR(row[1], 0.8f, 1e-6);
+}
+
 TEST(IvfIndex, EmptyAndUnbuilt) {
   IvfIndex index;
   EXPECT_TRUE(index.TopK({1.0f, 0.0f}, 3).empty());  // not built

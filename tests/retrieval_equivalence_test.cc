@@ -1,0 +1,258 @@
+// Equivalence suite for the flat-layout retrieval kernel.
+//
+// The flat SoA store, blocked dot kernel, bounded top-k heap, and batched
+// scan must return bit-identical hits (scores AND order) to a naive
+// reference — materialize every candidate, full sort, truncate — across
+// randomized inputs and the edge cases that historically bite top-k
+// implementations (empty store, k=0, k>size, duplicate vectors, zero
+// vectors). The CachingEmbedder is hammered from many threads (run under
+// TSan by scripts/tier1.sh) and must behave exactly like its inner
+// embedder.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "embed/ann_index.h"
+#include "embed/caching_embedder.h"
+#include "embed/embedder.h"
+#include "embed/kernel.h"
+#include "embed/vector_store.h"
+#include "util/rng.h"
+
+namespace gred::embed {
+namespace {
+
+/// The naive reference the kernel must match bit-for-bit: score every
+/// stored vector (CosineSimilarity contract: dimension mismatch and
+/// empty vectors score 0), sort all hits best-first with the shared
+/// ordering, truncate to k. This is the seed implementation's shape —
+/// O(n) materialization + full sort — with the shared DotBlocked kernel
+/// substituted for its scalar loop.
+std::vector<Hit> NaiveTopK(const std::vector<Vector>& raw_vectors,
+                           const Vector& raw_query, std::size_t k) {
+  std::vector<Vector> vectors = raw_vectors;
+  for (Vector& v : vectors) L2Normalize(&v);
+  Vector q = raw_query;
+  L2Normalize(&q);
+  std::vector<Hit> hits;
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    const Vector& v = vectors[i];
+    double score = v.size() == q.size() && !q.empty()
+                       ? DotBlocked(v.data(), q.data(), q.size())
+                       : 0.0;
+    hits.push_back(Hit{i, score});
+  }
+  std::sort(hits.begin(), hits.end(), HitBetter);
+  hits.resize(std::min(k, hits.size()));
+  return hits;
+}
+
+Vector RandomVector(Rng* rng, std::size_t dim) {
+  Vector v(dim);
+  for (float& x : v) x = static_cast<float>(rng->NextDouble() - 0.5);
+  return v;
+}
+
+void ExpectBitIdentical(const std::vector<Hit>& actual,
+                        const std::vector<Hit>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].index, expected[i].index) << "rank " << i;
+    // Bit-identical, not approximately equal: same kernel, same sums.
+    EXPECT_EQ(actual[i].score, expected[i].score) << "rank " << i;
+  }
+}
+
+TEST(FlatStoreEquivalence, RandomizedAgainstNaiveReference) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    for (std::size_t dim : {3u, 17u, 64u, 512u}) {
+      for (std::size_t n : {0u, 1u, 2u, 257u}) {
+        Rng rng(seed * 1000 + dim * 10 + n);
+        std::vector<Vector> raw;
+        VectorStore store;
+        for (std::size_t i = 0; i < n; ++i) {
+          raw.push_back(RandomVector(&rng, dim));
+          store.Add(raw.back());
+        }
+        Vector query = RandomVector(&rng, dim);
+        for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{10},
+                              n, n + 7}) {
+          ExpectBitIdentical(store.TopK(query, k), NaiveTopK(raw, query, k));
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatStoreEquivalence, DuplicateVectorsTieBreakByInsertionIndex) {
+  Rng rng(5);
+  std::vector<Vector> raw;
+  VectorStore store;
+  Vector dup = RandomVector(&rng, 32);
+  for (int i = 0; i < 50; ++i) {
+    // Every third vector is the same: plenty of exact score ties.
+    raw.push_back(i % 3 == 0 ? dup : RandomVector(&rng, 32));
+    store.Add(raw.back());
+  }
+  Vector query = dup;
+  std::vector<Hit> hits = store.TopK(query, 20);
+  ExpectBitIdentical(hits, NaiveTopK(raw, query, 20));
+  // The duplicates all score exactly 1 and must appear in insertion order.
+  for (std::size_t i = 1; i + 1 < hits.size(); ++i) {
+    if (hits[i].score == hits[i - 1].score) {
+      EXPECT_LT(hits[i - 1].index, hits[i].index);
+    }
+  }
+}
+
+TEST(FlatStoreEquivalence, ZeroVectorsScoreZeroAndRankDeterministically) {
+  Rng rng(13);
+  std::vector<Vector> raw;
+  VectorStore store;
+  for (int i = 0; i < 20; ++i) {
+    raw.push_back(i % 4 == 0 ? Vector(16, 0.0f) : RandomVector(&rng, 16));
+    store.Add(raw.back());
+  }
+  Vector query = RandomVector(&rng, 16);
+  ExpectBitIdentical(store.TopK(query, 20), NaiveTopK(raw, query, 20));
+  // A zero query scores 0 against everything; order is pure index order.
+  std::vector<Hit> zero_hits = store.TopK(Vector(16, 0.0f), 5);
+  ASSERT_EQ(zero_hits.size(), 5u);
+  for (std::size_t i = 0; i < zero_hits.size(); ++i) {
+    EXPECT_EQ(zero_hits[i].index, i);
+    EXPECT_EQ(zero_hits[i].score, 0.0);
+  }
+}
+
+TEST(FlatStoreEquivalence, MixedDimensionsFollowCosineContract) {
+  // Rows whose dimension differs from the query score exactly 0 — the
+  // seed silently dotted the query against each vector's prefix.
+  std::vector<Vector> raw = {{1.0f, 0.0f}, {1.0f, 0.0f, 0.0f}, {0.5f, 0.5f}};
+  VectorStore store;
+  for (const Vector& v : raw) store.Add(v);
+  Vector query = {1.0f, 0.0f};
+  ExpectBitIdentical(store.TopK(query, 3), NaiveTopK(raw, query, 3));
+  std::vector<Hit> hits = store.TopK(query, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  for (const Hit& hit : hits) {
+    if (hit.index == 1) {
+      EXPECT_EQ(hit.score, 0.0);  // dim 3 vs dim 2
+    }
+  }
+}
+
+TEST(FlatStoreEquivalence, BatchedTopKMatchesSingleQueryBitForBit) {
+  Rng rng(21);
+  VectorStore store;
+  for (int i = 0; i < 300; ++i) store.Add(RandomVector(&rng, 48));
+  std::vector<Vector> queries;
+  for (int i = 0; i < 9; ++i) queries.push_back(RandomVector(&rng, 48));
+  queries.push_back(Vector(48, 0.0f));              // zero query
+  queries.push_back(RandomVector(&rng, 7));         // wrong dimension
+  std::vector<std::vector<Hit>> batched = store.TopKBatch(queries, 10);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectBitIdentical(batched[qi], store.TopK(queries[qi], 10));
+  }
+}
+
+TEST(FlatStoreEquivalence, DotBlockedMatchesSequentialSum) {
+  // The blocked kernel reassociates four double partial sums; for unit
+  // vectors that is within ~1e-15 of the seed's strictly sequential sum.
+  Rng rng(33);
+  for (std::size_t dim : {1u, 5u, 16u, 511u, 512u}) {
+    Vector a = RandomVector(&rng, dim);
+    Vector b = RandomVector(&rng, dim);
+    L2Normalize(&a);
+    L2Normalize(&b);
+    double sequential = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      sequential += static_cast<double>(a[i]) * b[i];
+    }
+    EXPECT_NEAR(DotBlocked(a.data(), b.data(), dim), sequential, 1e-12);
+  }
+}
+
+TEST(FlatStoreEquivalence, IvfProbeAllIsBitIdenticalToExactStore) {
+  IvfIndex::Options options;
+  options.num_clusters = 6;
+  options.num_probes = 6;  // probe everything -> exact
+  IvfIndex index(options);
+  VectorStore exact;
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    Vector v = RandomVector(&rng, 24);
+    index.Add(v);
+    exact.Add(v);
+  }
+  index.Build();
+  for (int qi = 0; qi < 10; ++qi) {
+    Vector q = RandomVector(&rng, 24);
+    ExpectBitIdentical(index.TopK(q, 15), exact.TopK(q, 15));
+  }
+}
+
+TEST(CachingEmbedder, IdenticalToInnerEmbedder) {
+  SemanticHashEmbedder plain;
+  CachingEmbedder cached(std::make_unique<SemanticHashEmbedder>());
+  const std::vector<std::string> texts = {
+      "show the salary by department", "average price per category", "",
+      "show the salary by department"};
+  for (const std::string& text : texts) {
+    EXPECT_EQ(cached.Embed(text), plain.Embed(text));
+  }
+  EXPECT_EQ(cached.dimension(), plain.dimension());
+  CachingEmbedder::Stats stats = cached.stats();
+  EXPECT_EQ(stats.hits + stats.misses, texts.size());
+  EXPECT_GE(stats.hits, 1u);  // the repeated text
+}
+
+TEST(CachingEmbedder, ConcurrentHammerIsRaceFreeAndDeterministic) {
+  // Run under TSan by scripts/tier1.sh: many threads embedding a small,
+  // overlapping set of texts must race-freely agree with the uncached
+  // embedder on every call.
+  CachingEmbedder cached(std::make_unique<SemanticHashEmbedder>());
+  SemanticHashEmbedder plain;
+  std::vector<std::string> texts;
+  std::vector<Vector> expected;
+  for (int i = 0; i < 25; ++i) {
+    texts.push_back("query number " + std::to_string(i) +
+                    " about salary and department");
+    expected.push_back(plain.Embed(texts.back()));
+  }
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread walks the texts at a different phase so hits and
+        // misses interleave across shards.
+        std::size_t i = static_cast<std::size_t>((round + t * 7)) %
+                        texts.size();
+        if (cached.Embed(texts[i]) != expected[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  CachingEmbedder::Stats stats = cached.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+  // Every distinct text misses at least once; concurrent first touches
+  // may each miss (compute happens outside the lock), so misses can
+  // exceed the distinct-text count but never the total.
+  EXPECT_GE(stats.misses, texts.size());
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace gred::embed
