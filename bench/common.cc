@@ -72,6 +72,8 @@ BenchContext::BenchContext() {
   std::size_t threads = EnvSizeOrDie("GRED_BENCH_THREADS", HardwareThreads());
   fault_rate_ = EnvRateOrDie("GRED_BENCH_FAULT_RATE", 0.0);
   retries_ = EnvSizeOrDie("GRED_BENCH_RETRIES", 3);
+  guard_limits_.deadline_ticks = EnvSizeOrDie("GRED_BENCH_DEADLINE", 0);
+  guard_limits_.row_budget = EnvSizeOrDie("GRED_BENCH_ROW_BUDGET", 0);
   stack_ = MakeResilientStack(&llm_, fault_rate_, retries_);
   std::fprintf(stderr,
                "[bench] building suite: %zu databases, %zu train, %zu test "
@@ -83,6 +85,13 @@ BenchContext::BenchContext() {
                  "[bench] fault injection on: rate %.3f, %zu attempts/call\n",
                  fault_rate_, retries_);
   }
+  if (!guard_limits_.Unlimited()) {
+    std::fprintf(stderr,
+                 "[bench] resource guard on: deadline %llu ticks, "
+                 "row budget %llu (0 = unlimited)\n",
+                 static_cast<unsigned long long>(guard_limits_.deadline_ticks),
+                 static_cast<unsigned long long>(guard_limits_.row_budget));
+  }
   suite_ = dataset::BuildBenchmarkSuite(options);
   corpus_.train = &suite_.train;
   corpus_.databases = &suite_.databases;
@@ -90,7 +99,10 @@ BenchContext::BenchContext() {
   seq2vis_ = std::make_unique<models::Seq2Vis>(corpus_);
   transformer_ = std::make_unique<models::TransformerModel>(corpus_);
   rgvisnet_ = std::make_unique<models::RGVisNet>(corpus_);
-  gred_ = std::make_unique<core::Gred>(corpus_, stack_.active);
+  core::GredConfig gred_config;
+  gred_config.stage_limits = guard_limits_;
+  gred_ = std::make_unique<core::Gred>(corpus_, stack_.active,
+                                       std::move(gred_config));
   std::fprintf(stderr, "[bench] ready\n");
 }
 
@@ -105,6 +117,9 @@ std::unique_ptr<core::Gred> BenchContext::MakeGred(
 
 std::unique_ptr<core::Gred> BenchContext::MakeGred(
     core::GredConfig config, const llm::ChatModel* chat) const {
+  // Variants inherit the context-wide guard unless the caller set an
+  // explicit per-stage budget; with the env knobs unset this is a no-op.
+  if (config.stage_limits.Unlimited()) config.stage_limits = guard_limits_;
   return std::make_unique<core::Gred>(corpus_, chat, std::move(config));
 }
 
@@ -137,6 +152,10 @@ std::vector<eval::EvalResult> RunModels(
     eval::EvalTiming timing;
     eval::EvalOptions options;
     options.timing = &timing;
+    // Arm the per-example watchdog from the env knobs (no-op when unset;
+    // re-read here so RunModels works without a BenchContext too).
+    options.guard.deadline_ticks = EnvSizeOrDie("GRED_BENCH_DEADLINE", 0);
+    options.guard.row_budget = EnvSizeOrDie("GRED_BENCH_ROW_BUDGET", 0);
     auto start = std::chrono::steady_clock::now();
     results.push_back(eval::Evaluate(*model, test, databases, test_set_name,
                                      nullptr, options));
@@ -147,6 +166,11 @@ std::vector<eval::EvalResult> RunModels(
                  "[bench]   %.2fs wall | translate %.2fs, execute %.2fs "
                  "(summed over threads)\n",
                  wall, timing.translate.seconds(), timing.execute.seconds());
+    if (results.back().counts.resource_exhausted != 0) {
+      std::fprintf(stderr,
+                   "[bench]   resource guard tripped on %zu examples\n",
+                   results.back().counts.resource_exhausted);
+    }
     if (gred != nullptr) {
       core::Gred::StageStats after = gred->stage_stats();
       std::fprintf(stderr,
@@ -165,6 +189,17 @@ std::vector<eval::EvalResult> RunModels(
                      "debugger %llu\n",
                      static_cast<unsigned long long>(rtn_deg),
                      static_cast<unsigned long long>(dbg_deg));
+      }
+      std::uint64_t rtn_budget =
+          after.retune_budget_trips - before.retune_budget_trips;
+      std::uint64_t dbg_budget =
+          after.debug_budget_trips - before.debug_budget_trips;
+      if (rtn_budget != 0 || dbg_budget != 0) {
+        std::fprintf(stderr,
+                     "[bench]   GRED stage-budget trips: retuner %llu, "
+                     "debugger %llu\n",
+                     static_cast<unsigned long long>(rtn_budget),
+                     static_cast<unsigned long long>(dbg_budget));
       }
     }
   }

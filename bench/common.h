@@ -54,7 +54,11 @@ ResilientStack MakeResilientStack(const llm::ChatModel* base,
 ///   GRED_BENCH_FAULT_RATE (probability of an injected transient LLM
 ///   fault per call, default 0 = no fault layer, validated via
 ///   EnvRateOrDie) and GRED_BENCH_RETRIES (LLM attempts per call when
-///   the fault layer is active, default 3).
+///   the fault layer is active, default 3);
+///   GRED_BENCH_DEADLINE (per-example accounted-tick deadline) and
+///   GRED_BENCH_ROW_BUDGET (per-example materialized-row budget), both
+///   default unset = unguarded — when set they arm the eval watchdog
+///   and GRED's per-stage budgets (util/resource_guard.h).
 class BenchContext {
  public:
   BenchContext();
@@ -68,6 +72,10 @@ class BenchContext {
   const llm::ChatModel* chat_model() const { return stack_.active; }
   double fault_rate() const { return fault_rate_; }
   std::size_t retries() const { return retries_; }
+
+  /// Per-example resource limits from GRED_BENCH_DEADLINE /
+  /// GRED_BENCH_ROW_BUDGET (all-zero when neither is set).
+  const GuardLimits& guard_limits() const { return guard_limits_; }
 
   /// The three baselines, in paper order.
   std::vector<const models::TextToVisModel*> Baselines() const;
@@ -88,6 +96,7 @@ class BenchContext {
   llm::SimulatedChatModel llm_;
   double fault_rate_ = 0.0;
   std::size_t retries_ = 3;
+  GuardLimits guard_limits_;
   ResilientStack stack_;
   models::TrainingCorpus corpus_;
   std::unique_ptr<models::Seq2Vis> seq2vis_;

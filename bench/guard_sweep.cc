@@ -1,0 +1,144 @@
+// Resource-guard sweep: GRED accuracy and latency as a function of the
+// per-example execution budget.
+//
+// Each sweep point arms the evaluation watchdog (and GRED's per-stage
+// parse budgets) with one limit — a deadline in accounted ticks or a
+// materialized-row budget — and evaluates a fresh GRED instance on
+// nvBench-Rob_nlq. The table shows the degradation curve: how accuracy
+// decays and how many examples hit the budget as the limits tighten,
+// next to the wall-clock cost of each point.
+//
+// Two properties are asserted, not just printed:
+//   * every example terminates — with a scored result or a typed
+//     kResourceExhausted — at every sweep point (no hangs, no lost
+//     examples);
+//   * a guard with effectively infinite limits is bit-identical to the
+//     unguarded baseline (same EvalResult, counts included).
+//
+// GRED_BENCH_DEADLINE / GRED_BENCH_ROW_BUDGET (when set) narrow the
+// sweep to that single configuration.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace gred;
+
+  bench::BenchContext context;
+
+  struct SweepPoint {
+    const char* axis;  // which budget this point exercises
+    GuardLimits limits;
+  };
+  // An "infinite" budget: large enough that no example can reach it, but
+  // nonzero so the guarded ScoreExample path actually runs.
+  constexpr std::uint64_t kEffectivelyInfinite = 1'000'000'000'000ull;
+  std::vector<SweepPoint> points = {
+      {"deadline", {.deadline_ticks = kEffectivelyInfinite}},
+      {"deadline", {.deadline_ticks = 100'000}},
+      {"deadline", {.deadline_ticks = 20'000}},
+      {"deadline", {.deadline_ticks = 5'000}},
+      {"deadline", {.deadline_ticks = 1'000}},
+      {"deadline", {.deadline_ticks = 200}},
+      {"rows", {.row_budget = kEffectivelyInfinite}},
+      {"rows", {.row_budget = 50'000}},
+      {"rows", {.row_budget = 5'000}},
+      {"rows", {.row_budget = 1'000}},
+      {"rows", {.row_budget = 200}},
+  };
+  if (!context.guard_limits().Unlimited()) {
+    points = {{"env", context.guard_limits()}};
+  }
+
+  const std::vector<dataset::Example>& test = context.suite().test_nlq;
+
+  // Unguarded baseline: the reference both for the table's top rows and
+  // for the infinite-budget identity check.
+  std::unique_ptr<core::Gred> baseline_gred = context.MakeGred({});
+  (void)baseline_gred->PrepareAnnotations(context.suite().databases);
+  eval::EvalResult baseline =
+      eval::Evaluate(*baseline_gred, test, context.suite().databases,
+                     "nvBench-Rob_nlq");
+
+  auto label = [](const GuardLimits& limits) {
+    std::string parts;
+    auto add = [&parts](const char* name, std::uint64_t v) {
+      if (v == 0) return;
+      if (!parts.empty()) parts += ", ";
+      parts += name;
+      parts += v >= kEffectivelyInfinite
+                   ? std::string(" inf")
+                   : " " + std::to_string(v);
+    };
+    add("deadline", limits.deadline_ticks);
+    add("rows", limits.row_budget);
+    add("mem", limits.memory_budget);
+    add("join", limits.join_budget);
+    return parts.empty() ? std::string("off") : parts;
+  };
+
+  bool infinite_identity_ok = true;
+  TablePrinter table(
+      {"Budget", "Acc.", "Exec. Acc.", "Exhausted", "Errors", "Wall (s)"});
+  table.AddRow({"unguarded", FormatPercent(baseline.counts.OverallAcc()),
+                FormatPercent(baseline.counts.ExecutionAcc()),
+                std::to_string(baseline.counts.resource_exhausted),
+                std::to_string(baseline.counts.errors), "-"});
+  for (const SweepPoint& point : points) {
+    core::GredConfig config;
+    config.stage_limits = point.limits;
+    std::unique_ptr<core::Gred> gred = context.MakeGred(std::move(config));
+    // Annotations resolve serially up front so the parallel evaluation
+    // is deterministic (same convention as fault_sweep).
+    (void)gred->PrepareAnnotations(context.suite().databases);
+    eval::EvalOptions options;
+    options.guard = point.limits;
+    std::size_t observed = 0;
+    auto start = std::chrono::steady_clock::now();
+    eval::EvalResult result = eval::Evaluate(
+        *gred, test, context.suite().databases, "nvBench-Rob_nlq",
+        [&observed](const eval::ExampleOutcome&) { ++observed; }, options);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    // Termination check: every example produced an outcome and was
+    // counted — scored or typed kResourceExhausted, never dropped.
+    if (observed != test.size() || result.counts.total != test.size()) {
+      std::fprintf(stderr,
+                   "[bench] FAIL: %s terminated %zu/%zu examples\n",
+                   label(point.limits).c_str(), observed, test.size());
+      return 1;
+    }
+    if (point.limits.deadline_ticks >= kEffectivelyInfinite ||
+        point.limits.row_budget >= kEffectivelyInfinite) {
+      if (result != baseline) {
+        std::fprintf(stderr,
+                     "[bench] FAIL: guarded run with infinite %s budget "
+                     "differs from the unguarded baseline\n",
+                     point.axis);
+        infinite_identity_ok = false;
+      }
+    }
+    table.AddRow({label(point.limits),
+                  FormatPercent(result.counts.OverallAcc()),
+                  FormatPercent(result.counts.ExecutionAcc()),
+                  std::to_string(result.counts.resource_exhausted),
+                  std::to_string(result.counts.errors),
+                  strings::Format("%.2f", wall)});
+  }
+
+  std::printf("\nResource-guard sweep: GRED on nvBench-Rob_nlq "
+              "(%zu examples)\n",
+              test.size());
+  std::printf("%s", table.ToString().c_str());
+  std::printf("infinite-budget identity with unguarded baseline: %s\n",
+              infinite_identity_ok ? "ok" : "FAILED");
+  return infinite_identity_ok ? 0 : 1;
+}

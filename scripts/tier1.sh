@@ -46,4 +46,28 @@ TSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-tsan/tests/retrieval_equivalence_test" \
   --gtest_filter='CachingEmbedder.*'
 
+echo "== tier-1: ASan+UBSan pass (fuzz + resource-guard tests) =="
+# The fuzz harness and the guard layer see adversarial inputs (oversized,
+# NUL-embedded, deeply nested) and budget-aborted executions; run them
+# under AddressSanitizer + UndefinedBehaviorSanitizer so an out-of-bounds
+# read or a mid-operator leak fails loudly instead of passing silently.
+if ! cmake -B "$ROOT/build-asan" -S "$ROOT" \
+  -DGRED_SANITIZE=address,undefined \
+  -DGRED_BUILD_BENCHMARKS=OFF \
+  -DGRED_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
+  echo "tier-1: FAILED — build-asan configure failed" >&2
+  exit 1
+fi
+cmake --build "$ROOT/build-asan" -j"$JOBS" \
+  --target fuzz_test dvq_test resource_guard_test metamorphic_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/fuzz_test"
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/dvq_test"
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/resource_guard_test"
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/metamorphic_test"
+
 echo "== tier-1: OK =="

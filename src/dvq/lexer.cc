@@ -40,6 +40,11 @@ bool IsReservedKeyword(const std::string& upper_word) {
 }
 
 Result<std::vector<Token>> Lex(const std::string& input) {
+  if (input.size() > kMaxLexInputBytes) {
+    return Status::InvalidArgument(strings::Format(
+        "input of %zu bytes exceeds the %zu-byte lexer cap", input.size(),
+        kMaxLexInputBytes));
+  }
   std::vector<Token> tokens;
   std::size_t i = 0;
   const std::size_t n = input.size();

@@ -9,12 +9,18 @@
 
 namespace gred::dvq {
 
+/// Hard cap on Lex input (1 MiB). Real DVQs are a few hundred bytes;
+/// anything past this is an adversarial or corrupted payload and is
+/// rejected up front with kInvalidArgument rather than tokenized.
+inline constexpr std::size_t kMaxLexInputBytes = 1 << 20;
+
 /// Tokenizes a DVQ string.
 ///
 /// Keywords are recognized case-insensitively and normalized to upper case;
 /// everything matching the keyword table becomes TokenKind::kKeyword.
 /// Identifiers keep their original spelling (DVQ schema matching is
 /// case-insensitive downstream but style matters to the Retuner).
+/// Inputs over kMaxLexInputBytes fail with kInvalidArgument.
 Result<std::vector<Token>> Lex(const std::string& input);
 
 /// True if `word` (upper-cased) is a reserved DVQ keyword.

@@ -235,7 +235,7 @@ class Parser {
     }
     if (Peek().IsSymbol("(") && Peek(1).IsKeyword("SELECT")) {
       Advance();  // '('
-      GRED_ASSIGN_OR_RETURN(Query sub, ParseQueryBody());
+      GRED_ASSIGN_OR_RETURN(Query sub, ParseSubquery());
       GRED_RETURN_IF_ERROR(ExpectSymbol(")"));
       pred.subquery = std::make_shared<const Query>(std::move(sub));
       return pred;
@@ -285,6 +285,22 @@ class Parser {
       }
     }
     return Error("expected a bin unit (YEAR, MONTH, DAY, WEEKDAY)");
+  }
+
+  /// Enters one scalar-subquery nesting level. The explicit depth
+  /// counter turns what used to be unbounded recursion (one native stack
+  /// frame chain per `(SELECT ...` level) into a typed kParseError at
+  /// kMaxParseDepth.
+  Result<Query> ParseSubquery() {
+    if (depth_ >= kMaxParseDepth) {
+      return Status::ParseError(strings::Format(
+          "subquery nesting exceeds the maximum depth of %d (at offset %zu)",
+          kMaxParseDepth, Peek().offset));
+    }
+    ++depth_;
+    Result<Query> sub = ParseQueryBody();
+    --depth_;
+    return sub;
   }
 
   Result<Query> ParseQueryBody() {
@@ -366,12 +382,22 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  // current scalar-subquery nesting level
 };
 
 }  // namespace
 
 Result<DVQ> Parse(const std::string& input) {
+  return Parse(input, nullptr);
+}
+
+Result<DVQ> Parse(const std::string& input, ExecContext* guard) {
   GRED_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(input));
+  // Parsing is linear in the token count (every production advances), so
+  // charging the whole stream up front is an exact deterministic bound.
+  if (guard != nullptr) {
+    GRED_RETURN_IF_ERROR(guard->ChargeTicks(tokens.size()));
+  }
   Parser parser(std::move(tokens));
   return parser.ParseDvq();
 }

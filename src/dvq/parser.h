@@ -4,9 +4,16 @@
 #include <string>
 
 #include "dvq/ast.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 
 namespace gred::dvq {
+
+/// Maximum subquery nesting depth Parse accepts. Each scalar subquery
+/// (`col = (SELECT ...)`) recurses one level; deeper input returns
+/// kParseError instead of recursing toward stack exhaustion. Real nvBench
+/// DVQs nest at most one level, so 16 is already generous.
+inline constexpr int kMaxParseDepth = 16;
 
 /// Parses a DVQ string into an AST.
 ///
@@ -18,7 +25,18 @@ namespace gred::dvq {
 ///
 /// Predicates support =, !=, <, <=, >, >=, [NOT] LIKE, IS [NOT] NULL,
 /// [NOT] IN (lit, ...), and scalar subqueries `col = (SELECT ...)`.
+///
+/// Input is bounded on two axes regardless of `guard`: the lexer rejects
+/// inputs over kMaxLexInputBytes (kInvalidArgument) and subquery nesting
+/// past kMaxParseDepth fails with kParseError.
 Result<DVQ> Parse(const std::string& input);
+
+/// Guarded variant: additionally charges `guard` (when non-null) one
+/// accounted tick per token before parsing, so a caller with a
+/// per-stage tick budget (core::Gred) can bound how much parse work an
+/// oversized LLM completion may consume. A tripped budget returns
+/// kResourceExhausted (kCancelled after RequestCancel()).
+Result<DVQ> Parse(const std::string& input, ExecContext* guard);
 
 /// Parses just the relational core (no "Visualize CHART" prefix); used for
 /// subqueries and tests.

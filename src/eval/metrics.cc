@@ -47,13 +47,28 @@ void MetricCounts::Merge(const MetricCounts& other) {
   overall += other.overall;
   execution += other.execution;
   errors += other.errors;
+  resource_exhausted += other.resource_exhausted;
 }
 
 bool ExecutionMatch(const dvq::DVQ& predicted, const dvq::DVQ& target,
                     const storage::DatabaseData& db) {
+  return ExecutionMatch(predicted, target, db, nullptr, nullptr);
+}
+
+bool ExecutionMatch(const dvq::DVQ& predicted, const dvq::DVQ& target,
+                    const storage::DatabaseData& db, ExecContext* guard,
+                    bool* resource_exhausted) {
+  if (resource_exhausted != nullptr) *resource_exhausted = false;
   if (predicted.chart != target.chart) return false;
-  Result<exec::ResultSet> a = exec::Execute(predicted, db);
-  Result<exec::ResultSet> b = exec::Execute(target, db);
+  exec::ExecOptions exec_options;
+  exec_options.context = guard;
+  Result<exec::ResultSet> a = exec::Execute(predicted, db, exec_options);
+  Result<exec::ResultSet> b = exec::Execute(target, db, exec_options);
+  if (resource_exhausted != nullptr &&
+      ((!a.ok() && a.status().IsResourceExhausted()) ||
+       (!b.ok() && b.status().IsResourceExhausted()))) {
+    *resource_exhausted = true;
+  }
   if (!a.ok() || !b.ok()) return false;
   if (a.value().num_rows() != b.value().num_rows() ||
       a.value().num_columns() != b.value().num_columns()) {
@@ -110,7 +125,7 @@ struct ScoredExample {
 ScoredExample ScoreExample(
     const models::TextToVisModel& model, const dataset::Example& example,
     const std::vector<dataset::GeneratedDatabase>& databases,
-    EvalTiming* timing) {
+    EvalTiming* timing, const GuardLimits& guard_limits) {
   ScoredExample scored;
   scored.unit.total = 1;
   const dataset::GeneratedDatabase* db = nullptr;
@@ -133,14 +148,24 @@ ScoredExample ScoreExample(
   if (!prediction.ok()) scored.unit.errors = 1;
   if (prediction.ok()) {
     ScopedTimer timer(timing == nullptr ? nullptr : &timing->execute);
-    scored.outcome.execution =
-        ExecutionMatch(prediction.value(), example.dvq, db->data);
+    if (guard_limits.Unlimited()) {
+      scored.outcome.execution =
+          ExecutionMatch(prediction.value(), example.dvq, db->data);
+    } else {
+      // Per-example watchdog: a fresh context per example so one
+      // pathological query cannot eat a later example's budget.
+      ExecContext guard(guard_limits);
+      scored.outcome.execution =
+          ExecutionMatch(prediction.value(), example.dvq, db->data, &guard,
+                         &scored.outcome.resource_exhausted);
+    }
   }
   scored.unit.vis = scored.outcome.vis ? 1 : 0;
   scored.unit.axis = scored.outcome.axis ? 1 : 0;
   scored.unit.data = scored.outcome.data ? 1 : 0;
   scored.unit.overall = scored.outcome.overall ? 1 : 0;
   scored.unit.execution = scored.outcome.execution ? 1 : 0;
+  scored.unit.resource_exhausted = scored.outcome.resource_exhausted ? 1 : 0;
   return scored;
 }
 
@@ -163,7 +188,8 @@ EvalResult Evaluate(
   std::vector<ScoredExample> scored(n);
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      scored[i] = ScoreExample(model, test[i], databases, options.timing);
+      scored[i] = ScoreExample(model, test[i], databases, options.timing,
+                               options.guard);
     }
   } else {
     ThreadPool pool(threads);
@@ -171,8 +197,9 @@ EvalResult Evaluate(
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       futures.push_back(pool.Submit([&model, &test, &databases, &scored,
-                                     timing = options.timing, i] {
-        scored[i] = ScoreExample(model, test[i], databases, timing);
+                                     timing = options.timing,
+                                     guard = options.guard, i] {
+        scored[i] = ScoreExample(model, test[i], databases, timing, guard);
       }));
     }
     for (std::future<void>& future : futures) future.get();  // rethrows

@@ -8,6 +8,7 @@
 
 #include "dataset/benchmark.h"
 #include "models/model.h"
+#include "util/resource_guard.h"
 #include "util/timing.h"
 
 namespace gred::eval {
@@ -23,6 +24,9 @@ struct MetricCounts {
   std::size_t overall = 0;    // exact matches
   std::size_t execution = 0;  // result-set matches (chart type included)
   std::size_t errors = 0;     // model returned an error / unparseable DVQ
+  /// Examples whose guarded execution tripped a resource budget
+  /// (EvalOptions::guard); always 0 when the watchdog is off.
+  std::size_t resource_exhausted = 0;
 
   /// All accuracy accessors return 0.0 (never NaN) when `total == 0`,
   /// so empty per-hardness / per-chart buckets render as 0% in tables.
@@ -47,6 +51,10 @@ struct ExampleOutcome {
   bool data = false;
   bool overall = false;
   bool execution = false;
+  /// True when the per-example watchdog tripped while execution-matching
+  /// this prediction (the example scores as a non-match but the harness
+  /// terminated it with a typed kResourceExhausted, never a hang).
+  bool resource_exhausted = false;
 };
 
 /// True when both queries execute against `db` and produce the same
@@ -54,6 +62,13 @@ struct ExampleOutcome {
 /// and the same chart type. An exact match always execution-matches.
 bool ExecutionMatch(const dvq::DVQ& predicted, const dvq::DVQ& target,
                     const storage::DatabaseData& db);
+
+/// Guarded variant: both executions run under `guard` (may be null =
+/// unguarded). When either execution trips the guard the match is false
+/// and `*resource_exhausted` (optional) is set.
+bool ExecutionMatch(const dvq::DVQ& predicted, const dvq::DVQ& target,
+                    const storage::DatabaseData& db, ExecContext* guard,
+                    bool* resource_exhausted);
 
 /// Full evaluation result with per-hardness and per-chart breakdowns.
 struct EvalResult {
@@ -83,6 +98,13 @@ struct EvalOptions {
   std::size_t num_threads = 0;
   /// Optional stage-timing sink (not owned; may be null).
   EvalTiming* timing = nullptr;
+  /// Per-example watchdog (util/resource_guard.h): when any field is
+  /// nonzero each example's execution-match runs under a fresh
+  /// ExecContext with these limits, so a pathological query terminates
+  /// with kResourceExhausted (counted in MetricCounts::resource_exhausted)
+  /// instead of monopolizing a worker. Default: unguarded, bit-identical
+  /// to the pre-guard harness.
+  GuardLimits guard;
 };
 
 /// Worker count used when `EvalOptions::num_threads == 0`: the

@@ -15,6 +15,15 @@ namespace {
 
 using storage::Value;
 
+/// Charges the guard (when present) and propagates a tripped budget out
+/// of the enclosing function. Unguarded execution (null context) is a
+/// branch per use and nothing else, keeping the default path identical
+/// to the pre-guard executor.
+#define GRED_CHARGE(ctx, call)                             \
+  do {                                                     \
+    if ((ctx) != nullptr) GRED_RETURN_IF_ERROR((ctx)->call); \
+  } while (false)
+
 /// Maps column references to slot indices in the joined working row.
 class Binding {
  public:
@@ -68,8 +77,11 @@ Result<WorkingSet> BuildJoinedRows(const dvq::Query& q,
     return Status::ExecutionError("unknown table '" + q.from_table + "'");
   }
   ws.binding.AddTable(*from);
+  ExecContext* guard = options.context;
   ws.rows.reserve(from->num_rows());
   for (std::size_t r = 0; r < from->num_rows(); ++r) {
+    GRED_CHARGE(guard, ChargeTicks(1));
+    GRED_CHARGE(guard, ChargeRows(1, from->num_columns()));
     ws.rows.push_back(from->Row(r));
   }
   for (const dvq::JoinClause& join : q.joins) {
@@ -93,21 +105,27 @@ Result<WorkingSet> BuildJoinedRows(const dvq::Query& q,
     GRED_ASSIGN_OR_RETURN(std::size_t build_slot,
                           right_binding.Resolve(build_local));
 
+    const std::size_t merged_width =
+        ws.binding.size() + right->num_columns();
     std::vector<std::vector<Value>> joined;
     if (options.join_strategy == JoinStrategy::kHashJoin) {
       std::unordered_multimap<std::uint64_t, std::size_t> index;
       index.reserve(right->num_rows() * 2);
       for (std::size_t r = 0; r < right->num_rows(); ++r) {
+        GRED_CHARGE(guard, ChargeTicks(1));
         const Value& key = right->at(r, build_slot);
         if (key.is_null()) continue;
         index.emplace(key.Hash(), r);
       }
       for (const auto& row : ws.rows) {
+        GRED_CHARGE(guard, ChargeTicks(1));
         const Value& key = row[probe_slot];
         if (key.is_null()) continue;
         auto [lo, hi] = index.equal_range(key.Hash());
         for (auto it = lo; it != hi; ++it) {
           if (right->at(it->second, build_slot) != key) continue;
+          GRED_CHARGE(guard, ChargeJoinRows(1));
+          GRED_CHARGE(guard, ChargeRows(1, merged_width));
           std::vector<Value> merged = row;
           std::vector<Value> rrow = right->Row(it->second);
           merged.insert(merged.end(), rrow.begin(), rrow.end());
@@ -119,7 +137,10 @@ Result<WorkingSet> BuildJoinedRows(const dvq::Query& q,
         const Value& key = row[probe_slot];
         if (key.is_null()) continue;
         for (std::size_t r = 0; r < right->num_rows(); ++r) {
+          GRED_CHARGE(guard, ChargeTicks(1));
           if (right->at(r, build_slot) != key) continue;
+          GRED_CHARGE(guard, ChargeJoinRows(1));
+          GRED_CHARGE(guard, ChargeRows(1, merged_width));
           std::vector<Value> merged = row;
           std::vector<Value> rrow = right->Row(r);
           merged.insert(merged.end(), rrow.begin(), rrow.end());
@@ -309,6 +330,7 @@ Result<ResultSet> Execute(const dvq::Query& query,
                           const storage::DatabaseData& db,
                           const ExecOptions& options) {
   const dvq::Query q = dvq::ResolveAliases(query);
+  ExecContext* guard = options.context;
   GRED_ASSIGN_OR_RETURN(WorkingSet ws, BuildJoinedRows(q, db, options));
 
   // Filter.
@@ -316,6 +338,7 @@ Result<ResultSet> Execute(const dvq::Query& query,
     std::vector<std::vector<Value>> kept;
     kept.reserve(ws.rows.size());
     for (auto& row : ws.rows) {
+      GRED_CHARGE(guard, ChargeTicks(1));
       GRED_ASSIGN_OR_RETURN(
           bool pass, EvaluateCondition(*q.where, ws.binding, row, db, options));
       if (pass) kept.push_back(std::move(row));
@@ -328,6 +351,7 @@ Result<ResultSet> Execute(const dvq::Query& query,
     GRED_ASSIGN_OR_RETURN(std::size_t bin_slot,
                           ws.binding.Resolve(q.bin->col));
     for (auto& row : ws.rows) {
+      GRED_CHARGE(guard, ChargeTicks(1));
       row[bin_slot] = BinValue(row[bin_slot], q.bin->unit);
     }
   }
@@ -387,6 +411,7 @@ Result<ResultSet> Execute(const dvq::Query& query,
     std::vector<Group> groups;
     std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
     for (const auto& row : ws.rows) {
+      GRED_CHARGE(guard, ChargeTicks(1));
       std::vector<Value> key;
       key.reserve(key_slots.size());
       for (std::size_t slot : key_slots) key.push_back(row[slot]);
@@ -399,6 +424,10 @@ Result<ResultSet> Execute(const dvq::Query& query,
         }
       }
       if (group == nullptr) {
+        // A new group materializes its key, accumulators and first row:
+        // high-cardinality group-bys are bounded by the row/memory
+        // budgets, not just the tick deadline.
+        GRED_CHARGE(guard, ChargeRows(1, key.size() + computed.size()));
         Group fresh;
         fresh.key = key;
         for (const dvq::SelectExpr& e : computed) {
@@ -440,6 +469,8 @@ Result<ResultSet> Execute(const dvq::Query& query,
     }
     out_rows.reserve(ws.rows.size());
     for (const auto& row : ws.rows) {
+      GRED_CHARGE(guard, ChargeTicks(1));
+      GRED_CHARGE(guard, ChargeRows(1, slots.size()));
       std::vector<Value> out;
       out.reserve(slots.size());
       for (std::size_t slot : slots) out.push_back(row[slot]);
@@ -447,8 +478,12 @@ Result<ResultSet> Execute(const dvq::Query& query,
     }
   }
 
-  // Order.
+  // Order. The comparator cannot propagate a Status, so the sort's work
+  // is charged up front (stable_sort is O(n log n); one tick per row is
+  // the deterministic lower bound and the inputs were already paid for
+  // row-by-row above).
   if (q.order_by.has_value()) {
+    GRED_CHARGE(guard, ChargeTicks(out_rows.size()));
     const std::size_t slot = *order_slot;
     const bool desc = q.order_by->descending;
     std::stable_sort(out_rows.begin(), out_rows.end(),
@@ -480,5 +515,7 @@ Result<ResultSet> Execute(const dvq::DVQ& query,
                           const ExecOptions& options) {
   return Execute(query.query, db, options);
 }
+
+#undef GRED_CHARGE
 
 }  // namespace gred::exec

@@ -6,6 +6,7 @@
 
 #include "dvq/ast.h"
 #include "storage/table.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 
 namespace gred::exec {
@@ -30,6 +31,16 @@ enum class JoinStrategy { kHashJoin, kNestedLoop };
 /// Execution options.
 struct ExecOptions {
   JoinStrategy join_strategy = JoinStrategy::kHashJoin;
+  /// Optional resource guard (not owned; nullptr = unguarded, the
+  /// default — bit-identical to the pre-guard executor). When set, every
+  /// operator loop charges the context deterministically: one tick per
+  /// row visited, one row + its cells per row materialized, one join row
+  /// per join output row. The first charge over a limit aborts the query
+  /// with StatusCode::kResourceExhausted (or kCancelled after
+  /// ExecContext::RequestCancel()); no partial ResultSet escapes and
+  /// storage is never touched. Scalar subqueries share the same context,
+  /// so their work counts against the parent query's budgets.
+  ExecContext* context = nullptr;
 };
 
 /// Evaluates the relational core of a DVQ against a database instance.

@@ -103,7 +103,28 @@ Gred::StageStats Gred::stage_stats() const {
   stats.translate_calls = translate_calls_.load(std::memory_order_relaxed);
   stats.retune_degraded = retune_degraded_.load(std::memory_order_relaxed);
   stats.debug_degraded = debug_degraded_.load(std::memory_order_relaxed);
+  stats.retune_budget_trips =
+      retune_budget_trips_.load(std::memory_order_relaxed);
+  stats.debug_budget_trips =
+      debug_budget_trips_.load(std::memory_order_relaxed);
   return stats;
+}
+
+/// Validates a stage's DVQ text under the configured per-stage budget.
+/// With unlimited stage_limits this is a plain Parse — bit-identical to
+/// the pre-guard pipeline. `budget_tripped` (optional) reports whether
+/// the parse failed specifically because the budget ran out.
+Result<dvq::DVQ> Gred::ParseWithinStageBudget(const std::string& text,
+                                              bool* budget_tripped) const {
+  if (budget_tripped != nullptr) *budget_tripped = false;
+  if (config_.stage_limits.Unlimited()) return dvq::Parse(text);
+  ExecContext guard(config_.stage_limits);
+  Result<dvq::DVQ> parsed = dvq::Parse(text, &guard);
+  if (!parsed.ok() && parsed.status().IsResourceExhausted() &&
+      budget_tripped != nullptr) {
+    *budget_tripped = true;
+  }
+  return parsed;
 }
 
 Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
@@ -185,11 +206,17 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
     if (retune_completion.ok()) {
       dvq_rtn = llm::ExtractDvqText(retune_completion.value());
     }
-    // Accept the stage's output only when it is a parseable DVQ: a
-    // truncated/corrupted completion must not replace a healthy DVQ.
-    if (dvq_rtn.empty() || !dvq::Parse(dvq_rtn).ok()) {
+    // Accept the stage's output only when it is a parseable DVQ within
+    // the per-stage budget: a truncated/corrupted/oversized completion
+    // must not replace a healthy DVQ.
+    bool budget_tripped = false;
+    if (dvq_rtn.empty() ||
+        !ParseWithinStageBudget(dvq_rtn, &budget_tripped).ok()) {
       trace.rtn_degraded = true;
       retune_degraded_.fetch_add(1, std::memory_order_relaxed);
+      if (budget_tripped) {
+        retune_budget_trips_.fetch_add(1, std::memory_order_relaxed);
+      }
     } else {
       trace.dvq_rtn = dvq_rtn;
       current = std::move(dvq_rtn);
@@ -220,8 +247,13 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
       if (debug_completion.ok()) {
         dvq_dbg = llm::ExtractDvqText(debug_completion.value());
       }
-      if (dvq_dbg.empty() || !dvq::Parse(dvq_dbg).ok()) {
+      bool budget_tripped = false;
+      if (dvq_dbg.empty() ||
+          !ParseWithinStageBudget(dvq_dbg, &budget_tripped).ok()) {
         degraded = true;
+        if (budget_tripped) {
+          debug_budget_trips_.fetch_add(1, std::memory_order_relaxed);
+        }
       } else {
         trace.dvq_dbg = dvq_dbg;
         current = std::move(dvq_dbg);
@@ -234,7 +266,10 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
   }
 
   commit_trace();
-  return dvq::Parse(current);
+  // The final parse is the generator-or-survivor DVQ: there is nothing
+  // to fall back to, so a tripped budget here surfaces as a typed
+  // kResourceExhausted (the generator-failure convention).
+  return ParseWithinStageBudget(current, nullptr);
 }
 
 }  // namespace gred::core

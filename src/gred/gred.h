@@ -14,6 +14,7 @@
 #include "llm/chat_model.h"
 #include "models/model.h"
 #include "models/retrieval.h"
+#include "util/resource_guard.h"
 #include "util/timing.h"
 
 namespace gred::core {
@@ -36,6 +37,14 @@ struct GredConfig {
   bool ascending_prompt_order = true;
   /// Optional display-name suffix (" w/o RTN", ...).
   std::string name_suffix;
+  /// Per-stage resource limits (util/resource_guard.h) applied when a
+  /// stage's completion is validated: lex + parse work is charged in
+  /// accounted ticks (one per token), so an oversized or pathologically
+  /// nested LLM completion trips the budget deterministically. A tripped
+  /// retuner/debugger stage degrades to the previous stage's DVQ exactly
+  /// like an LLM failure (DESIGN.md §8); a tripped generator — which has
+  /// no fallback — surfaces kResourceExhausted. Default: unlimited.
+  GuardLimits stage_limits;
 };
 
 /// Generates the natural-language annotation text for one database by
@@ -107,6 +116,11 @@ class Gred : public models::TextToVisModel {
     /// previous stage's DVQ (zero unless the LLM actually fails).
     std::uint64_t retune_degraded = 0;
     std::uint64_t debug_degraded = 0;
+    /// Subset of the degradations above caused specifically by the
+    /// per-stage resource budget (GredConfig::stage_limits) tripping
+    /// while validating the stage's completion.
+    std::uint64_t retune_budget_trips = 0;
+    std::uint64_t debug_budget_trips = 0;
   };
   StageStats stage_stats() const;
 
@@ -120,6 +134,12 @@ class Gred : public models::TextToVisModel {
   const GredConfig& config() const { return config_; }
 
  private:
+  /// Parses stage output under config_.stage_limits (one accounted tick
+  /// per token); see GredConfig::stage_limits for the degradation
+  /// contract. Unlimited limits parse unguarded.
+  Result<dvq::DVQ> ParseWithinStageBudget(const std::string& text,
+                                          bool* budget_tripped) const;
+
   /// Annotation collection, keyed by schema fingerprint (clean and
   /// perturbed corpora share database names but not schemas). Failures
   /// are cached alongside successes: a schema's annotation outcome is
@@ -149,6 +169,8 @@ class Gred : public models::TextToVisModel {
   mutable std::atomic<std::uint64_t> translate_calls_{0};
   mutable std::atomic<std::uint64_t> retune_degraded_{0};
   mutable std::atomic<std::uint64_t> debug_degraded_{0};
+  mutable std::atomic<std::uint64_t> retune_budget_trips_{0};
+  mutable std::atomic<std::uint64_t> debug_budget_trips_{0};
 };
 
 }  // namespace gred::core

@@ -1,0 +1,73 @@
+#include "util/resource_guard.h"
+
+#include "util/strings.h"
+
+namespace gred {
+
+Status ExecContext::Gate() const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("execution cancelled");
+  }
+  if (tripped_.load(std::memory_order_relaxed)) {
+    return Status::ResourceExhausted("resource budget already exhausted");
+  }
+  return Status::OK();
+}
+
+Status ExecContext::Trip(const char* what, std::uint64_t used,
+                         std::uint64_t limit) {
+  tripped_.store(true, std::memory_order_relaxed);
+  return Status::ResourceExhausted(strings::Format(
+      "%s budget exhausted (%llu used, limit %llu)", what,
+      static_cast<unsigned long long>(used),
+      static_cast<unsigned long long>(limit)));
+}
+
+Status ExecContext::ChargeTicks(std::uint64_t n) {
+  GRED_RETURN_IF_ERROR(Gate());
+  std::uint64_t used =
+      ticks_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.deadline_ticks != 0 && used > limits_.deadline_ticks) {
+    return Trip("deadline (tick)", used, limits_.deadline_ticks);
+  }
+  return Status::OK();
+}
+
+Status ExecContext::ChargeRows(std::uint64_t n, std::uint64_t cells) {
+  GRED_RETURN_IF_ERROR(Gate());
+  std::uint64_t used_rows = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+  std::uint64_t charged_bytes = n * cells * kAccountedBytesPerCell;
+  std::uint64_t used_bytes =
+      bytes_.fetch_add(charged_bytes, std::memory_order_relaxed) +
+      charged_bytes;
+  if (limits_.row_budget != 0 && used_rows > limits_.row_budget) {
+    return Trip("row", used_rows, limits_.row_budget);
+  }
+  if (limits_.memory_budget != 0 && used_bytes > limits_.memory_budget) {
+    return Trip("memory", used_bytes, limits_.memory_budget);
+  }
+  return Status::OK();
+}
+
+Status ExecContext::ChargeJoinRows(std::uint64_t n) {
+  GRED_RETURN_IF_ERROR(Gate());
+  std::uint64_t used =
+      join_rows_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.join_budget != 0 && used > limits_.join_budget) {
+    return Trip("join cardinality", used, limits_.join_budget);
+  }
+  return Status::OK();
+}
+
+ExecContext::Usage ExecContext::usage() const {
+  Usage u;
+  u.ticks = ticks_.load(std::memory_order_relaxed);
+  u.rows = rows_.load(std::memory_order_relaxed);
+  u.bytes = bytes_.load(std::memory_order_relaxed);
+  u.join_rows = join_rows_.load(std::memory_order_relaxed);
+  u.exhausted = tripped_.load(std::memory_order_relaxed);
+  u.cancelled = cancelled_.load(std::memory_order_relaxed);
+  return u;
+}
+
+}  // namespace gred

@@ -1,0 +1,120 @@
+#ifndef GREDVIS_UTIL_RESOURCE_GUARD_H_
+#define GREDVIS_UTIL_RESOURCE_GUARD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace gred {
+
+/// Deterministic resource limits for one guarded unit of work (a query
+/// execution, a pipeline stage, one evaluated example). Every field uses
+/// 0 to mean "unlimited", so a default-constructed GuardLimits guards
+/// nothing.
+///
+/// The deadline is expressed in *accounted ticks*, not wall clock,
+/// following the fault-model convention of DESIGN.md §8: operators
+/// charge one tick per unit of work (row visited, token parsed), so a
+/// run trips at exactly the same point on every machine, thread count
+/// and repeat. Memory is likewise an accounting model (a fixed cost per
+/// materialized cell, see kAccountedBytesPerCell), not heap telemetry —
+/// real allocator numbers would be platform-dependent and racy.
+struct GuardLimits {
+  /// Accounted work units before the deadline trips.
+  std::uint64_t deadline_ticks = 0;
+  /// Rows a query may materialize across all operators (scan output,
+  /// join output, group/projection output).
+  std::uint64_t row_budget = 0;
+  /// Accounted bytes of materialized state (kAccountedBytesPerCell per
+  /// cell of every materialized row).
+  std::uint64_t memory_budget = 0;
+  /// Join output cardinality (rows emitted by join operators only);
+  /// catches pathological many-to-many key skew before the row budget.
+  std::uint64_t join_budget = 0;
+
+  /// True when every field is 0, i.e. the limits guard nothing.
+  bool Unlimited() const {
+    return deadline_ticks == 0 && row_budget == 0 && memory_budget == 0 &&
+           join_budget == 0;
+  }
+};
+
+/// Deterministic per-cell cost of the memory accounting model. A row of
+/// N cells charges N * kAccountedBytesPerCell bytes regardless of the
+/// actual payload, so budgets trip at identical points on every
+/// platform.
+inline constexpr std::uint64_t kAccountedBytesPerCell = 16;
+
+/// Cooperative execution context: budgets plus a cancellation token.
+///
+/// One ExecContext guards one logical unit of work. Loops in guarded
+/// code charge the context as they do work (`ChargeTicks`, `ChargeRows`,
+/// ...); the first charge that crosses a limit returns
+/// `StatusCode::kResourceExhausted` and latches the context — every
+/// subsequent charge fails too, so an operator that forgets one check
+/// still stops at the next. `RequestCancel()` (from any thread) makes
+/// the next charge return `StatusCode::kCancelled`.
+///
+/// Charging with no limits set never fails (cancellation aside) and
+/// never alters results: a guarded run with unlimited budgets is
+/// bit-identical to an unguarded one (asserted by the metamorphic
+/// suite). Thread-safe: counters are relaxed atomics; totals are exact,
+/// and the latch guarantees at-most-once trip accounting per context.
+class ExecContext {
+ public:
+  /// Unguarded context: all charges succeed (until cancelled).
+  ExecContext() = default;
+  explicit ExecContext(GuardLimits limits) : limits_(limits) {}
+
+  const GuardLimits& limits() const { return limits_; }
+
+  /// Charges `n` accounted work units against the deadline.
+  Status ChargeTicks(std::uint64_t n);
+  /// Charges `n` materialized rows of `cells` cells each (rows against
+  /// the row budget, cells against the memory model).
+  Status ChargeRows(std::uint64_t n, std::uint64_t cells);
+  /// Charges `n` join output rows (join budget only; callers charge the
+  /// materialized rows separately via ChargeRows).
+  Status ChargeJoinRows(std::uint64_t n);
+
+  /// Requests cooperative cancellation; the next charge on any thread
+  /// fails with kCancelled. Idempotent.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once any charge has tripped a limit (sticky).
+  bool exhausted() const { return tripped_.load(std::memory_order_relaxed); }
+
+  /// Usage counters (exact totals; snapshot may mix instants under
+  /// concurrent charging, which is fine for reporting).
+  struct Usage {
+    std::uint64_t ticks = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t join_rows = 0;
+    bool exhausted = false;
+    bool cancelled = false;
+  };
+  Usage usage() const;
+
+ private:
+  /// Pre-charge gate: latched exhaustion or cancellation.
+  Status Gate() const;
+  /// Latches the context and builds the typed error for `what`.
+  Status Trip(const char* what, std::uint64_t used, std::uint64_t limit);
+
+  GuardLimits limits_;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> rows_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> join_rows_{0};
+  std::atomic<bool> tripped_{false};
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace gred
+
+#endif  // GREDVIS_UTIL_RESOURCE_GUARD_H_

@@ -23,6 +23,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

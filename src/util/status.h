@@ -23,6 +23,14 @@ enum class StatusCode {
   /// fault): the operation may succeed if retried. The only code for
   /// which `Status::IsTransient()` is true.
   kUnavailable,
+  /// A resource budget (accounted-tick deadline, row/memory/join budget)
+  /// was exhausted mid-operation. Deterministic and permanent for the
+  /// given limits: retrying with the same budget fails at the same
+  /// point. See util/resource_guard.h.
+  kResourceExhausted,
+  /// The operation observed a cooperative cancellation request and
+  /// stopped early. See ExecContext::RequestCancel().
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "ParseError").
@@ -64,11 +72,21 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   /// True when the failure is worth retrying (see StatusCode::kUnavailable).
   /// Permanent errors (parse failures, invalid arguments, ...) are not.
   bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
+  /// True when a resource guard tripped (see util/resource_guard.h).
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -165,6 +165,59 @@ TEST(Parser, ScalarSubquery) {
   EXPECT_EQ(q.query.where->predicates[0].subquery->from_table, "p");
 }
 
+/// A DVQ whose WHERE clause nests `levels` scalar subqueries.
+std::string NestedSubqueries(int levels) {
+  std::string inner = "SELECT id FROM p";
+  for (int i = 1; i < levels; ++i) {
+    inner = "SELECT id FROM p WHERE fk = ( " + inner + " )";
+  }
+  return "Visualize BAR SELECT a , b FROM t WHERE fk = ( " + inner + " )";
+}
+
+TEST(Parser, SubqueryNestingAtTheDepthLimitParses) {
+  Result<DVQ> at_limit = Parse(NestedSubqueries(kMaxParseDepth));
+  EXPECT_TRUE(at_limit.ok()) << at_limit.status().ToString();
+}
+
+TEST(Parser, SubqueryNestingPastTheDepthLimitIsAParseError) {
+  Result<DVQ> over_limit = Parse(NestedSubqueries(kMaxParseDepth + 1));
+  ASSERT_FALSE(over_limit.ok());
+  EXPECT_EQ(over_limit.status().code(), StatusCode::kParseError);
+}
+
+TEST(Lexer, InputAtTheSizeCapLexes) {
+  // Pad a valid query to exactly the cap with trailing spaces.
+  std::string input = "Visualize BAR SELECT a , b FROM t";
+  input.resize(kMaxLexInputBytes, ' ');
+  Result<std::vector<Token>> tokens = Lex(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+}
+
+TEST(Lexer, InputPastTheSizeCapIsInvalidArgument) {
+  std::string input(kMaxLexInputBytes + 1, ' ');
+  Result<std::vector<Token>> tokens = Lex(input);
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+  // Parse goes through Lex, so the cap bounds it too.
+  EXPECT_EQ(Parse(input).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Parser, GuardedParseChargesOneTickPerToken) {
+  const std::string text = "Visualize BAR SELECT a , b FROM t";
+  Result<std::vector<Token>> tokens = Lex(text);
+  ASSERT_TRUE(tokens.ok());
+  ExecContext counting;
+  ASSERT_TRUE(Parse(text, &counting).ok());
+  EXPECT_EQ(counting.usage().ticks, tokens.value().size());
+  // A budget smaller than the token count trips before parsing.
+  GuardLimits limits;
+  limits.deadline_ticks = tokens.value().size() - 1;
+  ExecContext tight(limits);
+  Result<DVQ> starved = Parse(text, &tight);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kResourceExhausted);
+}
+
 TEST(Parser, ErrorsOnGarbage) {
   EXPECT_FALSE(Parse("SELECT a FROM t").ok());  // missing Visualize
   EXPECT_FALSE(Parse("Visualize TRIANGLE SELECT a , b FROM t").ok());
