@@ -40,6 +40,17 @@ double EnvRateOrDie(const char* name, double fallback) {
   return parsed;
 }
 
+bool EnvFlagOrDie(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  std::string v(value);
+  if (v == "0") return false;
+  if (v == "1") return true;
+  std::fprintf(stderr, "[bench] invalid %s=\"%s\": expected 0 or 1\n", name,
+               value);
+  std::exit(2);
+}
+
 ResilientStack MakeResilientStack(const llm::ChatModel* base,
                                   double fault_rate, std::size_t retries) {
   ResilientStack stack;
@@ -74,6 +85,7 @@ BenchContext::BenchContext() {
   retries_ = EnvSizeOrDie("GRED_BENCH_RETRIES", 3);
   guard_limits_.deadline_ticks = EnvSizeOrDie("GRED_BENCH_DEADLINE", 0);
   guard_limits_.row_budget = EnvSizeOrDie("GRED_BENCH_ROW_BUDGET", 0);
+  lint_ = EnvFlagOrDie("GRED_BENCH_LINT", false);
   stack_ = MakeResilientStack(&llm_, fault_rate_, retries_);
   std::fprintf(stderr,
                "[bench] building suite: %zu databases, %zu train, %zu test "
@@ -92,6 +104,11 @@ BenchContext::BenchContext() {
                  static_cast<unsigned long long>(guard_limits_.deadline_ticks),
                  static_cast<unsigned long long>(guard_limits_.row_budget));
   }
+  if (lint_) {
+    std::fprintf(stderr,
+                 "[bench] static analysis gate on: GRED rejects error-level "
+                 "candidates; eval tallies diagnostics\n");
+  }
   suite_ = dataset::BuildBenchmarkSuite(options);
   corpus_.train = &suite_.train;
   corpus_.databases = &suite_.databases;
@@ -101,6 +118,7 @@ BenchContext::BenchContext() {
   rgvisnet_ = std::make_unique<models::RGVisNet>(corpus_);
   core::GredConfig gred_config;
   gred_config.stage_limits = guard_limits_;
+  gred_config.enable_lint = lint_;
   gred_ = std::make_unique<core::Gred>(corpus_, stack_.active,
                                        std::move(gred_config));
   std::fprintf(stderr, "[bench] ready\n");
@@ -120,6 +138,7 @@ std::unique_ptr<core::Gred> BenchContext::MakeGred(
   // Variants inherit the context-wide guard unless the caller set an
   // explicit per-stage budget; with the env knobs unset this is a no-op.
   if (config.stage_limits.Unlimited()) config.stage_limits = guard_limits_;
+  if (lint_) config.enable_lint = true;
   return std::make_unique<core::Gred>(corpus_, chat, std::move(config));
 }
 
@@ -156,6 +175,7 @@ std::vector<eval::EvalResult> RunModels(
     // re-read here so RunModels works without a BenchContext too).
     options.guard.deadline_ticks = EnvSizeOrDie("GRED_BENCH_DEADLINE", 0);
     options.guard.row_budget = EnvSizeOrDie("GRED_BENCH_ROW_BUDGET", 0);
+    options.lint = EnvFlagOrDie("GRED_BENCH_LINT", false);
     auto start = std::chrono::steady_clock::now();
     results.push_back(eval::Evaluate(*model, test, databases, test_set_name,
                                      nullptr, options));
@@ -170,6 +190,15 @@ std::vector<eval::EvalResult> RunModels(
       std::fprintf(stderr,
                    "[bench]   resource guard tripped on %zu examples\n",
                    results.back().counts.resource_exhausted);
+    }
+    if (options.lint && !results.back().counts.diagnostics.empty()) {
+      std::string per_code;
+      for (const auto& [code, count] : results.back().counts.diagnostics) {
+        if (!per_code.empty()) per_code += ", ";
+        per_code += code + " x" + std::to_string(count);
+      }
+      std::fprintf(stderr, "[bench]   lint diagnostics: %s\n",
+                   per_code.c_str());
     }
     if (gred != nullptr) {
       core::Gred::StageStats after = gred->stage_stats();
@@ -200,6 +229,15 @@ std::vector<eval::EvalResult> RunModels(
                      "debugger %llu\n",
                      static_cast<unsigned long long>(rtn_budget),
                      static_cast<unsigned long long>(dbg_budget));
+      }
+      std::uint64_t rtn_lint = after.retune_lint_trips - before.retune_lint_trips;
+      std::uint64_t dbg_lint = after.debug_lint_trips - before.debug_lint_trips;
+      if (rtn_lint != 0 || dbg_lint != 0) {
+        std::fprintf(stderr,
+                     "[bench]   GRED lint rejections: retuner %llu, "
+                     "debugger %llu\n",
+                     static_cast<unsigned long long>(rtn_lint),
+                     static_cast<unsigned long long>(dbg_lint));
       }
     }
   }

@@ -29,6 +29,11 @@ std::size_t EnvSizeOrDie(const char* name, std::size_t fallback);
 /// not parse as a number in range exits(2).
 double EnvRateOrDie(const char* name, double fallback);
 
+/// Reads a boolean environment override: unset returns `fallback`, "0"
+/// is false, "1" is true, anything else prints a message and exits(2).
+/// (EnvSizeOrDie cannot express "0 = off", hence the separate helper.)
+bool EnvFlagOrDie(const char* name, bool fallback);
+
 /// Builds the fault/retry decorator stack around `base` from the given
 /// knobs. With `fault_rate == 0` the stack is empty and `base` itself is
 /// the active model (so fault-free runs are bit-identical to a run with
@@ -58,7 +63,11 @@ ResilientStack MakeResilientStack(const llm::ChatModel* base,
 ///   GRED_BENCH_DEADLINE (per-example accounted-tick deadline) and
 ///   GRED_BENCH_ROW_BUDGET (per-example materialized-row budget), both
 ///   default unset = unguarded — when set they arm the eval watchdog
-///   and GRED's per-stage budgets (util/resource_guard.h).
+///   and GRED's per-stage budgets (util/resource_guard.h);
+///   GRED_BENCH_LINT=1 turns on the static analysis gate (DESIGN.md
+///   §12): GRED rejects stage candidates carrying error-level
+///   diagnostics, and eval tallies per-code diagnostics over every
+///   parsed prediction (reported on stderr; stdout tables unchanged).
 class BenchContext {
  public:
   BenchContext();
@@ -76,6 +85,9 @@ class BenchContext {
   /// Per-example resource limits from GRED_BENCH_DEADLINE /
   /// GRED_BENCH_ROW_BUDGET (all-zero when neither is set).
   const GuardLimits& guard_limits() const { return guard_limits_; }
+
+  /// Whether GRED_BENCH_LINT armed the static analysis gate.
+  bool lint() const { return lint_; }
 
   /// The three baselines, in paper order.
   std::vector<const models::TextToVisModel*> Baselines() const;
@@ -96,6 +108,7 @@ class BenchContext {
   llm::SimulatedChatModel llm_;
   double fault_rate_ = 0.0;
   std::size_t retries_ = 3;
+  bool lint_ = false;
   GuardLimits guard_limits_;
   ResilientStack stack_;
   models::TrainingCorpus corpus_;

@@ -1,0 +1,181 @@
+// Static-analysis sweep: what the dvqlint gate (DESIGN.md §12) buys the
+// pipeline before any query runs.
+//
+// Part 1 — pre-emption. Each target DVQ of nvBench-Rob_nlq is turned
+// into a deterministic "always false" mutant (a contradictory predicate
+// pair appended to its WHERE clause). Executing such a mutant still
+// scans its whole input, so under a tight tick deadline it trips the
+// executor's budget — while the analyzer proves it broken (error-level
+// DVQ010) without touching a row. The table counts, per deadline, how
+// many executor-budget trips the static gate pre-empts; the run FAILS
+// (nonzero exit) unless at least one trip is pre-empted.
+//
+// Part 2 — pipeline effect. GRED is evaluated with the lint gate off
+// and on (same suite, same LLM); the lint-on run tallies per-code
+// diagnostics over the predictions (eval::EvalOptions::lint) and
+// reports how many stage candidates the gate rejected.
+//
+// All tables go to stdout; this binary is new with the lint gate, so it
+// has no pre-lint baseline to stay byte-identical to.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "bench/common.h"
+#include "exec/executor.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace gred;
+
+/// Appends `col = "…" AND col != "…"` to the query's WHERE clause: a
+/// contradiction on whatever column the query already selects, so the
+/// mutant stays schema-valid (only DVQ010 — and possibly a type-mismatch
+/// note — fires) yet can never produce a row.
+dvq::DVQ MakeAlwaysFalseMutant(const dvq::DVQ& original) {
+  dvq::DVQ mutant = original;
+  dvq::ColumnRef col;
+  for (const dvq::SelectExpr& e : original.query.select) {
+    if (e.col.column != "*") {
+      col = e.col;
+      break;
+    }
+  }
+  if (col.column.empty()) return mutant;  // nothing to contradict on
+  dvq::Predicate eq;
+  eq.col = col;
+  eq.op = dvq::CompareOp::kEq;
+  eq.literal = dvq::Literal::Str("__lint_sweep__");
+  dvq::Predicate ne = eq;
+  ne.op = dvq::CompareOp::kNe;
+  if (!mutant.query.where.has_value()) {
+    mutant.query.where.emplace();
+  } else {
+    mutant.query.where->connectors.push_back(dvq::LogicalOp::kAnd);
+  }
+  mutant.query.where->predicates.push_back(eq);
+  mutant.query.where->connectors.push_back(dvq::LogicalOp::kAnd);
+  mutant.query.where->predicates.push_back(ne);
+  return mutant;
+}
+
+const dataset::GeneratedDatabase* FindDb(
+    const std::vector<dataset::GeneratedDatabase>& databases,
+    const std::string& name) {
+  for (const dataset::GeneratedDatabase& db : databases) {
+    if (strings::EqualsIgnoreCase(db.data.name(), name)) return &db;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchContext context;
+  const std::vector<dataset::Example>& test = context.suite().test_nlq;
+  const std::vector<dataset::GeneratedDatabase>& databases =
+      context.suite().databases;
+
+  // --- Part 1: budget trips pre-empted by the static gate ---------------
+  const std::vector<std::uint64_t> deadlines = {200, 1'000, 5'000};
+  TablePrinter preempt_table({"Deadline (ticks)", "Mutants", "Lint errors",
+                              "Budget trips", "Pre-empted"});
+  std::size_t total_preempted = 0;
+  for (std::uint64_t deadline : deadlines) {
+    std::size_t mutants = 0, lint_errors = 0, trips = 0, preempted = 0;
+    for (const dataset::Example& example : test) {
+      const dataset::GeneratedDatabase* db = FindDb(databases, example.db_name);
+      if (db == nullptr) continue;
+      dvq::DVQ mutant = MakeAlwaysFalseMutant(example.dvq);
+      if (!mutant.query.where.has_value()) continue;
+      ++mutants;
+      analysis::DvqAnalyzer analyzer(&db->data.db_schema());
+      bool flagged = analysis::HasErrors(analyzer.Analyze(mutant));
+      if (flagged) ++lint_errors;
+      GuardLimits limits;
+      limits.deadline_ticks = deadline;
+      ExecContext guard(limits);
+      exec::ExecOptions exec_options;
+      exec_options.context = &guard;
+      Result<exec::ResultSet> run = exec::Execute(mutant, db->data,
+                                                  exec_options);
+      bool tripped = !run.ok() && run.status().IsResourceExhausted();
+      if (tripped) ++trips;
+      // A pre-empted trip: the executor would burn its whole budget on
+      // this query, but the analyzer rejects it before a single row.
+      if (tripped && flagged) ++preempted;
+    }
+    total_preempted += preempted;
+    preempt_table.AddRow({std::to_string(deadline), std::to_string(mutants),
+                          std::to_string(lint_errors), std::to_string(trips),
+                          std::to_string(preempted)});
+  }
+  std::printf("\nLint sweep: executor-budget trips pre-empted by the static "
+              "gate (%zu examples)\n",
+              test.size());
+  std::printf("%s", preempt_table.ToString().c_str());
+
+  // --- Part 2: GRED with the gate off vs on ------------------------------
+  // The off variant is built directly (not via MakeGred): BenchContext
+  // force-enables the gate on every variant when GRED_BENCH_LINT=1 is
+  // in the environment, and this comparison needs a genuinely-off side.
+  core::GredConfig off_config;
+  off_config.stage_limits = context.guard_limits();
+  auto gred_off = std::make_unique<core::Gred>(
+      context.corpus(), context.chat_model(), std::move(off_config));
+  core::GredConfig lint_config;
+  lint_config.enable_lint = true;
+  lint_config.name_suffix = " +lint";
+  std::unique_ptr<core::Gred> gred_on = context.MakeGred(lint_config);
+  (void)gred_off->PrepareAnnotations(databases);
+  (void)gred_on->PrepareAnnotations(databases);
+
+  TablePrinter gred_table({"Pipeline", "Acc.", "Exec. Acc.", "Errors",
+                           "Lint rejections", "Wall (s)"});
+  eval::EvalResult lint_on_result;
+  for (const core::Gred* gred : {gred_off.get(), gred_on.get()}) {
+    const bool lint = gred->config().enable_lint;
+    eval::EvalOptions options;
+    options.lint = lint;
+    core::Gred::StageStats before = gred->stage_stats();
+    auto start = std::chrono::steady_clock::now();
+    eval::EvalResult result = eval::Evaluate(*gred, test, databases,
+                                             "nvBench-Rob_nlq", nullptr,
+                                             options);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    core::Gred::StageStats after = gred->stage_stats();
+    std::uint64_t rejections =
+        (after.retune_lint_trips - before.retune_lint_trips) +
+        (after.debug_lint_trips - before.debug_lint_trips);
+    gred_table.AddRow({gred->name(), FormatPercent(result.counts.OverallAcc()),
+                       FormatPercent(result.counts.ExecutionAcc()),
+                       std::to_string(result.counts.errors),
+                       std::to_string(rejections),
+                       strings::Format("%.2f", wall)});
+    if (lint) lint_on_result = result;
+  }
+  std::printf("\nGRED with the static analysis gate off vs on\n");
+  std::printf("%s", gred_table.ToString().c_str());
+
+  if (!lint_on_result.counts.diagnostics.empty()) {
+    TablePrinter diag_table({"Code", "Findings"});
+    for (const auto& [code, count] : lint_on_result.counts.diagnostics) {
+      diag_table.AddRow({code, std::to_string(count)});
+    }
+    std::printf("\nPer-code diagnostics over GRED +lint predictions\n");
+    std::printf("%s", diag_table.ToString().c_str());
+  }
+
+  std::printf("\nexecutor-budget trips pre-empted by error-level "
+              "diagnostics: %zu (%s)\n",
+              total_preempted, total_preempted > 0 ? "ok" : "FAILED");
+  return total_preempted > 0 ? 0 : 1;
+}

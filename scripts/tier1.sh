@@ -15,6 +15,19 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j"$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j"$JOBS"
 
+echo "== tier-1: static lint (clang-tidy, skipped when not installed) =="
+"$ROOT/scripts/lint.sh"
+
+echo "== tier-1: dvqlint smoke over examples/dvqs =="
+# The committed clean corpus must lint clean; the broken corpus must be
+# rejected (nonzero exit) with error-level diagnostics.
+"$ROOT/build/tools/dvqlint" hr_1 "$ROOT/examples/dvqs/clean.dvq"
+if "$ROOT/build/tools/dvqlint" hr_1 "$ROOT/examples/dvqs/broken.dvq" \
+    >/dev/null 2>&1; then
+  echo "tier-1: FAILED — dvqlint accepted examples/dvqs/broken.dvq" >&2
+  exit 1
+fi
+
 echo "== tier-1: micro-benchmark smoke (Release retrieval kernel) =="
 # Fast pass over the retrieval benchmarks: keeps the benchmark path and
 # the bench-report tooling building and running. Writes to build/ so a
@@ -60,7 +73,8 @@ if ! cmake -B "$ROOT/build-asan" -S "$ROOT" \
   exit 1
 fi
 cmake --build "$ROOT/build-asan" -j"$JOBS" \
-  --target fuzz_test dvq_test resource_guard_test metamorphic_test
+  --target fuzz_test dvq_test resource_guard_test metamorphic_test \
+           analysis_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/fuzz_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
@@ -69,5 +83,7 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/resource_guard_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/metamorphic_test"
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/analysis_test"
 
 echo "== tier-1: OK =="

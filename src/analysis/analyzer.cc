@@ -1,0 +1,796 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "dvq/normalize.h"
+#include "nl/text.h"
+#include "util/strings.h"
+
+namespace gred::analysis {
+
+namespace {
+
+using dvq::AggFunc;
+using dvq::ChartType;
+using dvq::ColumnRef;
+using dvq::CompareOp;
+using dvq::Literal;
+using dvq::Predicate;
+using dvq::Query;
+using dvq::SelectExpr;
+using schema::Column;
+using schema::ColumnType;
+using schema::TableDef;
+
+/// Coarse type classes the checks reason in. Int and real are one
+/// numeric class (the executor compares them by value).
+enum class TypeClass { kNumeric, kText, kTemporal, kBool };
+
+TypeClass ClassOf(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+    case ColumnType::kReal:
+      return TypeClass::kNumeric;
+    case ColumnType::kText:
+      return TypeClass::kText;
+    case ColumnType::kDate:
+      return TypeClass::kTemporal;
+    case ColumnType::kBool:
+      return TypeClass::kBool;
+  }
+  return TypeClass::kText;
+}
+
+const char* TypeClassName(TypeClass c) {
+  switch (c) {
+    case TypeClass::kNumeric:
+      return "numeric";
+    case TypeClass::kText:
+      return "text";
+    case TypeClass::kTemporal:
+      return "temporal";
+    case TypeClass::kBool:
+      return "boolean";
+  }
+  return "text";
+}
+
+/// True when the string literal would coerce to a number (the executor
+/// compares such values numerically, so they are not a type mismatch).
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i >= s.size()) return false;
+  bool dot = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '.' && !dot) {
+      dot = true;
+      continue;
+    }
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+double NumericValue(const Literal& lit) {
+  return lit.kind == Literal::Kind::kInt
+             ? static_cast<double>(lit.int_value)
+             : lit.real_value;
+}
+
+/// A column reference resolved against the query's scope. `column` stays
+/// null for the star target and for unresolved references.
+struct Resolved {
+  const TableDef* table = nullptr;
+  const Column* column = nullptr;
+};
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "note";
+}
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kUnknownTable:
+      return "DVQ001";
+    case Code::kUnknownColumn:
+      return "DVQ002";
+    case Code::kAggTypeMismatch:
+      return "DVQ003";
+    case Code::kAggStarMisuse:
+      return "DVQ004";
+    case Code::kGroupByInconsistency:
+      return "DVQ005";
+    case Code::kBinNonTemporal:
+      return "DVQ006";
+    case Code::kChartAxisMismatch:
+      return "DVQ007";
+    case Code::kJoinNotForeignKey:
+      return "DVQ008";
+    case Code::kJoinTypeMismatch:
+      return "DVQ009";
+    case Code::kAlwaysFalsePredicate:
+      return "DVQ010";
+    case Code::kComparisonTypeMismatch:
+      return "DVQ011";
+  }
+  return "DVQ000";
+}
+
+std::vector<Code> AllCodes() {
+  return {Code::kUnknownTable,           Code::kUnknownColumn,
+          Code::kAggTypeMismatch,        Code::kAggStarMisuse,
+          Code::kGroupByInconsistency,   Code::kBinNonTemporal,
+          Code::kChartAxisMismatch,      Code::kJoinNotForeignKey,
+          Code::kJoinTypeMismatch,       Code::kAlwaysFalsePredicate,
+          Code::kComparisonTypeMismatch};
+}
+
+std::string Location::ToString() const {
+  const char* name = "chart";
+  switch (clause) {
+    case Clause::kChart:
+      name = "chart";
+      break;
+    case Clause::kSelect:
+      name = "select";
+      break;
+    case Clause::kFrom:
+      name = "from";
+      break;
+    case Clause::kJoin:
+      name = "join";
+      break;
+    case Clause::kWhere:
+      name = "where";
+      break;
+    case Clause::kGroupBy:
+      name = "group_by";
+      break;
+    case Clause::kOrderBy:
+      name = "order_by";
+      break;
+    case Clause::kBin:
+      name = "bin";
+      break;
+  }
+  std::string out;
+  if (depth > 0) out += strings::Format("subquery(%zu).", depth);
+  out += strings::Format("%s[%zu]", name, index);
+  return out;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = strings::Format("%s: [%s] at %s: ", SeverityName(severity),
+                                    CodeName(code),
+                                    location.ToString().c_str());
+  out += message;
+  if (!fixit.empty()) out += " (fix-it: " + fixit + ")";
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity == Severity::kError;
+                     });
+}
+
+void CountByCode(const std::vector<Diagnostic>& diagnostics,
+                 std::map<std::string, std::size_t>* out) {
+  for (const Diagnostic& d : diagnostics) ++(*out)[CodeName(d.code)];
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+double NameSimilarity(const std::string& a, const std::string& b,
+                      const nl::Lexicon& lexicon) {
+  const double edit =
+      strings::EditSimilarity(strings::ToLower(a), strings::ToLower(b));
+  // Concept-aware overlap: identifier words map to their lexicon concept
+  // (fallback: their stem), so "wage" and "salary" coincide even though
+  // their spellings share nothing.
+  auto concepts = [&lexicon](const std::string& ident) {
+    std::set<std::string> ids;
+    for (const std::string& word : strings::SplitIdentifierWords(ident)) {
+      std::string id = lexicon.ConceptIdOf(word);
+      ids.insert(id.empty() ? nl::Stem(word) : std::move(id));
+    }
+    return ids;
+  };
+  std::set<std::string> ca = concepts(a);
+  std::set<std::string> cb = concepts(b);
+  std::size_t shared = 0;
+  for (const std::string& id : ca) shared += cb.count(id);
+  const std::size_t unioned = ca.size() + cb.size() - shared;
+  const double jaccard =
+      unioned == 0 ? 0.0
+                   : static_cast<double>(shared) /
+                         static_cast<double>(unioned);
+  return std::max(edit, jaccard);
+}
+
+std::string SuggestName(const std::string& name,
+                        const std::vector<std::string>& candidates,
+                        const nl::Lexicon& lexicon, double threshold) {
+  std::string best;
+  double best_score = threshold;
+  for (const std::string& candidate : candidates) {
+    if (strings::EqualsIgnoreCase(candidate, name)) continue;
+    const double score = NameSimilarity(name, candidate, lexicon);
+    if (score > best_score) {
+      best_score = score;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// The FROM/JOIN tables a query's column references resolve against.
+struct QueryScope {
+  std::vector<const TableDef*> tables;
+  /// True when some FROM/JOIN table failed to resolve; unknown-column
+  /// cascades are suppressed in that case.
+  bool incomplete = false;
+
+  const TableDef* Find(const std::string& name) const {
+    for (const TableDef* t : tables) {
+      if (strings::EqualsIgnoreCase(t->name(), name)) return t;
+    }
+    return nullptr;
+  }
+};
+
+/// Per-column predicate constraints accumulated over one AND-group.
+struct ColumnConstraints {
+  std::vector<Literal> eq;
+  std::vector<Literal> ne;
+  std::vector<std::vector<Literal>> in_lists;
+  std::vector<std::vector<Literal>> not_in_lists;
+  bool has_lower = false, lower_strict = false;
+  bool has_upper = false, upper_strict = false;
+  double lower = -std::numeric_limits<double>::infinity();
+  double upper = std::numeric_limits<double>::infinity();
+  bool is_null = false;
+  bool is_not_null = false;
+  std::size_t first_index = 0;  // predicate index of the first constraint
+};
+
+bool WithinBounds(const ColumnConstraints& c, double v) {
+  if (c.has_lower && (v < c.lower || (c.lower_strict && v == c.lower))) {
+    return false;
+  }
+  if (c.has_upper && (v > c.upper || (c.upper_strict && v == c.upper))) {
+    return false;
+  }
+  return true;
+}
+
+bool Contains(const std::vector<Literal>& list, const Literal& value) {
+  return std::any_of(list.begin(), list.end(), [&value](const Literal& l) {
+    return l.Equals(value);
+  });
+}
+
+/// True when the accumulated constraints cannot all hold at once.
+bool Contradictory(const ColumnConstraints& c) {
+  if (c.is_null &&
+      (c.is_not_null || !c.eq.empty() || !c.in_lists.empty() || c.has_lower ||
+       c.has_upper)) {
+    return true;
+  }
+  for (std::size_t i = 1; i < c.eq.size(); ++i) {
+    if (!c.eq[i].Equals(c.eq[0])) return true;
+  }
+  for (const Literal& e : c.eq) {
+    if (Contains(c.ne, e)) return true;
+    if (e.kind != Literal::Kind::kString && !WithinBounds(c, NumericValue(e))) {
+      return true;
+    }
+    for (const std::vector<Literal>& list : c.in_lists) {
+      if (!Contains(list, e)) return true;
+    }
+    for (const std::vector<Literal>& list : c.not_in_lists) {
+      if (Contains(list, e)) return true;
+    }
+  }
+  if (c.has_lower && c.has_upper &&
+      (c.lower > c.upper ||
+       (c.lower == c.upper && (c.lower_strict || c.upper_strict)))) {
+    return true;
+  }
+  // IN-lists whose every member misses the numeric bounds.
+  for (const std::vector<Literal>& list : c.in_lists) {
+    if (list.empty()) continue;
+    bool any_viable = false;
+    for (const Literal& l : list) {
+      if (l.kind == Literal::Kind::kString || WithinBounds(c, NumericValue(l))) {
+        any_viable = true;
+        break;
+      }
+    }
+    if (!any_viable) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DvqAnalyzer::DvqAnalyzer(const schema::Database* db, AnalyzerOptions options)
+    : db_(db),
+      lexicon_(options.lexicon != nullptr ? options.lexicon
+                                          : &nl::Lexicon::Default()),
+      options_(options) {}
+
+std::vector<Diagnostic> DvqAnalyzer::Analyze(const dvq::DVQ& dvq) const {
+  std::vector<Diagnostic> out;
+  // Aliases resolve first so every diagnostic names real tables — and so
+  // fix-it hints stay valid on the normalized form the debugger reprints.
+  AnalyzeQuery(dvq::ResolveAliases(dvq.query), dvq.chart, 0, &out);
+  return out;
+}
+
+void DvqAnalyzer::AnalyzeQuery(const Query& q, ChartType chart,
+                               std::size_t depth,
+                               std::vector<Diagnostic>* out) const {
+  auto emit = [out](Code code, Severity severity, Location location,
+                    std::string message, std::string fixit = "") {
+    Diagnostic d;
+    d.code = code;
+    d.severity = severity;
+    d.location = location;
+    d.message = std::move(message);
+    d.fixit = std::move(fixit);
+    out->push_back(std::move(d));
+  };
+
+  // --- Table resolution (DVQ001) -----------------------------------------
+  QueryScope scope;
+  std::vector<std::string> table_names;
+  table_names.reserve(db_->tables().size());
+  for (const TableDef& t : db_->tables()) table_names.push_back(t.name());
+  auto resolve_table = [&](const std::string& name, Location location) {
+    const TableDef* table = db_->FindTable(name);
+    if (table != nullptr) {
+      scope.tables.push_back(table);
+      return;
+    }
+    scope.incomplete = true;
+    std::string suggestion = SuggestName(name, table_names, *lexicon_,
+                                         options_.suggestion_threshold);
+    std::string message = "unknown table '" + name + "'";
+    if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+    emit(Code::kUnknownTable, Severity::kError, location, std::move(message),
+         suggestion);
+  };
+  resolve_table(q.from_table, {Clause::kFrom, 0, depth});
+  for (std::size_t i = 0; i < q.joins.size(); ++i) {
+    resolve_table(q.joins[i].table, {Clause::kJoin, i, depth});
+  }
+
+  // --- Column resolution (DVQ002) ----------------------------------------
+  std::vector<std::string> scope_columns;
+  for (const TableDef* t : scope.tables) {
+    for (const Column& c : t->columns()) scope_columns.push_back(c.name);
+  }
+  auto resolve_column = [&](const ColumnRef& ref,
+                            Location location) -> Resolved {
+    Resolved r;
+    if (ref.column == "*") return r;  // the star target has no type
+    if (!ref.table.empty()) {
+      r.table = scope.Find(ref.table);
+      if (r.table == nullptr) {
+        if (scope.incomplete) return r;  // suppress the cascade
+        emit(Code::kUnknownColumn, Severity::kError, location,
+             "'" + ref.ToString() + "' is qualified by '" + ref.table +
+                 "', which is not a FROM/JOIN table of this query");
+        return r;
+      }
+      r.column = r.table->FindColumn(ref.column);
+      if (r.column == nullptr) {
+        std::vector<std::string> candidates;
+        for (const Column& c : r.table->columns()) {
+          candidates.push_back(c.name);
+        }
+        std::string suggestion = SuggestName(
+            ref.column, candidates, *lexicon_, options_.suggestion_threshold);
+        std::string message = "table '" + r.table->name() +
+                              "' has no column '" + ref.column + "'";
+        if (!suggestion.empty()) {
+          message += "; did you mean '" + suggestion + "'?";
+        }
+        r.table = nullptr;
+        emit(Code::kUnknownColumn, Severity::kError, location,
+             std::move(message), suggestion);
+      }
+      return r;
+    }
+    for (const TableDef* t : scope.tables) {
+      const Column* c = t->FindColumn(ref.column);
+      if (c != nullptr) {
+        r.table = t;
+        r.column = c;
+        return r;
+      }
+    }
+    auto [other_table, other_column] = db_->FindColumnAnywhere(ref.column);
+    if (scope.incomplete && other_column != nullptr) return r;
+    if (other_column != nullptr) {
+      emit(Code::kUnknownColumn, Severity::kError, location,
+           "column '" + ref.column + "' is not available from the FROM/JOIN "
+           "tables; table '" + other_table->name() + "' has it — is a JOIN "
+           "missing?");
+      return r;
+    }
+    const std::vector<std::string> candidates =
+        scope.incomplete || scope_columns.empty() ? db_->AllColumnNames()
+                                                  : scope_columns;
+    std::string suggestion = SuggestName(ref.column, candidates, *lexicon_,
+                                         options_.suggestion_threshold);
+    std::string message = "unknown column '" + ref.column + "'";
+    if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+    emit(Code::kUnknownColumn, Severity::kError, location, std::move(message),
+         suggestion);
+    return r;
+  };
+
+  // --- SELECT list: aggregates and types (DVQ003/DVQ004) -----------------
+  std::vector<Resolved> select_cols;
+  select_cols.reserve(q.select.size());
+  auto check_select_expr = [&](const SelectExpr& e,
+                               Location location) -> Resolved {
+    if (e.col.column == "*") {
+      if (e.agg != AggFunc::kCount) {
+        std::string agg = dvq::AggFuncName(e.agg);
+        emit(Code::kAggStarMisuse, Severity::kError, location,
+             (e.agg == AggFunc::kNone
+                  ? std::string("the star target needs an aggregate")
+                  : agg + " cannot aggregate the star target"),
+             "COUNT(*)");
+      }
+      return Resolved{};
+    }
+    Resolved r = resolve_column(e.col, location);
+    if (r.column != nullptr &&
+        (e.agg == AggFunc::kSum || e.agg == AggFunc::kAvg)) {
+      TypeClass cls = ClassOf(r.column->type);
+      if (cls != TypeClass::kNumeric) {
+        emit(Code::kAggTypeMismatch, Severity::kError, location,
+             dvq::AggFuncName(e.agg) + " over " + TypeClassName(cls) +
+                 " column '" + r.column->name + "'");
+      }
+    }
+    return r;
+  };
+  for (std::size_t i = 0; i < q.select.size(); ++i) {
+    select_cols.push_back(
+        check_select_expr(q.select[i], {Clause::kSelect, i, depth}));
+  }
+  if (q.order_by.has_value()) {
+    check_select_expr(q.order_by->expr, {Clause::kOrderBy, 0, depth});
+  }
+
+  // --- GROUP BY / projection consistency (DVQ005) ------------------------
+  // The executor groups implicitly by the non-aggregated select columns
+  // when GROUP BY is absent (Vega-Zero's x-axis grouping), so only an
+  // explicit GROUP BY that misses a bare select column is inconsistent:
+  // that column surfaces an arbitrary per-group row.
+  if (!q.group_by.empty()) {
+    bool any_aggregate = std::any_of(
+        q.select.begin(), q.select.end(),
+        [](const SelectExpr& e) { return e.agg != AggFunc::kNone; });
+    for (std::size_t i = 0; i < q.select.size(); ++i) {
+      const SelectExpr& e = q.select[i];
+      if (e.agg != AggFunc::kNone || e.col.column == "*") continue;
+      bool grouped = std::any_of(
+          q.group_by.begin(), q.group_by.end(), [&e](const ColumnRef& g) {
+            return strings::EqualsIgnoreCase(g.column, e.col.column);
+          });
+      if (!grouped && any_aggregate) {
+        emit(Code::kGroupByInconsistency, Severity::kError,
+             {Clause::kSelect, i, depth},
+             "column '" + e.col.ToString() +
+                 "' is neither aggregated nor in GROUP BY; its value is an "
+                 "arbitrary row of each group",
+             e.col.ToString());
+      }
+    }
+    for (std::size_t i = 0; i < q.group_by.size(); ++i) {
+      resolve_column(q.group_by[i], {Clause::kGroupBy, i, depth});
+    }
+  }
+
+  // --- BIN over non-temporal columns (DVQ006) ----------------------------
+  if (q.bin.has_value()) {
+    Resolved r = resolve_column(q.bin->col, {Clause::kBin, 0, depth});
+    if (r.column != nullptr && ClassOf(r.column->type) != TypeClass::kTemporal) {
+      emit(Code::kBinNonTemporal, Severity::kError, {Clause::kBin, 0, depth},
+           "BIN " + q.bin->col.ToString() + " BY " +
+               dvq::BinUnitName(q.bin->unit) + " needs a temporal column; '" +
+               r.column->name + "' is " + TypeClassName(ClassOf(r.column->type)));
+    }
+  }
+
+  // --- Chart type vs axis types (DVQ007, top level only) ------------------
+  if (depth == 0 && q.select.size() >= 2) {
+    auto axis_class = [&](std::size_t i) -> std::optional<TypeClass> {
+      const SelectExpr& e = q.select[i];
+      if (e.agg == AggFunc::kCount || e.agg == AggFunc::kSum ||
+          e.agg == AggFunc::kAvg) {
+        return TypeClass::kNumeric;
+      }
+      if (select_cols[i].column == nullptr) return std::nullopt;
+      TypeClass cls = ClassOf(select_cols[i].column->type);
+      // A binned temporal column renders as ordered buckets either way.
+      if (q.bin.has_value() &&
+          strings::EqualsIgnoreCase(q.bin->col.column, e.col.column)) {
+        return TypeClass::kTemporal;
+      }
+      return cls;
+    };
+    std::optional<TypeClass> x = axis_class(0);
+    std::optional<TypeClass> y = axis_class(1);
+    const bool line = chart == ChartType::kLine ||
+                      chart == ChartType::kGroupingLine;
+    const bool scatter = chart == ChartType::kScatter ||
+                         chart == ChartType::kGroupingScatter;
+    auto categorical = [](std::optional<TypeClass> c) {
+      return c.has_value() &&
+             (*c == TypeClass::kText || *c == TypeClass::kBool);
+    };
+    if (line && categorical(x)) {
+      emit(Code::kChartAxisMismatch, Severity::kWarning,
+           {Clause::kChart, 0, depth},
+           dvq::ChartTypeName(chart) + std::string(" draws a continuous "
+           "x-axis, but '") + q.select[0].col.ToString() +
+               "' is an unordered categorical");
+    }
+    if (scatter && (categorical(x) || categorical(y))) {
+      emit(Code::kChartAxisMismatch, Severity::kWarning,
+           {Clause::kChart, 0, depth},
+           dvq::ChartTypeName(chart) +
+               std::string(" needs quantitative axes; ") +
+               (categorical(x) ? "x" : "y") + " ('" +
+               q.select[categorical(x) ? 0 : 1].col.ToString() +
+               "') is categorical");
+    }
+    if (!line && !scatter && categorical(y)) {
+      emit(Code::kChartAxisMismatch, Severity::kWarning,
+           {Clause::kChart, 0, depth},
+           dvq::ChartTypeName(chart) +
+               std::string(" needs a numeric measure, but y ('") +
+               q.select[1].col.ToString() + "') is categorical");
+    }
+  }
+
+  // --- Join predicates: types and FK edges (DVQ008/DVQ009) ----------------
+  for (std::size_t i = 0; i < q.joins.size(); ++i) {
+    const dvq::JoinClause& join = q.joins[i];
+    Location location{Clause::kJoin, i, depth};
+    Resolved left = resolve_column(join.left, location);
+    Resolved right = resolve_column(join.right, location);
+    if (left.column == nullptr || right.column == nullptr) continue;
+    TypeClass lc = ClassOf(left.column->type);
+    TypeClass rc = ClassOf(right.column->type);
+    if (lc != rc) {
+      emit(Code::kJoinTypeMismatch, Severity::kError, location,
+           "join compares " + std::string(TypeClassName(lc)) + " '" +
+               join.left.ToString() + "' with " + TypeClassName(rc) + " '" +
+               join.right.ToString() + "'");
+      continue;
+    }
+    auto matches_fk = [&](const schema::ForeignKey& fk) {
+      auto ends = [&](const TableDef* t, const Column* c,
+                      const std::string& ft, const std::string& fc) {
+        return strings::EqualsIgnoreCase(t->name(), ft) &&
+               strings::EqualsIgnoreCase(c->name, fc);
+      };
+      return (ends(left.table, left.column, fk.from_table, fk.from_column) &&
+              ends(right.table, right.column, fk.to_table, fk.to_column)) ||
+             (ends(right.table, right.column, fk.from_table, fk.from_column) &&
+              ends(left.table, left.column, fk.to_table, fk.to_column));
+    };
+    bool is_fk = std::any_of(db_->foreign_keys().begin(),
+                             db_->foreign_keys().end(), matches_fk);
+    if (!is_fk) {
+      // Offer the FK that actually connects the two tables, if any.
+      std::string fixit;
+      for (const schema::ForeignKey& fk : db_->foreign_keys()) {
+        bool connects =
+            (strings::EqualsIgnoreCase(fk.from_table, left.table->name()) &&
+             strings::EqualsIgnoreCase(fk.to_table, right.table->name())) ||
+            (strings::EqualsIgnoreCase(fk.from_table, right.table->name()) &&
+             strings::EqualsIgnoreCase(fk.to_table, left.table->name()));
+        if (connects) {
+          fixit = fk.from_table + "." + fk.from_column + " = " + fk.to_table +
+                  "." + fk.to_column;
+          break;
+        }
+      }
+      emit(Code::kJoinNotForeignKey, Severity::kWarning, location,
+           "join predicate '" + join.left.ToString() + " = " +
+               join.right.ToString() +
+               "' follows no declared foreign key; the join may explode "
+               "or be empty",
+           fixit);
+    }
+  }
+
+  // --- WHERE: literal types and contradictions (DVQ010/DVQ011) ------------
+  if (q.where.has_value()) {
+    const dvq::Condition& where = *q.where;
+    std::vector<Resolved> pred_cols(where.predicates.size());
+    for (std::size_t i = 0; i < where.predicates.size(); ++i) {
+      const Predicate& p = where.predicates[i];
+      Location location{Clause::kWhere, i, depth};
+      pred_cols[i] = resolve_column(p.col, location);
+      const Column* col = pred_cols[i].column;
+      if (col == nullptr) continue;
+      TypeClass cls = ClassOf(col->type);
+      auto literal_mismatch = [&](const Literal& lit) {
+        if (lit.kind == Literal::Kind::kString) {
+          return cls == TypeClass::kNumeric && !LooksNumeric(lit.string_value);
+        }
+        return cls == TypeClass::kText || cls == TypeClass::kTemporal;
+      };
+      if ((p.op == CompareOp::kLike || p.op == CompareOp::kNotLike) &&
+          cls != TypeClass::kText) {
+        emit(Code::kComparisonTypeMismatch, Severity::kWarning, location,
+             std::string("LIKE pattern-matches text, but '") + col->name +
+                 "' is " + TypeClassName(cls));
+        continue;
+      }
+      if (p.literal.has_value() && p.subquery == nullptr &&
+          literal_mismatch(*p.literal)) {
+        emit(Code::kComparisonTypeMismatch, Severity::kWarning, location,
+             "comparing " + std::string(TypeClassName(cls)) + " column '" +
+                 col->name + "' with " + p.literal->ToString());
+      }
+      for (const Literal& lit : p.in_list) {
+        if (literal_mismatch(lit)) {
+          emit(Code::kComparisonTypeMismatch, Severity::kWarning, location,
+               "IN list mixes " + std::string(TypeClassName(cls)) +
+                   " column '" + col->name + "' with " +
+                   lit.ToString());
+          break;
+        }
+      }
+    }
+
+    // Contradiction detection per AND-group (the executor evaluates the
+    // chain as an OR of AND-groups). A contradictory group never
+    // matches; when every group is contradictory the WHERE is always
+    // false — error level, the chart can only be empty.
+    struct GroupFinding {
+      bool contradictory = false;
+      std::size_t first_index = 0;
+    };
+    std::vector<GroupFinding> groups;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= where.predicates.size(); ++i) {
+      const bool group_ends =
+          i == where.predicates.size() ||
+          (i > 0 && where.connectors[i - 1] == dvq::LogicalOp::kOr);
+      if (!group_ends) continue;
+      if (i == start) break;
+      std::map<std::string, ColumnConstraints> by_column;
+      for (std::size_t j = start; j < i; ++j) {
+        const Predicate& p = where.predicates[j];
+        if (p.subquery != nullptr || p.col.column == "*") continue;
+        std::string key = strings::ToLower(p.col.table) + "." +
+                          strings::ToLower(p.col.column);
+        auto [it, inserted] = by_column.try_emplace(key);
+        ColumnConstraints& c = it->second;
+        if (inserted) c.first_index = j;
+        const bool numeric_lit =
+            p.literal.has_value() &&
+            p.literal->kind != Literal::Kind::kString;
+        switch (p.op) {
+          case CompareOp::kEq:
+            if (p.literal.has_value()) c.eq.push_back(*p.literal);
+            break;
+          case CompareOp::kNe:
+            if (p.literal.has_value()) c.ne.push_back(*p.literal);
+            break;
+          case CompareOp::kGt:
+          case CompareOp::kGe:
+            if (numeric_lit) {
+              double v = NumericValue(*p.literal);
+              bool strict = p.op == CompareOp::kGt;
+              if (!c.has_lower || v > c.lower ||
+                  (v == c.lower && strict)) {
+                c.lower = v;
+                c.lower_strict = strict;
+              }
+              c.has_lower = true;
+            }
+            break;
+          case CompareOp::kLt:
+          case CompareOp::kLe:
+            if (numeric_lit) {
+              double v = NumericValue(*p.literal);
+              bool strict = p.op == CompareOp::kLt;
+              if (!c.has_upper || v < c.upper ||
+                  (v == c.upper && strict)) {
+                c.upper = v;
+                c.upper_strict = strict;
+              }
+              c.has_upper = true;
+            }
+            break;
+          case CompareOp::kIn:
+            c.in_lists.push_back(p.in_list);
+            break;
+          case CompareOp::kNotIn:
+            c.not_in_lists.push_back(p.in_list);
+            break;
+          case CompareOp::kIsNull:
+            c.is_null = true;
+            break;
+          case CompareOp::kIsNotNull:
+            c.is_not_null = true;
+            break;
+          case CompareOp::kLike:
+          case CompareOp::kNotLike:
+            break;
+        }
+      }
+      GroupFinding finding;
+      finding.first_index = start;
+      for (const auto& [key, constraints] : by_column) {
+        if (Contradictory(constraints)) {
+          finding.contradictory = true;
+          finding.first_index = constraints.first_index;
+          break;
+        }
+      }
+      groups.push_back(finding);
+      start = i;
+    }
+    const bool all_contradictory =
+        !groups.empty() &&
+        std::all_of(groups.begin(), groups.end(),
+                    [](const GroupFinding& g) { return g.contradictory; });
+    for (const GroupFinding& g : groups) {
+      if (!g.contradictory) continue;
+      emit(Code::kAlwaysFalsePredicate,
+           all_contradictory ? Severity::kError : Severity::kWarning,
+           {Clause::kWhere, g.first_index, depth},
+           all_contradictory
+               ? "WHERE is always false: its conditions contradict each other"
+               : "this OR-branch is always false: its conditions contradict "
+                 "each other");
+    }
+
+    // Scalar subqueries get their own scope, one nesting level down.
+    for (const Predicate& p : where.predicates) {
+      if (p.subquery != nullptr) {
+        AnalyzeQuery(*p.subquery, chart, depth + 1, out);
+      }
+    }
+  }
+}
+
+}  // namespace gred::analysis

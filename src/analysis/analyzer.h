@@ -1,0 +1,159 @@
+#ifndef GREDVIS_ANALYSIS_ANALYZER_H_
+#define GREDVIS_ANALYSIS_ANALYZER_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dvq/ast.h"
+#include "nl/lexicon.h"
+#include "schema/schema.h"
+
+namespace gred::analysis {
+
+/// Severity of a diagnostic. kError marks a DVQ that is semantically
+/// broken against the schema (executing it can only fail or produce
+/// garbage); kWarning marks a construction that executes but is almost
+/// certainly not what the question asked for; kNote is advisory.
+enum class Severity { kNote, kWarning, kError };
+
+const char* SeverityName(Severity severity);  // "note" / "warning" / "error"
+
+/// Stable diagnostic codes. Append-only: codes are part of the public
+/// surface (MetricCounts, dvqlint output, DESIGN.md §12) and must never
+/// be renumbered.
+enum class Code {
+  kUnknownTable,            // DVQ001
+  kUnknownColumn,           // DVQ002
+  kAggTypeMismatch,         // DVQ003
+  kAggStarMisuse,           // DVQ004
+  kGroupByInconsistency,    // DVQ005
+  kBinNonTemporal,          // DVQ006
+  kChartAxisMismatch,       // DVQ007
+  kJoinNotForeignKey,       // DVQ008
+  kJoinTypeMismatch,        // DVQ009
+  kAlwaysFalsePredicate,    // DVQ010
+  kComparisonTypeMismatch,  // DVQ011
+};
+
+/// "DVQ001" ... "DVQ011".
+const char* CodeName(Code code);
+
+/// Number of distinct diagnostic codes (for exhaustiveness tests).
+inline constexpr std::size_t kNumCodes = 11;
+
+/// Enumerates every code, in numeric order.
+std::vector<Code> AllCodes();
+
+/// Clause of the DVQ AST a diagnostic anchors to. The AST carries no
+/// source offsets, so locations are structural: clause + index.
+enum class Clause {
+  kChart,
+  kSelect,
+  kFrom,
+  kJoin,
+  kWhere,
+  kGroupBy,
+  kOrderBy,
+  kBin,
+};
+
+/// Structural AST location: `clause` plus the index of the entry within
+/// it (select item, join clause or predicate; 0 for singleton clauses).
+struct Location {
+  Clause clause = Clause::kChart;
+  std::size_t index = 0;
+  /// Nesting depth: 0 = top-level query, 1 = scalar subquery, ...
+  std::size_t depth = 0;
+
+  /// "select[1]", "where[0]", "subquery(1).from[0]".
+  std::string ToString() const;
+
+  friend bool operator==(const Location& a, const Location& b) = default;
+};
+
+/// One typed finding of the static analyzer.
+struct Diagnostic {
+  Code code = Code::kUnknownTable;
+  Severity severity = Severity::kError;
+  Location location;
+  std::string message;
+  /// Machine-applicable replacement hint, empty when none is derivable.
+  /// For name diagnostics this is the suggested identifier spelling.
+  std::string fixit;
+
+  /// "error: [DVQ002] unknown column 'wage' ... (fix-it: salary)".
+  std::string ToString() const;
+};
+
+/// Options for DvqAnalyzer.
+struct AnalyzerOptions {
+  /// Lexicon used for nearest-name suggestions (concept-aware synonym
+  /// matching on top of edit distance). Null = nl::Lexicon::Default().
+  const nl::Lexicon* lexicon = nullptr;
+  /// Minimum similarity in (0,1] a candidate must reach before it is
+  /// offered as a fix-it suggestion.
+  double suggestion_threshold = 0.5;
+};
+
+/// Schema-aware static analyzer over parsed DVQs (DESIGN.md §12).
+///
+/// Walks a dvq::DVQ against a schema::Database and emits typed
+/// diagnostics: unknown table/column references (with nearest-name
+/// fix-its resolved through the NL lexicon), aggregate/type mismatches,
+/// group-by/projection inconsistency, BIN over non-temporal columns,
+/// chart-type vs axis-type compatibility, join-predicate FK validity and
+/// always-false predicate chains. Pure and thread-safe: the analyzer
+/// holds only const references and Analyze does not mutate state, so one
+/// instance may serve concurrent Translate threads.
+class DvqAnalyzer {
+ public:
+  /// `db` is not owned and must outlive the analyzer.
+  explicit DvqAnalyzer(const schema::Database* db,
+                       AnalyzerOptions options = {});
+
+  /// Analyzes `dvq`, returning diagnostics ordered by clause position.
+  /// Aliases are resolved first, so `T1.x` diagnostics name real tables.
+  std::vector<Diagnostic> Analyze(const dvq::DVQ& dvq) const;
+
+  const schema::Database& db() const { return *db_; }
+
+ private:
+  void AnalyzeQuery(const dvq::Query& q, dvq::ChartType chart,
+                    std::size_t depth, std::vector<Diagnostic>* out) const;
+
+  const schema::Database* db_;
+  const nl::Lexicon* lexicon_;
+  AnalyzerOptions options_;
+};
+
+/// True when any diagnostic is error-level.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Counts diagnostics per code name ("DVQ002" -> 3), merging into `out`.
+void CountByCode(const std::vector<Diagnostic>& diagnostics,
+                 std::map<std::string, std::size_t>* out);
+
+/// Renders diagnostics one per line (ToString form); empty string for an
+/// empty list. Used by the debugger prompt and the dvqlint CLI.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+/// Nearest-name suggestion shared by the analyzer's unknown-table and
+/// unknown-column checks: the candidate most similar to `name` under the
+/// combined edit-distance + lexicon-concept similarity, or empty when no
+/// candidate reaches `threshold`. Deterministic: ties break toward the
+/// earlier candidate.
+std::string SuggestName(const std::string& name,
+                        const std::vector<std::string>& candidates,
+                        const nl::Lexicon& lexicon, double threshold);
+
+/// The similarity SuggestName ranks by, exposed for tests: the maximum
+/// of byte-level edit similarity and concept-aware identifier-word
+/// overlap (words map through the lexicon, so "wage" ~ "salary").
+double NameSimilarity(const std::string& a, const std::string& b,
+                      const nl::Lexicon& lexicon);
+
+}  // namespace gred::analysis
+
+#endif  // GREDVIS_ANALYSIS_ANALYZER_H_

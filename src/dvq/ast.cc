@@ -1,5 +1,8 @@
 #include "dvq/ast.h"
 
+#include <cmath>
+#include <cstdlib>
+
 #include "util/strings.h"
 
 namespace gred::dvq {
@@ -144,8 +147,18 @@ std::string Literal::ToString() const {
   switch (kind) {
     case Kind::kInt:
       return strings::Format("%lld", static_cast<long long>(int_value));
-    case Kind::kReal:
-      return strings::Format("%g", real_value);
+    case Kind::kReal: {
+      if (!std::isfinite(real_value)) return strings::Format("%g", real_value);
+      // Shortest plain-decimal form that round-trips. The DVQ lexer has
+      // no exponent notation, so "%g"-style "1e+06" output broke the
+      // parse→print→parse fixpoint (and "1.23457e+07" silently dropped
+      // precision); scanning precisions keeps "0.5" printing as "0.5".
+      for (int precision = 0; precision <= 17; ++precision) {
+        std::string s = strings::Format("%.*f", precision, real_value);
+        if (std::strtod(s.c_str(), nullptr) == real_value) return s;
+      }
+      return strings::Format("%.17f", real_value);
+    }
     case Kind::kString:
       return "\"" + string_value + "\"";
   }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <future>
 
+#include "analysis/analyzer.h"
 #include "dvq/components.h"
 #include "exec/executor.h"
 #include "util/strings.h"
@@ -48,6 +49,9 @@ void MetricCounts::Merge(const MetricCounts& other) {
   execution += other.execution;
   errors += other.errors;
   resource_exhausted += other.resource_exhausted;
+  for (const auto& [code, count] : other.diagnostics) {
+    diagnostics[code] += count;
+  }
 }
 
 bool ExecutionMatch(const dvq::DVQ& predicted, const dvq::DVQ& target,
@@ -125,7 +129,7 @@ struct ScoredExample {
 ScoredExample ScoreExample(
     const models::TextToVisModel& model, const dataset::Example& example,
     const std::vector<dataset::GeneratedDatabase>& databases,
-    EvalTiming* timing, const GuardLimits& guard_limits) {
+    EvalTiming* timing, const GuardLimits& guard_limits, bool lint) {
   ScoredExample scored;
   scored.unit.total = 1;
   const dataset::GeneratedDatabase* db = nullptr;
@@ -146,6 +150,13 @@ ScoredExample ScoreExample(
   }();
   scored.outcome = ScorePrediction(example, prediction);
   if (!prediction.ok()) scored.unit.errors = 1;
+  if (lint && prediction.ok()) {
+    // Observability only: the per-code tallies ride along in the unit's
+    // diagnostics map and never influence the match metrics.
+    analysis::DvqAnalyzer analyzer(&db->data.db_schema());
+    analysis::CountByCode(analyzer.Analyze(prediction.value()),
+                          &scored.unit.diagnostics);
+  }
   if (prediction.ok()) {
     ScopedTimer timer(timing == nullptr ? nullptr : &timing->execute);
     if (guard_limits.Unlimited()) {
@@ -189,7 +200,7 @@ EvalResult Evaluate(
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       scored[i] = ScoreExample(model, test[i], databases, options.timing,
-                               options.guard);
+                               options.guard, options.lint);
     }
   } else {
     ThreadPool pool(threads);
@@ -198,8 +209,10 @@ EvalResult Evaluate(
     for (std::size_t i = 0; i < n; ++i) {
       futures.push_back(pool.Submit([&model, &test, &databases, &scored,
                                      timing = options.timing,
-                                     guard = options.guard, i] {
-        scored[i] = ScoreExample(model, test[i], databases, timing, guard);
+                                     guard = options.guard,
+                                     lint = options.lint, i] {
+        scored[i] =
+            ScoreExample(model, test[i], databases, timing, guard, lint);
       }));
     }
     for (std::future<void>& future : futures) future.get();  // rethrows

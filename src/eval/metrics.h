@@ -27,6 +27,11 @@ struct MetricCounts {
   /// Examples whose guarded execution tripped a resource budget
   /// (EvalOptions::guard); always 0 when the watchdog is off.
   std::size_t resource_exhausted = 0;
+  /// Static-analysis findings over the parsed predictions, counted per
+  /// diagnostic code ("DVQ002" -> 3). Populated only when
+  /// EvalOptions::lint is on; empty otherwise, so default-constructed
+  /// equality with pre-lint results still holds.
+  std::map<std::string, std::size_t> diagnostics;
 
   /// All accuracy accessors return 0.0 (never NaN) when `total == 0`,
   /// so empty per-hardness / per-chart buckets render as 0% in tables.
@@ -105,6 +110,13 @@ struct EvalOptions {
   /// instead of monopolizing a worker. Default: unguarded, bit-identical
   /// to the pre-guard harness.
   GuardLimits guard;
+  /// When true every parsed prediction is additionally run through the
+  /// static analyzer (analysis::DvqAnalyzer) against its example's
+  /// database schema and the findings are tallied per code into
+  /// MetricCounts::diagnostics. Scoring is unaffected — linting only
+  /// adds observability. Default off (MetricCounts::diagnostics empty,
+  /// results bit-identical to the pre-lint harness).
+  bool lint = false;
 };
 
 /// Worker count used when `EvalOptions::num_threads == 0`: the

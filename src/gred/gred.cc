@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analyzer.h"
 #include "dvq/parser.h"
 #include "llm/prompt.h"
 #include "util/rng.h"
@@ -107,6 +108,8 @@ Gred::StageStats Gred::stage_stats() const {
       retune_budget_trips_.load(std::memory_order_relaxed);
   stats.debug_budget_trips =
       debug_budget_trips_.load(std::memory_order_relaxed);
+  stats.retune_lint_trips = retune_lint_trips_.load(std::memory_order_relaxed);
+  stats.debug_lint_trips = debug_lint_trips_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -208,14 +211,28 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
     }
     // Accept the stage's output only when it is a parseable DVQ within
     // the per-stage budget: a truncated/corrupted/oversized completion
-    // must not replace a healthy DVQ.
+    // must not replace a healthy DVQ. With enable_lint the bar rises:
+    // a candidate the analyzer proves broken against the schema
+    // (error-level diagnostic) is rejected exactly like a budget trip.
     bool budget_tripped = false;
-    if (dvq_rtn.empty() ||
-        !ParseWithinStageBudget(dvq_rtn, &budget_tripped).ok()) {
+    bool lint_rejected = false;
+    Result<dvq::DVQ> parsed_rtn =
+        dvq_rtn.empty()
+            ? Result<dvq::DVQ>(Status::ParseError("retuner produced no DVQ"))
+            : ParseWithinStageBudget(dvq_rtn, &budget_tripped);
+    if (parsed_rtn.ok() && config_.enable_lint) {
+      analysis::DvqAnalyzer analyzer(&db.db_schema());
+      lint_rejected = analysis::HasErrors(analyzer.Analyze(parsed_rtn.value()));
+    }
+    if (!parsed_rtn.ok() || lint_rejected) {
       trace.rtn_degraded = true;
+      trace.rtn_lint_rejected = lint_rejected;
       retune_degraded_.fetch_add(1, std::memory_order_relaxed);
       if (budget_tripped) {
         retune_budget_trips_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (lint_rejected) {
+        retune_lint_trips_.fetch_add(1, std::memory_order_relaxed);
       }
     } else {
       trace.dvq_rtn = dvq_rtn;
@@ -239,8 +256,22 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
       }
     }
     if (!degraded) {
-      llm::Prompt debug_prompt =
-          llm::BuildDebugPrompt(target_schema, annotations, current);
+      // With linting on, the debugger does not rediscover schema
+      // mismatches from the annotations alone: the analyzer's findings
+      // on the incoming DVQ ride along in the prompt as structured
+      // repair evidence (empty findings leave the prompt byte-identical
+      // to the stock C.4 prompt).
+      std::string lint_findings;
+      if (config_.enable_lint) {
+        Result<dvq::DVQ> incoming = dvq::Parse(current);
+        if (incoming.ok()) {
+          analysis::DvqAnalyzer analyzer(&db.db_schema());
+          lint_findings =
+              analysis::RenderDiagnostics(analyzer.Analyze(incoming.value()));
+        }
+      }
+      llm::Prompt debug_prompt = llm::BuildDebugPrompt(
+          target_schema, annotations, current, lint_findings);
       Result<std::string> debug_completion =
           llm_->Complete(debug_prompt, WorkingOptions());
       std::string dvq_dbg;
@@ -248,11 +279,25 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
         dvq_dbg = llm::ExtractDvqText(debug_completion.value());
       }
       bool budget_tripped = false;
-      if (dvq_dbg.empty() ||
-          !ParseWithinStageBudget(dvq_dbg, &budget_tripped).ok()) {
+      bool lint_rejected = false;
+      Result<dvq::DVQ> parsed_dbg =
+          dvq_dbg.empty()
+              ? Result<dvq::DVQ>(
+                    Status::ParseError("debugger produced no DVQ"))
+              : ParseWithinStageBudget(dvq_dbg, &budget_tripped);
+      if (parsed_dbg.ok() && config_.enable_lint) {
+        analysis::DvqAnalyzer analyzer(&db.db_schema());
+        lint_rejected =
+            analysis::HasErrors(analyzer.Analyze(parsed_dbg.value()));
+      }
+      if (!parsed_dbg.ok() || lint_rejected) {
         degraded = true;
+        trace.dbg_lint_rejected = lint_rejected;
         if (budget_tripped) {
           debug_budget_trips_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (lint_rejected) {
+          debug_lint_trips_.fetch_add(1, std::memory_order_relaxed);
         }
       } else {
         trace.dvq_dbg = dvq_dbg;

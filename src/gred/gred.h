@@ -45,6 +45,14 @@ struct GredConfig {
   /// like an LLM failure (DESIGN.md §8); a tripped generator — which has
   /// no fallback — surfaces kResourceExhausted. Default: unlimited.
   GuardLimits stage_limits;
+  /// Static analysis gate (DESIGN.md §12). When true, every retuner and
+  /// debugger candidate DVQ is linted against the target database schema
+  /// (analysis::DvqAnalyzer); a candidate carrying an error-level
+  /// diagnostic is rejected exactly like a budget trip — the previous
+  /// stage's DVQ carries forward — and the current DVQ's diagnostics are
+  /// fed into the debugger prompt as structured repair evidence. Default
+  /// off: the stock pipeline (and its outputs) stay byte-identical.
+  bool enable_lint = false;
 };
 
 /// Generates the natural-language annotation text for one database by
@@ -99,6 +107,11 @@ class Gred : public models::TextToVisModel {
     std::string dvq_dbg;
     bool rtn_degraded = false;
     bool dbg_degraded = false;
+    /// Subset of the degradations above where the stage's candidate DVQ
+    /// parsed fine but the static analyzer found an error-level
+    /// diagnostic (GredConfig::enable_lint).
+    bool rtn_lint_rejected = false;
+    bool dbg_lint_rejected = false;
   };
   /// Snapshot of the most recently completed Translate's trace (copied
   /// under the trace mutex; under concurrency "last" means whichever
@@ -121,6 +134,11 @@ class Gred : public models::TextToVisModel {
     /// while validating the stage's completion.
     std::uint64_t retune_budget_trips = 0;
     std::uint64_t debug_budget_trips = 0;
+    /// Degradations caused by the static analysis gate: the stage's
+    /// candidate parsed but carried an error-level diagnostic
+    /// (GredConfig::enable_lint; zero when linting is off).
+    std::uint64_t retune_lint_trips = 0;
+    std::uint64_t debug_lint_trips = 0;
   };
   StageStats stage_stats() const;
 
@@ -171,6 +189,8 @@ class Gred : public models::TextToVisModel {
   mutable std::atomic<std::uint64_t> debug_degraded_{0};
   mutable std::atomic<std::uint64_t> retune_budget_trips_{0};
   mutable std::atomic<std::uint64_t> debug_budget_trips_{0};
+  mutable std::atomic<std::uint64_t> retune_lint_trips_{0};
+  mutable std::atomic<std::uint64_t> debug_lint_trips_{0};
 };
 
 }  // namespace gred::core

@@ -99,6 +99,14 @@ Prompt BuildRetunePrompt(const std::vector<std::string>& reference_dvqs,
 Prompt BuildDebugPrompt(const std::string& schema_prompt,
                         const std::string& annotations,
                         const std::string& original_dvq) {
+  return BuildDebugPrompt(schema_prompt, annotations, original_dvq,
+                          /*diagnostics=*/"");
+}
+
+Prompt BuildDebugPrompt(const std::string& schema_prompt,
+                        const std::string& annotations,
+                        const std::string& original_dvq,
+                        const std::string& diagnostics) {
   Prompt prompt;
   prompt.push_back(
       {ChatMessage::Role::kSystem,
@@ -109,6 +117,13 @@ Prompt BuildDebugPrompt(const std::string& schema_prompt,
   user += schema_prompt;
   user += "\n### Natural Language Annotations:\n";
   user += annotations;
+  if (!diagnostics.empty()) {
+    user +=
+        "\n### Static Analysis Findings (schema-checked, one per line):\n";
+    for (const std::string& line : strings::Split(diagnostics, '\n')) {
+      if (!line.empty()) user += "# " + line + "\n";
+    }
+  }
   user +=
       "\n#### Given Database Schemas and their corresponding Natural "
       "Language Annotations, Please replace the column names in the Data "

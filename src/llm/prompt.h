@@ -36,6 +36,17 @@ Prompt BuildDebugPrompt(const std::string& schema_prompt,
                         const std::string& annotations,
                         const std::string& original_dvq);
 
+/// Variant carrying the static analyzer's findings (analysis::DvqAnalyzer
+/// rendered one per line). An empty `diagnostics` is the plain C.4
+/// prompt, byte-identical to the overload above; otherwise the findings
+/// are appended as a "### Static Analysis Findings" section so the
+/// debugger repairs against structured evidence instead of rediscovering
+/// the mismatches from the schema alone.
+Prompt BuildDebugPrompt(const std::string& schema_prompt,
+                        const std::string& annotations,
+                        const std::string& original_dvq,
+                        const std::string& diagnostics);
+
 /// Extracts the DVQ string from an LLM completion (the line starting at
 /// the first "Visualize"); empty when absent.
 std::string ExtractDvqText(const std::string& completion);

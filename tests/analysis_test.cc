@@ -1,0 +1,553 @@
+// Tests for the schema-aware static analyzer (DESIGN.md §12): every
+// diagnostic code DVQ001..DVQ011 is exercised with at least one DVQ that
+// fires it and one that must not, plus the suggestion machinery, the
+// code-name stability contract, and the real-literal round-trip the
+// fix-it pipeline depends on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "dvq/normalize.h"
+#include "dvq/parser.h"
+#include "nl/lexicon.h"
+
+namespace gred::analysis {
+namespace {
+
+schema::Column Col(const std::string& name, schema::ColumnType type) {
+  schema::Column c;
+  c.name = name;
+  c.type = type;
+  return c;
+}
+
+/// Fixture schema with every type class represented:
+///   employees(id int, name text, salary real, hire_date date,
+///             active bool, age int, city text, department_id int)
+///   departments(department_id int, department_name text, budget real)
+///   FK: employees.department_id -> departments.department_id
+const schema::Database& TestDb() {
+  static const schema::Database* const kDb = [] {
+    auto* db = new schema::Database("testdb");
+    schema::TableDef employees("employees", {});
+    employees.AddColumn(Col("id", schema::ColumnType::kInt));
+    employees.AddColumn(Col("name", schema::ColumnType::kText));
+    employees.AddColumn(Col("salary", schema::ColumnType::kReal));
+    employees.AddColumn(Col("hire_date", schema::ColumnType::kDate));
+    employees.AddColumn(Col("active", schema::ColumnType::kBool));
+    employees.AddColumn(Col("age", schema::ColumnType::kInt));
+    employees.AddColumn(Col("city", schema::ColumnType::kText));
+    employees.AddColumn(Col("department_id", schema::ColumnType::kInt));
+    db->AddTable(std::move(employees));
+    schema::TableDef departments("departments", {});
+    departments.AddColumn(Col("department_id", schema::ColumnType::kInt));
+    departments.AddColumn(Col("department_name", schema::ColumnType::kText));
+    departments.AddColumn(Col("budget", schema::ColumnType::kReal));
+    db->AddTable(std::move(departments));
+    schema::ForeignKey fk;
+    fk.from_table = "employees";
+    fk.from_column = "department_id";
+    fk.to_table = "departments";
+    fk.to_column = "department_id";
+    db->AddForeignKey(std::move(fk));
+    return db;
+  }();
+  return *kDb;
+}
+
+std::vector<Diagnostic> Lint(const std::string& text) {
+  Result<dvq::DVQ> parsed = dvq::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+  if (!parsed.ok()) return {};
+  DvqAnalyzer analyzer(&TestDb());
+  return analyzer.Analyze(parsed.value());
+}
+
+bool Fires(const std::vector<Diagnostic>& diagnostics, Code code) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+const Diagnostic* Find(const std::vector<Diagnostic>& diagnostics,
+                       Code code) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+TEST(Codes, NamesAreStable) {
+  // Append-only contract: these strings are public surface.
+  EXPECT_STREQ(CodeName(Code::kUnknownTable), "DVQ001");
+  EXPECT_STREQ(CodeName(Code::kUnknownColumn), "DVQ002");
+  EXPECT_STREQ(CodeName(Code::kAggTypeMismatch), "DVQ003");
+  EXPECT_STREQ(CodeName(Code::kAggStarMisuse), "DVQ004");
+  EXPECT_STREQ(CodeName(Code::kGroupByInconsistency), "DVQ005");
+  EXPECT_STREQ(CodeName(Code::kBinNonTemporal), "DVQ006");
+  EXPECT_STREQ(CodeName(Code::kChartAxisMismatch), "DVQ007");
+  EXPECT_STREQ(CodeName(Code::kJoinNotForeignKey), "DVQ008");
+  EXPECT_STREQ(CodeName(Code::kJoinTypeMismatch), "DVQ009");
+  EXPECT_STREQ(CodeName(Code::kAlwaysFalsePredicate), "DVQ010");
+  EXPECT_STREQ(CodeName(Code::kComparisonTypeMismatch), "DVQ011");
+  EXPECT_EQ(AllCodes().size(), kNumCodes);
+}
+
+TEST(Analyzer, CleanQueryHasNoDiagnostics) {
+  EXPECT_TRUE(Lint("Visualize BAR SELECT city , COUNT(city) FROM employees "
+                   "GROUP BY city")
+                  .empty());
+  EXPECT_TRUE(Lint("Visualize SCATTER SELECT age , salary FROM employees "
+                   "WHERE salary > 1000")
+                  .empty());
+}
+
+// --- DVQ001 ----------------------------------------------------------------
+
+TEST(UnknownTable, FiresWithSuggestion) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , COUNT(city) FROM employes "
+           "GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kUnknownTable);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->fixit, "employees");
+  EXPECT_EQ(d->location.ToString(), "from[0]");
+}
+
+TEST(UnknownTable, SuppressesColumnCascade) {
+  // Every column would be "unknown" once the table is unknown; the
+  // cascade is noise and must be suppressed.
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , COUNT(city) FROM employes "
+           "GROUP BY city");
+  EXPECT_FALSE(Fires(diags, Code::kUnknownColumn));
+}
+
+TEST(UnknownTable, DoesNotFireOnKnownTables) {
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT budget , department_name "
+                          "FROM departments"),
+                     Code::kUnknownTable));
+}
+
+// --- DVQ002 ----------------------------------------------------------------
+
+TEST(UnknownColumn, FiresWithFixit) {
+  std::vector<Diagnostic> diags = Lint(
+      "Visualize BAR SELECT citty , COUNT(citty) FROM employees "
+      "GROUP BY citty");
+  const Diagnostic* d = Find(diags, Code::kUnknownColumn);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->fixit, "city");
+}
+
+TEST(UnknownColumn, SynonymResolvesThroughLexicon) {
+  // "wage" shares no spelling with "salary"; only the lexicon's concept
+  // map can connect them.
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , SUM(wage) FROM employees "
+           "GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kUnknownColumn);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->fixit, "salary");
+}
+
+TEST(UnknownColumn, MissingJoinHint) {
+  // `budget` exists — in a table the query never joined.
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , SUM(budget) FROM employees "
+           "GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kUnknownColumn);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("JOIN"), std::string::npos) << d->message;
+}
+
+TEST(UnknownColumn, QualifierOutsideScope) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT departments.budget , city FROM employees");
+  ASSERT_TRUE(Fires(diags, Code::kUnknownColumn));
+}
+
+TEST(UnknownColumn, DoesNotFireOnValidRefs) {
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT employees.city , "
+                          "COUNT(employees.city) FROM employees "
+                          "GROUP BY employees.city"),
+                     Code::kUnknownColumn));
+}
+
+// --- DVQ003 ----------------------------------------------------------------
+
+TEST(AggTypeMismatch, SumOverText) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , SUM(name) FROM employees "
+           "GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kAggTypeMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(AggTypeMismatch, AvgOverDate) {
+  EXPECT_TRUE(Fires(Lint("Visualize BAR SELECT city , AVG(hire_date) "
+                         "FROM employees GROUP BY city"),
+                    Code::kAggTypeMismatch));
+}
+
+TEST(AggTypeMismatch, NumericAggregatesAreFine) {
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , SUM(salary) "
+                          "FROM employees GROUP BY city"),
+                     Code::kAggTypeMismatch));
+  // COUNT / MIN / MAX are defined for every type.
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , MAX(name) "
+                          "FROM employees GROUP BY city"),
+                     Code::kAggTypeMismatch));
+}
+
+// --- DVQ004 ----------------------------------------------------------------
+
+TEST(AggStarMisuse, SumStar) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , SUM(*) FROM employees GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kAggStarMisuse);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->fixit, "COUNT(*)");
+}
+
+TEST(AggStarMisuse, CountStarIsFine) {
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , COUNT(*) "
+                          "FROM employees GROUP BY city"),
+                     Code::kAggStarMisuse));
+}
+
+// --- DVQ005 ----------------------------------------------------------------
+
+TEST(GroupByInconsistency, BareColumnOutsideGroupBy) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , name , COUNT(id) FROM employees "
+           "GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kGroupByInconsistency);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->location.ToString(), "select[1]");
+}
+
+TEST(GroupByInconsistency, ImplicitGroupingIsFine) {
+  // Without GROUP BY the executor groups by the bare select columns
+  // itself (Vega-Zero semantics) — nothing to flag.
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , COUNT(id) "
+                          "FROM employees"),
+                     Code::kGroupByInconsistency));
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , COUNT(id) "
+                          "FROM employees GROUP BY city"),
+                     Code::kGroupByInconsistency));
+}
+
+// --- DVQ006 ----------------------------------------------------------------
+
+TEST(BinNonTemporal, FiresOnText) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , COUNT(city) FROM employees "
+           "BIN city BY YEAR");
+  const Diagnostic* d = Find(diags, Code::kBinNonTemporal);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(BinNonTemporal, DateColumnIsFine) {
+  EXPECT_FALSE(Fires(Lint("Visualize LINE SELECT hire_date , "
+                          "COUNT(hire_date) FROM employees "
+                          "BIN hire_date BY YEAR"),
+                     Code::kBinNonTemporal));
+}
+
+// --- DVQ007 ----------------------------------------------------------------
+
+TEST(ChartAxisMismatch, LineOverCategoricalX) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize LINE SELECT city , COUNT(city) FROM employees");
+  const Diagnostic* d = Find(diags, Code::kChartAxisMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(ChartAxisMismatch, ScatterNeedsQuantitativeAxes) {
+  EXPECT_TRUE(Fires(Lint("Visualize SCATTER SELECT city , salary "
+                         "FROM employees"),
+                    Code::kChartAxisMismatch));
+}
+
+TEST(ChartAxisMismatch, BarNeedsNumericMeasure) {
+  EXPECT_TRUE(Fires(Lint("Visualize BAR SELECT city , name FROM employees"),
+                    Code::kChartAxisMismatch));
+}
+
+TEST(ChartAxisMismatch, BinnedTemporalLineIsFine) {
+  EXPECT_FALSE(Fires(Lint("Visualize LINE SELECT hire_date , "
+                          "COUNT(hire_date) FROM employees "
+                          "BIN hire_date BY YEAR"),
+                     Code::kChartAxisMismatch));
+  EXPECT_FALSE(Fires(Lint("Visualize SCATTER SELECT age , salary "
+                          "FROM employees"),
+                     Code::kChartAxisMismatch));
+}
+
+// --- DVQ008 ----------------------------------------------------------------
+
+TEST(JoinNotForeignKey, FiresWithConnectingFkFixit) {
+  std::vector<Diagnostic> diags = Lint(
+      "Visualize BAR SELECT department_name , COUNT(id) FROM employees "
+      "JOIN departments ON employees.id = departments.department_id "
+      "GROUP BY department_name");
+  const Diagnostic* d = Find(diags, Code::kJoinNotForeignKey);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->fixit,
+            "employees.department_id = departments.department_id");
+}
+
+TEST(JoinNotForeignKey, DeclaredFkIsFine) {
+  EXPECT_FALSE(Fires(
+      Lint("Visualize BAR SELECT department_name , COUNT(id) "
+           "FROM employees JOIN departments "
+           "ON employees.department_id = departments.department_id "
+           "GROUP BY department_name"),
+      Code::kJoinNotForeignKey));
+}
+
+// --- DVQ009 ----------------------------------------------------------------
+
+TEST(JoinTypeMismatch, TextAgainstNumeric) {
+  std::vector<Diagnostic> diags = Lint(
+      "Visualize BAR SELECT department_name , COUNT(id) FROM employees "
+      "JOIN departments ON employees.name = departments.department_id "
+      "GROUP BY department_name");
+  const Diagnostic* d = Find(diags, Code::kJoinTypeMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(JoinTypeMismatch, MatchingClassesAreFine) {
+  EXPECT_FALSE(Fires(
+      Lint("Visualize BAR SELECT department_name , COUNT(id) "
+           "FROM employees JOIN departments "
+           "ON employees.department_id = departments.department_id "
+           "GROUP BY department_name"),
+      Code::kJoinTypeMismatch));
+}
+
+// --- DVQ010 ----------------------------------------------------------------
+
+TEST(AlwaysFalse, ContradictoryBoundsAreAnError) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , COUNT(city) FROM employees "
+           "WHERE age > 100 AND age < 10 GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kAlwaysFalsePredicate);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(AlwaysFalse, EqNeOnSameValue) {
+  EXPECT_TRUE(Fires(Lint("Visualize BAR SELECT city , COUNT(city) "
+                         "FROM employees WHERE city = \"x\" AND "
+                         "city != \"x\" GROUP BY city"),
+                    Code::kAlwaysFalsePredicate));
+}
+
+TEST(AlwaysFalse, ViableOrBranchDowngradesToWarning) {
+  // One OR-branch contradicts itself, the other can match: the chart is
+  // not provably empty, so the finding is a warning on that branch.
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , COUNT(city) FROM employees "
+           "WHERE age > 100 AND age < 10 OR city = \"x\" GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kAlwaysFalsePredicate);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(AlwaysFalse, SatisfiableChainsAreFine) {
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , COUNT(city) "
+                          "FROM employees WHERE age > 10 AND age < 100 "
+                          "GROUP BY city"),
+                     Code::kAlwaysFalsePredicate));
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , COUNT(city) "
+                          "FROM employees WHERE age > 100 OR age < 10 "
+                          "GROUP BY city"),
+                     Code::kAlwaysFalsePredicate));
+}
+
+// --- DVQ011 ----------------------------------------------------------------
+
+TEST(ComparisonTypeMismatch, NonNumericStringAgainstNumericColumn) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , COUNT(city) FROM employees "
+           "WHERE age = \"abc\" GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kComparisonTypeMismatch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(ComparisonTypeMismatch, NumberAgainstTextColumn) {
+  EXPECT_TRUE(Fires(Lint("Visualize BAR SELECT city , COUNT(city) "
+                         "FROM employees WHERE name > 5 GROUP BY city"),
+                    Code::kComparisonTypeMismatch));
+}
+
+TEST(ComparisonTypeMismatch, LikeOnNumericColumn) {
+  EXPECT_TRUE(Fires(Lint("Visualize BAR SELECT city , COUNT(city) "
+                         "FROM employees WHERE age LIKE \"4%\" "
+                         "GROUP BY city"),
+                    Code::kComparisonTypeMismatch));
+}
+
+TEST(ComparisonTypeMismatch, NumericLookingStringIsFine) {
+  // The executor coerces "42" numerically, so it is not a mismatch.
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , COUNT(city) "
+                          "FROM employees WHERE age = \"42\" "
+                          "GROUP BY city"),
+                     Code::kComparisonTypeMismatch));
+}
+
+// --- Helpers / surface ------------------------------------------------------
+
+TEST(Helpers, HasErrorsAndCountByCode) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT citty , SUM(name) FROM employees "
+           "GROUP BY citty");
+  EXPECT_TRUE(HasErrors(diags));
+  std::map<std::string, std::size_t> counts;
+  CountByCode(diags, &counts);
+  EXPECT_EQ(counts["DVQ002"], 2u);  // select[0] and group_by[0]
+  EXPECT_EQ(counts["DVQ003"], 1u);
+  EXPECT_FALSE(HasErrors(Lint(
+      "Visualize LINE SELECT city , COUNT(city) FROM employees")));  // warning
+}
+
+TEST(Helpers, RenderDiagnosticsOnePerLine) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT citty , COUNT(citty) FROM employees "
+           "GROUP BY citty");
+  std::string rendered = RenderDiagnostics(diags);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(rendered.begin(), rendered.end(), '\n')),
+            diags.size());
+  EXPECT_NE(rendered.find("[DVQ002]"), std::string::npos);
+  EXPECT_NE(rendered.find("(fix-it: city)"), std::string::npos);
+  EXPECT_TRUE(RenderDiagnostics({}).empty());
+}
+
+TEST(Suggestions, EditDistanceAndSynonyms) {
+  const nl::Lexicon& lexicon = nl::Lexicon::Default();
+  EXPECT_EQ(SuggestName("citty", {"city", "name", "salary"}, lexicon, 0.5),
+            "city");
+  // Concept-aware: "wage" maps to the same lexicon concept as "salary".
+  EXPECT_EQ(SuggestName("wage", {"city", "name", "salary"}, lexicon, 0.5),
+            "salary");
+  // Nothing close enough: no suggestion at all.
+  EXPECT_EQ(SuggestName("zzzz", {"city", "name"}, lexicon, 0.5), "");
+  EXPECT_GT(NameSimilarity("wage", "salary", lexicon),
+            NameSimilarity("wage", "city", lexicon));
+}
+
+TEST(Locations, SubqueryPrefixAndClauseNames) {
+  std::vector<Diagnostic> diags = Lint(
+      "Visualize BAR SELECT city , COUNT(city) FROM employees WHERE "
+      "salary > (SELECT AVG(budgget) FROM departments) GROUP BY city");
+  const Diagnostic* d = Find(diags, Code::kUnknownColumn);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->location.ToString(), "subquery(1).select[0]");
+  EXPECT_EQ(d->fixit, "budget");
+}
+
+TEST(Analyzer, AliasesResolveBeforeDiagnostics) {
+  // T1.citty must be reported against the real table name.
+  std::vector<Diagnostic> diags = Lint(
+      "Visualize BAR SELECT T1.citty , COUNT(T1.citty) FROM employees AS T1 "
+      "GROUP BY T1.citty");
+  const Diagnostic* d = Find(diags, Code::kUnknownColumn);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("employees"), std::string::npos) << d->message;
+}
+
+// --- Real-literal round-trip (fix-it/normalizer agreement) ------------------
+
+TEST(LiteralRoundTrip, RealsPrintLexableAndExact) {
+  // The DVQ lexer has no exponent notation: "%g"-style "1e+06" used to
+  // break the parse→print→parse fixpoint, and "1.23457e+07" dropped
+  // precision. The printer must emit the shortest plain-decimal form
+  // that round-trips exactly.
+  EXPECT_EQ(dvq::Literal::Real(1e6).ToString(), "1000000");
+  EXPECT_EQ(dvq::Literal::Real(0.5).ToString(), "0.5");
+  EXPECT_EQ(dvq::Literal::Real(12345678.5).ToString(), "12345678.5");
+  for (double v : {1e6, 0.5, 12345678.5, 5e-7, 1.0 / 3.0, -42.125}) {
+    std::string text =
+        "Visualize BAR SELECT city , COUNT(city) FROM employees WHERE "
+        "salary > " +
+        dvq::Literal::Real(v).ToString() + " GROUP BY city";
+    Result<dvq::DVQ> parsed = dvq::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    // Fixpoint: printing and reparsing changes nothing, so fix-it
+    // output and dvq::NormalizeForComparison agree on canonical form.
+    EXPECT_EQ(parsed.value().ToString(), text);
+    dvq::DVQ normalized = dvq::NormalizeForComparison(parsed.value());
+    Result<dvq::DVQ> reparsed = dvq::Parse(normalized.ToString());
+    ASSERT_TRUE(reparsed.ok()) << normalized.ToString();
+    EXPECT_EQ(dvq::NormalizeForComparison(reparsed.value()).ToString(),
+              normalized.ToString());
+    // Exact value preservation (an integral real like 1e6 legitimately
+    // reparses as an int literal; Literal::Equals compares numerically).
+    const dvq::Literal& lit =
+        *parsed.value().query.where->predicates[0].literal;
+    EXPECT_TRUE(lit.Equals(dvq::Literal::Real(v)))
+        << lit.ToString() << " != " << v;
+  }
+}
+
+TEST(Analyzer, EveryCodeIsExercisedSomewhere) {
+  // Meta-test backing the acceptance criterion "every diagnostic code
+  // exercised": one DVQ per code, all against the same schema.
+  const std::vector<std::pair<Code, std::string>> cases = {
+      {Code::kUnknownTable,
+       "Visualize BAR SELECT city , COUNT(city) FROM employes GROUP BY city"},
+      {Code::kUnknownColumn,
+       "Visualize BAR SELECT citty , COUNT(citty) FROM employees "
+       "GROUP BY citty"},
+      {Code::kAggTypeMismatch,
+       "Visualize BAR SELECT city , SUM(name) FROM employees GROUP BY city"},
+      {Code::kAggStarMisuse,
+       "Visualize BAR SELECT city , SUM(*) FROM employees GROUP BY city"},
+      {Code::kGroupByInconsistency,
+       "Visualize BAR SELECT city , name , COUNT(id) FROM employees "
+       "GROUP BY city"},
+      {Code::kBinNonTemporal,
+       "Visualize BAR SELECT city , COUNT(city) FROM employees "
+       "BIN city BY YEAR"},
+      {Code::kChartAxisMismatch,
+       "Visualize LINE SELECT city , COUNT(city) FROM employees"},
+      {Code::kJoinNotForeignKey,
+       "Visualize BAR SELECT department_name , COUNT(id) FROM employees "
+       "JOIN departments ON employees.id = departments.department_id "
+       "GROUP BY department_name"},
+      {Code::kJoinTypeMismatch,
+       "Visualize BAR SELECT department_name , COUNT(id) FROM employees "
+       "JOIN departments ON employees.name = departments.department_id "
+       "GROUP BY department_name"},
+      {Code::kAlwaysFalsePredicate,
+       "Visualize BAR SELECT city , COUNT(city) FROM employees "
+       "WHERE age > 100 AND age < 10 GROUP BY city"},
+      {Code::kComparisonTypeMismatch,
+       "Visualize BAR SELECT city , COUNT(city) FROM employees "
+       "WHERE age = \"abc\" GROUP BY city"},
+  };
+  ASSERT_EQ(cases.size(), kNumCodes);
+  for (const auto& [code, text] : cases) {
+    EXPECT_TRUE(Fires(Lint(text), code))
+        << CodeName(code) << " not fired by: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace gred::analysis

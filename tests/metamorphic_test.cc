@@ -14,6 +14,10 @@
 //   4. Executor results are invariant under schema synonym renames when
 //      the DVQ is rewritten with the recorded rename map (same cells;
 //      column labels follow the renames).
+//   5. Lint-clean DVQs stay lint-clean (analysis::DvqAnalyzer) under
+//      column reorder and under synonym renames with the rewritten DVQ:
+//      the analyzer reasons about names and types, neither of which
+//      those transformations may change observably.
 //
 // Each violation is recorded as a deterministic fingerprint string; the
 // suite asserts no violations AND that two independent harness runs
@@ -24,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "dataset/benchmark.h"
 #include "dataset/perturb.h"
 #include "dvq/parser.h"
@@ -180,6 +185,23 @@ std::vector<std::string> RunHarness(std::uint64_t seed) {
         dataset::RewriteDvq(example.dvq, *clean, renames->second);
     if (Fingerprint(exec::Execute(rewritten, rob->data)) != baseline) {
       violations.push_back("synonym-rename:" + example.id);
+    }
+
+    // Invariant 5: lint-clean DVQs stay lint-clean. Column reorder
+    // changes no name or type, so the original DVQ must stay clean
+    // against the reordered schema; a synonym rename changes names
+    // consistently on both sides, so the rewritten DVQ must stay clean
+    // against the renamed schema.
+    analysis::DvqAnalyzer clean_analyzer(&clean->data.db_schema());
+    if (clean_analyzer.Analyze(example.dvq).empty()) {
+      analysis::DvqAnalyzer reordered_analyzer(&reordered.db_schema());
+      if (!reordered_analyzer.Analyze(example.dvq).empty()) {
+        violations.push_back("lint-column-reorder:" + example.id);
+      }
+      analysis::DvqAnalyzer rob_analyzer(&rob->data.db_schema());
+      if (!rob_analyzer.Analyze(rewritten).empty()) {
+        violations.push_back("lint-synonym-rename:" + example.id);
+      }
     }
   }
   return violations;

@@ -1,0 +1,121 @@
+// dvqlint — schema-aware static analysis of DVQs (DESIGN.md §12).
+//
+// Lints one or more DVQs against a generated database's schema and
+// prints the analyzer's diagnostics (stable DVQ0xx codes, severity,
+// structural AST location, fix-it hints) one per line.
+//
+//   $ ./build/tools/dvqlint hr_1 "Visualize BAR SELECT citty ,
+//     COUNT(citty) FROM employees GROUP BY citty"
+//   $ ./build/tools/dvqlint hr_1 examples/dvqs/clean.dvq
+//   $ echo "Visualize ..." | ./build/tools/dvqlint hr_1
+//
+// Arguments after the database name are DVQ files (one query per line,
+// '#' comments ignored) when they name a readable file, inline DVQ text
+// otherwise; with neither, queries are read from stdin. Exit status:
+// 0 = no error-level diagnostics, 1 = at least one error (or, with
+// --werror, warning), 2 = usage / unknown database / unparseable DVQ.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "dataset/benchmark.h"
+#include "dvq/parser.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace gred;
+
+struct Input {
+  std::string origin;  // "file:line" or "arg" / "stdin"
+  std::string text;
+};
+
+void CollectFromStream(std::istream& in, const std::string& name,
+                       std::vector<Input>* out) {
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string trimmed = strings::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    out->push_back({name + ":" + std::to_string(lineno), trimmed});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: dvqlint [--werror] <database> [dvq-file | dvq]...\n"
+                 "       (no dvq arguments: queries are read from stdin)\n");
+    return 2;
+  }
+  const std::string& db_name = positional.front();
+
+  std::vector<Input> inputs;
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    std::ifstream file(positional[i]);
+    if (file.good()) {
+      CollectFromStream(file, positional[i], &inputs);
+    } else {
+      inputs.push_back({"arg", positional[i]});
+    }
+  }
+  if (inputs.empty()) CollectFromStream(std::cin, "stdin", &inputs);
+  if (inputs.empty()) {
+    std::fprintf(stderr, "no DVQ given\n");
+    return 2;
+  }
+
+  dataset::BenchmarkOptions options;
+  options.train_size = 1;  // databases only; no training pairs needed
+  options.test_size = 1;
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  const dataset::GeneratedDatabase* db = suite.FindCleanDb(db_name);
+  if (db == nullptr) {
+    std::fprintf(stderr, "unknown database '%s'\n", db_name.c_str());
+    return 2;
+  }
+
+  analysis::DvqAnalyzer analyzer(&db->data.db_schema());
+  bool any_error = false;
+  std::size_t findings = 0;
+  for (const Input& input : inputs) {
+    Result<dvq::DVQ> parsed = dvq::Parse(input.text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: parse error: %s\n", input.origin.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    std::vector<analysis::Diagnostic> diagnostics =
+        analyzer.Analyze(parsed.value());
+    findings += diagnostics.size();
+    for (const analysis::Diagnostic& d : diagnostics) {
+      std::printf("%s: %s\n", input.origin.c_str(), d.ToString().c_str());
+      if (d.severity == analysis::Severity::kError ||
+          (werror && d.severity == analysis::Severity::kWarning)) {
+        any_error = true;
+      }
+    }
+  }
+  std::fprintf(stderr, "%zu quer%s linted, %zu finding%s\n", inputs.size(),
+               inputs.size() == 1 ? "y" : "ies", findings,
+               findings == 1 ? "" : "s");
+  return any_error ? 1 : 0;
+}
