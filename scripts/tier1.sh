@@ -35,6 +35,50 @@ echo "== tier-1: micro-benchmark smoke (Release retrieval kernel) =="
 # (regenerate those with a plain `scripts/bench_report`).
 "$ROOT/scripts/bench_report" --smoke "$ROOT/build/BENCH_retrieval_smoke.json"
 
+echo "== tier-1: serve smoke (wire protocol end to end) =="
+# Three requests through the real CLI serve loop: a valid translate, a
+# malformed line and an over-budget request. Every line in must produce
+# exactly one well-formed JSON response out, with the right verdicts,
+# and the server must shut down cleanly on EOF.
+SERVE_OUT="$ROOT/build/serve_smoke.ndjson"
+printf '%s\n' \
+  '{"id":1,"nlq":"What are cinema_name and open year in cinemas? Plot a bar chart.","db":"library_1"}' \
+  '{this is not json}' \
+  '{"id":3,"nlq":"What are cinema_name and open year in cinemas? Plot a bar chart.","db":"library_1","budget_rows":1}' \
+  | GRED_BENCH_TRAIN_SIZE=250 GRED_BENCH_TEST_SIZE=40 GRED_SERVE_TIMINGS=0 \
+    "$ROOT/build/tools/gredvis" serve >"$SERVE_OUT"
+SERVE_OUT="$SERVE_OUT" python3 - <<'PY'
+import json, os, sys
+
+with open(os.environ["SERVE_OUT"]) as f:
+    lines = [line for line in f.read().splitlines() if line.strip()]
+if len(lines) != 3:
+    sys.exit(f"serve smoke: expected 3 responses, got {len(lines)}")
+replies = {}
+for line in lines:
+    reply = json.loads(line)  # every response must be well-formed JSON
+    replies[reply.get("id")] = reply
+ok = replies.get(1, {})
+if not ok.get("ok") or ok.get("rows", 0) < 1 or "dvq" not in ok:
+    sys.exit(f"serve smoke: bad translate response: {ok}")
+bad = replies.get(None, {})
+if bad.get("ok") is not False or bad.get("code") != "ParseError":
+    sys.exit(f"serve smoke: bad malformed-line response: {bad}")
+tripped = replies.get(3, {})
+if tripped.get("ok") is not False or not tripped.get("resource_exhausted"):
+    sys.exit(f"serve smoke: bad over-budget response: {tripped}")
+print("serve smoke: 3/3 responses well-formed, clean shutdown")
+PY
+
+echo "== tier-1: serve-sweep smoke (replay identity + admission control) =="
+# One-worker trace replay through scripts/bench_report --serve: the
+# binary itself asserts byte-identity with the serial transcript and
+# exact response accounting under the overload burst. Writes to build/
+# so a smoke run never overwrites the committed BENCH_serve.json.
+GRED_SERVE_THREADS=1 GRED_SERVE_REQUESTS=12 \
+  "$ROOT/scripts/bench_report" --serve --smoke \
+  "$ROOT/build/BENCH_serve_smoke.json"
+
 echo "== tier-1: ThreadSanitizer pass (parallel harness + fault layer) =="
 if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DGRED_SANITIZE=thread \
@@ -46,7 +90,7 @@ if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
 fi
 cmake --build "$ROOT/build-tsan" -j"$JOBS" \
   --target thread_pool_test eval_test llm_test gred_test \
-           retrieval_equivalence_test
+           retrieval_equivalence_test serve_test
 # TSAN_OPTIONS makes any detected race fail the run loudly.
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/thread_pool_test"
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/eval_test" \
@@ -58,6 +102,10 @@ TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/gred_test" \
 TSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-tsan/tests/retrieval_equivalence_test" \
   --gtest_filter='CachingEmbedder.*'
+# The serving layer is the repo's most concurrent surface: a bounded
+# MPMC queue, a worker pool sharing one Gred, and per-stream response
+# serialization — the whole test binary runs under TSan.
+TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/serve_test"
 
 echo "== tier-1: ASan+UBSan pass (fuzz + resource-guard tests) =="
 # The fuzz harness and the guard layer see adversarial inputs (oversized,
@@ -74,7 +122,7 @@ if ! cmake -B "$ROOT/build-asan" -S "$ROOT" \
 fi
 cmake --build "$ROOT/build-asan" -j"$JOBS" \
   --target fuzz_test dvq_test resource_guard_test metamorphic_test \
-           analysis_test
+           analysis_test json_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/fuzz_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
@@ -85,5 +133,10 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/metamorphic_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/analysis_test"
+# The JSON parser is the wire protocol's first line of defense: its
+# regression suite (depth cap, strtod end-pointer, surrogate pairs)
+# runs under ASan+UBSan so a parser overread fails loudly.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/json_test"
 
 echo "== tier-1: OK =="

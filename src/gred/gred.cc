@@ -132,11 +132,20 @@ Result<dvq::DVQ> Gred::ParseWithinStageBudget(const std::string& text,
 
 Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
                                  const storage::DatabaseData& db) const {
+  return TranslateWithTrace(nlq, db, nullptr);
+}
+
+Result<dvq::DVQ> Gred::TranslateWithTrace(const std::string& nlq,
+                                          const storage::DatabaseData& db,
+                                          Trace* trace_out) const {
   // The trace is built locally and committed at the end so concurrent
-  // Translate calls never interleave writes into trace_.
+  // Translate calls never interleave writes into trace_; `trace_out`
+  // receives this call's own copy (per-request flags for the serving
+  // layer, race-free under concurrent sessions).
   Trace trace;
   translate_calls_.fetch_add(1, std::memory_order_relaxed);
-  auto commit_trace = [this, &trace] {
+  auto commit_trace = [this, &trace, trace_out] {
+    if (trace_out != nullptr) *trace_out = trace;
     std::lock_guard<std::mutex> lock(trace_mutex_);
     trace_ = trace;
   };

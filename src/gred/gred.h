@@ -118,6 +118,18 @@ class Gred : public models::TextToVisModel {
   /// call committed its trace last).
   Trace last_trace() const;
 
+  /// Translate variant reporting this call's trace through `trace_out`
+  /// (may be null). Under concurrency `last_trace()` only reflects
+  /// whichever call committed last, so callers that need *their own*
+  /// call's degradation flags — the serving layer stamps them into
+  /// every response — use this overload instead of racing on
+  /// `last_trace()`. The shared trace is still committed, so
+  /// `last_trace()` semantics are unchanged; `Translate(nlq, db)` is
+  /// exactly this call with a null `trace_out`.
+  Result<dvq::DVQ> TranslateWithTrace(const std::string& nlq,
+                                      const storage::DatabaseData& db,
+                                      Trace* trace_out) const;
+
   /// Cumulative wall time spent in each pipeline stage across every
   /// Translate on this instance (summed over threads in parallel runs).
   struct StageStats {

@@ -1,0 +1,109 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+
+namespace gred::serve {
+
+namespace {
+
+/// Reads an optional non-negative integer field (deadline_ms,
+/// budget_rows). Absent -> 0 (meaning "server default"); present but
+/// not a non-negative finite number -> error.
+Result<std::uint64_t> ReadBudgetField(const json::Value& obj,
+                                      const char* key) {
+  const json::Value* field = obj.Find(key);
+  if (field == nullptr || field->is_null()) return std::uint64_t{0};
+  if (field->kind() != json::Value::Kind::kNumber) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a number");
+  }
+  double d = field->number_value();
+  if (!std::isfinite(d) || d < 0 || d > 9.2e18) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' out of range");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line) {
+  if (line.size() > kMaxRequestBytes) {
+    return Status::InvalidArgument("request too large");
+  }
+  json::ParseResult parsed = json::Parse(line);
+  if (!parsed.ok()) {
+    return Status::ParseError(parsed.error());
+  }
+  const json::Value& obj = parsed.value();
+  if (obj.kind() != json::Value::Kind::kObject) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  Request req;
+  if (const json::Value* id = obj.Find("id")) req.id = *id;
+
+  std::string type = "translate";
+  if (const json::Value* t = obj.Find("type")) {
+    if (t->kind() != json::Value::Kind::kString) {
+      return Status::InvalidArgument("'type' must be a string");
+    }
+    type = t->string_value();
+  }
+  if (type == "stats") {
+    req.type = RequestType::kStats;
+    return req;
+  }
+  if (type != "translate") {
+    return Status::InvalidArgument("unknown request type '" + type + "'");
+  }
+
+  const json::Value* nlq = obj.Find("nlq");
+  if (nlq == nullptr || nlq->kind() != json::Value::Kind::kString ||
+      nlq->string_value().empty()) {
+    return Status::InvalidArgument("'nlq' must be a non-empty string");
+  }
+  req.nlq = nlq->string_value();
+
+  const json::Value* db = obj.Find("db");
+  if (db == nullptr) db = obj.Find("schema");  // wire alias
+  if (db == nullptr || db->kind() != json::Value::Kind::kString ||
+      db->string_value().empty()) {
+    return Status::InvalidArgument(
+        "'db' (or 'schema') must be a non-empty string");
+  }
+  req.db = db->string_value();
+
+  GRED_ASSIGN_OR_RETURN(std::uint64_t deadline_ms,
+                        ReadBudgetField(obj, "deadline_ms"));
+  GRED_ASSIGN_OR_RETURN(req.limits.row_budget,
+                        ReadBudgetField(obj, "budget_rows"));
+  // Saturate rather than overflow on absurd deadlines.
+  req.limits.deadline_ticks =
+      deadline_ms > (~std::uint64_t{0}) / kAccountedTicksPerMs
+          ? ~std::uint64_t{0}
+          : deadline_ms * kAccountedTicksPerMs;
+
+  if (const json::Value* chart = obj.Find("chart")) {
+    if (chart->kind() != json::Value::Kind::kBool) {
+      return Status::InvalidArgument("'chart' must be a boolean");
+    }
+    req.want_chart = chart->bool_value();
+  }
+  return req;
+}
+
+std::string ErrorResponse(const json::Value* id, const Status& status) {
+  json::Value out = json::Value::Object();
+  if (id != nullptr && !id->is_null()) out.Set("id", *id);
+  out.Set("ok", json::Value::Bool(false));
+  out.Set("error", json::Value::Str(status.message()));
+  out.Set("code", json::Value::Str(StatusCodeToString(status.code())));
+  return out.Dump();
+}
+
+std::string OverloadedResponse(const json::Value* id) {
+  return ErrorResponse(id, Status::Unavailable("overloaded"));
+}
+
+}  // namespace gred::serve

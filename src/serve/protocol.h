@@ -1,0 +1,75 @@
+#ifndef GREDVIS_SERVE_PROTOCOL_H_
+#define GREDVIS_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+#include "util/resource_guard.h"
+#include "util/status.h"
+
+namespace gred::serve {
+
+/// The wire protocol is newline-delimited JSON (one request object per
+/// line, one response object per line; see DESIGN.md §13 for the full
+/// grammar). Requests:
+///
+///   {"id": <any>, "nlq": "<question>", "db": "<database>",
+///    "deadline_ms": <number>, "budget_rows": <number>, "chart": <bool>}
+///   {"id": <any>, "type": "stats"}
+///
+/// `id` is echoed verbatim into the response so clients can match
+/// responses arriving in completion order. `schema` is accepted as an
+/// alias for `db`. Responses always carry `"ok"`; errors add `"error"`
+/// (message) and `"code"` (stable StatusCode name).
+
+/// Hard cap on one request line. Longer lines are rejected with
+/// kInvalidArgument before JSON parsing — the first line of defense for
+/// untrusted bytes (the parser's own caps are the second).
+inline constexpr std::size_t kMaxRequestBytes = 1 << 20;  // 1 MiB
+
+/// Deterministic conversion from the wire's `deadline_ms` to accounted
+/// ticks (util/resource_guard.h): the SLO is enforced in the guard
+/// layer's deterministic work units, not wall clock, so a request trips
+/// at the same point on every machine and every replay. 1 ms is
+/// calibrated as 1000 accounted ticks (~1 tick/µs at the executor's
+/// row-visit granularity on commodity hardware).
+inline constexpr std::uint64_t kAccountedTicksPerMs = 1000;
+
+enum class RequestType {
+  kTranslate,  // default: NLQ -> DVQ -> chart
+  kStats,      // dashboard endpoint: cache hit rates + stage counters
+};
+
+/// A validated request, decoded from one wire line.
+struct Request {
+  RequestType type = RequestType::kTranslate;
+  /// Echoed into the response; kNull when the client sent none.
+  json::Value id;
+  std::string nlq;
+  std::string db;
+  /// Per-request SLO from `deadline_ms` / `budget_rows`; zero fields
+  /// fall back to the server's default limits.
+  GuardLimits limits;
+  /// Include the Vega-Lite spec in the response (`"chart": false` for
+  /// trace replays that only need the DVQ).
+  bool want_chart = true;
+};
+
+/// Parses and validates one request line. Errors are typed: oversized
+/// lines and schema violations are kInvalidArgument, malformed JSON is
+/// kParseError; the caller turns either into an error response.
+Result<Request> ParseRequest(const std::string& line);
+
+/// Renders an error response: {"id":...,"ok":false,"error":...,"code":...}.
+/// `id` may be null (unparseable requests have no echoable id).
+std::string ErrorResponse(const json::Value* id, const Status& status);
+
+/// Renders the admission-control rejection, `{"error":"overloaded"}`
+/// with the standard envelope. Sent when the bounded queue is full —
+/// the server sheds load instead of queuing unboundedly.
+std::string OverloadedResponse(const json::Value* id);
+
+}  // namespace gred::serve
+
+#endif  // GREDVIS_SERVE_PROTOCOL_H_

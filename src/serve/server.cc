@@ -1,0 +1,332 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "dvq/sql.h"
+#include "util/strings.h"
+#include "viz/chart.h"
+
+namespace gred::serve {
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RequestQueue::TryPush(Job&& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool RequestQueue::Pop(Job* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return false;  // closed and drained
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+void Session::Write(const std::string& response_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (*out_) << response_line << '\n';
+  out_->flush();
+  responses_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+namespace {
+
+/// Request limits override the server defaults field by field (a
+/// request that only sets budget_rows still inherits the default
+/// deadline).
+GuardLimits MergeLimits(const GuardLimits& request,
+                        const GuardLimits& defaults) {
+  GuardLimits merged = request;
+  if (merged.deadline_ticks == 0) merged.deadline_ticks = defaults.deadline_ticks;
+  if (merged.row_budget == 0) merged.row_budget = defaults.row_budget;
+  if (merged.memory_budget == 0) merged.memory_budget = defaults.memory_budget;
+  if (merged.join_budget == 0) merged.join_budget = defaults.join_budget;
+  return merged;
+}
+
+std::int64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(const dataset::BenchmarkSuite* suite, const core::Gred* gred,
+               ServerOptions options)
+    : suite_(suite),
+      gred_(gred),
+      options_(options),
+      queue_(options.queue_capacity) {
+  if (options_.num_workers == 0) options_.num_workers = HardwareThreads();
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(pool_->Submit([this] {
+      Job job;
+      while (queue_.Pop(&job)) job.done(Process(job.request));
+    }));
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.Close();
+  for (std::future<void>& worker : workers_) worker.get();
+  workers_.clear();
+}
+
+void Server::Submit(const std::string& line, ResponseCallback done) {
+  received_.fetch_add(1, std::memory_order_relaxed);
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    // Never queued: malformed bytes cost one parse, not a worker slot.
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    done(ErrorResponse(nullptr, parsed.status()));
+    return;
+  }
+  Request& request = parsed.value();
+  if (request.type == RequestType::kStats) {
+    // The dashboard endpoint answers inline: it reads counters and
+    // caches, does no translation work, and must respond even (indeed
+    // especially) when the queue is saturated.
+    stats_requests_.fetch_add(1, std::memory_order_relaxed);
+    done(StatsResponse(request));
+    return;
+  }
+  Job job{std::move(request), std::move(done)};
+  if (!queue_.TryPush(std::move(job))) {
+    // Admission control: reject-on-full is the backpressure contract —
+    // a bounded backlog, never an unbounded one.
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    job.done(OverloadedResponse(&job.request.id));
+  }
+}
+
+std::string Server::Handle(const std::string& line) const {
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) return ErrorResponse(nullptr, parsed.status());
+  if (parsed.value().type == RequestType::kStats) {
+    return StatsResponse(parsed.value());
+  }
+  return Process(parsed.value());
+}
+
+int Server::ServeStream(std::istream& in, std::ostream& out) {
+  Session session(&out);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (strings::Trim(line).empty()) continue;
+    Submit(line,
+           [&session](const std::string& response) { session.Write(response); });
+  }
+  // EOF: drain everything admitted, then return. Every submitted line
+  // has exactly one response on `out` by the time this returns.
+  Shutdown();
+  return 0;
+}
+
+std::string Server::Process(const Request& request) const {
+  const bool timed = options_.include_timings;
+  const auto start = std::chrono::steady_clock::now();
+
+  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(request.db);
+  if (db == nullptr) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(&request.id,
+                         Status::NotFound("unknown database '" + request.db +
+                                          "'"));
+  }
+
+  // Translation runs on the shared Gred (shared CachingEmbedder +
+  // annotation caches across all sessions); the per-call trace carries
+  // this request's own degradation flags.
+  core::Gred::Trace trace;
+  const auto translate_start = std::chrono::steady_clock::now();
+  Result<dvq::DVQ> dvq =
+      gred_->TranslateWithTrace(request.nlq, db->data, &trace);
+  const std::int64_t translate_us =
+      timed ? ElapsedMicros(translate_start) : 0;
+  if (!dvq.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (dvq.status().IsResourceExhausted()) {
+      resource_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ErrorResponse(&request.id, dvq.status());
+  }
+
+  json::Value out = json::Value::Object();
+  if (!request.id.is_null()) out.Set("id", request.id);
+
+  // The request's SLO: deadline_ms/budget_rows arm a fresh ExecContext
+  // for the data path (PR 4's guards — deterministic accounted ticks,
+  // so a trip lands at the same row on every replay).
+  GuardLimits limits = MergeLimits(request.limits, options_.default_limits);
+  ExecContext guard(limits);
+  const auto execute_start = std::chrono::steady_clock::now();
+  Result<viz::Chart> chart =
+      viz::BuildChart(dvq.value(), db->data, &guard);
+  const std::int64_t execute_us = timed ? ElapsedMicros(execute_start) : 0;
+
+  out.Set("ok", json::Value::Bool(chart.ok()));
+  out.Set("dvq", json::Value::Str(dvq.value().ToString()));
+  out.Set("sql", json::Value::Str(dvq::ToSql(dvq.value())));
+  json::Value degraded = json::Value::Object();
+  degraded.Set("retuner", json::Value::Bool(trace.rtn_degraded));
+  degraded.Set("debugger", json::Value::Bool(trace.dbg_degraded));
+  out.Set("degraded", std::move(degraded));
+
+  if (chart.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    out.Set("rows", json::Value::Int(
+                        static_cast<std::int64_t>(chart.value().data.num_rows())));
+    if (request.want_chart) out.Set("chart", viz::ToVegaLite(chart.value()));
+  } else {
+    // Translation produced a valid DVQ but the data path failed — a
+    // budget trip (the SLO fired) or the paper's "no chart shown"
+    // failure mode. The DVQ/SQL stay in the response: the client can
+    // retry with a bigger budget without re-translating.
+    const Status& status = chart.status();
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (status.IsResourceExhausted() ||
+        status.code() == StatusCode::kCancelled) {
+      resource_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      out.Set("resource_exhausted", json::Value::Bool(true));
+    }
+    out.Set("error", json::Value::Str(status.message()));
+    out.Set("code", json::Value::Str(StatusCodeToString(status.code())));
+  }
+
+  if (timed) {
+    json::Value timings = json::Value::Object();
+    timings.Set("translate_us", json::Value::Int(translate_us));
+    timings.Set("execute_us", json::Value::Int(execute_us));
+    timings.Set("total_us", json::Value::Int(ElapsedMicros(start)));
+    out.Set("timings_us", std::move(timings));
+  }
+  return out.Dump();
+}
+
+std::string Server::StatsResponse(const Request& request) const {
+  json::Value out = json::Value::Object();
+  if (!request.id.is_null()) out.Set("id", request.id);
+  out.Set("ok", json::Value::Bool(true));
+
+  ServerStats snapshot = stats();
+  json::Value server = json::Value::Object();
+  server.Set("received", json::Value::Int(
+                             static_cast<std::int64_t>(snapshot.received)));
+  server.Set("completed", json::Value::Int(
+                              static_cast<std::int64_t>(snapshot.completed)));
+  server.Set("failed",
+             json::Value::Int(static_cast<std::int64_t>(snapshot.failed)));
+  server.Set("rejected_overload",
+             json::Value::Int(
+                 static_cast<std::int64_t>(snapshot.rejected_overload)));
+  server.Set("rejected_invalid",
+             json::Value::Int(
+                 static_cast<std::int64_t>(snapshot.rejected_invalid)));
+  server.Set("resource_exhausted",
+             json::Value::Int(
+                 static_cast<std::int64_t>(snapshot.resource_exhausted)));
+  server.Set("queue_depth", json::Value::Int(static_cast<std::int64_t>(
+                                snapshot.queue_depth)));
+  server.Set("queue_capacity", json::Value::Int(static_cast<std::int64_t>(
+                                   snapshot.queue_capacity)));
+  server.Set("workers",
+             json::Value::Int(static_cast<std::int64_t>(snapshot.workers)));
+  out.Set("server", std::move(server));
+
+  embed::CachingEmbedder::Stats cache = gred_->embed_cache_stats();
+  json::Value embed_cache = json::Value::Object();
+  embed_cache.Set("hits",
+                  json::Value::Int(static_cast<std::int64_t>(cache.hits)));
+  embed_cache.Set("misses",
+                  json::Value::Int(static_cast<std::int64_t>(cache.misses)));
+  double lookups = static_cast<double>(cache.hits + cache.misses);
+  embed_cache.Set("hit_rate",
+                  json::Value::Number(
+                      lookups > 0 ? static_cast<double>(cache.hits) / lookups
+                                  : 0.0));
+  out.Set("embed_cache", std::move(embed_cache));
+
+  core::Gred::StageStats stages = gred_->stage_stats();
+  json::Value stage = json::Value::Object();
+  stage.Set("translate_calls",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.translate_calls)));
+  stage.Set("retune_degraded",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.retune_degraded)));
+  stage.Set("debug_degraded",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.debug_degraded)));
+  stage.Set("retune_budget_trips",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.retune_budget_trips)));
+  stage.Set("debug_budget_trips",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.debug_budget_trips)));
+  stage.Set("retune_lint_trips",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.retune_lint_trips)));
+  stage.Set("debug_lint_trips",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.debug_lint_trips)));
+  out.Set("stages", std::move(stage));
+  return out.Dump();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.received = received_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.resource_exhausted = resource_exhausted_.load(std::memory_order_relaxed);
+  s.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.depth();
+  s.queue_capacity = queue_.capacity();
+  s.workers = options_.num_workers;
+  return s;
+}
+
+}  // namespace gred::serve

@@ -1,0 +1,195 @@
+#ifndef GREDVIS_SERVE_SERVER_H_
+#define GREDVIS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dataset/benchmark.h"
+#include "gred/gred.h"
+#include "serve/protocol.h"
+#include "util/thread_pool.h"
+
+namespace gred::serve {
+
+/// Invoked exactly once per submitted request with the finished
+/// response line (no trailing newline). Called from a worker thread for
+/// queued work, or inline from Submit for rejections, parse errors and
+/// stats requests.
+using ResponseCallback = std::function<void(const std::string&)>;
+
+/// One admitted unit of work: a validated translate request plus its
+/// completion callback.
+struct Job {
+  Request request;
+  ResponseCallback done;
+};
+
+/// A bounded MPMC queue — the server's admission control. TryPush
+/// refuses (returns false) when the queue is at capacity or closed, so
+/// overload sheds immediately instead of growing an unbounded backlog;
+/// Pop blocks until work arrives or the queue is closed *and* drained,
+/// which is what makes shutdown clean: close, then let workers finish
+/// everything already admitted.
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Admits `job` unless the queue is full or closed (in which case
+  /// `job` is left untouched — the caller still owns it). Thread-safe.
+  bool TryPush(Job&& job);
+  /// Blocks for the next job; returns false when closed and empty.
+  bool Pop(Job* out);
+  /// No further admissions; Pop drains the backlog then returns false.
+  void Close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<Job> queue_;
+  bool closed_ = false;
+};
+
+/// Per-stream connection state: serializes response lines onto one
+/// output stream (workers finish in completion order, so concurrent
+/// writes must not interleave) and counts what flowed through.
+class Session {
+ public:
+  explicit Session(std::ostream* out) : out_(out) {}
+
+  /// Writes one response line (appends '\n' and flushes). Thread-safe.
+  void Write(const std::string& response_line);
+
+  std::uint64_t responses_written() const {
+    return responses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::ostream* out_;  // not owned
+  std::mutex mu_;
+  std::atomic<std::uint64_t> responses_{0};
+};
+
+/// Server configuration.
+struct ServerOptions {
+  /// Worker threads draining the request queue. 0 = HardwareThreads().
+  std::size_t num_workers = 0;
+  /// Admission-control bound: requests beyond this backlog are rejected
+  /// with {"error":"overloaded"} instead of queued.
+  std::size_t queue_capacity = 64;
+  /// Stamp per-stage timings (µs) into responses. Off = responses are
+  /// byte-deterministic, which the replay-identity bench and tests use.
+  bool include_timings = true;
+  /// SLO applied to requests that carry no deadline_ms / budget_rows of
+  /// their own (field-by-field: a request overrides only what it sets).
+  GuardLimits default_limits;
+};
+
+/// Monotonic counters for the stats endpoint (snapshot; consistent
+/// enough for dashboards, not a barrier).
+struct ServerStats {
+  std::uint64_t received = 0;           // lines submitted
+  std::uint64_t rejected_overload = 0;  // shed by admission control
+  std::uint64_t rejected_invalid = 0;   // parse/validation failures
+  std::uint64_t completed = 0;          // translate responses, ok=true
+  std::uint64_t failed = 0;             // translate responses, ok=false
+  std::uint64_t resource_exhausted = 0; // subset of failed: budget trips
+  std::uint64_t stats_requests = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t workers = 0;
+};
+
+/// The long-lived serving loop (DESIGN.md §13): newline-delimited JSON
+/// requests in, JSON responses out, a bounded worker pool over the
+/// shared ThreadPool, and one shared Gred instance so every session
+/// hits the same CachingEmbedder and annotation caches.
+///
+/// Request flow: Submit parses and validates on the caller's thread
+/// (cheap, and rejections must not consume queue slots), answers stats
+/// requests inline, and admits translate work through the bounded
+/// RequestQueue — full queue means an immediate overload rejection.
+/// Workers pop, translate under the shared Gred, execute the DVQ under
+/// the request's own ExecContext (deadline_ms/budget_rows — PR 4's
+/// guards as the SLO layer), and complete the callback.
+///
+/// Determinism: with include_timings=false, concurrent responses are
+/// byte-identical to a serial Handle() replay of the same requests
+/// (asserted by serve_test and the serve_sweep bench).
+class Server {
+ public:
+  /// `suite` resolves database names; `gred` is the shared translation
+  /// pipeline. Both are borrowed and must outlive the server.
+  Server(const dataset::BenchmarkSuite* suite, const core::Gred* gred,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Asynchronous entry point: admission control now, completion later
+  /// (or immediately for rejections/stats). `done` runs exactly once.
+  void Submit(const std::string& line, ResponseCallback done);
+
+  /// Synchronous reference path: processes one request line to its
+  /// response on the calling thread, bypassing the queue. This is the
+  /// single-threaded batch baseline the concurrent path is checked
+  /// against (it shares all per-request code with the workers).
+  std::string Handle(const std::string& line) const;
+
+  /// Runs the blocking serve loop: one request per input line, one
+  /// response per request on `out` in completion order. Returns after
+  /// EOF once every admitted request has been answered. Empty lines are
+  /// ignored (convenient for hand-typed sessions and trace files).
+  int ServeStream(std::istream& in, std::ostream& out);
+
+  /// Closes the queue, drains admitted work, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  /// Executes one validated translate request (workers + Handle share
+  /// this; determinism of the serve layer = determinism of this
+  /// function given a request).
+  std::string Process(const Request& request) const;
+  /// Renders the stats response for the dashboard endpoint.
+  std::string StatsResponse(const Request& request) const;
+
+  const dataset::BenchmarkSuite* suite_;  // not owned
+  const core::Gred* gred_;                // not owned
+  ServerOptions options_;
+  RequestQueue queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> workers_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mu_;
+
+  mutable std::atomic<std::uint64_t> received_{0};
+  mutable std::atomic<std::uint64_t> rejected_overload_{0};
+  mutable std::atomic<std::uint64_t> rejected_invalid_{0};
+  mutable std::atomic<std::uint64_t> completed_{0};
+  mutable std::atomic<std::uint64_t> failed_{0};
+  mutable std::atomic<std::uint64_t> resource_exhausted_{0};
+  mutable std::atomic<std::uint64_t> stats_requests_{0};
+};
+
+}  // namespace gred::serve
+
+#endif  // GREDVIS_SERVE_SERVER_H_

@@ -81,6 +81,12 @@ std::string Escape(const std::string& s) {
       case '\r':
         out += "\\r";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -178,7 +184,7 @@ class Parser {
     SkipWs();
     Value v;
     std::string error;
-    if (!ParseValue(&v, &error)) return ParseResult(std::move(error));
+    if (!ParseValue(&v, &error, 0)) return ParseResult(std::move(error));
     SkipWs();
     if (pos_ != text_.size()) {
       return ParseResult("trailing content at offset " +
@@ -210,11 +216,20 @@ class Parser {
     return false;
   }
 
-  bool ParseValue(Value* out, std::string* error) {
+  bool ParseValue(Value* out, std::string* error, int depth) {
     if (pos_ >= text_.size()) return Fail(error, "unexpected end");
     char c = text_[pos_];
-    if (c == '{') return ParseObject(out, error);
-    if (c == '[') return ParseArray(out, error);
+    if (c == '{' || c == '[') {
+      // One native stack frame per nesting level: cap the depth so a
+      // line of a few thousand '[' is a parse error, not a stack
+      // overflow (see kMaxJsonDepth).
+      if (depth >= kMaxJsonDepth) {
+        return Fail(error, "nesting exceeds the maximum depth of " +
+                               std::to_string(kMaxJsonDepth));
+      }
+      return c == '{' ? ParseObject(out, error, depth)
+                      : ParseArray(out, error, depth);
+    }
     if (c == '"') {
       std::string s;
       if (!ParseString(&s, error)) return false;
@@ -238,9 +253,12 @@ class Parser {
 
   bool ParseNumber(Value* out, std::string* error) {
     std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
+    // JSON has no leading '+', and strtod would happily accept one, so
+    // the end-pointer check below cannot catch it — reject it up front.
+    if (pos_ < text_.size() && text_[pos_] == '+') {
+      return Fail(error, "expected a value");
     }
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     bool digits = false;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
@@ -254,7 +272,38 @@ class Parser {
       pos_ = start;
       return Fail(error, "expected a value");
     }
-    *out = Value::Number(std::strtod(text_.c_str() + start, nullptr));
+    // The greedy scan above over-consumes ("1.2.3", "1e+e5", "1-2"):
+    // accept the span only when strtod converts every consumed byte, so
+    // garbage is a parse error instead of a silently truncated number.
+    char* end = nullptr;
+    double parsed = std::strtod(text_.c_str() + start, &end);
+    if (end != text_.c_str() + pos_) {
+      pos_ = start;
+      return Fail(error, "malformed number");
+    }
+    *out = Value::Number(parsed);
+    return true;
+  }
+
+  /// Consumes exactly four hex digits (the payload of a \u escape).
+  bool ParseHex4(unsigned* out, std::string* error) {
+    if (pos_ + 4 > text_.size()) return Fail(error, "bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_ + static_cast<std::size_t>(i)];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Fail(error, "bad \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = code;
     return true;
   }
 
@@ -265,6 +314,12 @@ class Parser {
     while (pos_ < text_.size() && text_[pos_] != '"') {
       char c = text_[pos_];
       if (c != '\\') {
+        // JSON strings may not contain raw control characters; they
+        // must arrive escaped ("\\n", "\\t", ...). Dump always escapes
+        // them, so this only rejects input we never produced.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return Fail(error, "raw control character in string");
+        }
         s.push_back(c);
         ++pos_;
         continue;
@@ -298,31 +353,42 @@ class Parser {
           s.push_back('\f');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Fail(error, "bad \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_ + static_cast<std::size_t>(i)];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return Fail(error, "bad \\u escape");
-            }
+          if (!ParseHex4(&code, error)) return false;
+          // Surrogate halves are not code points: a high surrogate must
+          // be followed by \uDC00..\uDFFF and the pair combines into one
+          // supplementary code point (one 4-byte UTF-8 sequence, never
+          // the two 3-byte CESU-8 sequences the old code emitted); a
+          // lone half in either order is malformed input.
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail(error, "lone low surrogate");
           }
-          pos_ += 4;
-          // UTF-8 encode (BMP only; surrogate pairs are passed through as
-          // two 3-byte sequences, adequate for this codebase's ASCII data).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail(error, "lone high surrogate");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!ParseHex4(&low, error)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail(error, "invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          // UTF-8 encode the (now full) code point.
           if (code < 0x80) {
             s.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             s.push_back(static_cast<char>(0xC0 | (code >> 6)));
             s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            s.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }
@@ -338,7 +404,7 @@ class Parser {
     return true;
   }
 
-  bool ParseArray(Value* out, std::string* error) {
+  bool ParseArray(Value* out, std::string* error, int depth) {
     ++pos_;  // '['
     Value arr = Value::Array();
     SkipWs();
@@ -350,7 +416,7 @@ class Parser {
     while (true) {
       SkipWs();
       Value item;
-      if (!ParseValue(&item, error)) return false;
+      if (!ParseValue(&item, error, depth + 1)) return false;
       arr.Append(std::move(item));
       SkipWs();
       if (pos_ >= text_.size()) return Fail(error, "unterminated array");
@@ -368,7 +434,7 @@ class Parser {
     return true;
   }
 
-  bool ParseObject(Value* out, std::string* error) {
+  bool ParseObject(Value* out, std::string* error, int depth) {
     ++pos_;  // '{'
     Value obj = Value::Object();
     SkipWs();
@@ -388,7 +454,7 @@ class Parser {
       ++pos_;
       SkipWs();
       Value item;
-      if (!ParseValue(&item, error)) return false;
+      if (!ParseValue(&item, error, depth + 1)) return false;
       obj.Set(key, std::move(item));
       SkipWs();
       if (pos_ >= text_.size()) return Fail(error, "unterminated object");

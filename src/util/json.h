@@ -57,11 +57,28 @@ class Value {
 };
 
 /// Escapes a string for embedding in JSON output (adds no quotes).
+/// Every escape the parser understands round-trips: control characters
+/// use the short forms (\n, \t, \r, \b, \f) or \u00XX, so
+/// Parse(Dump(v)) reproduces v exactly.
 std::string Escape(const std::string& s);
+
+/// Maximum container nesting the parser accepts. ParseValue recurses
+/// once per '['/'{', so the depth must be bounded before untrusted
+/// bytes reach the parser (the serve wire protocol) — same convention
+/// as dvq::kMaxParseDepth, sized for deeply nested chart specs and
+/// inline data rather than hand-written DVQs. Deeper input returns a
+/// parse error instead of recursing toward stack exhaustion.
+inline constexpr int kMaxJsonDepth = 64;
 
 /// Parses a JSON document. Supports the full value grammar produced by
 /// Value::Dump (objects, arrays, strings with \uXXXX escapes, numbers,
 /// booleans, null); trailing content after the document is an error.
+///
+/// Hardened against untrusted input: container nesting is capped at
+/// kMaxJsonDepth, numbers must match exactly what strtod converts
+/// (rejecting "+1", "1.2.3", "1e+e5"), and \uXXXX escapes combine
+/// valid surrogate pairs into one 4-byte UTF-8 sequence while lone
+/// surrogates are an error (never CESU-8 output).
 class ParseResult {
  public:
   ParseResult(Value value) : ok_(true), value_(std::move(value)) {}

@@ -9,7 +9,16 @@ namespace gred::viz {
 
 Result<Chart> BuildChart(const dvq::DVQ& query,
                          const storage::DatabaseData& db) {
-  GRED_ASSIGN_OR_RETURN(exec::ResultSet data, exec::Execute(query, db));
+  return BuildChart(query, db, nullptr);
+}
+
+Result<Chart> BuildChart(const dvq::DVQ& query,
+                         const storage::DatabaseData& db,
+                         ExecContext* guard) {
+  exec::ExecOptions options;
+  options.context = guard;
+  GRED_ASSIGN_OR_RETURN(exec::ResultSet data,
+                        exec::Execute(query, db, options));
   if (data.num_columns() < 2) {
     return Status::ExecutionError("a chart needs an x and a y column");
   }

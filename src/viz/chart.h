@@ -28,6 +28,14 @@ struct Chart {
 Result<Chart> BuildChart(const dvq::DVQ& query,
                          const storage::DatabaseData& db);
 
+/// Guarded variant: the query executes under `guard` (nullptr =
+/// unguarded, identical to the overload above). A tripped budget or a
+/// cancellation surfaces as the executor's typed kResourceExhausted /
+/// kCancelled — the serving layer's per-request SLO enforcement.
+Result<Chart> BuildChart(const dvq::DVQ& query,
+                         const storage::DatabaseData& db,
+                         ExecContext* guard);
+
 /// Emits a Vega-Lite v5 specification with inline data values.
 json::Value ToVegaLite(const Chart& chart);
 

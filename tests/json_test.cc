@@ -1,0 +1,254 @@
+// Tests for util/json.h: the document model, the Parse/Dump round trip,
+// and the hardening the serve wire protocol depends on (DESIGN.md §13).
+// Three of these are regressions for parser bugs fixed when untrusted
+// bytes started arriving over a socket:
+//   * unbounded recursion — a line of a few thousand '[' used to
+//     overflow the native stack; now a typed parse error at
+//     kMaxJsonDepth;
+//   * silent number misparses — "1.2.3" / "1e+e5" used to strtod to a
+//     prefix and drop the rest, "+1" parsed though JSON forbids it;
+//   * CESU-8 output — "\ud83d\ude00" used to decode as two 3-byte
+//     sequences (invalid UTF-8) instead of one 4-byte code point, and
+//     lone surrogate halves were passed through.
+
+#include "util/json.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gred::json {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Round trip: Parse ∘ Dump is a fixpoint.
+
+/// A nested document exercising every Value kind, exotic numbers and
+/// every escape class.
+Value MakeNestedDoc() {
+  Value inner = Value::Object();
+  inner.Set("text", Value::Str("line\nbreak\ttab \"quoted\" back\\slash"));
+  inner.Set("ctrl", Value::Str(std::string("bell\x07" "bs\bff\fnul") +
+                               std::string(1, '\x01')));
+  inner.Set("unicode", Value::Str("caf\xC3\xA9 \xE2\x82\xAC"));  // café €
+  Value numbers = Value::Array();
+  numbers.Append(Value::Number(0));
+  numbers.Append(Value::Number(-1.5));
+  numbers.Append(Value::Number(3.14159265358979));
+  numbers.Append(Value::Number(1e-12));
+  numbers.Append(Value::Number(-2.5e17));
+  numbers.Append(Value::Int(1234567890123));
+  Value doc = Value::Object();
+  doc.Set("null", Value::Null());
+  doc.Set("true", Value::Bool(true));
+  doc.Set("false", Value::Bool(false));
+  doc.Set("numbers", std::move(numbers));
+  doc.Set("inner", std::move(inner));
+  Value list = Value::Array();
+  list.Append(Value::Array());
+  list.Append(Value::Object());
+  list.Append(Value::Str(""));
+  doc.Set("empties", std::move(list));
+  return doc;
+}
+
+TEST(JsonRoundTrip, ParseDumpFixpoint) {
+  Value doc = MakeNestedDoc();
+  std::string once = doc.Dump();
+  ParseResult parsed = Parse(once);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  std::string twice = parsed.value().Dump();
+  EXPECT_EQ(once, twice);
+  // And a second full cycle stays fixed.
+  ParseResult reparsed = Parse(twice);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_EQ(twice, reparsed.value().Dump());
+}
+
+TEST(JsonRoundTrip, IndentedDumpReparsesToSameCompactForm) {
+  Value doc = MakeNestedDoc();
+  ParseResult parsed = Parse(doc.Dump(/*indent=*/2));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(doc.Dump(), parsed.value().Dump());
+}
+
+TEST(JsonRoundTrip, BackspaceAndFormfeedUseShortEscapes) {
+  // Regression: \b and \f were understood by the parser but dumped via
+  // the generic \u00XX path; both directions now use the short forms.
+  EXPECT_EQ(Escape("\b\f"), "\\b\\f");
+  ParseResult parsed = Parse("\"\\b\\f\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().string_value(), "\b\f");
+  EXPECT_EQ(parsed.value().Dump(), "\"\\b\\f\"");
+}
+
+// ---------------------------------------------------------------------------
+// Regression 1: recursion depth.
+
+TEST(JsonDepth, DeepArrayNestingIsAParseErrorNotACrash) {
+  // A few thousand '[' used to overflow the stack (one native frame per
+  // level). Far past the cap, this must return an error.
+  std::string bomb(100000, '[');
+  ParseResult parsed = Parse(bomb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("depth"), std::string::npos);
+}
+
+TEST(JsonDepth, DeepObjectNestingIsAParseError) {
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "{\"k\":";
+  ParseResult parsed = Parse(bomb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("depth"), std::string::npos);
+}
+
+TEST(JsonDepth, ExactlyAtTheCapParses) {
+  // kMaxJsonDepth nested arrays (depth 0..kMaxJsonDepth-1) are fine...
+  std::string ok(static_cast<std::size_t>(kMaxJsonDepth), '[');
+  ok += std::string(static_cast<std::size_t>(kMaxJsonDepth), ']');
+  EXPECT_TRUE(Parse(ok).ok());
+  // ...one more level trips the cap.
+  std::string over = "[" + ok + "]";
+  ParseResult parsed = Parse(over);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("depth"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Regression 2: number validation.
+
+TEST(JsonNumbers, LeadingPlusIsRejected) {
+  EXPECT_FALSE(Parse("+1").ok());
+  EXPECT_FALSE(Parse("[+1]").ok());
+}
+
+TEST(JsonNumbers, GarbageThatStrtodWouldTruncateIsRejected) {
+  // The greedy scanner consumes all of these; strtod converts only a
+  // prefix. They used to silently misparse ("1.2.3" -> 1.2).
+  const char* kGarbage[] = {"1.2.3",  "1e+e5", "1-2",    "1..2",
+                            "3e",     "3e+",   "1.2e5e", "--1",
+                            "1e5.5",  "0x10",  "-"};
+  for (const char* text : kGarbage) {
+    EXPECT_FALSE(Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonNumbers, ValidNumbersStillParseExactly) {
+  struct Case {
+    const char* text;
+    double want;
+  };
+  const Case kCases[] = {
+      {"0", 0.0},          {"-0", -0.0},       {"42", 42.0},
+      {"-17", -17.0},      {"3.5", 3.5},       {"1e5", 1e5},
+      {"1E5", 1e5},        {"1e+5", 1e5},      {"1e-5", 1e-5},
+      {"2.5e-3", 2.5e-3},  {"-2.5E+3", -2500.0},
+  };
+  for (const Case& c : kCases) {
+    ParseResult parsed = Parse(c.text);
+    ASSERT_TRUE(parsed.ok()) << c.text << ": " << parsed.error();
+    EXPECT_DOUBLE_EQ(parsed.value().number_value(), c.want) << c.text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression 3: \uXXXX surrogate handling.
+
+TEST(JsonUnicode, SurrogatePairDecodesToOne4ByteSequence) {
+  // U+1F600 (😀) as a JSON surrogate pair. The old parser emitted the
+  // two halves as separate 3-byte sequences (CESU-8, invalid UTF-8).
+  ParseResult parsed = Parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().string_value(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonUnicode, LoneSurrogatesAreRejected) {
+  EXPECT_FALSE(Parse("\"\\ud83d\"").ok());          // lone high half
+  EXPECT_FALSE(Parse("\"\\ude00\"").ok());          // lone low half
+  EXPECT_FALSE(Parse("\"\\ud83d x\"").ok());        // high then raw text
+  EXPECT_FALSE(Parse("\"\\ud83d\\u0041\"").ok());   // high then non-low
+  EXPECT_FALSE(Parse("\"\\ud83d\\ud83d\"").ok());   // high then high
+}
+
+TEST(JsonUnicode, BmpEscapesStillDecode) {
+  ParseResult parsed = Parse("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().string_value(), "A\xC3\xA9\xE2\x82\xAC");  // Aé€
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input table: every entry must fail with a typed error (and,
+// under the tier-1 ASan+UBSan pass, without touching invalid memory).
+
+TEST(JsonMalformed, RejectionTable) {
+  const char* kMalformed[] = {
+      "",                      // empty document
+      "   ",                   // whitespace only
+      "{",                     // unterminated object
+      "[1, 2",                 // unterminated array
+      "\"abc",                 // unterminated string
+      "\"esc\\",               // truncated escape at end of input
+      "\"\\u12",               // truncated \u escape
+      "\"\\u12g4\"",           // non-hex in \u escape
+      "\"\\q\"",               // unknown escape
+      "\"line\nbreak\"",       // raw control char (newline) in string
+      "\"tab\tchar\"",         // raw control char (tab) in string
+      "{\"a\" 1}",             // missing ':'
+      "{\"a\":1,}",            // trailing comma (object)
+      "[1,]",                  // trailing comma (array)
+      "[1 2]",                 // missing comma
+      "{1: 2}",                // non-string key
+      "truth",                 // near-literal
+      "nul",                   // truncated literal
+      "{} {}",                 // trailing content
+      "[1]extra",              // trailing content
+  };
+  for (const char* text : kMalformed) {
+    ParseResult parsed = Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_FALSE(parsed.error().empty()) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: parsing and dumping the same bytes twice is bit-identical
+// (the serve determinism contract builds on this).
+
+TEST(JsonDeterminism, TwoRunsAreByteIdentical) {
+  std::vector<std::string> inputs = {
+      MakeNestedDoc().Dump(),
+      "{\"id\":7,\"nlq\":\"how many caf\\u00e9s per city\",\"ok\":true}",
+      "[0.1,0.2,0.30000000000000004,1e300]",
+  };
+  for (const std::string& text : inputs) {
+    ParseResult a = Parse(text);
+    ParseResult b = Parse(text);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().Dump(), b.value().Dump());
+    EXPECT_EQ(a.value().Dump(2), b.value().Dump(2));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Document-model basics the serve layer leans on.
+
+TEST(JsonValue, ObjectSetReplacesAndFindLooksUp) {
+  Value obj = Value::Object();
+  obj.Set("k", Value::Int(1));
+  obj.Set("k", Value::Int(2));  // replace, not duplicate
+  ASSERT_NE(obj.Find("k"), nullptr);
+  EXPECT_EQ(obj.Find("k")->number_value(), 2.0);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(obj.Dump(), "{\"k\":2}");
+}
+
+TEST(JsonValue, DuplicateKeysInInputKeepLastValue) {
+  ParseResult parsed = Parse("{\"a\":1,\"a\":2}");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().Find("a")->number_value(), 2.0);
+}
+
+}  // namespace
+}  // namespace gred::json

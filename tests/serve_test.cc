@@ -1,0 +1,432 @@
+// Tests for the serving layer (DESIGN.md §13): wire-protocol parsing
+// and validation, bounded-queue admission control, the concurrent
+// worker pool's byte-identity with the serial reference path, typed
+// budget trips, the stats endpoint and the stream loop.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dataset/benchmark.h"
+#include "gred/gred.h"
+#include "llm/sim_llm.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/json.h"
+
+namespace gred::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+TEST(ServeProtocol, ParsesFullTranslateRequest) {
+  Result<Request> req = ParseRequest(
+      "{\"id\": 7, \"nlq\": \"plot a bar chart\", \"db\": \"hr_1\","
+      " \"deadline_ms\": 5, \"budget_rows\": 100, \"chart\": false}");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req.value().type, RequestType::kTranslate);
+  EXPECT_EQ(req.value().nlq, "plot a bar chart");
+  EXPECT_EQ(req.value().db, "hr_1");
+  EXPECT_EQ(req.value().limits.deadline_ticks, 5 * kAccountedTicksPerMs);
+  EXPECT_EQ(req.value().limits.row_budget, 100u);
+  EXPECT_FALSE(req.value().want_chart);
+  EXPECT_EQ(req.value().id.number_value(), 7.0);
+}
+
+TEST(ServeProtocol, SchemaIsAnAliasForDb) {
+  Result<Request> req =
+      ParseRequest("{\"nlq\": \"q\", \"schema\": \"library_1\"}");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().db, "library_1");
+  // Defaults: no SLO of its own, chart wanted, null id.
+  EXPECT_EQ(req.value().limits.deadline_ticks, 0u);
+  EXPECT_EQ(req.value().limits.row_budget, 0u);
+  EXPECT_TRUE(req.value().want_chart);
+  EXPECT_TRUE(req.value().id.is_null());
+}
+
+TEST(ServeProtocol, ParsesStatsRequest) {
+  Result<Request> req = ParseRequest("{\"id\": \"s1\", \"type\": \"stats\"}");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().type, RequestType::kStats);
+  EXPECT_EQ(req.value().id.string_value(), "s1");
+}
+
+TEST(ServeProtocol, AbsurdDeadlineSaturatesInsteadOfOverflowing) {
+  Result<Request> req = ParseRequest(
+      "{\"nlq\": \"q\", \"db\": \"d\", \"deadline_ms\": 1e18}");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().limits.deadline_ticks, ~std::uint64_t{0});
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  struct Case {
+    const char* line;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {"{oops", StatusCode::kParseError},
+      {"[1, 2]", StatusCode::kInvalidArgument},       // not an object
+      {"{\"db\": \"d\"}", StatusCode::kInvalidArgument},  // missing nlq
+      {"{\"nlq\": \"q\"}", StatusCode::kInvalidArgument},  // missing db
+      {"{\"nlq\": \"\", \"db\": \"d\"}", StatusCode::kInvalidArgument},
+      {"{\"nlq\": 3, \"db\": \"d\"}", StatusCode::kInvalidArgument},
+      {"{\"nlq\": \"q\", \"db\": \"d\", \"type\": \"delete\"}",
+       StatusCode::kInvalidArgument},
+      {"{\"nlq\": \"q\", \"db\": \"d\", \"deadline_ms\": \"fast\"}",
+       StatusCode::kInvalidArgument},
+      {"{\"nlq\": \"q\", \"db\": \"d\", \"budget_rows\": -1}",
+       StatusCode::kInvalidArgument},
+      {"{\"nlq\": \"q\", \"db\": \"d\", \"deadline_ms\": 1e19}",
+       StatusCode::kInvalidArgument},  // out of range
+      {"{\"nlq\": \"q\", \"db\": \"d\", \"chart\": \"yes\"}",
+       StatusCode::kInvalidArgument},
+  };
+  for (const Case& c : cases) {
+    Result<Request> req = ParseRequest(c.line);
+    ASSERT_FALSE(req.ok()) << c.line;
+    EXPECT_EQ(req.status().code(), c.code) << c.line;
+  }
+}
+
+TEST(ServeProtocol, RejectsOversizedLineBeforeParsing) {
+  std::string huge(kMaxRequestBytes + 1, 'x');
+  Result<Request> req = ParseRequest(huge);
+  ASSERT_FALSE(req.ok());
+  EXPECT_EQ(req.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(req.status().message().find("too large"), std::string::npos);
+}
+
+TEST(ServeProtocol, ErrorResponsesAreWellFormedJson) {
+  json::Value id = json::Value::Int(42);
+  std::string line = ErrorResponse(&id, Status::NotFound("no such db"));
+  json::ParseResult parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().Find("id")->number_value(), 42.0);
+  EXPECT_FALSE(parsed.value().Find("ok")->bool_value());
+  EXPECT_EQ(parsed.value().Find("error")->string_value(), "no such db");
+  EXPECT_EQ(parsed.value().Find("code")->string_value(), "NotFound");
+
+  std::string overloaded = OverloadedResponse(nullptr);
+  json::ParseResult shed = json::Parse(overloaded);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed.value().Find("id"), nullptr);
+  EXPECT_EQ(shed.value().Find("error")->string_value(), "overloaded");
+  EXPECT_EQ(shed.value().Find("code")->string_value(), "Unavailable");
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue / Session units
+
+Job MakeJob(const std::string& nlq) {
+  Job job;
+  job.request.nlq = nlq;
+  job.done = [](const std::string&) {};
+  return job;
+}
+
+TEST(RequestQueue, BoundedAdmissionFifoOrderAndDrainOnClose) {
+  RequestQueue queue(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  EXPECT_TRUE(queue.TryPush(MakeJob("a")));
+  EXPECT_TRUE(queue.TryPush(MakeJob("b")));
+  EXPECT_EQ(queue.depth(), 2u);
+
+  // Full: the job is refused and left with the caller.
+  Job rejected = MakeJob("c");
+  EXPECT_FALSE(queue.TryPush(std::move(rejected)));
+  EXPECT_EQ(rejected.request.nlq, "c");  // untouched on failure
+
+  Job out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.request.nlq, "a");  // FIFO
+
+  // Close with one job still queued: Pop drains it, then reports end.
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(MakeJob("d")));  // no admissions after close
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.request.nlq, "b");
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(RequestQueue, ZeroCapacityIsClampedToOne) {
+  RequestQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(MakeJob("a")));
+  EXPECT_FALSE(queue.TryPush(MakeJob("b")));
+}
+
+TEST(Session, SerializesLinesAndCounts) {
+  std::ostringstream out;
+  Session session(&out);
+  session.Write("{\"ok\":true}");
+  session.Write("{\"ok\":false}");
+  EXPECT_EQ(session.responses_written(), 2u);
+  EXPECT_EQ(out.str(), "{\"ok\":true}\n{\"ok\":false}\n");
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end (shared suite + pipeline, like gred_test)
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset::BenchmarkOptions options;
+    options.train_size = 240;
+    options.test_size = 40;
+    suite_ = new dataset::BenchmarkSuite(
+        dataset::BuildBenchmarkSuite(options));
+    corpus_.train = &suite_->train;
+    corpus_.databases = &suite_->databases;
+    llm_ = new llm::SimulatedChatModel();
+    gred_ = new core::Gred(corpus_, llm_);
+    ASSERT_TRUE(gred_->PrepareAnnotations(suite_->databases).ok());
+  }
+
+  static std::string RequestLine(int id, const dataset::Example& example) {
+    json::Value obj = json::Value::Object();
+    obj.Set("id", json::Value::Int(id));
+    obj.Set("nlq", json::Value::Str(example.nlq));
+    obj.Set("db", json::Value::Str(example.db_name));
+    return obj.Dump();
+  }
+
+  static dataset::BenchmarkSuite* suite_;
+  static models::TrainingCorpus corpus_;
+  static llm::SimulatedChatModel* llm_;
+  static core::Gred* gred_;
+};
+
+dataset::BenchmarkSuite* ServeFixture::suite_ = nullptr;
+models::TrainingCorpus ServeFixture::corpus_;
+llm::SimulatedChatModel* ServeFixture::llm_ = nullptr;
+core::Gred* ServeFixture::gred_ = nullptr;
+
+TEST_F(ServeFixture, HandleAnswersMalformedAndUnknownDbWithTypedErrors) {
+  ServerOptions options;
+  options.num_workers = 1;
+  Server server(suite_, gred_, options);
+
+  json::ParseResult bad = json::Parse(server.Handle("{oops"));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad.value().Find("ok")->bool_value());
+  EXPECT_EQ(bad.value().Find("code")->string_value(), "ParseError");
+
+  json::ParseResult missing = json::Parse(
+      server.Handle("{\"id\": 1, \"nlq\": \"q\", \"db\": \"no_such_db\"}"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing.value().Find("ok")->bool_value());
+  EXPECT_EQ(missing.value().Find("code")->string_value(), "NotFound");
+  EXPECT_EQ(missing.value().Find("id")->number_value(), 1.0);
+}
+
+TEST_F(ServeFixture, ConcurrentRepliesMatchSerialBatchByteForByte) {
+  ServerOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 64;
+  options.include_timings = false;  // the determinism switch
+  Server server(suite_, gred_, options);
+
+  const std::size_t n = std::min<std::size_t>(10, suite_->test_clean.size());
+  std::vector<std::string> lines;
+  std::map<int, std::string> serial;
+  for (std::size_t i = 0; i < n; ++i) {
+    lines.push_back(RequestLine(static_cast<int>(i), suite_->test_clean[i]));
+    serial[static_cast<int>(i)] = server.Handle(lines.back());
+  }
+
+  std::mutex mu;
+  std::map<int, std::string> concurrent;
+  for (const std::string& line : lines) {
+    server.Submit(line, [&mu, &concurrent](const std::string& response) {
+      json::ParseResult parsed = json::Parse(response);
+      ASSERT_TRUE(parsed.ok()) << response;
+      int id = static_cast<int>(parsed.value().Find("id")->number_value());
+      std::lock_guard<std::mutex> lock(mu);
+      concurrent[id] = response;
+    });
+  }
+  server.Shutdown();  // drains every admitted request
+
+  ASSERT_EQ(concurrent.size(), n);
+  for (const auto& [id, response] : serial) {
+    EXPECT_EQ(concurrent[id], response) << "request id " << id;
+  }
+  EXPECT_EQ(server.stats().rejected_overload, 0u);
+}
+
+TEST_F(ServeFixture, FullQueueShedsLoadWithOverloadedResponse) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.include_timings = false;
+  Server server(suite_, gred_, options);
+
+  const std::string line = RequestLine(0, suite_->test_clean[0]);
+
+  // Wedge the single worker: its completion callback blocks until the
+  // test releases it, so nothing drains while we fill the queue.
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  std::mutex mu;
+  std::vector<std::string> responses;
+  server.Submit(line, [&](const std::string& response) {
+    started.set_value();
+    release_future.wait();
+    std::lock_guard<std::mutex> lock(mu);
+    responses.push_back(response);
+  });
+  started.get_future().wait();  // the worker has popped the wedge job
+
+  auto collect = [&](const std::string& response) {
+    std::lock_guard<std::mutex> lock(mu);
+    responses.push_back(response);
+  };
+  // Queue is empty again; exactly `queue_capacity` more are admitted…
+  server.Submit(line, collect);
+  server.Submit(line, collect);
+  // …and the next is shed immediately, on the submitting thread.
+  bool rejected_inline = false;
+  server.Submit(line, [&](const std::string& response) {
+    json::ParseResult parsed = json::Parse(response);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().Find("error")->string_value(), "overloaded");
+    EXPECT_EQ(parsed.value().Find("code")->string_value(), "Unavailable");
+    EXPECT_EQ(parsed.value().Find("id")->number_value(), 0.0);
+    rejected_inline = true;
+  });
+  EXPECT_TRUE(rejected_inline);
+
+  release.set_value();
+  server.Shutdown();
+
+  EXPECT_EQ(responses.size(), 3u);  // wedge + the two admitted
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.received, 4u);
+  EXPECT_EQ(stats.rejected_overload, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(ServeFixture, RowBudgetTripsAreTypedAndKeepTheDvq) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.include_timings = false;
+  Server server(suite_, gred_, options);
+
+  // Find a request that succeeds cleanly and materializes enough rows
+  // that a budget of one row must trip.
+  for (std::size_t i = 0; i < suite_->test_clean.size(); ++i) {
+    json::ParseResult ok_reply =
+        json::Parse(server.Handle(RequestLine(static_cast<int>(i),
+                                              suite_->test_clean[i])));
+    ASSERT_TRUE(ok_reply.ok());
+    if (!ok_reply.value().Find("ok")->bool_value()) continue;
+    if (ok_reply.value().Find("rows")->number_value() < 2) continue;
+
+    json::Value obj = json::Value::Object();
+    obj.Set("id", json::Value::Int(99));
+    obj.Set("nlq", json::Value::Str(suite_->test_clean[i].nlq));
+    obj.Set("db", json::Value::Str(suite_->test_clean[i].db_name));
+    obj.Set("budget_rows", json::Value::Int(1));
+    json::ParseResult tripped = json::Parse(server.Handle(obj.Dump()));
+    ASSERT_TRUE(tripped.ok());
+    const json::Value& reply = tripped.value();
+    EXPECT_FALSE(reply.Find("ok")->bool_value());
+    ASSERT_NE(reply.Find("resource_exhausted"), nullptr);
+    EXPECT_TRUE(reply.Find("resource_exhausted")->bool_value());
+    // The DVQ survived the trip: clients retry with a bigger budget
+    // without paying for translation again.
+    ASSERT_NE(reply.Find("dvq"), nullptr);
+    EXPECT_FALSE(reply.Find("dvq")->string_value().empty());
+    ASSERT_NE(reply.Find("code"), nullptr);
+    EXPECT_GE(server.stats().resource_exhausted, 1u);
+    return;
+  }
+  FAIL() << "no test example produced a successful multi-row chart";
+}
+
+TEST_F(ServeFixture, StatsEndpointReportsCachesAndCounters) {
+  ServerOptions options;
+  options.num_workers = 1;
+  Server server(suite_, gred_, options);
+
+  std::string response;
+  server.Submit("{\"id\": 5, \"type\": \"stats\"}",
+                [&response](const std::string& r) { response = r; });
+  ASSERT_FALSE(response.empty());  // stats answers inline, not queued
+
+  json::ParseResult parsed = json::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  const json::Value& reply = parsed.value();
+  EXPECT_TRUE(reply.Find("ok")->bool_value());
+  ASSERT_NE(reply.Find("server"), nullptr);
+  EXPECT_NE(reply.Find("server")->Find("queue_capacity"), nullptr);
+  ASSERT_NE(reply.Find("embed_cache"), nullptr);
+  EXPECT_NE(reply.Find("embed_cache")->Find("hit_rate"), nullptr);
+  ASSERT_NE(reply.Find("stages"), nullptr);
+  EXPECT_NE(reply.Find("stages")->Find("translate_calls"), nullptr);
+  EXPECT_EQ(server.stats().stats_requests, 1u);
+}
+
+TEST_F(ServeFixture, TimingsAppearOnlyWhenEnabled) {
+  ServerOptions timed;
+  timed.num_workers = 1;
+  timed.include_timings = true;
+  Server server(suite_, gred_, timed);
+  const std::string line = RequestLine(0, suite_->test_clean[0]);
+  json::ParseResult with = json::Parse(server.Handle(line));
+  ASSERT_TRUE(with.ok());
+  ASSERT_NE(with.value().Find("timings_us"), nullptr);
+  EXPECT_NE(with.value().Find("timings_us")->Find("translate_us"), nullptr);
+  EXPECT_NE(with.value().Find("timings_us")->Find("total_us"), nullptr);
+
+  ServerOptions untimed = timed;
+  untimed.include_timings = false;
+  Server quiet(suite_, gred_, untimed);
+  json::ParseResult without = json::Parse(quiet.Handle(line));
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without.value().Find("timings_us"), nullptr);
+}
+
+TEST_F(ServeFixture, ServeStreamAnswersEveryLineAndShutsDownCleanly) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.include_timings = false;
+  Server server(suite_, gred_, options);
+
+  std::istringstream in(RequestLine(1, suite_->test_clean[0]) +
+                        "\n\n"  // blank line is ignored
+                        "{this is not json}\n"
+                        "{\"id\": 4, \"type\": \"stats\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.ServeStream(in, out), 0);
+
+  std::istringstream replies(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(replies, line)) {
+    json::ParseResult parsed = json::Parse(line);
+    EXPECT_TRUE(parsed.ok()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);  // one response per non-blank request line
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.received, 3u);
+  EXPECT_EQ(stats.rejected_invalid, 1u);
+  EXPECT_EQ(stats.stats_requests, 1u);
+  EXPECT_EQ(stats.completed + stats.failed, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace gred::serve

@@ -6,12 +6,17 @@
 //   gredvis translate <db> "<question>" run GRED on one question
 //   gredvis eval <model> <set>          accuracy tables
 //   gredvis export <dir>                dump the benchmark as JSON
+//   gredvis serve                       long-lived NDJSON server on
+//                                       stdin/stdout (DESIGN.md §13)
 //
 // Scale with GRED_BENCH_TRAIN_SIZE / GRED_BENCH_TEST_SIZE (defaults are
-// CLI-friendly: 1500 train / 200 test).
+// CLI-friendly: 1500 train / 200 test). `serve` additionally reads
+// GRED_SERVE_WORKERS, GRED_SERVE_QUEUE, GRED_SERVE_TIMINGS,
+// GRED_SERVE_DEADLINE_MS and GRED_SERVE_ROW_BUDGET.
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -24,6 +29,7 @@
 #include "models/rgvisnet.h"
 #include "models/seq2vis.h"
 #include "models/transformer.h"
+#include "serve/server.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 #include "dvq/sql.h"
@@ -58,7 +64,9 @@ int Usage() {
       "  translate <db> <question> run GRED on one question\n"
       "  eval <model> <set>        model in {seq2vis,transformer,rgvisnet,"
       "gred}; set in {clean,nlq,schema,both}\n"
-      "  export <dir>              dump the benchmark as JSON\n");
+      "  export <dir>              dump the benchmark as JSON\n"
+      "  serve                     NDJSON request/response loop on "
+      "stdin/stdout\n");
   return 2;
 }
 
@@ -176,6 +184,59 @@ int CmdTranslate(const std::string& db_name, const std::string& question) {
   return 0;
 }
 
+int CmdServe() {
+  dataset::BenchmarkSuite suite = BuildSuite();
+  llm::SimulatedChatModel llm;
+  // The same optional fault/retry stack as `translate`, so a serve
+  // session can be exercised under injected LLM faults.
+  double fault_rate = EnvRate("GRED_BENCH_FAULT_RATE", 0.0);
+  llm::FaultConfig faults;
+  faults.transient_rate = fault_rate;
+  faults.truncate_rate = fault_rate / 2;
+  faults.garbage_rate = fault_rate / 2;
+  llm::FaultInjectingChatModel faulty(&llm, faults);
+  llm::RetryConfig retry;
+  retry.max_attempts = EnvSize("GRED_BENCH_RETRIES", 3);
+  llm::RetryingChatModel retrying(&faulty, retry);
+  const llm::ChatModel* chat =
+      fault_rate > 0.0 ? static_cast<const llm::ChatModel*>(&retrying) : &llm;
+  models::TrainingCorpus corpus;
+  corpus.train = &suite.train;
+  corpus.databases = &suite.databases;
+  core::Gred gred(corpus, chat);
+  // Annotations resolve up front (preparation phase), so no request
+  // pays annotation latency and concurrent sessions stay deterministic.
+  Result<std::size_t> annotated = gred.PrepareAnnotations(suite.databases);
+  if (annotated.ok()) {
+    std::fprintf(stderr, "[gredvis] annotated %zu databases\n",
+                 annotated.value());
+  }
+  serve::ServerOptions options;
+  options.num_workers = EnvSize("GRED_SERVE_WORKERS", 0);
+  options.queue_capacity = EnvSize("GRED_SERVE_QUEUE", 64);
+  const char* timings = std::getenv("GRED_SERVE_TIMINGS");
+  options.include_timings =
+      timings == nullptr || std::string(timings) != "0";
+  options.default_limits.deadline_ticks =
+      EnvSize("GRED_SERVE_DEADLINE_MS", 0) * serve::kAccountedTicksPerMs;
+  options.default_limits.row_budget = EnvSize("GRED_SERVE_ROW_BUDGET", 0);
+  serve::Server server(&suite, &gred, options);
+  std::fprintf(stderr,
+               "[gredvis] serving on stdin/stdout (%zu workers, queue %zu)\n",
+               server.options().num_workers, server.options().queue_capacity);
+  int rc = server.ServeStream(std::cin, std::cout);
+  serve::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "[gredvis] served %llu requests (%llu ok, %llu failed, "
+               "%llu invalid, %llu shed)\n",
+               static_cast<unsigned long long>(stats.received),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.failed),
+               static_cast<unsigned long long>(stats.rejected_invalid),
+               static_cast<unsigned long long>(stats.rejected_overload));
+  return rc;
+}
+
 int CmdEval(const std::string& model_name, const std::string& set_name) {
   dataset::BenchmarkSuite suite = BuildSuite();
   models::TrainingCorpus corpus;
@@ -269,5 +330,6 @@ int main(int argc, char** argv) {
   }
   if (command == "eval" && argc >= 4) return CmdEval(argv[2], argv[3]);
   if (command == "export" && argc >= 3) return CmdExport(argv[2]);
+  if (command == "serve") return CmdServe();
   return Usage();
 }
