@@ -79,6 +79,14 @@ GRED_SERVE_THREADS=1 GRED_SERVE_REQUESTS=12 \
   "$ROOT/scripts/bench_report" --serve --smoke \
   "$ROOT/build/BENCH_serve_smoke.json"
 
+echo "== tier-1: exec-sweep smoke (columnar vs row engine identity) =="
+# Both executor engines over a small synthetic table through
+# scripts/bench_report --exec: the binary itself asserts bit-identical
+# results with guards armed. Writes to build/ so a smoke run never
+# overwrites the committed BENCH_exec.json numbers.
+"$ROOT/scripts/bench_report" --exec --smoke \
+  "$ROOT/build/BENCH_exec_smoke.json"
+
 echo "== tier-1: ThreadSanitizer pass (parallel harness + fault layer) =="
 if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
   -DGRED_SANITIZE=thread \
@@ -90,7 +98,7 @@ if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
 fi
 cmake --build "$ROOT/build-tsan" -j"$JOBS" \
   --target thread_pool_test eval_test llm_test gred_test \
-           retrieval_equivalence_test serve_test
+           retrieval_equivalence_test serve_test exec_reference_test
 # TSAN_OPTIONS makes any detected race fail the run loudly.
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/thread_pool_test"
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/eval_test" \
@@ -106,6 +114,11 @@ TSAN_OPTIONS="halt_on_error=1" \
 # MPMC queue, a worker pool sharing one Gred, and per-stream response
 # serialization — the whole test binary runs under TSan.
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/serve_test"
+# Engine differential (row vs columnar) under TSan: the eval harness
+# runs executions on worker threads, so the executor — including the
+# columnar engine's shared-scan borrowing — must stay data-race-free.
+TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/exec_reference_test" \
+  --gtest_filter='*EngineDifferential*'
 
 echo "== tier-1: ASan+UBSan pass (fuzz + resource-guard tests) =="
 # The fuzz harness and the guard layer see adversarial inputs (oversized,
@@ -122,7 +135,7 @@ if ! cmake -B "$ROOT/build-asan" -S "$ROOT" \
 fi
 cmake --build "$ROOT/build-asan" -j"$JOBS" \
   --target fuzz_test dvq_test resource_guard_test metamorphic_test \
-           analysis_test json_test
+           analysis_test json_test exec_test exec_reference_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/fuzz_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
@@ -138,5 +151,13 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
 # runs under ASan+UBSan so a parser overread fails loudly.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/json_test"
+# The columnar engine works over borrowed column pointers and selection
+# index vectors — exactly the pointer arithmetic ASan exists to police.
+# The differential suites replay the whole eval corpus plus 1000
+# randomized queries through both engines here.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/exec_test"
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/exec_reference_test"
 
 echo "== tier-1: OK =="

@@ -1,6 +1,7 @@
 #ifndef GREDVIS_EXEC_EXECUTOR_H_
 #define GREDVIS_EXEC_EXECUTOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,9 +29,31 @@ struct ResultSet {
 /// identical (verified by property tests).
 enum class JoinStrategy { kHashJoin, kNestedLoop };
 
+/// Executor engine selection. `kColumnar` is the vectorized engine:
+/// scans borrow storage columns, filters evaluate predicates into
+/// selection bitmaps, joins shuffle 32-bit row ids, and cells are copied
+/// only into the final ResultSet. `kRowAtATime` is the original
+/// executor, kept as the executable reference semantics. The two produce
+/// bit-identical ResultSets (asserted by the differential suite in
+/// tests/exec_reference_test.cc); see DESIGN.md's executor section.
+enum class Engine { kColumnar, kRowAtATime };
+
+/// Process-wide default engine: `GRED_EXEC_ENGINE=row` selects the
+/// reference engine, anything else (including unset) the columnar one.
+/// Read once per process, so the whole pipeline — eval, serve, bench —
+/// can be flipped without plumbing.
+Engine DefaultEngine();
+
 /// Execution options.
 struct ExecOptions {
   JoinStrategy join_strategy = JoinStrategy::kHashJoin;
+  Engine engine = DefaultEngine();
+  /// Test-only 64-bit value-hash override used by hash joins and
+  /// group-by in both engines (nullptr = storage::Value::Hash, the
+  /// production path). Injecting a degenerate hash — e.g. a constant —
+  /// forces every row pair to hash-collide, proving the engines re-check
+  /// actual key values after a hash match instead of trusting the hash.
+  std::uint64_t (*value_hash)(const storage::Value&) = nullptr;
   /// Optional resource guard (not owned; nullptr = unguarded, the
   /// default — bit-identical to the pre-guard executor). When set, every
   /// operator loop charges the context deterministically: one tick per

@@ -1,0 +1,209 @@
+#include "exec/vector_ops.h"
+
+#include <algorithm>
+
+#include "exec/scalar.h"
+
+namespace gred::exec {
+
+namespace {
+
+using storage::Value;
+
+std::uint64_t NextPow2(std::uint64_t n) {
+  std::uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Row-engine comparison semantics: NULL on either side is not-true.
+bool CompareTruth(const Value& lhs, const Value& rhs, dvq::CompareOp op) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  const int cmp = lhs.Compare(rhs);
+  switch (op) {
+    case dvq::CompareOp::kEq:
+      return cmp == 0;
+    case dvq::CompareOp::kNe:
+      return cmp != 0;
+    case dvq::CompareOp::kLt:
+      return cmp < 0;
+    case dvq::CompareOp::kLe:
+      return cmp <= 0;
+    case dvq::CompareOp::kGt:
+      return cmp > 0;
+    case dvq::CompareOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void EvalPredicateRange(const ColumnView& col,
+                        const PreparedPredicate& pred, std::size_t begin,
+                        std::size_t end, std::uint8_t* out) {
+  const std::size_t n = end - begin;
+  switch (pred.op) {
+    case dvq::CompareOp::kIsNull:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = col.at(begin + i).is_null() ? 1 : 0;
+      }
+      return;
+    case dvq::CompareOp::kIsNotNull:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = col.at(begin + i).is_null() ? 0 : 1;
+      }
+      return;
+    case dvq::CompareOp::kLike:
+    case dvq::CompareOp::kNotLike: {
+      const bool want = pred.op == dvq::CompareOp::kLike;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool match =
+            LikeMatch(pred.pattern, col.at(begin + i).ToString());
+        out[i] = match == want ? 1 : 0;
+      }
+      return;
+    }
+    case dvq::CompareOp::kIn:
+    case dvq::CompareOp::kNotIn: {
+      const bool want = pred.op == dvq::CompareOp::kIn;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Value& lhs = col.at(begin + i);
+        bool found = false;
+        for (const Value& v : pred.in_values) {
+          if (lhs == v) {
+            found = true;
+            break;
+          }
+        }
+        out[i] = found == want ? 1 : 0;
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  if (pred.dense_int_fast && col.rowids == nullptr) {
+    // NULL-free all-int column vs int literal: compare machine ints in
+    // a loop the compiler can unroll/vectorize.
+    const Value* vals = col.values + begin;
+    const std::int64_t k = pred.rhs.int_value();
+    switch (pred.op) {
+      case dvq::CompareOp::kEq:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = vals[i].int_value() == k ? 1 : 0;
+        }
+        return;
+      case dvq::CompareOp::kNe:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = vals[i].int_value() != k ? 1 : 0;
+        }
+        return;
+      case dvq::CompareOp::kLt:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = vals[i].int_value() < k ? 1 : 0;
+        }
+        return;
+      case dvq::CompareOp::kLe:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = vals[i].int_value() <= k ? 1 : 0;
+        }
+        return;
+      case dvq::CompareOp::kGt:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = vals[i].int_value() > k ? 1 : 0;
+        }
+        return;
+      case dvq::CompareOp::kGe:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = vals[i].int_value() >= k ? 1 : 0;
+        }
+        return;
+      default:
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = CompareTruth(col.at(begin + i), pred.rhs, pred.op) ? 1 : 0;
+  }
+}
+
+void AndInto(std::uint8_t* acc, const std::uint8_t* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] &= x[i];
+}
+
+void OrInto(std::uint8_t* acc, const std::uint8_t* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] |= x[i];
+}
+
+JoinHashTable::JoinHashTable(const std::vector<Value>& keys,
+                             ValueHashFn hash)
+    : keys_(keys), hashes_(keys.size(), 0),
+      next_(keys.size(), -1) {
+  const std::uint64_t buckets =
+      NextPow2(keys.size() < 4 ? 4 : keys.size() * 2);
+  heads_.assign(buckets, -1);
+  mask_ = buckets - 1;
+  // Prepending while walking rows in reverse yields chains — and
+  // therefore probe matches — in ascending build-row order.
+  for (std::size_t r = keys.size(); r-- > 0;) {
+    if (keys_[r].is_null()) continue;
+    const std::uint64_t h = HashValueWith(hash, keys_[r]);
+    hashes_[r] = h;
+    const std::size_t bucket = h & mask_;
+    next_[r] = heads_[bucket];
+    heads_[bucket] = static_cast<std::int32_t>(r);
+  }
+}
+
+void JoinHashTable::Probe(const Value& key, std::uint64_t key_hash,
+                          std::vector<std::uint32_t>* out) const {
+  std::int32_t r = heads_[key_hash & mask_];
+  while (r >= 0) {
+    const auto row = static_cast<std::size_t>(r);
+    r = next_[row];
+    if (hashes_[row] != key_hash) continue;
+    // Full key re-check: a 64-bit hash collision (or a bucket
+    // collision) must never join unrelated rows.
+    if (keys_[row].Compare(key) != 0) continue;
+    out->push_back(static_cast<std::uint32_t>(row));
+  }
+}
+
+GroupIndex::GroupIndex()
+    : slot_gid_(64, -1), slot_hash_(64, 0), mask_(63) {}
+
+void GroupIndex::Grow() {
+  const std::size_t new_size = slot_gid_.size() * 2;
+  std::vector<std::int64_t> gid(new_size, -1);
+  std::vector<std::uint64_t> hash(new_size, 0);
+  const std::uint64_t mask = new_size - 1;
+  for (std::size_t i = 0; i < slot_gid_.size(); ++i) {
+    if (slot_gid_[i] < 0) continue;
+    std::size_t j = slot_hash_[i] & mask;
+    while (gid[j] >= 0) j = (j + 1) & mask;
+    gid[j] = slot_gid_[i];
+    hash[j] = slot_hash_[i];
+  }
+  slot_gid_ = std::move(gid);
+  slot_hash_ = std::move(hash);
+  mask_ = mask;
+}
+
+std::vector<std::uint32_t> StableSortPermutation(std::size_t n,
+                                                 const ColumnView& keys,
+                                                 bool descending) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = static_cast<std::uint32_t>(i);
+  }
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&keys, descending](std::uint32_t a, std::uint32_t b) {
+                     const int cmp = keys.at(a).Compare(keys.at(b));
+                     return descending ? cmp > 0 : cmp < 0;
+                   });
+  return perm;
+}
+
+}  // namespace gred::exec

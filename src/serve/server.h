@@ -124,7 +124,11 @@ struct ServerStats {
 /// RequestQueue — full queue means an immediate overload rejection.
 /// Workers pop, translate under the shared Gred, execute the DVQ under
 /// the request's own ExecContext (deadline_ms/budget_rows — PR 4's
-/// guards as the SLO layer), and complete the callback.
+/// guards as the SLO layer), and complete the callback. Execution runs
+/// on the default executor engine — the vectorized columnar one, which
+/// charges guards per chunk with trip points identical to the
+/// row-at-a-time reference (set GRED_EXEC_ENGINE=row to serve on the
+/// reference engine when chasing an executor divergence).
 ///
 /// Determinism: with include_timings=false, concurrent responses are
 /// byte-identical to a serial Handle() replay of the same requests

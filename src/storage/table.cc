@@ -21,6 +21,20 @@ Status DataTable::AppendRow(std::vector<Value> row) {
   return Status::OK();
 }
 
+DataTable::ColumnStats DataTable::ScanColumn(std::size_t col) const {
+  ColumnStats stats;
+  for (const Value& v : columns_[col]) {
+    if (v.is_null()) {
+      stats.has_null = true;
+      continue;
+    }
+    if (!v.is_int()) stats.all_int = false;
+    if (!v.is_real()) stats.all_real = false;
+    if (!v.is_text()) stats.all_text = false;
+  }
+  return stats;
+}
+
 std::vector<Value> DataTable::Row(std::size_t row) const {
   std::vector<Value> out;
   out.reserve(columns_.size());

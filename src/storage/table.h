@@ -43,6 +43,22 @@ class DataTable {
     return columns_[col];
   }
 
+  /// All columns, index-aligned with `def().columns()`. The vectorized
+  /// executor scans these directly instead of materializing rows.
+  const std::vector<std::vector<Value>>& columns() const { return columns_; }
+
+  /// One-pass type summary of a column, computed on demand (not cached:
+  /// DataTable is shared read-only across eval threads). The vectorized
+  /// executor uses it to pick typed predicate kernels.
+  struct ColumnStats {
+    bool has_null = false;
+    bool all_int = true;      // every non-NULL cell is an int
+    bool all_real = true;     // every non-NULL cell is a real
+    bool all_text = true;     // every non-NULL cell is text
+    bool all_numeric() const { return all_int || all_real; }
+  };
+  ColumnStats ScanColumn(std::size_t col) const;
+
  private:
   schema::TableDef def_;
   std::vector<std::vector<Value>> columns_;

@@ -61,6 +61,13 @@ inline constexpr std::uint64_t kAccountedBytesPerCell = 16;
 /// bit-identical to an unguarded one (asserted by the metamorphic
 /// suite). Thread-safe: counters are relaxed atomics; totals are exact,
 /// and the latch guarantees at-most-once trip accounting per context.
+///
+/// Charge granularity is the caller's choice: charges are cumulative
+/// (`used += n; trip iff used > limit`), so charging a 1024-row chunk
+/// in one call trips iff 1024 per-row calls would have — the columnar
+/// executor relies on this to charge per chunk while keeping trip
+/// points identical to the row-at-a-time reference engine (asserted by
+/// the engine-differential suite in tests/exec_reference_test.cc).
 class ExecContext {
  public:
   /// Unguarded context: all charges succeed (until cancelled).

@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "dataset/benchmark.h"
 #include "exec/executor.h"
 #include "exec/scalar.h"
+#include "util/rng.h"
 
 namespace gred {
 namespace {
@@ -333,6 +336,389 @@ TEST_P(ExecutorDifferential, AgreesWithReferenceOnCorpusTargets) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorDifferential,
                          ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Row-engine vs columnar-engine differential harness. The row-at-a-time
+// engine is the executable reference semantics; the vectorized engine
+// must be bit-identical on results and — absent scalar subqueries, which
+// it hoists — charge-identical on guards.
+// ---------------------------------------------------------------------------
+
+/// Type-exact fingerprint of a ResultSet: column names, row order, and
+/// for each cell a kind tag plus an exact payload (ints by value, reals
+/// by bit pattern, text raw). Any divergence between engines — including
+/// int-vs-real kind drift or a different double-accumulation order —
+/// changes the fingerprint.
+std::string Fingerprint(const exec::ResultSet& rs) {
+  std::string out;
+  for (const std::string& name : rs.column_names) {
+    out += name;
+    out += '\x1f';
+  }
+  out += '\n';
+  for (const auto& row : rs.rows) {
+    for (const Value& v : row) {
+      if (v.is_null()) {
+        out += 'N';
+      } else if (v.is_int()) {
+        out += 'I';
+        out += std::to_string(v.int_value());
+      } else if (v.is_real()) {
+        out += 'R';
+        out += std::to_string(std::bit_cast<std::uint64_t>(v.real_value()));
+      } else {
+        out += 'T';
+        out += v.text_value();
+      }
+      out += '\x1f';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool HasSubquery(const dvq::Query& q) {
+  if (!q.where.has_value()) return false;
+  for (const auto& p : q.where->predicates) {
+    if (p.subquery != nullptr) return true;
+  }
+  return false;
+}
+
+/// Runs one query through both engines and asserts agreement: identical
+/// ok-ness, identical error code/message on failure, identical result
+/// fingerprint on success. When `check_usage` is set, also runs both
+/// under a fresh unlimited guard and asserts identical charge totals
+/// (valid only without subqueries).
+void ExpectEnginesAgree(const dvq::Query& q, const storage::DatabaseData& db,
+                        exec::JoinStrategy strategy, bool check_usage,
+                        const std::string& label) {
+  exec::ExecOptions row;
+  row.engine = exec::Engine::kRowAtATime;
+  row.join_strategy = strategy;
+  exec::ExecOptions col;
+  col.engine = exec::Engine::kColumnar;
+  col.join_strategy = strategy;
+  Result<exec::ResultSet> a = exec::Execute(q, db, row);
+  Result<exec::ResultSet> b = exec::Execute(q, db, col);
+  ASSERT_EQ(a.ok(), b.ok()) << label << "\nrow: " << a.status().ToString()
+                            << "\ncolumnar: " << b.status().ToString();
+  if (!a.ok()) {
+    EXPECT_EQ(a.status().code(), b.status().code()) << label;
+    EXPECT_EQ(a.status().message(), b.status().message()) << label;
+    return;
+  }
+  EXPECT_EQ(Fingerprint(a.value()), Fingerprint(b.value())) << label;
+  if (!check_usage) return;
+  ExecContext row_ctx;
+  ExecContext col_ctx;
+  row.context = &row_ctx;
+  col.context = &col_ctx;
+  ASSERT_TRUE(exec::Execute(q, db, row).ok()) << label;
+  ASSERT_TRUE(exec::Execute(q, db, col).ok()) << label;
+  EXPECT_EQ(row_ctx.usage().ticks, col_ctx.usage().ticks) << label;
+  EXPECT_EQ(row_ctx.usage().rows, col_ctx.usage().rows) << label;
+  EXPECT_EQ(row_ctx.usage().bytes, col_ctx.usage().bytes) << label;
+  EXPECT_EQ(row_ctx.usage().join_rows, col_ctx.usage().join_rows) << label;
+}
+
+/// Trip parity under tight budgets: per-chunk charging must exhaust the
+/// same budgets as per-row charging. Without subqueries both engines
+/// charge identical totals, so trip/no-trip must match exactly; with a
+/// subquery the columnar engine (which hoists it) charges at most as
+/// much, so its trip implies the reference engine's.
+void ExpectTripParity(const dvq::Query& q, const storage::DatabaseData& db,
+                      const GuardLimits& limits, const std::string& label) {
+  ExecContext row_ctx(limits);
+  ExecContext col_ctx(limits);
+  exec::ExecOptions row;
+  row.engine = exec::Engine::kRowAtATime;
+  row.context = &row_ctx;
+  exec::ExecOptions col;
+  col.engine = exec::Engine::kColumnar;
+  col.context = &col_ctx;
+  Result<exec::ResultSet> a = exec::Execute(q, db, row);
+  Result<exec::ResultSet> b = exec::Execute(q, db, col);
+  if (HasSubquery(q)) {
+    if (!b.ok()) {
+      EXPECT_FALSE(a.ok()) << label;
+    }
+  } else {
+    ASSERT_EQ(a.ok(), b.ok())
+        << label << "\nrow: " << a.status().ToString()
+        << "\ncolumnar: " << b.status().ToString();
+  }
+  if (!a.ok() && !b.ok()) {
+    EXPECT_EQ(a.status().code(), b.status().code()) << label;
+  }
+  if (a.ok() && b.ok()) {
+    EXPECT_EQ(Fingerprint(a.value()), Fingerprint(b.value())) << label;
+  }
+}
+
+class EngineDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDifferential, ColumnarMatchesRowEngineOnEvalSuite) {
+  dataset::BenchmarkOptions options;
+  options.seed = 9100 + static_cast<std::uint64_t>(GetParam());
+  options.train_size = 40;
+  options.test_size = 120;
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  struct SetRef {
+    const std::vector<dataset::Example>* examples;
+    bool rob;
+  };
+  const SetRef sets[] = {{&suite.test_clean, false},
+                         {&suite.test_nlq, false},
+                         {&suite.test_schema, true},
+                         {&suite.test_both, true}};
+  std::size_t compared = 0;
+  for (const SetRef& set : sets) {
+    for (const dataset::Example& ex : *set.examples) {
+      const dataset::GeneratedDatabase* db =
+          set.rob ? suite.FindRobDb(ex.db_name)
+                  : suite.FindCleanDb(ex.db_name);
+      ASSERT_NE(db, nullptr) << ex.db_name;
+      const bool check_usage = !HasSubquery(ex.dvq.query);
+      ExpectEnginesAgree(ex.dvq.query, db->data,
+                         exec::JoinStrategy::kHashJoin, check_usage,
+                         ex.DvqText());
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferential,
+                         ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Randomized differential: structured random queries over hand-built
+// tables that concentrate the awkward cases — NULL group keys, empty
+// inputs, BIN + GROUP BY, duplicate join keys, ambiguous column names —
+// run through both engines, with and without guards.
+// ---------------------------------------------------------------------------
+
+dvq::ColumnRef Col(const std::string& table, const std::string& column) {
+  dvq::ColumnRef ref;
+  ref.table = table;
+  ref.column = column;
+  return ref;
+}
+
+dvq::SelectExpr Sel(dvq::AggFunc agg, bool distinct, dvq::ColumnRef col) {
+  dvq::SelectExpr e;
+  e.agg = agg;
+  e.distinct = distinct;
+  e.col = std::move(col);
+  return e;
+}
+
+/// Tables: t(g, x, d, s) with NULLs in every column and a small `g`
+/// domain (group collisions, NULL group keys); u(k, w) with duplicate
+/// keys (join fan-out). `rows == 0` exercises empty-input aggregates.
+storage::DatabaseData MakeRandomDb(Rng* rng, std::size_t rows) {
+  schema::Database db_schema("rnd");
+  schema::TableDef t("t", {});
+  t.AddColumn({"g", schema::ColumnType::kInt, false});
+  t.AddColumn({"x", schema::ColumnType::kInt, false});
+  t.AddColumn({"d", schema::ColumnType::kDate, false});
+  t.AddColumn({"s", schema::ColumnType::kText, false});
+  db_schema.AddTable(std::move(t));
+  schema::TableDef u("u", {});
+  u.AddColumn({"k", schema::ColumnType::kInt, false});
+  u.AddColumn({"w", schema::ColumnType::kInt, false});
+  db_schema.AddTable(std::move(u));
+  storage::DatabaseData db(std::move(db_schema));
+  const std::vector<std::string> dates = {"2020-01-15", "2020-02-20",
+                                          "2021-01-05", "2021-07-04",
+                                          "not a date"};
+  const std::vector<std::string> texts = {"aa", "ab", "b", ""};
+  storage::DataTable* tt = db.FindTable("t");
+  for (std::size_t r = 0; r < rows; ++r) {
+    Value g = rng->NextBool(0.2) ? Value::Null()
+                                 : Value::Int(rng->NextInt(0, 4));
+    Value x = rng->NextBool(0.1) ? Value::Null()
+                                 : Value::Int(rng->NextInt(-5, 9));
+    Value d = rng->NextBool(0.15) ? Value::Null()
+                                  : Value::Text(rng->Pick(dates));
+    Value s = rng->NextBool(0.1) ? Value::Null()
+                                 : Value::Text(rng->Pick(texts));
+    EXPECT_TRUE(tt->AppendRow({g, x, d, s}).ok());
+  }
+  storage::DataTable* tu = db.FindTable("u");
+  const std::size_t u_rows = rows == 0 ? 3 : rows / 2 + 1;
+  for (std::size_t r = 0; r < u_rows; ++r) {
+    Value k = rng->NextBool(0.15) ? Value::Null()
+                                  : Value::Int(rng->NextInt(0, 5));
+    EXPECT_TRUE(
+        tu->AppendRow({k, Value::Int(rng->NextInt(0, 100))}).ok());
+  }
+  return db;
+}
+
+dvq::Query MakeRandomQuery(Rng* rng) {
+  dvq::Query q;
+  q.from_table = "t";
+  const bool join = rng->NextBool(0.3);
+  if (join) {
+    dvq::JoinClause j;
+    j.table = "u";
+    j.left = Col("t", "g");
+    j.right = Col("u", "k");
+    q.joins.push_back(j);
+  }
+  std::vector<std::string> plain_cols = {"g", "x", "d", "s"};
+  if (join) {
+    plain_cols.push_back("w");
+    plain_cols.push_back("k");
+  }
+  const std::vector<dvq::AggFunc> aggs = {
+      dvq::AggFunc::kCount, dvq::AggFunc::kSum, dvq::AggFunc::kAvg,
+      dvq::AggFunc::kMin, dvq::AggFunc::kMax};
+  const std::string x_col = rng->Pick(plain_cols);
+  q.select.push_back(Sel(dvq::AggFunc::kNone, false, Col("", x_col)));
+  if (rng->NextBool(0.7)) {
+    const dvq::AggFunc agg = rng->Pick(aggs);
+    const bool star = agg == dvq::AggFunc::kCount && rng->NextBool(0.3);
+    q.select.push_back(Sel(agg, rng->NextBool(0.15),
+                           star ? Col("", "*")
+                                : Col("", rng->Pick(plain_cols))));
+  } else {
+    q.select.push_back(
+        Sel(dvq::AggFunc::kNone, false, Col("", rng->Pick(plain_cols))));
+  }
+  if (rng->NextBool(0.5)) {
+    dvq::Condition cond;
+    const std::size_t n_preds = static_cast<std::size_t>(rng->NextInt(1, 3));
+    for (std::size_t i = 0; i < n_preds; ++i) {
+      dvq::Predicate p;
+      p.col = Col("", rng->Pick(plain_cols));
+      switch (rng->NextInt(0, 6)) {
+        case 0:
+          p.op = dvq::CompareOp::kEq;
+          p.literal = dvq::Literal::Int(rng->NextInt(0, 5));
+          break;
+        case 1:
+          p.op = rng->NextBool(0.5) ? dvq::CompareOp::kLt
+                                    : dvq::CompareOp::kGe;
+          p.literal = dvq::Literal::Int(rng->NextInt(-2, 8));
+          break;
+        case 2:
+          p.op = rng->NextBool(0.5) ? dvq::CompareOp::kNe
+                                    : dvq::CompareOp::kLe;
+          p.literal = rng->NextBool(0.5)
+                          ? dvq::Literal::Str(rng->NextBool(0.5) ? "ab" : "b")
+                          : dvq::Literal::Real(2.5);
+          break;
+        case 3:
+          p.op = rng->NextBool(0.5) ? dvq::CompareOp::kLike
+                                    : dvq::CompareOp::kNotLike;
+          p.literal = dvq::Literal::Str(rng->NextBool(0.5) ? "%a%" : "2_2%");
+          break;
+        case 4:
+          p.op = rng->NextBool(0.5) ? dvq::CompareOp::kIsNull
+                                    : dvq::CompareOp::kIsNotNull;
+          break;
+        case 5: {
+          p.op = rng->NextBool(0.5) ? dvq::CompareOp::kIn
+                                    : dvq::CompareOp::kNotIn;
+          const std::size_t n_in = static_cast<std::size_t>(rng->NextInt(1, 3));
+          for (std::size_t v = 0; v < n_in; ++v) {
+            p.in_list.push_back(dvq::Literal::Int(rng->NextInt(0, 5)));
+          }
+          break;
+        }
+        default: {
+          // Scalar subquery RHS: the columnar engine hoists these.
+          p.op = dvq::CompareOp::kEq;
+          auto sub = std::make_shared<dvq::Query>();
+          sub->from_table = "u";
+          sub->select.push_back(
+              Sel(dvq::AggFunc::kNone, false, Col("", "k")));
+          sub->select.push_back(
+              Sel(dvq::AggFunc::kNone, false, Col("", "w")));
+          sub->limit = 1;
+          p.subquery = std::move(sub);
+          break;
+        }
+      }
+      cond.predicates.push_back(std::move(p));
+      if (i + 1 < n_preds) {
+        cond.connectors.push_back(rng->NextBool(0.5) ? dvq::LogicalOp::kAnd
+                                                     : dvq::LogicalOp::kOr);
+      }
+    }
+    q.where = std::move(cond);
+  }
+  if (rng->NextBool(0.25)) {
+    dvq::BinClause bin;
+    bin.col = Col("", rng->NextBool(0.8) ? "d" : "g");
+    bin.unit = static_cast<dvq::BinUnit>(rng->NextInt(0, 3));
+    q.bin = bin;
+    if (rng->NextBool(0.5)) q.group_by.push_back(bin.col);
+  } else if (rng->NextBool(0.3)) {
+    // Explicit GROUP BY, sometimes on a column that is not selected.
+    q.group_by.push_back(
+        Col("", rng->NextBool(0.6) ? x_col : rng->Pick(plain_cols)));
+  }
+  if (rng->NextBool(0.5)) {
+    dvq::OrderByClause order;
+    if (rng->NextBool(0.6)) {
+      order.expr = rng->Pick(q.select);
+    } else if (rng->NextBool(0.5)) {
+      order.expr =
+          Sel(dvq::AggFunc::kNone, false, Col("", rng->Pick(plain_cols)));
+    } else {
+      order.expr = Sel(rng->Pick(aggs), false, Col("", "x"));
+    }
+    order.descending = rng->NextBool(0.5);
+    q.order_by = order;
+  }
+  if (rng->NextBool(0.35)) q.limit = rng->NextInt(0, 5);
+  return q;
+}
+
+class RandomizedEngineDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedEngineDifferential, EnginesAgreeOnRandomQueries) {
+  Rng rng(7700 + 131 * static_cast<std::uint64_t>(GetParam()));
+  // Four databases per seed, including an empty one (aggregates over
+  // empty input must agree, and WHERE/ORDER resolution must stay lazy
+  // in exactly the same places).
+  const std::size_t sizes[] = {0, 1, 7, 60};
+  std::vector<storage::DatabaseData> dbs;
+  for (std::size_t size : sizes) dbs.push_back(MakeRandomDb(&rng, size));
+  for (int iter = 0; iter < 250; ++iter) {
+    const storage::DatabaseData& db = dbs[rng.NextIndex(dbs.size())];
+    const dvq::Query q = MakeRandomQuery(&rng);
+    const std::string label = "iter " + std::to_string(iter) + ": " +
+                              q.ToString();
+    const exec::JoinStrategy strategy = rng.NextBool(0.75)
+                                            ? exec::JoinStrategy::kHashJoin
+                                            : exec::JoinStrategy::kNestedLoop;
+    ExpectEnginesAgree(q, db, strategy, !HasSubquery(q), label);
+    // Tight random budgets: per-chunk charging must trip identically.
+    GuardLimits limits;
+    if (rng.NextBool(0.5)) {
+      limits.deadline_ticks = static_cast<std::uint64_t>(rng.NextInt(1, 200));
+    }
+    if (rng.NextBool(0.5)) {
+      limits.row_budget = static_cast<std::uint64_t>(rng.NextInt(1, 100));
+    }
+    if (rng.NextBool(0.5)) {
+      limits.memory_budget =
+          static_cast<std::uint64_t>(rng.NextInt(1, 2000));
+    }
+    if (rng.NextBool(0.5)) {
+      limits.join_budget = static_cast<std::uint64_t>(rng.NextInt(1, 50));
+    }
+    ExpectTripParity(q, db, limits, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedEngineDifferential,
+                         ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace gred

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <utility>
+
 #include "dvq/parser.h"
 #include "exec/executor.h"
 #include "exec/scalar.h"
@@ -302,6 +305,173 @@ TEST(Executor, NullSemanticsInPredicates) {
   EXPECT_EQ(cmp.value().num_rows(), 1u);
 }
 
+/// Exact ResultSet equality: same columns, same rows, same order, and
+/// cell-for-cell identical values (kind included).
+void ExpectSameResult(const ResultSet& a, const ResultSet& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.column_names, b.column_names) << label;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << label;
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    ASSERT_EQ(a.rows[r].size(), b.rows[r].size()) << label;
+    for (std::size_t c = 0; c < a.rows[r].size(); ++c) {
+      const Value& x = a.rows[r][c];
+      const Value& y = b.rows[r][c];
+      EXPECT_TRUE(x.is_null() == y.is_null() && x.is_int() == y.is_int() &&
+                  x.is_real() == y.is_real() && x.is_text() == y.is_text() &&
+                  x.Compare(y) == 0)
+          << label << " row " << r << " col " << c << ": " << x.ToString()
+          << " vs " << y.ToString();
+    }
+  }
+}
+
+/// Degenerate hash: every value collides with every other value. Any
+/// query that stays correct under this must be re-checking actual key
+/// values after each hash match.
+std::uint64_t ConstantHash(const storage::Value&) { return 42; }
+
+TEST(Executor, HashCollisionsNeverJoinUnrelatedRows) {
+  DatabaseData db = MakeDb();
+  const dvq::Query join = Q(
+      "SELECT department_name , salary FROM employees JOIN departments "
+      "ON employees.department_id = departments.department_id");
+  for (Engine engine : {Engine::kColumnar, Engine::kRowAtATime}) {
+    for (JoinStrategy strategy :
+         {JoinStrategy::kHashJoin, JoinStrategy::kNestedLoop}) {
+      ExecOptions baseline;
+      baseline.engine = engine;
+      baseline.join_strategy = strategy;
+      ExecOptions colliding = baseline;
+      colliding.value_hash = &ConstantHash;
+      Result<ResultSet> want = Execute(join, db, baseline);
+      Result<ResultSet> got = Execute(join, db, colliding);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value().num_rows(), 4u);  // eve's department dangles
+      ExpectSameResult(want.value(), got.value(), "colliding join");
+    }
+  }
+}
+
+TEST(Executor, HashCollisionsNeverMergeUnrelatedGroups) {
+  DatabaseData db = MakeDb();
+  const dvq::Query group = Q(
+      "SELECT department_id , COUNT(*) FROM employees GROUP BY "
+      "department_id");
+  for (Engine engine : {Engine::kColumnar, Engine::kRowAtATime}) {
+    ExecOptions baseline;
+    baseline.engine = engine;
+    ExecOptions colliding = baseline;
+    colliding.value_hash = &ConstantHash;
+    Result<ResultSet> want = Execute(group, db, baseline);
+    Result<ResultSet> got = Execute(group, db, colliding);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().num_rows(), 3u);
+    ExpectSameResult(want.value(), got.value(), "colliding group-by");
+  }
+}
+
+/// Two-table fixture where both tables have a column `v` with different
+/// values, so binding ORDER BY to the wrong table's `v` changes the row
+/// order.
+DatabaseData MakeAmbiguousDb() {
+  schema::Database db_schema("d");
+  schema::TableDef a("a", {});
+  a.AddColumn({"k", schema::ColumnType::kInt, true});
+  a.AddColumn({"v", schema::ColumnType::kInt, false});
+  db_schema.AddTable(std::move(a));
+  schema::TableDef b("b", {});
+  b.AddColumn({"k", schema::ColumnType::kInt, true});
+  b.AddColumn({"v", schema::ColumnType::kInt, false});
+  db_schema.AddTable(std::move(b));
+  DatabaseData db(std::move(db_schema));
+  storage::DataTable* ta = db.FindTable("a");
+  EXPECT_TRUE(ta->AppendRow({Value::Int(1), Value::Int(100)}).ok());
+  EXPECT_TRUE(ta->AppendRow({Value::Int(2), Value::Int(200)}).ok());
+  storage::DataTable* tb = db.FindTable("b");
+  EXPECT_TRUE(tb->AppendRow({Value::Int(1), Value::Int(7)}).ok());
+  EXPECT_TRUE(tb->AppendRow({Value::Int(2), Value::Int(3)}).ok());
+  return db;
+}
+
+TEST(Executor, OrderByBareNameBindsToSelectedColumn) {
+  // Regression: `ORDER BY v` must bind to the *selected* b.v (SQL's
+  // output-column rule), not re-resolve to the first same-named slot
+  // (a.v). Sorting by a.v instead yields k order 1,2; by b.v it is 2,1.
+  DatabaseData db = MakeAmbiguousDb();
+  const dvq::Query q = Q(
+      "SELECT a.k , b.v FROM a JOIN b ON a.k = b.k ORDER BY v ASC");
+  for (Engine engine : {Engine::kColumnar, Engine::kRowAtATime}) {
+    ExecOptions options;
+    options.engine = engine;
+    Result<ResultSet> rs = Execute(q, db, options);
+    ASSERT_TRUE(rs.ok());
+    ASSERT_EQ(rs.value().num_rows(), 2u);
+    EXPECT_EQ(rs.value().num_columns(), 2u);
+    EXPECT_EQ(rs.value().rows[0][0].int_value(), 2);  // b.v = 3
+    EXPECT_EQ(rs.value().rows[1][0].int_value(), 1);  // b.v = 7
+  }
+}
+
+TEST(Executor, OrderByQualifiedSpellingUnifiesWithSelect) {
+  // `ORDER BY SUM(employees.salary)` and `ORDER BY SUM(salary)` denote
+  // the same selected aggregate; neither may append a hidden duplicate
+  // column. With unlimited guards, identical charges prove it: a hidden
+  // column would widen every charged group row.
+  DatabaseData db = MakeDb();
+  const std::string base =
+      "SELECT department_id , SUM(salary) FROM employees GROUP BY "
+      "department_id ORDER BY ";
+  for (Engine engine : {Engine::kColumnar, Engine::kRowAtATime}) {
+    ExecContext plain_ctx;
+    ExecContext qualified_ctx;
+    ExecOptions plain;
+    plain.engine = engine;
+    plain.context = &plain_ctx;
+    ExecOptions qualified = plain;
+    qualified.context = &qualified_ctx;
+    Result<ResultSet> a = Execute(Q(base + "SUM(salary) DESC"), db, plain);
+    Result<ResultSet> b =
+        Execute(Q(base + "SUM(employees.salary) DESC"), db, qualified);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameResult(a.value(), b.value(), "qualified order spelling");
+    EXPECT_EQ(plain_ctx.usage().ticks, qualified_ctx.usage().ticks);
+    EXPECT_EQ(plain_ctx.usage().rows, qualified_ctx.usage().rows);
+    EXPECT_EQ(plain_ctx.usage().bytes, qualified_ctx.usage().bytes);
+  }
+}
+
+TEST(Executor, OrderByTiesKeepInputOrder) {
+  // std::stable_sort contract, pinned across engines and standard
+  // libraries: rows with equal keys stay in working-set order.
+  DatabaseData db = MakeDb();
+  const dvq::Query asc =
+      Q("SELECT name , department_id FROM employees ORDER BY department_id "
+        "ASC");
+  const dvq::Query desc =
+      Q("SELECT name , department_id FROM employees ORDER BY department_id "
+        "DESC");
+  const std::vector<std::string> want_asc = {"ann", "bob", "cho", "dee",
+                                             "eve"};
+  const std::vector<std::string> want_desc = {"eve", "cho", "dee", "ann",
+                                              "bob"};
+  for (Engine engine : {Engine::kColumnar, Engine::kRowAtATime}) {
+    ExecOptions options;
+    options.engine = engine;
+    for (const auto& [query, want] :
+         {std::pair{&asc, &want_asc}, std::pair{&desc, &want_desc}}) {
+      Result<ResultSet> rs = Execute(*query, db, options);
+      ASSERT_TRUE(rs.ok());
+      ASSERT_EQ(rs.value().num_rows(), want->size());
+      for (std::size_t i = 0; i < want->size(); ++i) {
+        EXPECT_EQ(rs.value().rows[i][0].text_value(), (*want)[i]);
+      }
+    }
+  }
+}
+
 // Property: hash join and nested-loop join agree on random join queries.
 class JoinEquivalence : public ::testing::TestWithParam<int> {};
 
@@ -339,19 +509,21 @@ TEST_P(JoinEquivalence, StrategiesAgree) {
       "child.pid GROUP BY label ORDER BY COUNT(label) DESC",
   };
   for (const std::string& text : queries) {
-    ExecOptions hash;
-    hash.join_strategy = JoinStrategy::kHashJoin;
-    ExecOptions loop;
-    loop.join_strategy = JoinStrategy::kNestedLoop;
-    Result<ResultSet> a = Execute(Q(text), db, hash);
-    Result<ResultSet> b = Execute(Q(text), db, loop);
-    ASSERT_TRUE(a.ok());
-    ASSERT_TRUE(b.ok());
-    ASSERT_EQ(a.value().num_rows(), b.value().num_rows()) << text;
-    for (std::size_t r = 0; r < a.value().num_rows(); ++r) {
-      for (std::size_t col = 0; col < a.value().num_columns(); ++col) {
-        EXPECT_EQ(a.value().rows[r][col].Compare(b.value().rows[r][col]), 0)
-            << text;
+    // Every engine x strategy combination must agree bit for bit.
+    std::optional<ResultSet> want;
+    for (Engine engine : {Engine::kColumnar, Engine::kRowAtATime}) {
+      for (JoinStrategy strategy :
+           {JoinStrategy::kHashJoin, JoinStrategy::kNestedLoop}) {
+        ExecOptions options;
+        options.engine = engine;
+        options.join_strategy = strategy;
+        Result<ResultSet> rs = Execute(Q(text), db, options);
+        ASSERT_TRUE(rs.ok()) << text;
+        if (!want.has_value()) {
+          want = std::move(rs).value();
+          continue;
+        }
+        ExpectSameResult(*want, rs.value(), text);
       }
     }
   }
