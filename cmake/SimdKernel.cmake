@@ -1,0 +1,73 @@
+# Build-time feature detection for the SIMD dot kernel (src/embed/kernel.cc).
+#
+# Sets:
+#   GRED_KERNEL_DEFS  - list of compile definitions for gred_embed
+#                       (GRED_KERNEL_AVX2, GRED_KERNEL_NEON)
+#   GRED_KERNEL_OPTS  - list of compile options for gred_embed
+#                       (-fopenmp-simd when supported)
+#   GRED_KERNEL_SUMMARY - human-readable target list, printed at configure
+#
+# AVX2 is compiled via a per-function `__attribute__((target("avx2,fma")))`
+# so the rest of the translation unit — and the whole build — keeps the
+# default architecture; the binary stays runnable on non-AVX2 machines
+# because kernel.cc checks __builtin_cpu_supports before dispatching.
+
+include(CheckCXXSourceCompiles)
+include(CheckCXXCompilerFlag)
+
+set(GRED_KERNEL_DEFS "")
+set(GRED_KERNEL_OPTS "")
+set(_gred_kernel_targets "scalar, portable")
+
+check_cxx_source_compiles("
+#include <immintrin.h>
+__attribute__((target(\"avx2,fma\")))
+double probe(const float* a, const float* b) {
+  __m256d acc = _mm256_setzero_pd();
+  acc = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(a)),
+                        _mm256_cvtps_pd(_mm_loadu_ps(b)), acc);
+  __m256i iacc = _mm256_madd_epi16(_mm256_set1_epi16(1),
+                                   _mm256_set1_epi16(2));
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  return lane[0] + static_cast<double>(_mm256_extract_epi32(iacc, 0));
+}
+int main() { return __builtin_cpu_supports(\"avx2\") ? 0 : 1; }
+" GRED_TOOLCHAIN_HAS_AVX2_TARGET)
+
+if(GRED_TOOLCHAIN_HAS_AVX2_TARGET)
+  list(APPEND GRED_KERNEL_DEFS GRED_KERNEL_AVX2)
+  string(APPEND _gred_kernel_targets ", avx2 (runtime-dispatched)")
+endif()
+
+check_cxx_source_compiles("
+#if !defined(__aarch64__)
+#error \"NEON f64 kernel needs aarch64\"
+#endif
+#include <arm_neon.h>
+double probe(const float* a, const float* b) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  float32x4_t va = vld1q_f32(a);
+  acc = vfmaq_f64(acc, vcvt_f64_f32(vget_low_f32(va)),
+                  vcvt_f64_f32(vget_low_f32(vld1q_f32(b))));
+  return vgetq_lane_f64(acc, 0);
+}
+int main() { return 0; }
+" GRED_TOOLCHAIN_HAS_NEON)
+
+if(GRED_TOOLCHAIN_HAS_NEON)
+  list(APPEND GRED_KERNEL_DEFS GRED_KERNEL_NEON)
+  string(APPEND _gred_kernel_targets ", neon")
+endif()
+
+check_cxx_compiler_flag(-fopenmp-simd GRED_TOOLCHAIN_HAS_OPENMP_SIMD)
+if(GRED_TOOLCHAIN_HAS_OPENMP_SIMD)
+  # -fopenmp-simd honours `#pragma omp simd` without pulling in the
+  # OpenMP runtime; without it the pragma is inert and the portable
+  # kernel is plain scalar code (still bit-identical by construction).
+  list(APPEND GRED_KERNEL_OPTS -fopenmp-simd)
+  string(APPEND _gred_kernel_targets " [portable uses -fopenmp-simd]")
+endif()
+
+set(GRED_KERNEL_SUMMARY "${_gred_kernel_targets}")
+message(STATUS "gredvis: SIMD dot kernel targets: ${GRED_KERNEL_SUMMARY}")

@@ -30,9 +30,12 @@ fi
 
 echo "== tier-1: micro-benchmark smoke (Release retrieval kernel) =="
 # Fast pass over the retrieval benchmarks: keeps the benchmark path and
-# the bench-report tooling building and running. Writes to build/ so a
-# smoke run never overwrites the committed BENCH_retrieval.json numbers
-# (regenerate those with a plain `scripts/bench_report`).
+# the bench-report tooling building and running. Includes the
+# retrieval_sweep 1-probe smoke (2000-entry library, exact vs quantized
+# vs IVF at one probe) so the recall@k frontier path runs on every gate.
+# Writes to build/ so a smoke run never overwrites the committed
+# BENCH_retrieval.json numbers (regenerate those with a plain
+# `scripts/bench_report`).
 "$ROOT/scripts/bench_report" --smoke "$ROOT/build/BENCH_retrieval_smoke.json"
 
 echo "== tier-1: serve smoke (wire protocol end to end) =="
@@ -98,7 +101,8 @@ if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
 fi
 cmake --build "$ROOT/build-tsan" -j"$JOBS" \
   --target thread_pool_test eval_test llm_test gred_test \
-           retrieval_equivalence_test serve_test exec_reference_test
+           retrieval_equivalence_test serve_test exec_reference_test \
+           kernel_dispatch_test
 # TSAN_OPTIONS makes any detected race fail the run loudly.
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/thread_pool_test"
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/eval_test" \
@@ -110,6 +114,10 @@ TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/gred_test" \
 TSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-tsan/tests/retrieval_equivalence_test" \
   --gtest_filter='CachingEmbedder.*'
+# The SIMD dot kernel resolves its dispatch target once per process
+# (magic static + env override); the hammer races many threads through
+# Dot() and must stay data-race-free and bit-identical.
+TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/kernel_dispatch_test"
 # The serving layer is the repo's most concurrent surface: a bounded
 # MPMC queue, a worker pool sharing one Gred, and per-stream response
 # serialization — the whole test binary runs under TSan.
@@ -135,7 +143,8 @@ if ! cmake -B "$ROOT/build-asan" -S "$ROOT" \
 fi
 cmake --build "$ROOT/build-asan" -j"$JOBS" \
   --target fuzz_test dvq_test resource_guard_test metamorphic_test \
-           analysis_test json_test exec_test exec_reference_test
+           analysis_test json_test exec_test exec_reference_test \
+           retrieval_equivalence_test kernel_dispatch_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/fuzz_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
@@ -159,5 +168,14 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/exec_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/exec_reference_test"
+# ANN differential smoke: the int8 quantized scan (aligned code buffers,
+# pointer-stride arithmetic) and the IVF probe path against the exact
+# store, plus the RetrievalIndex facade, under ASan+UBSan — an overread
+# in a SIMD tail or a stride miscalculation fails here, not in prod.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/retrieval_equivalence_test" \
+  --gtest_filter='QuantizedEquivalence.*:IvfEquivalence.*:RetrievalIndexFacade.*'
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/kernel_dispatch_test"
 
 echo "== tier-1: OK =="

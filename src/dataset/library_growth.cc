@@ -1,0 +1,43 @@
+#include "dataset/library_growth.h"
+
+#include <optional>
+
+#include "dataset/nlq_render.h"
+#include "dataset/plan.h"
+#include "dataset/query_generator.h"
+#include "util/rng.h"
+
+namespace gred::dataset {
+
+std::vector<std::string> GrowNlqLibrary(
+    const std::vector<GeneratedDatabase>& databases,
+    const nl::Lexicon& lexicon, std::size_t count,
+    const LibraryGrowthOptions& options) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  if (databases.empty() || count == 0) return out;
+
+  QueryGenerator generator(&databases, &lexicon);
+  Rng rng(options.seed);
+  std::size_t db_cursor = 0;
+  while (out.size() < count) {
+    const GeneratedDatabase& db = databases[db_cursor % databases.size()];
+    ++db_cursor;
+    std::optional<QueryPlan> plan;
+    for (int tries = 0; tries < 12 && !plan.has_value(); ++tries) {
+      plan = generator.SamplePlan(db, &rng);
+    }
+    if (!plan.has_value()) continue;
+    for (std::size_t variant = 0;
+         variant < options.variants_per_plan && out.size() < count;
+         ++variant) {
+      const NlqStyle style =
+          variant % 2 == 0 ? NlqStyle::kExplicit : NlqStyle::kParaphrased;
+      Rng nlq_rng = rng.Fork();
+      out.push_back(RenderNlq(*plan, style, &nlq_rng, lexicon));
+    }
+  }
+  return out;
+}
+
+}  // namespace gred::dataset

@@ -1,0 +1,41 @@
+#ifndef GREDVIS_DATASET_LIBRARY_GROWTH_H_
+#define GREDVIS_DATASET_LIBRARY_GROWTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/db_generator.h"
+#include "nl/lexicon.h"
+
+namespace gred::dataset {
+
+/// Options for growing a retrieval-scale NLQ library.
+struct LibraryGrowthOptions {
+  std::uint64_t seed = 90210;
+  /// NLQ surface variants rendered per sampled plan, alternating between
+  /// the explicit (nvBench) and paraphrased (nvBench-Rob) registers so
+  /// the library covers both phrasing distributions.
+  std::size_t variants_per_plan = 4;
+};
+
+/// Procedurally grows an NLQ library to `count` entries for
+/// retrieval-at-scale benchmarks and tests (10^5-10^6 entries).
+///
+/// This is the benchmark generator's sampling machinery with everything
+/// but the NLQ surface stripped out: plans are sampled round-robin over
+/// `databases` exactly like QueryGenerator::Generate, but no DVQ, no
+/// Example, and no id string is materialized — only the rendered
+/// question. At a million entries that is the difference between a
+/// multi-second corpus build and one dominated by embedding anyway.
+///
+/// Deterministic given (databases, seed): the same call always yields the
+/// same library, so recall measured against it is reproducible.
+std::vector<std::string> GrowNlqLibrary(
+    const std::vector<GeneratedDatabase>& databases,
+    const nl::Lexicon& lexicon, std::size_t count,
+    const LibraryGrowthOptions& options = {});
+
+}  // namespace gred::dataset
+
+#endif  // GREDVIS_DATASET_LIBRARY_GROWTH_H_

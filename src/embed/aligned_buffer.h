@@ -1,0 +1,54 @@
+#ifndef GREDVIS_EMBED_ALIGNED_BUFFER_H_
+#define GREDVIS_EMBED_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace gred::embed {
+
+/// Row alignment of every SoA retrieval buffer: one AVX2 register.
+/// FlatVectors rounds its float stride and QuantizedVectors its code
+/// stride up to this many bytes, so with an aligned base every row
+/// starts on a 32-byte boundary and the SIMD kernels never straddle a
+/// cache line at a row head.
+inline constexpr std::size_t kRowAlignBytes = 32;
+
+/// Minimal std::vector-compatible allocator returning kRowAlignBytes-
+/// aligned storage (operator new with align_val_t, so ASan still sees
+/// every allocation). value-initialization semantics are unchanged —
+/// the vector still zero-fills on resize, which FlatVectors relies on
+/// for its padding contract.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit constexpr AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kRowAlignBytes}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kRowAlignBytes});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Rounds a row dimension up to the stride that keeps consecutive rows
+/// kRowAlignBytes-aligned. `element_size` must divide kRowAlignBytes.
+constexpr std::size_t AlignedStride(std::size_t dim,
+                                    std::size_t element_size) {
+  const std::size_t elems = kRowAlignBytes / element_size;
+  return (dim + elems - 1) / elems * elems;
+}
+
+}  // namespace gred::embed
+
+#endif  // GREDVIS_EMBED_ALIGNED_BUFFER_H_

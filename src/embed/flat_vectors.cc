@@ -5,16 +5,19 @@
 namespace gred::embed {
 
 std::size_t FlatVectors::Append(const Vector& v) {
+  max_dim_ = std::max(max_dim_, v.size());
   if (v.size() > stride_) {
+    const std::size_t new_stride = AlignedStride(v.size(), sizeof(float));
     // Re-pack existing rows at the wider stride (rare: only stores mixing
     // dimensions ever grow the stride after the first append).
-    std::vector<float> wider(sizes_.size() * v.size(), 0.0f);
+    std::vector<float, AlignedAllocator<float>> wider(
+        sizes_.size() * new_stride, 0.0f);
     for (std::size_t i = 0; i < sizes_.size(); ++i) {
       std::copy_n(data_.data() + i * stride_, stride_,
-                  wider.data() + i * v.size());
+                  wider.data() + i * new_stride);
     }
     data_ = std::move(wider);
-    stride_ = v.size();
+    stride_ = new_stride;
   }
   const std::size_t index = sizes_.size();
   sizes_.push_back(static_cast<std::uint32_t>(v.size()));
@@ -33,6 +36,7 @@ void FlatVectors::AssignRow(std::size_t i, const Vector& v) {
   std::copy(v.begin(), v.end(), r);
   std::fill(r + v.size(), r + stride_, 0.0f);
   sizes_[i] = static_cast<std::uint32_t>(v.size());
+  max_dim_ = std::max(max_dim_, v.size());
 }
 
 }  // namespace gred::embed

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "embed/aligned_buffer.h"
 #include "embed/embedder.h"
 
 namespace gred::embed {
@@ -14,7 +15,10 @@ namespace gred::embed {
 /// linearly instead of chasing one heap allocation per vector (the seed's
 /// `std::vector<Vector>` layout).
 ///
-/// The stride is the largest row dimension seen so far; shorter rows are
+/// The buffer base is kRowAlignBytes (32-byte) aligned and the stride is
+/// the largest row dimension seen so far rounded up to kRowAlignFloats,
+/// so *every* row starts on a 32-byte boundary — the SIMD dot kernel
+/// never takes an unaligned path at a row head. Shorter rows are
 /// zero-padded (padding never changes a dot product). Appending a row
 /// wider than the current stride re-packs the buffer — O(n·stride), and
 /// only mixed-dimension stores (tests, never the embedders, which emit a
@@ -23,10 +27,19 @@ namespace gred::embed {
 /// differs from a row's scores exactly 0 against it.
 class FlatVectors {
  public:
+  /// Floats per alignment unit; the stride invariant below.
+  static constexpr std::size_t kRowAlignFloats =
+      kRowAlignBytes / sizeof(float);
+  static_assert(kRowAlignFloats * sizeof(float) == kRowAlignBytes,
+                "float size must divide the row alignment");
+  static_assert(kRowAlignBytes % alignof(float) == 0,
+                "row alignment must satisfy float alignment");
+
   /// Appends a row (copied); returns its index.
   std::size_t Append(const Vector& v);
 
   /// Pointer to row `i`'s floats (stride() of them, zero-padded).
+  /// 32-byte aligned by the stride invariant.
   const float* row(std::size_t i) const { return data_.data() + i * stride_; }
 
   /// The dimension row `i` was appended with (before padding).
@@ -41,13 +54,23 @@ class FlatVectors {
   void AssignRow(std::size_t i, const Vector& v);
 
   std::size_t size() const { return sizes_.size(); }
+
+  /// Floats between consecutive row heads; always a multiple of
+  /// kRowAlignFloats and at least max_dim().
   std::size_t stride() const { return stride_; }
+
+  /// Largest true row dimension appended so far (the pre-rounding
+  /// stride). IvfIndex's k-means accumulates centroid sums at this
+  /// width, so stride rounding never leaks into centroid dimensions.
+  std::size_t max_dim() const { return max_dim_; }
+
   bool empty() const { return sizes_.empty(); }
 
  private:
-  std::vector<float> data_;           // size() * stride_ floats
+  std::vector<float, AlignedAllocator<float>> data_;  // size() * stride_
   std::vector<std::uint32_t> sizes_;  // original dimension per row
   std::size_t stride_ = 0;
+  std::size_t max_dim_ = 0;
 };
 
 }  // namespace gred::embed

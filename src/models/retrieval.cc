@@ -3,36 +3,40 @@
 namespace gred::models {
 
 ExampleIndex::ExampleIndex(const std::vector<dataset::Example>* train,
-                           const embed::TextEmbedder* embedder)
-    : train_(train), embedder_(embedder) {
+                           const embed::TextEmbedder* embedder,
+                           embed::RetrievalConfig config)
+    : train_(train), embedder_(embedder), index_(config) {
   for (const dataset::Example& ex : *train_) {
-    store_.Add(embedder_->Embed(ex.nlq));
+    index_.Add(embedder_->Embed(ex.nlq));
   }
+  index_.Seal();
 }
 
 std::vector<ExampleIndex::Hit> ExampleIndex::TopK(const std::string& nlq,
                                                   std::size_t k) const {
   std::vector<Hit> out;
   embed::Vector query = embedder_->Embed(nlq);
-  for (const embed::VectorStore::Hit& hit : store_.TopK(query, k)) {
+  for (const embed::VectorStore::Hit& hit : index_.TopK(query, k)) {
     out.push_back(Hit{&(*train_)[hit.index], hit.score, hit.index});
   }
   return out;
 }
 
 DvqIndex::DvqIndex(const std::vector<dataset::Example>* train,
-                   const embed::TextEmbedder* embedder)
-    : train_(train), embedder_(embedder) {
+                   const embed::TextEmbedder* embedder,
+                   embed::RetrievalConfig config)
+    : train_(train), embedder_(embedder), index_(config) {
   for (const dataset::Example& ex : *train_) {
-    store_.Add(embedder_->Embed(ex.DvqText()));
+    index_.Add(embedder_->Embed(ex.DvqText()));
   }
+  index_.Seal();
 }
 
 std::vector<DvqIndex::Hit> DvqIndex::TopK(const std::string& dvq_text,
                                           std::size_t k) const {
   std::vector<Hit> out;
   embed::Vector query = embedder_->Embed(dvq_text);
-  for (const embed::VectorStore::Hit& hit : store_.TopK(query, k)) {
+  for (const embed::VectorStore::Hit& hit : index_.TopK(query, k)) {
     out.push_back(Hit{&(*train_)[hit.index], hit.score, hit.index});
   }
   return out;

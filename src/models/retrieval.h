@@ -7,7 +7,7 @@
 
 #include "dataset/example.h"
 #include "embed/embedder.h"
-#include "embed/vector_store.h"
+#include "embed/retrieval_index.h"
 
 namespace gred::models {
 
@@ -16,6 +16,12 @@ namespace gred::models {
 /// Baselines build it with a lexical embedder (their "memory" of the
 /// training distribution); GRED builds it with the semantic embedder
 /// (Section 4.1's embedding vector library).
+///
+/// Search runs through embed::RetrievalIndex, so the backend (exact
+/// scan, int8 quantized scan, or IVF multi-probe) is chosen by the
+/// `config` argument — by default, the GRED_RETRIEVAL_* environment
+/// knobs. The default backend is exact, which is byte-identical to the
+/// historical brute-force behaviour.
 class ExampleIndex {
  public:
   struct Hit {
@@ -27,21 +33,23 @@ class ExampleIndex {
   /// Indexes `train` (not owned; must outlive the index) using
   /// `embedder` (not owned).
   ExampleIndex(const std::vector<dataset::Example>* train,
-               const embed::TextEmbedder* embedder);
+               const embed::TextEmbedder* embedder,
+               embed::RetrievalConfig config = embed::RetrievalConfig::FromEnv());
 
   /// Top-k most similar training examples for `nlq`, best first.
   std::vector<Hit> TopK(const std::string& nlq, std::size_t k) const;
 
-  std::size_t size() const { return store_.size(); }
+  std::size_t size() const { return index_.size(); }
 
  private:
   const std::vector<dataset::Example>* train_;
   const embed::TextEmbedder* embedder_;
-  embed::VectorStore store_;
+  embed::RetrievalIndex index_;
 };
 
 /// A retrieval index over DVQ strings (GRED's DVQ embedding library used
-/// by the Retuner; also RGVisNet's prototype codebase).
+/// by the Retuner; also RGVisNet's prototype codebase). Backend selection
+/// mirrors ExampleIndex.
 class DvqIndex {
  public:
   struct Hit {
@@ -51,7 +59,8 @@ class DvqIndex {
   };
 
   DvqIndex(const std::vector<dataset::Example>* train,
-           const embed::TextEmbedder* embedder);
+           const embed::TextEmbedder* embedder,
+           embed::RetrievalConfig config = embed::RetrievalConfig::FromEnv());
 
   /// Top-k training examples whose DVQ text is most similar to `dvq_text`.
   std::vector<Hit> TopK(const std::string& dvq_text, std::size_t k) const;
@@ -59,7 +68,7 @@ class DvqIndex {
  private:
   const std::vector<dataset::Example>* train_;
   const embed::TextEmbedder* embedder_;
-  embed::VectorStore store_;
+  embed::RetrievalIndex index_;
 };
 
 }  // namespace gred::models

@@ -244,15 +244,45 @@ TEST(IvfIndex, DeterministicBuilds) {
   }
 }
 
-TEST(IvfIndex, RebuildAfterMoreAdds) {
-  IvfIndex index;
+TEST(IvfIndex, AddsAfterBuildJoinExactPendingTail) {
+  IvfIndex::Options options;
+  options.refresh_growth_factor = 0.0;  // no automatic refresh in this test
+  IvfIndex index(options);
   index.Add({1.0f, 0.0f});
   index.Build();
   EXPECT_TRUE(index.built());
+  EXPECT_EQ(index.built_size(), 1u);
   index.Add({0.0f, 1.0f});
-  EXPECT_FALSE(index.built());  // new adds invalidate the build
-  index.Build();
+  // The index stays serviceable: the new vector sits in the pending tail
+  // and is scanned exactly, so it is retrievable before any rebuild.
+  EXPECT_TRUE(index.built());
+  EXPECT_EQ(index.built_size(), 1u);
   EXPECT_EQ(index.TopK({0.0f, 1.0f}, 1)[0].index, 1u);
+  index.Build();
+  EXPECT_EQ(index.built_size(), 2u);
+  EXPECT_EQ(index.TopK({0.0f, 1.0f}, 1)[0].index, 1u);
+}
+
+TEST(IvfIndex, GrowthPastFactorTriggersAutomaticWarmRebuild) {
+  IvfIndex::Options options;
+  options.num_clusters = 2;
+  options.num_probes = 1;
+  options.refresh_growth_factor = 1.5;
+  IvfIndex index(options);
+  Rng rng(17);
+  auto add_random = [&] {
+    Vector v(8);
+    for (float& x : v) x = static_cast<float>(rng.NextDouble() - 0.5);
+    index.Add(v);
+  };
+  for (int i = 0; i < 10; ++i) add_random();
+  index.Build();
+  EXPECT_EQ(index.built_size(), 10u);
+  // Growing to 15 (= 10 * 1.5) must trip the automatic refresh, folding
+  // the pending tail back into the clustered lists.
+  for (int i = 0; i < 5; ++i) add_random();
+  EXPECT_EQ(index.built_size(), 15u);
+  EXPECT_TRUE(index.built());
 }
 
 TEST(IvfIndex, KLargerThanSizeReturnsEverything) {

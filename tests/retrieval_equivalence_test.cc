@@ -16,10 +16,12 @@
 #include <thread>
 #include <vector>
 
+#include "dataset/benchmark.h"
 #include "embed/ann_index.h"
 #include "embed/caching_embedder.h"
 #include "embed/embedder.h"
 #include "embed/kernel.h"
+#include "embed/retrieval_index.h"
 #include "embed/vector_store.h"
 #include "util/rng.h"
 
@@ -194,6 +196,201 @@ TEST(FlatStoreEquivalence, IvfProbeAllIsBitIdenticalToExactStore) {
     Vector q = RandomVector(&rng, 24);
     ExpectBitIdentical(index.TopK(q, 15), exact.TopK(q, 15));
   }
+}
+
+TEST(QuantizedEquivalence, ReRankMatchesExactTopKOnSeedCorpus) {
+  // The int8 scan's promise: on the benchmark's own NLQ distribution,
+  // the widened-shortlist re-rank returns *bit-identical* hits to the
+  // exact scan — same indexes, same order, same float-kernel scores.
+  // The run here is the ANN differential smoke scripts/tier1.sh drives
+  // under ASan+UBSan.
+  dataset::BenchmarkOptions options;
+  options.train_size = 600;
+  options.test_size = 60;
+  dataset::BenchmarkSuite suite = dataset::BuildBenchmarkSuite(options);
+  SemanticHashEmbedder embedder;
+  VectorStore store;
+  for (const dataset::Example& ex : suite.train) {
+    store.Add(embedder.Embed(ex.nlq));
+  }
+  store.EnsureQuantized();
+  const std::size_t k = 10;
+  const std::size_t shortlist = ShortlistSize(k, store.size(), 4, 32);
+  for (const dataset::Example& ex : suite.test_nlq) {
+    Vector q = embedder.Embed(ex.nlq_rob.empty() ? ex.nlq : ex.nlq_rob);
+    ExpectBitIdentical(store.TopKQuantized(q, k, shortlist),
+                       store.TopK(q, k));
+  }
+}
+
+TEST(QuantizedEquivalence, RandomizedReRankMatchesExact) {
+  Rng rng(71);
+  for (std::size_t n : {std::size_t{1}, std::size_t{50}, std::size_t{400}}) {
+    VectorStore store;
+    for (std::size_t i = 0; i < n; ++i) store.Add(RandomVector(&rng, 64));
+    store.EnsureQuantized();
+    for (int qi = 0; qi < 10; ++qi) {
+      Vector q = RandomVector(&rng, 64);
+      for (std::size_t k : {std::size_t{1}, std::size_t{10}, n}) {
+        ExpectBitIdentical(
+            store.TopKQuantized(q, k, ShortlistSize(k, n, 4, 32)),
+            store.TopK(q, k));
+      }
+    }
+  }
+}
+
+TEST(QuantizedEquivalence, DegenerateInputs) {
+  VectorStore store;
+  store.EnsureQuantized();
+  EXPECT_TRUE(store.TopKQuantized({1.0f, 0.0f}, 5, 10).empty());  // empty
+
+  store.Add({1.0f, 0.0f});
+  store.Add(Vector(2, 0.0f));  // all-zero row quantizes to scale 0
+  store.Add({0.0f, 1.0f});
+  store.EnsureQuantized();
+  EXPECT_TRUE(store.TopKQuantized({1.0f, 0.0f}, 0, 10).empty());  // k = 0
+
+  // Dimension mismatch: every score exactly 0, index-ordered (the
+  // CosineSimilarity contract through the quantized path).
+  std::vector<Hit> mismatched =
+      store.TopKQuantized({1.0f, 0.0f, 0.0f}, 3, 10);
+  ASSERT_EQ(mismatched.size(), 3u);
+  for (std::size_t i = 0; i < mismatched.size(); ++i) {
+    EXPECT_EQ(mismatched[i].index, i);
+    EXPECT_EQ(mismatched[i].score, 0.0);
+  }
+
+  // All-zero query: same contract.
+  std::vector<Hit> zero = store.TopKQuantized(Vector(2, 0.0f), 3, 10);
+  ASSERT_EQ(zero.size(), 3u);
+  for (const Hit& hit : zero) EXPECT_EQ(hit.score, 0.0);
+}
+
+TEST(IvfEquivalence, QuantizedScanProbeAllMatchesExactStore) {
+  // IVF with quantized list scans, probing every cluster: the shortlist
+  // covers everything the exact scan sees, so after the exact re-rank
+  // the result must be bit-identical to the brute-force store.
+  IvfIndex::Options options;
+  options.num_clusters = 6;
+  options.num_probes = 6;
+  options.quantized_scan = true;
+  IvfIndex index(options);
+  VectorStore exact;
+  Rng rng(87);
+  for (int i = 0; i < 300; ++i) {
+    Vector v = RandomVector(&rng, 24);
+    index.Add(v);
+    exact.Add(v);
+  }
+  index.Build();
+  for (int qi = 0; qi < 10; ++qi) {
+    Vector q = RandomVector(&rng, 24);
+    ExpectBitIdentical(index.TopK(q, 15), exact.TopK(q, 15));
+  }
+}
+
+TEST(IvfEquivalence, DegenerateInputs) {
+  IvfIndex::Options options;
+  options.num_clusters = 2;
+  options.num_probes = 2;
+  options.quantized_scan = true;
+  IvfIndex index(options);
+  EXPECT_TRUE(index.TopK({1.0f, 0.0f}, 5).empty());  // unbuilt
+  index.Build();
+  EXPECT_TRUE(index.TopK({1.0f, 0.0f}, 5).empty());  // built but empty
+
+  index.Add({1.0f, 0.0f});
+  index.Add(Vector(2, 0.0f));  // all-zero vector
+  index.Add({0.0f, 1.0f});
+  index.Build();
+  EXPECT_TRUE(index.TopK({1.0f, 0.0f}, 0).empty());  // k = 0
+
+  std::vector<Hit> mismatched = index.TopK({1.0f, 0.0f, 0.0f}, 3);
+  ASSERT_EQ(mismatched.size(), 3u);  // dim mismatch: all zeros, index order
+  for (std::size_t i = 0; i < mismatched.size(); ++i) {
+    EXPECT_EQ(mismatched[i].index, i);
+    EXPECT_EQ(mismatched[i].score, 0.0);
+  }
+
+  std::vector<Hit> zero = index.TopK(Vector(2, 0.0f), 3);
+  ASSERT_EQ(zero.size(), 3u);
+  for (const Hit& hit : zero) EXPECT_EQ(hit.score, 0.0);
+}
+
+TEST(RetrievalIndexFacade, ExactBackendBitIdenticalToVectorStore) {
+  RetrievalConfig config;  // default: exact
+  RetrievalIndex facade(config);
+  VectorStore store;
+  Rng rng(91);
+  for (int i = 0; i < 150; ++i) {
+    Vector v = RandomVector(&rng, 32);
+    facade.Add(v);
+    store.Add(v);
+  }
+  facade.Seal();
+  for (int qi = 0; qi < 8; ++qi) {
+    Vector q = RandomVector(&rng, 32);
+    ExpectBitIdentical(facade.TopK(q, 12), store.TopK(q, 12));
+  }
+}
+
+TEST(RetrievalIndexFacade, AllBackendsReturnExactScoresAndAgreeHere) {
+  // On a small library every backend's shortlist covers the whole store,
+  // so all three must agree bit-for-bit (scores are always exact-kernel
+  // scores by the re-rank contract).
+  Rng rng(93);
+  std::vector<Vector> vectors;
+  for (int i = 0; i < 120; ++i) vectors.push_back(RandomVector(&rng, 16));
+  std::vector<RetrievalIndex> indexes;
+  for (RetrievalBackend backend :
+       {RetrievalBackend::kExact, RetrievalBackend::kQuantized,
+        RetrievalBackend::kIvf}) {
+    RetrievalConfig config;
+    config.backend = backend;
+    config.ivf.num_clusters = 4;
+    config.ivf.num_probes = 4;  // probe everything
+    config.ivf.quantized_scan = true;
+    indexes.emplace_back(config);
+  }
+  for (RetrievalIndex& index : indexes) {
+    for (const Vector& v : vectors) index.Add(v);
+    index.Seal();
+    EXPECT_EQ(index.size(), vectors.size());
+  }
+  for (int qi = 0; qi < 8; ++qi) {
+    Vector q = RandomVector(&rng, 16);
+    std::vector<Hit> expected = indexes[0].TopK(q, 10);
+    ExpectBitIdentical(indexes[1].TopK(q, 10), expected);
+    ExpectBitIdentical(indexes[2].TopK(q, 10), expected);
+  }
+}
+
+TEST(RetrievalIndexFacade, AddAfterSealStaysRetrievableOnEveryBackend) {
+  for (RetrievalBackend backend :
+       {RetrievalBackend::kExact, RetrievalBackend::kQuantized,
+        RetrievalBackend::kIvf}) {
+    RetrievalConfig config;
+    config.backend = backend;
+    config.ivf.num_clusters = 2;
+    config.ivf.num_probes = 2;
+    RetrievalIndex index(config);
+    index.Add({1.0f, 0.0f});
+    index.Add({0.7f, 0.7f});
+    index.Seal();
+    index.Add({0.0f, 1.0f});  // post-seal insert
+    std::vector<Hit> hits = index.TopK({0.0f, 1.0f}, 1);
+    ASSERT_EQ(hits.size(), 1u)
+        << RetrievalBackendName(backend);
+    EXPECT_EQ(hits[0].index, 2u) << RetrievalBackendName(backend);
+  }
+}
+
+TEST(RetrievalIndexFacade, BackendNamesAreStable) {
+  EXPECT_STREQ(RetrievalBackendName(RetrievalBackend::kExact), "exact");
+  EXPECT_STREQ(RetrievalBackendName(RetrievalBackend::kQuantized),
+               "quantized");
+  EXPECT_STREQ(RetrievalBackendName(RetrievalBackend::kIvf), "ivf");
 }
 
 TEST(CachingEmbedder, IdenticalToInnerEmbedder) {
