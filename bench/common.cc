@@ -1,54 +1,30 @@
 #include "bench/common.h"
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/env.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
 
 namespace gred::bench {
 
+// The strict readers moved to util/env.{h,cc} so the CLI and the
+// serving layer validate their knobs through the same code path; the
+// bench-namespace wrappers stay for every existing call site.
+
 std::size_t EnvSizeOrDie(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  std::optional<std::size_t> parsed = strings::ParsePositiveSize(value);
-  if (!parsed.has_value()) {
-    std::fprintf(stderr,
-                 "[bench] invalid %s=\"%s\": expected a positive integer\n",
-                 name, value);
-    std::exit(2);
-  }
-  return *parsed;
+  return gred::EnvSizeOrDie(name, fallback);
 }
 
 double EnvRateOrDie(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  errno = 0;
-  char* end = nullptr;
-  double parsed = std::strtod(value, &end);
-  if (errno != 0 || end == value || *end != '\0' || parsed < 0.0 ||
-      parsed > 1.0) {
-    std::fprintf(stderr,
-                 "[bench] invalid %s=\"%s\": expected a number in [0, 1]\n",
-                 name, value);
-    std::exit(2);
-  }
-  return parsed;
+  return gred::EnvRateOrDie(name, fallback);
 }
 
 bool EnvFlagOrDie(const char* name, bool fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  std::string v(value);
-  if (v == "0") return false;
-  if (v == "1") return true;
-  std::fprintf(stderr, "[bench] invalid %s=\"%s\": expected 0 or 1\n", name,
-               value);
-  std::exit(2);
+  return gred::EnvFlagOrDie(name, fallback);
 }
 
 ResilientStack MakeResilientStack(const llm::ChatModel* base,

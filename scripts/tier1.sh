@@ -82,6 +82,16 @@ GRED_SERVE_THREADS=1 GRED_SERVE_REQUESTS=12 \
   "$ROOT/scripts/bench_report" --serve --smoke \
   "$ROOT/build/BENCH_serve_smoke.json"
 
+echo "== tier-1: chaos smoke (overload + faults + reload invariants) =="
+# The deterministic chaos harness at smoke scale: breaker-vs-retry
+# economics on a dead backend, an all-knobs-on schedule (bursts, a
+# wedged worker, injected faults, rate limiting, brownout, a mid-run
+# reload) with exactly-once + counter-balance asserted by the binary,
+# and the knobs-off replay-identity check. Merges into the smoke serve
+# report so the committed BENCH_serve.json is never touched by the gate.
+"$ROOT/scripts/bench_report" --chaos --smoke \
+  "$ROOT/build/BENCH_serve_smoke.json"
+
 echo "== tier-1: exec-sweep smoke (columnar vs row engine identity) =="
 # Both executor engines over a small synthetic table through
 # scripts/bench_report --exec: the binary itself asserts bit-identical
@@ -101,8 +111,8 @@ if ! cmake -B "$ROOT/build-tsan" -S "$ROOT" \
 fi
 cmake --build "$ROOT/build-tsan" -j"$JOBS" \
   --target thread_pool_test eval_test llm_test gred_test \
-           retrieval_equivalence_test serve_test exec_reference_test \
-           kernel_dispatch_test
+           retrieval_equivalence_test serve_test circuit_breaker_test \
+           exec_reference_test kernel_dispatch_test
 # TSAN_OPTIONS makes any detected race fail the run loudly.
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/thread_pool_test"
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/eval_test" \
@@ -119,9 +129,15 @@ TSAN_OPTIONS="halt_on_error=1" \
 # Dot() and must stay data-race-free and bit-identical.
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/kernel_dispatch_test"
 # The serving layer is the repo's most concurrent surface: a bounded
-# MPMC queue, a worker pool sharing one Gred, and per-stream response
-# serialization — the whole test binary runs under TSan.
+# MPMC queue, a worker pool sharing one Gred, per-session rate limiting,
+# epoch-swapping hot reload and per-stream response serialization — the
+# whole test binary runs under TSan (including the exactly-once queue
+# hammer).
 TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/serve_test"
+# The circuit breaker's state machine is lock-arbitrated but its inner
+# call runs outside the lock; the contention hammer must account every
+# call with no race.
+TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/circuit_breaker_test"
 # Engine differential (row vs columnar) under TSan: the eval harness
 # runs executions on worker threads, so the executor — including the
 # columnar engine's shared-scan borrowing — must stay data-race-free.

@@ -138,6 +138,12 @@ Result<dvq::DVQ> Gred::Translate(const std::string& nlq,
 Result<dvq::DVQ> Gred::TranslateWithTrace(const std::string& nlq,
                                           const storage::DatabaseData& db,
                                           Trace* trace_out) const {
+  return TranslateWithTrace(nlq, db, trace_out, TranslateOptions{});
+}
+
+Result<dvq::DVQ> Gred::TranslateWithTrace(
+    const std::string& nlq, const storage::DatabaseData& db, Trace* trace_out,
+    const TranslateOptions& options) const {
   // The trace is built locally and committed at the end so concurrent
   // Translate calls never interleave writes into trace_; `trace_out`
   // receives this call's own copy (per-request flags for the serving
@@ -202,7 +208,7 @@ Result<dvq::DVQ> Gred::TranslateWithTrace(const std::string& nlq,
   // completion with no extractable DVQ — degrades rather than fails the
   // call: the generator's DVQ carries forward, the trace keeps dvq_rtn
   // empty (the stage produced nothing) and marks the stage degraded.
-  if (config_.enable_retuner) {
+  if (config_.enable_retuner && options.enable_retuner) {
     ScopedTimer timer(&retune_time_);
     std::vector<models::DvqIndex::Hit> dvq_hits =
         dvq_index_->TopK(current, config_.k);
@@ -252,7 +258,7 @@ Result<dvq::DVQ> Gred::TranslateWithTrace(const std::string& nlq,
   // --- Annotation-based Debugger -------------------------------------------
   // Same fallback contract as the retuner; an annotation-generation
   // failure (cached per schema) also degrades the stage.
-  if (config_.enable_debugger) {
+  if (config_.enable_debugger && options.enable_debugger) {
     ScopedTimer timer(&debug_time_);
     bool degraded = false;
     std::string annotations;

@@ -118,6 +118,18 @@ class Gred : public models::TextToVisModel {
   /// call committed its trace last).
   Trace last_trace() const;
 
+  /// Per-call pipeline controls, for callers that must shed work on
+  /// some requests without rebuilding the pipeline (the serving layer's
+  /// brownout mode, DESIGN.md §16). A disabled stage is *skipped* — not
+  /// degraded: no LLM call is made, no degradation counter moves, and
+  /// the previous stage's DVQ carries forward exactly as if the stage
+  /// were disabled in GredConfig. Defaults run the full pipeline, so
+  /// `TranslateOptions{}` is byte-identical to the plain overloads.
+  struct TranslateOptions {
+    bool enable_retuner = true;
+    bool enable_debugger = true;
+  };
+
   /// Translate variant reporting this call's trace through `trace_out`
   /// (may be null). Under concurrency `last_trace()` only reflects
   /// whichever call committed last, so callers that need *their own*
@@ -129,6 +141,14 @@ class Gred : public models::TextToVisModel {
   Result<dvq::DVQ> TranslateWithTrace(const std::string& nlq,
                                       const storage::DatabaseData& db,
                                       Trace* trace_out) const;
+
+  /// TranslateWithTrace with per-call stage controls (see
+  /// TranslateOptions); the three-argument overload is exactly this
+  /// call with default options.
+  Result<dvq::DVQ> TranslateWithTrace(const std::string& nlq,
+                                      const storage::DatabaseData& db,
+                                      Trace* trace_out,
+                                      const TranslateOptions& options) const;
 
   /// Cumulative wall time spent in each pipeline stage across every
   /// Translate on this instance (summed over threads in parallel runs).

@@ -1,0 +1,97 @@
+#include "llm/circuit_breaker.h"
+
+namespace gred::llm {
+
+CircuitBreakerChatModel::CircuitBreakerChatModel(const ChatModel* inner,
+                                                 BreakerConfig config)
+    : inner_(inner), config_(config) {
+  if (config_.failure_threshold == 0) config_.failure_threshold = 1;
+}
+
+Result<std::string> CircuitBreakerChatModel::Complete(
+    const Prompt& prompt, const ChatOptions& options) const {
+  bool is_probe = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.calls;
+    switch (state_) {
+      case State::kClosed:
+        break;  // admit
+      case State::kOpen:
+        if (rejected_since_open_ >= config_.open_cooldown) {
+          // Cooldown served: this call becomes the half-open probe.
+          state_ = State::kHalfOpen;
+          probe_in_flight_ = true;
+          is_probe = true;
+          ++stats_.probes;
+          break;
+        }
+        ++rejected_since_open_;
+        ++stats_.fast_failures;
+        return Status::Unavailable("circuit breaker open");
+      case State::kHalfOpen:
+        if (!probe_in_flight_) {
+          // The previous probe resolved while we held no lock decisions;
+          // admit this call as the next probe.
+          probe_in_flight_ = true;
+          is_probe = true;
+          ++stats_.probes;
+          break;
+        }
+        // One probe at a time: everyone else sheds until it resolves.
+        ++stats_.fast_failures;
+        return Status::Unavailable("circuit breaker half-open (probe busy)");
+    }
+    ++stats_.admitted;
+  }
+
+  Result<std::string> result = inner_->Complete(prompt, options);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool transient_failure =
+      !result.ok() && result.status().IsTransient();
+  if (is_probe) {
+    probe_in_flight_ = false;
+    if (transient_failure) {
+      // Probe failed: back to open for another cooldown.
+      state_ = State::kOpen;
+      rejected_since_open_ = 0;
+      consecutive_failures_ = config_.failure_threshold;
+    } else {
+      // Probe succeeded (or failed permanently, which says the backend
+      // is reachable): full reset.
+      state_ = State::kClosed;
+      consecutive_failures_ = 0;
+      rejected_since_open_ = 0;
+      ++stats_.resets;
+    }
+    return result;
+  }
+  if (state_ == State::kClosed) {
+    if (transient_failure) {
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        state_ = State::kOpen;
+        rejected_since_open_ = 0;
+        ++stats_.trips;
+      }
+    } else {
+      consecutive_failures_ = 0;
+    }
+  }
+  // A non-probe call resolving while open/half-open (it was admitted
+  // before the trip) carries no signal we act on: the probe protocol
+  // owns recovery.
+  return result;
+}
+
+CircuitBreakerChatModel::State CircuitBreakerChatModel::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreakerChatModel::Stats CircuitBreakerChatModel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gred::llm

@@ -1,0 +1,84 @@
+#ifndef GREDVIS_LLM_CIRCUIT_BREAKER_H_
+#define GREDVIS_LLM_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "llm/chat_model.h"
+
+namespace gred::llm {
+
+/// Knobs of the circuit-breaking decorator. Both thresholds are counted
+/// in *calls*, never wall clock, keeping the whole resilience stack
+/// deterministic and replayable (DESIGN.md §8/§16).
+struct BreakerConfig {
+  /// Consecutive transient failures that trip the breaker open.
+  std::size_t failure_threshold = 5;
+  /// Fast-failed calls absorbed while open before the next call is
+  /// admitted as a half-open probe. (The deterministic stand-in for a
+  /// wall-clock cooldown: "time" is measured in rejected demand.)
+  std::size_t open_cooldown = 8;
+};
+
+/// Decorator that stops hammering a dead backend: after
+/// `failure_threshold` consecutive transient failures of the inner
+/// model, the breaker opens and fails calls immediately — without
+/// touching the inner model, so a wrapped RetryingChatModel burns no
+/// retry budget per request. After `open_cooldown` fast-failed calls
+/// the next call is admitted as a half-open probe: a probe success
+/// closes the breaker (full reset), a transient probe failure re-opens
+/// it for another cooldown. Non-transient results (success or permanent
+/// error) never count against the breaker — it tracks backend health,
+/// not request validity.
+///
+/// State machine (deterministic, driven by call counts only):
+///
+///   closed --(threshold consecutive transient failures)--> open
+///   open   --(cooldown fast-fails, next call)-----------> half-open
+///   half-open --(probe ok / permanent error)------------> closed
+///   half-open --(probe transient failure)---------------> open
+///
+/// Thread-safe: admission decisions and transitions are mutex-guarded;
+/// the inner call runs outside the lock. While a half-open probe is in
+/// flight, concurrent calls fast-fail (exactly one probe at a time), so
+/// a stuck probe cannot let a thundering herd through.
+class CircuitBreakerChatModel : public ChatModel {
+ public:
+  /// Wraps `inner` (not owned; must outlive this object).
+  CircuitBreakerChatModel(const ChatModel* inner, BreakerConfig config);
+
+  Result<std::string> Complete(const Prompt& prompt,
+                               const ChatOptions& options) const override;
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+  State state() const;
+
+  /// Monotonic counters (surfaced by the serve stats endpoint and the
+  /// chaos harness).
+  struct Stats {
+    std::uint64_t calls = 0;        // every Complete() on this decorator
+    std::uint64_t admitted = 0;     // calls that reached the inner model
+    std::uint64_t fast_failures = 0;  // rejected while open / probing
+    std::uint64_t probes = 0;       // half-open admissions
+    std::uint64_t trips = 0;        // closed -> open transitions
+    std::uint64_t resets = 0;       // -> closed transitions (recoveries)
+  };
+  Stats stats() const;
+
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  const ChatModel* inner_;
+  BreakerConfig config_;
+
+  mutable std::mutex mu_;
+  mutable State state_ = State::kClosed;
+  mutable std::size_t consecutive_failures_ = 0;
+  mutable std::size_t rejected_since_open_ = 0;
+  mutable bool probe_in_flight_ = false;
+  mutable Stats stats_;
+};
+
+}  // namespace gred::llm
+
+#endif  // GREDVIS_LLM_CIRCUIT_BREAKER_H_

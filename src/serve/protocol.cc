@@ -54,6 +54,10 @@ Result<Request> ParseRequest(const std::string& line) {
     req.type = RequestType::kStats;
     return req;
   }
+  if (type == "reload") {
+    req.type = RequestType::kReload;
+    return req;
+  }
   if (type != "translate") {
     return Status::InvalidArgument("unknown request type '" + type + "'");
   }
@@ -84,6 +88,13 @@ Result<Request> ParseRequest(const std::string& line) {
           ? ~std::uint64_t{0}
           : deadline_ms * kAccountedTicksPerMs;
 
+  if (const json::Value* session = obj.Find("session")) {
+    if (session->kind() != json::Value::Kind::kString) {
+      return Status::InvalidArgument("'session' must be a string");
+    }
+    req.session = session->string_value();
+  }
+
   if (const json::Value* chart = obj.Find("chart")) {
     if (chart->kind() != json::Value::Kind::kBool) {
       return Status::InvalidArgument("'chart' must be a boolean");
@@ -104,6 +115,14 @@ std::string ErrorResponse(const json::Value* id, const Status& status) {
 
 std::string OverloadedResponse(const json::Value* id) {
   return ErrorResponse(id, Status::Unavailable("overloaded"));
+}
+
+std::string RateLimitedResponse(const json::Value* id) {
+  return ErrorResponse(id, Status::Unavailable("rate_limited"));
+}
+
+std::string ShuttingDownResponse(const json::Value* id) {
+  return ErrorResponse(id, Status::Unavailable("shutting_down"));
 }
 
 }  // namespace gred::serve

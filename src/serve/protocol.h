@@ -11,17 +11,26 @@
 namespace gred::serve {
 
 /// The wire protocol is newline-delimited JSON (one request object per
-/// line, one response object per line; see DESIGN.md §13 for the full
-/// grammar). Requests:
+/// line, one response object per line; see DESIGN.md §13/§16 for the
+/// full grammar). Requests:
 ///
 ///   {"id": <any>, "nlq": "<question>", "db": "<database>",
-///    "deadline_ms": <number>, "budget_rows": <number>, "chart": <bool>}
+///    "session": "<key>", "deadline_ms": <number>,
+///    "budget_rows": <number>, "chart": <bool>}
 ///   {"id": <any>, "type": "stats"}
+///   {"id": <any>, "type": "reload"}
 ///
 /// `id` is echoed verbatim into the response so clients can match
 /// responses arriving in completion order. `schema` is accepted as an
-/// alias for `db`. Responses always carry `"ok"`; errors add `"error"`
-/// (message) and `"code"` (stable StatusCode name).
+/// alias for `db`. `session` names the client's token bucket when
+/// per-session rate limiting is armed (missing = the anonymous
+/// bucket). `reload` swaps the serving epoch (suite + pipeline) without
+/// dropping the queue. Responses always carry `"ok"`; errors add
+/// `"error"` (message) and `"code"` (stable StatusCode name). The
+/// backpressure rejections are distinguishable by their `error` field:
+/// "overloaded" (queue full — retry soon), "rate_limited" (this
+/// session's bucket is empty — slow down) and "shutting_down" (the
+/// server is draining — do not retry here).
 
 /// Hard cap on one request line. Longer lines are rejected with
 /// kInvalidArgument before JSON parsing — the first line of defense for
@@ -39,6 +48,7 @@ inline constexpr std::uint64_t kAccountedTicksPerMs = 1000;
 enum class RequestType {
   kTranslate,  // default: NLQ -> DVQ -> chart
   kStats,      // dashboard endpoint: cache hit rates + stage counters
+  kReload,     // control: swap the serving epoch (suite + pipeline)
 };
 
 /// A validated request, decoded from one wire line.
@@ -48,6 +58,9 @@ struct Request {
   json::Value id;
   std::string nlq;
   std::string db;
+  /// Rate-limit bucket key (`"session"` on the wire); empty = the
+  /// anonymous bucket shared by session-less clients.
+  std::string session;
   /// Per-request SLO from `deadline_ms` / `budget_rows`; zero fields
   /// fall back to the server's default limits.
   GuardLimits limits;
@@ -69,6 +82,17 @@ std::string ErrorResponse(const json::Value* id, const Status& status);
 /// with the standard envelope. Sent when the bounded queue is full —
 /// the server sheds load instead of queuing unboundedly.
 std::string OverloadedResponse(const json::Value* id);
+
+/// Renders the rate-limit rejection, `{"error":"rate_limited"}`. Sent
+/// when the request's session token bucket is empty; distinct from
+/// "overloaded" so clients can tell "the server is busy" from "you,
+/// specifically, are over your budget".
+std::string RateLimitedResponse(const json::Value* id);
+
+/// Renders the drain rejection, `{"error":"shutting_down"}`. Sent for
+/// requests arriving after the server began draining; distinct from
+/// "overloaded" because retrying against a draining server is futile.
+std::string ShuttingDownResponse(const json::Value* id);
 
 }  // namespace gred::serve
 

@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <utility>
 
@@ -15,14 +17,15 @@ namespace gred::serve {
 RequestQueue::RequestQueue(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
-bool RequestQueue::TryPush(Job&& job) {
+RequestQueue::PushResult RequestQueue::TryPush(Job&& job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || queue_.size() >= capacity_) return false;
+    if (closed_) return PushResult::kClosed;
+    if (queue_.size() >= capacity_) return PushResult::kFull;
     queue_.push_back(std::move(job));
   }
   ready_.notify_one();
-  return true;
+  return PushResult::kAccepted;
 }
 
 bool RequestQueue::Pop(Job* out) {
@@ -45,6 +48,43 @@ void RequestQueue::Close() {
 std::size_t RequestQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+// ---------------------------------------------------------------------------
+// SessionRateLimiter
+
+SessionRateLimiter::SessionRateLimiter(double refill_per_request,
+                                       double burst)
+    // burst < 1 would deny every request forever; clamp so an armed
+    // limiter always has a working bucket.
+    : refill_(refill_per_request), burst_(burst < 1.0 ? 1.0 : burst) {}
+
+bool SessionRateLimiter::Admit(const std::string& session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = buckets_.try_emplace(session);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = burst_;  // new sessions start with their full burst
+  } else {
+    bucket.tokens = std::min(
+        burst_, bucket.tokens + refill_ * static_cast<double>(
+                                              ticks_ - bucket.last_tick));
+  }
+  bucket.last_tick = ticks_;
+  if (bucket.tokens < 1.0) return false;  // rejected: clock does not move
+  bucket.tokens -= 1.0;
+  ++ticks_;
+  return true;
+}
+
+std::uint64_t SessionRateLimiter::clock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
 }
 
 // ---------------------------------------------------------------------------
@@ -75,32 +115,66 @@ GuardLimits MergeLimits(const GuardLimits& request,
   return merged;
 }
 
+/// Brownout caps: each non-zero cap field is a ceiling on the merged
+/// limits (min of the two, where 0 means "unlimited" on either side).
+GuardLimits TightenLimits(const GuardLimits& base, const GuardLimits& cap) {
+  auto tighten = [](std::uint64_t b, std::uint64_t c) {
+    if (c == 0) return b;
+    if (b == 0) return c;
+    return std::min(b, c);
+  };
+  GuardLimits out;
+  out.deadline_ticks = tighten(base.deadline_ticks, cap.deadline_ticks);
+  out.row_budget = tighten(base.row_budget, cap.row_budget);
+  out.memory_budget = tighten(base.memory_budget, cap.memory_budget);
+  out.join_budget = tighten(base.join_budget, cap.join_budget);
+  return out;
+}
+
 std::int64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - start)
       .count();
 }
 
+/// Wraps a borrowed pointer in a non-owning shared_ptr (epoch 1 borrows
+/// the constructor arguments; reloads install owned snapshots).
+template <typename T>
+std::shared_ptr<const T> Borrow(const T* ptr) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>{}, ptr);
+}
+
 }  // namespace
 
 Server::Server(const dataset::BenchmarkSuite* suite, const core::Gred* gred,
                ServerOptions options)
-    : suite_(suite),
-      gred_(gred),
-      options_(options),
-      queue_(options.queue_capacity) {
+    : options_(options), queue_(options.queue_capacity) {
   if (options_.num_workers == 0) options_.num_workers = HardwareThreads();
+  if (options_.brownout_low_watermark > options_.brownout_high_watermark) {
+    options_.brownout_low_watermark = options_.brownout_high_watermark;
+  }
+  auto first = std::make_shared<ServingEpoch>();
+  first->epoch = 1;
+  first->suite = Borrow(suite);
+  first->gred = Borrow(gred);
+  epoch_ = std::move(first);
+  if (options_.rate_refill_per_request > 0.0 && options_.rate_burst > 0.0) {
+    limiter_ = std::make_unique<SessionRateLimiter>(
+        options_.rate_refill_per_request, options_.rate_burst);
+  }
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   workers_.reserve(options_.num_workers);
   for (std::size_t i = 0; i < options_.num_workers; ++i) {
     workers_.push_back(pool_->Submit([this] {
       Job job;
-      while (queue_.Pop(&job)) job.done(Process(job.request));
+      while (queue_.Pop(&job)) job.done(Process(job.request, job.brownout));
     }));
   }
 }
 
 Server::~Server() { Shutdown(); }
+
+void Server::BeginDrain() { queue_.Close(); }
 
 void Server::Shutdown() {
   {
@@ -111,6 +185,45 @@ void Server::Shutdown() {
   queue_.Close();
   for (std::future<void>& worker : workers_) worker.get();
   workers_.clear();
+  // The accounting invariant (ServerStats::Balanced, DESIGN.md §16):
+  // with every worker joined, each received line must have resolved to
+  // exactly one counted outcome. The chaos harness re-asserts this in
+  // release builds; here it is a debug tripwire.
+  assert(stats().Balanced() && "serve counters out of balance after drain");
+}
+
+std::shared_ptr<const ServingEpoch> Server::current_epoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+Result<std::uint64_t> Server::Reload() {
+  if (!options_.reload_handler) {
+    return Status::Unimplemented("no reload handler configured");
+  }
+  Result<EpochPayload> payload = options_.reload_handler();
+  if (!payload.ok()) return payload.status();
+  auto next = std::make_shared<ServingEpoch>();
+  next->suite = std::move(payload.value().suite);
+  next->gred = std::move(payload.value().gred);
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  next->epoch = epoch_->epoch + 1;
+  epoch_ = std::move(next);
+  reloads_ok_.fetch_add(1, std::memory_order_relaxed);
+  return epoch_->epoch;
+}
+
+bool Server::DecideBrownout() {
+  if (options_.brownout_high_watermark == 0) return false;
+  std::lock_guard<std::mutex> lock(brownout_mu_);
+  std::size_t depth = queue_.depth();
+  if (!brownout_active_ && depth >= options_.brownout_high_watermark) {
+    brownout_active_ = true;
+  } else if (brownout_active_ &&
+             depth <= options_.brownout_low_watermark) {
+    brownout_active_ = false;
+  }
+  return brownout_active_;
 }
 
 void Server::Submit(const std::string& line, ResponseCallback done) {
@@ -131,43 +244,93 @@ void Server::Submit(const std::string& line, ResponseCallback done) {
     done(StatsResponse(request));
     return;
   }
-  Job job{std::move(request), std::move(done)};
-  if (!queue_.TryPush(std::move(job))) {
-    // Admission control: reject-on-full is the backpressure contract —
-    // a bounded backlog, never an unbounded one.
-    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-    job.done(OverloadedResponse(&job.request.id));
+  if (request.type == RequestType::kReload) {
+    // Control plane, also inline: the submitting thread pays for the
+    // new epoch's construction while workers keep draining the old one.
+    done(ReloadResponse(request));
+    return;
+  }
+  if (queue_.closed()) {
+    // Draining: tell the client the truth — this is not transient
+    // overload, retrying here is futile.
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    done(ShuttingDownResponse(&request.id));
+    return;
+  }
+  if (limiter_ != nullptr && !limiter_->Admit(request.session)) {
+    rejected_ratelimit_.fetch_add(1, std::memory_order_relaxed);
+    done(RateLimitedResponse(&request.id));
+    return;
+  }
+  const bool brownout = DecideBrownout();
+  Job job{std::move(request), std::move(done), brownout};
+  switch (queue_.TryPush(std::move(job))) {
+    case RequestQueue::PushResult::kAccepted:
+      if (brownout) {
+        degraded_brownout_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    case RequestQueue::PushResult::kFull:
+      // Admission control: reject-on-full is the backpressure contract
+      // — a bounded backlog, never an unbounded one.
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      job.done(OverloadedResponse(&job.request.id));
+      return;
+    case RequestQueue::PushResult::kClosed:
+      // Lost the race with Close(): same truth as the pre-check above.
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      job.done(ShuttingDownResponse(&job.request.id));
+      return;
   }
 }
 
-std::string Server::Handle(const std::string& line) const {
+std::string Server::Handle(const std::string& line) {
+  // The serial reference path counts exactly like Submit so the
+  // Balanced() invariant holds for mixed serial/concurrent workloads.
+  received_.fetch_add(1, std::memory_order_relaxed);
   Result<Request> parsed = ParseRequest(line);
-  if (!parsed.ok()) return ErrorResponse(nullptr, parsed.status());
+  if (!parsed.ok()) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(nullptr, parsed.status());
+  }
   if (parsed.value().type == RequestType::kStats) {
+    stats_requests_.fetch_add(1, std::memory_order_relaxed);
     return StatsResponse(parsed.value());
   }
-  return Process(parsed.value());
+  if (parsed.value().type == RequestType::kReload) {
+    return ReloadResponse(parsed.value());
+  }
+  return Process(parsed.value(), /*brownout=*/false);
 }
 
-int Server::ServeStream(std::istream& in, std::ostream& out) {
+int Server::ServeStream(std::istream& in, std::ostream& out,
+                        const std::atomic<bool>* stop) {
   Session session(&out);
   std::string line;
-  while (std::getline(in, line)) {
+  while ((stop == nullptr || !stop->load(std::memory_order_relaxed)) &&
+         std::getline(in, line)) {
     if (strings::Trim(line).empty()) continue;
     Submit(line,
            [&session](const std::string& response) { session.Write(response); });
   }
-  // EOF: drain everything admitted, then return. Every submitted line
-  // has exactly one response on `out` by the time this returns.
+  // EOF or stop: drain everything admitted, then return. Every
+  // submitted line has exactly one response on `out` by the time this
+  // returns. (A signal interrupting the blocking read lands here too:
+  // the handler sets *stop and the failed read exits the loop.)
   Shutdown();
   return 0;
 }
 
-std::string Server::Process(const Request& request) const {
+std::string Server::Process(const Request& request, bool brownout) const {
   const bool timed = options_.include_timings;
   const auto start = std::chrono::steady_clock::now();
 
-  const dataset::GeneratedDatabase* db = suite_->FindCleanDb(request.db);
+  // Pin this request's serving epoch: a concurrent reload swaps the
+  // server's epoch for *subsequent* requests, while this shared_ptr
+  // keeps the suite + pipeline we resolve against alive to the end.
+  const std::shared_ptr<const ServingEpoch> epoch = current_epoch();
+
+  const dataset::GeneratedDatabase* db = epoch->suite->FindCleanDb(request.db);
   if (db == nullptr) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(&request.id,
@@ -175,13 +338,18 @@ std::string Server::Process(const Request& request) const {
                                           "'"));
   }
 
-  // Translation runs on the shared Gred (shared CachingEmbedder +
-  // annotation caches across all sessions); the per-call trace carries
-  // this request's own degradation flags.
+  // Translation runs on the epoch's shared Gred (shared CachingEmbedder
+  // + annotation caches across all sessions); the per-call trace
+  // carries this request's own degradation flags. Brownout admissions
+  // shed the retuner/debugger stages — the quality slope that replaces
+  // the reject cliff.
+  core::Gred::TranslateOptions translate_options;
+  translate_options.enable_retuner = !brownout;
+  translate_options.enable_debugger = !brownout;
   core::Gred::Trace trace;
   const auto translate_start = std::chrono::steady_clock::now();
-  Result<dvq::DVQ> dvq =
-      gred_->TranslateWithTrace(request.nlq, db->data, &trace);
+  Result<dvq::DVQ> dvq = epoch->gred->TranslateWithTrace(
+      request.nlq, db->data, &trace, translate_options);
   const std::int64_t translate_us =
       timed ? ElapsedMicros(translate_start) : 0;
   if (!dvq.ok()) {
@@ -197,8 +365,10 @@ std::string Server::Process(const Request& request) const {
 
   // The request's SLO: deadline_ms/budget_rows arm a fresh ExecContext
   // for the data path (PR 4's guards — deterministic accounted ticks,
-  // so a trip lands at the same row on every replay).
+  // so a trip lands at the same row on every replay). Brownout caps the
+  // merged limits field by field.
   GuardLimits limits = MergeLimits(request.limits, options_.default_limits);
+  if (brownout) limits = TightenLimits(limits, options_.brownout_limits);
   ExecContext guard(limits);
   const auto execute_start = std::chrono::steady_clock::now();
   Result<viz::Chart> chart =
@@ -211,6 +381,10 @@ std::string Server::Process(const Request& request) const {
   json::Value degraded = json::Value::Object();
   degraded.Set("retuner", json::Value::Bool(trace.rtn_degraded));
   degraded.Set("debugger", json::Value::Bool(trace.dbg_degraded));
+  // Typed brownout marker: present (and true) exactly when this request
+  // was admitted in degraded mode, so knobs-off responses stay
+  // byte-identical to the pre-brownout wire format.
+  if (brownout) degraded.Set("brownout", json::Value::Bool(true));
   out.Set("degraded", std::move(degraded));
 
   if (chart.ok()) {
@@ -244,6 +418,18 @@ std::string Server::Process(const Request& request) const {
   return out.Dump();
 }
 
+std::string Server::ReloadResponse(const Request& request) {
+  reload_requests_.fetch_add(1, std::memory_order_relaxed);
+  Result<std::uint64_t> epoch = Reload();
+  if (!epoch.ok()) return ErrorResponse(&request.id, epoch.status());
+  json::Value out = json::Value::Object();
+  if (!request.id.is_null()) out.Set("id", request.id);
+  out.Set("ok", json::Value::Bool(true));
+  out.Set("epoch",
+          json::Value::Int(static_cast<std::int64_t>(epoch.value())));
+  return out.Dump();
+}
+
 std::string Server::StatsResponse(const Request& request) const {
   json::Value out = json::Value::Object();
   if (!request.id.is_null()) out.Set("id", request.id);
@@ -263,9 +449,27 @@ std::string Server::StatsResponse(const Request& request) const {
   server.Set("rejected_invalid",
              json::Value::Int(
                  static_cast<std::int64_t>(snapshot.rejected_invalid)));
+  server.Set("rejected_ratelimit",
+             json::Value::Int(
+                 static_cast<std::int64_t>(snapshot.rejected_ratelimit)));
+  server.Set("rejected_shutdown",
+             json::Value::Int(
+                 static_cast<std::int64_t>(snapshot.rejected_shutdown)));
   server.Set("resource_exhausted",
              json::Value::Int(
                  static_cast<std::int64_t>(snapshot.resource_exhausted)));
+  server.Set("degraded_brownout",
+             json::Value::Int(
+                 static_cast<std::int64_t>(snapshot.degraded_brownout)));
+  server.Set("brownout_active",
+             json::Value::Bool(snapshot.brownout_active));
+  server.Set("reload_requests",
+             json::Value::Int(
+                 static_cast<std::int64_t>(snapshot.reload_requests)));
+  server.Set("reloads_ok", json::Value::Int(
+                               static_cast<std::int64_t>(snapshot.reloads_ok)));
+  server.Set("epoch",
+             json::Value::Int(static_cast<std::int64_t>(snapshot.epoch)));
   server.Set("queue_depth", json::Value::Int(static_cast<std::int64_t>(
                                 snapshot.queue_depth)));
   server.Set("queue_capacity", json::Value::Int(static_cast<std::int64_t>(
@@ -274,7 +478,8 @@ std::string Server::StatsResponse(const Request& request) const {
              json::Value::Int(static_cast<std::int64_t>(snapshot.workers)));
   out.Set("server", std::move(server));
 
-  embed::CachingEmbedder::Stats cache = gred_->embed_cache_stats();
+  const std::shared_ptr<const ServingEpoch> epoch = current_epoch();
+  embed::CachingEmbedder::Stats cache = epoch->gred->embed_cache_stats();
   json::Value embed_cache = json::Value::Object();
   embed_cache.Set("hits",
                   json::Value::Int(static_cast<std::int64_t>(cache.hits)));
@@ -287,7 +492,7 @@ std::string Server::StatsResponse(const Request& request) const {
                                   : 0.0));
   out.Set("embed_cache", std::move(embed_cache));
 
-  core::Gred::StageStats stages = gred_->stage_stats();
+  core::Gred::StageStats stages = epoch->gred->stage_stats();
   json::Value stage = json::Value::Object();
   stage.Set("translate_calls",
             json::Value::Int(
@@ -311,6 +516,34 @@ std::string Server::StatsResponse(const Request& request) const {
             json::Value::Int(
                 static_cast<std::int64_t>(stages.debug_lint_trips)));
   out.Set("stages", std::move(stage));
+
+  if (options_.breaker != nullptr) {
+    llm::CircuitBreakerChatModel::Stats breaker = options_.breaker->stats();
+    json::Value circuit = json::Value::Object();
+    const char* state = "closed";
+    switch (options_.breaker->state()) {
+      case llm::CircuitBreakerChatModel::State::kClosed: state = "closed"; break;
+      case llm::CircuitBreakerChatModel::State::kOpen: state = "open"; break;
+      case llm::CircuitBreakerChatModel::State::kHalfOpen:
+        state = "half-open";
+        break;
+    }
+    circuit.Set("state", json::Value::Str(state));
+    circuit.Set("calls",
+                json::Value::Int(static_cast<std::int64_t>(breaker.calls)));
+    circuit.Set("admitted",
+                json::Value::Int(static_cast<std::int64_t>(breaker.admitted)));
+    circuit.Set("fast_failures",
+                json::Value::Int(
+                    static_cast<std::int64_t>(breaker.fast_failures)));
+    circuit.Set("probes",
+                json::Value::Int(static_cast<std::int64_t>(breaker.probes)));
+    circuit.Set("trips",
+                json::Value::Int(static_cast<std::int64_t>(breaker.trips)));
+    circuit.Set("resets",
+                json::Value::Int(static_cast<std::int64_t>(breaker.resets)));
+    out.Set("breaker", std::move(circuit));
+  }
   return out.Dump();
 }
 
@@ -319,13 +552,26 @@ ServerStats Server::stats() const {
   s.received = received_.load(std::memory_order_relaxed);
   s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
   s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.rejected_ratelimit = rejected_ratelimit_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.resource_exhausted = resource_exhausted_.load(std::memory_order_relaxed);
+  s.degraded_brownout = degraded_brownout_.load(std::memory_order_relaxed);
   s.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  s.reload_requests = reload_requests_.load(std::memory_order_relaxed);
+  s.reloads_ok = reloads_ok_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    s.epoch = epoch_->epoch;
+  }
   s.queue_depth = queue_.depth();
   s.queue_capacity = queue_.capacity();
   s.workers = options_.num_workers;
+  {
+    std::lock_guard<std::mutex> lock(brownout_mu_);
+    s.brownout_active = brownout_active_;
+  }
   return s;
 }
 

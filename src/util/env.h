@@ -1,0 +1,33 @@
+#ifndef GREDVIS_UTIL_ENV_H_
+#define GREDVIS_UTIL_ENV_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace gred {
+
+/// Strict environment-variable readers shared by the bench harness, the
+/// CLI and the serving layer. The contract for every helper: an unset
+/// variable returns `fallback`; a set variable that does not parse —
+/// garbage, the wrong sign, out of range, trailing characters — prints
+/// a clear message to stderr and exits(2). A mistyped override must not
+/// silently fall back and run a long job (or a production server) on
+/// the wrong configuration.
+
+/// Strictly positive integer (counts that cannot meaningfully be zero:
+/// worker pools, queue capacities, request totals).
+std::size_t EnvSizeOrDie(const char* name, std::size_t fallback);
+
+/// Non-negative integer where 0 means "off" (deadlines, budgets,
+/// watermarks, breaker thresholds).
+std::uint64_t EnvCountOrDie(const char* name, std::uint64_t fallback);
+
+/// Probability / rate in [0, 1] (fault rates, token-bucket refill).
+double EnvRateOrDie(const char* name, double fallback);
+
+/// Boolean: "0" is false, "1" is true, anything else dies.
+bool EnvFlagOrDie(const char* name, bool fallback);
+
+}  // namespace gred
+
+#endif  // GREDVIS_UTIL_ENV_H_

@@ -1,16 +1,22 @@
-// Tests for the serving layer (DESIGN.md §13): wire-protocol parsing
-// and validation, bounded-queue admission control, the concurrent
-// worker pool's byte-identity with the serial reference path, typed
-// budget trips, the stats endpoint and the stream loop.
+// Tests for the serving layer (DESIGN.md §13, hardened in §16):
+// wire-protocol parsing and validation, bounded-queue admission control
+// (including the overload / rate-limit / shutting-down rejection
+// taxonomy), the concurrent worker pool's byte-identity with the serial
+// reference path, typed budget trips, brownout degradation, hot-reload
+// epoch semantics, the counter-balance invariant, the stats endpoint
+// and the stream loop.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dataset/benchmark.h"
@@ -135,13 +141,14 @@ Job MakeJob(const std::string& nlq) {
 TEST(RequestQueue, BoundedAdmissionFifoOrderAndDrainOnClose) {
   RequestQueue queue(2);
   EXPECT_EQ(queue.capacity(), 2u);
-  EXPECT_TRUE(queue.TryPush(MakeJob("a")));
-  EXPECT_TRUE(queue.TryPush(MakeJob("b")));
+  EXPECT_EQ(queue.TryPush(MakeJob("a")), RequestQueue::PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(MakeJob("b")), RequestQueue::PushResult::kAccepted);
   EXPECT_EQ(queue.depth(), 2u);
 
   // Full: the job is refused and left with the caller.
   Job rejected = MakeJob("c");
-  EXPECT_FALSE(queue.TryPush(std::move(rejected)));
+  EXPECT_EQ(queue.TryPush(std::move(rejected)),
+            RequestQueue::PushResult::kFull);
   EXPECT_EQ(rejected.request.nlq, "c");  // untouched on failure
 
   Job out;
@@ -149,8 +156,12 @@ TEST(RequestQueue, BoundedAdmissionFifoOrderAndDrainOnClose) {
   EXPECT_EQ(out.request.nlq, "a");  // FIFO
 
   // Close with one job still queued: Pop drains it, then reports end.
+  EXPECT_FALSE(queue.closed());
   queue.Close();
-  EXPECT_FALSE(queue.TryPush(MakeJob("d")));  // no admissions after close
+  EXPECT_TRUE(queue.closed());
+  // After close, refusal is kClosed — even with space free — so the
+  // caller can answer "shutting_down" rather than the lie "overloaded".
+  EXPECT_EQ(queue.TryPush(MakeJob("d")), RequestQueue::PushResult::kClosed);
   ASSERT_TRUE(queue.Pop(&out));
   EXPECT_EQ(out.request.nlq, "b");
   EXPECT_FALSE(queue.Pop(&out));
@@ -160,8 +171,120 @@ TEST(RequestQueue, BoundedAdmissionFifoOrderAndDrainOnClose) {
 TEST(RequestQueue, ZeroCapacityIsClampedToOne) {
   RequestQueue queue(0);
   EXPECT_EQ(queue.capacity(), 1u);
-  EXPECT_TRUE(queue.TryPush(MakeJob("a")));
-  EXPECT_FALSE(queue.TryPush(MakeJob("b")));
+  EXPECT_EQ(queue.TryPush(MakeJob("a")), RequestQueue::PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(MakeJob("b")), RequestQueue::PushResult::kFull);
+}
+
+// The exactly-once delivery contract under contention (run under TSan
+// in tier1.sh): producers race TryPush against consumers racing Pop
+// while a closer thread slams the queue shut mid-stream. Every accepted
+// job must be popped exactly once; every refused job must never appear;
+// nothing may be lost or double-delivered.
+TEST(RequestQueue, HammerConcurrentPushPopCloseDeliversExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 250;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  RequestQueue queue(8);
+  std::atomic<int> accepted{0};
+  std::atomic<int> refused{0};
+  std::atomic<int> attempts{0};
+  std::vector<std::atomic<int>> delivered(kTotal);
+  std::vector<std::atomic<bool>> was_accepted(kTotal);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int id = p * kPerProducer + i;
+        Job job = MakeJob(std::to_string(id));
+        const RequestQueue::PushResult result = queue.TryPush(std::move(job));
+        if (result == RequestQueue::PushResult::kAccepted) {
+          was_accepted[id].store(true, std::memory_order_relaxed);
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          refused.fetch_add(1, std::memory_order_relaxed);
+        }
+        attempts.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Close mid-stream, racing live pushes: late producers see kClosed.
+  threads.emplace_back([&] {
+    while (attempts.load(std::memory_order_relaxed) < kTotal / 2) {
+      std::this_thread::yield();
+    }
+    queue.Close();
+  });
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      Job job;
+      while (queue.Pop(&job)) {
+        delivered[std::stoi(job.request.nlq)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(accepted.load() + refused.load(), kTotal);
+  EXPECT_GT(accepted.load(), 0);
+  // Everything settled: the queue is closed and drained, and a late
+  // push is refused as kClosed, never silently dropped.
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.TryPush(MakeJob("late")), RequestQueue::PushResult::kClosed);
+  int total_delivered = 0;
+  for (int id = 0; id < kTotal; ++id) {
+    const int count = delivered[id].load();
+    total_delivered += count;
+    EXPECT_LE(count, 1) << "job " << id << " double-delivered";
+    EXPECT_EQ(count == 1, was_accepted[id].load())
+        << "job " << id << (count ? " delivered but refused"
+                                  : " accepted but lost");
+  }
+  EXPECT_EQ(total_delivered, accepted.load());
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SessionRateLimiter units
+
+TEST(SessionRateLimiter, BurstThenRejectWithoutAdvancingTheClock) {
+  SessionRateLimiter limiter(/*refill_per_request=*/0.25, /*burst=*/2.0);
+  // A new session gets its full burst…
+  EXPECT_TRUE(limiter.Admit("a"));
+  EXPECT_TRUE(limiter.Admit("a"));
+  EXPECT_EQ(limiter.clock(), 2u);
+  // …then runs dry. Rejections do not tick the shared clock, so a
+  // limited session cannot refill itself by spamming.
+  EXPECT_FALSE(limiter.Admit("a"));
+  EXPECT_FALSE(limiter.Admit("a"));
+  EXPECT_EQ(limiter.clock(), 2u);
+}
+
+TEST(SessionRateLimiter, OtherSessionsAdmissionsRefillTheBucket) {
+  SessionRateLimiter limiter(/*refill_per_request=*/0.5, /*burst=*/1.0);
+  EXPECT_TRUE(limiter.Admit("a"));   // clock 1
+  EXPECT_FALSE(limiter.Admit("a"));  // dry; clock still 1
+  // Two admissions elsewhere advance the clock by two ticks = 1 token.
+  EXPECT_TRUE(limiter.Admit("b"));  // clock 2
+  EXPECT_TRUE(limiter.Admit("c"));  // clock 3
+  EXPECT_TRUE(limiter.Admit("a"));  // refilled 0 + 2*0.5 -> admitted
+  EXPECT_FALSE(limiter.Admit("a"));
+}
+
+TEST(SessionRateLimiter, DeterministicAcrossReplays) {
+  // Same admission sequence -> same outcomes, bit for bit.
+  std::vector<bool> first;
+  std::vector<bool> second;
+  for (std::vector<bool>* out : {&first, &second}) {
+    SessionRateLimiter limiter(0.25, 2.0);
+    for (int i = 0; i < 32; ++i) {
+      out->push_back(limiter.Admit(i % 3 == 0 ? "x" : "y"));
+    }
+  }
+  EXPECT_EQ(first, second);
 }
 
 TEST(Session, SerializesLinesAndCounts) {
@@ -426,6 +549,264 @@ TEST_F(ServeFixture, ServeStreamAnswersEveryLineAndShutsDownCleanly) {
   EXPECT_EQ(stats.stats_requests, 1u);
   EXPECT_EQ(stats.completed + stats.failed, 1u);
   EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: rejection taxonomy, rate limiting, brownout, reload,
+// counter balance (DESIGN.md §16)
+
+TEST_F(ServeFixture, SubmitAfterDrainAnswersShuttingDownNotOverloaded) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  options.include_timings = false;
+  Server server(suite_, gred_, options);
+
+  server.BeginDrain();  // queue closed; workers still draining
+
+  // Regression: this used to be mislabeled "overloaded", telling
+  // clients to retry against a server that is going away.
+  bool answered = false;
+  server.Submit(RequestLine(3, suite_->test_clean[0]),
+                [&](const std::string& response) {
+                  json::ParseResult parsed = json::Parse(response);
+                  ASSERT_TRUE(parsed.ok()) << response;
+                  EXPECT_FALSE(parsed.value().Find("ok")->bool_value());
+                  EXPECT_EQ(parsed.value().Find("error")->string_value(),
+                            "shutting_down");
+                  EXPECT_EQ(parsed.value().Find("code")->string_value(),
+                            "Unavailable");
+                  EXPECT_EQ(parsed.value().Find("id")->number_value(), 3.0);
+                  answered = true;
+                });
+  EXPECT_TRUE(answered);
+  server.Shutdown();
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_shutdown, 1u);
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_TRUE(stats.Balanced());
+}
+
+TEST_F(ServeFixture, SessionRateLimitRejectsDistinctlyFromOverload) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 16;
+  options.include_timings = false;
+  options.rate_burst = 1.0;
+  options.rate_refill_per_request = 0.01;
+  Server server(suite_, gred_, options);
+
+  auto translate_line = [&](int id, const char* session) {
+    json::Value obj = json::Value::Object();
+    obj.Set("id", json::Value::Int(id));
+    obj.Set("nlq", json::Value::Str(suite_->test_clean[0].nlq));
+    obj.Set("db", json::Value::Str(suite_->test_clean[0].db_name));
+    obj.Set("session", json::Value::Str(session));
+    return obj.Dump();
+  };
+
+  std::mutex mu;
+  std::map<int, std::string> responses;
+  auto collect = [&](const std::string& response) {
+    json::ParseResult parsed = json::Parse(response);
+    ASSERT_TRUE(parsed.ok()) << response;
+    std::lock_guard<std::mutex> lock(mu);
+    responses[static_cast<int>(
+        parsed.value().Find("id")->number_value())] = response;
+  };
+
+  server.Submit(translate_line(1, "greedy"), collect);  // burst spent
+  server.Submit(translate_line(2, "greedy"), collect);  // bucket dry
+  server.Submit(translate_line(3, "patient"), collect);  // own bucket
+  server.Shutdown();
+
+  ASSERT_EQ(responses.size(), 3u);
+  json::ParseResult limited = json::Parse(responses[2]);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited.value().Find("error")->string_value(), "rate_limited");
+  EXPECT_EQ(limited.value().Find("code")->string_value(), "Unavailable");
+  // The other session's request was admitted and processed (it carries
+  // a DVQ; a rate-limit rejection never reaches translation).
+  EXPECT_NE(json::Parse(responses[3]).value().Find("dvq"), nullptr);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_ratelimit, 1u);
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_TRUE(stats.Balanced());
+}
+
+TEST_F(ServeFixture, BrownoutDegradesInsteadOfRejecting) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  options.include_timings = false;
+  options.brownout_high_watermark = 1;
+  options.brownout_low_watermark = 0;
+  Server server(suite_, gred_, options);
+
+  const std::string line = RequestLine(0, suite_->test_clean[0]);
+
+  // Wedge the single worker so queued depth is under our control.
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  std::mutex mu;
+  std::map<int, std::string> responses;
+  server.Submit(line, [&](const std::string&) {
+    started.set_value();
+    release_future.wait();
+  });
+  started.get_future().wait();
+
+  auto collect = [&](const std::string& response) {
+    json::ParseResult parsed = json::Parse(response);
+    ASSERT_TRUE(parsed.ok()) << response;
+    std::lock_guard<std::mutex> lock(mu);
+    responses[static_cast<int>(
+        parsed.value().Find("id")->number_value())] = response;
+  };
+  // Admission-time depth 0: normal mode.
+  server.Submit(RequestLine(1, suite_->test_clean[0]), collect);
+  // Admission-time depth 1 >= high watermark: degraded, not rejected.
+  server.Submit(RequestLine(2, suite_->test_clean[0]), collect);
+  release.set_value();
+  server.Shutdown();
+
+  ASSERT_EQ(responses.size(), 2u);
+  json::ParseResult normal = json::Parse(responses[1]);
+  const json::Value* normal_degraded = normal.value().Find("degraded");
+  ASSERT_NE(normal_degraded, nullptr);
+  // Knobs-off wire format is untouched: no "brownout" key at all.
+  EXPECT_EQ(normal_degraded->Find("brownout"), nullptr);
+  json::ParseResult browned = json::Parse(responses[2]);
+  const json::Value* degraded = browned.value().Find("degraded");
+  ASSERT_NE(degraded, nullptr);
+  ASSERT_NE(degraded->Find("brownout"), nullptr);
+  EXPECT_TRUE(degraded->Find("brownout")->bool_value());
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.degraded_brownout, 1u);
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_TRUE(stats.Balanced());
+}
+
+TEST_F(ServeFixture, ReloadSwapsEpochWhileOldEpochStaysPinned) {
+  // The reload handler hands out an owned copy of the suite (so epoch
+  // lifetimes are observable) over the shared pipeline.
+  auto owned_suite = std::make_shared<dataset::BenchmarkSuite>(*suite_);
+  std::weak_ptr<dataset::BenchmarkSuite> watch = owned_suite;
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.include_timings = false;
+  options.reload_handler = [&owned_suite]() -> Result<EpochPayload> {
+    EpochPayload payload;
+    payload.suite = owned_suite;
+    // Non-owning alias: the fixture's pipeline outlives the server.
+    payload.gred = std::shared_ptr<const core::Gred>(
+        std::shared_ptr<const core::Gred>{}, gred_);
+    return payload;
+  };
+  {
+    Server server(suite_, gred_, options);
+    EXPECT_EQ(server.stats().epoch, 1u);
+    std::shared_ptr<const ServingEpoch> old_epoch = server.current_epoch();
+
+    json::ParseResult reply =
+        json::Parse(server.Handle("{\"id\": 9, \"type\": \"reload\"}"));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply.value().Find("ok")->bool_value());
+    EXPECT_EQ(reply.value().Find("epoch")->number_value(), 2.0);
+
+    // New admissions see epoch 2; the old epoch survives while held.
+    EXPECT_EQ(server.current_epoch()->epoch, 2u);
+    EXPECT_EQ(old_epoch->epoch, 1u);
+
+    // Translation still works against the reloaded suite.
+    json::ParseResult after =
+        json::Parse(server.Handle(RequestLine(1, suite_->test_clean[0])));
+    ASSERT_TRUE(after.ok());
+    EXPECT_NE(after.value().Find("dvq"), nullptr);
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.epoch, 2u);
+    EXPECT_EQ(stats.reload_requests, 1u);
+    EXPECT_EQ(stats.reloads_ok, 1u);
+    EXPECT_TRUE(stats.Balanced());
+
+    // The reloaded suite is pinned by the live epoch even after the
+    // test drops its own reference.
+    owned_suite.reset();
+    EXPECT_FALSE(watch.expired());
+    server.Shutdown();
+  }
+  // Server gone -> epoch 2 released -> the owned suite dies with it.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST_F(ServeFixture, ReloadWithoutHandlerFailsUnimplemented) {
+  ServerOptions options;
+  options.num_workers = 1;
+  Server server(suite_, gred_, options);
+  json::ParseResult reply =
+      json::Parse(server.Handle("{\"type\": \"reload\"}"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.value().Find("ok")->bool_value());
+  EXPECT_EQ(reply.value().Find("code")->string_value(), "Unimplemented");
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.reload_requests, 1u);
+  EXPECT_EQ(stats.reloads_ok, 0u);
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_TRUE(stats.Balanced());
+}
+
+TEST_F(ServeFixture, CountersBalanceAfterDrainedMixedWorkload) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 4;
+  options.include_timings = false;
+  options.rate_burst = 2.0;
+  options.rate_refill_per_request = 0.1;
+  Server server(suite_, gred_, options);
+
+  std::atomic<int> answered{0};
+  auto count = [&answered](const std::string&) { answered++; };
+
+  const std::size_t n = std::min<std::size_t>(6, suite_->test_clean.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    json::Value obj = json::Value::Object();
+    obj.Set("id", json::Value::Int(static_cast<int>(i)));
+    obj.Set("nlq", json::Value::Str(suite_->test_clean[i].nlq));
+    obj.Set("db", json::Value::Str(suite_->test_clean[i].db_name));
+    obj.Set("session", json::Value::Str("bursty"));
+    server.Submit(obj.Dump(), count);
+  }
+  server.Submit("{not json", count);
+  server.Submit("{\"type\": \"stats\"}", count);
+  server.Submit("{\"type\": \"reload\"}", count);  // fails: no handler
+  server.Handle(RequestLine(99, suite_->test_clean[0]));  // serial path
+  server.Shutdown();
+
+  EXPECT_EQ(answered.load(), static_cast<int>(n) + 3);
+  ServerStats stats = server.stats();
+  // Every received line resolved to exactly one counted outcome —
+  // the invariant the chaos harness leans on, satellite-checked here
+  // on a workload that exercises every rejection class.
+  EXPECT_TRUE(stats.Balanced())
+      << "received=" << stats.received
+      << " completed=" << stats.completed << " failed=" << stats.failed
+      << " overload=" << stats.rejected_overload
+      << " invalid=" << stats.rejected_invalid
+      << " ratelimit=" << stats.rejected_ratelimit
+      << " shutdown=" << stats.rejected_shutdown
+      << " stats=" << stats.stats_requests
+      << " reload=" << stats.reload_requests;
+  EXPECT_EQ(stats.received, n + 4);
+  EXPECT_GE(stats.rejected_ratelimit, 1u);  // burst 2 < n same-session
+  EXPECT_EQ(stats.rejected_invalid, 1u);
+  EXPECT_EQ(stats.stats_requests, 1u);
+  EXPECT_EQ(stats.reload_requests, 1u);
 }
 
 }  // namespace

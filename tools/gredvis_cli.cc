@@ -12,8 +12,19 @@
 // Scale with GRED_BENCH_TRAIN_SIZE / GRED_BENCH_TEST_SIZE (defaults are
 // CLI-friendly: 1500 train / 200 test). `serve` additionally reads
 // GRED_SERVE_WORKERS, GRED_SERVE_QUEUE, GRED_SERVE_TIMINGS,
-// GRED_SERVE_DEADLINE_MS and GRED_SERVE_ROW_BUDGET.
+// GRED_SERVE_DEADLINE_MS, GRED_SERVE_ROW_BUDGET and the hardening
+// knobs: GRED_SERVE_BROWNOUT_HIGH / GRED_SERVE_BROWNOUT_LOW /
+// GRED_SERVE_BROWNOUT_DEADLINE_MS / GRED_SERVE_BROWNOUT_ROW_BUDGET
+// (brownout load-shedding), GRED_SERVE_RATE / GRED_SERVE_RATE_BURST
+// (per-session token buckets), GRED_SERVE_BREAKER_FAILURES /
+// GRED_SERVE_BREAKER_COOLDOWN (circuit breaker around the LLM stack).
+// All knobs are validated strictly (util/env.h): a malformed value
+// prints a message and exits 2 rather than silently running on the
+// wrong configuration. SIGTERM/SIGINT drain gracefully: no new
+// admissions, every admitted request answered, then exit.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -24,12 +35,14 @@
 #include "dataset/io.h"
 #include "eval/metrics.h"
 #include "gred/gred.h"
+#include "llm/circuit_breaker.h"
 #include "llm/resilient.h"
 #include "llm/sim_llm.h"
 #include "models/rgvisnet.h"
 #include "models/seq2vis.h"
 #include "models/transformer.h"
 #include "serve/server.h"
+#include "util/env.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 #include "dvq/sql.h"
@@ -40,19 +53,13 @@ namespace {
 
 using namespace gred;
 
-std::size_t EnvSize(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  return value != nullptr && std::atoll(value) > 0
-             ? static_cast<std::size_t>(std::atoll(value))
-             : fallback;
-}
+/// Set by the SIGTERM/SIGINT handler; ServeStream checks it before each
+/// blocking read. Registered without SA_RESTART so the signal interrupts
+/// the read instead of resuming it — the only async-signal work done is
+/// this store.
+std::atomic<bool> g_stop{false};
 
-double EnvRate(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) return fallback;
-  double parsed = std::atof(value);
-  return parsed >= 0.0 && parsed <= 1.0 ? parsed : fallback;
-}
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 int Usage() {
   std::fprintf(
@@ -72,8 +79,8 @@ int Usage() {
 
 dataset::BenchmarkSuite BuildSuite() {
   dataset::BenchmarkOptions options;
-  options.train_size = EnvSize("GRED_BENCH_TRAIN_SIZE", 1500);
-  options.test_size = EnvSize("GRED_BENCH_TEST_SIZE", 200);
+  options.train_size = EnvSizeOrDie("GRED_BENCH_TRAIN_SIZE", 1500);
+  options.test_size = EnvSizeOrDie("GRED_BENCH_TEST_SIZE", 200);
   std::fprintf(stderr, "[gredvis] building suite (%zu train / %zu test)\n",
                options.train_size, options.test_size);
   return dataset::BuildBenchmarkSuite(options);
@@ -141,14 +148,14 @@ int CmdTranslate(const std::string& db_name, const std::string& question) {
   // GRED_BENCH_FAULT_RATE > 0 wires the fault-injecting + retrying stack
   // in front of the LLM (same knobs as the bench harness), to watch the
   // pipeline degrade on a single question.
-  double fault_rate = EnvRate("GRED_BENCH_FAULT_RATE", 0.0);
+  double fault_rate = EnvRateOrDie("GRED_BENCH_FAULT_RATE", 0.0);
   llm::FaultConfig faults;
   faults.transient_rate = fault_rate;
   faults.truncate_rate = fault_rate / 2;
   faults.garbage_rate = fault_rate / 2;
   llm::FaultInjectingChatModel faulty(&llm, faults);
   llm::RetryConfig retry;
-  retry.max_attempts = EnvSize("GRED_BENCH_RETRIES", 3);
+  retry.max_attempts = EnvSizeOrDie("GRED_BENCH_RETRIES", 3);
   llm::RetryingChatModel retrying(&faulty, retry);
   const llm::ChatModel* chat = fault_rate > 0.0
                                    ? static_cast<const llm::ChatModel*>(
@@ -189,17 +196,35 @@ int CmdServe() {
   llm::SimulatedChatModel llm;
   // The same optional fault/retry stack as `translate`, so a serve
   // session can be exercised under injected LLM faults.
-  double fault_rate = EnvRate("GRED_BENCH_FAULT_RATE", 0.0);
+  double fault_rate = EnvRateOrDie("GRED_BENCH_FAULT_RATE", 0.0);
   llm::FaultConfig faults;
   faults.transient_rate = fault_rate;
   faults.truncate_rate = fault_rate / 2;
   faults.garbage_rate = fault_rate / 2;
   llm::FaultInjectingChatModel faulty(&llm, faults);
   llm::RetryConfig retry;
-  retry.max_attempts = EnvSize("GRED_BENCH_RETRIES", 3);
+  retry.max_attempts = EnvSizeOrDie("GRED_BENCH_RETRIES", 3);
   llm::RetryingChatModel retrying(&faulty, retry);
   const llm::ChatModel* chat =
       fault_rate > 0.0 ? static_cast<const llm::ChatModel*>(&retrying) : &llm;
+
+  // Optional circuit breaker around whatever the stack is so far: stops
+  // hammering a dead backend instead of burning the retry budget on
+  // every request (DESIGN.md §16). 0 = off.
+  serve::ServerOptions options;
+  std::unique_ptr<llm::CircuitBreakerChatModel> breaker;
+  std::uint64_t breaker_failures =
+      EnvCountOrDie("GRED_SERVE_BREAKER_FAILURES", 0);
+  if (breaker_failures > 0) {
+    llm::BreakerConfig config;
+    config.failure_threshold = static_cast<std::size_t>(breaker_failures);
+    config.open_cooldown = static_cast<std::size_t>(
+        EnvCountOrDie("GRED_SERVE_BREAKER_COOLDOWN", 8));
+    breaker = std::make_unique<llm::CircuitBreakerChatModel>(chat, config);
+    chat = breaker.get();
+    options.breaker = breaker.get();
+  }
+
   models::TrainingCorpus corpus;
   corpus.train = &suite.train;
   corpus.databases = &suite.databases;
@@ -211,29 +236,84 @@ int CmdServe() {
     std::fprintf(stderr, "[gredvis] annotated %zu databases\n",
                  annotated.value());
   }
-  serve::ServerOptions options;
-  options.num_workers = EnvSize("GRED_SERVE_WORKERS", 0);
-  options.queue_capacity = EnvSize("GRED_SERVE_QUEUE", 64);
-  const char* timings = std::getenv("GRED_SERVE_TIMINGS");
-  options.include_timings =
-      timings == nullptr || std::string(timings) != "0";
+
+  options.num_workers =
+      static_cast<std::size_t>(EnvCountOrDie("GRED_SERVE_WORKERS", 0));
+  options.queue_capacity = EnvSizeOrDie("GRED_SERVE_QUEUE", 64);
+  options.include_timings = EnvFlagOrDie("GRED_SERVE_TIMINGS", true);
   options.default_limits.deadline_ticks =
-      EnvSize("GRED_SERVE_DEADLINE_MS", 0) * serve::kAccountedTicksPerMs;
-  options.default_limits.row_budget = EnvSize("GRED_SERVE_ROW_BUDGET", 0);
+      EnvCountOrDie("GRED_SERVE_DEADLINE_MS", 0) *
+      serve::kAccountedTicksPerMs;
+  options.default_limits.row_budget =
+      EnvCountOrDie("GRED_SERVE_ROW_BUDGET", 0);
+  // Brownout watermarks + the tighter limits applied while browned out.
+  options.brownout_high_watermark = static_cast<std::size_t>(
+      EnvCountOrDie("GRED_SERVE_BROWNOUT_HIGH", 0));
+  options.brownout_low_watermark = static_cast<std::size_t>(
+      EnvCountOrDie("GRED_SERVE_BROWNOUT_LOW", 0));
+  options.brownout_limits.deadline_ticks =
+      EnvCountOrDie("GRED_SERVE_BROWNOUT_DEADLINE_MS", 0) *
+      serve::kAccountedTicksPerMs;
+  options.brownout_limits.row_budget =
+      EnvCountOrDie("GRED_SERVE_BROWNOUT_ROW_BUDGET", 0);
+  // Per-session token buckets (both knobs > 0 to arm).
+  options.rate_refill_per_request = EnvRateOrDie("GRED_SERVE_RATE", 0.0);
+  options.rate_burst =
+      static_cast<double>(EnvCountOrDie("GRED_SERVE_RATE_BURST", 0));
+
+  // `{"type":"reload"}` rebuilds the suite and pipeline from the same
+  // environment configuration and swaps it in as a new epoch; requests
+  // already admitted finish on the epoch they started with.
+  options.reload_handler = [chat]() -> Result<serve::EpochPayload> {
+    auto new_suite =
+        std::make_shared<dataset::BenchmarkSuite>(BuildSuite());
+    models::TrainingCorpus new_corpus;
+    new_corpus.train = &new_suite->train;
+    new_corpus.databases = &new_suite->databases;
+    auto new_gred = std::make_shared<core::Gred>(new_corpus, chat);
+    Result<std::size_t> prepared =
+        new_gred->PrepareAnnotations(new_suite->databases);
+    if (!prepared.ok()) return prepared.status();
+    serve::EpochPayload payload;
+    payload.suite = std::move(new_suite);
+    payload.gred = std::move(new_gred);
+    return payload;
+  };
+
   serve::Server server(&suite, &gred, options);
+
+  // Graceful drain on SIGTERM/SIGINT: the handler flips g_stop and —
+  // registered without SA_RESTART — interrupts the blocking stdin read;
+  // ServeStream then closes the queue, answers everything admitted and
+  // returns. Requests arriving mid-drain get {"error":"shutting_down"}.
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
   std::fprintf(stderr,
                "[gredvis] serving on stdin/stdout (%zu workers, queue %zu)\n",
                server.options().num_workers, server.options().queue_capacity);
-  int rc = server.ServeStream(std::cin, std::cout);
+  int rc = server.ServeStream(std::cin, std::cout, &g_stop);
   serve::ServerStats stats = server.stats();
   std::fprintf(stderr,
                "[gredvis] served %llu requests (%llu ok, %llu failed, "
-               "%llu invalid, %llu shed)\n",
+               "%llu invalid, %llu shed, %llu rate-limited, "
+               "%llu during drain, %llu browned out, %llu reloads)\n",
                static_cast<unsigned long long>(stats.received),
                static_cast<unsigned long long>(stats.completed),
                static_cast<unsigned long long>(stats.failed),
                static_cast<unsigned long long>(stats.rejected_invalid),
-               static_cast<unsigned long long>(stats.rejected_overload));
+               static_cast<unsigned long long>(stats.rejected_overload),
+               static_cast<unsigned long long>(stats.rejected_ratelimit),
+               static_cast<unsigned long long>(stats.rejected_shutdown),
+               static_cast<unsigned long long>(stats.degraded_brownout),
+               static_cast<unsigned long long>(stats.reloads_ok));
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[gredvis] drained after signal\n");
+  }
   return rc;
 }
 
