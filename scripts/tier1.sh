@@ -92,6 +92,17 @@ echo "== tier-1: chaos smoke (overload + faults + reload invariants) =="
 "$ROOT/scripts/bench_report" --chaos --smoke \
   "$ROOT/build/BENCH_serve_smoke.json"
 
+echo "== tier-1: analysis smoke (repair gate + cost calibration) =="
+# The repair/cost sweep at smoke scale through scripts/bench_report
+# --analysis: the binary itself asserts that the repair gate strictly
+# reduces lint rejections without losing accuracy at every corruption
+# rate, and that the cost estimator never under-prices a corpus query
+# (zero false rejections at max budget, zero missed runtime trips).
+# Writes to build/ so a smoke run never overwrites the committed
+# BENCH_analysis.json numbers.
+"$ROOT/scripts/bench_report" --analysis --smoke \
+  "$ROOT/build/BENCH_analysis_smoke.json"
+
 echo "== tier-1: exec-sweep smoke (columnar vs row engine identity) =="
 # Both executor engines over a small synthetic table through
 # scripts/bench_report --exec: the binary itself asserts bit-identical
@@ -159,8 +170,9 @@ if ! cmake -B "$ROOT/build-asan" -S "$ROOT" \
 fi
 cmake --build "$ROOT/build-asan" -j"$JOBS" \
   --target fuzz_test dvq_test resource_guard_test metamorphic_test \
-           analysis_test json_test exec_test exec_reference_test \
-           retrieval_equivalence_test kernel_dispatch_test
+           analysis_test repair_test json_test exec_test \
+           exec_reference_test retrieval_equivalence_test \
+           kernel_dispatch_test
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/fuzz_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
@@ -171,6 +183,11 @@ ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/metamorphic_test"
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   "$ROOT/build-asan/tests/analysis_test"
+# The repairer rewrites DVQ ASTs in place (clause erasure, in-loop
+# retargeting) and the cost estimator walks borrowed column statistics —
+# both are pointer-heavy AST surgery that must hold up under ASan.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  "$ROOT/build-asan/tests/repair_test"
 # The JSON parser is the wire protocol's first line of defense: its
 # regression suite (depth cap, strtod end-pointer, surrogate pairs)
 # runs under ASan+UBSan so a parser overread fails loudly.

@@ -126,6 +126,10 @@ const char* CodeName(Code code) {
       return "DVQ010";
     case Code::kComparisonTypeMismatch:
       return "DVQ011";
+    case Code::kOrderByNotProjected:
+      return "DVQ012";
+    case Code::kDuplicateSelectItem:
+      return "DVQ013";
   }
   return "DVQ000";
 }
@@ -136,7 +140,8 @@ std::vector<Code> AllCodes() {
           Code::kGroupByInconsistency,   Code::kBinNonTemporal,
           Code::kChartAxisMismatch,      Code::kJoinNotForeignKey,
           Code::kJoinTypeMismatch,       Code::kAlwaysFalsePredicate,
-          Code::kComparisonTypeMismatch};
+          Code::kComparisonTypeMismatch, Code::kOrderByNotProjected,
+          Code::kDuplicateSelectItem};
 }
 
 std::string Location::ToString() const {
@@ -168,7 +173,19 @@ std::string Location::ToString() const {
       break;
   }
   std::string out;
-  if (depth > 0) out += strings::Format("subquery(%zu).", depth);
+  if (!path.empty()) {
+    // One prefix segment per nesting level, naming the WHERE-predicate
+    // index whose scalar subquery we descended into — sibling subqueries
+    // of the same query render distinct locations.
+    for (std::size_t pred : path) {
+      out += strings::Format("subquery(%zu).", pred);
+    }
+  } else if (depth > 0) {
+    // Legacy depth-only rendering for hand-built Locations without a
+    // path (ambiguous for sibling subqueries; the analyzer never emits
+    // this form).
+    out += strings::Format("subquery(%zu).", depth);
+  }
   out += strings::Format("%s[%zu]", name, index);
   return out;
 }
@@ -348,19 +365,21 @@ std::vector<Diagnostic> DvqAnalyzer::Analyze(const dvq::DVQ& dvq) const {
   std::vector<Diagnostic> out;
   // Aliases resolve first so every diagnostic names real tables — and so
   // fix-it hints stay valid on the normalized form the debugger reprints.
-  AnalyzeQuery(dvq::ResolveAliases(dvq.query), dvq.chart, 0, &out);
+  AnalyzeQuery(dvq::ResolveAliases(dvq.query), dvq.chart, {}, &out);
   return out;
 }
 
 void DvqAnalyzer::AnalyzeQuery(const Query& q, ChartType chart,
-                               std::size_t depth,
+                               const std::vector<std::size_t>& path,
                                std::vector<Diagnostic>* out) const {
-  auto emit = [out](Code code, Severity severity, Location location,
-                    std::string message, std::string fixit = "") {
+  const std::size_t depth = path.size();
+  auto emit = [out, &path](Code code, Severity severity, Location location,
+                           std::string message, std::string fixit = "") {
     Diagnostic d;
     d.code = code;
     d.severity = severity;
     d.location = location;
+    d.location.path = path;
     d.message = std::move(message);
     d.fixit = std::move(fixit);
     out->push_back(std::move(d));
@@ -490,6 +509,62 @@ void DvqAnalyzer::AnalyzeQuery(const Query& q, ChartType chart,
   }
   if (q.order_by.has_value()) {
     check_select_expr(q.order_by->expr, {Clause::kOrderBy, 0, depth});
+  }
+
+  // --- Duplicate select items (DVQ013) ------------------------------------
+  // The same expression twice renders two identical axes/columns; almost
+  // always a generation echo. Anchored at the later duplicate so the
+  // fix-it (drop it) keeps the first occurrence.
+  for (std::size_t j = 1; j < q.select.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (q.select[i].EqualsIgnoreCase(q.select[j])) {
+        emit(Code::kDuplicateSelectItem, Severity::kWarning,
+             {Clause::kSelect, j, depth},
+             "select item '" + q.select[j].ToString() + "' duplicates select[" +
+                 std::to_string(i) + "]",
+             strings::Format("remove select[%zu]", j));
+        break;
+      }
+    }
+  }
+
+  // --- ORDER BY not projected (DVQ012) ------------------------------------
+  // When the sort expression matches neither a select item nor (for bare
+  // columns) a GROUP BY key, the executor materializes it as a hidden
+  // extra column per output row — legal, but usually a near-miss for one
+  // of the projected columns.
+  if (q.order_by.has_value() && !q.select.empty()) {
+    const SelectExpr& o = q.order_by->expr;
+    const bool in_select = std::any_of(
+        q.select.begin(), q.select.end(), [&o](const SelectExpr& s) {
+          return s.agg == o.agg && s.distinct == o.distinct &&
+                 strings::EqualsIgnoreCase(s.col.column, o.col.column);
+        });
+    const bool in_group_by =
+        o.agg == AggFunc::kNone &&
+        std::any_of(q.group_by.begin(), q.group_by.end(),
+                    [&o](const ColumnRef& g) {
+                      return strings::EqualsIgnoreCase(g.column, o.col.column);
+                    });
+    if (!in_select && !in_group_by) {
+      std::size_t best = 0;
+      double best_sim = -1.0;
+      for (std::size_t i = 0; i < q.select.size(); ++i) {
+        double sim =
+            NameSimilarity(o.col.column, q.select[i].col.column, *lexicon_);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = i;
+        }
+      }
+      emit(Code::kOrderByNotProjected, Severity::kWarning,
+           {Clause::kOrderBy, 0, depth},
+           "ORDER BY '" + o.ToString() +
+               "' matches no select item" +
+               (o.agg == AggFunc::kNone ? " or GROUP BY column" : "") +
+               "; the sort key becomes a hidden extra column",
+           q.select[best].ToString());
+    }
   }
 
   // --- GROUP BY / projection consistency (DVQ005) ------------------------
@@ -784,10 +859,14 @@ void DvqAnalyzer::AnalyzeQuery(const Query& q, ChartType chart,
                  "each other");
     }
 
-    // Scalar subqueries get their own scope, one nesting level down.
-    for (const Predicate& p : where.predicates) {
+    // Scalar subqueries get their own scope, one nesting level down; the
+    // extended path keeps sibling subqueries' locations distinct.
+    for (std::size_t i = 0; i < where.predicates.size(); ++i) {
+      const Predicate& p = where.predicates[i];
       if (p.subquery != nullptr) {
-        AnalyzeQuery(*p.subquery, chart, depth + 1, out);
+        std::vector<std::size_t> child_path = path;
+        child_path.push_back(i);
+        AnalyzeQuery(*p.subquery, chart, child_path, out);
       }
     }
   }

@@ -35,13 +35,15 @@ enum class Code {
   kJoinTypeMismatch,        // DVQ009
   kAlwaysFalsePredicate,    // DVQ010
   kComparisonTypeMismatch,  // DVQ011
+  kOrderByNotProjected,     // DVQ012
+  kDuplicateSelectItem,     // DVQ013
 };
 
-/// "DVQ001" ... "DVQ011".
+/// "DVQ001" ... "DVQ013".
 const char* CodeName(Code code);
 
 /// Number of distinct diagnostic codes (for exhaustiveness tests).
-inline constexpr std::size_t kNumCodes = 11;
+inline constexpr std::size_t kNumCodes = 13;
 
 /// Enumerates every code, in numeric order.
 std::vector<Code> AllCodes();
@@ -66,8 +68,16 @@ struct Location {
   std::size_t index = 0;
   /// Nesting depth: 0 = top-level query, 1 = scalar subquery, ...
   std::size_t depth = 0;
+  /// Subquery path: path[i] is the WHERE-predicate index (at nesting
+  /// level i) whose scalar subquery encloses this location, so sibling
+  /// subqueries of one query render distinct locations ("subquery(0)."
+  /// vs "subquery(2)."). Empty for top-level locations. The analyzer
+  /// always fills it; hand-built Locations may leave it empty, in which
+  /// case ToString falls back to the legacy depth-only rendering.
+  std::vector<std::size_t> path{};
 
-  /// "select[1]", "where[0]", "subquery(1).from[0]".
+  /// "select[1]", "where[0]", "subquery(0).from[0]",
+  /// "subquery(2).subquery(0).select[0]".
   std::string ToString() const;
 
   friend bool operator==(const Location& a, const Location& b) = default;
@@ -120,8 +130,12 @@ class DvqAnalyzer {
   const schema::Database& db() const { return *db_; }
 
  private:
+  /// `path` is the subquery-predicate index chain from the top-level
+  /// query to `q` (empty at depth 0); every emitted diagnostic carries
+  /// it so sibling subqueries get distinct locations.
   void AnalyzeQuery(const dvq::Query& q, dvq::ChartType chart,
-                    std::size_t depth, std::vector<Diagnostic>* out) const;
+                    const std::vector<std::size_t>& path,
+                    std::vector<Diagnostic>* out) const;
 
   const schema::Database* db_;
   const nl::Lexicon* lexicon_;

@@ -1,0 +1,368 @@
+#include "analysis/repairer.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "dvq/normalize.h"
+#include "util/strings.h"
+
+namespace gred::analysis {
+namespace {
+
+/// Stable identity of one diagnostic across re-analyses: a rejected
+/// repair retires exactly this key, and an accepted repair must make it
+/// disappear.
+std::string DiagnosticKey(const Diagnostic& d) {
+  return std::string(CodeName(d.code)) + "|" + d.location.ToString() + "|" +
+         d.message;
+}
+
+/// Navigates to the query node `path` points at, cloning each subquery
+/// on the way down (subqueries are shared immutable trees — mutating a
+/// fresh copy preserves that contract for every other holder).
+dvq::Query* TargetQuery(dvq::DVQ* dvq, const std::vector<std::size_t>& path) {
+  dvq::Query* q = &dvq->query;
+  for (std::size_t pred : path) {
+    if (!q->where.has_value() || pred >= q->where->predicates.size()) {
+      return nullptr;
+    }
+    dvq::Predicate& p = q->where->predicates[pred];
+    if (p.subquery == nullptr) return nullptr;
+    auto clone = std::make_shared<dvq::Query>(*p.subquery);
+    p.subquery = clone;
+    q = clone.get();
+  }
+  return q;
+}
+
+/// Applies `fn` to every column reference of this query node only
+/// (subqueries have their own scopes and their own diagnostics).
+void ForEachLocalColumnRef(dvq::Query* q,
+                           const std::function<void(dvq::ColumnRef*)>& fn) {
+  for (dvq::SelectExpr& e : q->select) fn(&e.col);
+  for (dvq::JoinClause& j : q->joins) {
+    fn(&j.left);
+    fn(&j.right);
+  }
+  if (q->where.has_value()) {
+    for (dvq::Predicate& p : q->where->predicates) fn(&p.col);
+  }
+  for (dvq::ColumnRef& g : q->group_by) fn(&g);
+  if (q->order_by.has_value()) fn(&q->order_by->expr.col);
+  if (q->bin.has_value()) fn(&q->bin->col);
+}
+
+/// Extracts the offending column name from an unknown-column message
+/// ("... column 'NAME' ..."), empty when the shape is unexpected.
+std::string ColumnNameFromMessage(const std::string& message) {
+  const std::string marker = "column '";
+  std::size_t start = message.find(marker);
+  if (start == std::string::npos) return "";
+  start += marker.size();
+  std::size_t end = message.find('\'', start);
+  if (end == std::string::npos) return "";
+  return message.substr(start, end - start);
+}
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+}  // namespace
+
+std::string RepairAction::ToString() const {
+  return std::string(CodeName(code)) + " " + location.ToString() + ": " +
+         description;
+}
+
+DvqRepairer::DvqRepairer(const schema::Database* db, RepairOptions options)
+    : db_(db), analyzer_(db, options.analyzer), options_(options) {}
+
+bool DvqRepairer::ApplyFix(const Diagnostic& d, dvq::DVQ* dvq,
+                           std::string* description) const {
+  dvq::Query* q = TargetQuery(dvq, d.location.path);
+  if (q == nullptr) return false;
+  const Clause clause = d.location.clause;
+  const std::size_t index = d.location.index;
+
+  switch (d.code) {
+    case Code::kUnknownTable: {
+      if (d.fixit.empty()) return false;
+      std::string* table = nullptr;
+      if (clause == Clause::kFrom) {
+        table = &q->from_table;
+      } else if (clause == Clause::kJoin && index < q->joins.size()) {
+        table = &q->joins[index].table;
+      }
+      if (table == nullptr) return false;
+      const std::string old_name = *table;
+      *table = d.fixit;
+      // Qualifiers naming the old spelling must follow the rename or
+      // every reference dangles.
+      ForEachLocalColumnRef(q, [&](dvq::ColumnRef* ref) {
+        if (strings::EqualsIgnoreCase(ref->table, old_name)) {
+          ref->table = d.fixit;
+        }
+      });
+      *description = "replaced table " + Quoted(old_name) + " with " +
+                     Quoted(d.fixit);
+      return true;
+    }
+
+    case Code::kUnknownColumn: {
+      if (d.fixit.empty()) return false;
+      std::string* column = nullptr;
+      switch (clause) {
+        case Clause::kSelect:
+          if (index < q->select.size()) column = &q->select[index].col.column;
+          break;
+        case Clause::kOrderBy:
+          if (q->order_by.has_value()) {
+            column = &q->order_by->expr.col.column;
+          }
+          break;
+        case Clause::kGroupBy:
+          if (index < q->group_by.size()) column = &q->group_by[index].column;
+          break;
+        case Clause::kBin:
+          if (q->bin.has_value()) column = &q->bin->col.column;
+          break;
+        case Clause::kWhere:
+          if (q->where.has_value() && index < q->where->predicates.size()) {
+            column = &q->where->predicates[index].col.column;
+          }
+          break;
+        case Clause::kJoin: {
+          // Both join keys share the location; the message names the
+          // offending one.
+          if (index >= q->joins.size()) break;
+          const std::string bad = ColumnNameFromMessage(d.message);
+          if (bad.empty()) break;
+          dvq::JoinClause& join = q->joins[index];
+          if (strings::EqualsIgnoreCase(join.left.column, bad)) {
+            column = &join.left.column;
+          } else if (strings::EqualsIgnoreCase(join.right.column, bad)) {
+            column = &join.right.column;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (column == nullptr) return false;
+      const std::string old_name = *column;
+      *column = d.fixit;
+      *description = "replaced column " + Quoted(old_name) + " with " +
+                     Quoted(d.fixit);
+      return true;
+    }
+
+    case Code::kAggTypeMismatch:
+    case Code::kAggStarMisuse: {
+      // COUNT is defined for every type and for the star target.
+      dvq::SelectExpr* e = nullptr;
+      if (clause == Clause::kSelect && index < q->select.size()) {
+        e = &q->select[index];
+      } else if (clause == Clause::kOrderBy && q->order_by.has_value()) {
+        e = &q->order_by->expr;
+      }
+      if (e == nullptr || e->agg == dvq::AggFunc::kCount) return false;
+      *description = "replaced " + std::string(dvq::AggFuncName(e->agg)) +
+                     "(" + e->col.ToString() + ") with COUNT";
+      e->agg = dvq::AggFunc::kCount;
+      return true;
+    }
+
+    case Code::kGroupByInconsistency: {
+      if (clause != Clause::kSelect || index >= q->select.size()) return false;
+      const dvq::ColumnRef& col = q->select[index].col;
+      q->group_by.push_back(col);
+      *description = "added " + Quoted(col.ToString()) + " to GROUP BY";
+      return true;
+    }
+
+    case Code::kBinNonTemporal: {
+      if (!q->bin.has_value()) return false;
+      // Retarget to the unique temporal column in scope, if any; with
+      // zero or several candidates the bin is dropped instead of
+      // guessed at.
+      std::vector<dvq::ColumnRef> temporal;
+      auto collect = [&](const std::string& table_name) {
+        const schema::TableDef* table = db_->FindTable(table_name);
+        if (table == nullptr) return;
+        for (const schema::Column& c : table->columns()) {
+          if (c.type == schema::ColumnType::kDate) {
+            dvq::ColumnRef ref;
+            ref.table = table->name();
+            ref.column = c.name;
+            temporal.push_back(ref);
+          }
+        }
+      };
+      collect(q->from_table);
+      for (const dvq::JoinClause& j : q->joins) collect(j.table);
+      if (temporal.size() == 1) {
+        *description = "retargeted BIN from " + Quoted(q->bin->col.ToString()) +
+                       " to " + Quoted(temporal[0].ToString());
+        q->bin->col = temporal[0];
+      } else {
+        *description = "removed BIN over non-temporal " +
+                       Quoted(q->bin->col.ToString());
+        q->bin.reset();
+      }
+      return true;
+    }
+
+    case Code::kChartAxisMismatch: {
+      if (q->select.size() < 2) return false;
+      std::swap(q->select[0], q->select[1]);
+      *description = "swapped x and y axes";
+      return true;
+    }
+
+    case Code::kOrderByNotProjected: {
+      if (!q->order_by.has_value()) return false;
+      const std::string old_expr = q->order_by->expr.ToString();
+      for (const dvq::SelectExpr& s : q->select) {
+        if (s.ToString() == d.fixit) {
+          q->order_by->expr = s;
+          *description = "retargeted ORDER BY from " + Quoted(old_expr) +
+                         " to " + Quoted(d.fixit);
+          return true;
+        }
+      }
+      q->order_by.reset();
+      *description = "dropped ORDER BY " + Quoted(old_expr);
+      return true;
+    }
+
+    case Code::kDuplicateSelectItem: {
+      // Dropping below two select items would destroy the chart's axes.
+      if (clause != Clause::kSelect || index >= q->select.size() ||
+          q->select.size() <= 2) {
+        return false;
+      }
+      *description = "removed duplicate select item " +
+                     Quoted(q->select[index].ToString());
+      q->select.erase(q->select.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+      return true;
+    }
+
+    case Code::kJoinNotForeignKey: {
+      // The fix-it is the declared FK predicate "t1.c1 = t2.c2".
+      if (d.fixit.empty() || index >= q->joins.size()) return false;
+      const std::size_t eq = d.fixit.find(" = ");
+      if (eq == std::string::npos) return false;
+      auto parse_ref = [](const std::string& text) {
+        dvq::ColumnRef ref;
+        const std::size_t dot = text.find('.');
+        if (dot == std::string::npos) {
+          ref.column = text;
+        } else {
+          ref.table = text.substr(0, dot);
+          ref.column = text.substr(dot + 1);
+        }
+        return ref;
+      };
+      dvq::JoinClause& join = q->joins[index];
+      *description = "replaced join predicate " +
+                     Quoted(join.left.ToString() + " = " +
+                            join.right.ToString()) +
+                     " with " + Quoted(d.fixit);
+      join.left = parse_ref(d.fixit.substr(0, eq));
+      join.right = parse_ref(d.fixit.substr(eq + 3));
+      return true;
+    }
+
+    case Code::kJoinTypeMismatch:
+    case Code::kAlwaysFalsePredicate:
+    case Code::kComparisonTypeMismatch:
+      // No machine-applicable fix: the intended predicate is unknowable.
+      return false;
+  }
+  return false;
+}
+
+RepairResult DvqRepairer::Repair(const dvq::DVQ& input) const {
+  RepairResult result;
+  dvq::DVQ current = input;
+  // Diagnostics are emitted against the alias-resolved form, so repairs
+  // must edit that form for locations to line up.
+  current.query = dvq::ResolveAliases(input.query);
+
+  std::set<std::string> failed_keys;
+  std::set<std::string> seen_forms;
+  seen_forms.insert(current.ToString());
+  std::vector<Diagnostic> diagnostics = analyzer_.Analyze(current);
+  std::size_t accepted = 0;
+
+  while (accepted < options_.max_repairs) {
+    // Name repairs (DVQ001/002) go first: a structural diagnostic
+    // raised while a name is still misspelled is often an artifact of
+    // the misspelling (e.g. "select[0] not grouped" because GROUP BY
+    // names the broken spelling), and fixing names first makes it
+    // vanish instead of being patched around.
+    const Diagnostic* target = nullptr;
+    const Diagnostic* fallback = nullptr;
+    for (const Diagnostic& d : diagnostics) {
+      if (failed_keys.count(DiagnosticKey(d)) != 0) continue;
+      if (d.code == Code::kUnknownTable || d.code == Code::kUnknownColumn) {
+        target = &d;
+        break;
+      }
+      if (fallback == nullptr) fallback = &d;
+    }
+    if (target == nullptr) target = fallback;
+    if (target == nullptr) break;
+    const std::string key = DiagnosticKey(*target);
+
+    dvq::DVQ candidate = current;
+    std::string description;
+    if (!ApplyFix(*target, &candidate, &description)) {
+      failed_keys.insert(key);
+      continue;
+    }
+    const std::string form = candidate.ToString();
+    if (seen_forms.count(form) != 0) {
+      // Cycle (e.g. an axis swap that swaps back): reject.
+      failed_keys.insert(key);
+      continue;
+    }
+    std::vector<Diagnostic> next = analyzer_.Analyze(candidate);
+    const bool still_present =
+        std::any_of(next.begin(), next.end(), [&key](const Diagnostic& d) {
+          return DiagnosticKey(d) == key;
+        });
+    if (still_present) {
+      failed_keys.insert(key);
+      continue;
+    }
+
+    RepairAction action;
+    action.code = target->code;
+    action.location = target->location;
+    action.description = std::move(description);
+    result.log.push_back(std::move(action));
+    current = std::move(candidate);
+    seen_forms.insert(form);
+    diagnostics = std::move(next);
+    ++accepted;
+  }
+
+  result.success = !HasErrors(diagnostics);
+  if (result.success) {
+    result.changed = accepted > 0;
+    result.dvq = std::move(current);
+    result.remaining = std::move(diagnostics);
+  } else {
+    // Never worsen: hand back the untouched input.
+    result.changed = false;
+    result.dvq = input;
+    result.remaining = analyzer_.Analyze(input);
+  }
+  return result;
+}
+
+}  // namespace gred::analysis

@@ -1,0 +1,85 @@
+#ifndef GREDVIS_ANALYSIS_REPAIRER_H_
+#define GREDVIS_ANALYSIS_REPAIRER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "dvq/ast.h"
+#include "schema/schema.h"
+
+namespace gred::analysis {
+
+/// One accepted repair step.
+struct RepairAction {
+  Code code = Code::kUnknownTable;
+  Location location;
+  /// Human-readable description of the edit, e.g.
+  /// "replaced table 'employes' with 'employees'".
+  std::string description;
+
+  /// "DVQ001 from[0]: replaced table 'employes' with 'employees'".
+  std::string ToString() const;
+};
+
+/// Options for DvqRepairer.
+struct RepairOptions {
+  /// Maximum number of accepted repair steps per DVQ. The loop also
+  /// terminates on its own (every rejected step retires one diagnostic
+  /// key, every mutation must produce a never-seen canonical form), so
+  /// the budget only bounds how much a badly broken DVQ may be rewritten.
+  std::size_t max_repairs = 8;
+  /// Analyzer used for re-analysis between steps.
+  AnalyzerOptions analyzer;
+};
+
+/// Outcome of one repair run.
+struct RepairResult {
+  /// True when the returned DVQ has no error-level diagnostics.
+  bool success = false;
+  /// True when at least one repair step was accepted (implies success:
+  /// on failure the original DVQ is returned untouched).
+  bool changed = false;
+  /// The repaired DVQ on success (alias-resolved), the ORIGINAL input
+  /// on failure — repair never worsens a candidate.
+  dvq::DVQ dvq;
+  /// Accepted steps, in application order (kept on failure for
+  /// observability even though their effects are discarded).
+  std::vector<RepairAction> log;
+  /// Diagnostics of the returned DVQ (warnings may remain on success).
+  std::vector<Diagnostic> remaining;
+};
+
+/// Deterministic fix-it applier over DvqAnalyzer diagnostics
+/// (DESIGN.md §17): takes a parsed DVQ, applies machine-applicable
+/// repairs (nearest-name substitutions, SUM(*)→COUNT(*), aggregate
+/// retargeting, GROUP BY completion, BIN retarget/removal, chart-axis
+/// swap, ORDER BY retargeting, duplicate-select removal) and re-analyzes
+/// to a fixpoint under a bounded budget.
+///
+/// A step is accepted only when it parses into a never-seen canonical
+/// form AND its targeted diagnostic disappears on re-analysis; rejected
+/// steps are rolled back and their diagnostic retired, so the loop
+/// always terminates. Pure and thread-safe, like the analyzer.
+class DvqRepairer {
+ public:
+  /// `db` is not owned and must outlive the repairer.
+  explicit DvqRepairer(const schema::Database* db, RepairOptions options = {});
+
+  RepairResult Repair(const dvq::DVQ& dvq) const;
+
+  const DvqAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  bool ApplyFix(const Diagnostic& d, dvq::DVQ* dvq,
+                std::string* description) const;
+
+  const schema::Database* db_;
+  DvqAnalyzer analyzer_;
+  RepairOptions options_;
+};
+
+}  // namespace gred::analysis
+
+#endif  // GREDVIS_ANALYSIS_REPAIRER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/analyzer.h"
+#include "analysis/repairer.h"
 #include "dvq/parser.h"
 #include "llm/prompt.h"
 #include "util/rng.h"
@@ -110,6 +111,8 @@ Gred::StageStats Gred::stage_stats() const {
       debug_budget_trips_.load(std::memory_order_relaxed);
   stats.retune_lint_trips = retune_lint_trips_.load(std::memory_order_relaxed);
   stats.debug_lint_trips = debug_lint_trips_.load(std::memory_order_relaxed);
+  stats.retune_repairs = retune_repairs_.load(std::memory_order_relaxed);
+  stats.debug_repairs = debug_repairs_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -238,6 +241,19 @@ Result<dvq::DVQ> Gred::TranslateWithTrace(
     if (parsed_rtn.ok() && config_.enable_lint) {
       analysis::DvqAnalyzer analyzer(&db.db_schema());
       lint_rejected = analysis::HasErrors(analyzer.Analyze(parsed_rtn.value()));
+      // One deterministic repair attempt before degradation
+      // (DESIGN.md §17): an error-free repaired candidate is accepted
+      // in place of the rejected one.
+      if (lint_rejected && config_.enable_repair) {
+        analysis::DvqRepairer repairer(&db.db_schema());
+        analysis::RepairResult repaired = repairer.Repair(parsed_rtn.value());
+        if (repaired.success) {
+          dvq_rtn = repaired.dvq.ToString();
+          lint_rejected = false;
+          trace.rtn_repaired = true;
+          retune_repairs_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
     if (!parsed_rtn.ok() || lint_rejected) {
       trace.rtn_degraded = true;
@@ -304,6 +320,17 @@ Result<dvq::DVQ> Gred::TranslateWithTrace(
         analysis::DvqAnalyzer analyzer(&db.db_schema());
         lint_rejected =
             analysis::HasErrors(analyzer.Analyze(parsed_dbg.value()));
+        if (lint_rejected && config_.enable_repair) {
+          analysis::DvqRepairer repairer(&db.db_schema());
+          analysis::RepairResult repaired =
+              repairer.Repair(parsed_dbg.value());
+          if (repaired.success) {
+            dvq_dbg = repaired.dvq.ToString();
+            lint_rejected = false;
+            trace.dbg_repaired = true;
+            debug_repairs_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
       }
       if (!parsed_dbg.ok() || lint_rejected) {
         degraded = true;

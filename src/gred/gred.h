@@ -53,6 +53,14 @@ struct GredConfig {
   /// fed into the debugger prompt as structured repair evidence. Default
   /// off: the stock pipeline (and its outputs) stay byte-identical.
   bool enable_lint = false;
+  /// Static repair gate (DESIGN.md §17), meaningful only with
+  /// enable_lint. When true, a lint-rejected retuner/debugger candidate
+  /// gets one deterministic repair attempt (analysis::DvqRepairer)
+  /// before degradation: if the repairer converges to an error-free DVQ
+  /// the repaired candidate is accepted (no degradation, no lint trip),
+  /// otherwise the stage degrades as before. Default off: the lint-only
+  /// pipeline stays byte-identical.
+  bool enable_repair = false;
 };
 
 /// Generates the natural-language annotation text for one database by
@@ -112,6 +120,12 @@ class Gred : public models::TextToVisModel {
     /// diagnostic (GredConfig::enable_lint).
     bool rtn_lint_rejected = false;
     bool dbg_lint_rejected = false;
+    /// The stage's candidate was lint-rejected but statically repaired
+    /// to an error-free DVQ which the pipeline accepted
+    /// (GredConfig::enable_repair). Mutually exclusive with the
+    /// corresponding *_lint_rejected / *_degraded flags.
+    bool rtn_repaired = false;
+    bool dbg_repaired = false;
   };
   /// Snapshot of the most recently completed Translate's trace (copied
   /// under the trace mutex; under concurrency "last" means whichever
@@ -171,6 +185,12 @@ class Gred : public models::TextToVisModel {
     /// (GredConfig::enable_lint; zero when linting is off).
     std::uint64_t retune_lint_trips = 0;
     std::uint64_t debug_lint_trips = 0;
+    /// Lint-rejected candidates rescued by the static repairer and
+    /// accepted (GredConfig::enable_repair; zero when repair is off).
+    /// Disjoint from the lint-trip counters: a repaired candidate is
+    /// not counted degraded.
+    std::uint64_t retune_repairs = 0;
+    std::uint64_t debug_repairs = 0;
   };
   StageStats stage_stats() const;
 
@@ -223,6 +243,8 @@ class Gred : public models::TextToVisModel {
   mutable std::atomic<std::uint64_t> debug_budget_trips_{0};
   mutable std::atomic<std::uint64_t> retune_lint_trips_{0};
   mutable std::atomic<std::uint64_t> debug_lint_trips_{0};
+  mutable std::atomic<std::uint64_t> retune_repairs_{0};
+  mutable std::atomic<std::uint64_t> debug_repairs_{0};
 };
 
 }  // namespace gred::core

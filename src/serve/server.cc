@@ -369,6 +369,59 @@ std::string Server::Process(const Request& request, bool brownout) const {
   // merged limits field by field.
   GuardLimits limits = MergeLimits(request.limits, options_.default_limits);
   if (brownout) limits = TightenLimits(limits, options_.brownout_limits);
+
+  // Static admission pricing: the abstract cost estimate is an upper
+  // bound on the executor's charges, so an estimate that exceeds the
+  // effective limits proves the request would trip its guard — reject
+  // it typed and instantly instead of burning a worker until the trip.
+  // Estimator errors fail open (unresolvable names, etc.: let the
+  // executor produce its own, better diagnostic).
+  if (options_.cost_gate && !limits.Unlimited()) {
+    const std::shared_ptr<analysis::CostEstimator> estimator =
+        CostEstimatorFor(&db->data);
+    Result<analysis::CostEstimate> estimate =
+        estimator->Estimate(dvq.value());
+    if (estimate.ok() && estimate.value().Exceeds(limits)) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      rejected_cost_.fetch_add(1, std::memory_order_relaxed);
+      out.Set("ok", json::Value::Bool(false));
+      out.Set("dvq", json::Value::Str(dvq.value().ToString()));
+      out.Set("sql", json::Value::Str(dvq::ToSql(dvq.value())));
+      json::Value degraded = json::Value::Object();
+      degraded.Set("retuner", json::Value::Bool(trace.rtn_degraded));
+      degraded.Set("debugger", json::Value::Bool(trace.dbg_degraded));
+      if (brownout) degraded.Set("brownout", json::Value::Bool(true));
+      out.Set("degraded", std::move(degraded));
+      out.Set("cost_exceeded", json::Value::Bool(true));
+      const analysis::CostEstimate& cost = estimate.value();
+      json::Value priced = json::Value::Object();
+      priced.Set("ticks", json::Value::Int(
+                              static_cast<std::int64_t>(std::min<std::uint64_t>(
+                                  cost.ticks, INT64_MAX))));
+      priced.Set("rows", json::Value::Int(
+                             static_cast<std::int64_t>(std::min<std::uint64_t>(
+                                 cost.rows, INT64_MAX))));
+      priced.Set("bytes", json::Value::Int(
+                              static_cast<std::int64_t>(std::min<std::uint64_t>(
+                                  cost.bytes, INT64_MAX))));
+      priced.Set("join_rows",
+                 json::Value::Int(static_cast<std::int64_t>(
+                     std::min<std::uint64_t>(cost.join_rows, INT64_MAX))));
+      priced.Set("exceeded",
+                 json::Value::Str(cost.ExceededBudget(limits)));
+      out.Set("cost", std::move(priced));
+      out.Set("error", json::Value::Str("cost_exceeded"));
+      if (timed) {
+        json::Value timings = json::Value::Object();
+        timings.Set("translate_us", json::Value::Int(translate_us));
+        timings.Set("execute_us", json::Value::Int(0));
+        timings.Set("total_us", json::Value::Int(ElapsedMicros(start)));
+        out.Set("timings_us", std::move(timings));
+      }
+      return out.Dump();
+    }
+  }
+
   ExecContext guard(limits);
   const auto execute_start = std::chrono::steady_clock::now();
   Result<viz::Chart> chart =
@@ -418,6 +471,14 @@ std::string Server::Process(const Request& request, bool brownout) const {
   return out.Dump();
 }
 
+std::shared_ptr<analysis::CostEstimator> Server::CostEstimatorFor(
+    const storage::DatabaseData* data) const {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  std::shared_ptr<analysis::CostEstimator>& slot = cost_estimators_[data];
+  if (slot == nullptr) slot = std::make_shared<analysis::CostEstimator>(data);
+  return slot;
+}
+
 std::string Server::ReloadResponse(const Request& request) {
   reload_requests_.fetch_add(1, std::memory_order_relaxed);
   Result<std::uint64_t> epoch = Reload();
@@ -458,6 +519,9 @@ std::string Server::StatsResponse(const Request& request) const {
   server.Set("resource_exhausted",
              json::Value::Int(
                  static_cast<std::int64_t>(snapshot.resource_exhausted)));
+  server.Set("rejected_cost",
+             json::Value::Int(
+                 static_cast<std::int64_t>(snapshot.rejected_cost)));
   server.Set("degraded_brownout",
              json::Value::Int(
                  static_cast<std::int64_t>(snapshot.degraded_brownout)));
@@ -515,6 +579,12 @@ std::string Server::StatsResponse(const Request& request) const {
   stage.Set("debug_lint_trips",
             json::Value::Int(
                 static_cast<std::int64_t>(stages.debug_lint_trips)));
+  stage.Set("retune_repairs",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.retune_repairs)));
+  stage.Set("debug_repairs",
+            json::Value::Int(
+                static_cast<std::int64_t>(stages.debug_repairs)));
   out.Set("stages", std::move(stage));
 
   if (options_.breaker != nullptr) {
@@ -557,6 +627,7 @@ ServerStats Server::stats() const {
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.resource_exhausted = resource_exhausted_.load(std::memory_order_relaxed);
+  s.rejected_cost = rejected_cost_.load(std::memory_order_relaxed);
   s.degraded_brownout = degraded_brownout_.load(std::memory_order_relaxed);
   s.stats_requests = stats_requests_.load(std::memory_order_relaxed);
   s.reload_requests = reload_requests_.load(std::memory_order_relaxed);

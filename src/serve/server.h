@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cost_estimator.h"
 #include "dataset/benchmark.h"
 #include "gred/gred.h"
 #include "llm/circuit_breaker.h"
@@ -167,6 +168,19 @@ struct ServerOptions {
   /// their own (field-by-field: a request overrides only what it sets).
   GuardLimits default_limits;
 
+  /// Static admission pricing (DESIGN.md §17): when true, every
+  /// translated DVQ is priced by analysis::CostEstimator against the
+  /// request's effective (merged, possibly brownout-tightened) limits
+  /// *before* any executor work. A provably over-budget query is
+  /// rejected with a typed `"error":"cost_exceeded"` response carrying
+  /// the estimate, so a hopeless cross-join never occupies a worker for
+  /// its whole deadline just to trip the guard. The estimate is an
+  /// upper bound on the executor's charges, so a gated request would
+  /// necessarily have tripped at runtime — the gate only converts slow
+  /// failures into instant ones. Fail-open: an estimator error (e.g. a
+  /// DVQ whose names do not resolve) falls through to normal execution.
+  bool cost_gate = false;
+
   /// Brownout load-shedding (0 = off): when the queue depth at
   /// admission reaches `brownout_high_watermark`, subsequent translate
   /// admissions enter degraded mode — retuner/debugger skipped,
@@ -210,6 +224,7 @@ struct ServerStats {
   std::uint64_t completed = 0;          // translate responses, ok=true
   std::uint64_t failed = 0;             // translate responses, ok=false
   std::uint64_t resource_exhausted = 0; // subset of failed: budget trips
+  std::uint64_t rejected_cost = 0;      // subset of failed: priced over budget
   std::uint64_t degraded_brownout = 0;  // translate admissions in brownout
   std::uint64_t stats_requests = 0;
   std::uint64_t reload_requests = 0;    // control requests (ok or not)
@@ -222,9 +237,9 @@ struct ServerStats {
 
   /// The accounting invariant the chaos harness leans on: after a
   /// drained run, every received line is accounted for exactly once.
-  /// (`resource_exhausted` and `degraded_brownout` are subsets of
-  /// `failed`/`completed`, not separate outcomes; `reloads_ok` is a
-  /// subset of `reload_requests`.)
+  /// (`resource_exhausted`, `rejected_cost` and `degraded_brownout` are
+  /// subsets of `failed`/`completed`, not separate outcomes;
+  /// `reloads_ok` is a subset of `reload_requests`.)
   bool Balanced() const {
     return received == rejected_overload + rejected_invalid +
                            rejected_ratelimit + rejected_shutdown +
@@ -324,6 +339,13 @@ class Server {
   std::string ReloadResponse(const Request& request);
   /// Admission-time brownout decision (updates the hysteresis latch).
   bool DecideBrownout();
+  /// Cached cost estimator for one database (estimators memoize table
+  /// statistics, so sharing one per database across requests keeps the
+  /// gate O(1) after the first pricing). Keyed by data pointer: stable
+  /// for a database's lifetime, and an epoch's databases outlive every
+  /// request pinned to it.
+  std::shared_ptr<analysis::CostEstimator> CostEstimatorFor(
+      const storage::DatabaseData* data) const;
 
   ServerOptions options_;
   RequestQueue queue_;
@@ -347,10 +369,16 @@ class Server {
   mutable std::atomic<std::uint64_t> completed_{0};
   mutable std::atomic<std::uint64_t> failed_{0};
   mutable std::atomic<std::uint64_t> resource_exhausted_{0};
+  mutable std::atomic<std::uint64_t> rejected_cost_{0};
   mutable std::atomic<std::uint64_t> degraded_brownout_{0};
   mutable std::atomic<std::uint64_t> stats_requests_{0};
   mutable std::atomic<std::uint64_t> reload_requests_{0};
   mutable std::atomic<std::uint64_t> reloads_ok_{0};
+
+  mutable std::mutex cost_mu_;  // guards cost_estimators_
+  mutable std::map<const storage::DatabaseData*,
+                   std::shared_ptr<analysis::CostEstimator>>
+      cost_estimators_;
 };
 
 }  // namespace gred::serve

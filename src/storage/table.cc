@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <unordered_map>
+
 #include "util/strings.h"
 
 namespace gred::storage {
@@ -31,6 +33,29 @@ DataTable::ColumnStats DataTable::ScanColumn(std::size_t col) const {
     if (!v.is_int()) stats.all_int = false;
     if (!v.is_real()) stats.all_real = false;
     if (!v.is_text()) stats.all_text = false;
+  }
+  return stats;
+}
+
+DataTable::TableStats DataTable::Stats() const {
+  TableStats stats;
+  stats.rows = num_rows_;
+  stats.columns.reserve(columns_.size());
+  struct ValueHash {
+    std::size_t operator()(const Value& v) const {
+      return static_cast<std::size_t>(v.Hash());
+    }
+  };
+  for (const auto& column : columns_) {
+    std::unordered_map<Value, std::size_t, ValueHash> counts;
+    counts.reserve(column.size());
+    for (const Value& v : column) ++counts[v];
+    ColumnValueStats c;
+    c.distinct = counts.size();
+    for (const auto& [value, count] : counts) {
+      if (count > c.max_count) c.max_count = count;
+    }
+    stats.columns.push_back(c);
   }
   return stats;
 }

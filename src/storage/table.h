@@ -59,6 +59,24 @@ class DataTable {
   };
   ColumnStats ScanColumn(std::size_t col) const;
 
+  /// Per-column value statistics for the static cost estimator
+  /// (DESIGN.md §17). NULL counts as one distinct value and contributes
+  /// to max_count, keeping both fields conservative for join-match and
+  /// group-count bounds.
+  struct ColumnValueStats {
+    std::size_t distinct = 0;   // distinct values (NULL counts as one)
+    std::size_t max_count = 0;  // occurrences of the most frequent value
+  };
+  /// Whole-table statistics, index-aligned with `def().columns()`.
+  /// Computed on demand (not cached: DataTable is shared read-only
+  /// across eval threads); callers that need them repeatedly cache at
+  /// their layer (CostEstimator does).
+  struct TableStats {
+    std::size_t rows = 0;
+    std::vector<ColumnValueStats> columns;
+  };
+  TableStats Stats() const;
+
  private:
   schema::TableDef def_;
   std::vector<std::vector<Value>> columns_;

@@ -1,5 +1,5 @@
 // Tests for the schema-aware static analyzer (DESIGN.md §12): every
-// diagnostic code DVQ001..DVQ011 is exercised with at least one DVQ that
+// diagnostic code DVQ001..DVQ013 is exercised with at least one DVQ that
 // fires it and one that must not, plus the suggestion machinery, the
 // code-name stability contract, and the real-literal round-trip the
 // fix-it pipeline depends on.
@@ -94,6 +94,8 @@ TEST(Codes, NamesAreStable) {
   EXPECT_STREQ(CodeName(Code::kJoinTypeMismatch), "DVQ009");
   EXPECT_STREQ(CodeName(Code::kAlwaysFalsePredicate), "DVQ010");
   EXPECT_STREQ(CodeName(Code::kComparisonTypeMismatch), "DVQ011");
+  EXPECT_STREQ(CodeName(Code::kOrderByNotProjected), "DVQ012");
+  EXPECT_STREQ(CodeName(Code::kDuplicateSelectItem), "DVQ013");
   EXPECT_EQ(AllCodes().size(), kNumCodes);
 }
 
@@ -411,6 +413,61 @@ TEST(ComparisonTypeMismatch, NumericLookingStringIsFine) {
                      Code::kComparisonTypeMismatch));
 }
 
+// --- DVQ012 ----------------------------------------------------------------
+
+TEST(OrderByNotProjected, FiresWithNearestSelectFixit) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , SUM(salary) FROM employees "
+           "GROUP BY city ORDER BY age DESC");
+  const Diagnostic* d = Find(diags, Code::kOrderByNotProjected);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->location.ToString(), "order_by[0]");
+  // "age" is closest to neither; the fix-it still names a select item.
+  EXPECT_TRUE(d->fixit == "city" || d->fixit == "SUM(salary)") << d->fixit;
+}
+
+TEST(OrderByNotProjected, AggregateNearMissFires) {
+  // ORDER BY SUM(age) when the projected measure is SUM(salary): the
+  // sort key becomes a hidden extra column.
+  EXPECT_TRUE(Fires(Lint("Visualize BAR SELECT city , SUM(salary) "
+                         "FROM employees GROUP BY city ORDER BY "
+                         "SUM(age) DESC"),
+                    Code::kOrderByNotProjected));
+}
+
+TEST(OrderByNotProjected, ProjectedOrGroupedSortIsFine) {
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , COUNT(city) "
+                          "FROM employees GROUP BY city ORDER BY "
+                          "COUNT(city) DESC"),
+                     Code::kOrderByNotProjected));
+  // Sorting by a GROUP BY key is meaningful even when not projected.
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT COUNT(id) , SUM(salary) "
+                          "FROM employees GROUP BY city ORDER BY city"),
+                     Code::kOrderByNotProjected));
+}
+
+// --- DVQ013 ----------------------------------------------------------------
+
+TEST(DuplicateSelectItem, FiresOnLaterDuplicate) {
+  std::vector<Diagnostic> diags =
+      Lint("Visualize BAR SELECT city , city FROM employees");
+  const Diagnostic* d = Find(diags, Code::kDuplicateSelectItem);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->location.ToString(), "select[1]");
+}
+
+TEST(DuplicateSelectItem, CaseInsensitiveAndAggAware) {
+  // Same column, different aggregate: not a duplicate.
+  EXPECT_FALSE(Fires(Lint("Visualize BAR SELECT city , COUNT(city) "
+                          "FROM employees GROUP BY city"),
+                     Code::kDuplicateSelectItem));
+  EXPECT_TRUE(Fires(Lint("Visualize BAR SELECT City , COUNT(id) , city "
+                         "FROM employees GROUP BY city"),
+                    Code::kDuplicateSelectItem));
+}
+
 // --- Helpers / surface ------------------------------------------------------
 
 TEST(Helpers, HasErrorsAndCountByCode) {
@@ -458,8 +515,38 @@ TEST(Locations, SubqueryPrefixAndClauseNames) {
       "salary > (SELECT AVG(budgget) FROM departments) GROUP BY city");
   const Diagnostic* d = Find(diags, Code::kUnknownColumn);
   ASSERT_NE(d, nullptr);
-  EXPECT_EQ(d->location.ToString(), "subquery(1).select[0]");
+  // The prefix names the WHERE-predicate index owning the subquery.
+  EXPECT_EQ(d->location.ToString(), "subquery(0).select[0]");
   EXPECT_EQ(d->fixit, "budget");
+}
+
+TEST(Locations, SiblingSubqueriesGetDistinctPrefixes) {
+  // Regression: depth-only rendering labeled BOTH sibling subqueries
+  // "subquery(1).", making their diagnostics indistinguishable (and any
+  // repair keyed on location ambiguous). The path-based prefix names
+  // the owning predicate index instead.
+  std::vector<Diagnostic> diags = Lint(
+      "Visualize BAR SELECT city , COUNT(city) FROM employees WHERE "
+      "salary > (SELECT AVG(budgget) FROM departments) AND "
+      "age < (SELECT AVG(budgget) FROM departments) GROUP BY city");
+  std::vector<std::string> locations;
+  for (const Diagnostic& d : diags) {
+    if (d.code == Code::kUnknownColumn) {
+      locations.push_back(d.location.ToString());
+    }
+  }
+  ASSERT_EQ(locations.size(), 2u);
+  EXPECT_EQ(locations[0], "subquery(0).select[0]");
+  EXPECT_EQ(locations[1], "subquery(1).select[0]");
+  EXPECT_NE(locations[0], locations[1]);
+}
+
+TEST(Locations, HandBuiltLocationFallsBackToDepth) {
+  // Hand-built Locations (no path) keep the legacy depth rendering so
+  // existing callers that never see subqueries are unaffected.
+  Location loc{Clause::kSelect, 2, 1};
+  EXPECT_EQ(loc.ToString(), "subquery(1).select[2]");
+  EXPECT_EQ((Location{Clause::kWhere, 0, 0}).ToString(), "where[0]");
 }
 
 TEST(Analyzer, AliasesResolveBeforeDiagnostics) {
@@ -541,6 +628,11 @@ TEST(Analyzer, EveryCodeIsExercisedSomewhere) {
       {Code::kComparisonTypeMismatch,
        "Visualize BAR SELECT city , COUNT(city) FROM employees "
        "WHERE age = \"abc\" GROUP BY city"},
+      {Code::kOrderByNotProjected,
+       "Visualize BAR SELECT city , SUM(salary) FROM employees "
+       "GROUP BY city ORDER BY age DESC"},
+      {Code::kDuplicateSelectItem,
+       "Visualize BAR SELECT city , city FROM employees"},
   };
   ASSERT_EQ(cases.size(), kNumCodes);
   for (const auto& [code, text] : cases) {

@@ -6,6 +6,8 @@
 #include <atomic>
 #include <thread>
 
+#include "analysis/analyzer.h"
+#include "analysis/repairer.h"
 #include "dvq/components.h"
 #include "dvq/parser.h"
 #include "gred/gred.h"
@@ -373,6 +375,76 @@ TEST_F(GredFixture, DegradedFaultInjectedRunsAreThreadCountInvariant) {
   std::vector<std::string> serial = run(1);
   std::vector<std::string> parallel = run(4);
   EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(GredFixture, RepairGateRescuesLintRejectedRetunerCandidate) {
+  // Find a clean example whose DVQ, with one select column misspelled,
+  // lints broken but repairs back to error-free — the candidate shape
+  // the repair gate exists for.
+  const dataset::Example* example = nullptr;
+  const dataset::GeneratedDatabase* db = nullptr;
+  std::string broken_text;
+  for (const dataset::Example& candidate : suite_->test_clean) {
+    const dataset::GeneratedDatabase* cdb =
+        suite_->FindCleanDb(candidate.db_name);
+    if (cdb == nullptr) continue;
+    analysis::DvqAnalyzer analyzer(&cdb->data.db_schema());
+    if (!analyzer.Analyze(candidate.dvq).empty()) continue;
+    dvq::DVQ broken = candidate.dvq;
+    dvq::SelectExpr* victim = nullptr;
+    for (dvq::SelectExpr& e : broken.query.select) {
+      if (e.col.column != "*") {
+        victim = &e;
+        break;
+      }
+    }
+    if (victim == nullptr) continue;
+    victim->col.column += victim->col.column.back();  // double the last char
+    if (!analysis::HasErrors(analyzer.Analyze(broken))) continue;
+    analysis::DvqRepairer repairer(&cdb->data.db_schema());
+    if (!repairer.Repair(broken).success) continue;
+    example = &candidate;
+    db = cdb;
+    broken_text = broken.ToString();
+    break;
+  }
+  ASSERT_NE(example, nullptr) << "no repairable corpus mutant found";
+
+  // The retuner stage always answers with the broken DVQ. Lint alone
+  // rejects it (degrade, keep the generator's DVQ); lint + repair
+  // rescues it (accept the repaired candidate, nothing degrades).
+  AnswerMatchingChatModel broken_retuner(llm_, kRetuneNeedle, broken_text);
+  GredConfig lint_only;
+  lint_only.enable_lint = true;
+  Gred linted(corpus_, &broken_retuner, lint_only);
+  Result<dvq::DVQ> rejected = linted.Translate(example->nlq, db->data);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  Gred::Trace lint_trace = linted.last_trace();
+  EXPECT_TRUE(lint_trace.rtn_lint_rejected);
+  EXPECT_TRUE(lint_trace.rtn_degraded);
+  EXPECT_FALSE(lint_trace.rtn_repaired);
+  EXPECT_EQ(linted.stage_stats().retune_lint_trips, 1u);
+  EXPECT_EQ(linted.stage_stats().retune_repairs, 0u);
+
+  GredConfig with_repair = lint_only;
+  with_repair.enable_repair = true;
+  Gred repairing(corpus_, &broken_retuner, with_repair);
+  Result<dvq::DVQ> rescued = repairing.Translate(example->nlq, db->data);
+  ASSERT_TRUE(rescued.ok()) << rescued.status().ToString();
+  Gred::Trace trace = repairing.last_trace();
+  EXPECT_TRUE(trace.rtn_repaired);
+  EXPECT_FALSE(trace.rtn_lint_rejected);
+  EXPECT_FALSE(trace.rtn_degraded);
+  EXPECT_EQ(repairing.stage_stats().retune_repairs, 1u);
+  EXPECT_EQ(repairing.stage_stats().retune_lint_trips, 0u);
+  // The accepted retuner DVQ is the repaired candidate: not the broken
+  // text, and error-free against the schema.
+  EXPECT_FALSE(trace.dvq_rtn.empty());
+  EXPECT_NE(trace.dvq_rtn, broken_text);
+  Result<dvq::DVQ> accepted = dvq::Parse(trace.dvq_rtn);
+  ASSERT_TRUE(accepted.ok());
+  analysis::DvqAnalyzer analyzer(&db->data.db_schema());
+  EXPECT_FALSE(analysis::HasErrors(analyzer.Analyze(accepted.value())));
 }
 
 }  // namespace

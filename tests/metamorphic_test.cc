@@ -18,6 +18,12 @@
 //      column reorder and under synonym renames with the rewritten DVQ:
 //      the analyzer reasons about names and types, neither of which
 //      those transformations may change observably.
+//   6. Static repair commutes with synonym renames: damaging a
+//      lint-clean DVQ structurally (GROUP BY retargeted to an unrelated
+//      column), repairing it, then renaming yields the same DVQ as
+//      renaming first and repairing against the renamed schema. The
+//      repairer's decisions are name-driven only through the schema, so
+//      a consistent rename on both sides must not change them.
 //
 // Each violation is recorded as a deterministic fingerprint string; the
 // suite asserts no violations AND that two independent harness runs
@@ -29,11 +35,13 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/repairer.h"
 #include "dataset/benchmark.h"
 #include "dataset/perturb.h"
 #include "dvq/parser.h"
 #include "exec/executor.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace gred {
 namespace {
@@ -116,12 +124,37 @@ DatabaseData ReorderColumns(const DatabaseData& db, Rng* rng) {
   return reordered;
 }
 
+/// Structural damage for invariant 6: retarget the (single-column)
+/// GROUP BY at some other column of the FROM table, leaving the bare
+/// select column ungrouped (error-level DVQ005). Returns nullopt when
+/// the query has no such corruption point.
+std::optional<dvq::DVQ> RetargetGroupBy(const dvq::DVQ& input,
+                                        const schema::Database& schema) {
+  const dvq::Query& q = input.query;
+  if (q.group_by.size() != 1 || !q.joins.empty()) return std::nullopt;
+  const schema::TableDef* table = schema.FindTable(q.from_table);
+  if (table == nullptr) return std::nullopt;
+  for (const schema::Column& c : table->columns()) {
+    bool selected = std::any_of(
+        q.select.begin(), q.select.end(), [&c](const dvq::SelectExpr& e) {
+          return strings::EqualsIgnoreCase(e.col.column, c.name);
+        });
+    if (selected) continue;
+    dvq::DVQ broken = input;
+    broken.query.group_by[0].table.clear();
+    broken.query.group_by[0].column = c.name;
+    return broken;
+  }
+  return std::nullopt;
+}
+
 /// Runs every invariant over the corpus and returns the violation
 /// fingerprints, in corpus order. `seed` drives all random choices.
 std::vector<std::string> RunHarness(std::uint64_t seed) {
   const BenchmarkSuite& suite = Corpus();
   Rng rng(seed);
   std::vector<std::string> violations;
+  std::size_t repairs_exercised = 0;
 
   // Invariant 1: parse→print→parse fixpoint, over both the clean and
   // the schema-perturbed DVQ corpora (the perturbed texts exercise the
@@ -202,7 +235,37 @@ std::vector<std::string> RunHarness(std::uint64_t seed) {
       if (!rob_analyzer.Analyze(rewritten).empty()) {
         violations.push_back("lint-synonym-rename:" + example.id);
       }
+
+      // Invariant 6: repair commutes with synonym renames. Damage the
+      // clean DVQ structurally, then compare repair→rename against
+      // rename→repair (the renamed damage is the rename of the damage:
+      // RewriteDvq maps every identifier the corruption touches).
+      std::optional<dvq::DVQ> broken =
+          RetargetGroupBy(example.dvq, clean->data.db_schema());
+      if (broken.has_value()) {
+        analysis::DvqRepairer clean_repairer(&clean->data.db_schema());
+        analysis::DvqRepairer rob_repairer(&rob->data.db_schema());
+        analysis::RepairResult on_clean = clean_repairer.Repair(*broken);
+        analysis::RepairResult on_renamed = rob_repairer.Repair(
+            dataset::RewriteDvq(*broken, *clean, renames->second));
+        if (on_clean.success != on_renamed.success) {
+          violations.push_back("repair-rename-outcome:" + example.id);
+        } else if (on_clean.success) {
+          if (on_clean.changed) ++repairs_exercised;
+          const std::string renamed_repair =
+              dataset::RewriteDvq(on_clean.dvq, *clean, renames->second)
+                  .ToString();
+          if (renamed_repair != on_renamed.dvq.ToString()) {
+            violations.push_back("repair-rename-commute:" + example.id);
+          }
+        }
+      }
     }
+  }
+  // Vacuity guard: the corpus must actually feed invariant 6 some
+  // repairable damage, or the commutation check proves nothing.
+  if (repairs_exercised == 0) {
+    violations.push_back("repair-rename-not-exercised");
   }
   return violations;
 }

@@ -477,6 +477,72 @@ TEST_F(ServeFixture, RowBudgetTripsAreTypedAndKeepTheDvq) {
   FAIL() << "no test example produced a successful multi-row chart";
 }
 
+TEST_F(ServeFixture, CostGateRejectsOverBudgetQueryBeforeExecution) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.include_timings = false;
+  options.cost_gate = true;
+  Server server(suite_, gred_, options);
+  ServerOptions ungated = options;
+  ungated.cost_gate = false;
+  Server plain(suite_, gred_, ungated);
+
+  for (std::size_t i = 0; i < suite_->test_clean.size(); ++i) {
+    const std::string line =
+        RequestLine(static_cast<int>(i), suite_->test_clean[i]);
+    // Unlimited requests never gate: byte-identical to a gate-off server.
+    ASSERT_EQ(server.Handle(line), plain.Handle(line));
+    json::ParseResult ok_reply = json::Parse(server.Handle(line));
+    ASSERT_TRUE(ok_reply.ok());
+    if (!ok_reply.value().Find("ok")->bool_value()) continue;
+    if (ok_reply.value().Find("rows")->number_value() < 2) continue;
+
+    // A one-row budget is provably too small (the estimate bounds at
+    // least the scan's materialized rows), so the gate must fire —
+    // typed, with the priced costs — instead of the executor tripping.
+    const std::uint64_t exhausted_before = server.stats().resource_exhausted;
+    json::Value obj = json::Value::Object();
+    obj.Set("id", json::Value::Int(77));
+    obj.Set("nlq", json::Value::Str(suite_->test_clean[i].nlq));
+    obj.Set("db", json::Value::Str(suite_->test_clean[i].db_name));
+    obj.Set("budget_rows", json::Value::Int(1));
+    json::ParseResult gated = json::Parse(server.Handle(obj.Dump()));
+    ASSERT_TRUE(gated.ok());
+    const json::Value& reply = gated.value();
+    EXPECT_FALSE(reply.Find("ok")->bool_value());
+    ASSERT_NE(reply.Find("error"), nullptr);
+    EXPECT_EQ(reply.Find("error")->string_value(), "cost_exceeded");
+    ASSERT_NE(reply.Find("cost_exceeded"), nullptr);
+    EXPECT_TRUE(reply.Find("cost_exceeded")->bool_value());
+    // No executor ran: a runtime trip would have marked the response
+    // resource_exhausted and bumped that counter.
+    EXPECT_EQ(reply.Find("resource_exhausted"), nullptr);
+    EXPECT_EQ(server.stats().resource_exhausted, exhausted_before);
+    // The priced estimate and the budget it broke ride along, and the
+    // DVQ/SQL survive for a client retry with a bigger budget.
+    ASSERT_NE(reply.Find("cost"), nullptr);
+    EXPECT_EQ(reply.Find("cost")->Find("exceeded")->string_value(), "rows");
+    EXPECT_GE(reply.Find("cost")->Find("rows")->number_value(), 2.0);
+    ASSERT_NE(reply.Find("dvq"), nullptr);
+    EXPECT_FALSE(reply.Find("dvq")->string_value().empty());
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.rejected_cost, 1u);
+    EXPECT_GE(stats.failed, stats.rejected_cost);  // subset accounting
+    EXPECT_TRUE(stats.Balanced());
+
+    // The same request without the gate runs the executor and trips at
+    // runtime instead — the slow failure the gate pre-empts.
+    json::ParseResult runtime = json::Parse(plain.Handle(obj.Dump()));
+    ASSERT_TRUE(runtime.ok());
+    EXPECT_FALSE(runtime.value().Find("ok")->bool_value());
+    ASSERT_NE(runtime.value().Find("resource_exhausted"), nullptr);
+    EXPECT_EQ(plain.stats().rejected_cost, 0u);
+    return;
+  }
+  FAIL() << "no test example produced a successful multi-row chart";
+}
+
 TEST_F(ServeFixture, StatsEndpointReportsCachesAndCounters) {
   ServerOptions options;
   options.num_workers = 1;

@@ -1,4 +1,4 @@
-// dvqlint — schema-aware static analysis of DVQs (DESIGN.md §12).
+// dvqlint — schema-aware static analysis of DVQs (DESIGN.md §12, §17).
 //
 // Lints one or more DVQs against a generated database's schema and
 // prints the analyzer's diagnostics (stable DVQ0xx codes, severity,
@@ -6,15 +6,33 @@
 //
 //   $ ./build/tools/dvqlint hr_1 "Visualize BAR SELECT citty ,
 //     COUNT(citty) FROM employees GROUP BY citty"
-//   $ ./build/tools/dvqlint hr_1 examples/dvqs/clean.dvq
-//   $ echo "Visualize ..." | ./build/tools/dvqlint hr_1
+//   $ ./build/tools/dvqlint --fix hr_1 examples/dvqs/clean.dvq
+//   $ echo "Visualize ..." | ./build/tools/dvqlint --json --cost hr_1
 //
 // Arguments after the database name are DVQ files (one query per line,
 // '#' comments ignored) when they name a readable file, inline DVQ text
-// otherwise; with neither, queries are read from stdin. Exit status:
-// 0 = no error-level diagnostics, 1 = at least one error (or, with
-// --werror, warning), 2 = usage / unknown database / unparseable DVQ.
+// otherwise; with neither, queries are read from stdin.
+//
+// Flags:
+//   --werror  warnings count as errors for the exit status
+//   --fix     run the static repairer (analysis::DvqRepairer) on each
+//             query; prints accepted repair steps and the repaired DVQ.
+//             The exit status is computed on the post-repair
+//             diagnostics, so it is 0 only when every query converges
+//             lint-clean.
+//   --cost    price each (post-repair, when --fix) query with the
+//             abstract cost estimator (analysis::CostEstimator): a
+//             provable upper bound on the executor's charges in exact
+//             ExecContext units (ticks / rows / bytes / join rows).
+//   --json    machine-readable output: one JSON object per query on
+//             stdout (NDJSON) instead of text lines.
+//
+// Exit status: 0 = no error-level diagnostics (after repair with
+// --fix), 1 = at least one error (or, with --werror, warning),
+// 2 = usage / unknown database / unparseable DVQ.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,8 +40,11 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost_estimator.h"
+#include "analysis/repairer.h"
 #include "dataset/benchmark.h"
 #include "dvq/parser.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace {
@@ -47,23 +68,64 @@ void CollectFromStream(std::istream& in, const std::string& name,
   }
 }
 
+json::Value DiagnosticsToJson(
+    const std::vector<analysis::Diagnostic>& diagnostics) {
+  json::Value array = json::Value::Array();
+  for (const analysis::Diagnostic& d : diagnostics) {
+    json::Value entry = json::Value::Object();
+    entry.Set("code", json::Value::Str(analysis::CodeName(d.code)));
+    entry.Set("severity",
+              json::Value::Str(analysis::SeverityName(d.severity)));
+    entry.Set("location", json::Value::Str(d.location.ToString()));
+    entry.Set("message", json::Value::Str(d.message));
+    if (!d.fixit.empty()) entry.Set("fixit", json::Value::Str(d.fixit));
+    array.Append(std::move(entry));
+  }
+  return array;
+}
+
+json::Value CostToJson(const analysis::CostEstimate& cost) {
+  json::Value out = json::Value::Object();
+  out.Set("ticks", json::Value::Int(static_cast<std::int64_t>(
+                       std::min<std::uint64_t>(cost.ticks, INT64_MAX))));
+  out.Set("rows", json::Value::Int(static_cast<std::int64_t>(
+                      std::min<std::uint64_t>(cost.rows, INT64_MAX))));
+  out.Set("bytes", json::Value::Int(static_cast<std::int64_t>(
+                       std::min<std::uint64_t>(cost.bytes, INT64_MAX))));
+  out.Set("join_rows",
+          json::Value::Int(static_cast<std::int64_t>(
+              std::min<std::uint64_t>(cost.join_rows, INT64_MAX))));
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool werror = false;
+  bool fix = false;
+  bool cost = false;
+  bool as_json = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--cost") {
+      cost = true;
+    } else if (arg == "--json") {
+      as_json = true;
     } else {
       positional.push_back(std::move(arg));
     }
   }
   if (positional.empty()) {
-    std::fprintf(stderr,
-                 "usage: dvqlint [--werror] <database> [dvq-file | dvq]...\n"
-                 "       (no dvq arguments: queries are read from stdin)\n");
+    std::fprintf(
+        stderr,
+        "usage: dvqlint [--werror] [--fix] [--cost] [--json] <database> "
+        "[dvq-file | dvq]...\n"
+        "       (no dvq arguments: queries are read from stdin)\n");
     return 2;
   }
   const std::string& db_name = positional.front();
@@ -94,8 +156,11 @@ int main(int argc, char** argv) {
   }
 
   analysis::DvqAnalyzer analyzer(&db->data.db_schema());
+  analysis::DvqRepairer repairer(&db->data.db_schema());
+  analysis::CostEstimator estimator(&db->data);
   bool any_error = false;
   std::size_t findings = 0;
+  std::size_t repairs = 0;
   for (const Input& input : inputs) {
     Result<dvq::DVQ> parsed = dvq::Parse(input.text);
     if (!parsed.ok()) {
@@ -106,16 +171,93 @@ int main(int argc, char** argv) {
     std::vector<analysis::Diagnostic> diagnostics =
         analyzer.Analyze(parsed.value());
     findings += diagnostics.size();
-    for (const analysis::Diagnostic& d : diagnostics) {
-      std::printf("%s: %s\n", input.origin.c_str(), d.ToString().c_str());
+
+    // With --fix the exit status reflects the post-repair diagnostics:
+    // a query the repairer converges to lint-clean no longer fails the
+    // run. `final` is the DVQ that would actually execute.
+    analysis::RepairResult repaired;
+    const dvq::DVQ* final_dvq = &parsed.value();
+    const std::vector<analysis::Diagnostic>* effective = &diagnostics;
+    if (fix) {
+      repaired = repairer.Repair(parsed.value());
+      repairs += repaired.log.size();
+      if (repaired.success) final_dvq = &repaired.dvq;
+      effective = &repaired.remaining;
+    }
+    for (const analysis::Diagnostic& d : *effective) {
       if (d.severity == analysis::Severity::kError ||
           (werror && d.severity == analysis::Severity::kWarning)) {
         any_error = true;
       }
     }
+
+    Result<analysis::CostEstimate> estimate =
+        cost ? estimator.Estimate(*final_dvq)
+             : Result<analysis::CostEstimate>(analysis::CostEstimate{});
+
+    if (as_json) {
+      json::Value out = json::Value::Object();
+      out.Set("origin", json::Value::Str(input.origin));
+      out.Set("dvq", json::Value::Str(parsed.value().ToString()));
+      out.Set("diagnostics", DiagnosticsToJson(diagnostics));
+      if (fix) {
+        json::Value rep = json::Value::Object();
+        rep.Set("success", json::Value::Bool(repaired.success));
+        rep.Set("changed", json::Value::Bool(repaired.changed));
+        rep.Set("dvq", json::Value::Str(repaired.dvq.ToString()));
+        json::Value actions = json::Value::Array();
+        for (const analysis::RepairAction& a : repaired.log) {
+          actions.Append(json::Value::Str(a.ToString()));
+        }
+        rep.Set("actions", std::move(actions));
+        rep.Set("remaining", DiagnosticsToJson(repaired.remaining));
+        out.Set("repair", std::move(rep));
+      }
+      if (cost) {
+        if (estimate.ok()) {
+          out.Set("cost", CostToJson(estimate.value()));
+        } else {
+          out.Set("cost_error",
+                  json::Value::Str(estimate.status().message()));
+        }
+      }
+      std::printf("%s\n", out.Dump().c_str());
+      continue;
+    }
+
+    for (const analysis::Diagnostic& d : diagnostics) {
+      std::printf("%s: %s\n", input.origin.c_str(), d.ToString().c_str());
+    }
+    if (fix) {
+      for (const analysis::RepairAction& a : repaired.log) {
+        std::printf("%s: fix: %s\n", input.origin.c_str(),
+                    a.ToString().c_str());
+      }
+      if (!repaired.success) {
+        std::printf("%s: unrepairable (%zu diagnostic%s remain)\n",
+                    input.origin.c_str(), repaired.remaining.size(),
+                    repaired.remaining.size() == 1 ? "" : "s");
+      } else if (repaired.changed) {
+        std::printf("%s: fixed: %s\n", input.origin.c_str(),
+                    repaired.dvq.ToString().c_str());
+      }
+    }
+    if (cost) {
+      if (estimate.ok()) {
+        std::printf("%s: cost: %s\n", input.origin.c_str(),
+                    estimate.value().ToString().c_str());
+      } else {
+        std::printf("%s: cost unavailable: %s\n", input.origin.c_str(),
+                    estimate.status().message().c_str());
+      }
+    }
   }
-  std::fprintf(stderr, "%zu quer%s linted, %zu finding%s\n", inputs.size(),
+  std::fprintf(stderr, "%zu quer%s linted, %zu finding%s%s\n", inputs.size(),
                inputs.size() == 1 ? "y" : "ies", findings,
-               findings == 1 ? "" : "s");
+               findings == 1 ? "" : "s",
+               fix ? strings::Format(", %zu repair%s", repairs,
+                                     repairs == 1 ? "" : "s")
+                         .c_str()
+                   : "");
   return any_error ? 1 : 0;
 }

@@ -13,7 +13,9 @@
 // CLI-friendly: 1500 train / 200 test). `serve` additionally reads
 // GRED_SERVE_WORKERS, GRED_SERVE_QUEUE, GRED_SERVE_TIMINGS,
 // GRED_SERVE_DEADLINE_MS, GRED_SERVE_ROW_BUDGET and the hardening
-// knobs: GRED_SERVE_BROWNOUT_HIGH / GRED_SERVE_BROWNOUT_LOW /
+// knobs: GRED_SERVE_COST_GATE (static admission pricing: reject
+// provably over-budget queries before any executor work, DESIGN.md
+// §17), GRED_SERVE_BROWNOUT_HIGH / GRED_SERVE_BROWNOUT_LOW /
 // GRED_SERVE_BROWNOUT_DEADLINE_MS / GRED_SERVE_BROWNOUT_ROW_BUDGET
 // (brownout load-shedding), GRED_SERVE_RATE / GRED_SERVE_RATE_BURST
 // (per-session token buckets), GRED_SERVE_BREAKER_FAILURES /
@@ -246,6 +248,8 @@ int CmdServe() {
       serve::kAccountedTicksPerMs;
   options.default_limits.row_budget =
       EnvCountOrDie("GRED_SERVE_ROW_BUDGET", 0);
+  // Static admission pricing against the effective per-request limits.
+  options.cost_gate = EnvFlagOrDie("GRED_SERVE_COST_GATE", false);
   // Brownout watermarks + the tighter limits applied while browned out.
   options.brownout_high_watermark = static_cast<std::size_t>(
       EnvCountOrDie("GRED_SERVE_BROWNOUT_HIGH", 0));
